@@ -1,0 +1,421 @@
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation (§VIII) plus the cost-profile measurements (§VIII-A-2) and the
+// ablation benches listed in DESIGN.md §5.
+//
+// Run everything with:
+//
+//	go test -bench=. -benchmem
+//
+// The experiment benchmarks share one lazily built environment (dataset +
+// two trained frameworks) so that `-bench=.` finishes in minutes; the shape
+// results they report come from the same runners cmd/icsbench uses at
+// larger scale. Reported custom metrics (f1, precision, …) carry each
+// experiment's headline numbers.
+package icsdetect_test
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"icsdetect/internal/bloom"
+	"icsdetect/internal/core"
+	"icsdetect/internal/dataset"
+	"icsdetect/internal/experiments"
+	"icsdetect/internal/gaspipeline"
+	"icsdetect/internal/nn"
+	"icsdetect/internal/signature"
+)
+
+var (
+	benchOnce sync.Once
+	benchEnv  *experiments.Env
+	benchErr  error
+)
+
+// metricName makes a model name usable as a benchmark metric unit (no
+// whitespace allowed).
+func metricName(s string) string {
+	return strings.ReplaceAll(s, " ", "_")
+}
+
+// benchEnvironment lazily builds the shared experiment environment at a
+// bench-friendly scale.
+func benchEnvironment(b *testing.B) *experiments.Env {
+	b.Helper()
+	benchOnce.Do(func() {
+		cfg := experiments.DefaultConfig()
+		cfg.Packages = 16000
+		cfg.Granularity = signature.Granularity{
+			IntervalClusters: 2, CRCClusters: 2,
+			PressureBins: 6, SetpointBins: 3, PIDClusters: 2,
+		}
+		cfg.Core.Granularity = cfg.Granularity
+		cfg.Core.Hidden = []int{32, 32}
+		cfg.Core.Fit.Epochs = 8
+		cfg.Core.Fit.BatchSize = 8
+		benchEnv, benchErr = experiments.BuildEnv(cfg, nil)
+	})
+	if benchErr != nil {
+		b.Fatalf("build bench environment: %v", benchErr)
+	}
+	return benchEnv
+}
+
+// ---- Table/figure reproduction benches -------------------------------------
+
+func BenchmarkFigure4Histograms(b *testing.B) {
+	env := benchEnvironment(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fig := experiments.RunFigure4(env)
+		if fig.Pressure.N == 0 {
+			b.Fatal("empty histogram")
+		}
+	}
+}
+
+func BenchmarkFigure5GranularitySweep(b *testing.B) {
+	env := benchEnvironment(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fig, err := experiments.RunFigure5(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			feasible := 0
+			for _, p := range fig.Points {
+				if p.Feasible {
+					feasible++
+				}
+			}
+			b.ReportMetric(float64(len(fig.Points)), "gridpoints")
+			b.ReportMetric(float64(feasible), "feasible")
+		}
+	}
+}
+
+func BenchmarkFigure6TopKError(b *testing.B) {
+	env := benchEnvironment(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ranks := env.Framework.Series.TopKRanks(
+			env.Framework.Encoder, env.Framework.Input, env.Framework.DB,
+			env.Split.Validation)
+		if len(ranks) == 0 {
+			b.Fatal("no ranks")
+		}
+	}
+	fig := experiments.RunFigure6(env)
+	b.ReportMetric(fig.NoiseValidation.Err[0], "err@1")
+	b.ReportMetric(fig.NoiseValidation.Err[len(fig.NoiseValidation.Err)-1], "err@max")
+	b.ReportMetric(float64(fig.ChosenK), "chosenK")
+}
+
+func BenchmarkFigure7MetricsVsK(b *testing.B) {
+	env := benchEnvironment(b)
+	b.ResetTimer()
+	var fig *experiments.Figure7
+	var err error
+	for i := 0; i < b.N; i++ {
+		fig, err = experiments.RunFigure7(env, 6)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(fig.Noise[0].F1, "f1@k1")
+	b.ReportMetric(fig.Noise[len(fig.Noise)-1].F1, "f1@k6")
+}
+
+func BenchmarkTableIVComparison(b *testing.B) {
+	env := benchEnvironment(b)
+	b.ResetTimer()
+	var t4 *experiments.TableIV
+	var err error
+	for i := 0; i < b.N; i++ {
+		t4, err = experiments.RunTableIV(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, row := range t4.Rows {
+		b.ReportMetric(row.Summary.F1, "f1/"+metricName(row.Name))
+	}
+}
+
+func BenchmarkTableVPerAttack(b *testing.B) {
+	env := benchEnvironment(b)
+	t4, err := experiments.RunTableIV(env)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t5 := experiments.RunTableV(t4)
+		if len(t5.Rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+	ours := t4.Rows[0].PerAttack
+	for _, at := range dataset.AttackTypes {
+		b.ReportMetric(ours.Ratio(at), "recall/"+at.String())
+	}
+}
+
+// ---- Cost profile (§VIII-A-2) ----------------------------------------------
+
+// BenchmarkClassifyCombined measures the per-package classification latency
+// of the combined framework (paper: ~0.03 ms).
+func BenchmarkClassifyCombined(b *testing.B) {
+	env := benchEnvironment(b)
+	sess := env.Framework.NewSession()
+	test := env.Split.Test
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sess.Classify(test[i%len(test)])
+	}
+}
+
+// BenchmarkTrainLSTM measures end-to-end time-series model training
+// throughput on a small corpus (paper: 35 min for 50 epochs at full scale).
+func BenchmarkTrainLSTM(b *testing.B) {
+	env := benchEnvironment(b)
+	fw := env.Framework
+	seqs := core.BuildSequences(fw.Encoder, fw.Input, fw.DB, env.Split.Train, nil)
+	var steps int
+	for _, s := range seqs {
+		steps += len(s.Inputs)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		model, err := nn.NewClassifier(fw.Input.Dim, []int{32, 32}, fw.DB.Size(), 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := nn.Train(model, seqs, nn.TrainConfig{
+			Epochs: 1, Window: 32, BatchSize: 8, LR: 2e-3, ClipNorm: 5, Seed: 1,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(steps), "steps/epoch")
+}
+
+// BenchmarkModelMemory reports the storage cost of the two detection models
+// (paper: 684 KB).
+func BenchmarkModelMemory(b *testing.B) {
+	env := benchEnvironment(b)
+	var total int
+	for i := 0; i < b.N; i++ {
+		total = env.Framework.MemoryBytes()
+	}
+	b.ReportMetric(float64(total)/1024, "KB")
+}
+
+// ---- Substrate micro-benches -------------------------------------------------
+
+func BenchmarkBloomInsert(b *testing.B) {
+	f, err := bloom.NewWithEstimates(uint64(b.N)+1, 0.01)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.AddString(fmt.Sprintf("sig:%d", i))
+	}
+}
+
+func BenchmarkBloomLookup(b *testing.B) {
+	f, err := bloom.NewWithEstimates(10000, 0.01)
+	if err != nil {
+		b.Fatal(err)
+	}
+	keys := make([]string, 10000)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("sig:%d", i)
+		f.AddString(keys[i])
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.ContainsString(keys[i%len(keys)])
+	}
+}
+
+func BenchmarkSignatureEncode(b *testing.B) {
+	env := benchEnvironment(b)
+	enc := env.Framework.Encoder
+	pkgs := env.Split.Test
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		prev := pkgs[i%(len(pkgs)-1)]
+		cur := pkgs[i%(len(pkgs)-1)+1]
+		c := enc.Encode(prev, cur)
+		_ = signature.Signature(c)
+	}
+}
+
+func BenchmarkLSTMStepForward(b *testing.B) {
+	env := benchEnvironment(b)
+	model := env.Framework.Series.Model
+	state := model.NewState()
+	probs := make([]float64, model.Classes())
+	x := make([]float64, model.InputSize())
+	x[0], x[5] = 1, 1
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		model.Step(state, x, probs)
+	}
+}
+
+func BenchmarkGeneratorThroughput(b *testing.B) {
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ds, err := gaspipeline.Generate(gaspipeline.DefaultGenConfig(4000, uint64(i)+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if ds.Len() < 4000 {
+			b.Fatal("short dataset")
+		}
+	}
+}
+
+// ---- Ablation benches (DESIGN.md §5) ----------------------------------------
+
+// BenchmarkAblationNoise compares test F1 with and without probabilistic
+// noise training (paper Figs. 6-7).
+func BenchmarkAblationNoise(b *testing.B) {
+	env := benchEnvironment(b)
+	var with, without *core.Evaluation
+	for i := 0; i < b.N; i++ {
+		with = env.Framework.Evaluate(env.Split.Test, core.ModeCombined)
+		without = env.Plain.Evaluate(env.Split.Test, core.ModeCombined)
+	}
+	b.ReportMetric(with.Summary.F1, "f1/noise")
+	b.ReportMetric(without.Summary.F1, "f1/plain")
+}
+
+// BenchmarkAblationLevels compares the combined framework against each
+// level alone (the justification for combining them, §VI).
+func BenchmarkAblationLevels(b *testing.B) {
+	env := benchEnvironment(b)
+	var comb, pkg, ser *core.Evaluation
+	for i := 0; i < b.N; i++ {
+		comb = env.Framework.Evaluate(env.Split.Test, core.ModeCombined)
+		pkg = env.Framework.Evaluate(env.Split.Test, core.ModePackageOnly)
+		ser = env.Framework.Evaluate(env.Split.Test, core.ModeSeriesOnly)
+	}
+	b.ReportMetric(comb.Summary.F1, "f1/combined")
+	b.ReportMetric(pkg.Summary.F1, "f1/package")
+	b.ReportMetric(ser.Summary.F1, "f1/series")
+}
+
+// BenchmarkAblationBloomVsMap compares the Bloom filter signature store
+// against an exact hash set: lookup latency and memory (the trade §IV-C
+// motivates).
+func BenchmarkAblationBloomVsMap(b *testing.B) {
+	env := benchEnvironment(b)
+	db := env.Framework.DB
+	exact := make(map[string]struct{}, db.Size())
+	for _, s := range db.List {
+		exact[s] = struct{}{}
+	}
+	filter := env.Framework.Package.Filter
+
+	b.Run("bloom", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			filter.ContainsString(db.List[i%len(db.List)])
+		}
+		b.ReportMetric(float64(filter.SizeBytes()), "bytes")
+	})
+	b.Run("map", func(b *testing.B) {
+		var mapBytes int
+		for _, s := range db.List {
+			mapBytes += len(s) + 16
+		}
+		for i := 0; i < b.N; i++ {
+			_, ok := exact[db.List[i%len(db.List)]]
+			if !ok {
+				b.Fatal("missing")
+			}
+		}
+		b.ReportMetric(float64(mapBytes), "bytes")
+	})
+}
+
+// BenchmarkAblationDepth compares stacked depths 1 and 2 at equal budget
+// (why the paper stacks two LSTM layers).
+func BenchmarkAblationDepth(b *testing.B) {
+	env := benchEnvironment(b)
+	fw := env.Framework
+	seqs := core.BuildSequences(fw.Encoder, fw.Input, fw.DB, env.Split.Train, nil)
+	train := func(hidden []int) float64 {
+		model, err := nn.NewClassifier(fw.Input.Dim, hidden, fw.DB.Size(), 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		loss, err := nn.Train(model, seqs, nn.TrainConfig{
+			Epochs: 3, Window: 32, BatchSize: 8, LR: 2e-3, ClipNorm: 5, Seed: 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		det := &core.TimeSeriesDetector{Model: model, K: 4}
+		ranks := det.TopKRanks(fw.Encoder, fw.Input, fw.DB, env.Split.Validation)
+		miss := 0
+		for _, r := range ranks {
+			if r >= 4 {
+				miss++
+			}
+		}
+		_ = loss
+		return float64(miss) / float64(len(ranks))
+	}
+	var e1, e2 float64
+	for i := 0; i < b.N; i++ {
+		e1 = train([]int{45}) // ≈ parameter count of 2×32
+		e2 = train([]int{32, 32})
+	}
+	b.ReportMetric(e1, "err4/depth1")
+	b.ReportMetric(e2, "err4/depth2")
+}
+
+// BenchmarkAblationDynamicK compares the fixed trained k against the
+// adaptive-k controller (the paper's §IX future-work extension).
+func BenchmarkAblationDynamicK(b *testing.B) {
+	env := benchEnvironment(b)
+	var fixedF1, dynF1 float64
+	for i := 0; i < b.N; i++ {
+		fixed := env.Framework.Evaluate(env.Split.Test, core.ModeCombined)
+		fixedF1 = fixed.Summary.F1
+
+		sess, err := env.Framework.NewDynamicSession(
+			core.DefaultDynamicKConfig(env.Framework.Series.K))
+		if err != nil {
+			b.Fatal(err)
+		}
+		var conf struct{ tp, fp, tn, fn int }
+		for _, p := range env.Split.Test {
+			v := sess.Classify(p)
+			switch {
+			case v.Anomaly && p.IsAttack():
+				conf.tp++
+			case v.Anomaly:
+				conf.fp++
+			case p.IsAttack():
+				conf.fn++
+			default:
+				conf.tn++
+			}
+		}
+		prec := float64(conf.tp) / float64(conf.tp+conf.fp+1)
+		rec := float64(conf.tp) / float64(conf.tp+conf.fn+1)
+		if prec+rec > 0 {
+			dynF1 = 2 * prec * rec / (prec + rec)
+		}
+	}
+	b.ReportMetric(fixedF1, "f1/fixedK")
+	b.ReportMetric(dynF1, "f1/dynamicK")
+}

@@ -1,0 +1,68 @@
+// Command icsgen generates a simulated gas-pipeline SCADA capture with the
+// schema and attack taxonomy of the Morris dataset (paper §VII) and writes
+// it as ARFF.
+//
+// Usage:
+//
+//	icsgen -packages 60000 -seed 1 -out capture.arff
+//	icsgen -normal -packages 20000 -out clean.arff   # attack-free
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"icsdetect/internal/dataset"
+	"icsdetect/internal/gaspipeline"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "icsgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		packages = flag.Int("packages", 60000, "approximate capture size in packages")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		ratio    = flag.Float64("attack-ratio", 0.219, "target fraction of attack packages")
+		normal   = flag.Bool("normal", false, "generate attack-free traffic")
+		out      = flag.String("out", "-", "output path (- for stdout)")
+	)
+	flag.Parse()
+
+	cfg := gaspipeline.DefaultGenConfig(*packages, *seed)
+	cfg.AttackRatio = *ratio
+	if *normal {
+		cfg.AttackRatio = 0
+	}
+	ds, err := gaspipeline.Generate(cfg)
+	if err != nil {
+		return err
+	}
+
+	w := os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := dataset.WriteARFF(w, ds); err != nil {
+		return err
+	}
+	counts := ds.CountAttacks()
+	fmt.Fprintf(os.Stderr, "wrote %d packages (%d normal, %d attack)\n",
+		ds.Len(), counts[dataset.Normal], ds.Len()-counts[dataset.Normal])
+	for _, at := range dataset.AttackTypes {
+		if counts[at] > 0 {
+			fmt.Fprintf(os.Stderr, "  %-6s %6d\n", at, counts[at])
+		}
+	}
+	return nil
+}

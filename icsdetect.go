@@ -1,0 +1,132 @@
+// Package icsdetect is a Go implementation of the multi-level anomaly
+// detection framework for industrial control systems of Feng, Li & Chana
+// (DSN 2017): a Bloom-filter package-content detector over a learned
+// signature database, combined with a stacked LSTM softmax classifier that
+// flags packages whose signatures fall outside the top-k predicted set.
+//
+// The library is stdlib-only and ships with every substrate the paper
+// depends on: a gas pipeline SCADA simulator with the original dataset's
+// schema and attack taxonomy, a Modbus protocol stack, a from-scratch LSTM
+// trainer, the six comparison baselines of the paper's Table IV, and an
+// experiment harness that regenerates every table and figure.
+//
+// # Quickstart
+//
+//	ds, _ := icsdetect.GenerateDataset(icsdetect.DatasetOptions{Packages: 30000, Seed: 1})
+//	split, _ := icsdetect.Split(ds)
+//	det, report, _ := icsdetect.Train(split, icsdetect.DefaultTrainOptions())
+//	sess := det.NewSession()
+//	for _, pkg := range split.Test {
+//		if v := sess.Classify(pkg); v.Anomaly {
+//			// raise an alert
+//		}
+//	}
+//	_ = report
+//
+// See the examples directory for complete programs.
+package icsdetect
+
+import (
+	"io"
+
+	"icsdetect/internal/core"
+	"icsdetect/internal/dataset"
+	"icsdetect/internal/gaspipeline"
+	"icsdetect/internal/signature"
+)
+
+// Re-exported dataset types.
+type (
+	// Package is one ICS network package record (paper Table I).
+	Package = dataset.Package
+	// Dataset is an ordered package time series.
+	Dataset = dataset.Dataset
+	// AttackType labels the ground truth class (paper Table II).
+	AttackType = dataset.AttackType
+	// DataSplit is the chronological train/validation/test partition.
+	DataSplit = dataset.Split
+)
+
+// Re-exported attack classes.
+const (
+	Normal = dataset.Normal
+	NMRI   = dataset.NMRI
+	CMRI   = dataset.CMRI
+	MSCI   = dataset.MSCI
+	MPCI   = dataset.MPCI
+	MFCI   = dataset.MFCI
+	DOS    = dataset.DOS
+	Recon  = dataset.Recon
+)
+
+// Re-exported detector types.
+type (
+	// Detector is a trained two-level anomaly detection framework.
+	Detector = core.Framework
+	// Session is a streaming classification session over a Detector.
+	Session = core.Session
+	// Verdict is the per-package classification outcome.
+	Verdict = core.Verdict
+	// TrainReport captures training measurements (granularity, |S|, top-k
+	// curves, chosen k).
+	TrainReport = core.Report
+	// TrainOptions configures Train.
+	TrainOptions = core.Config
+	// Granularity is the feature discretization setting (paper Table III).
+	Granularity = signature.Granularity
+)
+
+// DatasetOptions configures GenerateDataset.
+type DatasetOptions struct {
+	// Packages is the approximate capture size.
+	Packages int
+	// Seed makes generation deterministic.
+	Seed uint64
+	// AttackRatio is the target fraction of attack packages; negative
+	// disables attacks entirely. Zero means the original dataset's ratio
+	// (≈ 0.219).
+	AttackRatio float64
+}
+
+// GenerateDataset produces a labeled simulated gas-pipeline capture with
+// the original dataset's schema (see internal/gaspipeline for the plant
+// model).
+func GenerateDataset(opts DatasetOptions) (*Dataset, error) {
+	cfg := gaspipeline.DefaultGenConfig(opts.Packages, opts.Seed)
+	switch {
+	case opts.AttackRatio < 0:
+		cfg.AttackRatio = 0
+	case opts.AttackRatio > 0:
+		cfg.AttackRatio = opts.AttackRatio
+	}
+	return gaspipeline.Generate(cfg)
+}
+
+// Split partitions a dataset 6:2:2 chronologically, removing anomalies and
+// short fragments from the train and validation parts (paper §VIII).
+func Split(ds *Dataset) (*DataSplit, error) {
+	return dataset.MakeSplit(ds, dataset.SplitConfig{})
+}
+
+// DefaultTrainOptions returns a configuration that trains in about a
+// minute on mid-size captures; PaperScaleTrainOptions matches the paper's
+// 2×256 LSTM and 50 epochs.
+func DefaultTrainOptions() TrainOptions { return core.DefaultConfig() }
+
+// PaperScaleTrainOptions returns the paper's full-scale configuration.
+func PaperScaleTrainOptions() TrainOptions { return core.PaperScale() }
+
+// Train fits the two-level framework on an attack-free split.
+func Train(split *DataSplit, opts TrainOptions) (*Detector, *TrainReport, error) {
+	return core.Train(split, opts)
+}
+
+// Load restores a detector saved with (*Detector).Save.
+func Load(r io.Reader) (*Detector, error) { return core.Load(r) }
+
+// ReadDatasetARFF parses a dataset in the ARFF format of the original
+// Morris gas pipeline capture.
+func ReadDatasetARFF(r io.Reader) (*Dataset, error) { return dataset.ReadARFF(r) }
+
+// WriteDatasetARFF serializes a dataset in ARFF.
+func WriteDatasetARFF(w io.Writer, ds *Dataset) error { return dataset.WriteARFF(w, ds) }

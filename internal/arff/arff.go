@@ -1,0 +1,307 @@
+// Package arff reads and writes the Attribute-Relation File Format used by
+// the Morris gas-pipeline dataset (paper §VII, Table I). It supports numeric
+// and nominal attributes, quoted values, comments, and missing values ("?"),
+// which covers everything the ICS datasets use.
+package arff
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// AttrType enumerates the supported attribute kinds.
+type AttrType int
+
+// Supported attribute kinds.
+const (
+	Numeric AttrType = iota + 1
+	Nominal
+	String
+)
+
+// Attribute describes one column of a relation.
+type Attribute struct {
+	Name   string
+	Type   AttrType
+	Values []string // nominal domain, in declaration order
+}
+
+// Relation is a fully loaded ARFF relation: header plus data rows. Numeric
+// cells are float64; nominal and string cells are string; missing cells are
+// nil.
+type Relation struct {
+	Name       string
+	Attributes []Attribute
+	Rows       [][]any
+}
+
+// AttrIndex returns the index of the named attribute, or -1.
+func (r *Relation) AttrIndex(name string) int {
+	for i, a := range r.Attributes {
+		if strings.EqualFold(a.Name, name) {
+			return i
+		}
+	}
+	return -1
+}
+
+// NumericColumn extracts the named numeric column; missing values become 0.
+func (r *Relation) NumericColumn(name string) ([]float64, error) {
+	idx := r.AttrIndex(name)
+	if idx < 0 {
+		return nil, fmt.Errorf("arff: no attribute %q", name)
+	}
+	if r.Attributes[idx].Type != Numeric {
+		return nil, fmt.Errorf("arff: attribute %q is not numeric", name)
+	}
+	out := make([]float64, len(r.Rows))
+	for i, row := range r.Rows {
+		if v, ok := row[idx].(float64); ok {
+			out[i] = v
+		}
+	}
+	return out, nil
+}
+
+// ParseError reports a malformed line with its 1-based line number.
+type ParseError struct {
+	Line int
+	Msg  string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("arff: line %d: %s", e.Line, e.Msg)
+}
+
+// Read parses an ARFF document.
+func Read(r io.Reader) (*Relation, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	rel := &Relation{}
+	inData := false
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		if !inData {
+			lower := strings.ToLower(line)
+			switch {
+			case strings.HasPrefix(lower, "@relation"):
+				rel.Name = unquote(strings.TrimSpace(line[len("@relation"):]))
+			case strings.HasPrefix(lower, "@attribute"):
+				attr, err := parseAttribute(line[len("@attribute"):])
+				if err != nil {
+					return nil, &ParseError{Line: lineNo, Msg: err.Error()}
+				}
+				rel.Attributes = append(rel.Attributes, attr)
+			case strings.HasPrefix(lower, "@data"):
+				inData = true
+			default:
+				return nil, &ParseError{Line: lineNo, Msg: "unknown directive: " + line}
+			}
+			continue
+		}
+		row, err := parseRow(line, rel.Attributes)
+		if err != nil {
+			return nil, &ParseError{Line: lineNo, Msg: err.Error()}
+		}
+		rel.Rows = append(rel.Rows, row)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("arff: read: %w", err)
+	}
+	if rel.Name == "" && len(rel.Attributes) == 0 {
+		return nil, &ParseError{Line: lineNo, Msg: "no @relation or @attribute found"}
+	}
+	return rel, nil
+}
+
+func parseAttribute(rest string) (Attribute, error) {
+	rest = strings.TrimSpace(rest)
+	if rest == "" {
+		return Attribute{}, fmt.Errorf("empty attribute declaration")
+	}
+	var name string
+	if rest[0] == '\'' || rest[0] == '"' {
+		q := rest[0]
+		end := strings.IndexByte(rest[1:], q)
+		if end < 0 {
+			return Attribute{}, fmt.Errorf("unterminated quoted attribute name")
+		}
+		name = rest[1 : 1+end]
+		rest = strings.TrimSpace(rest[2+end:])
+	} else {
+		sp := strings.IndexAny(rest, " \t")
+		if sp < 0 {
+			return Attribute{}, fmt.Errorf("attribute %q has no type", rest)
+		}
+		name = rest[:sp]
+		rest = strings.TrimSpace(rest[sp:])
+	}
+	lower := strings.ToLower(rest)
+	switch {
+	case lower == "numeric" || lower == "real" || lower == "integer":
+		return Attribute{Name: name, Type: Numeric}, nil
+	case lower == "string":
+		return Attribute{Name: name, Type: String}, nil
+	case strings.HasPrefix(rest, "{") && strings.HasSuffix(rest, "}"):
+		inner := rest[1 : len(rest)-1]
+		parts := splitCSV(inner)
+		vals := make([]string, 0, len(parts))
+		for _, p := range parts {
+			vals = append(vals, unquote(strings.TrimSpace(p)))
+		}
+		return Attribute{Name: name, Type: Nominal, Values: vals}, nil
+	default:
+		return Attribute{}, fmt.Errorf("attribute %q has unsupported type %q", name, rest)
+	}
+}
+
+func parseRow(line string, attrs []Attribute) ([]any, error) {
+	parts := splitCSV(line)
+	if len(parts) != len(attrs) {
+		return nil, fmt.Errorf("row has %d values, want %d", len(parts), len(attrs))
+	}
+	row := make([]any, len(parts))
+	for i, raw := range parts {
+		raw = unquote(strings.TrimSpace(raw))
+		if raw == "?" {
+			row[i] = nil
+			continue
+		}
+		switch attrs[i].Type {
+		case Numeric:
+			v, err := strconv.ParseFloat(raw, 64)
+			if err != nil {
+				return nil, fmt.Errorf("column %q: bad numeric %q", attrs[i].Name, raw)
+			}
+			row[i] = v
+		case Nominal:
+			if !contains(attrs[i].Values, raw) {
+				return nil, fmt.Errorf("column %q: value %q not in nominal domain", attrs[i].Name, raw)
+			}
+			row[i] = raw
+		case String:
+			row[i] = raw
+		default:
+			return nil, fmt.Errorf("column %q: unknown attribute type", attrs[i].Name)
+		}
+	}
+	return row, nil
+}
+
+// splitCSV splits on commas that are outside single/double quotes.
+func splitCSV(s string) []string {
+	var parts []string
+	var b strings.Builder
+	var quote byte
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case quote != 0:
+			if c == quote {
+				quote = 0
+			}
+			b.WriteByte(c)
+		case c == '\'' || c == '"':
+			quote = c
+			b.WriteByte(c)
+		case c == ',':
+			parts = append(parts, b.String())
+			b.Reset()
+		default:
+			b.WriteByte(c)
+		}
+	}
+	parts = append(parts, b.String())
+	return parts
+}
+
+func unquote(s string) string {
+	if len(s) >= 2 {
+		if (s[0] == '\'' && s[len(s)-1] == '\'') || (s[0] == '"' && s[len(s)-1] == '"') {
+			return s[1 : len(s)-1]
+		}
+	}
+	return s
+}
+
+func contains(vals []string, v string) bool {
+	for _, x := range vals {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Write serializes the relation in canonical ARFF form. Numeric values use
+// the shortest round-trippable representation; nominal values are quoted only
+// when they contain separators.
+func Write(w io.Writer, rel *Relation) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "@relation %s\n\n", quoteIfNeeded(rel.Name)); err != nil {
+		return fmt.Errorf("arff: write: %w", err)
+	}
+	for _, a := range rel.Attributes {
+		switch a.Type {
+		case Numeric:
+			fmt.Fprintf(bw, "@attribute %s numeric\n", quoteIfNeeded(a.Name))
+		case String:
+			fmt.Fprintf(bw, "@attribute %s string\n", quoteIfNeeded(a.Name))
+		case Nominal:
+			vals := make([]string, len(a.Values))
+			for i, v := range a.Values {
+				vals[i] = quoteIfNeeded(v)
+			}
+			fmt.Fprintf(bw, "@attribute %s {%s}\n", quoteIfNeeded(a.Name), strings.Join(vals, ","))
+		}
+	}
+	fmt.Fprintf(bw, "\n@data\n")
+	for _, row := range rel.Rows {
+		for i, cell := range row {
+			if i > 0 {
+				bw.WriteByte(',')
+			}
+			switch v := cell.(type) {
+			case nil:
+				bw.WriteByte('?')
+			case float64:
+				bw.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
+			case string:
+				bw.WriteString(quoteIfNeeded(v))
+			default:
+				return fmt.Errorf("arff: unsupported cell type %T", cell)
+			}
+		}
+		bw.WriteByte('\n')
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("arff: write: %w", err)
+	}
+	return nil
+}
+
+func quoteIfNeeded(s string) string {
+	if s == "" {
+		return "''"
+	}
+	if !strings.ContainsAny(s, " ,{}'\"\t%") {
+		return s
+	}
+	if !strings.Contains(s, "'") {
+		return "'" + s + "'"
+	}
+	if !strings.Contains(s, "\"") {
+		return "\"" + s + "\""
+	}
+	// Contains both quote kinds; ARFF has no universally supported escape,
+	// so sanitize the single quotes.
+	return "'" + strings.ReplaceAll(s, "'", "_") + "'"
+}

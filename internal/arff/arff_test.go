@@ -1,0 +1,195 @@
+package arff
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"icsdetect/internal/mathx"
+)
+
+const sample = `% gas pipeline excerpt
+@relation gas_pipeline
+
+@attribute address numeric
+@attribute 'control scheme' {pump,solenoid}
+@attribute comment string
+
+@data
+4,pump,'hello world'
+7,solenoid,plain
+?,pump,?
+`
+
+func TestReadBasics(t *testing.T) {
+	rel, err := Read(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Name != "gas_pipeline" {
+		t.Errorf("relation name = %q", rel.Name)
+	}
+	if len(rel.Attributes) != 3 {
+		t.Fatalf("attributes = %d", len(rel.Attributes))
+	}
+	if rel.Attributes[1].Name != "control scheme" || rel.Attributes[1].Type != Nominal {
+		t.Errorf("attribute 1 = %+v", rel.Attributes[1])
+	}
+	if len(rel.Rows) != 3 {
+		t.Fatalf("rows = %d", len(rel.Rows))
+	}
+	if v, ok := rel.Rows[0][0].(float64); !ok || v != 4 {
+		t.Errorf("row 0 col 0 = %v", rel.Rows[0][0])
+	}
+	if rel.Rows[0][2] != "hello world" {
+		t.Errorf("quoted string = %v", rel.Rows[0][2])
+	}
+	if rel.Rows[2][0] != nil || rel.Rows[2][2] != nil {
+		t.Error("missing values not nil")
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := map[string]string{
+		"unknown directive": "@bogus x\n@data\n",
+		"bad nominal":       "@relation r\n@attribute a {x,y}\n@data\nz\n",
+		"bad numeric":       "@relation r\n@attribute a numeric\n@data\nnotanumber\n",
+		"wrong columns":     "@relation r\n@attribute a numeric\n@data\n1,2\n",
+		"no header":         "just text that is not arff",
+		"bad type":          "@relation r\n@attribute a funky\n@data\n",
+	}
+	for name, doc := range cases {
+		if _, err := Read(strings.NewReader(doc)); err == nil {
+			t.Errorf("%s: no error", name)
+		}
+	}
+}
+
+func TestNumericColumn(t *testing.T) {
+	rel, err := Read(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	col, err := rel.NumericColumn("address")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(col) != 3 || col[0] != 4 || col[1] != 7 || col[2] != 0 {
+		t.Errorf("column = %v", col)
+	}
+	if _, err := rel.NumericColumn("comment"); err == nil {
+		t.Error("string column accepted as numeric")
+	}
+	if _, err := rel.NumericColumn("nope"); err == nil {
+		t.Error("missing column accepted")
+	}
+}
+
+// randomRelation builds an arbitrary valid relation for the round-trip
+// property test.
+func randomRelation(rng *mathx.RNG) *Relation {
+	rel := &Relation{Name: "rel_" + string(rune('a'+rng.Intn(26)))}
+	nAttr := 1 + rng.Intn(5)
+	for i := 0; i < nAttr; i++ {
+		switch rng.Intn(3) {
+		case 0:
+			rel.Attributes = append(rel.Attributes, Attribute{
+				Name: attrName(rng, i), Type: Numeric})
+		case 1:
+			vals := []string{"alpha", "beta beta", "gamma,delta"}
+			rel.Attributes = append(rel.Attributes, Attribute{
+				Name: attrName(rng, i), Type: Nominal, Values: vals[:1+rng.Intn(3)]})
+		default:
+			rel.Attributes = append(rel.Attributes, Attribute{
+				Name: attrName(rng, i), Type: String})
+		}
+	}
+	nRows := rng.Intn(20)
+	for r := 0; r < nRows; r++ {
+		row := make([]any, nAttr)
+		for i, a := range rel.Attributes {
+			if rng.Bernoulli(0.1) {
+				row[i] = nil
+				continue
+			}
+			switch a.Type {
+			case Numeric:
+				row[i] = math.Round(rng.NormScaled(0, 100)*1000) / 1000
+			case Nominal:
+				row[i] = a.Values[rng.Intn(len(a.Values))]
+			default:
+				row[i] = "s" + string(rune('a'+rng.Intn(26)))
+			}
+		}
+		rel.Rows = append(rel.Rows, row)
+	}
+	return rel
+}
+
+func attrName(rng *mathx.RNG, i int) string {
+	names := []string{"plain", "with space", "comma,name", "tick'name"}
+	return names[rng.Intn(len(names))] + string(rune('0'+i))
+}
+
+// TestWriteReadRoundTrip: write ∘ read = id for arbitrary relations, the
+// invariant the dataset layer depends on.
+func TestWriteReadRoundTrip(t *testing.T) {
+	rng := mathx.NewRNG(11)
+	f := func() bool {
+		rel := randomRelation(rng)
+		var buf bytes.Buffer
+		if err := Write(&buf, rel); err != nil {
+			t.Logf("write: %v", err)
+			return false
+		}
+		back, err := Read(&buf)
+		if err != nil {
+			t.Logf("read back: %v\n%s", err, buf.String())
+			return false
+		}
+		if back.Name != rel.Name || len(back.Attributes) != len(rel.Attributes) ||
+			len(back.Rows) != len(rel.Rows) {
+			return false
+		}
+		for i := range rel.Rows {
+			for j := range rel.Rows[i] {
+				a, b := rel.Rows[i][j], back.Rows[i][j]
+				switch av := a.(type) {
+				case nil:
+					if b != nil {
+						return false
+					}
+				case float64:
+					bv, ok := b.(float64)
+					if !ok || av != bv {
+						return false
+					}
+				case string:
+					if av != b {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLargeLineHandling(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("@relation big\n@attribute s string\n@data\n")
+	b.WriteString(strings.Repeat("x", 200000))
+	b.WriteString("\n")
+	rel, err := Read(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rel.Rows) != 1 || len(rel.Rows[0][0].(string)) != 200000 {
+		t.Error("long line mangled")
+	}
+}

@@ -1,0 +1,149 @@
+package baselines_test
+
+import (
+	"testing"
+
+	"icsdetect/internal/baselines"
+	"icsdetect/internal/dataset"
+	"icsdetect/internal/gaspipeline"
+	"icsdetect/internal/signature"
+)
+
+// fixture builds shared windows for the baseline tests.
+type fixture struct {
+	train []*baselines.Window
+	test  []*baselines.Window
+}
+
+var sharedFixture *fixture
+
+func loadFixture(t *testing.T) *fixture {
+	t.Helper()
+	if sharedFixture != nil {
+		return sharedFixture
+	}
+	ds, err := gaspipeline.Generate(gaspipeline.DefaultGenConfig(8000, 7))
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	split, err := dataset.MakeSplit(ds, dataset.SplitConfig{})
+	if err != nil {
+		t.Fatalf("split: %v", err)
+	}
+	g := signature.Granularity{IntervalClusters: 2, CRCClusters: 2, PressureBins: 5, SetpointBins: 3, PIDClusters: 2}
+	enc, err := signature.FitEncoder(split.Train, g, 1)
+	if err != nil {
+		t.Fatalf("fit encoder: %v", err)
+	}
+	wz, err := baselines.NewWindowizer(enc, split.Train)
+	if err != nil {
+		t.Fatalf("windowizer: %v", err)
+	}
+	sharedFixture = &fixture{
+		train: wz.FromFragments(split.Train),
+		test:  wz.FromStream(split.Test),
+	}
+	return sharedFixture
+}
+
+func countAttackWindows(ws []*baselines.Window) int {
+	n := 0
+	for _, w := range ws {
+		if w.IsAttack() {
+			n++
+		}
+	}
+	return n
+}
+
+func TestWindowizer(t *testing.T) {
+	fx := loadFixture(t)
+	if len(fx.train) == 0 || len(fx.test) == 0 {
+		t.Fatalf("empty windows: train=%d test=%d", len(fx.train), len(fx.test))
+	}
+	for _, w := range fx.train {
+		if w.IsAttack() {
+			t.Fatalf("training window contains attack label %v", w.Label)
+		}
+		if len(w.Sample) != baselines.WindowSize*17 {
+			t.Fatalf("sample dim %d, want %d", len(w.Sample), baselines.WindowSize*17)
+		}
+		if len(w.Sigs) != baselines.WindowSize {
+			t.Fatalf("window has %d signatures, want %d", len(w.Sigs), baselines.WindowSize)
+		}
+	}
+	if a := countAttackWindows(fx.test); a == 0 {
+		t.Fatal("test windows contain no attacks")
+	}
+}
+
+func evaluateScorer(t *testing.T, s baselines.Scorer, minF1 float64) *baselines.Result {
+	t.Helper()
+	fx := loadFixture(t)
+	res, err := baselines.Evaluate(s, fx.test, 0.7)
+	if err != nil {
+		t.Fatalf("evaluate %s: %v", s.Name(), err)
+	}
+	t.Logf("%s: %v thr=%.4g", res.Name, res.Summary, res.Threshold)
+	if res.Summary.F1 < minF1 {
+		t.Errorf("%s F1 = %.3f, want >= %.2f", s.Name(), res.Summary.F1, minF1)
+	}
+	return res
+}
+
+func TestBFBaseline(t *testing.T) {
+	fx := loadFixture(t)
+	bf, err := baselines.NewBF(fx.train, 0.005)
+	if err != nil {
+		t.Fatalf("new bf: %v", err)
+	}
+	evaluateScorer(t, bf, 0.4)
+}
+
+func TestBayesNetBaseline(t *testing.T) {
+	fx := loadFixture(t)
+	bn, err := baselines.NewBayesNet(fx.train)
+	if err != nil {
+		t.Fatalf("new bn: %v", err)
+	}
+	evaluateScorer(t, bn, 0.4)
+}
+
+func TestSVDDBaseline(t *testing.T) {
+	fx := loadFixture(t)
+	svdd, err := baselines.NewSVDD(baselines.Samples(fx.train), baselines.SVDDConfig{Seed: 3})
+	if err != nil {
+		t.Fatalf("new svdd: %v", err)
+	}
+	t.Logf("svdd support vectors: %d", svdd.SupportVectors())
+	evaluateScorer(t, svdd, 0.1)
+}
+
+func TestIsolationForestBaseline(t *testing.T) {
+	fx := loadFixture(t)
+	f, err := baselines.NewIsolationForest(baselines.Samples(fx.train), baselines.IForestConfig{Seed: 4})
+	if err != nil {
+		t.Fatalf("new iforest: %v", err)
+	}
+	evaluateScorer(t, f, 0.05)
+}
+
+func TestGMMBaseline(t *testing.T) {
+	fx := loadFixture(t)
+	// GMM is unsupervised: fitted on the unlabeled test traffic, per [52].
+	g, err := baselines.NewGMM(baselines.Samples(fx.test), baselines.GMMConfig{Seed: 5})
+	if err != nil {
+		t.Fatalf("new gmm: %v", err)
+	}
+	evaluateScorer(t, g, 0.05)
+}
+
+func TestPCASVDBaseline(t *testing.T) {
+	fx := loadFixture(t)
+	p, err := baselines.NewPCASVD(baselines.Samples(fx.test), baselines.PCAConfig{Seed: 6})
+	if err != nil {
+		t.Fatalf("new pca: %v", err)
+	}
+	t.Logf("pca components: %d", p.Components())
+	evaluateScorer(t, p, 0.05)
+}

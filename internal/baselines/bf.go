@@ -1,0 +1,52 @@
+package baselines
+
+import (
+	"strings"
+
+	"icsdetect/internal/bloom"
+)
+
+// Scorer assigns an anomaly score to a window; higher means more anomalous.
+// A window is classified anomalous when the score exceeds a threshold tuned
+// by TuneThreshold.
+type Scorer interface {
+	Name() string
+	Score(w *Window) float64
+}
+
+// BF is the 4-package Bloom filter baseline: the concatenated signatures of
+// a command-response cycle form one composite signature stored in a Bloom
+// filter ("the Bloom filter used here is different than the one we used for
+// package level anomaly detector", §VIII-C).
+type BF struct {
+	filter *bloom.Filter
+}
+
+var _ Scorer = (*BF)(nil)
+
+// NewBF builds the filter over the training windows.
+func NewBF(train []*Window, fp float64) (*BF, error) {
+	f, err := bloom.NewWithEstimates(uint64(len(train)+1), fp)
+	if err != nil {
+		return nil, err
+	}
+	for _, w := range train {
+		f.AddString(compositeSig(w))
+	}
+	return &BF{filter: f}, nil
+}
+
+func compositeSig(w *Window) string {
+	return strings.Join(w.Sigs, "|")
+}
+
+// Name implements Scorer.
+func (b *BF) Name() string { return "BF" }
+
+// Score returns 1 for windows whose composite signature is unknown.
+func (b *BF) Score(w *Window) float64 {
+	if b.filter.ContainsString(compositeSig(w)) {
+		return 0
+	}
+	return 1
+}

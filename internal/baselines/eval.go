@@ -1,0 +1,117 @@
+package baselines
+
+import (
+	"fmt"
+	"sort"
+
+	"icsdetect/internal/dataset"
+	"icsdetect/internal/metrics"
+)
+
+// TuneThreshold picks the score threshold maximizing F1 subject to accuracy
+// above minAccuracy, the paper's tuning rule ("their hyper-parameters are
+// tuned to get best F1-score with accuracy above 0.7", §VIII-C). If no
+// threshold reaches minAccuracy, the best-F1 threshold is returned.
+func TuneThreshold(scores []float64, anomalous []bool, minAccuracy float64) (float64, metrics.Summary, error) {
+	if len(scores) == 0 || len(scores) != len(anomalous) {
+		return 0, metrics.Summary{}, fmt.Errorf("baselines: tune over %d scores / %d labels",
+			len(scores), len(anomalous))
+	}
+	type pair struct {
+		score   float64
+		anomaly bool
+	}
+	pairs := make([]pair, len(scores))
+	for i := range scores {
+		pairs[i] = pair{scores[i], anomalous[i]}
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].score > pairs[j].score })
+
+	totalPos := 0
+	for _, p := range pairs {
+		if p.anomaly {
+			totalPos++
+		}
+	}
+	n := len(pairs)
+
+	// Sweep: predict anomalous for the top-i scores. Thresholds are the
+	// midpoints between consecutive distinct scores.
+	var (
+		bestF1, bestConstrainedF1   float64 = -1, -1
+		bestThr, bestConstrainedThr float64
+		bestSum, bestConstrainedSum metrics.Summary
+	)
+	tp := 0
+	for i := 0; i <= n; i++ {
+		if i > 0 && pairs[i-1].anomaly {
+			tp++
+		}
+		// Only cut between distinct scores (and the two extremes).
+		if i < n && i > 0 && pairs[i].score == pairs[i-1].score {
+			continue
+		}
+		fp := i - tp
+		fn := totalPos - tp
+		tn := n - i - fn
+		c := metrics.Confusion{TP: tp, FP: fp, FN: fn, TN: tn}
+		sum := metrics.Summarize(&c)
+		var thr float64
+		switch {
+		case i == 0:
+			thr = pairs[0].score + 1
+		case i == n:
+			thr = pairs[n-1].score - 1
+		default:
+			thr = (pairs[i-1].score + pairs[i].score) / 2
+		}
+		if sum.F1 > bestF1 {
+			bestF1, bestThr, bestSum = sum.F1, thr, sum
+		}
+		if sum.Accuracy >= minAccuracy && sum.F1 > bestConstrainedF1 {
+			bestConstrainedF1, bestConstrainedThr, bestConstrainedSum = sum.F1, thr, sum
+		}
+	}
+	if bestConstrainedF1 >= 0 {
+		return bestConstrainedThr, bestConstrainedSum, nil
+	}
+	return bestThr, bestSum, nil
+}
+
+// Result is the evaluation of one baseline over a test stream.
+type Result struct {
+	Name      string
+	Threshold float64
+	Summary   metrics.Summary
+	PerAttack *metrics.PerAttack
+}
+
+// Evaluate scores the windows, tunes the threshold per the paper's rule and
+// reports window-level metrics plus per-attack package recall (a detected
+// window credits all of its attack packages, since the baseline's verdict
+// applies to the whole command-response cycle).
+func Evaluate(s Scorer, windows []*Window, minAccuracy float64) (*Result, error) {
+	if len(windows) == 0 {
+		return nil, fmt.Errorf("baselines: no windows to evaluate")
+	}
+	scores := make([]float64, len(windows))
+	labels := make([]bool, len(windows))
+	for i, w := range windows {
+		scores[i] = s.Score(w)
+		labels[i] = w.IsAttack()
+	}
+	thr, sum, err := TuneThreshold(scores, labels, minAccuracy)
+	if err != nil {
+		return nil, err
+	}
+	per := metrics.NewPerAttack()
+	for i, w := range windows {
+		detected := scores[i] >= thr
+		for _, p := range w.Packages {
+			if p.Label != dataset.Normal {
+				per.Add(p.Label, detected)
+			}
+		}
+	}
+	return &Result{Name: s.Name(), Threshold: thr, Summary: sum, PerAttack: per}, nil
+}

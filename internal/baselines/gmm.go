@@ -1,0 +1,198 @@
+package baselines
+
+import (
+	"fmt"
+	"math"
+
+	"icsdetect/internal/mathx"
+)
+
+// GMM is the Gaussian Mixture Model baseline from [52]: an unsupervised
+// diagonal-covariance mixture fitted with EM on unlabeled traffic
+// (anomalies included, per the paper's description of the unsupervised
+// comparison models). The anomaly score is the negative log-likelihood.
+type GMM struct {
+	weights []float64
+	means   [][]float64
+	vars    [][]float64
+	// logNorm[k] = −0.5 Σ_d log(2π σ²_kd), precomputed.
+	logNorm []float64
+}
+
+var _ Scorer = (*GMM)(nil)
+
+// GMMConfig bundles the mixture hyper-parameters.
+type GMMConfig struct {
+	Components int // default 8
+	MaxIter    int // default 60
+	Tol        float64
+	Seed       uint64
+}
+
+// NewGMM fits the mixture with EM (k-means++-style seeding on means).
+func NewGMM(data [][]float64, cfg GMMConfig) (*GMM, error) {
+	if len(data) == 0 {
+		return nil, fmt.Errorf("baselines: gmm needs data")
+	}
+	if cfg.Components <= 0 {
+		cfg.Components = 8
+	}
+	if cfg.Components > len(data) {
+		cfg.Components = len(data)
+	}
+	if cfg.MaxIter <= 0 {
+		cfg.MaxIter = 60
+	}
+	if cfg.Tol <= 0 {
+		cfg.Tol = 1e-4
+	}
+	k := cfg.Components
+	dim := len(data[0])
+	rng := mathx.NewRNG(cfg.Seed)
+
+	g := &GMM{
+		weights: make([]float64, k),
+		means:   make([][]float64, k),
+		vars:    make([][]float64, k),
+		logNorm: make([]float64, k),
+	}
+	// Init: random distinct points as means, global variance.
+	globalVar := make([]float64, dim)
+	globalMean := make([]float64, dim)
+	for _, x := range data {
+		mathx.Axpy(globalMean, 1, x)
+	}
+	for d := range globalMean {
+		globalMean[d] /= float64(len(data))
+	}
+	for _, x := range data {
+		for d := range x {
+			diff := x[d] - globalMean[d]
+			globalVar[d] += diff * diff
+		}
+	}
+	for d := range globalVar {
+		globalVar[d] = globalVar[d]/float64(len(data)) + 1e-6
+	}
+	perm := rng.Perm(len(data))
+	for j := 0; j < k; j++ {
+		g.weights[j] = 1 / float64(k)
+		g.means[j] = append([]float64(nil), data[perm[j%len(perm)]]...)
+		g.vars[j] = append([]float64(nil), globalVar...)
+	}
+	g.refreshNorm()
+
+	resp := make([]float64, k)
+	prevLL := math.Inf(-1)
+	for iter := 0; iter < cfg.MaxIter; iter++ {
+		// Accumulators.
+		nk := make([]float64, k)
+		sum := make([][]float64, k)
+		sqsum := make([][]float64, k)
+		for j := 0; j < k; j++ {
+			sum[j] = make([]float64, dim)
+			sqsum[j] = make([]float64, dim)
+		}
+		var ll float64
+		for _, x := range data {
+			// E step for one point (log-space responsibilities).
+			var maxLog float64 = math.Inf(-1)
+			for j := 0; j < k; j++ {
+				resp[j] = math.Log(g.weights[j]+1e-300) + g.logDensity(j, x)
+				if resp[j] > maxLog {
+					maxLog = resp[j]
+				}
+			}
+			var z float64
+			for j := 0; j < k; j++ {
+				resp[j] = math.Exp(resp[j] - maxLog)
+				z += resp[j]
+			}
+			ll += maxLog + math.Log(z)
+			// M-step accumulation.
+			for j := 0; j < k; j++ {
+				r := resp[j] / z
+				nk[j] += r
+				for d := 0; d < dim; d++ {
+					sum[j][d] += r * x[d]
+					sqsum[j][d] += r * x[d] * x[d]
+				}
+			}
+		}
+		// M step.
+		for j := 0; j < k; j++ {
+			if nk[j] < 1e-8 {
+				// Dead component: re-seed at a random point.
+				g.means[j] = append([]float64(nil), data[rng.Intn(len(data))]...)
+				g.vars[j] = append([]float64(nil), globalVar...)
+				g.weights[j] = 1e-6
+				continue
+			}
+			g.weights[j] = nk[j] / float64(len(data))
+			for d := 0; d < dim; d++ {
+				mu := sum[j][d] / nk[j]
+				g.means[j][d] = mu
+				g.vars[j][d] = math.Max(sqsum[j][d]/nk[j]-mu*mu, 1e-6)
+			}
+		}
+		normalizeWeights(g.weights)
+		g.refreshNorm()
+		if math.Abs(ll-prevLL) < cfg.Tol*math.Abs(ll) {
+			break
+		}
+		prevLL = ll
+	}
+	return g, nil
+}
+
+func normalizeWeights(w []float64) {
+	var s float64
+	for _, v := range w {
+		s += v
+	}
+	for i := range w {
+		w[i] /= s
+	}
+}
+
+func (g *GMM) refreshNorm() {
+	for j := range g.logNorm {
+		var s float64
+		for _, v := range g.vars[j] {
+			s += math.Log(2 * math.Pi * v)
+		}
+		g.logNorm[j] = -0.5 * s
+	}
+}
+
+// logDensity returns log N(x; μ_j, diag σ²_j).
+func (g *GMM) logDensity(j int, x []float64) float64 {
+	var q float64
+	mu, va := g.means[j], g.vars[j]
+	for d := range x {
+		diff := x[d] - mu[d]
+		q += diff * diff / va[d]
+	}
+	return g.logNorm[j] - 0.5*q
+}
+
+// Name implements Scorer.
+func (g *GMM) Name() string { return "GMM" }
+
+// Score returns the negative log-likelihood of the window.
+func (g *GMM) Score(w *Window) float64 {
+	x := w.Sample
+	maxLog := math.Inf(-1)
+	logs := make([]float64, len(g.weights))
+	for j := range g.weights {
+		logs[j] = math.Log(g.weights[j]+1e-300) + g.logDensity(j, x)
+		if logs[j] > maxLog {
+			maxLog = logs[j]
+		}
+	}
+	var z float64
+	for _, l := range logs {
+		z += math.Exp(l - maxLog)
+	}
+	return -(maxLog + math.Log(z))
+}

@@ -1,0 +1,145 @@
+package baselines
+
+import (
+	"fmt"
+	"math"
+
+	"icsdetect/internal/mathx"
+)
+
+// IsolationForest implements Liu, Ting & Zhou's Isolation Forest [55]:
+// anomalies are isolated by fewer random axis-aligned splits, so short
+// average path lengths score high.
+type IsolationForest struct {
+	trees    []*isoNode
+	sub      int
+	expected float64 // c(sub): average unsuccessful BST search length
+}
+
+var _ Scorer = (*IsolationForest)(nil)
+
+type isoNode struct {
+	// Leaf fields.
+	size int
+	// Internal fields.
+	attr  int
+	split float64
+	left  *isoNode
+	right *isoNode
+}
+
+// IForestConfig bundles the forest hyper-parameters (paper defaults of the
+// original algorithm: 100 trees, subsample 256).
+type IForestConfig struct {
+	Trees     int
+	Subsample int
+	Seed      uint64
+}
+
+// NewIsolationForest fits the forest.
+func NewIsolationForest(train [][]float64, cfg IForestConfig) (*IsolationForest, error) {
+	if len(train) == 0 {
+		return nil, fmt.Errorf("baselines: isolation forest needs training samples")
+	}
+	if cfg.Trees <= 0 {
+		cfg.Trees = 100
+	}
+	if cfg.Subsample <= 0 {
+		cfg.Subsample = 256
+	}
+	if cfg.Subsample > len(train) {
+		cfg.Subsample = len(train)
+	}
+	rng := mathx.NewRNG(cfg.Seed)
+	maxDepth := int(math.Ceil(math.Log2(float64(cfg.Subsample)))) + 1
+
+	f := &IsolationForest{sub: cfg.Subsample, expected: avgPathLength(cfg.Subsample)}
+	for t := 0; t < cfg.Trees; t++ {
+		perm := rng.Perm(len(train))
+		sample := make([][]float64, cfg.Subsample)
+		for i := 0; i < cfg.Subsample; i++ {
+			sample[i] = train[perm[i]]
+		}
+		f.trees = append(f.trees, buildIsoTree(sample, 0, maxDepth, rng))
+	}
+	return f, nil
+}
+
+func buildIsoTree(data [][]float64, depth, maxDepth int, rng *mathx.RNG) *isoNode {
+	if len(data) <= 1 || depth >= maxDepth {
+		return &isoNode{size: len(data)}
+	}
+	dim := len(data[0])
+	// Pick an attribute with spread; give up after a few tries (all-equal
+	// subsample).
+	for try := 0; try < 8; try++ {
+		attr := rng.Intn(dim)
+		lo, hi := data[0][attr], data[0][attr]
+		for _, x := range data[1:] {
+			if x[attr] < lo {
+				lo = x[attr]
+			}
+			if x[attr] > hi {
+				hi = x[attr]
+			}
+		}
+		if hi <= lo {
+			continue
+		}
+		split := rng.Range(lo, hi)
+		var left, right [][]float64
+		for _, x := range data {
+			if x[attr] < split {
+				left = append(left, x)
+			} else {
+				right = append(right, x)
+			}
+		}
+		if len(left) == 0 || len(right) == 0 {
+			continue
+		}
+		return &isoNode{
+			attr:  attr,
+			split: split,
+			left:  buildIsoTree(left, depth+1, maxDepth, rng),
+			right: buildIsoTree(right, depth+1, maxDepth, rng),
+		}
+	}
+	return &isoNode{size: len(data)}
+}
+
+// avgPathLength is c(n), the average path length of an unsuccessful BST
+// search, used to normalize scores.
+func avgPathLength(n int) float64 {
+	if n <= 1 {
+		return 0
+	}
+	h := math.Log(float64(n-1)) + 0.5772156649015329 // harmonic number approx
+	return 2*h - 2*float64(n-1)/float64(n)
+}
+
+func pathLength(node *isoNode, x []float64, depth int) float64 {
+	for node.left != nil {
+		if x[node.attr] < node.split {
+			node = node.left
+		} else {
+			node = node.right
+		}
+		depth++
+	}
+	return float64(depth) + avgPathLength(node.size)
+}
+
+// Name implements Scorer.
+func (f *IsolationForest) Name() string { return "IF" }
+
+// Score returns the anomaly score 2^(−E[h(x)]/c(ψ)) ∈ (0,1]; values near 1
+// are anomalies.
+func (f *IsolationForest) Score(w *Window) float64 {
+	var sum float64
+	for _, t := range f.trees {
+		sum += pathLength(t, w.Sample, 0)
+	}
+	mean := sum / float64(len(f.trees))
+	return math.Pow(2, -mean/f.expected)
+}

@@ -1,0 +1,164 @@
+package baselines
+
+import (
+	"fmt"
+	"math"
+
+	"icsdetect/internal/mathx"
+)
+
+// PCASVD is the PCA with Singular Value Decomposition baseline from [52]:
+// fit the principal subspace of the (unlabeled) traffic and score each
+// window by its squared reconstruction error — anomalies project poorly
+// onto the normal subspace.
+//
+// The eigendecomposition of the covariance matrix is computed with
+// orthogonal (power) iteration with deflation, which is exactly the
+// truncated SVD of the centered data matrix.
+type PCASVD struct {
+	mean       []float64
+	components [][]float64 // top-q eigenvectors, unit norm
+}
+
+var _ Scorer = (*PCASVD)(nil)
+
+// PCAConfig bundles the PCA hyper-parameters.
+type PCAConfig struct {
+	// Components is the retained subspace dimension q; when 0, the smallest
+	// q explaining VarianceTarget of total variance is chosen.
+	Components int
+	// VarianceTarget defaults to 0.95.
+	VarianceTarget float64
+	// Iterations bounds each power iteration (default 100).
+	Iterations int
+	Seed       uint64
+}
+
+// NewPCASVD fits the subspace.
+func NewPCASVD(data [][]float64, cfg PCAConfig) (*PCASVD, error) {
+	if len(data) == 0 {
+		return nil, fmt.Errorf("baselines: pca needs data")
+	}
+	if cfg.VarianceTarget <= 0 || cfg.VarianceTarget > 1 {
+		cfg.VarianceTarget = 0.95
+	}
+	if cfg.Iterations <= 0 {
+		cfg.Iterations = 100
+	}
+	dim := len(data[0])
+	n := float64(len(data))
+
+	p := &PCASVD{mean: make([]float64, dim)}
+	for _, x := range data {
+		mathx.Axpy(p.mean, 1, x)
+	}
+	for d := range p.mean {
+		p.mean[d] /= n
+	}
+
+	// Covariance matrix (dim × dim); dim = 68 for 4-package windows, so
+	// this stays small.
+	cov := mathx.NewMatrix(dim, dim)
+	centered := make([]float64, dim)
+	for _, x := range data {
+		for d := range x {
+			centered[d] = x[d] - p.mean[d]
+		}
+		cov.AddOuter(1/n, centered, centered)
+	}
+	var totalVar float64
+	for d := 0; d < dim; d++ {
+		totalVar += cov.At(d, d)
+	}
+
+	maxComp := cfg.Components
+	if maxComp <= 0 || maxComp > dim {
+		maxComp = dim
+	}
+	rng := mathx.NewRNG(cfg.Seed + 7)
+	var explained float64
+	for q := 0; q < maxComp; q++ {
+		vec, eig := powerIteration(cov, cfg.Iterations, rng)
+		if eig <= 1e-10 {
+			break
+		}
+		p.components = append(p.components, vec)
+		explained += eig
+		// Deflate: cov -= eig * v vᵀ.
+		cov.AddOuter(-eig, vec, vec)
+		if cfg.Components <= 0 && totalVar > 0 && explained/totalVar >= cfg.VarianceTarget {
+			break
+		}
+	}
+	if len(p.components) == 0 {
+		return nil, fmt.Errorf("baselines: pca found no components (zero variance data)")
+	}
+	return p, nil
+}
+
+// powerIteration returns the dominant eigenvector and eigenvalue of m.
+func powerIteration(m *mathx.Matrix, iters int, rng *mathx.RNG) ([]float64, float64) {
+	dim := m.Rows
+	v := make([]float64, dim)
+	for i := range v {
+		v[i] = rng.NormScaled(0, 1)
+	}
+	normalize(v)
+	next := make([]float64, dim)
+	var eig float64
+	for it := 0; it < iters; it++ {
+		m.MulVec(next, v)
+		eig = mathx.Norm2(next)
+		if eig == 0 {
+			return v, 0
+		}
+		for i := range next {
+			next[i] /= eig
+		}
+		// Convergence check via alignment.
+		if math.Abs(mathx.Dot(next, v)) > 1-1e-12 {
+			copy(v, next)
+			break
+		}
+		copy(v, next)
+	}
+	return append([]float64(nil), v...), eig
+}
+
+func normalize(v []float64) {
+	n := mathx.Norm2(v)
+	if n == 0 {
+		v[0] = 1
+		return
+	}
+	for i := range v {
+		v[i] /= n
+	}
+}
+
+// Name implements Scorer.
+func (p *PCASVD) Name() string { return "PCA-SVD" }
+
+// Score returns the squared reconstruction error ‖x̃ − ΠΠᵀx̃‖² where x̃ is the
+// centered window and Π the component matrix.
+func (p *PCASVD) Score(w *Window) float64 {
+	dim := len(p.mean)
+	centered := make([]float64, dim)
+	for d := range centered {
+		centered[d] = w.Sample[d] - p.mean[d]
+	}
+	recon := make([]float64, dim)
+	for _, comp := range p.components {
+		proj := mathx.Dot(comp, centered)
+		mathx.Axpy(recon, proj, comp)
+	}
+	var err float64
+	for d := range centered {
+		diff := centered[d] - recon[d]
+		err += diff * diff
+	}
+	return err
+}
+
+// Components returns the retained subspace dimension.
+func (p *PCASVD) Components() int { return len(p.components) }

@@ -1,0 +1,210 @@
+// Package bloom implements the Bloom filter used as the package-content
+// level anomaly detector's signature store (paper §IV-C): an m-bit vector
+// with k hash functions, constant-time insert/lookup, no false negatives,
+// and a tunable false-positive rate.
+//
+// The k hash positions are derived from two independent 64-bit FNV-1a hashes
+// via Kirsch–Mitzenmacher double hashing, h_i(x) = h1(x) + i*h2(x) mod m,
+// which preserves the asymptotic false-positive rate of k independent hash
+// functions.
+package bloom
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math"
+)
+
+// Filter is a classic Bloom filter. The zero value is unusable; construct
+// with New or NewWithEstimates.
+type Filter struct {
+	bits []uint64
+	m    uint64 // number of bits
+	k    uint64 // number of hash functions
+	n    uint64 // number of inserted elements
+}
+
+// New creates a filter with m bits and k hash functions. m is rounded up to
+// a multiple of 64.
+func New(m, k uint64) (*Filter, error) {
+	if m == 0 || k == 0 {
+		return nil, fmt.Errorf("bloom: m and k must be positive (m=%d k=%d)", m, k)
+	}
+	words := (m + 63) / 64
+	return &Filter{bits: make([]uint64, words), m: words * 64, k: k}, nil
+}
+
+// NewWithEstimates creates a filter sized for n expected elements and target
+// false-positive probability p, using the standard optimal sizing
+// m = -n·ln p / (ln 2)² and k = (m/n)·ln 2.
+func NewWithEstimates(n uint64, p float64) (*Filter, error) {
+	if n == 0 {
+		n = 1
+	}
+	if p <= 0 || p >= 1 {
+		return nil, fmt.Errorf("bloom: p must be in (0,1), got %g", p)
+	}
+	m := uint64(math.Ceil(-float64(n) * math.Log(p) / (math.Ln2 * math.Ln2)))
+	k := uint64(math.Round(float64(m) / float64(n) * math.Ln2))
+	if k == 0 {
+		k = 1
+	}
+	return New(m, k)
+}
+
+// M returns the number of bits in the filter.
+func (f *Filter) M() uint64 { return f.m }
+
+// K returns the number of hash functions.
+func (f *Filter) K() uint64 { return f.k }
+
+// N returns the number of Add calls made (duplicates counted).
+func (f *Filter) N() uint64 { return f.n }
+
+// SizeBytes returns the memory footprint of the bit vector.
+func (f *Filter) SizeBytes() int { return len(f.bits) * 8 }
+
+func baseHashes(data []byte) (h1, h2 uint64) {
+	a := fnv.New64a()
+	a.Write(data) //nolint:errcheck // fnv never fails
+	h1 = a.Sum64()
+	b := fnv.New64()
+	b.Write(data)      //nolint:errcheck
+	h2 = b.Sum64() | 1 // force odd so the stride visits all positions
+	return h1, h2
+}
+
+// Add inserts data into the filter.
+func (f *Filter) Add(data []byte) {
+	h1, h2 := baseHashes(data)
+	for i := uint64(0); i < f.k; i++ {
+		pos := (h1 + i*h2) % f.m
+		f.bits[pos/64] |= 1 << (pos % 64)
+	}
+	f.n++
+}
+
+// AddString inserts a string key.
+func (f *Filter) AddString(s string) { f.Add([]byte(s)) }
+
+// Contains reports whether data is possibly in the set. False positives are
+// possible; false negatives are not.
+func (f *Filter) Contains(data []byte) bool {
+	h1, h2 := baseHashes(data)
+	for i := uint64(0); i < f.k; i++ {
+		pos := (h1 + i*h2) % f.m
+		if f.bits[pos/64]&(1<<(pos%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// ContainsString reports whether the string key is possibly in the set.
+func (f *Filter) ContainsString(s string) bool { return f.Contains([]byte(s)) }
+
+// EstimatedFPRate returns the analytic false-positive probability
+// (1 - e^{-kn/m})^k given the observed insert count.
+func (f *Filter) EstimatedFPRate() float64 {
+	if f.n == 0 {
+		return 0
+	}
+	return math.Pow(1-math.Exp(-float64(f.k*f.n)/float64(f.m)), float64(f.k))
+}
+
+// FillRatio returns the fraction of set bits, a diagnostic for saturation.
+func (f *Filter) FillRatio() float64 {
+	var set int
+	for _, w := range f.bits {
+		set += popcount(w)
+	}
+	return float64(set) / float64(f.m)
+}
+
+func popcount(x uint64) int {
+	// Hacker's Delight bit-parallel popcount; avoids math/bits only for no
+	// reason other than keeping this file self-explanatory — math/bits is
+	// stdlib and fine, but OnesCount64 compiles to the same POPCNT anyway.
+	x -= (x >> 1) & 0x5555555555555555
+	x = (x & 0x3333333333333333) + ((x >> 2) & 0x3333333333333333)
+	x = (x + (x >> 4)) & 0x0f0f0f0f0f0f0f0f
+	return int((x * 0x0101010101010101) >> 56)
+}
+
+// Union merges other into f in place. Filters must have identical geometry.
+func (f *Filter) Union(other *Filter) error {
+	if f.m != other.m || f.k != other.k {
+		return fmt.Errorf("bloom: union geometry mismatch (m=%d/%d k=%d/%d)",
+			f.m, other.m, f.k, other.k)
+	}
+	for i, w := range other.bits {
+		f.bits[i] |= w
+	}
+	f.n += other.n
+	return nil
+}
+
+// magic identifies the serialized filter format.
+var magic = [4]byte{'B', 'L', 'M', '1'}
+
+// WriteTo serializes the filter: magic, m, k, n, then the bit words, all
+// little-endian.
+func (f *Filter) WriteTo(w io.Writer) (int64, error) {
+	var total int64
+	hdr := make([]byte, 4+8*3)
+	copy(hdr, magic[:])
+	binary.LittleEndian.PutUint64(hdr[4:], f.m)
+	binary.LittleEndian.PutUint64(hdr[12:], f.k)
+	binary.LittleEndian.PutUint64(hdr[20:], f.n)
+	n, err := w.Write(hdr)
+	total += int64(n)
+	if err != nil {
+		return total, err
+	}
+	buf := make([]byte, 8)
+	for _, word := range f.bits {
+		binary.LittleEndian.PutUint64(buf, word)
+		n, err = w.Write(buf)
+		total += int64(n)
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// ReadFrom deserializes a filter previously written with WriteTo, replacing
+// the receiver's contents.
+func (f *Filter) ReadFrom(r io.Reader) (int64, error) {
+	var total int64
+	hdr := make([]byte, 4+8*3)
+	n, err := io.ReadFull(r, hdr)
+	total += int64(n)
+	if err != nil {
+		return total, err
+	}
+	if hdr[0] != magic[0] || hdr[1] != magic[1] || hdr[2] != magic[2] || hdr[3] != magic[3] {
+		return total, errors.New("bloom: bad magic in serialized filter")
+	}
+	m := binary.LittleEndian.Uint64(hdr[4:])
+	k := binary.LittleEndian.Uint64(hdr[12:])
+	cnt := binary.LittleEndian.Uint64(hdr[20:])
+	if m == 0 || m%64 != 0 || k == 0 {
+		return total, fmt.Errorf("bloom: invalid geometry in serialized filter (m=%d k=%d)", m, k)
+	}
+	bits := make([]uint64, m/64)
+	buf := make([]byte, 8)
+	for i := range bits {
+		n, err = io.ReadFull(r, buf)
+		total += int64(n)
+		if err != nil {
+			return total, err
+		}
+		bits[i] = binary.LittleEndian.Uint64(buf)
+	}
+	f.bits, f.m, f.k, f.n = bits, m, k, cnt
+	return total, nil
+}

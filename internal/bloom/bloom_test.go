@@ -1,0 +1,178 @@
+package bloom
+
+import (
+	"bytes"
+	"fmt"
+	"strconv"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewWithEstimatesGeometry(t *testing.T) {
+	f, err := NewWithEstimates(1000, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.M() == 0 || f.M()%64 != 0 {
+		t.Errorf("M = %d, want positive multiple of 64", f.M())
+	}
+	// Optimal sizing for p=0.01 is ~9.6 bits/element and ~7 hashes.
+	if bits := float64(f.M()) / 1000; bits < 9 || bits > 11 {
+		t.Errorf("bits per element = %.1f, want ~9.6", bits)
+	}
+	if f.K() < 5 || f.K() > 9 {
+		t.Errorf("K = %d, want ~7", f.K())
+	}
+}
+
+func TestNewErrors(t *testing.T) {
+	if _, err := New(0, 3); err == nil {
+		t.Error("m=0 accepted")
+	}
+	if _, err := New(64, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	for _, p := range []float64{0, 1, -0.5, 1.5} {
+		if _, err := NewWithEstimates(10, p); err == nil {
+			t.Errorf("p=%v accepted", p)
+		}
+	}
+}
+
+// TestNoFalseNegatives is the Bloom filter's defining guarantee and the
+// reason the package-level detector can never mask a known-normal package
+// (paper §IV-C: "False positive lookup results are possible but false
+// negatives are not").
+func TestNoFalseNegatives(t *testing.T) {
+	f, err := NewWithEstimates(5000, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(s string) bool {
+		f.AddString(s)
+		return f.ContainsString(s)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFalsePositiveRateNearTarget(t *testing.T) {
+	const n = 10000
+	target := 0.01
+	f, err := NewWithEstimates(n, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		f.AddString("member-" + strconv.Itoa(i))
+	}
+	fp := 0
+	const probes = 20000
+	for i := 0; i < probes; i++ {
+		if f.ContainsString("absent-" + strconv.Itoa(i)) {
+			fp++
+		}
+	}
+	rate := float64(fp) / probes
+	if rate > 3*target {
+		t.Errorf("observed FP rate %.4f exceeds 3x target %.3f", rate, target)
+	}
+	if est := f.EstimatedFPRate(); est > 2*target {
+		t.Errorf("analytic estimate %.4f far above target %.3f", est, target)
+	}
+}
+
+func TestEmptyFilterContainsNothing(t *testing.T) {
+	f, err := New(1024, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if f.ContainsString(strconv.Itoa(i)) {
+			t.Fatalf("empty filter claims to contain %d", i)
+		}
+	}
+	if f.EstimatedFPRate() != 0 {
+		t.Error("empty filter should estimate 0 FP rate")
+	}
+}
+
+func TestSerializationRoundTrip(t *testing.T) {
+	f, err := NewWithEstimates(500, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		f.AddString(fmt.Sprintf("sig:%d:%d", i, i*7))
+	}
+	var buf bytes.Buffer
+	if _, err := f.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var g Filter
+	if _, err := g.ReadFrom(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != f.M() || g.K() != f.K() || g.N() != f.N() {
+		t.Fatalf("geometry mismatch after round trip")
+	}
+	for i := 0; i < 500; i++ {
+		if !g.ContainsString(fmt.Sprintf("sig:%d:%d", i, i*7)) {
+			t.Fatalf("member %d lost in serialization", i)
+		}
+	}
+}
+
+func TestReadFromRejectsGarbage(t *testing.T) {
+	var g Filter
+	if _, err := g.ReadFrom(bytes.NewReader([]byte("not a filter at all......"))); err == nil {
+		t.Error("garbage accepted")
+	}
+	// Truncated stream.
+	f, _ := NewWithEstimates(100, 0.01)
+	var buf bytes.Buffer
+	f.WriteTo(&buf)
+	trunc := buf.Bytes()[:buf.Len()/2]
+	if _, err := g.ReadFrom(bytes.NewReader(trunc)); err == nil {
+		t.Error("truncated stream accepted")
+	}
+}
+
+func TestUnion(t *testing.T) {
+	a, _ := New(2048, 5)
+	b, _ := New(2048, 5)
+	a.AddString("alpha")
+	b.AddString("beta")
+	if err := a.Union(b); err != nil {
+		t.Fatal(err)
+	}
+	if !a.ContainsString("alpha") || !a.ContainsString("beta") {
+		t.Error("union lost members")
+	}
+	c, _ := New(1024, 5)
+	if err := a.Union(c); err == nil {
+		t.Error("geometry mismatch accepted")
+	}
+}
+
+func TestFillRatioGrows(t *testing.T) {
+	f, _ := New(4096, 3)
+	if f.FillRatio() != 0 {
+		t.Error("fresh filter not empty")
+	}
+	prev := 0.0
+	for i := 0; i < 200; i++ {
+		f.AddString(strconv.Itoa(i))
+	}
+	if r := f.FillRatio(); r <= prev || r > 1 {
+		t.Errorf("fill ratio %v after 200 inserts", r)
+	}
+}
+
+func TestSizeBytes(t *testing.T) {
+	f, _ := New(64*100, 3)
+	if got := f.SizeBytes(); got != 800 {
+		t.Errorf("SizeBytes = %d, want 800", got)
+	}
+}

@@ -1,0 +1,272 @@
+// Package cluster implements K-means clustering used by the signature layer
+// to discretize continuous package features (paper §IV-B, Table III). It
+// supports 1-dimensional and N-dimensional inputs, k-means++ seeding,
+// empty-cluster reseeding, and an "out-of-range" radius so that values far
+// from every centroid can be routed to an extra discrete bucket, as the
+// paper requires for robustness to out-of-distribution feature values.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"icsdetect/internal/mathx"
+)
+
+// ErrNoData is returned when clustering is attempted on an empty dataset.
+var ErrNoData = errors.New("cluster: no data points")
+
+// KMeans holds the result of a K-means fit.
+type KMeans struct {
+	// Centroids is the k x dim matrix of cluster centers.
+	Centroids [][]float64
+	// Radius[i] is the maximum distance from centroid i to any training
+	// point assigned to it, times the configured slack. Values farther than
+	// Radius from their nearest centroid are "out of range".
+	Radius []float64
+	// Inertia is the final sum of squared distances to assigned centroids.
+	Inertia float64
+	// Iterations is the number of Lloyd iterations performed.
+	Iterations int
+}
+
+// Config controls a K-means fit.
+type Config struct {
+	K        int     // number of clusters (required, >= 1)
+	MaxIter  int     // maximum Lloyd iterations (default 50)
+	Tol      float64 // relative inertia improvement to keep iterating (default 1e-6)
+	Seed     uint64  // RNG seed for k-means++ initialization
+	RadScale float64 // slack multiplier applied to cluster radii (default 1.25)
+}
+
+func (c *Config) defaults() {
+	if c.MaxIter <= 0 {
+		c.MaxIter = 50
+	}
+	if c.Tol <= 0 {
+		c.Tol = 1e-6
+	}
+	if c.RadScale <= 0 {
+		c.RadScale = 1.5
+	}
+}
+
+// Fit runs K-means on points (each of equal dimension) and returns the fitted
+// model. If there are fewer distinct points than K, the effective number of
+// clusters is reduced to the number of distinct points.
+func Fit(points [][]float64, cfg Config) (*KMeans, error) {
+	cfg.defaults()
+	if len(points) == 0 {
+		return nil, ErrNoData
+	}
+	if cfg.K < 1 {
+		return nil, fmt.Errorf("cluster: K must be >= 1, got %d", cfg.K)
+	}
+	dim := len(points[0])
+	for i, p := range points {
+		if len(p) != dim {
+			return nil, fmt.Errorf("cluster: point %d has dim %d, want %d", i, len(p), dim)
+		}
+	}
+	k := cfg.K
+	if n := countDistinct(points); k > n {
+		k = n
+	}
+
+	rng := mathx.NewRNG(cfg.Seed)
+	centroids := seedPlusPlus(points, k, rng)
+	assign := make([]int, len(points))
+	prevInertia := math.Inf(1)
+	var inertia float64
+	iters := 0
+
+	for iter := 0; iter < cfg.MaxIter; iter++ {
+		iters = iter + 1
+		// Assignment step.
+		inertia = 0
+		for i, p := range points {
+			j, d2 := nearest(centroids, p)
+			assign[i] = j
+			inertia += d2
+		}
+		// Update step.
+		counts := make([]int, k)
+		sums := make([][]float64, k)
+		for j := range sums {
+			sums[j] = make([]float64, dim)
+		}
+		for i, p := range points {
+			j := assign[i]
+			counts[j]++
+			mathx.Axpy(sums[j], 1, p)
+		}
+		for j := range centroids {
+			if counts[j] == 0 {
+				// Reseed an empty cluster at the point farthest from its
+				// centroid, the standard remedy for Lloyd degeneracy.
+				centroids[j] = cloneVec(points[farthestPoint(points, centroids, assign)])
+				continue
+			}
+			inv := 1 / float64(counts[j])
+			for d := 0; d < dim; d++ {
+				centroids[j][d] = sums[j][d] * inv
+			}
+		}
+		if prevInertia-inertia <= cfg.Tol*math.Max(prevInertia, 1) {
+			break
+		}
+		prevInertia = inertia
+	}
+
+	// Final assignment and radius computation.
+	radius := make([]float64, k)
+	inertia = 0
+	for _, p := range points {
+		j, d2 := nearest(centroids, p)
+		inertia += d2
+		if d := math.Sqrt(d2); d > radius[j] {
+			radius[j] = d
+		}
+	}
+	for j := range radius {
+		radius[j] *= cfg.RadScale
+		if radius[j] == 0 {
+			// Singleton clusters accept only (near-)exact matches; allow a
+			// small absolute tolerance so float jitter does not spill into
+			// the out-of-range bucket.
+			radius[j] = 1e-9
+		}
+	}
+	return &KMeans{
+		Centroids:  centroids,
+		Radius:     radius,
+		Inertia:    inertia,
+		Iterations: iters,
+	}, nil
+}
+
+// Fit1D clusters scalar values; a convenience wrapper around Fit.
+func Fit1D(values []float64, cfg Config) (*KMeans, error) {
+	points := make([][]float64, len(values))
+	for i, v := range values {
+		points[i] = []float64{v}
+	}
+	return Fit(points, cfg)
+}
+
+// K returns the number of clusters in the fitted model.
+func (km *KMeans) K() int { return len(km.Centroids) }
+
+// Assign returns the index of the nearest centroid to p.
+func (km *KMeans) Assign(p []float64) int {
+	j, _ := nearest(km.Centroids, p)
+	return j
+}
+
+// Assign1D returns the index of the nearest centroid to scalar v.
+func (km *KMeans) Assign1D(v float64) int {
+	return km.Assign([]float64{v})
+}
+
+// AssignBounded returns the nearest centroid index, or -1 if p lies farther
+// than the cluster radius from every centroid (the "out-of-range" bucket used
+// by the signature layer).
+func (km *KMeans) AssignBounded(p []float64) int {
+	j, d2 := nearest(km.Centroids, p)
+	if math.Sqrt(d2) > km.Radius[j] {
+		return -1
+	}
+	return j
+}
+
+// AssignBounded1D is AssignBounded for scalar values.
+func (km *KMeans) AssignBounded1D(v float64) int {
+	return km.AssignBounded([]float64{v})
+}
+
+func nearest(centroids [][]float64, p []float64) (idx int, d2 float64) {
+	idx, d2 = 0, distSq(centroids[0], p)
+	for j := 1; j < len(centroids); j++ {
+		if d := distSq(centroids[j], p); d < d2 {
+			idx, d2 = j, d
+		}
+	}
+	return idx, d2
+}
+
+func distSq(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// seedPlusPlus implements k-means++ initialization: the first centroid is
+// uniform, each subsequent centroid is sampled with probability proportional
+// to its squared distance from the nearest existing centroid.
+func seedPlusPlus(points [][]float64, k int, rng *mathx.RNG) [][]float64 {
+	centroids := make([][]float64, 0, k)
+	centroids = append(centroids, cloneVec(points[rng.Intn(len(points))]))
+	d2 := make([]float64, len(points))
+	for len(centroids) < k {
+		var total float64
+		for i, p := range points {
+			_, d := nearest(centroids, p)
+			d2[i] = d
+			total += d
+		}
+		if total == 0 {
+			// All remaining points coincide with existing centroids.
+			centroids = append(centroids, cloneVec(points[rng.Intn(len(points))]))
+			continue
+		}
+		target := rng.Float64() * total
+		var acc float64
+		pick := len(points) - 1
+		for i, d := range d2 {
+			acc += d
+			if acc >= target {
+				pick = i
+				break
+			}
+		}
+		centroids = append(centroids, cloneVec(points[pick]))
+	}
+	return centroids
+}
+
+func farthestPoint(points, centroids [][]float64, assign []int) int {
+	best, bestD := 0, -1.0
+	for i, p := range points {
+		d := distSq(centroids[assign[i]], p)
+		if d > bestD {
+			best, bestD = i, d
+		}
+	}
+	return best
+}
+
+func cloneVec(v []float64) []float64 {
+	out := make([]float64, len(v))
+	copy(out, v)
+	return out
+}
+
+func countDistinct(points [][]float64) int {
+	seen := make(map[string]struct{}, len(points))
+	var key []byte
+	for _, p := range points {
+		key = key[:0]
+		for _, v := range p {
+			bits := math.Float64bits(v)
+			for s := 0; s < 64; s += 8 {
+				key = append(key, byte(bits>>s))
+			}
+		}
+		seen[string(key)] = struct{}{}
+	}
+	return len(seen)
+}

@@ -1,0 +1,182 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"icsdetect/internal/mathx"
+)
+
+func gaussianBlobs(rng *mathx.RNG, centers [][]float64, perCluster int, std float64) [][]float64 {
+	var pts [][]float64
+	for _, c := range centers {
+		for i := 0; i < perCluster; i++ {
+			p := make([]float64, len(c))
+			for d := range c {
+				p[d] = c[d] + rng.NormScaled(0, std)
+			}
+			pts = append(pts, p)
+		}
+	}
+	return pts
+}
+
+func TestFitSeparatedBlobs(t *testing.T) {
+	rng := mathx.NewRNG(1)
+	centers := [][]float64{{0, 0}, {10, 10}, {-10, 5}}
+	pts := gaussianBlobs(rng, centers, 100, 0.5)
+	km, err := Fit(pts, Config{K: 3, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if km.K() != 3 {
+		t.Fatalf("K = %d", km.K())
+	}
+	// Every true center must be within 1 unit of some fitted centroid.
+	for _, c := range centers {
+		best := math.Inf(1)
+		for _, fc := range km.Centroids {
+			if d := math.Sqrt(distSq(c, fc)); d < best {
+				best = d
+			}
+		}
+		if best > 1 {
+			t.Errorf("no centroid near %v (closest %.2f)", c, best)
+		}
+	}
+}
+
+// TestAssignIsNearest is the core K-means invariant: Assign returns the
+// centroid minimizing Euclidean distance.
+func TestAssignIsNearest(t *testing.T) {
+	rng := mathx.NewRNG(2)
+	pts := gaussianBlobs(rng, [][]float64{{0}, {5}, {12}}, 60, 1)
+	km, err := Fit(pts, Config{K: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(raw float64) bool {
+		if math.IsNaN(raw) || math.IsInf(raw, 0) {
+			return true
+		}
+		v := math.Mod(raw, 30)
+		got := km.Assign([]float64{v})
+		best, bestD := -1, math.Inf(1)
+		for j, c := range km.Centroids {
+			if d := math.Abs(c[0] - v); d < bestD {
+				best, bestD = j, d
+			}
+		}
+		return got == best
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAssignBoundedOutOfRange(t *testing.T) {
+	rng := mathx.NewRNG(3)
+	pts := gaussianBlobs(rng, [][]float64{{0}, {10}}, 50, 0.2)
+	km, err := Fit(pts, Config{K: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if km.AssignBounded1D(0.1) < 0 {
+		t.Error("in-range value rejected")
+	}
+	if km.AssignBounded1D(100) != -1 {
+		t.Error("far value accepted")
+	}
+	if km.AssignBounded1D(-50) != -1 {
+		t.Error("far negative value accepted")
+	}
+}
+
+func TestFitReducesKForFewDistinct(t *testing.T) {
+	pts := [][]float64{{1}, {1}, {1}, {2}, {2}}
+	km, err := Fit(pts, Config{K: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if km.K() != 2 {
+		t.Fatalf("K = %d, want 2 (distinct points)", km.K())
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	if _, err := Fit(nil, Config{K: 2}); err == nil {
+		t.Error("empty data should error")
+	}
+	if _, err := Fit([][]float64{{1}}, Config{K: 0}); err == nil {
+		t.Error("K=0 should error")
+	}
+	if _, err := Fit([][]float64{{1}, {1, 2}}, Config{K: 1}); err == nil {
+		t.Error("ragged points should error")
+	}
+}
+
+func TestFit1D(t *testing.T) {
+	km, err := Fit1D([]float64{1, 1.1, 0.9, 10, 10.2, 9.8}, Config{K: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if km.Assign1D(1.05) == km.Assign1D(10.1) {
+		t.Error("clearly separated values assigned to the same cluster")
+	}
+}
+
+// TestInertiaNotWorseThanSingleCluster: more clusters cannot increase the
+// optimal inertia; K-means with k=2 must do at least as well as k=1 on
+// bimodal data.
+func TestInertiaNotWorseThanSingleCluster(t *testing.T) {
+	rng := mathx.NewRNG(4)
+	pts := gaussianBlobs(rng, [][]float64{{0}, {8}}, 100, 0.5)
+	km1, err := Fit(pts, Config{K: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	km2, err := Fit(pts, Config{K: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if km2.Inertia >= km1.Inertia {
+		t.Errorf("inertia k=2 (%v) >= k=1 (%v)", km2.Inertia, km1.Inertia)
+	}
+}
+
+func TestSingletonClusterRadius(t *testing.T) {
+	// A cluster holding one point gets a tiny positive radius so exact
+	// re-observations stay in range.
+	pts := [][]float64{{1}, {100}}
+	km, err := Fit(pts, Config{K: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if km.AssignBounded1D(1) == -1 {
+		t.Error("training point itself out of range")
+	}
+	if km.AssignBounded1D(50) != -1 {
+		t.Error("midpoint should be out of range for singleton clusters")
+	}
+}
+
+func TestDeterministicWithSeed(t *testing.T) {
+	rng := mathx.NewRNG(5)
+	pts := gaussianBlobs(rng, [][]float64{{0, 0}, {5, 5}}, 50, 1)
+	a, err := Fit(pts, Config{K: 2, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Fit(pts, Config{K: 2, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Centroids {
+		for d := range a.Centroids[i] {
+			if a.Centroids[i][d] != b.Centroids[i][d] {
+				t.Fatal("same seed produced different centroids")
+			}
+		}
+	}
+}

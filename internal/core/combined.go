@@ -1,0 +1,158 @@
+package core
+
+import (
+	"fmt"
+
+	"icsdetect/internal/dataset"
+	"icsdetect/internal/metrics"
+	"icsdetect/internal/nn"
+	"icsdetect/internal/signature"
+)
+
+// Mode selects which detector levels an evaluation session applies; the
+// paper's framework is ModeCombined, the others support ablation.
+type Mode int
+
+// Evaluation modes.
+const (
+	ModeCombined Mode = iota + 1
+	ModePackageOnly
+	ModeSeriesOnly
+)
+
+// Framework is the trained two-level anomaly detection framework of §VI.
+type Framework struct {
+	Encoder *signature.Encoder
+	DB      *signature.DB
+	Package *PackageDetector
+	Series  *TimeSeriesDetector
+	Input   *InputEncoder
+}
+
+// Session classifies a package stream against a framework, maintaining the
+// recurrent model state and the previous package (for the interval
+// feature). Packages — whatever their verdict — feed the time-series input
+// for the classification of future packages, with the noise flag set to the
+// verdict (Fig. 3).
+type Session struct {
+	f     *Framework
+	mode  Mode
+	state *nn.State
+	prev  *dataset.Package
+	probs []float64
+	// scored reports whether probs holds a valid prediction (false before
+	// the first package has been fed).
+	scored bool
+}
+
+// NewSession starts a classification session in combined mode.
+func (f *Framework) NewSession() *Session { return f.NewSessionMode(ModeCombined) }
+
+// NewSessionMode starts a session with an explicit detector mode.
+func (f *Framework) NewSessionMode(mode Mode) *Session {
+	return &Session{
+		f:     f,
+		mode:  mode,
+		state: f.Series.Model.NewState(),
+		probs: make([]float64, f.Series.Model.Classes()),
+	}
+}
+
+// Classify classifies the next package of the stream and advances the
+// session.
+func (s *Session) Classify(cur *dataset.Package) Verdict {
+	f := s.f
+	c := f.Encoder.Encode(s.prev, cur)
+	sig := signature.Signature(c)
+	v := Verdict{Signature: sig, Rank: -1}
+
+	// Package content level (Fig. 3: checked first; a hit short-circuits
+	// the time-series level since an unknown signature can never be in
+	// S(k)).
+	if s.mode != ModeSeriesOnly && f.Package.Anomalous(sig) {
+		v.Anomaly = true
+		v.Level = LevelPackage
+	}
+
+	// Time-series level, only for packages that passed the Bloom filter.
+	if !v.Anomaly && s.mode != ModePackageOnly && s.scored {
+		class, ok := f.DB.ClassOf(sig)
+		if !ok {
+			// The signature passed the Bloom filter (a filter false
+			// positive) but is not in the database, so it cannot be among
+			// the top-k predicted signatures.
+			v.Anomaly = true
+			v.Level = LevelTimeSeries
+		} else {
+			v.Rank = rankOf(s.probs, class)
+			if v.Rank >= f.Series.K {
+				v.Anomaly = true
+				v.Level = LevelTimeSeries
+			}
+		}
+	}
+
+	// Feed the package into the model for the classification of future
+	// packages; the extra feature carries this package's verdict (§V-A-3:
+	// "the additional feature of any packages classified as anomalies will
+	// be set to 1").
+	f.Series.Model.Step(s.state, f.Input.Encode(c, v.Anomaly), s.probs)
+	s.scored = true
+	s.prev = cur
+	return v
+}
+
+// Reset returns the session to its initial state.
+func (s *Session) Reset() {
+	s.state.Reset()
+	s.prev = nil
+	s.scored = false
+	for i := range s.probs {
+		s.probs[i] = 0
+	}
+}
+
+// Evaluation is the outcome of running a framework over a labeled test set.
+type Evaluation struct {
+	Confusion metrics.Confusion
+	Summary   metrics.Summary
+	PerAttack *metrics.PerAttack
+	// ByLevel counts detections per detector level.
+	ByLevel map[Level]int
+}
+
+// Evaluate classifies every package of the test stream and scores the
+// verdicts against ground truth (§VIII-B).
+func (f *Framework) Evaluate(test []*dataset.Package, mode Mode) *Evaluation {
+	sess := f.NewSessionMode(mode)
+	eval := &Evaluation{
+		PerAttack: metrics.NewPerAttack(),
+		ByLevel:   make(map[Level]int),
+	}
+	for _, p := range test {
+		v := sess.Classify(p)
+		eval.Confusion.Add(v.Anomaly, p.IsAttack())
+		eval.PerAttack.Add(p.Label, v.Anomaly)
+		if v.Anomaly {
+			eval.ByLevel[v.Level]++
+		}
+	}
+	eval.Summary = metrics.Summarize(&eval.Confusion)
+	return eval
+}
+
+// SetK overrides the top-k threshold (used by the Fig. 7 sweep over k).
+func (f *Framework) SetK(k int) error {
+	if k < 1 {
+		return fmt.Errorf("core: k must be >= 1, got %d", k)
+	}
+	f.Series.K = k
+	return nil
+}
+
+// MemoryBytes reports the storage cost of the two detection models (the
+// paper reports 684 KB): the Bloom filter bit vector plus the LSTM
+// parameters at 8 bytes each.
+func (f *Framework) MemoryBytes() int {
+	return f.Package.SizeBytes() + 8*f.Series.Model.NumParams()
+}

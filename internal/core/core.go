@@ -1,0 +1,90 @@
+// Package core implements the paper's primary contribution: the two-level
+// ICS anomaly detection framework combining a Bloom-filter package-content
+// detector (§IV) with a stacked LSTM softmax time-series detector (§V),
+// wired together as in Fig. 3 (§VI).
+package core
+
+import (
+	"fmt"
+
+	"icsdetect/internal/bloom"
+	"icsdetect/internal/signature"
+)
+
+// Level identifies which detector level produced a verdict.
+type Level int
+
+// Detection levels.
+const (
+	// LevelNone means the package passed both detectors.
+	LevelNone Level = iota
+	// LevelPackage means the Bloom filter flagged the package (F_p = 1).
+	LevelPackage
+	// LevelTimeSeries means the LSTM top-k check flagged it (F_t = 1).
+	LevelTimeSeries
+)
+
+// String names the level.
+func (l Level) String() string {
+	switch l {
+	case LevelNone:
+		return "none"
+	case LevelPackage:
+		return "package"
+	case LevelTimeSeries:
+		return "time-series"
+	default:
+		return fmt.Sprintf("Level(%d)", int(l))
+	}
+}
+
+// Verdict is the classification of one package.
+type Verdict struct {
+	// Anomaly reports whether the package was classified anomalous.
+	Anomaly bool
+	// Level identifies the detector that fired (LevelNone if clean).
+	Level Level
+	// Signature is the package's signature s(x(t)).
+	Signature string
+	// Rank is the 0-based rank of the signature in the time-series
+	// prediction, or -1 when the time-series level did not score the
+	// package (first package of a stream, or a package-level detection).
+	Rank int
+}
+
+// PackageDetector is the package content level anomaly detector F_p (§IV-C):
+// a Bloom filter storing the signature database of normal packages.
+type PackageDetector struct {
+	Filter *bloom.Filter
+}
+
+// NewPackageDetector inserts every signature of db into a Bloom filter sized
+// for the target false-positive probability fp.
+func NewPackageDetector(db *signature.DB, fp float64) (*PackageDetector, error) {
+	f, err := bloom.NewWithEstimates(uint64(maxInt(db.Size(), 1)), fp)
+	if err != nil {
+		return nil, fmt.Errorf("core: package detector: %w", err)
+	}
+	for _, s := range db.List {
+		f.AddString(s)
+	}
+	return &PackageDetector{Filter: f}, nil
+}
+
+// Anomalous implements F_p: true iff the signature is not in the filter.
+// Bloom false positives can only make the detector *miss* (classify an
+// anomalous signature as present), never raise false alarms, matching the
+// paper's design.
+func (d *PackageDetector) Anomalous(sig string) bool {
+	return !d.Filter.ContainsString(sig)
+}
+
+// SizeBytes returns the filter's memory footprint.
+func (d *PackageDetector) SizeBytes() int { return d.Filter.SizeBytes() }
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

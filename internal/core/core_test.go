@@ -1,0 +1,273 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"icsdetect/internal/dataset"
+	"icsdetect/internal/mathx"
+	"icsdetect/internal/signature"
+)
+
+// fakeEncoder builds a minimal signature encoder fixture via real fitting
+// on a tiny synthetic fragment.
+func fixtureEncoder(t *testing.T) (*signature.Encoder, *signature.DB, []dataset.Fragment) {
+	t.Helper()
+	rng := mathx.NewRNG(1)
+	var frag dataset.Fragment
+	tm := 0.0
+	for i := 0; i < 400; i++ {
+		tm += 0.05 + rng.Float64()*0.1
+		frag = append(frag, &dataset.Package{
+			Address: 4, Function: float64(16 + (i%2)*49),
+			Length: 29 - float64(i%2)*2, CmdResponse: float64(1 - i%2),
+			Setpoint: 8, Gain: 0.45, ResetRate: 0.15, Deadband: 0.05,
+			CycleTime: 0.25, Rate: 0.02, SystemMode: 2,
+			Pressure: 8 + rng.NormScaled(0, 0.3), Time: tm,
+		})
+	}
+	frags := []dataset.Fragment{frag}
+	enc, err := signature.FitEncoder(frags, signature.Granularity{
+		IntervalClusters: 2, CRCClusters: 1,
+		PressureBins: 4, SetpointBins: 2, PIDClusters: 2,
+	}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return enc, signature.BuildDB(enc, frags), frags
+}
+
+func TestInputEncoderLayout(t *testing.T) {
+	enc, _, frags := fixtureEncoder(t)
+	ie := NewInputEncoder(enc)
+	var total int
+	for _, b := range ie.Buckets {
+		total += b
+	}
+	if ie.Dim != total+1 {
+		t.Fatalf("Dim = %d, want %d", ie.Dim, total+1)
+	}
+	c := enc.Encode(nil, frags[0][0])
+	x := ie.Encode(c, false)
+	// Exactly one hot bit per feature, noise bit clear.
+	var ones int
+	for _, v := range x {
+		if v == 1 {
+			ones++
+		} else if v != 0 {
+			t.Fatalf("non-binary input value %v", v)
+		}
+	}
+	if ones != len(ie.Buckets) {
+		t.Errorf("%d hot bits, want %d", ones, len(ie.Buckets))
+	}
+	if x[ie.Dim-1] != 0 {
+		t.Error("noise bit set unexpectedly")
+	}
+	noisy := ie.Encode(c, true)
+	if noisy[ie.Dim-1] != 1 {
+		t.Error("noise bit not set")
+	}
+}
+
+func TestNoiseInjectorProbability(t *testing.T) {
+	enc, db, frags := fixtureEncoder(t)
+	ie := NewInputEncoder(enc)
+	ni, err := NewNoiseInjector(10, 3, db, ie, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := enc.Encode(nil, frags[0][0])
+	sig := signature.Signature(c)
+	count := db.Count(sig)
+	wantP := 10.0 / (10.0 + float64(count))
+
+	noisy := 0
+	const trials = 20000
+	for i := 0; i < trials; i++ {
+		out, applied := ni.Apply(c, sig)
+		if applied {
+			noisy++
+			// Noise must change at least one feature and never mutate the
+			// input slice.
+			changed := 0
+			for j := range c {
+				if out[j] != c[j] {
+					changed++
+				}
+			}
+			if changed == 0 {
+				t.Fatal("noise applied but no feature changed")
+			}
+			if changed > 3 {
+				t.Fatalf("noise changed %d features, max 3", changed)
+			}
+		}
+	}
+	got := float64(noisy) / trials
+	if math.Abs(got-wantP) > 0.02 {
+		t.Errorf("noise rate %.4f, want %.4f (count=%d)", got, wantP, count)
+	}
+}
+
+func TestNoiseInjectorRareSignaturesNoisier(t *testing.T) {
+	enc, db, _ := fixtureEncoder(t)
+	ie := NewInputEncoder(enc)
+	ni, err := NewNoiseInjector(10, 2, db, ie, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := make([]int, enc.Dim())
+	common := db.List[0]            // most frequent
+	rare := db.List[len(db.List)-1] // least frequent
+	noisyCommon, noisyRare := 0, 0
+	for i := 0; i < 5000; i++ {
+		if _, ok := ni.Apply(c, common); ok {
+			noisyCommon++
+		}
+		if _, ok := ni.Apply(c, rare); ok {
+			noisyRare++
+		}
+	}
+	if noisyRare <= noisyCommon {
+		t.Errorf("rare signature noise %d not above common %d", noisyRare, noisyCommon)
+	}
+}
+
+func TestNoiseInjectorValidation(t *testing.T) {
+	enc, db, _ := fixtureEncoder(t)
+	ie := NewInputEncoder(enc)
+	if _, err := NewNoiseInjector(-1, 2, db, ie, 1); err == nil {
+		t.Error("negative lambda accepted")
+	}
+	if _, err := NewNoiseInjector(1, 0, db, ie, 1); err == nil {
+		t.Error("zero max features accepted")
+	}
+	if _, err := NewNoiseInjector(1, len(ie.Buckets), db, ie, 1); err == nil {
+		t.Error("l = o accepted (paper requires l < o)")
+	}
+	// λ=0 disables noise entirely.
+	ni, err := NewNoiseInjector(0, 2, db, ie, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, applied := ni.Apply(make([]int, enc.Dim()), db.List[0]); applied {
+		t.Error("lambda=0 still injected noise")
+	}
+}
+
+func TestRankOf(t *testing.T) {
+	probs := []float64{0.1, 0.4, 0.2, 0.3}
+	wants := []int{3, 0, 2, 1}
+	for class, want := range wants {
+		if got := rankOf(probs, class); got != want {
+			t.Errorf("rankOf(class %d) = %d, want %d", class, got, want)
+		}
+	}
+	// Ties break toward the earlier index.
+	tied := []float64{0.5, 0.5}
+	if rankOf(tied, 0) != 0 || rankOf(tied, 1) != 1 {
+		t.Error("tie-break not deterministic")
+	}
+}
+
+// TestRankOfConsistentWithTopK: rank < k ⇔ class ∈ TopK(probs, k).
+func TestRankOfConsistentWithTopK(t *testing.T) {
+	rng := mathx.NewRNG(8)
+	f := func() bool {
+		probs := make([]float64, 10)
+		for i := range probs {
+			probs[i] = rng.Float64()
+		}
+		k := 1 + rng.Intn(9)
+		top := mathx.TopK(probs, k)
+		inTop := make(map[int]bool, k)
+		for _, idx := range top {
+			inTop[idx] = true
+		}
+		for class := range probs {
+			if (rankOf(probs, class) < k) != inTop[class] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPackageDetectorNoFalseNegatives(t *testing.T) {
+	_, db, _ := fixtureEncoder(t)
+	det, err := NewPackageDetector(db, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sig := range db.List {
+		if det.Anomalous(sig) {
+			t.Fatalf("known-normal signature %q flagged", sig)
+		}
+	}
+	if !det.Anomalous("999:999:999") {
+		t.Log("unknown signature passed (allowed Bloom false positive)")
+	}
+}
+
+func TestBuildSequencesAlignment(t *testing.T) {
+	enc, db, frags := fixtureEncoder(t)
+	ie := NewInputEncoder(enc)
+	seqs := BuildSequences(enc, ie, db, frags, nil)
+	if len(seqs) != 1 {
+		t.Fatalf("sequences = %d", len(seqs))
+	}
+	seq := seqs[0]
+	if len(seq.Inputs) != len(frags[0])-1 {
+		t.Fatalf("inputs = %d, want %d", len(seq.Inputs), len(frags[0])-1)
+	}
+	// Target t must be the class of package t+1's signature.
+	cs := enc.EncodeFragment(frags[0])
+	for tIdx := range seq.Targets {
+		wantSig := signature.Signature(cs[tIdx+1])
+		wantClass, ok := db.ClassOf(wantSig)
+		if !ok {
+			t.Fatalf("training signature missing from db")
+		}
+		if seq.Targets[tIdx] != wantClass {
+			t.Fatalf("target %d = %d, want %d", tIdx, seq.Targets[tIdx], wantClass)
+		}
+	}
+	// Short fragments are skipped.
+	short := []dataset.Fragment{frags[0][:1]}
+	if got := BuildSequences(enc, ie, db, short, nil); len(got) != 0 {
+		t.Errorf("1-package fragment produced %d sequences", len(got))
+	}
+}
+
+func TestSetKValidation(t *testing.T) {
+	fw := &Framework{Series: &TimeSeriesDetector{K: 4}}
+	if err := fw.SetK(0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if err := fw.SetK(7); err != nil || fw.Series.K != 7 {
+		t.Errorf("SetK failed: %v", err)
+	}
+}
+
+func TestTrainValidation(t *testing.T) {
+	if _, _, err := Train(&dataset.Split{}, DefaultConfig()); err == nil {
+		t.Error("empty split accepted")
+	}
+	_, _, frags := fixtureEncoder(t)
+	split := &dataset.Split{Train: frags, Validation: frags}
+	bad := DefaultConfig()
+	bad.BloomFP = 2
+	if _, _, err := Train(split, bad); err == nil {
+		t.Error("BloomFP >= 1 accepted")
+	}
+	bad = DefaultConfig()
+	bad.ThetaSeries = 0
+	if _, _, err := Train(split, bad); err == nil {
+		t.Error("theta = 0 accepted")
+	}
+}

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"fmt"
+
+	"icsdetect/internal/dataset"
+)
+
+// DynamicKConfig tunes the adaptive top-k controller. The paper lists
+// dynamically adjusted k as future work (§IX: "we will design effective
+// approaches to adjust the value of k dynamically based on previous
+// predictions"); this implementation realizes it with a feedback rule on
+// the recent alert rate of the time-series level.
+type DynamicKConfig struct {
+	// MinK and MaxK bound the adjustment range around the trained k.
+	MinK, MaxK int
+	// TargetRate is the acceptable fraction of time-series alerts among
+	// recently scored packages (≈ the θ of the k-selection rule).
+	TargetRate float64
+	// Window is the number of recent scored packages the rate is computed
+	// over.
+	Window int
+}
+
+// DefaultDynamicKConfig derives bounds from the trained k.
+func DefaultDynamicKConfig(trainedK int) DynamicKConfig {
+	minK := trainedK - 2
+	if minK < 1 {
+		minK = 1
+	}
+	return DynamicKConfig{
+		MinK:       minK,
+		MaxK:       trainedK + 4,
+		TargetRate: 0.05,
+		Window:     200,
+	}
+}
+
+// Validate reports configuration errors.
+func (c *DynamicKConfig) Validate() error {
+	if c.MinK < 1 || c.MaxK < c.MinK {
+		return fmt.Errorf("core: dynamic k bounds invalid [%d, %d]", c.MinK, c.MaxK)
+	}
+	if c.TargetRate <= 0 || c.TargetRate >= 1 {
+		return fmt.Errorf("core: dynamic k target rate %g outside (0,1)", c.TargetRate)
+	}
+	if c.Window < 10 {
+		return fmt.Errorf("core: dynamic k window %d too small", c.Window)
+	}
+	return nil
+}
+
+// DynamicSession wraps a Session with the adaptive-k controller: when the
+// recent time-series alert rate exceeds the target, k grows (fewer false
+// positives); when the rate falls well below target, k shrinks back toward
+// the trained value (higher sensitivity).
+type DynamicSession struct {
+	inner *Session
+	cfg   DynamicKConfig
+	k     int
+
+	// ring buffer of recent series-level verdicts (true = alert).
+	recent []bool
+	idx    int
+	filled int
+	alerts int
+}
+
+// NewDynamicSession starts an adaptive session in combined mode.
+func (f *Framework) NewDynamicSession(cfg DynamicKConfig) (*DynamicSession, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &DynamicSession{
+		inner:  f.NewSession(),
+		cfg:    cfg,
+		k:      f.Series.K,
+		recent: make([]bool, cfg.Window),
+	}, nil
+}
+
+// K returns the current adaptive k.
+func (s *DynamicSession) K() int { return s.k }
+
+// Classify classifies the next package with the current k and updates the
+// controller. Only packages that reach the time-series level influence the
+// alert rate (Bloom-filter detections are independent of k).
+func (s *DynamicSession) Classify(cur *dataset.Package) Verdict {
+	// Temporarily install the adaptive k on the shared detector; Session
+	// reads it on every classification.
+	saved := s.inner.f.Series.K
+	s.inner.f.Series.K = s.k
+	v := s.inner.Classify(cur)
+	s.inner.f.Series.K = saved
+
+	if v.Level != LevelPackage {
+		s.observe(v.Level == LevelTimeSeries)
+	}
+	return v
+}
+
+func (s *DynamicSession) observe(alert bool) {
+	if s.filled == len(s.recent) {
+		if s.recent[s.idx] {
+			s.alerts--
+		}
+	} else {
+		s.filled++
+	}
+	s.recent[s.idx] = alert
+	if alert {
+		s.alerts++
+	}
+	s.idx = (s.idx + 1) % len(s.recent)
+
+	if s.filled < len(s.recent)/2 {
+		return // not enough evidence yet
+	}
+	rate := float64(s.alerts) / float64(s.filled)
+	switch {
+	case rate > s.cfg.TargetRate*1.5 && s.k < s.cfg.MaxK:
+		s.k++
+		s.decayHalf()
+	case rate < s.cfg.TargetRate/2 && s.k > s.cfg.MinK:
+		s.k--
+		s.decayHalf()
+	}
+}
+
+// decayHalf forgets half the window after a k change so the controller
+// re-estimates the rate at the new operating point instead of oscillating.
+func (s *DynamicSession) decayHalf() {
+	drop := s.filled / 2
+	for i := 0; i < drop; i++ {
+		pos := (s.idx + i) % len(s.recent)
+		if s.recent[pos] {
+			s.alerts--
+			s.recent[pos] = false
+		}
+	}
+	s.filled -= drop
+	if s.filled < 0 {
+		s.filled = 0
+	}
+}

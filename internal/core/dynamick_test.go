@@ -1,0 +1,66 @@
+package core_test
+
+import (
+	"testing"
+
+	"icsdetect/internal/core"
+)
+
+func TestDynamicKConfigValidation(t *testing.T) {
+	bad := []core.DynamicKConfig{
+		{MinK: 0, MaxK: 5, TargetRate: 0.05, Window: 100},
+		{MinK: 5, MaxK: 2, TargetRate: 0.05, Window: 100},
+		{MinK: 1, MaxK: 5, TargetRate: 0, Window: 100},
+		{MinK: 1, MaxK: 5, TargetRate: 1.5, Window: 100},
+		{MinK: 1, MaxK: 5, TargetRate: 0.05, Window: 2},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("bad config %d accepted: %+v", i, cfg)
+		}
+	}
+	good := core.DefaultDynamicKConfig(4)
+	if err := good.Validate(); err != nil {
+		t.Errorf("default config rejected: %v", err)
+	}
+	if good.MinK < 1 || good.MaxK <= good.MinK {
+		t.Errorf("default bounds broken: %+v", good)
+	}
+}
+
+func TestDynamicSession(t *testing.T) {
+	if testing.Short() {
+		t.Skip("dynamic session test uses the trained integration fixture")
+	}
+	fw, report, split := trainSmallFramework(t, true)
+
+	cfg := core.DefaultDynamicKConfig(report.ChosenK)
+	sess, err := fw.NewDynamicSession(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sess.K() != report.ChosenK {
+		t.Fatalf("initial k = %d, want %d", sess.K(), report.ChosenK)
+	}
+
+	var alerts int
+	for _, p := range split.Test {
+		if sess.Classify(p).Anomaly {
+			alerts++
+		}
+		if k := sess.K(); k < cfg.MinK || k > cfg.MaxK {
+			t.Fatalf("adaptive k %d escaped [%d, %d]", k, cfg.MinK, cfg.MaxK)
+		}
+	}
+	if alerts == 0 {
+		t.Error("dynamic session raised no alerts on attack-laden traffic")
+	}
+	// The trained framework's k must be untouched afterwards.
+	if fw.Series.K != report.ChosenK {
+		t.Errorf("dynamic session leaked k=%d into the framework", fw.Series.K)
+	}
+
+	if _, err := fw.NewDynamicSession(core.DynamicKConfig{}); err == nil {
+		t.Error("zero config accepted")
+	}
+}

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"fmt"
+
+	"icsdetect/internal/mathx"
+	"icsdetect/internal/signature"
+)
+
+// InputEncoder lays out the LSTM input vector: the one-hot encoding of every
+// element of the discretized feature vector c(t), concatenated, plus the
+// extra noise-flag feature c_{o+1} of §V-A-3 as the final element.
+type InputEncoder struct {
+	// Buckets holds the per-feature bucket counts (including out-of-range
+	// buckets).
+	Buckets []int
+	// Offsets[i] is the start of feature i's one-hot block.
+	Offsets []int
+	// Dim is the total input dimensionality (Σ buckets + 1).
+	Dim int
+}
+
+// NewInputEncoder builds the layout for an encoder's bucket structure.
+func NewInputEncoder(enc *signature.Encoder) *InputEncoder {
+	buckets := enc.Buckets()
+	offsets := make([]int, len(buckets))
+	total := 0
+	for i, b := range buckets {
+		offsets[i] = total
+		total += b
+	}
+	return &InputEncoder{Buckets: buckets, Offsets: offsets, Dim: total + 1}
+}
+
+// Encode writes the one-hot encoding of c (with the noise flag) into a new
+// vector.
+func (e *InputEncoder) Encode(c []int, noisy bool) []float64 {
+	x := make([]float64, e.Dim)
+	e.EncodeInto(x, c, noisy)
+	return x
+}
+
+// EncodeInto writes the encoding into dst (len must be Dim). Out-of-range
+// bucket indices are clamped defensively.
+func (e *InputEncoder) EncodeInto(dst []float64, c []int, noisy bool) {
+	if len(dst) != e.Dim {
+		panic(fmt.Sprintf("core: encode into vector of %d, want %d", len(dst), e.Dim))
+	}
+	if len(c) != len(e.Buckets) {
+		panic(fmt.Sprintf("core: discretized vector has %d features, want %d", len(c), len(e.Buckets)))
+	}
+	mathx.Fill(dst, 0)
+	for i, v := range c {
+		if v < 0 {
+			v = 0
+		}
+		if v >= e.Buckets[i] {
+			v = e.Buckets[i] - 1
+		}
+		dst[e.Offsets[i]+v] = 1
+	}
+	if noisy {
+		dst[e.Dim-1] = 1
+	}
+}
+
+// NoiseInjector implements the probabilistic-noise strategy of §V-A-3:
+// when a package is used as time-series input during training, with
+// probability p = λ/(λ+#(s)) its discretized vector is corrupted in
+// d ∈ [1, MaxFeatures] randomly chosen features and its noise flag is set.
+type NoiseInjector struct {
+	// Lambda reflects the expected anomaly frequency (paper: 10 for the
+	// experiments, lower in production).
+	Lambda float64
+	// MaxFeatures is l, the maximum number of corrupted features (l < o).
+	MaxFeatures int
+
+	db  *signature.DB
+	enc *InputEncoder
+	rng *mathx.RNG
+}
+
+// NewNoiseInjector constructs an injector.
+func NewNoiseInjector(lambda float64, maxFeatures int, db *signature.DB, enc *InputEncoder, seed uint64) (*NoiseInjector, error) {
+	if lambda < 0 {
+		return nil, fmt.Errorf("core: negative lambda %g", lambda)
+	}
+	if maxFeatures < 1 || maxFeatures >= len(enc.Buckets) {
+		return nil, fmt.Errorf("core: noise MaxFeatures must be in [1, %d), got %d",
+			len(enc.Buckets), maxFeatures)
+	}
+	return &NoiseInjector{
+		Lambda:      lambda,
+		MaxFeatures: maxFeatures,
+		db:          db,
+		enc:         enc,
+		rng:         mathx.NewRNG(seed),
+	}, nil
+}
+
+// Apply decides whether to corrupt the package with signature sig and
+// discretized vector c. It returns the (possibly corrupted) vector and
+// whether noise was applied. The input slice is never mutated.
+func (n *NoiseInjector) Apply(c []int, sig string) ([]int, bool) {
+	if n.Lambda == 0 {
+		return c, false
+	}
+	p := n.Lambda / (n.Lambda + float64(n.db.Count(sig)))
+	if !n.rng.Bernoulli(p) {
+		return c, false
+	}
+	out := append([]int(nil), c...)
+	d := 1 + n.rng.Intn(n.MaxFeatures)
+	perm := n.rng.Perm(len(out))
+	for _, fi := range perm[:d] {
+		buckets := n.enc.Buckets[fi]
+		if buckets < 2 {
+			continue
+		}
+		// Change to a different value, including possibly the out-of-range
+		// bucket — noisy inputs mimic anomalies with unseen feature values.
+		nv := n.rng.Intn(buckets - 1)
+		if nv >= out[fi] {
+			nv++
+		}
+		out[fi] = nv
+	}
+	return out, true
+}

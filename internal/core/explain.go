@@ -1,0 +1,96 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"icsdetect/internal/dataset"
+	"icsdetect/internal/signature"
+)
+
+// Explanation attributes a package-level detection to concrete features: it
+// names the nearest known-normal signature and the features whose
+// discretized values deviate from it. For time-series detections it reports
+// the observed rank against the configured k.
+type Explanation struct {
+	// Verdict is the explained classification.
+	Verdict Verdict
+	// NearestSignature is the closest signature in the database (package
+	// level only).
+	NearestSignature string
+	// Distance is the Hamming distance to it.
+	Distance int
+	// Deviations names the differing features with their observed buckets.
+	Deviations []Deviation
+}
+
+// Deviation is one differing feature.
+type Deviation struct {
+	Feature  signature.FeatureKind
+	Observed int // bucket seen in the package
+	Expected int // bucket in the nearest normal signature
+	// OutOfRange reports whether the observed bucket is the feature's
+	// out-of-range bucket (a value never seen in training at all).
+	OutOfRange bool
+}
+
+// String renders the deviation for an operator console.
+func (d Deviation) String() string {
+	if d.OutOfRange {
+		return fmt.Sprintf("%v: out-of-range value (expected bucket %d)", d.Feature, d.Expected)
+	}
+	return fmt.Sprintf("%v: bucket %d (expected %d)", d.Feature, d.Observed, d.Expected)
+}
+
+// Explain classifies the package like Session.Classify would, but without a
+// session: it evaluates only the content level against the signature
+// database and produces a feature-level diagnosis. prev supplies the
+// interval feature (nil at stream start).
+func (f *Framework) Explain(prev, cur *dataset.Package) *Explanation {
+	c := f.Encoder.Encode(prev, cur)
+	sig := signature.Signature(c)
+	exp := &Explanation{
+		Verdict: Verdict{Signature: sig, Rank: -1},
+	}
+	if !f.Package.Anomalous(sig) {
+		return exp
+	}
+	exp.Verdict.Anomaly = true
+	exp.Verdict.Level = LevelPackage
+
+	nearest, dist, differing := f.DB.Nearest(c)
+	if nearest == "" {
+		return exp
+	}
+	exp.NearestSignature = nearest
+	exp.Distance = dist
+	nv, err := signature.ParseSignature(nearest)
+	if err != nil {
+		return exp
+	}
+	buckets := f.Encoder.Buckets()
+	for _, i := range differing {
+		exp.Deviations = append(exp.Deviations, Deviation{
+			Feature:    f.Encoder.Features[i].Kind,
+			Observed:   c[i],
+			Expected:   nv[i],
+			OutOfRange: c[i] == buckets[i]-1,
+		})
+	}
+	return exp
+}
+
+// String renders the full explanation.
+func (e *Explanation) String() string {
+	if !e.Verdict.Anomaly {
+		return fmt.Sprintf("normal (signature %s known)", e.Verdict.Signature)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "anomalous signature %s (distance %d from nearest normal %s)",
+		e.Verdict.Signature, e.Distance, e.NearestSignature)
+	for _, d := range e.Deviations {
+		b.WriteString("\n  - ")
+		b.WriteString(d.String())
+	}
+	return b.String()
+}

@@ -1,0 +1,74 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"icsdetect/internal/dataset"
+)
+
+func TestExplain(t *testing.T) {
+	if testing.Short() {
+		t.Skip("explain test uses the trained integration fixture")
+	}
+	fw, _, split := trainSmallFramework(t, true)
+
+	// A normal package explains as normal.
+	var prev *dataset.Package
+	normalExplained := false
+	for _, p := range split.Test[:400] {
+		exp := fw.Explain(prev, p)
+		if !exp.Verdict.Anomaly {
+			if !p.IsAttack() && strings.Contains(exp.String(), "normal") {
+				normalExplained = true
+			}
+		} else {
+			if exp.NearestSignature == "" {
+				t.Fatal("anomalous explanation lacks a nearest signature")
+			}
+			if exp.Distance < 1 {
+				t.Fatalf("anomalous signature at distance %d", exp.Distance)
+			}
+			if len(exp.Deviations) != exp.Distance {
+				t.Fatalf("deviations %d != distance %d", len(exp.Deviations), exp.Distance)
+			}
+			if exp.String() == "" {
+				t.Fatal("empty explanation text")
+			}
+		}
+		prev = p
+	}
+	if !normalExplained {
+		t.Error("no normal package was explained")
+	}
+
+	// MFCI packages use an unknown function code: the explanation must
+	// identify the function feature as deviating.
+	prev = nil
+	checked := false
+	for _, p := range split.Test {
+		if p.Label == dataset.MFCI && p.CmdResponse == 1 {
+			exp := fw.Explain(prev, p)
+			if exp.Verdict.Anomaly {
+				found := false
+				for _, d := range exp.Deviations {
+					if d.Feature.String() == "function" {
+						found = true
+						if !d.OutOfRange {
+							t.Error("MFCI function code not marked out-of-range")
+						}
+					}
+				}
+				if !found {
+					t.Errorf("MFCI explanation misses the function feature: %v", exp.Deviations)
+				}
+				checked = true
+				break
+			}
+		}
+		prev = p
+	}
+	if !checked {
+		t.Log("no detected MFCI command found to explain (acceptable at tiny scale)")
+	}
+}

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"icsdetect/internal/bloom"
+	"icsdetect/internal/nn"
+	"icsdetect/internal/signature"
+)
+
+// persisted is the on-disk form of a trained framework. The Bloom filter
+// uses its own binary format; everything else is gob.
+type persisted struct {
+	Encoder *signature.Encoder
+	DB      *signature.DB
+	Bloom   []byte
+	Model   *nn.Classifier
+	K       int
+	Input   *InputEncoder
+}
+
+// Save serializes the trained framework.
+func (f *Framework) Save(w io.Writer) error {
+	var bf bytes.Buffer
+	if _, err := f.Package.Filter.WriteTo(&bf); err != nil {
+		return fmt.Errorf("core: save bloom filter: %w", err)
+	}
+	p := persisted{
+		Encoder: f.Encoder,
+		DB:      f.DB,
+		Bloom:   bf.Bytes(),
+		Model:   f.Series.Model,
+		K:       f.Series.K,
+		Input:   f.Input,
+	}
+	if err := gob.NewEncoder(w).Encode(&p); err != nil {
+		return fmt.Errorf("core: save framework: %w", err)
+	}
+	return nil
+}
+
+// Load deserializes a framework saved with Save.
+func Load(r io.Reader) (*Framework, error) {
+	var p persisted
+	if err := gob.NewDecoder(r).Decode(&p); err != nil {
+		return nil, fmt.Errorf("core: load framework: %w", err)
+	}
+	if p.Encoder == nil || p.DB == nil || p.Model == nil || p.Input == nil {
+		return nil, fmt.Errorf("core: loaded framework is incomplete")
+	}
+	if p.K < 1 {
+		return nil, fmt.Errorf("core: loaded framework has invalid k=%d", p.K)
+	}
+	var filter bloom.Filter
+	if _, err := filter.ReadFrom(bytes.NewReader(p.Bloom)); err != nil {
+		return nil, fmt.Errorf("core: load bloom filter: %w", err)
+	}
+	return &Framework{
+		Encoder: p.Encoder,
+		DB:      p.DB,
+		Package: &PackageDetector{Filter: &filter},
+		Series:  &TimeSeriesDetector{Model: p.Model, K: p.K},
+		Input:   p.Input,
+	}, nil
+}

@@ -1,0 +1,85 @@
+package core_test
+
+import (
+	"testing"
+
+	"icsdetect/internal/core"
+	"icsdetect/internal/dataset"
+)
+
+func TestSessionBehaviour(t *testing.T) {
+	if testing.Short() {
+		t.Skip("session test uses the trained integration fixture")
+	}
+	fw, _, split := trainSmallFramework(t, true)
+
+	t.Run("ResetReproducesVerdicts", func(t *testing.T) {
+		sess := fw.NewSession()
+		first := make([]bool, 0, 200)
+		for _, p := range split.Test[:200] {
+			first = append(first, sess.Classify(p).Anomaly)
+		}
+		sess.Reset()
+		for i, p := range split.Test[:200] {
+			if got := sess.Classify(p).Anomaly; got != first[i] {
+				t.Fatalf("verdict %d changed after reset", i)
+			}
+		}
+	})
+
+	t.Run("FirstPackageNeverSeriesFlagged", func(t *testing.T) {
+		sess := fw.NewSession()
+		v := sess.Classify(split.Test[0])
+		if v.Level == core.LevelTimeSeries {
+			t.Error("time-series level fired without any history")
+		}
+		if v.Rank != -1 && v.Level == core.LevelPackage {
+			t.Error("package-level verdict carries a rank")
+		}
+	})
+
+	t.Run("ModesAreConsistent", func(t *testing.T) {
+		pkgEval := fw.Evaluate(split.Test, core.ModePackageOnly)
+		combEval := fw.Evaluate(split.Test, core.ModeCombined)
+		// The combined framework flags everything the package level flags
+		// (Fig. 3: the Bloom filter is checked first and short-circuits).
+		if combEval.Confusion.TP+combEval.Confusion.FP <
+			pkgEval.Confusion.TP+pkgEval.Confusion.FP {
+			t.Errorf("combined raised fewer alerts (%d) than package level alone (%d)",
+				combEval.Confusion.TP+combEval.Confusion.FP,
+				pkgEval.Confusion.TP+pkgEval.Confusion.FP)
+		}
+		// Level attribution matches the mode.
+		if pkgEval.ByLevel[core.LevelTimeSeries] != 0 {
+			t.Error("package-only mode attributed detections to the series level")
+		}
+		serEval := fw.Evaluate(split.Test, core.ModeSeriesOnly)
+		if serEval.ByLevel[core.LevelPackage] != 0 {
+			t.Error("series-only mode attributed detections to the package level")
+		}
+	})
+
+	t.Run("MFCISignaturesCaughtAtPackageLevel", func(t *testing.T) {
+		sess := fw.NewSession()
+		for _, p := range split.Test {
+			v := sess.Classify(p)
+			if p.Label == dataset.MFCI && v.Anomaly && v.Level != core.LevelPackage {
+				// Not fatal — but MFCI function codes are not in the
+				// signature DB, so the Bloom level should claim them.
+				t.Errorf("MFCI package detected at %v level", v.Level)
+			}
+		}
+	})
+}
+
+func TestEndToEndNoNoiseAblation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test skipped in -short mode")
+	}
+	fw, report, split := trainSmallFramework(t, false)
+	eval := fw.Evaluate(split.Test, core.ModeCombined)
+	t.Logf("no-noise: %v k=%d", eval.Summary, report.ChosenK)
+	if eval.Summary.F1 < 0.4 {
+		t.Errorf("no-noise framework F1 = %.3f, want >= 0.4", eval.Summary.F1)
+	}
+}

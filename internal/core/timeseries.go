@@ -1,0 +1,121 @@
+package core
+
+import (
+	"fmt"
+
+	"icsdetect/internal/dataset"
+	"icsdetect/internal/metrics"
+	"icsdetect/internal/nn"
+	"icsdetect/internal/signature"
+)
+
+// TimeSeriesDetector is the time-series level anomaly detector F_t (§V): a
+// stacked LSTM softmax classifier predicting the next package's signature;
+// a package is anomalous iff its signature is outside the top-k predicted
+// set S(k).
+type TimeSeriesDetector struct {
+	Model *nn.Classifier
+	K     int
+}
+
+// rankOf returns the 0-based rank of class in probs: the number of classes
+// with strictly greater probability, ties broken toward earlier indices so
+// the rank is deterministic. A package passes F_t iff rank < k.
+func rankOf(probs []float64, class int) int {
+	p := probs[class]
+	rank := 0
+	for i, v := range probs {
+		if v > p || (v == p && i < class) {
+			rank++
+		}
+	}
+	return rank
+}
+
+// BuildSequences converts attack-free fragments into training sequences:
+// Inputs[t] encodes package t of the fragment (optionally noise-corrupted),
+// Targets[t] is the class of package t+1's signature. The final package of
+// each fragment has no target.
+//
+// noise may be nil to train without probabilistic noise (the paper's
+// ablation in Fig. 6/7).
+func BuildSequences(enc *signature.Encoder, ienc *InputEncoder, db *signature.DB,
+	frags []dataset.Fragment, noise *NoiseInjector) []nn.Sequence {
+	seqs := make([]nn.Sequence, 0, len(frags))
+	for _, frag := range frags {
+		if len(frag) < 2 {
+			continue
+		}
+		cs := enc.EncodeFragment(frag)
+		seq := nn.Sequence{
+			Inputs:  make([][]float64, len(frag)-1),
+			Targets: make([]int, len(frag)-1),
+		}
+		for t := 0; t < len(frag)-1; t++ {
+			c := cs[t]
+			noisy := false
+			if noise != nil {
+				c, noisy = noise.Apply(c, signature.Signature(cs[t]))
+			}
+			seq.Inputs[t] = ienc.Encode(c, noisy)
+			nextSig := signature.Signature(cs[t+1])
+			if class, ok := db.ClassOf(nextSig); ok {
+				seq.Targets[t] = class
+			} else {
+				seq.Targets[t] = -1 // unseen target (cannot happen on train data)
+			}
+		}
+		seqs = append(seqs, seq)
+	}
+	return seqs
+}
+
+// TopKRanks runs the model statefully over attack-free fragments and
+// returns the rank of every true next-signature, the raw material for the
+// top-k error curve err_k (§V-A-2).
+func (d *TimeSeriesDetector) TopKRanks(enc *signature.Encoder, ienc *InputEncoder,
+	db *signature.DB, frags []dataset.Fragment) []int {
+	var ranks []int
+	probs := make([]float64, d.Model.Classes())
+	for _, frag := range frags {
+		if len(frag) < 2 {
+			continue
+		}
+		state := d.Model.NewState()
+		cs := enc.EncodeFragment(frag)
+		for t := 0; t < len(frag)-1; t++ {
+			d.Model.Step(state, ienc.Encode(cs[t], false), probs)
+			nextSig := signature.Signature(cs[t+1])
+			class, ok := db.ClassOf(nextSig)
+			if !ok {
+				// Signature absent from the database can never be in S(k);
+				// record a rank beyond any k.
+				ranks = append(ranks, d.Model.Classes())
+				continue
+			}
+			ranks = append(ranks, rankOf(probs, class))
+		}
+	}
+	return ranks
+}
+
+// SelectK evaluates the top-k error curve on validation fragments and picks
+// the minimal k with err_k < theta (§V-A-2). maxK bounds the curve.
+func (d *TimeSeriesDetector) SelectK(enc *signature.Encoder, ienc *InputEncoder,
+	db *signature.DB, validation []dataset.Fragment, theta float64, maxK int) (*metrics.TopKCurve, int, error) {
+	if maxK < 1 {
+		return nil, 0, fmt.Errorf("core: maxK must be >= 1, got %d", maxK)
+	}
+	ranks := d.TopKRanks(enc, ienc, db, validation)
+	curve := metrics.NewTopKCurve(ranks, maxK)
+	k, err := curve.MinKBelow(theta)
+	if err != nil {
+		return nil, 0, err
+	}
+	if k > maxK {
+		// No k satisfies θ on this validation set; use the best available
+		// and report it via the curve so callers can inspect.
+		k = maxK
+	}
+	return curve, k, nil
+}

@@ -1,0 +1,157 @@
+package core
+
+import (
+	"fmt"
+
+	"icsdetect/internal/dataset"
+	"icsdetect/internal/nn"
+	"icsdetect/internal/signature"
+)
+
+// UpdateConfig controls incremental retraining. The paper's §VIII-D lists
+// "collect more training data" as the first mitigation for hard-to-detect
+// physical-process attacks; Update realizes it without a full retrain: the
+// signature database and Bloom filter absorb the new normal signatures (at
+// the frozen discretization) and the LSTM fine-tunes for a few epochs with
+// the enlarged class space.
+type UpdateConfig struct {
+	// Fit configures the fine-tuning optimizer loop (fewer epochs and a
+	// lower learning rate than initial training are typical).
+	Fit nn.TrainConfig
+	// UseNoise keeps probabilistic-noise injection during fine-tuning.
+	UseNoise bool
+	// Lambda and NoiseMaxFeatures mirror Config.
+	Lambda           float64
+	NoiseMaxFeatures int
+	// BloomFP sizes the rebuilt Bloom filter.
+	BloomFP float64
+	// Seed drives the noise stream and shuffling.
+	Seed uint64
+}
+
+// DefaultUpdateConfig returns gentle fine-tuning settings.
+func DefaultUpdateConfig() UpdateConfig {
+	return UpdateConfig{
+		Fit: nn.TrainConfig{
+			Epochs: 4, Window: 32, BatchSize: 8, LR: 5e-4, ClipNorm: 5,
+		},
+		UseNoise:         true,
+		Lambda:           10,
+		NoiseMaxFeatures: 3,
+		BloomFP:          0.005,
+		Seed:             1,
+	}
+}
+
+// Update absorbs newly observed attack-free fragments into the framework:
+// the signature database gains the new signatures (keeping existing class
+// indices stable), the Bloom filter is rebuilt, the classifier's output
+// layer grows for new classes, and the model fine-tunes on the new
+// fragments. The discretization is frozen — changing it would invalidate
+// the entire class space; retrain from scratch when the granularity must
+// move.
+func (f *Framework) Update(fresh []dataset.Fragment, cfg UpdateConfig) error {
+	if len(fresh) == 0 {
+		return fmt.Errorf("core: update needs at least one fragment")
+	}
+	for _, frag := range fresh {
+		for _, p := range frag {
+			if p.IsAttack() {
+				return fmt.Errorf("core: update fragments must be attack-free")
+			}
+		}
+	}
+	if cfg.BloomFP <= 0 || cfg.BloomFP >= 1 {
+		return fmt.Errorf("core: BloomFP must be in (0,1), got %g", cfg.BloomFP)
+	}
+
+	// 1. Extend the signature database with stable class indices: existing
+	// signatures keep their position, new ones append in frequency order.
+	counts := make(map[string]int, len(f.DB.Counts))
+	for s, c := range f.DB.Counts {
+		counts[s] = c
+	}
+	total := f.DB.Total
+	type newSig struct {
+		sig   string
+		count int
+	}
+	newCounts := make(map[string]int)
+	for _, frag := range fresh {
+		var prev *dataset.Package
+		for _, p := range frag {
+			sig := signature.Signature(f.Encoder.Encode(prev, p))
+			counts[sig]++
+			total++
+			if _, known := f.DB.Index[sig]; !known {
+				newCounts[sig]++
+			}
+			prev = p
+		}
+	}
+	var added []newSig
+	for s, c := range newCounts {
+		added = append(added, newSig{s, c})
+	}
+	// Deterministic order: by descending novelty count, then lexicographic.
+	for i := 0; i < len(added); i++ {
+		for j := i + 1; j < len(added); j++ {
+			if added[j].count > added[i].count ||
+				(added[j].count == added[i].count && added[j].sig < added[i].sig) {
+				added[i], added[j] = added[j], added[i]
+			}
+		}
+	}
+	list := append(append([]string(nil), f.DB.List...), nil...)
+	index := make(map[string]int, len(list)+len(added))
+	for i, s := range list {
+		index[s] = i
+	}
+	for _, ns := range added {
+		index[ns.sig] = len(list)
+		list = append(list, ns.sig)
+	}
+	f.DB.Counts = counts
+	f.DB.List = list
+	f.DB.Index = index
+	f.DB.Total = total
+
+	// 2. Rebuild the Bloom filter over the enlarged database.
+	pkg, err := NewPackageDetector(f.DB, cfg.BloomFP)
+	if err != nil {
+		return err
+	}
+	f.Package = pkg
+
+	// 3. Grow the classifier's output layer for the new classes.
+	if n := f.DB.Size(); n > f.Series.Model.Classes() {
+		if err := growOutput(f.Series.Model, n, cfg.Seed); err != nil {
+			return err
+		}
+	}
+
+	// 4. Fine-tune on the fresh fragments.
+	var noise *NoiseInjector
+	if cfg.UseNoise {
+		noise, err = NewNoiseInjector(cfg.Lambda, cfg.NoiseMaxFeatures, f.DB, f.Input, cfg.Seed^0x5EED)
+		if err != nil {
+			return err
+		}
+	}
+	seqs := BuildSequences(f.Encoder, f.Input, f.DB, fresh, noise)
+	if len(seqs) == 0 {
+		return nil // fragments too short to train on; DB update still applies
+	}
+	fit := cfg.Fit
+	fit.Seed = cfg.Seed ^ 0x9D2C
+	if _, err := nn.Train(f.Series.Model, seqs, fit); err != nil {
+		return err
+	}
+	return nil
+}
+
+// growOutput widens the dense head to `classes` outputs, preserving learned
+// weights for existing classes and Xavier-initializing the new rows.
+func growOutput(model *nn.Classifier, classes int, seed uint64) error {
+	return model.GrowClasses(classes, seed)
+}

@@ -1,0 +1,105 @@
+package core_test
+
+import (
+	"testing"
+
+	"icsdetect/internal/core"
+	"icsdetect/internal/dataset"
+	"icsdetect/internal/gaspipeline"
+)
+
+func TestIncrementalUpdate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("update test uses the trained integration fixture")
+	}
+	fw, report, _ := trainSmallFramework(t, true)
+	oldSize := fw.DB.Size()
+	oldClasses := fw.Series.Model.Classes()
+
+	// Fresh attack-free traffic from a different seed: new operating
+	// regimes introduce new signatures.
+	freshDS, err := gaspipeline.GenerateNormal(3000, 777)
+	if err != nil {
+		t.Fatal(err)
+	}
+	freshSplit, err := dataset.MakeSplit(freshDS, dataset.SplitConfig{
+		TrainFrac: 0.9, ValidationFrac: 0.05,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := core.DefaultUpdateConfig()
+	cfg.Fit.Epochs = 2
+	cfg.Fit.BatchSize = 4
+	if err := fw.Update(freshSplit.Train, cfg); err != nil {
+		t.Fatal(err)
+	}
+
+	if fw.DB.Size() < oldSize {
+		t.Fatalf("database shrank: %d -> %d", oldSize, fw.DB.Size())
+	}
+	if fw.Series.Model.Classes() != fw.DB.Size() && fw.DB.Size() > oldClasses {
+		t.Fatalf("classifier classes %d != db size %d", fw.Series.Model.Classes(), fw.DB.Size())
+	}
+	// Existing class indices must be stable.
+	for i, sig := range fw.DB.List[:oldSize] {
+		if idx, ok := fw.DB.ClassOf(sig); !ok || idx != i {
+			t.Fatalf("class index of %q moved to %d", sig, idx)
+		}
+	}
+	// All fresh signatures must now pass the package level.
+	misses := 0
+	total := 0
+	for _, frag := range freshSplit.Train {
+		var prev *dataset.Package
+		for _, p := range frag {
+			exp := fw.Explain(prev, p)
+			total++
+			if exp.Verdict.Anomaly {
+				misses++
+			}
+			prev = p
+		}
+	}
+	if misses > 0 {
+		t.Errorf("%d/%d absorbed packages still flagged at package level", misses, total)
+	}
+
+	// The updated framework still detects attacks.
+	attackDS, err := gaspipeline.Generate(gaspipeline.DefaultGenConfig(3000, 778))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := fw.NewSession()
+	detected := 0
+	for _, p := range attackDS.Packages {
+		if v := sess.Classify(p); v.Anomaly && p.IsAttack() {
+			detected++
+		}
+	}
+	if detected == 0 {
+		t.Error("updated framework detects nothing")
+	}
+	_ = report
+}
+
+func TestUpdateValidation(t *testing.T) {
+	if testing.Short() {
+		t.Skip()
+	}
+	fw, _, split := trainSmallFramework(t, true)
+	if err := fw.Update(nil, core.DefaultUpdateConfig()); err == nil {
+		t.Error("empty update accepted")
+	}
+	// Attack-bearing fragments are rejected.
+	bad := dataset.Fragment{{Label: dataset.DOS}}
+	if err := fw.Update([]dataset.Fragment{bad}, core.DefaultUpdateConfig()); err == nil {
+		t.Error("attack fragment accepted")
+	}
+	cfg := core.DefaultUpdateConfig()
+	cfg.BloomFP = 0
+	if err := fw.Update(split.Validation, cfg); err == nil {
+		t.Error("invalid BloomFP accepted")
+	}
+}

@@ -1,0 +1,317 @@
+// Package dataset defines the gas-pipeline traffic record schema (paper
+// §VII, Table I), the attack taxonomy (Table II), and the chronological
+// 6:2:2 train/validation/test split with anomaly removal and short-fragment
+// filtering used by the experiments (paper §VIII).
+package dataset
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"icsdetect/internal/arff"
+)
+
+// AttackType identifies the ground-truth class of a package (Table II).
+// Normal is 0 so that a zero-valued record is a normal package.
+type AttackType int
+
+// Attack categories from Table II of the paper.
+const (
+	Normal AttackType = iota
+	NMRI              // 1: naive malicious response injection
+	CMRI              // 2: complex malicious response injection (hide real state)
+	MSCI              // 3: malicious state command injection
+	MPCI              // 4: malicious parameter command injection
+	MFCI              // 5: malicious function code injection
+	DOS               // 6: denial of service on the communication link
+	Recon             // 7: reconnaissance (pretend to read from devices)
+)
+
+// AttackTypes lists all non-normal attack classes in Table II order.
+var AttackTypes = []AttackType{NMRI, CMRI, MSCI, MPCI, MFCI, DOS, Recon}
+
+// String returns the paper's abbreviation for the attack type.
+func (a AttackType) String() string {
+	switch a {
+	case Normal:
+		return "Normal"
+	case NMRI:
+		return "NMRI"
+	case CMRI:
+		return "CMRI"
+	case MSCI:
+		return "MSCI"
+	case MPCI:
+		return "MPCI"
+	case MFCI:
+		return "MFCI"
+	case DOS:
+		return "DoS"
+	case Recon:
+		return "Recon"
+	default:
+		return fmt.Sprintf("AttackType(%d)", int(a))
+	}
+}
+
+// Package is one network package record with the 17 features of Table I
+// plus the ground-truth label. Field names follow the ARFF columns.
+type Package struct {
+	Address       float64 // station address of the Modbus slave device
+	CRCRate       float64 // cyclic-redundancy checksum rate
+	Function      float64 // Modbus function code
+	Length        float64 // length of the Modbus packet
+	Setpoint      float64 // pressure set point (automatic mode)
+	Gain          float64 // PID gain
+	ResetRate     float64 // PID reset rate
+	Deadband      float64 // PID dead band
+	CycleTime     float64 // PID cycle time
+	Rate          float64 // PID rate
+	SystemMode    float64 // automatic (2), manual (1) or off (0)
+	ControlScheme float64 // pump (0) or solenoid (1)
+	Pump          float64 // pump control: open (1) / off (0), manual mode only
+	Solenoid      float64 // valve control: open (1) / closed (0), manual mode only
+	Pressure      float64 // pressure measurement
+	CmdResponse   float64 // command (1) or response (0)
+	Time          float64 // timestamp, seconds
+
+	Label AttackType // ground truth (not visible to detectors)
+}
+
+// IsAttack reports whether the package carries a non-normal label.
+func (p *Package) IsAttack() bool { return p.Label != Normal }
+
+// Interval returns the time interval feature between p and the previous
+// package (paper §VIII-A-1 derives it from consecutive timestamps). The
+// first package of a fragment uses interval 0.
+func Interval(prev, cur *Package) float64 {
+	if prev == nil {
+		return 0
+	}
+	d := cur.Time - prev.Time
+	if d < 0 {
+		d = 0
+	}
+	return d
+}
+
+// PIDVector returns the five strongly correlated PID control parameters as a
+// vector, which the paper clusters jointly (Table III).
+func (p *Package) PIDVector() []float64 {
+	return []float64{p.Gain, p.ResetRate, p.Deadband, p.CycleTime, p.Rate}
+}
+
+// Dataset is an ordered time series of packages.
+type Dataset struct {
+	Packages []*Package
+}
+
+// Len returns the number of packages.
+func (d *Dataset) Len() int { return len(d.Packages) }
+
+// CountAttacks returns the number of packages per attack type.
+func (d *Dataset) CountAttacks() map[AttackType]int {
+	out := make(map[AttackType]int)
+	for _, p := range d.Packages {
+		out[p.Label]++
+	}
+	return out
+}
+
+// Fragment is a contiguous run of packages (used after anomaly removal
+// splits the normal series into pieces).
+type Fragment []*Package
+
+// Split is the result of the paper's 6:2:2 chronological partition.
+type Split struct {
+	// Train and Validation contain only normal packages, divided into
+	// contiguous fragments each at least MinFragment long.
+	Train, Validation []Fragment
+	// Test is the raw final 20% slice, anomalies included.
+	Test []*Package
+	// Removed counts anomalous packages dropped from train+validation.
+	Removed int
+	// Short counts normal fragments dropped for being shorter than
+	// MinFragment.
+	Short int
+}
+
+// SplitConfig controls MakeSplit.
+type SplitConfig struct {
+	// TrainFrac and ValidationFrac are the leading fractions; the remainder
+	// is the test set. Defaults: 0.6 and 0.2 (paper §VIII).
+	TrainFrac, ValidationFrac float64
+	// MinFragment drops normal fragments shorter than this many packages
+	// after anomaly removal (paper uses 10).
+	MinFragment int
+}
+
+func (c *SplitConfig) defaults() {
+	if c.TrainFrac <= 0 {
+		c.TrainFrac = 0.6
+	}
+	if c.ValidationFrac <= 0 {
+		c.ValidationFrac = 0.2
+	}
+	if c.MinFragment <= 0 {
+		c.MinFragment = 10
+	}
+}
+
+// MakeSplit partitions the dataset chronologically into train/validation/
+// test per the paper: the first 60% (anomalies removed, fragments < 10
+// dropped) trains the models, the next 20% (same cleaning) validates
+// hyper-parameters, the final 20% (anomalies kept) is the test set.
+func MakeSplit(d *Dataset, cfg SplitConfig) (*Split, error) {
+	cfg.defaults()
+	if cfg.TrainFrac+cfg.ValidationFrac >= 1 {
+		return nil, fmt.Errorf("dataset: train+validation fractions %g+%g leave no test data",
+			cfg.TrainFrac, cfg.ValidationFrac)
+	}
+	n := len(d.Packages)
+	if n == 0 {
+		return nil, fmt.Errorf("dataset: empty dataset")
+	}
+	trainEnd := int(float64(n) * cfg.TrainFrac)
+	valEnd := int(float64(n) * (cfg.TrainFrac + cfg.ValidationFrac))
+
+	s := &Split{Test: d.Packages[valEnd:]}
+	var removed, short int
+	s.Train, removed, short = cleanFragments(d.Packages[:trainEnd], cfg.MinFragment)
+	s.Removed += removed
+	s.Short += short
+	s.Validation, removed, short = cleanFragments(d.Packages[trainEnd:valEnd], cfg.MinFragment)
+	s.Removed += removed
+	s.Short += short
+	return s, nil
+}
+
+// cleanFragments removes attack packages and splits the remainder into
+// contiguous normal fragments, dropping fragments shorter than minLen.
+func cleanFragments(pkgs []*Package, minLen int) (frags []Fragment, removed, short int) {
+	var cur Fragment
+	flush := func() {
+		if len(cur) == 0 {
+			return
+		}
+		if len(cur) >= minLen {
+			frags = append(frags, cur)
+		} else {
+			short += len(cur)
+		}
+		cur = nil
+	}
+	for _, p := range pkgs {
+		if p.IsAttack() {
+			removed++
+			flush()
+			continue
+		}
+		cur = append(cur, p)
+	}
+	flush()
+	return frags, removed, short
+}
+
+// FragmentPackages flattens fragments into a single slice, preserving order.
+func FragmentPackages(frags []Fragment) []*Package {
+	var total int
+	for _, f := range frags {
+		total += len(f)
+	}
+	out := make([]*Package, 0, total)
+	for _, f := range frags {
+		out = append(out, f...)
+	}
+	return out
+}
+
+// arffColumns is the canonical Table I column order.
+var arffColumns = []string{
+	"address", "crc_rate", "function", "length", "setpoint", "gain",
+	"reset_rate", "deadband", "cycle_time", "rate", "system_mode",
+	"control_scheme", "pump", "solenoid", "pressure_measurement",
+	"command_response", "time", "attack_type",
+}
+
+// ToARFF converts the dataset to an ARFF relation with the Table I schema
+// plus a numeric attack_type label column.
+func ToARFF(d *Dataset) *arff.Relation {
+	rel := &arff.Relation{Name: "gas_pipeline"}
+	for _, c := range arffColumns {
+		rel.Attributes = append(rel.Attributes, arff.Attribute{Name: c, Type: arff.Numeric})
+	}
+	rel.Rows = make([][]any, 0, len(d.Packages))
+	for _, p := range d.Packages {
+		rel.Rows = append(rel.Rows, []any{
+			p.Address, p.CRCRate, p.Function, p.Length, p.Setpoint, p.Gain,
+			p.ResetRate, p.Deadband, p.CycleTime, p.Rate, p.SystemMode,
+			p.ControlScheme, p.Pump, p.Solenoid, p.Pressure,
+			p.CmdResponse, p.Time, float64(p.Label),
+		})
+	}
+	return rel
+}
+
+// FromARFF converts an ARFF relation (Table I schema) back to a Dataset.
+// Missing numeric cells become 0, matching the original dataset's handling
+// of response-only fields in command packages.
+func FromARFF(rel *arff.Relation) (*Dataset, error) {
+	idx := make([]int, len(arffColumns))
+	for i, c := range arffColumns {
+		j := rel.AttrIndex(c)
+		if j < 0 && c != "attack_type" {
+			return nil, fmt.Errorf("dataset: ARFF relation missing column %q", c)
+		}
+		idx[i] = j
+	}
+	d := &Dataset{Packages: make([]*Package, 0, len(rel.Rows))}
+	for rowNo, row := range rel.Rows {
+		get := func(i int) float64 {
+			if idx[i] < 0 {
+				return 0
+			}
+			if v, ok := row[idx[i]].(float64); ok {
+				return v
+			}
+			return 0
+		}
+		p := &Package{
+			Address: get(0), CRCRate: get(1), Function: get(2), Length: get(3),
+			Setpoint: get(4), Gain: get(5), ResetRate: get(6), Deadband: get(7),
+			CycleTime: get(8), Rate: get(9), SystemMode: get(10),
+			ControlScheme: get(11), Pump: get(12), Solenoid: get(13),
+			Pressure: get(14), CmdResponse: get(15), Time: get(16),
+		}
+		label := int(get(17))
+		if label < int(Normal) || label > int(Recon) {
+			return nil, fmt.Errorf("dataset: row %d: attack_type %d out of range", rowNo+1, label)
+		}
+		p.Label = AttackType(label)
+		d.Packages = append(d.Packages, p)
+	}
+	return d, nil
+}
+
+// WriteARFF writes the dataset in ARFF format.
+func WriteARFF(w io.Writer, d *Dataset) error {
+	return arff.Write(w, ToARFF(d))
+}
+
+// ReadARFF reads a dataset in ARFF format.
+func ReadARFF(r io.Reader) (*Dataset, error) {
+	rel, err := arff.Read(r)
+	if err != nil {
+		return nil, err
+	}
+	return FromARFF(rel)
+}
+
+// SortByTime orders packages by timestamp (stable), used when merging
+// captures from multiple taps.
+func (d *Dataset) SortByTime() {
+	sort.SliceStable(d.Packages, func(i, j int) bool {
+		return d.Packages[i].Time < d.Packages[j].Time
+	})
+}

@@ -1,0 +1,203 @@
+package dataset
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"icsdetect/internal/mathx"
+)
+
+func makeSeries(n int, attacks map[int]AttackType) *Dataset {
+	d := &Dataset{}
+	for i := 0; i < n; i++ {
+		p := &Package{Time: float64(i) * 0.25, Pressure: 8, Setpoint: 8}
+		if at, ok := attacks[i]; ok {
+			p.Label = at
+		}
+		d.Packages = append(d.Packages, p)
+	}
+	return d
+}
+
+func TestMakeSplitProportions(t *testing.T) {
+	d := makeSeries(1000, nil)
+	s, err := MakeSplit(d, SplitConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(FragmentPackages(s.Train)); n != 600 {
+		t.Errorf("train = %d, want 600", n)
+	}
+	if n := len(FragmentPackages(s.Validation)); n != 200 {
+		t.Errorf("validation = %d, want 200", n)
+	}
+	if len(s.Test) != 200 {
+		t.Errorf("test = %d, want 200", len(s.Test))
+	}
+}
+
+func TestMakeSplitChronological(t *testing.T) {
+	d := makeSeries(100, nil)
+	s, err := MakeSplit(d, SplitConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := -1.0
+	for _, p := range FragmentPackages(s.Train) {
+		if p.Time <= last {
+			t.Fatal("train not chronological")
+		}
+		last = p.Time
+	}
+	for _, p := range FragmentPackages(s.Validation) {
+		if p.Time <= last {
+			t.Fatal("validation does not follow train")
+		}
+		last = p.Time
+	}
+	for _, p := range s.Test {
+		if p.Time <= last {
+			t.Fatal("test does not follow validation")
+		}
+		last = p.Time
+	}
+}
+
+// TestSplitInvariants: no anomalies in train/validation, all fragments at
+// least MinFragment long, anomalies preserved in test (paper §VIII).
+func TestSplitInvariants(t *testing.T) {
+	rng := mathx.NewRNG(5)
+	f := func() bool {
+		n := 200 + rng.Intn(800)
+		attacks := map[int]AttackType{}
+		for i := 0; i < n/10; i++ {
+			attacks[rng.Intn(n)] = AttackType(1 + rng.Intn(7))
+		}
+		d := makeSeries(n, attacks)
+		s, err := MakeSplit(d, SplitConfig{MinFragment: 10})
+		if err != nil {
+			return false
+		}
+		for _, fr := range append(append([]Fragment{}, s.Train...), s.Validation...) {
+			if len(fr) < 10 {
+				return false
+			}
+			for _, p := range fr {
+				if p.IsAttack() {
+					return false
+				}
+			}
+		}
+		// Accounting: clean packages + removed + short == train+validation span.
+		cleanCount := len(FragmentPackages(s.Train)) + len(FragmentPackages(s.Validation))
+		span := int(float64(n)*0.6) + (int(float64(n)*0.8) - int(float64(n)*0.6))
+		return cleanCount+s.Removed+s.Short == span
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMakeSplitErrors(t *testing.T) {
+	if _, err := MakeSplit(&Dataset{}, SplitConfig{}); err == nil {
+		t.Error("empty dataset accepted")
+	}
+	d := makeSeries(10, nil)
+	if _, err := MakeSplit(d, SplitConfig{TrainFrac: 0.8, ValidationFrac: 0.3}); err == nil {
+		t.Error("fractions >= 1 accepted")
+	}
+}
+
+func TestInterval(t *testing.T) {
+	a := &Package{Time: 1.0}
+	b := &Package{Time: 1.25}
+	if v := Interval(a, b); v != 0.25 {
+		t.Errorf("Interval = %v", v)
+	}
+	if v := Interval(nil, b); v != 0 {
+		t.Errorf("first-package interval = %v", v)
+	}
+	// Clock skew must not produce negative intervals.
+	if v := Interval(b, a); v != 0 {
+		t.Errorf("negative interval not clamped: %v", v)
+	}
+}
+
+func TestAttackTypeString(t *testing.T) {
+	names := map[AttackType]string{
+		Normal: "Normal", NMRI: "NMRI", CMRI: "CMRI", MSCI: "MSCI",
+		MPCI: "MPCI", MFCI: "MFCI", DOS: "DoS", Recon: "Recon",
+	}
+	for at, want := range names {
+		if at.String() != want {
+			t.Errorf("%d.String() = %q, want %q", at, at.String(), want)
+		}
+	}
+}
+
+func TestARFFRoundTrip(t *testing.T) {
+	rng := mathx.NewRNG(6)
+	d := &Dataset{}
+	for i := 0; i < 200; i++ {
+		d.Packages = append(d.Packages, &Package{
+			Address:     4,
+			CRCRate:     rng.Float64() / 10,
+			Function:    16,
+			Length:      29,
+			Setpoint:    8,
+			Gain:        0.45,
+			Pressure:    rng.Range(0, 20),
+			CmdResponse: float64(i % 2),
+			Time:        float64(i) * 0.25,
+			Label:       AttackType(rng.Intn(8)),
+		})
+	}
+	var buf bytes.Buffer
+	if err := WriteARFF(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadARFF(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != d.Len() {
+		t.Fatalf("length mismatch: %d vs %d", back.Len(), d.Len())
+	}
+	for i := range d.Packages {
+		if *back.Packages[i] != *d.Packages[i] {
+			t.Fatalf("package %d mismatch:\n%+v\n%+v", i, back.Packages[i], d.Packages[i])
+		}
+	}
+}
+
+func TestCountAttacks(t *testing.T) {
+	d := makeSeries(10, map[int]AttackType{2: DOS, 5: DOS, 7: Recon})
+	counts := d.CountAttacks()
+	if counts[Normal] != 7 || counts[DOS] != 2 || counts[Recon] != 1 {
+		t.Errorf("counts = %v", counts)
+	}
+}
+
+func TestSortByTime(t *testing.T) {
+	d := &Dataset{Packages: []*Package{
+		{Time: 3}, {Time: 1}, {Time: 2},
+	}}
+	d.SortByTime()
+	for i := 1; i < len(d.Packages); i++ {
+		if d.Packages[i].Time < d.Packages[i-1].Time {
+			t.Fatal("not sorted")
+		}
+	}
+}
+
+func TestPIDVector(t *testing.T) {
+	p := &Package{Gain: 1, ResetRate: 2, Deadband: 3, CycleTime: 4, Rate: 5}
+	v := p.PIDVector()
+	want := []float64{1, 2, 3, 4, 5}
+	for i := range want {
+		if v[i] != want[i] {
+			t.Fatalf("PIDVector = %v", v)
+		}
+	}
+}

@@ -1,0 +1,209 @@
+package experiments
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"icsdetect/internal/dataset"
+	"icsdetect/internal/signature"
+)
+
+var (
+	testEnvOnce sync.Once
+	testEnv     *Env
+	testEnvErr  error
+)
+
+// smallEnv builds one shared miniature environment for all experiment
+// tests; BuildEnv is the expensive step (two LSTM trainings).
+func smallEnv(t *testing.T) *Env {
+	t.Helper()
+	testEnvOnce.Do(func() {
+		cfg := DefaultConfig()
+		cfg.Packages = 8000
+		cfg.Granularity = signature.Granularity{
+			IntervalClusters: 2, CRCClusters: 2,
+			PressureBins: 5, SetpointBins: 3, PIDClusters: 2,
+		}
+		cfg.Core.Granularity = cfg.Granularity
+		cfg.Core.Hidden = []int{24, 24}
+		cfg.Core.Fit.Epochs = 6
+		cfg.Core.Fit.BatchSize = 4
+		testEnv, testEnvErr = BuildEnv(cfg, nil)
+	})
+	if testEnvErr != nil {
+		t.Fatalf("build env: %v", testEnvErr)
+	}
+	return testEnv
+}
+
+func TestBuildEnvInvariants(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment environment skipped in -short mode")
+	}
+	env := smallEnv(t)
+	if env.Framework == nil || env.Plain == nil {
+		t.Fatal("frameworks missing")
+	}
+	if env.Report.Signatures == 0 || env.Report.ChosenK < 1 {
+		t.Fatalf("bad report: %+v", env.Report)
+	}
+	if len(env.TrainWindows) == 0 || len(env.TestWindows) == 0 {
+		t.Fatal("windows missing")
+	}
+}
+
+func TestRunFigure4(t *testing.T) {
+	if testing.Short() {
+		t.Skip()
+	}
+	env := smallEnv(t)
+	fig := RunFigure4(env)
+	for name, h := range map[string]int{
+		"interval": fig.Interval.N, "crc": fig.CRCRate.N,
+		"setpoint": fig.Setpoint.N, "pressure": fig.Pressure.N,
+	} {
+		if h == 0 {
+			t.Errorf("%s histogram empty", name)
+		}
+	}
+	if s := fig.String(); !strings.Contains(s, "Figure 4") {
+		t.Error("rendering missing title")
+	}
+	// The paper's observation: time interval has two natural clusters
+	// (intra-cycle and inter-cycle); the histogram must be bimodal with a
+	// large empty stretch between them.
+	zeroRun, maxRun := 0, 0
+	for _, c := range fig.Interval.Counts {
+		if c == 0 {
+			zeroRun++
+			if zeroRun > maxRun {
+				maxRun = zeroRun
+			}
+		} else {
+			zeroRun = 0
+		}
+	}
+	if maxRun < 20 {
+		t.Errorf("interval histogram lacks a bimodal gap (max empty run %d bins)", maxRun)
+	}
+}
+
+func TestRunFigure5AndTableIII(t *testing.T) {
+	if testing.Short() {
+		t.Skip()
+	}
+	env := smallEnv(t)
+	fig, err := RunFigure5(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Points) == 0 {
+		t.Fatal("no sweep points")
+	}
+	// errv must generally grow with granularity: compare the coarsest and
+	// finest pressure settings at fixed setpoint/PID.
+	var coarse, fine *signature.SearchPoint
+	for i := range fig.Points {
+		p := &fig.Points[i]
+		if p.Granularity.SetpointBins == 3 && p.Granularity.PIDClusters == 4 {
+			if p.Granularity.PressureBins == 4 {
+				coarse = p
+			}
+			if p.Granularity.PressureBins == 20 {
+				fine = p
+			}
+		}
+	}
+	if coarse != nil && fine != nil && fine.Errv < coarse.Errv {
+		t.Errorf("finer granularity has lower errv (%.4f < %.4f)", fine.Errv, coarse.Errv)
+	}
+
+	t3 := RunTableIII(env)
+	if !strings.Contains(t3.String(), "Kmeans clustering") {
+		t.Error("Table III rendering incomplete")
+	}
+}
+
+func TestRunFigure6And7(t *testing.T) {
+	if testing.Short() {
+		t.Skip()
+	}
+	env := smallEnv(t)
+	fig6 := RunFigure6(env)
+	// Top-k error must be non-increasing in k for all four curves.
+	for name, curve := range map[string][]float64{
+		"noise-train": fig6.NoiseTrain.Err, "noise-val": fig6.NoiseValidation.Err,
+		"plain-train": fig6.PlainTrain.Err, "plain-val": fig6.PlainValidation.Err,
+	} {
+		for k := 1; k < len(curve); k++ {
+			if curve[k] > curve[k-1]+1e-12 {
+				t.Errorf("%s curve increases at k=%d", name, k+1)
+			}
+		}
+	}
+
+	fig7, err := RunFigure7(env, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig7.Ks) != 5 {
+		t.Fatalf("swept %d ks", len(fig7.Ks))
+	}
+	// Precision generally rises with k, recall falls (paper Fig. 7).
+	n := len(fig7.Noise)
+	if fig7.Noise[n-1].Recall > fig7.Noise[0].Recall+1e-9 {
+		t.Errorf("recall rose with k: %.3f -> %.3f",
+			fig7.Noise[0].Recall, fig7.Noise[n-1].Recall)
+	}
+	// The framework's K must be restored after the sweep.
+	if env.Framework.Series.K != env.Report.ChosenK {
+		t.Errorf("sweep leaked k=%d", env.Framework.Series.K)
+	}
+}
+
+func TestRunTableIVAndV(t *testing.T) {
+	if testing.Short() {
+		t.Skip()
+	}
+	env := smallEnv(t)
+	t4, err := RunTableIV(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t4.Rows) != 7 {
+		t.Fatalf("Table IV rows = %d, want 7", len(t4.Rows))
+	}
+	if t4.Rows[0].Name != "Our framework" {
+		t.Errorf("first row = %q", t4.Rows[0].Name)
+	}
+	for _, r := range t4.Rows {
+		s := r.Summary
+		for name, v := range map[string]float64{
+			"precision": s.Precision, "recall": s.Recall,
+			"accuracy": s.Accuracy, "f1": s.F1,
+		} {
+			if v < 0 || v > 1 {
+				t.Errorf("%s %s = %v out of [0,1]", r.Name, name, v)
+			}
+		}
+	}
+
+	t5 := RunTableV(t4)
+	rendered := t5.String()
+	for _, at := range dataset.AttackTypes {
+		if !strings.Contains(rendered, at.String()) {
+			t.Errorf("Table V missing %v", at)
+		}
+	}
+
+	// MFCI and Recon use out-of-database signatures: the framework must
+	// detect essentially all of them (paper Table V: 1.00).
+	ours := t4.Rows[0]
+	for _, at := range []dataset.AttackType{dataset.MFCI, dataset.Recon} {
+		if ours.PerAttack.Total[at] > 0 && ours.PerAttack.Ratio(at) < 0.9 {
+			t.Errorf("our framework detected only %.2f of %v", ours.PerAttack.Ratio(at), at)
+		}
+	}
+}

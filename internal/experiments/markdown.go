@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"icsdetect/internal/dataset"
+)
+
+// WriteMarkdown runs every experiment and renders the results as a markdown
+// report (the measured side of EXPERIMENTS.md). The env must already be
+// built; the function is deterministic given the env.
+func WriteMarkdown(w io.Writer, env *Env) error {
+	p := func(format string, args ...any) {
+		fmt.Fprintf(w, format, args...)
+	}
+	counts := env.Dataset.CountAttacks()
+	p("## Measured results (packages=%d, seed=%d, hidden=%v, epochs=%d)\n\n",
+		env.Config.Packages, env.Config.Seed,
+		env.Config.Core.Hidden, env.Config.Core.Fit.Epochs)
+	p("Dataset: %d packages, %d normal, %d attack. Signature database: %d signatures, errv=%.4f, selected k=%d.\n\n",
+		env.Dataset.Len(), counts[dataset.Normal],
+		env.Dataset.Len()-counts[dataset.Normal],
+		env.Report.Signatures, env.Report.PackageErrv, env.Report.ChosenK)
+
+	// Figure 4.
+	fig4 := RunFigure4(env)
+	p("### Figure 4 — feature histograms\n\n```\n%s```\n\n", fig4.String())
+
+	// Figure 5.
+	fig5, err := RunFigure5(env)
+	if err != nil {
+		return err
+	}
+	p("### Figure 5 — validation error vs granularity (θ=%.2f)\n\n", fig5.Theta)
+	p("| pressure | setpoint | PID | \\|S\\| | errv | feasible |\n|---|---|---|---|---|---|\n")
+	for _, pt := range fig5.Points {
+		p("| %d | %d | %d | %d | %.4f | %v |\n",
+			pt.Granularity.PressureBins, pt.Granularity.SetpointBins,
+			pt.Granularity.PIDClusters, pt.Signatures, pt.Errv, pt.Feasible)
+	}
+	p("\nChosen: pressure=%d setpoint=%d PID=%d.\n\n",
+		fig5.Best.PressureBins, fig5.Best.SetpointBins, fig5.Best.PIDClusters)
+
+	// Table III.
+	t3 := RunTableIII(env)
+	g := t3.Granularity
+	p("### Table III — discretization strategy in use\n\n")
+	p("| Feature | Method | Value No. |\n|---|---|---|\n")
+	p("| time interval | K-means | %d+1 |\n", g.IntervalClusters)
+	p("| crc rate | K-means | %d+1 |\n", g.CRCClusters)
+	p("| pressure measurement | even interval | %d+1 |\n", g.PressureBins)
+	p("| setpoint | even interval | %d+1 |\n", g.SetpointBins)
+	p("| PID parameters | K-means | %d+1 |\n\n", g.PIDClusters)
+
+	// Figure 6.
+	fig6 := RunFigure6(env)
+	p("### Figure 6 — top-k error (θ=%.2f → k=%d)\n\n", fig6.Theta, fig6.ChosenK)
+	p("| k | train+noise | val+noise | train | val |\n|---|---|---|---|---|\n")
+	for k := 1; k <= len(fig6.NoiseTrain.Err); k++ {
+		p("| %d | %.4f | %.4f | %.4f | %.4f |\n",
+			k, fig6.NoiseTrain.Err[k-1], fig6.NoiseValidation.Err[k-1],
+			fig6.PlainTrain.Err[k-1], fig6.PlainValidation.Err[k-1])
+	}
+	p("\n")
+
+	// Figure 7.
+	fig7, err := RunFigure7(env, 10)
+	if err != nil {
+		return err
+	}
+	p("### Figure 7 — combined framework metrics vs k (chosen k=%d)\n\n", fig7.ChosenK)
+	p("| k | P+noise | R+noise | A+noise | F1+noise | P | R | A | F1 |\n|---|---|---|---|---|---|---|---|---|\n")
+	for i, k := range fig7.Ks {
+		n, pl := fig7.Noise[i], fig7.Plain[i]
+		p("| %d | %.2f | %.2f | %.2f | %.2f | %.2f | %.2f | %.2f | %.2f |\n",
+			k, n.Precision, n.Recall, n.Accuracy, n.F1,
+			pl.Precision, pl.Recall, pl.Accuracy, pl.F1)
+	}
+	p("\n")
+
+	// Tables IV and V.
+	t4, err := RunTableIV(env)
+	if err != nil {
+		return err
+	}
+	p("### Table IV — model comparison\n\n")
+	p("| Model | Precision | Recall | Accuracy | F1-score |\n|---|---|---|---|---|\n")
+	for _, r := range t4.Rows {
+		p("| %s | %.2f | %.2f | %.2f | %.2f |\n",
+			r.Name, r.Summary.Precision, r.Summary.Recall,
+			r.Summary.Accuracy, r.Summary.F1)
+	}
+	p("\n### Table V — detected ratio per attack type\n\n| Attack |")
+	for _, r := range t4.Rows {
+		p(" %s |", r.Name)
+	}
+	p("\n|---|")
+	for range t4.Rows {
+		p("---|")
+	}
+	p("\n")
+	for _, at := range dataset.AttackTypes {
+		p("| %s |", at)
+		for _, r := range t4.Rows {
+			p(" %.2f |", r.PerAttack.Ratio(at))
+		}
+		p("\n")
+	}
+	p("\nModel memory: %d KB.\n", env.Framework.MemoryBytes()/1024)
+	return nil
+}

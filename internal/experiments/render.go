@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// table renders rows as an aligned monospace table with a header rule,
+// matching the plain-text rendition of the paper's tables in
+// EXPERIMENTS.md.
+type table struct {
+	header []string
+	rows   [][]string
+}
+
+func newTable(header ...string) *table {
+	return &table{header: header}
+}
+
+func (t *table) add(cells ...string) {
+	t.rows = append(t.rows, cells)
+}
+
+func (t *table) addf(format string, args ...any) {
+	t.add(strings.Split(fmt.Sprintf(format, args...), "\t")...)
+}
+
+func (t *table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			if i < len(cells)-1 {
+				b.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.header)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total-2))
+	b.WriteByte('\n')
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// sparkline renders a numeric series as a compact unicode plot, used for
+// the figure-style outputs.
+func sparkline(values []float64) string {
+	if len(values) == 0 {
+		return ""
+	}
+	blocks := []rune("▁▂▃▄▅▆▇█")
+	lo, hi := values[0], values[0]
+	for _, v := range values[1:] {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	span := hi - lo
+	var b strings.Builder
+	for _, v := range values {
+		idx := 0
+		if span > 0 {
+			idx = int((v - lo) / span * float64(len(blocks)-1))
+		}
+		b.WriteRune(blocks[idx])
+	}
+	return b.String()
+}

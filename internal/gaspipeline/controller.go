@@ -1,0 +1,179 @@
+package gaspipeline
+
+import (
+	"fmt"
+
+	"icsdetect/internal/pid"
+)
+
+// System modes as encoded in the dataset's system_mode column.
+const (
+	ModeOff    = 0
+	ModeManual = 1
+	ModeAuto   = 2
+)
+
+// Control schemes as encoded in the control_scheme column.
+const (
+	SchemePump     = 0
+	SchemeSolenoid = 1
+)
+
+// ControllerState is the full SCADA-visible controller block: everything a
+// write command carries and a state read returns (the parameter columns of
+// Table I).
+type ControllerState struct {
+	Setpoint  float64
+	Gain      float64
+	ResetRate float64
+	Deadband  float64
+	CycleTime float64
+	Rate      float64
+	Mode      int // ModeOff/ModeManual/ModeAuto
+	Scheme    int // SchemePump/SchemeSolenoid
+	Pump      int // manual-mode pump command (1 on / 0 off)
+	Solenoid  int // manual-mode valve command (1 open / 0 closed)
+}
+
+// Validate reports obviously corrupt states; the attack injector is allowed
+// to bypass this, the legitimate operator is not.
+func (s *ControllerState) Validate() error {
+	if s.Mode < ModeOff || s.Mode > ModeAuto {
+		return fmt.Errorf("gaspipeline: invalid mode %d", s.Mode)
+	}
+	if s.Scheme != SchemePump && s.Scheme != SchemeSolenoid {
+		return fmt.Errorf("gaspipeline: invalid scheme %d", s.Scheme)
+	}
+	if s.Setpoint < 0 {
+		return fmt.Errorf("gaspipeline: negative setpoint %g", s.Setpoint)
+	}
+	return nil
+}
+
+// PIDConfig converts the state's PID columns to a pid.Config.
+func (s *ControllerState) PIDConfig() pid.Config {
+	return pid.Config{
+		Gain:      s.Gain,
+		ResetRate: s.ResetRate,
+		Rate:      s.Rate,
+		Deadband:  s.Deadband,
+		CycleTime: s.CycleTime,
+		OutMin:    0,
+		OutMax:    1,
+	}
+}
+
+// Controller runs the field device's control law: in automatic mode the PID
+// loop drives either the compressor (pump scheme) or the relief valve
+// (solenoid scheme); in manual mode the operator's pump/solenoid commands
+// pass through; in off mode both actuators are idle.
+type Controller struct {
+	state ControllerState
+	loop  *pid.Controller
+	// safetyValve latches the relief valve open above the hard limit and
+	// releases it with hysteresis, independent of mode (physical failsafe).
+	safetyOpen bool
+	safetyHi   float64
+	safetyLo   float64
+}
+
+// NewController builds a controller with the given initial state.
+func NewController(initial ControllerState, maxPressure float64) (*Controller, error) {
+	if err := initial.Validate(); err != nil {
+		return nil, err
+	}
+	loop, err := pid.New(initial.PIDConfig())
+	if err != nil {
+		return nil, err
+	}
+	return &Controller{
+		state:    initial,
+		loop:     loop,
+		safetyHi: 0.93 * maxPressure,
+		safetyLo: 0.85 * maxPressure,
+	}, nil
+}
+
+// State returns a copy of the controller block.
+func (c *Controller) State() ControllerState { return c.state }
+
+// Apply installs a new controller block (a Modbus write command). Invalid
+// PID parameters are rejected with an error, matching the device's
+// illegal-value exception; the attack injector uses ApplyUnchecked.
+func (c *Controller) Apply(s ControllerState) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	return c.applyPID(s)
+}
+
+// ApplyUnchecked installs a controller block without operator-level
+// validation (malicious writes land here: the device firmware only bounds
+// what the PID library itself cannot represent).
+func (c *Controller) ApplyUnchecked(s ControllerState) {
+	if err := c.applyPID(s); err != nil {
+		// The PID library rejected the parameters (e.g. negative cycle
+		// time); the device keeps its previous loop but the state block
+		// still reflects the written values, as the real firmware does.
+		c.state = s
+	}
+}
+
+func (c *Controller) applyPID(s ControllerState) error {
+	cfg := s.PIDConfig()
+	if err := cfg.Validate(); err != nil {
+		return fmt.Errorf("gaspipeline: apply controller state: %w", err)
+	}
+	if err := c.loop.SetConfig(cfg); err != nil {
+		return err
+	}
+	c.state = s
+	return nil
+}
+
+// Actuate computes actuator commands for the current measured pressure and
+// applies them to the plant.
+func (c *Controller) Actuate(plant *Plant, measured float64) {
+	// Hard over-pressure failsafe with hysteresis.
+	if measured >= c.safetyHi {
+		c.safetyOpen = true
+	} else if measured <= c.safetyLo {
+		c.safetyOpen = false
+	}
+
+	switch c.state.Mode {
+	case ModeAuto:
+		u := c.loop.Step(c.state.Setpoint, measured)
+		if c.state.Scheme == SchemePump {
+			// Split-range control: PID drives compressor duty; with the
+			// compressor idle and significant over-pressure the relief
+			// valve opens, so the loop can correct in both directions.
+			plant.CompressorDuty = u
+			plant.ValveOpen = c.safetyOpen || (u <= 0.02 && measured > c.state.Setpoint+1)
+		} else {
+			// Compressor at fixed duty; PID drives the relief valve: a
+			// large positive error (under-pressure) closes it, negative
+			// error opens it. The valve is binary, so threshold the
+			// *inverted* control signal.
+			plant.CompressorDuty = 0.7
+			plant.ValveOpen = u < 0.25 || c.safetyOpen
+		}
+	case ModeManual:
+		plant.CompressorDuty = float64(c.state.Pump)
+		plant.ValveOpen = c.state.Solenoid == 1 || c.safetyOpen
+	default: // ModeOff
+		plant.CompressorDuty = 0
+		plant.ValveOpen = c.safetyOpen
+	}
+}
+
+// ActuatorView returns the pump/solenoid columns a state read reports. Per
+// Table I these columns are meaningful "only for manual mode"; in automatic
+// and off modes the device reports zeros.
+func (c *Controller) ActuatorView(plant *Plant) (pump, solenoid int) {
+	_ = plant
+	if c.state.Mode == ModeManual {
+		return c.state.Pump, c.state.Solenoid
+	}
+	return 0, 0
+}

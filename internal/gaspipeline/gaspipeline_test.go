@@ -1,0 +1,368 @@
+package gaspipeline
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"icsdetect/internal/dataset"
+	"icsdetect/internal/mathx"
+)
+
+func TestPlantPressureBounded(t *testing.T) {
+	cfg := DefaultPlantConfig()
+	plant, err := NewPlant(cfg, mathx.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plant.CompressorDuty = 1
+	for i := 0; i < 10000; i++ {
+		plant.Step(0.25)
+		if p := plant.Pressure(); p < 0 || p > cfg.MaxPressure {
+			t.Fatalf("pressure %v out of [0, %v]", p, cfg.MaxPressure)
+		}
+	}
+	// Full duty forever: pressure should be high.
+	if plant.Pressure() < cfg.MaxPressure/2 {
+		t.Errorf("pressure %v after sustained compression", plant.Pressure())
+	}
+	// Valve open, compressor off: pressure must fall substantially.
+	plant.CompressorDuty = 0
+	plant.ValveOpen = true
+	for i := 0; i < 1000; i++ {
+		plant.Step(0.25)
+	}
+	if plant.Pressure() > 2 {
+		t.Errorf("pressure %v after sustained venting", plant.Pressure())
+	}
+}
+
+func TestPlantConfigValidation(t *testing.T) {
+	bad := DefaultPlantConfig()
+	bad.MaxPressure = 0
+	if _, err := NewPlant(bad, mathx.NewRNG(1)); err == nil {
+		t.Error("MaxPressure=0 accepted")
+	}
+	bad = DefaultPlantConfig()
+	bad.CompressorRate = -1
+	if _, err := NewPlant(bad, mathx.NewRNG(1)); err == nil {
+		t.Error("negative compressor rate accepted")
+	}
+}
+
+func TestControllerAutoHoldsSetpoint(t *testing.T) {
+	cfg := DefaultPlantConfig()
+	cfg.ProcessNoise = 0
+	cfg.SensorNoise = 0
+	plant, err := NewPlant(cfg, mathx.NewRNG(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := ControllerState{
+		Setpoint: 8, Gain: 0.45, ResetRate: 0.15, Deadband: 0.05,
+		CycleTime: 0.25, Rate: 0.02, Mode: ModeAuto, Scheme: SchemePump,
+	}
+	ctrl, err := NewController(st, cfg.MaxPressure)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2000; i++ {
+		ctrl.Actuate(plant, plant.Measure())
+		plant.Step(0.25)
+	}
+	if d := math.Abs(plant.Pressure() - 8); d > 0.8 {
+		t.Errorf("auto mode settled %.2f away from setpoint", d)
+	}
+}
+
+func TestControllerModes(t *testing.T) {
+	cfg := DefaultPlantConfig()
+	plant, _ := NewPlant(cfg, mathx.NewRNG(3))
+	st := ControllerState{
+		Setpoint: 8, Gain: 0.45, ResetRate: 0.15, CycleTime: 0.25,
+		Mode: ModeManual, Pump: 1, Solenoid: 0,
+	}
+	ctrl, err := NewController(st, cfg.MaxPressure)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl.Actuate(plant, 5)
+	if plant.CompressorDuty != 1 {
+		t.Error("manual pump command not applied")
+	}
+	pump, sol := ctrl.ActuatorView(plant)
+	if pump != 1 || sol != 0 {
+		t.Errorf("actuator view = (%d, %d)", pump, sol)
+	}
+
+	st.Mode = ModeOff
+	ctrl.ApplyUnchecked(st)
+	ctrl.Actuate(plant, 5)
+	if plant.CompressorDuty != 0 {
+		t.Error("off mode leaves compressor running")
+	}
+	if pump, sol = ctrl.ActuatorView(plant); pump != 0 || sol != 0 {
+		t.Errorf("off-mode actuator view = (%d, %d), want zeros (Table I)", pump, sol)
+	}
+}
+
+func TestControllerSafetyValve(t *testing.T) {
+	cfg := DefaultPlantConfig()
+	plant, _ := NewPlant(cfg, mathx.NewRNG(4))
+	st := ControllerState{
+		Setpoint: 8, Gain: 0.45, ResetRate: 0.15, CycleTime: 0.25,
+		Mode: ModeOff,
+	}
+	ctrl, err := NewController(st, cfg.MaxPressure)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Near the physical ceiling the failsafe must open the valve even in
+	// off mode.
+	ctrl.Actuate(plant, cfg.MaxPressure*0.95)
+	if !plant.ValveOpen {
+		t.Error("safety valve closed at 95% of max pressure")
+	}
+	// Hysteresis: stays open slightly below the trigger.
+	ctrl.Actuate(plant, cfg.MaxPressure*0.9)
+	if !plant.ValveOpen {
+		t.Error("safety valve closed inside the hysteresis band")
+	}
+	ctrl.Actuate(plant, cfg.MaxPressure*0.5)
+	if plant.ValveOpen {
+		t.Error("safety valve stuck open")
+	}
+}
+
+func TestControllerStateValidation(t *testing.T) {
+	bad := ControllerState{Mode: 7, CycleTime: 0.25}
+	if err := bad.Validate(); err == nil {
+		t.Error("invalid mode accepted")
+	}
+	bad = ControllerState{Mode: ModeAuto, Scheme: 9, CycleTime: 0.25}
+	if err := bad.Validate(); err == nil {
+		t.Error("invalid scheme accepted")
+	}
+	bad = ControllerState{Mode: ModeAuto, Setpoint: -1, CycleTime: 0.25}
+	if err := bad.Validate(); err == nil {
+		t.Error("negative setpoint accepted")
+	}
+}
+
+func TestSimulatorDeterminism(t *testing.T) {
+	gen := func() []*dataset.Package {
+		sim, err := NewSimulator(DefaultSimConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 50; i++ {
+			sim.RunNormalCycle(dataset.Normal)
+		}
+		return sim.Packages()
+	}
+	a, b := gen(), gen()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if *a[i] != *b[i] {
+			t.Fatalf("package %d differs between identical seeds", i)
+		}
+	}
+}
+
+func TestNormalCycleStructure(t *testing.T) {
+	sim, err := NewSimulator(DefaultSimConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.RunNormalCycle(dataset.Normal)
+	pkgs := sim.Packages()
+	if len(pkgs) != 4 {
+		t.Fatalf("cycle emitted %d packages, want 4", len(pkgs))
+	}
+	// write cmd, ack, read cmd, read resp
+	wantCmd := []float64{1, 0, 1, 0}
+	for i, p := range pkgs {
+		if p.CmdResponse != wantCmd[i] {
+			t.Errorf("package %d cmd/resp = %v", i, p.CmdResponse)
+		}
+		if p.Address != 4 {
+			t.Errorf("package %d address = %v", i, p.Address)
+		}
+		if p.Label != dataset.Normal {
+			t.Errorf("package %d labeled %v", i, p.Label)
+		}
+	}
+	if pkgs[0].Function != 0x10 || pkgs[3].Function != 0x41 {
+		t.Errorf("functions = %v, %v", pkgs[0].Function, pkgs[3].Function)
+	}
+	if pkgs[3].Pressure <= 0 {
+		t.Error("read response carries no pressure")
+	}
+	// Timestamps strictly increase.
+	for i := 1; i < len(pkgs); i++ {
+		if pkgs[i].Time <= pkgs[i-1].Time {
+			t.Error("timestamps not increasing")
+		}
+	}
+}
+
+func TestAttackEpisodeLabels(t *testing.T) {
+	cases := []struct {
+		name string
+		run  func(*Simulator)
+		want dataset.AttackType
+	}{
+		{"NMRI", func(s *Simulator) { s.RunNMRIEpisode(2) }, dataset.NMRI},
+		{"CMRI", func(s *Simulator) { s.RunCMRIEpisode(3) }, dataset.CMRI},
+		{"MSCI", func(s *Simulator) { s.RunMSCIEpisode(2) }, dataset.MSCI},
+		{"MPCI", func(s *Simulator) { s.RunMPCIEpisode(2) }, dataset.MPCI},
+		{"MFCI", func(s *Simulator) { s.RunMFCIEpisode(2) }, dataset.MFCI},
+		{"DoS", func(s *Simulator) { s.RunDoSEpisode(2) }, dataset.DOS},
+		{"Recon", func(s *Simulator) { s.RunReconEpisode(5) }, dataset.Recon},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sim, err := NewSimulator(DefaultSimConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			tc.run(sim)
+			found := 0
+			for _, p := range sim.Packages() {
+				if p.Label == tc.want {
+					found++
+				} else if p.Label != dataset.Normal {
+					t.Errorf("unexpected label %v in %s episode", p.Label, tc.name)
+				}
+			}
+			if found == 0 {
+				t.Errorf("%s episode produced no labeled packages", tc.name)
+			}
+		})
+	}
+}
+
+func TestReconUsesForeignAddresses(t *testing.T) {
+	sim, err := NewSimulator(DefaultSimConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.RunReconEpisode(20)
+	for _, p := range sim.Packages() {
+		if p.Label == dataset.Recon && p.Address == float64(sim.cfg.SlaveAddress) {
+			t.Error("recon probe aimed at the legitimate station address")
+		}
+	}
+}
+
+func TestDoSIntervalsAreLong(t *testing.T) {
+	sim, err := NewSimulator(DefaultSimConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.RunDoSEpisode(4)
+	pkgs := sim.Packages()
+	long := 0
+	for i := 1; i < len(pkgs); i++ {
+		if pkgs[i].Label == dataset.DOS && pkgs[i].Time-pkgs[i-1].Time > 1.0 {
+			long++
+		}
+	}
+	if long < 3 {
+		t.Errorf("DoS produced only %d long gaps", long)
+	}
+}
+
+func TestGenerateProportions(t *testing.T) {
+	ds, err := Generate(DefaultGenConfig(8000, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() < 8000 {
+		t.Fatalf("generated %d packages", ds.Len())
+	}
+	counts := ds.CountAttacks()
+	attackFrac := 1 - float64(counts[dataset.Normal])/float64(ds.Len())
+	if attackFrac < 0.12 || attackFrac > 0.32 {
+		t.Errorf("attack fraction %.3f far from target 0.219", attackFrac)
+	}
+	// Every attack type represented.
+	for _, at := range dataset.AttackTypes {
+		if counts[at] == 0 {
+			t.Errorf("attack type %v absent from generated dataset", at)
+		}
+	}
+}
+
+func TestGenerateNormalIsClean(t *testing.T) {
+	ds, err := GenerateNormal(3000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range ds.Packages {
+		if p.IsAttack() {
+			t.Fatalf("attack package in normal-only capture: %v", p.Label)
+		}
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	if _, err := Generate(GenConfig{}); err == nil {
+		t.Error("zero config accepted")
+	}
+	cfg := DefaultGenConfig(100, 1)
+	cfg.AttackRatio = 1.5
+	if _, err := Generate(cfg); err == nil {
+		t.Error("ratio > 1 accepted")
+	}
+}
+
+func TestGeneratedARFFRoundTrip(t *testing.T) {
+	ds, err := Generate(DefaultGenConfig(2000, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := dataset.WriteARFF(&buf, ds); err != nil {
+		t.Fatal(err)
+	}
+	back, err := dataset.ReadARFF(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != ds.Len() {
+		t.Fatalf("round trip lost packages: %d vs %d", back.Len(), ds.Len())
+	}
+	for i := range ds.Packages {
+		if *back.Packages[i] != *ds.Packages[i] {
+			t.Fatalf("package %d changed in ARFF round trip", i)
+		}
+	}
+}
+
+func TestCRCRateDecays(t *testing.T) {
+	sim, err := NewSimulator(DefaultSimConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.RunDoSEpisode(4)
+	peak := 0.0
+	for _, p := range sim.Packages() {
+		if p.CRCRate > peak {
+			peak = p.CRCRate
+		}
+	}
+	if peak < 0.1 {
+		t.Errorf("DoS flood raised CRC rate only to %v", peak)
+	}
+	// After enough clean cycles the rate returns to zero.
+	for i := 0; i < 20; i++ {
+		sim.RunNormalCycle(dataset.Normal)
+	}
+	pkgs := sim.Packages()
+	if last := pkgs[len(pkgs)-1].CRCRate; last != 0 {
+		t.Errorf("CRC rate %v did not decay to zero", last)
+	}
+}

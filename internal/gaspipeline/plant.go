@@ -1,0 +1,110 @@
+// Package gaspipeline simulates the laboratory gas pipeline testbed behind
+// the Morris SCADA dataset (paper §VII): a small airtight pipeline fed by a
+// compressor, instrumented with a pressure meter and vented by a
+// solenoid-controlled relief valve, regulated by a PID loop, and polled over
+// Modbus by a SCADA master. An AutoIt-style attack injector reproduces the
+// seven attack types of Table II, and a generator emits labeled datasets
+// with the exact Table I feature schema.
+//
+// This package is the documented substitution for the original dataset,
+// which is not obtainable in an offline environment; see DESIGN.md §2.
+package gaspipeline
+
+import (
+	"fmt"
+	"math"
+
+	"icsdetect/internal/mathx"
+)
+
+// PlantConfig holds the physical constants of the pipeline.
+type PlantConfig struct {
+	// MaxPressure is the physical ceiling in PSI; the relief valve fully
+	// open cannot push pressure below zero.
+	MaxPressure float64
+	// CompressorRate is the pressure rise per second at full compressor
+	// duty with an empty pipeline (PSI/s).
+	CompressorRate float64
+	// ValveRate is the pressure drop per second with the relief valve fully
+	// open at MaxPressure (PSI/s); outflow scales with pressure.
+	ValveRate float64
+	// LeakRate is the passive decay constant (fraction of pressure lost per
+	// second) modelling imperfect seals.
+	LeakRate float64
+	// ProcessNoise is the standard deviation of random pressure
+	// perturbations per sqrt-second (the "naturally noisy behaviour" of
+	// paper §VIII-D).
+	ProcessNoise float64
+	// SensorNoise is the standard deviation of measurement error in PSI.
+	SensorNoise float64
+	// InitialPressure is the pressure at simulation start.
+	InitialPressure float64
+}
+
+// DefaultPlantConfig returns constants tuned so the PID loop holds a
+// setpoint near 10 PSI with visible but bounded process noise, mirroring
+// the testbed's observed pressure traces.
+func DefaultPlantConfig() PlantConfig {
+	return PlantConfig{
+		MaxPressure:     20,
+		CompressorRate:  4.0,
+		ValveRate:       5.0,
+		LeakRate:        0.03,
+		ProcessNoise:    0.05,
+		SensorNoise:     0.03,
+		InitialPressure: 5,
+	}
+}
+
+// Plant integrates the pipeline pressure dynamics. Not safe for concurrent
+// use; the simulator owns it.
+type Plant struct {
+	cfg      PlantConfig
+	pressure float64
+	// CompressorDuty in [0,1] and ValveOpen drive the dynamics; the
+	// controller sets them each cycle.
+	CompressorDuty float64
+	ValveOpen      bool
+	rng            *mathx.RNG
+}
+
+// NewPlant constructs a plant with the given constants and noise stream.
+func NewPlant(cfg PlantConfig, rng *mathx.RNG) (*Plant, error) {
+	if cfg.MaxPressure <= 0 {
+		return nil, fmt.Errorf("gaspipeline: MaxPressure must be positive, got %g", cfg.MaxPressure)
+	}
+	if cfg.CompressorRate <= 0 || cfg.ValveRate <= 0 {
+		return nil, fmt.Errorf("gaspipeline: compressor/valve rates must be positive (%g, %g)",
+			cfg.CompressorRate, cfg.ValveRate)
+	}
+	return &Plant{cfg: cfg, pressure: cfg.InitialPressure, rng: rng}, nil
+}
+
+// Pressure returns the true (noise-free sensor aside) pipeline pressure.
+func (p *Plant) Pressure() float64 { return p.pressure }
+
+// Measure returns a noisy sensor reading of the current pressure.
+func (p *Plant) Measure() float64 {
+	m := p.pressure + p.rng.NormScaled(0, p.cfg.SensorNoise)
+	return mathx.Clamp(m, 0, p.cfg.MaxPressure)
+}
+
+// Step advances the dynamics by dt seconds using forward Euler with the
+// current actuator settings. Sub-stepping keeps the integration stable for
+// the long inter-cycle gaps.
+func (p *Plant) Step(dt float64) {
+	const maxSub = 0.05
+	for dt > 0 {
+		h := math.Min(dt, maxSub)
+		dt -= h
+		inflow := p.cfg.CompressorRate * p.CompressorDuty * (1 - p.pressure/p.cfg.MaxPressure)
+		outflow := 0.0
+		if p.ValveOpen {
+			outflow = p.cfg.ValveRate * (p.pressure / p.cfg.MaxPressure)
+		}
+		leak := p.cfg.LeakRate * p.pressure
+		noise := p.rng.NormScaled(0, p.cfg.ProcessNoise*math.Sqrt(h))
+		p.pressure += h*(inflow-outflow-leak) + noise
+		p.pressure = mathx.Clamp(p.pressure, 0, p.cfg.MaxPressure)
+	}
+}

@@ -1,0 +1,412 @@
+package gaspipeline
+
+import (
+	"fmt"
+	"math"
+
+	"icsdetect/internal/dataset"
+	"icsdetect/internal/mathx"
+	"icsdetect/internal/modbus"
+)
+
+// SimConfig controls the SCADA traffic simulation.
+type SimConfig struct {
+	Plant PlantConfig
+	// SlaveAddress is the Modbus station address of the field device.
+	SlaveAddress uint8
+	// CycleTime is the master's base poll period in seconds.
+	CycleTime float64
+	// CycleJitter is the fractional jitter on the poll period.
+	CycleJitter float64
+	// IntraDelayMin/Max bound the gap between packages inside one poll
+	// cycle (request-to-response turnaround), in seconds.
+	IntraDelayMin, IntraDelayMax float64
+	// CRCGlitchProb is the per-frame probability of benign link corruption.
+	CRCGlitchProb float64
+	// Operator configures the legitimate operator behaviour.
+	Operator OperatorConfig
+	// Seed drives all randomness.
+	Seed uint64
+}
+
+// OperatorConfig models the legitimate operator: which setpoints and PID
+// presets are legal and how often modes change. The spread of these values
+// defines the "normal profile" the signature database learns.
+type OperatorConfig struct {
+	// Setpoints is the set of legal pressure setpoints (PSI).
+	Setpoints []float64
+	// SetpointChangeProb is the per-cycle probability of moving to another
+	// legal setpoint.
+	SetpointChangeProb float64
+	// PIDPresets are the legal PID tunings.
+	PIDPresets []PIDPreset
+	// PIDTrimProb is the per-cycle probability of a small (±TrimFrac)
+	// adjustment around the active preset, producing the natural clusters
+	// the paper's K-means discretization exploits.
+	PIDTrimProb float64
+	// PIDTrimFrac is the relative trim magnitude.
+	PIDTrimFrac float64
+	// ManualEpisodeProb is the per-cycle probability of a manual-mode
+	// operating episode; ManualLen bounds its length in cycles.
+	ManualEpisodeProb float64
+	ManualLen         [2]int
+	// OffEpisodeProb and OffLen control maintenance (mode off) episodes.
+	OffEpisodeProb float64
+	OffLen         [2]int
+	// SolenoidEpisodeProb and SolenoidLen control solenoid-scheme episodes.
+	SolenoidEpisodeProb float64
+	SolenoidLen         [2]int
+}
+
+// PIDPreset is one legal PID tuning.
+type PIDPreset struct {
+	Gain, ResetRate, Deadband, CycleTime, Rate float64
+}
+
+// DefaultSimConfig returns the configuration used by the experiments: a
+// single slave at station 4 polled roughly four times a second.
+func DefaultSimConfig() SimConfig {
+	return SimConfig{
+		Plant:         DefaultPlantConfig(),
+		SlaveAddress:  4,
+		CycleTime:     0.25,
+		CycleJitter:   0.12,
+		IntraDelayMin: 0.004,
+		IntraDelayMax: 0.018,
+		CRCGlitchProb: 0.002,
+		Operator: OperatorConfig{
+			Setpoints:           []float64{6, 7, 8, 9, 10},
+			SetpointChangeProb:  0.025,
+			PIDPresets:          defaultPIDPresets(),
+			PIDTrimProb:         0.04,
+			PIDTrimFrac:         0.05,
+			ManualEpisodeProb:   0.006,
+			ManualLen:           [2]int{6, 18},
+			OffEpisodeProb:      0.002,
+			OffLen:              [2]int{3, 8},
+			SolenoidEpisodeProb: 0.004,
+			SolenoidLen:         [2]int{15, 40},
+		},
+		Seed: 1,
+	}
+}
+
+func defaultPIDPresets() []PIDPreset {
+	return []PIDPreset{
+		{Gain: 0.30, ResetRate: 0.10, Deadband: 0.10, CycleTime: 0.25, Rate: 0.00},
+		{Gain: 0.45, ResetRate: 0.15, Deadband: 0.05, CycleTime: 0.25, Rate: 0.02},
+		{Gain: 0.60, ResetRate: 0.08, Deadband: 0.10, CycleTime: 0.25, Rate: 0.05},
+	}
+}
+
+// Simulator produces the package time series. It owns the plant, the field
+// device controller, and the master/operator state machines.
+type Simulator struct {
+	cfg   SimConfig
+	plant *Plant
+	ctrl  *Controller
+	rng   *mathx.RNG
+
+	now float64 // simulation clock, seconds
+	// CRC failure tracking: the monitor reports the failure rate over a
+	// rolling window of recent frames, the way the testbed's crc_rate
+	// column behaves (mostly zero, sticky bursts after corruption).
+	crcRing  [crcWindow]bool
+	crcIdx   int
+	crcCount int
+	crcSeen  int
+
+	// desired is the operator's intended controller block; it is re-sent
+	// every cycle and restored after attacks.
+	desired      ControllerState
+	activePreset int
+	manualLeft   int
+	offLeft      int
+	solenoidLeft int
+
+	packages []*dataset.Package
+}
+
+// NewSimulator constructs a simulator.
+func NewSimulator(cfg SimConfig) (*Simulator, error) {
+	if cfg.CycleTime <= 0 {
+		return nil, fmt.Errorf("gaspipeline: cycle time must be positive, got %g", cfg.CycleTime)
+	}
+	if len(cfg.Operator.Setpoints) == 0 {
+		return nil, fmt.Errorf("gaspipeline: operator needs at least one legal setpoint")
+	}
+	if len(cfg.Operator.PIDPresets) == 0 {
+		return nil, fmt.Errorf("gaspipeline: operator needs at least one PID preset")
+	}
+	rng := mathx.NewRNG(cfg.Seed)
+	plant, err := NewPlant(cfg.Plant, rng.Split())
+	if err != nil {
+		return nil, err
+	}
+	preset := cfg.Operator.PIDPresets[0]
+	initial := ControllerState{
+		Setpoint:  cfg.Operator.Setpoints[0],
+		Gain:      preset.Gain,
+		ResetRate: preset.ResetRate,
+		Deadband:  preset.Deadband,
+		CycleTime: preset.CycleTime,
+		Rate:      preset.Rate,
+		Mode:      ModeAuto,
+		Scheme:    SchemePump,
+	}
+	ctrl, err := NewController(initial, cfg.Plant.MaxPressure)
+	if err != nil {
+		return nil, err
+	}
+	return &Simulator{
+		cfg:     cfg,
+		plant:   plant,
+		ctrl:    ctrl,
+		rng:     rng,
+		desired: initial,
+	}, nil
+}
+
+// Packages returns the packages emitted so far (not a copy; the generator
+// owns the simulator).
+func (s *Simulator) Packages() []*dataset.Package { return s.packages }
+
+// Now returns the simulation clock.
+func (s *Simulator) Now() float64 { return s.now }
+
+// advance moves the clock and integrates the plant.
+func (s *Simulator) advance(dt float64) {
+	if dt <= 0 {
+		return
+	}
+	s.plant.Step(dt)
+	s.now += dt
+}
+
+func (s *Simulator) intraDelay() float64 {
+	return s.rng.Range(s.cfg.IntraDelayMin, s.cfg.IntraDelayMax)
+}
+
+// crcWindow is the rolling frame window over which the monitor computes the
+// CRC failure rate. Short enough that a corruption burst decays within a
+// couple of poll cycles.
+const crcWindow = 16
+
+// recordFrame updates the rolling CRC failure rate for one observed frame
+// and returns the rate the monitor would log with the package.
+func (s *Simulator) recordFrame(corrupt bool) float64 {
+	if s.crcSeen < crcWindow {
+		s.crcSeen++
+	} else if s.crcRing[s.crcIdx] {
+		s.crcCount--
+	}
+	s.crcRing[s.crcIdx] = corrupt
+	if corrupt {
+		s.crcCount++
+	}
+	s.crcIdx = (s.crcIdx + 1) % crcWindow
+	rate := float64(s.crcCount) / float64(s.crcSeen)
+	return math.Round(rate*10000) / 10000
+}
+
+// emit appends a package built from an actual Modbus RTU frame so that the
+// length and CRC features are authentic.
+func (s *Simulator) emit(frame *modbus.RTUFrame, st ControllerState,
+	pump, solenoid int, pressure float64, isCmd bool, label dataset.AttackType) {
+	raw, err := modbus.EncodeRTU(frame)
+	if err != nil {
+		// Frames are built internally and never exceed limits; an error here
+		// is a programming bug worth failing loudly on during development.
+		panic(fmt.Sprintf("gaspipeline: encode frame: %v", err))
+	}
+	corrupt := frame.CorruptCRC || s.rng.Bernoulli(s.cfg.CRCGlitchProb)
+	rate := s.recordFrame(corrupt)
+	cmd := 0.0
+	if isCmd {
+		cmd = 1
+	}
+	s.packages = append(s.packages, &dataset.Package{
+		Address:       float64(frame.Address),
+		CRCRate:       rate,
+		Function:      float64(frame.PDU.Function),
+		Length:        float64(len(raw)),
+		Setpoint:      st.Setpoint,
+		Gain:          st.Gain,
+		ResetRate:     st.ResetRate,
+		Deadband:      st.Deadband,
+		CycleTime:     st.CycleTime,
+		Rate:          st.Rate,
+		SystemMode:    float64(st.Mode),
+		ControlScheme: float64(st.Scheme),
+		Pump:          float64(pump),
+		Solenoid:      float64(solenoid),
+		Pressure:      math.Round(pressure*100) / 100,
+		CmdResponse:   cmd,
+		Time:          s.now,
+		Label:         label,
+	})
+}
+
+// stateRegisters encodes a controller block (plus optional pressure) as
+// Modbus register values, the payload layout the testbed uses.
+func stateRegisters(st ControllerState, pump, solenoid int, pressure float64, withPressure bool) []uint16 {
+	regs := []uint16{
+		uint16(mathx.Clamp(st.Setpoint*100, 0, 65535)),
+		uint16(mathx.Clamp(st.Gain*100, 0, 65535)),
+		uint16(mathx.Clamp(st.ResetRate*100, 0, 65535)),
+		uint16(mathx.Clamp(st.Deadband*100, 0, 65535)),
+		uint16(mathx.Clamp(st.CycleTime*1000, 0, 65535)),
+		uint16(mathx.Clamp(st.Rate*100, 0, 65535)),
+		uint16(st.Mode),
+		uint16(st.Scheme),
+		uint16(pump),
+		uint16(solenoid),
+	}
+	if withPressure {
+		regs = append(regs, uint16(mathx.Clamp(pressure*100, 0, 65535)))
+	}
+	return regs
+}
+
+// cycleLabels assigns a ground-truth label to each package of a poll cycle,
+// so attacks can mark exactly the packages the attacker caused (the original
+// dataset labels injected/falsified packets, not whole periods).
+type cycleLabels struct {
+	Cmd, Ack, Read, Resp dataset.AttackType
+}
+
+// uniformLabels labels every package of a cycle identically.
+func uniformLabels(at dataset.AttackType) cycleLabels {
+	return cycleLabels{Cmd: at, Ack: at, Read: at, Resp: at}
+}
+
+// RunNormalCycle performs one legitimate poll cycle: operator update, write
+// command + ack, state read + response, then the inter-cycle gap. The label
+// is Normal for legitimate traffic; the DoS decay tail reuses this with an
+// attack label.
+func (s *Simulator) RunNormalCycle(label dataset.AttackType) {
+	s.operatorStep()
+	s.runCycleWithState(s.desired, uniformLabels(label))
+}
+
+// runCycleWithState performs a poll cycle writing the given controller
+// block.
+func (s *Simulator) runCycleWithState(write ControllerState, label cycleLabels) {
+	start := s.now
+
+	// 1. Write command carrying the desired controller block.
+	cmdPDU := modbus.WriteMultipleRequest(0, stateRegisters(write, write.Pump, write.Solenoid, 0, false))
+	s.emit(&modbus.RTUFrame{Address: s.cfg.SlaveAddress, PDU: cmdPDU},
+		write, write.Pump, write.Solenoid, 0, true, label.Cmd)
+	if err := s.ctrl.Apply(write); err != nil {
+		// Invalid operator blocks are rejected by the device; keep previous.
+		_ = err
+	}
+
+	// 2. Write acknowledgement.
+	s.advance(s.intraDelay())
+	ackPDU := modbus.WriteMultipleResponse(0, 10)
+	st := s.ctrl.State()
+	s.emit(&modbus.RTUFrame{Address: s.cfg.SlaveAddress, PDU: ackPDU},
+		st, 0, 0, 0, false, label.Ack)
+
+	// 3. State read command.
+	s.advance(s.intraDelay())
+	readPDU := modbus.ReadRequest(modbus.FuncReadState, 0, 11)
+	s.emit(&modbus.RTUFrame{Address: s.cfg.SlaveAddress, PDU: readPDU},
+		ControllerState{CycleTime: st.CycleTime}, 0, 0, 0, true, label.Read)
+
+	// 4. Control action + state read response with the pressure measurement.
+	s.advance(s.intraDelay())
+	measured := s.plant.Measure()
+	s.ctrl.Actuate(s.plant, measured)
+	pump, sol := s.ctrl.ActuatorView(s.plant)
+	respPDU := modbus.ReadRegistersResponse(modbus.FuncReadState,
+		stateRegisters(st, pump, sol, measured, true))
+	s.emit(&modbus.RTUFrame{Address: s.cfg.SlaveAddress, PDU: respPDU},
+		st, pump, sol, measured, false, label.Resp)
+
+	// Inter-cycle gap.
+	period := s.cfg.CycleTime * (1 + s.cfg.CycleJitter*(2*s.rng.Float64()-1))
+	if rest := period - (s.now - start); rest > 0 {
+		s.advance(rest)
+	}
+}
+
+// operatorStep evolves the legitimate operator state machine by one cycle.
+func (s *Simulator) operatorStep() {
+	op := &s.cfg.Operator
+
+	// Finish or continue episodes first.
+	switch {
+	case s.offLeft > 0:
+		s.offLeft--
+		if s.offLeft == 0 {
+			s.desired.Mode = ModeAuto
+		}
+		return
+	case s.manualLeft > 0:
+		s.manualLeft--
+		// Thermostat-style manual operation around the setpoint.
+		p := s.plant.Pressure()
+		if p < s.desired.Setpoint-0.8 {
+			s.desired.Pump, s.desired.Solenoid = 1, 0
+		} else if p > s.desired.Setpoint+0.8 {
+			s.desired.Pump, s.desired.Solenoid = 0, 1
+		} else {
+			s.desired.Pump, s.desired.Solenoid = 0, 0
+		}
+		if s.manualLeft == 0 {
+			s.desired.Mode = ModeAuto
+			s.desired.Pump, s.desired.Solenoid = 0, 0
+		}
+		return
+	}
+	if s.solenoidLeft > 0 {
+		s.solenoidLeft--
+		if s.solenoidLeft == 0 {
+			s.desired.Scheme = SchemePump
+		}
+	}
+
+	// Episode starts.
+	switch {
+	case s.rng.Bernoulli(op.OffEpisodeProb):
+		s.offLeft = s.randLen(op.OffLen)
+		s.desired.Mode = ModeOff
+		return
+	case s.rng.Bernoulli(op.ManualEpisodeProb):
+		s.manualLeft = s.randLen(op.ManualLen)
+		s.desired.Mode = ModeManual
+		return
+	case s.solenoidLeft == 0 && s.rng.Bernoulli(op.SolenoidEpisodeProb):
+		s.solenoidLeft = s.randLen(op.SolenoidLen)
+		s.desired.Scheme = SchemeSolenoid
+	}
+
+	// Routine parameter adjustments.
+	if s.rng.Bernoulli(op.SetpointChangeProb) {
+		s.desired.Setpoint = op.Setpoints[s.rng.Intn(len(op.Setpoints))]
+	}
+	if s.rng.Bernoulli(op.PIDTrimProb) {
+		s.activePreset = s.rng.Intn(len(op.PIDPresets))
+		preset := op.PIDPresets[s.activePreset]
+		// Operators tune in discrete steps on the HMI, so the legal PID
+		// vectors form a finite set of natural clusters (the property the
+		// paper's K-means discretization exploits, Table III).
+		steps := []float64{1 - op.PIDTrimFrac, 1, 1 + op.PIDTrimFrac}
+		factor := steps[s.rng.Intn(len(steps))]
+		s.desired.Gain = preset.Gain * factor
+		s.desired.ResetRate = preset.ResetRate
+		s.desired.Deadband = preset.Deadband
+		s.desired.CycleTime = preset.CycleTime
+		s.desired.Rate = preset.Rate
+	}
+}
+
+func (s *Simulator) randLen(bounds [2]int) int {
+	if bounds[1] <= bounds[0] {
+		return bounds[0]
+	}
+	return bounds[0] + s.rng.Intn(bounds[1]-bounds[0]+1)
+}

@@ -1,0 +1,201 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func naiveMulVec(m *Matrix, x []float64) []float64 {
+	out := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			out[i] += m.At(i, j) * x[j]
+		}
+	}
+	return out
+}
+
+func randomMatrix(rng *RNG, rows, cols int) *Matrix {
+	m := NewMatrix(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = rng.NormScaled(0, 1)
+	}
+	return m
+}
+
+func randomVec(rng *RNG, n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = rng.NormScaled(0, 1)
+	}
+	return v
+}
+
+func almostEqual(a, b []float64, tol float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+func TestMulVecMatchesNaive(t *testing.T) {
+	rng := NewRNG(1)
+	for trial := 0; trial < 50; trial++ {
+		rows, cols := 1+rng.Intn(20), 1+rng.Intn(20)
+		m := randomMatrix(rng, rows, cols)
+		x := randomVec(rng, cols)
+		got := make([]float64, rows)
+		m.MulVec(got, x)
+		if want := naiveMulVec(m, x); !almostEqual(got, want, 1e-10) {
+			t.Fatalf("MulVec mismatch at %dx%d", rows, cols)
+		}
+	}
+}
+
+func TestMulVecTIsTranspose(t *testing.T) {
+	rng := NewRNG(2)
+	for trial := 0; trial < 50; trial++ {
+		rows, cols := 1+rng.Intn(20), 1+rng.Intn(20)
+		m := randomMatrix(rng, rows, cols)
+		x := randomVec(rng, rows)
+		got := make([]float64, cols)
+		m.MulVecT(got, x)
+		// Build the explicit transpose and compare.
+		mt := NewMatrix(cols, rows)
+		for i := 0; i < rows; i++ {
+			for j := 0; j < cols; j++ {
+				mt.Set(j, i, m.At(i, j))
+			}
+		}
+		if want := naiveMulVec(mt, x); !almostEqual(got, want, 1e-10) {
+			t.Fatalf("MulVecT mismatch at %dx%d", rows, cols)
+		}
+	}
+}
+
+func TestAddOuter(t *testing.T) {
+	rng := NewRNG(3)
+	m := NewMatrix(5, 7)
+	u, v := randomVec(rng, 5), randomVec(rng, 7)
+	m.AddOuter(2, u, v)
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 7; j++ {
+			want := 2 * u[i] * v[j]
+			if math.Abs(m.At(i, j)-want) > 1e-12 {
+				t.Fatalf("AddOuter[%d][%d] = %v, want %v", i, j, m.At(i, j), want)
+			}
+		}
+	}
+}
+
+func TestDotUnrollCorrect(t *testing.T) {
+	// Exercise every tail length of the 4-way unroll.
+	rng := NewRNG(4)
+	for n := 0; n < 17; n++ {
+		a, b := randomVec(rng, n), randomVec(rng, n)
+		var want float64
+		for i := range a {
+			want += a[i] * b[i]
+		}
+		if got := Dot(a, b); math.Abs(got-want) > 1e-10 {
+			t.Fatalf("Dot length %d: got %v want %v", n, got, want)
+		}
+	}
+}
+
+func TestAxpy(t *testing.T) {
+	rng := NewRNG(5)
+	for n := 0; n < 13; n++ {
+		dst, x := randomVec(rng, n), randomVec(rng, n)
+		want := make([]float64, n)
+		for i := range want {
+			want[i] = dst[i] + 3*x[i]
+		}
+		Axpy(dst, 3, x)
+		if !almostEqual(dst, want, 1e-12) {
+			t.Fatalf("Axpy length %d mismatch", n)
+		}
+	}
+}
+
+func TestMatrixShapePanics(t *testing.T) {
+	m := NewMatrix(2, 3)
+	for name, fn := range map[string]func(){
+		"MulVec":   func() { m.MulVec(make([]float64, 2), make([]float64, 2)) },
+		"MulVecT":  func() { m.MulVecT(make([]float64, 2), make([]float64, 2)) },
+		"AddOuter": func() { m.AddOuter(1, make([]float64, 3), make([]float64, 3)) },
+		"Add":      func() { m.AddInPlace(NewMatrix(3, 2)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s with bad shape did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestArgMax(t *testing.T) {
+	cases := []struct {
+		in   []float64
+		want int
+	}{
+		{nil, -1},
+		{[]float64{1}, 0},
+		{[]float64{1, 3, 2}, 1},
+		{[]float64{3, 3, 3}, 0}, // first wins ties
+		{[]float64{-5, -2, -9}, 1},
+	}
+	for _, c := range cases {
+		if got := ArgMax(c.in); got != c.want {
+			t.Errorf("ArgMax(%v) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestMeanStdMinMax(t *testing.T) {
+	v := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(v); m != 5 {
+		t.Errorf("Mean = %v", m)
+	}
+	if s := Std(v); math.Abs(s-2) > 1e-12 {
+		t.Errorf("Std = %v, want 2", s)
+	}
+	lo, hi := MinMax(v)
+	if lo != 2 || hi != 9 {
+		t.Errorf("MinMax = (%v, %v)", lo, hi)
+	}
+	if Mean(nil) != 0 || Std(nil) != 0 {
+		t.Error("empty input should yield 0")
+	}
+}
+
+func TestNorm2Property(t *testing.T) {
+	// Triangle inequality under concatenation scaling.
+	f := func(a []float64, scale float64) bool {
+		if len(a) == 0 || math.IsNaN(scale) || math.IsInf(scale, 0) {
+			return true
+		}
+		scale = math.Mod(scale, 100)
+		scaled := make([]float64, len(a))
+		for i := range a {
+			if math.IsNaN(a[i]) || math.IsInf(a[i], 0) {
+				return true
+			}
+			a[i] = math.Mod(a[i], 1000)
+			scaled[i] = a[i] * scale
+		}
+		return math.Abs(Norm2(scaled)-math.Abs(scale)*Norm2(a)) < 1e-6*(1+Norm2(scaled))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

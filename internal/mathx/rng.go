@@ -1,0 +1,146 @@
+// Package mathx provides the numerical substrate shared by the detector
+// stack: dense vector/matrix kernels, numerically stable softmax and
+// log-sum-exp, a deterministic random number generator, and lightweight
+// descriptive statistics (histograms, mean/std).
+//
+// Everything in this package is dependency-free and deterministic given a
+// seed, which the experiment harness relies on for reproducible tables.
+package mathx
+
+import "math"
+
+// RNG is a deterministic pseudo-random number generator based on
+// xorshift128+ seeded through splitmix64. It is NOT safe for concurrent use;
+// create one RNG per goroutine (see Split).
+//
+// A hand-rolled generator is used instead of math/rand so that generated
+// datasets and model initializations are bit-stable across Go releases.
+type RNG struct {
+	s0, s1 uint64
+	// spare holds a cached second Gaussian sample from the Box-Muller
+	// transform; spareOK reports whether it is valid.
+	spare   float64
+	spareOK bool
+}
+
+// NewRNG returns a generator seeded from seed via splitmix64 so that
+// similar seeds still produce uncorrelated streams.
+func NewRNG(seed uint64) *RNG {
+	r := &RNG{}
+	sm := seed
+	r.s0 = splitmix64(&sm)
+	r.s1 = splitmix64(&sm)
+	if r.s0 == 0 && r.s1 == 0 {
+		r.s1 = 0x9E3779B97F4A7C15
+	}
+	return r
+}
+
+// splitmix64 advances *x and returns the next splitmix64 output.
+func splitmix64(x *uint64) uint64 {
+	*x += 0x9E3779B97F4A7C15
+	z := *x
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Uint64 returns the next 64 uniformly random bits.
+func (r *RNG) Uint64() uint64 {
+	x, y := r.s0, r.s1
+	r.s0 = y
+	x ^= x << 23
+	x ^= x >> 17
+	x ^= y ^ (y >> 26)
+	r.s1 = x
+	return x + y
+}
+
+// Split derives an independent generator from r. The child stream is
+// decorrelated from the parent by reseeding through splitmix64.
+func (r *RNG) Split() *RNG {
+	return NewRNG(r.Uint64())
+}
+
+// Float64 returns a uniform sample in [0, 1).
+func (r *RNG) Float64() float64 {
+	// Use the top 53 bits for a uniform double.
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform sample in [0, n). It panics if n <= 0, mirroring
+// math/rand; callers validate n at construction time.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("mathx: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Range returns a uniform sample in [lo, hi).
+func (r *RNG) Range(lo, hi float64) float64 {
+	return lo + (hi-lo)*r.Float64()
+}
+
+// Norm returns a standard normal sample using the Box-Muller transform.
+func (r *RNG) Norm() float64 {
+	if r.spareOK {
+		r.spareOK = false
+		return r.spare
+	}
+	var u, v, s float64
+	for {
+		u = 2*r.Float64() - 1
+		v = 2*r.Float64() - 1
+		s = u*u + v*v
+		if s > 0 && s < 1 {
+			break
+		}
+	}
+	m := math.Sqrt(-2 * math.Log(s) / s)
+	r.spare = v * m
+	r.spareOK = true
+	return u * m
+}
+
+// NormScaled returns a normal sample with the given mean and standard
+// deviation.
+func (r *RNG) NormScaled(mean, std float64) float64 {
+	return mean + std*r.Norm()
+}
+
+// Perm returns a uniformly random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Shuffle permutes the first n elements using the provided swap function.
+func (r *RNG) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Bernoulli returns true with probability p.
+func (r *RNG) Bernoulli(p float64) bool {
+	return r.Float64() < p
+}
+
+// Exp returns an exponential sample with the given rate (mean 1/rate).
+func (r *RNG) Exp(rate float64) float64 {
+	u := r.Float64()
+	// Guard against log(0).
+	if u <= 0 {
+		u = math.SmallestNonzeroFloat64
+	}
+	return -math.Log(1-u) / rate
+}

@@ -1,0 +1,149 @@
+package mathx
+
+import (
+	"math"
+	"sort"
+)
+
+// Softmax writes the softmax of z into dst (which may alias z). It is
+// numerically stable: exponents are shifted by max(z) so overflow cannot
+// occur. The result is a probability vector: every element lies in (0, 1)
+// and the elements sum to 1 (paper §V-A-1).
+func Softmax(dst, z []float64) {
+	if len(dst) != len(z) {
+		panic("mathx: softmax shape mismatch")
+	}
+	if len(z) == 0 {
+		return
+	}
+	m := z[ArgMax(z)]
+	var sum float64
+	for i, v := range z {
+		e := math.Exp(v - m)
+		dst[i] = e
+		sum += e
+	}
+	inv := 1 / sum
+	for i := range dst {
+		dst[i] *= inv
+	}
+}
+
+// LogSumExp returns log(Σ exp(z_i)) computed stably.
+func LogSumExp(z []float64) float64 {
+	if len(z) == 0 {
+		return math.Inf(-1)
+	}
+	m := z[ArgMax(z)]
+	var sum float64
+	for _, v := range z {
+		sum += math.Exp(v - m)
+	}
+	return m + math.Log(sum)
+}
+
+// Sigmoid returns the logistic function 1/(1+e^-x), clamping the argument to
+// avoid overflow in exp.
+func Sigmoid(x float64) float64 {
+	if x >= 0 {
+		z := math.Exp(-x)
+		return 1 / (1 + z)
+	}
+	z := math.Exp(x)
+	return z / (1 + z)
+}
+
+// TopK returns the indices of the k largest elements of p in descending
+// order of value. Ties are broken by lower index for determinism. k is
+// clamped to len(p).
+func TopK(p []float64, k int) []int {
+	if k > len(p) {
+		k = len(p)
+	}
+	if k <= 0 {
+		return nil
+	}
+	idx := make([]int, len(p))
+	for i := range idx {
+		idx[i] = i
+	}
+	// Partial selection sort is O(n*k); for the small k (≤ 10) used by the
+	// detector this beats a full sort of the 600-wide signature vocabulary.
+	if k <= 16 {
+		for i := 0; i < k; i++ {
+			best := i
+			for j := i + 1; j < len(idx); j++ {
+				if p[idx[j]] > p[idx[best]] ||
+					(p[idx[j]] == p[idx[best]] && idx[j] < idx[best]) {
+					best = j
+				}
+			}
+			idx[i], idx[best] = idx[best], idx[i]
+		}
+		return idx[:k]
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		if p[idx[a]] != p[idx[b]] {
+			return p[idx[a]] > p[idx[b]]
+		}
+		return idx[a] < idx[b]
+	})
+	return idx[:k]
+}
+
+// Histogram is a fixed-width binned histogram over [Min, Max]. Values outside
+// the range are clamped into the boundary bins, matching the paper's Fig. 4
+// rendering of long-tailed features.
+type Histogram struct {
+	Min, Max float64
+	Counts   []int
+	N        int
+}
+
+// NewHistogram builds a histogram of values with the given number of bins.
+// The range defaults to [min(values), max(values)].
+func NewHistogram(values []float64, bins int) *Histogram {
+	lo, hi := MinMax(values)
+	if lo == hi {
+		hi = lo + 1 // avoid zero-width range
+	}
+	h := &Histogram{Min: lo, Max: hi, Counts: make([]int, bins)}
+	for _, v := range values {
+		h.Add(v)
+	}
+	return h
+}
+
+// Add records a single observation.
+func (h *Histogram) Add(v float64) {
+	bins := len(h.Counts)
+	if bins == 0 {
+		return
+	}
+	i := int(float64(bins) * (v - h.Min) / (h.Max - h.Min))
+	if i < 0 {
+		i = 0
+	}
+	if i >= bins {
+		i = bins - 1
+	}
+	h.Counts[i]++
+	h.N++
+}
+
+// BinCenter returns the midpoint of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	w := (h.Max - h.Min) / float64(len(h.Counts))
+	return h.Min + (float64(i)+0.5)*w
+}
+
+// Mode returns the center of the most populated bin.
+func (h *Histogram) Mode() float64 {
+	best := 0
+	for i, c := range h.Counts {
+		if c > h.Counts[best] {
+			best = i
+		}
+	}
+	return h.BinCenter(best)
+}

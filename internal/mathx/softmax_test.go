@@ -1,0 +1,186 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// TestSoftmaxIsDistribution verifies the paper's guarantee: outputs form a
+// probability distribution with Σ Pr = 1 (§V-A-1), for arbitrary finite
+// logits. Extremely spread logits may underflow individual entries to
+// exactly 0 in float64, which the distribution property tolerates.
+func TestSoftmaxIsDistribution(t *testing.T) {
+	f := func(z []float64) bool {
+		if len(z) == 0 {
+			return true
+		}
+		for i := range z {
+			if math.IsNaN(z[i]) || math.IsInf(z[i], 0) {
+				return true
+			}
+			z[i] = math.Mod(z[i], 500) // keep magnitudes representable
+		}
+		p := make([]float64, len(z))
+		Softmax(p, z)
+		var sum float64
+		for _, v := range p {
+			if v < 0 || v > 1+1e-12 || math.IsNaN(v) {
+				return false
+			}
+			sum += v
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSoftmaxStability(t *testing.T) {
+	// Huge logits must not overflow.
+	z := []float64{1000, 1001, 999}
+	p := make([]float64, 3)
+	Softmax(p, z)
+	for _, v := range p {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("softmax overflowed: %v", p)
+		}
+	}
+	if ArgMax(p) != 1 {
+		t.Errorf("argmax should be preserved: %v", p)
+	}
+}
+
+func TestSoftmaxOrderPreserving(t *testing.T) {
+	z := []float64{0.1, 2.5, -3, 2.4}
+	p := make([]float64, len(z))
+	Softmax(p, z)
+	for i := range z {
+		for j := range z {
+			if z[i] < z[j] && p[i] >= p[j] {
+				t.Fatalf("order not preserved: z=%v p=%v", z, p)
+			}
+		}
+	}
+}
+
+func TestLogSumExp(t *testing.T) {
+	z := []float64{1, 2, 3}
+	want := math.Log(math.Exp(1) + math.Exp(2) + math.Exp(3))
+	if got := LogSumExp(z); math.Abs(got-want) > 1e-12 {
+		t.Errorf("LogSumExp = %v, want %v", got, want)
+	}
+	if !math.IsInf(LogSumExp(nil), -1) {
+		t.Error("empty LogSumExp should be -inf")
+	}
+	// Stability.
+	if got := LogSumExp([]float64{1e4, 1e4}); math.IsInf(got, 0) || math.IsNaN(got) {
+		t.Errorf("LogSumExp overflow: %v", got)
+	}
+}
+
+func TestSigmoid(t *testing.T) {
+	if s := Sigmoid(0); math.Abs(s-0.5) > 1e-12 {
+		t.Errorf("Sigmoid(0) = %v", s)
+	}
+	if s := Sigmoid(1000); s != 1 {
+		t.Errorf("Sigmoid(1000) = %v", s)
+	}
+	if s := Sigmoid(-1000); s != 0 {
+		t.Errorf("Sigmoid(-1000) = %v", s)
+	}
+	// Symmetry: σ(-x) = 1 - σ(x).
+	for _, x := range []float64{0.1, 1, 3, 7} {
+		if d := Sigmoid(-x) + Sigmoid(x) - 1; math.Abs(d) > 1e-12 {
+			t.Errorf("sigmoid symmetry violated at %v: %v", x, d)
+		}
+	}
+}
+
+func TestTopK(t *testing.T) {
+	p := []float64{0.1, 0.5, 0.05, 0.2, 0.15}
+	if got := TopK(p, 3); got[0] != 1 || got[1] != 3 || got[2] != 4 {
+		t.Errorf("TopK = %v", got)
+	}
+	if got := TopK(p, 99); len(got) != len(p) {
+		t.Errorf("TopK clamp failed: %v", got)
+	}
+	if got := TopK(p, 0); got != nil {
+		t.Errorf("TopK(0) = %v", got)
+	}
+}
+
+// TestTopKMonotone: S(k) ⊆ S(k+1), the property the detection function F_t
+// relies on (larger k can only pass more packages).
+func TestTopKMonotone(t *testing.T) {
+	rng := NewRNG(9)
+	for trial := 0; trial < 50; trial++ {
+		p := make([]float64, 20)
+		for i := range p {
+			p[i] = rng.Float64()
+		}
+		prev := map[int]bool{}
+		for k := 1; k <= len(p); k++ {
+			cur := TopK(p, k)
+			if len(cur) != k {
+				t.Fatalf("TopK(%d) returned %d items", k, len(cur))
+			}
+			for i, idx := range cur {
+				if i < k-1 && !prevContains(prev, idx) && k > 1 && i < k-1 {
+					// all but the newly admitted element must be in S(k-1)
+					t.Fatalf("S(%d) not superset of S(%d)", k, k-1)
+				}
+			}
+			prev = map[int]bool{}
+			for _, idx := range cur {
+				prev[idx] = true
+			}
+		}
+	}
+}
+
+func prevContains(m map[int]bool, i int) bool { return m[i] }
+
+func TestTopKLargeK(t *testing.T) {
+	// Exercise the sort path (k > 16).
+	rng := NewRNG(10)
+	p := make([]float64, 100)
+	for i := range p {
+		p[i] = rng.Float64()
+	}
+	got := TopK(p, 50)
+	for i := 1; i < len(got); i++ {
+		if p[got[i-1]] < p[got[i]] {
+			t.Fatalf("TopK not sorted descending at %d", i)
+		}
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram([]float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}, 5)
+	if h.N != 10 {
+		t.Fatalf("N = %d", h.N)
+	}
+	for i, c := range h.Counts {
+		if c != 2 {
+			t.Errorf("bin %d count = %d, want 2", i, c)
+		}
+	}
+	// Out-of-range values clamp into boundary bins.
+	h.Add(-100)
+	h.Add(+100)
+	if h.Counts[0] != 3 || h.Counts[4] != 3 {
+		t.Errorf("boundary clamping failed: %v", h.Counts)
+	}
+}
+
+func TestHistogramDegenerate(t *testing.T) {
+	h := NewHistogram([]float64{5, 5, 5}, 4)
+	if h.N != 3 {
+		t.Fatalf("constant-value histogram dropped samples: %d", h.N)
+	}
+	if h.Mode() < h.Min || h.Mode() > h.Max {
+		t.Errorf("mode %v outside range [%v,%v]", h.Mode(), h.Min, h.Max)
+	}
+}

@@ -1,0 +1,150 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"icsdetect/internal/dataset"
+)
+
+func TestConfusionMath(t *testing.T) {
+	var c Confusion
+	// 3 TP, 1 FP, 5 TN, 1 FN.
+	for i := 0; i < 3; i++ {
+		c.Add(true, true)
+	}
+	c.Add(true, false)
+	for i := 0; i < 5; i++ {
+		c.Add(false, false)
+	}
+	c.Add(false, true)
+
+	if c.Total() != 10 {
+		t.Fatalf("total = %d", c.Total())
+	}
+	if p := c.Precision(); math.Abs(p-0.75) > 1e-12 {
+		t.Errorf("precision = %v", p)
+	}
+	if r := c.Recall(); math.Abs(r-0.75) > 1e-12 {
+		t.Errorf("recall = %v", r)
+	}
+	if a := c.Accuracy(); math.Abs(a-0.8) > 1e-12 {
+		t.Errorf("accuracy = %v", a)
+	}
+	if f := c.F1(); math.Abs(f-0.75) > 1e-12 {
+		t.Errorf("f1 = %v", f)
+	}
+}
+
+func TestConfusionEmptyDenominators(t *testing.T) {
+	var c Confusion
+	if c.Precision() != 0 || c.Recall() != 0 || c.Accuracy() != 0 || c.F1() != 0 {
+		t.Error("empty confusion must yield zeros, not NaN")
+	}
+}
+
+// TestF1IsHarmonicMean: F1 lies between min and max of P and R and equals
+// them when they coincide.
+func TestF1IsHarmonicMean(t *testing.T) {
+	f := func(tp, fp, fn uint8) bool {
+		c := Confusion{TP: int(tp), FP: int(fp), FN: int(fn)}
+		p, r, f1 := c.Precision(), c.Recall(), c.F1()
+		if p+r == 0 {
+			return f1 == 0
+		}
+		want := 2 * p * r / (p + r)
+		return math.Abs(f1-want) < 1e-12 && f1 <= math.Max(p, r)+1e-12 && f1 >= math.Min(p, r)-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPerAttack(t *testing.T) {
+	p := NewPerAttack()
+	p.Add(dataset.DOS, true)
+	p.Add(dataset.DOS, false)
+	p.Add(dataset.Recon, true)
+	p.Add(dataset.Normal, true) // ignored
+	if r := p.Ratio(dataset.DOS); r != 0.5 {
+		t.Errorf("DoS ratio = %v", r)
+	}
+	if r := p.Ratio(dataset.Recon); r != 1 {
+		t.Errorf("Recon ratio = %v", r)
+	}
+	if r := p.Ratio(dataset.MFCI); r != 0 {
+		t.Errorf("unseen attack ratio = %v", r)
+	}
+	if p.Total[dataset.Normal] != 0 {
+		t.Error("normal packages counted")
+	}
+}
+
+func TestTopKCurve(t *testing.T) {
+	// ranks: 0,0,1,3,10 over maxK=4.
+	curve := NewTopKCurve([]int{0, 0, 1, 3, 10}, 4)
+	want := []float64{3.0 / 5, 2.0 / 5, 2.0 / 5, 1.0 / 5}
+	for k := 1; k <= 4; k++ {
+		if math.Abs(curve.Err[k-1]-want[k-1]) > 1e-12 {
+			t.Errorf("err_%d = %v, want %v", k, curve.Err[k-1], want[k-1])
+		}
+	}
+}
+
+func TestTopKCurveMonotone(t *testing.T) {
+	f := func(ranks []uint8) bool {
+		ints := make([]int, len(ranks))
+		for i, r := range ranks {
+			ints[i] = int(r) % 20
+		}
+		curve := NewTopKCurve(ints, 10)
+		for k := 1; k < len(curve.Err); k++ {
+			if curve.Err[k] > curve.Err[k-1]+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMinKBelow(t *testing.T) {
+	curve := &TopKCurve{Err: []float64{0.2, 0.1, 0.04, 0.01}}
+	k, err := curve.MinKBelow(0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k != 3 {
+		t.Errorf("k = %d, want 3", k)
+	}
+	// No k qualifies.
+	k, err = curve.MinKBelow(0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k != 5 {
+		t.Errorf("k = %d, want len+1 = 5", k)
+	}
+	if _, err := curve.MinKBelow(0); err == nil {
+		t.Error("theta = 0 accepted")
+	}
+}
+
+func TestEmptyTopKCurve(t *testing.T) {
+	curve := NewTopKCurve(nil, 5)
+	for _, e := range curve.Err {
+		if e != 0 {
+			t.Error("empty ranks should give zero error")
+		}
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	s := Summary{Precision: 0.94, Recall: 0.78, Accuracy: 0.92, F1: 0.85}
+	if got := s.String(); got == "" {
+		t.Error("empty summary string")
+	}
+}

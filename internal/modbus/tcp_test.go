@@ -1,0 +1,217 @@
+package modbus
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func startTestServer(t *testing.T) (*RegisterBank, *Client) {
+	t.Helper()
+	bank := NewRegisterBank(16, 8)
+	srv := NewServer(bank, 4)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	client, err := Dial(addr.String(), 4, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { client.Close() })
+	return bank, client
+}
+
+func TestClientServerReadWrite(t *testing.T) {
+	_, client := startTestServer(t)
+	if err := client.WriteSingleRegister(3, 777); err != nil {
+		t.Fatal(err)
+	}
+	values, err := client.ReadHoldingRegisters(0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if values[3] != 777 {
+		t.Errorf("register 3 = %d", values[3])
+	}
+}
+
+func TestClientServerWriteMultiple(t *testing.T) {
+	_, client := startTestServer(t)
+	want := []uint16{10, 20, 30, 40}
+	if err := client.WriteMultipleRegisters(2, want); err != nil {
+		t.Fatal(err)
+	}
+	values, err := client.ReadHoldingRegisters(2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if values[i] != want[i] {
+			t.Errorf("register %d = %d, want %d", 2+i, values[i], want[i])
+		}
+	}
+}
+
+func TestClientServerCoils(t *testing.T) {
+	bank, client := startTestServer(t)
+	if err := client.WriteCoil(1, true); err != nil {
+		t.Fatal(err)
+	}
+	on, err := bank.ReadCoil(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !on {
+		t.Error("coil write lost")
+	}
+}
+
+func TestClientServerException(t *testing.T) {
+	_, client := startTestServer(t)
+	_, err := client.ReadHoldingRegisters(1000, 2)
+	var exc *ExceptionError
+	if !errors.As(err, &exc) {
+		t.Fatalf("want ExceptionError, got %v", err)
+	}
+	if exc.Code != ExcIllegalAddress {
+		t.Errorf("exception code = %v", exc.Code)
+	}
+}
+
+func TestServerIllegalFunction(t *testing.T) {
+	_, client := startTestServer(t)
+	_, err := client.Do(&PDU{Function: 0x2B})
+	var exc *ExceptionError
+	if !errors.As(err, &exc) || exc.Code != ExcIllegalFunction {
+		t.Fatalf("want illegal-function exception, got %v", err)
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	bank := NewRegisterBank(64, 1)
+	srv := NewServer(bank, 4)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	const clients = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			cl, err := Dial(addr.String(), 4, 2*time.Second)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer cl.Close()
+			for i := 0; i < 50; i++ {
+				if err := cl.WriteSingleRegister(uint16(id), uint16(i)); err != nil {
+					errs <- err
+					return
+				}
+				if _, err := cl.ReadHoldingRegisters(uint16(id), 1); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestRegisterBankReadOnly(t *testing.T) {
+	bank := NewRegisterBank(4, 0)
+	bank.MarkReadOnly(2)
+	if err := bank.WriteHolding(2, 1); err == nil {
+		t.Error("read-only register accepted a write")
+	}
+	if err := bank.StoreMeasurement(2, 9); err != nil {
+		t.Fatal(err)
+	}
+	values, err := bank.ReadHolding(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if values[0] != 9 {
+		t.Errorf("measurement = %d", values[0])
+	}
+}
+
+func TestRegisterBankHooks(t *testing.T) {
+	bank := NewRegisterBank(4, 2)
+	var gotAddr, gotVal int
+	bank.SetWriteHook(func(addr, value uint16) {
+		gotAddr, gotVal = int(addr), int(value)
+	})
+	coilCalls := 0
+	bank.SetCoilHook(func(addr uint16, on bool) { coilCalls++ })
+	if err := bank.WriteHolding(1, 55); err != nil {
+		t.Fatal(err)
+	}
+	if gotAddr != 1 || gotVal != 55 {
+		t.Errorf("hook got (%d, %d)", gotAddr, gotVal)
+	}
+	if err := bank.WriteCoil(0, true); err != nil {
+		t.Fatal(err)
+	}
+	if coilCalls != 1 {
+		t.Errorf("coil hook calls = %d", coilCalls)
+	}
+}
+
+func TestRegisterBankBounds(t *testing.T) {
+	bank := NewRegisterBank(4, 1)
+	if _, err := bank.ReadHolding(3, 2); err == nil {
+		t.Error("out-of-range read accepted")
+	}
+	if _, err := bank.ReadHolding(0, 0); err == nil {
+		t.Error("zero-quantity read accepted")
+	}
+	if err := bank.WriteHolding(4, 1); err == nil {
+		t.Error("out-of-range write accepted")
+	}
+	if err := bank.WriteCoil(1, true); err == nil {
+		t.Error("out-of-range coil accepted")
+	}
+}
+
+func TestHandleDiagnosticsEcho(t *testing.T) {
+	bank := NewRegisterBank(1, 0)
+	req := WriteSingleRequest(FuncDiagnostics, 4, 0)
+	resp := bank.Handle(req)
+	if resp.IsException() {
+		t.Fatalf("diagnostics rejected: %+v", resp)
+	}
+	if string(resp.Data) != string(req.Data) {
+		t.Error("diagnostics did not echo")
+	}
+}
+
+func TestHandleInvalidCoilValue(t *testing.T) {
+	bank := NewRegisterBank(1, 1)
+	req := WriteSingleRequest(FuncWriteSingleCoil, 0, 0x1234) // neither ON nor OFF
+	if resp := bank.Handle(req); !resp.IsException() || resp.ExceptionCode() != ExcIllegalValue {
+		t.Errorf("invalid coil value not rejected: %+v", resp)
+	}
+}
+
+func TestServerCloseIdempotent(t *testing.T) {
+	srv := NewServer(NewRegisterBank(1, 0), 1)
+	if _, err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+	srv.Close() // must not panic or deadlock
+}

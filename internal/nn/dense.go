@@ -1,0 +1,79 @@
+package nn
+
+import (
+	"fmt"
+
+	"icsdetect/internal/mathx"
+)
+
+// Dense is the fully connected output layer mapping the last LSTM layer's
+// hidden vector to the |S|-dimensional logit vector z that feeds the softmax
+// activation layer (paper Fig. 2).
+type Dense struct {
+	InputSize  int
+	OutputSize int
+	W          *mathx.Matrix // OutputSize × InputSize
+	B          []float64
+}
+
+// NewDense allocates a Xavier-initialized dense layer.
+func NewDense(inputSize, outputSize int, rng *mathx.RNG) *Dense {
+	d := &Dense{
+		InputSize:  inputSize,
+		OutputSize: outputSize,
+		W:          mathx.NewMatrix(outputSize, inputSize),
+		B:          make([]float64, outputSize),
+	}
+	xavierInit(d.W, inputSize, outputSize, rng)
+	return d
+}
+
+// Forward computes logits = W·h + b into dst.
+func (d *Dense) Forward(dst, h []float64) {
+	d.W.MulVec(dst, h)
+	for i := range dst {
+		dst[i] += d.B[i]
+	}
+}
+
+type denseGrads struct {
+	dW *mathx.Matrix
+	dB []float64
+}
+
+func newDenseGrads(d *Dense) *denseGrads {
+	return &denseGrads{dW: mathx.NewMatrix(d.W.Rows, d.W.Cols), dB: make([]float64, len(d.B))}
+}
+
+// Backward accumulates gradients for dLogits at input h and returns
+// ∂L/∂h.
+func (d *Dense) Backward(dLogits, h []float64, g *denseGrads) []float64 {
+	g.dW.AddOuter(1, dLogits, h)
+	for i, v := range dLogits {
+		g.dB[i] += v
+	}
+	dh := make([]float64, d.InputSize)
+	d.W.MulVecT(dh, dLogits)
+	return dh
+}
+
+func (d *Dense) params() []Param {
+	return []Param{
+		{Name: "W", Data: d.W.Data},
+		{Name: "B", Data: d.B},
+	}
+}
+
+func (g *denseGrads) slices() [][]float64 {
+	return [][]float64{g.dW.Data, g.dB}
+}
+
+func (d *Dense) validate() error {
+	if d.InputSize <= 0 || d.OutputSize <= 0 {
+		return fmt.Errorf("nn: dense layer with non-positive sizes (%d, %d)", d.InputSize, d.OutputSize)
+	}
+	if d.W == nil || d.W.Rows != d.OutputSize || d.W.Cols != d.InputSize || len(d.B) != d.OutputSize {
+		return fmt.Errorf("nn: dense layer shape corruption")
+	}
+	return nil
+}

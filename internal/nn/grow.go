@@ -1,0 +1,28 @@
+package nn
+
+import (
+	"fmt"
+
+	"icsdetect/internal/mathx"
+)
+
+// GrowClasses widens the softmax output layer to `classes` units in place,
+// preserving the learned weights of existing classes and Xavier-initializing
+// the new rows. The incremental-update path uses this when newly observed
+// normal traffic introduces signatures the original class space lacked.
+func (c *Classifier) GrowClasses(classes int, seed uint64) error {
+	old := c.Out
+	if classes < old.OutputSize {
+		return fmt.Errorf("nn: cannot shrink output layer from %d to %d", old.OutputSize, classes)
+	}
+	if classes == old.OutputSize {
+		return nil
+	}
+	rng := mathx.NewRNG(seed ^ 0xC1A55)
+	grown := NewDense(old.InputSize, classes, rng)
+	// Copy the learned rows; the fresh rows keep their Xavier init.
+	copy(grown.W.Data[:old.OutputSize*old.InputSize], old.W.Data)
+	copy(grown.B[:old.OutputSize], old.B)
+	c.Out = grown
+	return nil
+}

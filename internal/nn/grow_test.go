@@ -1,0 +1,79 @@
+package nn
+
+import "testing"
+
+func TestGrowClassesPreservesOldLogits(t *testing.T) {
+	c, err := NewClassifier(4, []int{6}, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := []float64{1, 0, 0, 1}
+	before := make([]float64, 3)
+	s := c.NewState()
+	c.Step(s, x, before)
+
+	if err := c.GrowClasses(5, 9); err != nil {
+		t.Fatal(err)
+	}
+	if c.Classes() != 5 {
+		t.Fatalf("classes = %d", c.Classes())
+	}
+	after := make([]float64, 5)
+	s2 := c.NewState()
+	c.Step(s2, x, after)
+
+	// Probabilities renormalize over 5 classes, but the relative order of
+	// the original classes is preserved (their logits are untouched).
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if (before[i] < before[j]) != (after[i] < after[j]) && before[i] != before[j] {
+				t.Fatalf("class ordering changed after growth: %v vs %v", before[:3], after[:3])
+			}
+		}
+	}
+}
+
+func TestGrowClassesNoOpAndErrors(t *testing.T) {
+	c, err := NewClassifier(4, []int{6}, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldOut := c.Out
+	if err := c.GrowClasses(3, 1); err != nil {
+		t.Fatal(err)
+	}
+	if c.Out != oldOut {
+		t.Error("no-op growth replaced the layer")
+	}
+	if err := c.GrowClasses(2, 1); err == nil {
+		t.Error("shrinking accepted")
+	}
+}
+
+func TestGrowClassesTrainable(t *testing.T) {
+	// After growth the model must be able to learn targets in the new
+	// classes.
+	c, err := NewClassifier(4, []int{8}, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.GrowClasses(4, 5); err != nil {
+		t.Fatal(err)
+	}
+	seq := Sequence{}
+	for i := 0; i < 120; i++ {
+		x := make([]float64, 4)
+		x[i%4] = 1
+		seq.Inputs = append(seq.Inputs, x)
+		seq.Targets = append(seq.Targets, (i+1)%4)
+	}
+	loss, err := Train(c, []Sequence{seq}, TrainConfig{
+		Epochs: 80, Window: 12, BatchSize: 4, LR: 5e-3, ClipNorm: 5, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loss > 0.2 {
+		t.Errorf("grown model failed to learn: loss %.4f", loss)
+	}
+}

@@ -1,0 +1,195 @@
+// Package nn is the from-scratch neural substrate for the time-series level
+// anomaly detector: LSTM layers implementing exactly the memory-cell
+// equations of the paper (§V, Fig. 1), a dense softmax head (Fig. 2),
+// cross-entropy loss, full backpropagation through time, Adam/SGD
+// optimizers, and a data-parallel minibatch trainer. It has no dependencies
+// beyond the repository's math kernels.
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"icsdetect/internal/mathx"
+)
+
+// Gate block offsets inside the concatenated 4H gate vector. The order is
+// (input, forget, output, cell-candidate), matching the paper's
+// (i_t, f_t, o_t, g_t).
+const (
+	gateI = iota
+	gateF
+	gateO
+	gateG
+	numGates
+)
+
+// LSTMLayer is one layer of memory cells:
+//
+//	i_t = σ(W_i x_t + U_i h_{t-1} + b_i)
+//	f_t = σ(W_f x_t + U_f h_{t-1} + b_f)
+//	o_t = σ(W_o x_t + U_o h_{t-1} + b_o)
+//	g_t = τ(W_g x_t + U_g h_{t-1} + b_g)
+//	c_t = f_t ⊙ c_{t-1} + i_t ⊙ g_t
+//	h_t = o_t ⊙ τ(c_t)
+//
+// with τ = tanh. The four per-gate weight matrices are stored stacked:
+// W is (4H × I), U is (4H × H), B is 4H.
+type LSTMLayer struct {
+	InputSize  int
+	HiddenSize int
+	W          *mathx.Matrix
+	U          *mathx.Matrix
+	B          []float64
+}
+
+// NewLSTMLayer allocates a layer with Xavier/Glorot-uniform weights and the
+// customary forget-gate bias of 1 (keeps memory open early in training).
+func NewLSTMLayer(inputSize, hiddenSize int, rng *mathx.RNG) *LSTMLayer {
+	l := &LSTMLayer{
+		InputSize:  inputSize,
+		HiddenSize: hiddenSize,
+		W:          mathx.NewMatrix(numGates*hiddenSize, inputSize),
+		U:          mathx.NewMatrix(numGates*hiddenSize, hiddenSize),
+		B:          make([]float64, numGates*hiddenSize),
+	}
+	xavierInit(l.W, inputSize, hiddenSize, rng)
+	xavierInit(l.U, hiddenSize, hiddenSize, rng)
+	for h := 0; h < hiddenSize; h++ {
+		l.B[gateF*hiddenSize+h] = 1
+	}
+	return l
+}
+
+func xavierInit(m *mathx.Matrix, fanIn, fanOut int, rng *mathx.RNG) {
+	bound := math.Sqrt(6.0 / float64(fanIn+fanOut))
+	for i := range m.Data {
+		m.Data[i] = rng.Range(-bound, bound)
+	}
+}
+
+// lstmGrads accumulates gradients for one layer.
+type lstmGrads struct {
+	dW *mathx.Matrix
+	dU *mathx.Matrix
+	dB []float64
+}
+
+func newLSTMGrads(l *LSTMLayer) *lstmGrads {
+	return &lstmGrads{
+		dW: mathx.NewMatrix(l.W.Rows, l.W.Cols),
+		dU: mathx.NewMatrix(l.U.Rows, l.U.Cols),
+		dB: make([]float64, len(l.B)),
+	}
+}
+
+// lstmStepCache holds everything the backward pass needs for one timestep.
+type lstmStepCache struct {
+	x     []float64 // input at t
+	hPrev []float64 // h_{t-1}
+	cPrev []float64 // c_{t-1}
+	gates []float64 // post-activation (i,f,o,g), length 4H
+	c     []float64 // c_t
+	tanhC []float64 // τ(c_t)
+	h     []float64 // h_t
+}
+
+// stepForward advances one timestep. x, hPrev and cPrev are not retained by
+// the layer; the returned cache aliases the slices it allocates.
+func (l *LSTMLayer) stepForward(x, hPrev, cPrev []float64) *lstmStepCache {
+	H := l.HiddenSize
+	z := make([]float64, numGates*H)
+	l.W.MulVec(z, x)
+	l.U.MulVecAdd(z, hPrev)
+	for i := range z {
+		z[i] += l.B[i]
+	}
+	gates := z // reuse storage: overwrite pre-activations with activations
+	for h := 0; h < H; h++ {
+		gates[gateI*H+h] = mathx.Sigmoid(z[gateI*H+h])
+		gates[gateF*H+h] = mathx.Sigmoid(z[gateF*H+h])
+		gates[gateO*H+h] = mathx.Sigmoid(z[gateO*H+h])
+		gates[gateG*H+h] = math.Tanh(z[gateG*H+h])
+	}
+	c := make([]float64, H)
+	tanhC := make([]float64, H)
+	h := make([]float64, H)
+	for j := 0; j < H; j++ {
+		c[j] = gates[gateF*H+j]*cPrev[j] + gates[gateI*H+j]*gates[gateG*H+j]
+		tanhC[j] = math.Tanh(c[j])
+		h[j] = gates[gateO*H+j] * tanhC[j]
+	}
+	return &lstmStepCache{
+		x: x, hPrev: hPrev, cPrev: cPrev,
+		gates: gates, c: c, tanhC: tanhC, h: h,
+	}
+}
+
+// stepBackward backpropagates one timestep. dh is ∂L/∂h_t (including the
+// contribution flowing back from t+1), dc is ∂L/∂c_t carried from t+1.
+// It accumulates parameter gradients into g and returns ∂L/∂x_t, ∂L/∂h_{t-1}
+// and ∂L/∂c_{t-1}.
+func (l *LSTMLayer) stepBackward(cache *lstmStepCache, dh, dc []float64, g *lstmGrads) (dx, dhPrev, dcPrev []float64) {
+	H := l.HiddenSize
+	dz := make([]float64, numGates*H)
+	dcPrev = make([]float64, H)
+	for j := 0; j < H; j++ {
+		i := cache.gates[gateI*H+j]
+		f := cache.gates[gateF*H+j]
+		o := cache.gates[gateO*H+j]
+		gg := cache.gates[gateG*H+j]
+		tc := cache.tanhC[j]
+
+		do := dh[j] * tc
+		dcj := dc[j] + dh[j]*o*(1-tc*tc)
+
+		di := dcj * gg
+		df := dcj * cache.cPrev[j]
+		dg := dcj * i
+		dcPrev[j] = dcj * f
+
+		dz[gateI*H+j] = di * i * (1 - i)
+		dz[gateF*H+j] = df * f * (1 - f)
+		dz[gateO*H+j] = do * o * (1 - o)
+		dz[gateG*H+j] = dg * (1 - gg*gg)
+	}
+
+	g.dW.AddOuter(1, dz, cache.x)
+	g.dU.AddOuter(1, dz, cache.hPrev)
+	for i, v := range dz {
+		g.dB[i] += v
+	}
+
+	dx = make([]float64, l.InputSize)
+	l.W.MulVecT(dx, dz)
+	dhPrev = make([]float64, H)
+	l.U.MulVecT(dhPrev, dz)
+	return dx, dhPrev, dcPrev
+}
+
+// params returns the layer's parameter tensors (aliases, not copies).
+func (l *LSTMLayer) params() []Param {
+	return []Param{
+		{Name: "W", Data: l.W.Data},
+		{Name: "U", Data: l.U.Data},
+		{Name: "B", Data: l.B},
+	}
+}
+
+func (g *lstmGrads) slices() [][]float64 {
+	return [][]float64{g.dW.Data, g.dU.Data, g.dB}
+}
+
+// validate reports structural corruption after deserialization.
+func (l *LSTMLayer) validate() error {
+	if l.HiddenSize <= 0 || l.InputSize <= 0 {
+		return fmt.Errorf("nn: LSTM layer with non-positive sizes (%d, %d)", l.InputSize, l.HiddenSize)
+	}
+	if l.W == nil || l.U == nil ||
+		l.W.Rows != numGates*l.HiddenSize || l.W.Cols != l.InputSize ||
+		l.U.Rows != numGates*l.HiddenSize || l.U.Cols != l.HiddenSize ||
+		len(l.B) != numGates*l.HiddenSize {
+		return fmt.Errorf("nn: LSTM layer shape corruption")
+	}
+	return nil
+}

@@ -1,0 +1,318 @@
+package nn
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"math"
+
+	"icsdetect/internal/mathx"
+)
+
+// Param is one flat parameter tensor of the model. Data aliases model
+// storage, so optimizer updates apply in place.
+type Param struct {
+	Name string
+	Data []float64
+}
+
+// Classifier is the stacked LSTM softmax classifier of the paper (Fig. 2):
+// one-hot encoded discretized packages pass through one or more LSTM layers;
+// the last hidden vector maps through a dense layer to |S| logits and a
+// softmax activation producing Pr(s_i | c(t-1), c(t-2), …).
+type Classifier struct {
+	Layers []*LSTMLayer
+	Out    *Dense
+}
+
+// NewClassifier builds a classifier with the given input dimensionality,
+// hidden layer sizes (one per stacked LSTM layer) and number of signature
+// classes.
+func NewClassifier(inputSize int, hidden []int, classes int, seed uint64) (*Classifier, error) {
+	if inputSize <= 0 || classes <= 0 {
+		return nil, fmt.Errorf("nn: invalid classifier sizes (input=%d classes=%d)", inputSize, classes)
+	}
+	if len(hidden) == 0 {
+		return nil, fmt.Errorf("nn: at least one LSTM layer is required")
+	}
+	rng := mathx.NewRNG(seed)
+	c := &Classifier{}
+	in := inputSize
+	for _, h := range hidden {
+		if h <= 0 {
+			return nil, fmt.Errorf("nn: non-positive hidden size %d", h)
+		}
+		c.Layers = append(c.Layers, NewLSTMLayer(in, h, rng))
+		in = h
+	}
+	c.Out = NewDense(in, classes, rng)
+	return c, nil
+}
+
+// InputSize returns the expected input vector length.
+func (c *Classifier) InputSize() int { return c.Layers[0].InputSize }
+
+// Classes returns |S|, the softmax width.
+func (c *Classifier) Classes() int { return c.Out.OutputSize }
+
+// NumParams returns the total number of scalar parameters.
+func (c *Classifier) NumParams() int {
+	n := 0
+	for _, p := range c.Params() {
+		n += len(p.Data)
+	}
+	return n
+}
+
+// Params returns all parameter tensors in a stable order.
+func (c *Classifier) Params() []Param {
+	var out []Param
+	for i, l := range c.Layers {
+		for _, p := range l.params() {
+			p.Name = fmt.Sprintf("lstm%d.%s", i, p.Name)
+			out = append(out, p)
+		}
+	}
+	for _, p := range c.Out.params() {
+		p.Name = "out." + p.Name
+		out = append(out, p)
+	}
+	return out
+}
+
+// State is the recurrent state (h_t, c_t per layer) of a streaming
+// classification session. The combined detector keeps one State per
+// monitored link.
+type State struct {
+	h, c [][]float64
+}
+
+// NewState returns a zero state for the classifier.
+func (c *Classifier) NewState() *State {
+	s := &State{
+		h: make([][]float64, len(c.Layers)),
+		c: make([][]float64, len(c.Layers)),
+	}
+	for i, l := range c.Layers {
+		s.h[i] = make([]float64, l.HiddenSize)
+		s.c[i] = make([]float64, l.HiddenSize)
+	}
+	return s
+}
+
+// Reset zeroes the state in place (fragment boundaries).
+func (s *State) Reset() {
+	for i := range s.h {
+		mathx.Fill(s.h[i], 0)
+		mathx.Fill(s.c[i], 0)
+	}
+}
+
+// Clone deep-copies the state.
+func (s *State) Clone() *State {
+	out := &State{h: make([][]float64, len(s.h)), c: make([][]float64, len(s.c))}
+	for i := range s.h {
+		out.h[i] = append([]float64(nil), s.h[i]...)
+		out.c[i] = append([]float64(nil), s.c[i]...)
+	}
+	return out
+}
+
+// Step advances the recurrent state with input x and writes the class
+// probability vector into probs (len = Classes()).
+func (c *Classifier) Step(state *State, x, probs []float64) {
+	cur := x
+	for i, l := range c.Layers {
+		cache := l.stepForward(cur, state.h[i], state.c[i])
+		state.h[i] = cache.h
+		state.c[i] = cache.c
+		cur = cache.h
+	}
+	logits := make([]float64, c.Out.OutputSize)
+	c.Out.Forward(logits, cur)
+	mathx.Softmax(probs, logits)
+}
+
+// GradBuffer accumulates gradients for every parameter of a classifier. One
+// buffer per training worker; buffers merge before the optimizer step.
+type GradBuffer struct {
+	lstm  []*lstmGrads
+	dense *denseGrads
+	// Steps counts the timesteps accumulated, used to normalize.
+	Steps int
+}
+
+// NewGradBuffer allocates a zeroed gradient buffer shaped like c.
+func (c *Classifier) NewGradBuffer() *GradBuffer {
+	g := &GradBuffer{dense: newDenseGrads(c.Out)}
+	for _, l := range c.Layers {
+		g.lstm = append(g.lstm, newLSTMGrads(l))
+	}
+	return g
+}
+
+// Slices returns the flat gradient tensors in the same order as
+// Classifier.Params.
+func (g *GradBuffer) Slices() [][]float64 {
+	var out [][]float64
+	for _, lg := range g.lstm {
+		out = append(out, lg.slices()...)
+	}
+	out = append(out, g.dense.slices()...)
+	return out
+}
+
+// Zero clears the buffer.
+func (g *GradBuffer) Zero() {
+	for _, s := range g.Slices() {
+		mathx.Fill(s, 0)
+	}
+	g.Steps = 0
+}
+
+// Merge adds other into g.
+func (g *GradBuffer) Merge(other *GradBuffer) {
+	gs, os := g.Slices(), other.Slices()
+	for i := range gs {
+		mathx.Axpy(gs[i], 1, os[i])
+	}
+	g.Steps += other.Steps
+}
+
+// ClipAndScale normalizes by the accumulated step count and applies global
+// gradient-norm clipping; it returns the pre-clip norm.
+func (g *GradBuffer) ClipAndScale(clipNorm float64) float64 {
+	if g.Steps > 0 {
+		inv := 1 / float64(g.Steps)
+		for _, s := range g.Slices() {
+			for i := range s {
+				s[i] *= inv
+			}
+		}
+	}
+	var norm float64
+	for _, s := range g.Slices() {
+		for _, v := range s {
+			norm += v * v
+		}
+	}
+	norm = math.Sqrt(norm)
+	if clipNorm > 0 && norm > clipNorm {
+		scale := clipNorm / norm
+		for _, s := range g.Slices() {
+			for i := range s {
+				s[i] *= scale
+			}
+		}
+	}
+	return norm
+}
+
+// Sequence is one training window: Inputs[t] is the one-hot encoded
+// discretized package c(t-1) (plus noise bit) and Targets[t] is the class
+// index of the *next* package's signature. A negative target skips the loss
+// at that step.
+type Sequence struct {
+	Inputs  [][]float64
+	Targets []int
+}
+
+// lossForwardBackward runs truncated BPTT over one window starting from a
+// zero state, accumulating gradients into g. It returns the summed
+// cross-entropy loss and the number of scored steps.
+func (c *Classifier) lossForwardBackward(seq *Sequence, g *GradBuffer) (loss float64, steps int) {
+	T := len(seq.Inputs)
+	if T == 0 {
+		return 0, 0
+	}
+	L := len(c.Layers)
+	caches := make([][]*lstmStepCache, L)
+	for i := range caches {
+		caches[i] = make([]*lstmStepCache, T)
+	}
+	hidden := make([][]float64, L)
+	cell := make([][]float64, L)
+	for i, l := range c.Layers {
+		hidden[i] = make([]float64, l.HiddenSize)
+		cell[i] = make([]float64, l.HiddenSize)
+	}
+	probs := make([][]float64, T)
+	tops := make([][]float64, T) // last-layer h per step, for dense backward
+
+	// Forward.
+	logits := make([]float64, c.Out.OutputSize)
+	for t := 0; t < T; t++ {
+		cur := seq.Inputs[t]
+		for i, l := range c.Layers {
+			cache := l.stepForward(cur, hidden[i], cell[i])
+			caches[i][t] = cache
+			hidden[i] = cache.h
+			cell[i] = cache.c
+			cur = cache.h
+		}
+		tops[t] = cur
+		if seq.Targets[t] >= 0 {
+			c.Out.Forward(logits, cur)
+			p := make([]float64, len(logits))
+			mathx.Softmax(p, logits)
+			probs[t] = p
+			loss += -math.Log(math.Max(p[seq.Targets[t]], 1e-12))
+			steps++
+		}
+	}
+
+	// Backward through time.
+	dh := make([][]float64, L)
+	dc := make([][]float64, L)
+	for i, l := range c.Layers {
+		dh[i] = make([]float64, l.HiddenSize)
+		dc[i] = make([]float64, l.HiddenSize)
+	}
+	for t := T - 1; t >= 0; t-- {
+		if probs[t] != nil {
+			dLogits := make([]float64, len(probs[t]))
+			copy(dLogits, probs[t])
+			dLogits[seq.Targets[t]] -= 1 // softmax cross-entropy gradient
+			dhOut := c.Out.Backward(dLogits, tops[t], g.dense)
+			mathx.Axpy(dh[L-1], 1, dhOut)
+		}
+		for i := L - 1; i >= 0; i-- {
+			dx, dhPrev, dcPrev := c.Layers[i].stepBackward(caches[i][t], dh[i], dc[i], g.lstm[i])
+			dh[i] = dhPrev
+			dc[i] = dcPrev
+			if i > 0 {
+				mathx.Axpy(dh[i-1], 1, dx)
+			}
+		}
+	}
+	g.Steps += steps
+	return loss, steps
+}
+
+// Save serializes the classifier with gob.
+func (c *Classifier) Save(w io.Writer) error {
+	if err := gob.NewEncoder(w).Encode(c); err != nil {
+		return fmt.Errorf("nn: save classifier: %w", err)
+	}
+	return nil
+}
+
+// Load deserializes a classifier saved with Save and validates its shapes.
+func Load(r io.Reader) (*Classifier, error) {
+	var c Classifier
+	if err := gob.NewDecoder(r).Decode(&c); err != nil {
+		return nil, fmt.Errorf("nn: load classifier: %w", err)
+	}
+	if len(c.Layers) == 0 || c.Out == nil {
+		return nil, fmt.Errorf("nn: loaded classifier is empty")
+	}
+	for _, l := range c.Layers {
+		if err := l.validate(); err != nil {
+			return nil, err
+		}
+	}
+	if err := c.Out.validate(); err != nil {
+		return nil, err
+	}
+	return &c, nil
+}

@@ -1,0 +1,191 @@
+package nn
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"icsdetect/internal/mathx"
+)
+
+// TrainConfig controls minibatch training of a Classifier.
+type TrainConfig struct {
+	// Epochs is the number of passes over all windows (paper: 50).
+	Epochs int
+	// Window is the truncated-BPTT length each training window spans.
+	Window int
+	// BatchSize is the number of windows whose gradients are averaged per
+	// optimizer step.
+	BatchSize int
+	// LR is the Adam learning rate.
+	LR float64
+	// ClipNorm is the global gradient norm cap (0 disables clipping).
+	ClipNorm float64
+	// LRDecayEpoch, when positive, multiplies the learning rate by
+	// LRDecayFactor once that epoch is reached (simple step schedule).
+	LRDecayEpoch  int
+	LRDecayFactor float64
+	// Workers bounds data-parallel gradient computation; 0 means
+	// GOMAXPROCS.
+	Workers int
+	// Seed drives window shuffling.
+	Seed uint64
+	// Progress, when non-nil, receives the mean per-step loss after each
+	// epoch.
+	Progress func(epoch int, meanLoss float64)
+}
+
+func (c *TrainConfig) defaults() {
+	if c.Epochs <= 0 {
+		c.Epochs = 10
+	}
+	if c.Window <= 0 {
+		c.Window = 32
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 16
+	}
+	if c.LR <= 0 {
+		c.LR = 2e-3
+	}
+	if c.ClipNorm < 0 {
+		c.ClipNorm = 0
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+}
+
+// MakeWindows chops full sequences into non-overlapping training windows of
+// the given length. Remainder windows shorter than 2 steps are dropped.
+func MakeWindows(seqs []Sequence, window int) []Sequence {
+	var out []Sequence
+	for _, s := range seqs {
+		for start := 0; start < len(s.Inputs); start += window {
+			end := start + window
+			if end > len(s.Inputs) {
+				end = len(s.Inputs)
+			}
+			if end-start < 2 {
+				continue
+			}
+			out = append(out, Sequence{
+				Inputs:  s.Inputs[start:end],
+				Targets: s.Targets[start:end],
+			})
+		}
+	}
+	return out
+}
+
+// Train fits the classifier on the given full sequences with Adam,
+// shuffled minibatches of truncated-BPTT windows, and data-parallel
+// gradient computation. It returns the mean per-step loss of the final
+// epoch.
+func Train(c *Classifier, seqs []Sequence, cfg TrainConfig) (float64, error) {
+	cfg.defaults()
+	for _, s := range seqs {
+		if len(s.Inputs) != len(s.Targets) {
+			return 0, fmt.Errorf("nn: sequence has %d inputs but %d targets", len(s.Inputs), len(s.Targets))
+		}
+		for _, x := range s.Inputs {
+			if len(x) != c.InputSize() {
+				return 0, fmt.Errorf("nn: input size %d, classifier expects %d", len(x), c.InputSize())
+			}
+		}
+		for _, t := range s.Targets {
+			if t >= c.Classes() {
+				return 0, fmt.Errorf("nn: target %d out of range (classes=%d)", t, c.Classes())
+			}
+		}
+	}
+	windows := MakeWindows(seqs, cfg.Window)
+	if len(windows) == 0 {
+		return 0, fmt.Errorf("nn: no training windows (need sequences of length >= 2)")
+	}
+
+	rng := mathx.NewRNG(cfg.Seed)
+	opt := NewAdam(cfg.LR)
+	params := c.Params()
+
+	workers := cfg.Workers
+	if workers > cfg.BatchSize {
+		workers = cfg.BatchSize
+	}
+	workerGrads := make([]*GradBuffer, workers)
+	for i := range workerGrads {
+		workerGrads[i] = c.NewGradBuffer()
+	}
+	master := c.NewGradBuffer()
+
+	var finalLoss float64
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		if cfg.LRDecayEpoch > 0 && epoch == cfg.LRDecayEpoch && cfg.LRDecayFactor > 0 {
+			opt.LR *= cfg.LRDecayFactor
+		}
+		rng.Shuffle(len(windows), func(i, j int) {
+			windows[i], windows[j] = windows[j], windows[i]
+		})
+		var epochLoss float64
+		var epochSteps int
+
+		for start := 0; start < len(windows); start += cfg.BatchSize {
+			end := start + cfg.BatchSize
+			if end > len(windows) {
+				end = len(windows)
+			}
+			batch := windows[start:end]
+
+			var (
+				mu         sync.Mutex
+				batchLoss  float64
+				batchSteps int
+				wg         sync.WaitGroup
+			)
+			next := make(chan int)
+			for w := 0; w < workers; w++ {
+				g := workerGrads[w]
+				g.Zero()
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					var localLoss float64
+					var localSteps int
+					for idx := range next {
+						loss, steps := c.lossForwardBackward(&batch[idx], g)
+						localLoss += loss
+						localSteps += steps
+					}
+					mu.Lock()
+					batchLoss += localLoss
+					batchSteps += localSteps
+					mu.Unlock()
+				}()
+			}
+			for i := range batch {
+				next <- i
+			}
+			close(next)
+			wg.Wait()
+
+			master.Zero()
+			for _, g := range workerGrads {
+				master.Merge(g)
+			}
+			master.ClipAndScale(cfg.ClipNorm)
+			if err := opt.Step(params, master.Slices()); err != nil {
+				return 0, err
+			}
+			epochLoss += batchLoss
+			epochSteps += batchSteps
+		}
+
+		if epochSteps > 0 {
+			finalLoss = epochLoss / float64(epochSteps)
+		}
+		if cfg.Progress != nil {
+			cfg.Progress(epoch+1, finalLoss)
+		}
+	}
+	return finalLoss, nil
+}

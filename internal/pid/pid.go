@@ -1,0 +1,135 @@
+// Package pid implements the proportional-integral-derivative controller the
+// gas pipeline plant uses to maintain air pressure (paper §VII). The
+// parameterization mirrors the dataset's PID columns: gain, reset rate,
+// rate (derivative time), dead band and cycle time.
+//
+// The controller uses the standard (dependent) form
+//
+//	u(t) = Kp * ( e(t) + (1/Ti) ∫e dt + Td de/dt )
+//
+// where the dataset's "reset_rate" is repeats-per-time (1/Ti) and "rate" is
+// the derivative time Td. Output is clamped to [OutMin, OutMax] with
+// integral anti-windup (clamping form), and a dead band suppresses control
+// action for small errors, as in the testbed's pressure loop.
+package pid
+
+import (
+	"fmt"
+	"math"
+)
+
+// Config holds the tunable controller parameters, named after the dataset
+// columns they correspond to.
+type Config struct {
+	Gain      float64 // Kp (dataset "gain")
+	ResetRate float64 // integral repeats per second, 1/Ti (dataset "reset_rate")
+	Rate      float64 // derivative time Td in seconds (dataset "rate")
+	Deadband  float64 // |error| below which output holds (dataset "deadband")
+	CycleTime float64 // control period in seconds (dataset "cycle_time")
+
+	OutMin, OutMax float64 // actuator limits; default [0, 1]
+}
+
+// Validate reports configuration errors.
+func (c *Config) Validate() error {
+	if c.Gain < 0 {
+		return fmt.Errorf("pid: negative gain %g", c.Gain)
+	}
+	if c.ResetRate < 0 || c.Rate < 0 {
+		return fmt.Errorf("pid: negative reset rate or rate (%g, %g)", c.ResetRate, c.Rate)
+	}
+	if c.CycleTime <= 0 {
+		return fmt.Errorf("pid: cycle time must be positive, got %g", c.CycleTime)
+	}
+	if c.OutMin >= c.OutMax && !(c.OutMin == 0 && c.OutMax == 0) {
+		return fmt.Errorf("pid: OutMin %g >= OutMax %g", c.OutMin, c.OutMax)
+	}
+	return nil
+}
+
+// Controller is a discrete PID controller. Not safe for concurrent use.
+type Controller struct {
+	cfg      Config
+	integral float64
+	prevErr  float64
+	prevOut  float64
+	primed   bool // prevErr valid (skip derivative kick on first step)
+}
+
+// New constructs a controller. Zero OutMin/OutMax default to [0, 1].
+func New(cfg Config) (*Controller, error) {
+	if cfg.OutMin == 0 && cfg.OutMax == 0 {
+		cfg.OutMax = 1
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Controller{cfg: cfg}, nil
+}
+
+// Config returns the active configuration.
+func (c *Controller) Config() Config { return c.cfg }
+
+// SetConfig replaces the controller parameters at runtime (the attack
+// injector uses this to model MPCI parameter tampering). State is preserved.
+func (c *Controller) SetConfig(cfg Config) error {
+	if cfg.OutMin == 0 && cfg.OutMax == 0 {
+		cfg.OutMax = 1
+	}
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	c.cfg = cfg
+	return nil
+}
+
+// Reset clears accumulated state.
+func (c *Controller) Reset() {
+	c.integral, c.prevErr, c.prevOut, c.primed = 0, 0, 0, false
+}
+
+// Step advances the controller by one cycle with the given setpoint and
+// process value, returning the actuator command in [OutMin, OutMax].
+func (c *Controller) Step(setpoint, process float64) float64 {
+	e := setpoint - process
+	if math.Abs(e) < c.cfg.Deadband {
+		// Inside the dead band the controller holds its previous output,
+		// matching the plant's relay-style behaviour around the setpoint.
+		return c.prevOut
+	}
+	dt := c.cfg.CycleTime
+	p := c.cfg.Gain * e
+
+	// Integral with anti-windup: only integrate when output is not
+	// saturated in the direction of the error.
+	i := c.cfg.Gain * c.cfg.ResetRate * c.integral
+
+	var d float64
+	if c.primed && c.cfg.Rate > 0 {
+		d = c.cfg.Gain * c.cfg.Rate * (e - c.prevErr) / dt
+	}
+
+	raw := p + i + d
+	out := mathClamp(raw, c.cfg.OutMin, c.cfg.OutMax)
+
+	saturatedHigh := raw > c.cfg.OutMax && e > 0
+	saturatedLow := raw < c.cfg.OutMin && e < 0
+	if !saturatedHigh && !saturatedLow {
+		c.integral += e * dt
+	}
+
+	c.prevErr = e
+	c.prevOut = out
+	c.primed = true
+	return out
+}
+
+func mathClamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

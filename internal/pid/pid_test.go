@@ -1,0 +1,148 @@
+package pid
+
+import (
+	"math"
+	"testing"
+)
+
+// simplePlant is a first-order lag the tests drive the controller against.
+type simplePlant struct {
+	value float64
+}
+
+func (p *simplePlant) step(input, dt float64) {
+	// dv/dt = 2*input - 0.3*v : settles at v = 6.67*input
+	p.value += dt * (2*input - 0.3*p.value)
+}
+
+func TestPIConvergesToSetpoint(t *testing.T) {
+	c, err := New(Config{Gain: 0.5, ResetRate: 0.4, CycleTime: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plant := &simplePlant{}
+	const setpoint = 3.0
+	for i := 0; i < 2000; i++ {
+		u := c.Step(setpoint, plant.value)
+		plant.step(u, 0.1)
+	}
+	if math.Abs(plant.value-setpoint) > 0.05 {
+		t.Errorf("PI loop settled at %v, want %v", plant.value, setpoint)
+	}
+}
+
+func TestOutputBounded(t *testing.T) {
+	c, err := New(Config{Gain: 100, ResetRate: 10, Rate: 1, CycleTime: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		u := c.Step(1000, 0) // enormous error
+		if u < 0 || u > 1 {
+			t.Fatalf("output %v outside [0,1]", u)
+		}
+	}
+	for i := 0; i < 100; i++ {
+		u := c.Step(-1000, 0)
+		if u < 0 || u > 1 {
+			t.Fatalf("output %v outside [0,1]", u)
+		}
+	}
+}
+
+// TestAntiWindup: after a long saturation period the integral must not have
+// accumulated so much that the controller overshoots wildly when the error
+// flips.
+func TestAntiWindup(t *testing.T) {
+	c, err := New(Config{Gain: 1, ResetRate: 1, CycleTime: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Saturate high for a long time.
+	for i := 0; i < 1000; i++ {
+		c.Step(10, 0)
+	}
+	// Error flips: output should respond within a few steps, not after
+	// unwinding 1000 steps of integral.
+	steps := 0
+	for ; steps < 50; steps++ {
+		if u := c.Step(0, 10); u == 0 {
+			break
+		}
+	}
+	if steps >= 50 {
+		t.Errorf("controller stuck saturated for %d steps after error flip", steps)
+	}
+}
+
+func TestDeadbandHoldsOutput(t *testing.T) {
+	c, err := New(Config{Gain: 1, ResetRate: 0.1, Deadband: 0.5, CycleTime: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u1 := c.Step(5, 1) // big error: output moves
+	u2 := c.Step(5, 4.8)
+	if u2 != u1 {
+		t.Errorf("output changed inside dead band: %v -> %v", u1, u2)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	bad := []Config{
+		{Gain: -1, CycleTime: 1},
+		{Gain: 1, ResetRate: -1, CycleTime: 1},
+		{Gain: 1, Rate: -1, CycleTime: 1},
+		{Gain: 1, CycleTime: 0},
+		{Gain: 1, CycleTime: 1, OutMin: 2, OutMax: 1},
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("bad config %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestSetConfigPreservesState(t *testing.T) {
+	c, err := New(Config{Gain: 1, ResetRate: 0.5, CycleTime: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		c.Step(5, 0)
+	}
+	if err := c.SetConfig(Config{Gain: 2, ResetRate: 0.5, CycleTime: 0.1}); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Config().Gain; got != 2 {
+		t.Errorf("gain = %v after SetConfig", got)
+	}
+	if err := c.SetConfig(Config{Gain: 1, CycleTime: 0}); err == nil {
+		t.Error("invalid SetConfig accepted")
+	}
+}
+
+func TestReset(t *testing.T) {
+	c, err := New(Config{Gain: 1, ResetRate: 1, CycleTime: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		c.Step(5, 0)
+	}
+	c.Reset()
+	// After reset the first step equals a fresh controller's first step.
+	fresh, _ := New(Config{Gain: 1, ResetRate: 1, CycleTime: 0.1})
+	if a, b := c.Step(5, 0), fresh.Step(5, 0); a != b {
+		t.Errorf("reset state differs from fresh: %v vs %v", a, b)
+	}
+}
+
+func TestDerivativeNoKickOnFirstStep(t *testing.T) {
+	// With derivative action, the first step must not see a derivative
+	// spike from an undefined previous error.
+	withD, _ := New(Config{Gain: 1, Rate: 10, CycleTime: 0.01})
+	withoutD, _ := New(Config{Gain: 1, CycleTime: 0.01})
+	if a, b := withD.Step(1, 0), withoutD.Step(1, 0); a != b {
+		t.Errorf("derivative kick on first step: %v vs %v", a, b)
+	}
+}

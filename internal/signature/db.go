@@ -1,0 +1,98 @@
+package signature
+
+import (
+	"sort"
+
+	"icsdetect/internal/dataset"
+)
+
+// DB is the signature database of normal package behaviour: the set S of
+// all signatures observed in attack-free training traffic with their
+// occurrence counts #(s) (needed by the probabilistic-noise trainer, §V-A-3)
+// and a stable index assignment used as the LSTM softmax class space.
+type DB struct {
+	// Counts maps each signature to its training occurrence count.
+	Counts map[string]int
+	// List holds signatures sorted by descending count then lexicographic,
+	// fixing the class index order.
+	List []string
+	// Index is the inverse of List.
+	Index map[string]int
+	// Total is the number of packages indexed.
+	Total int
+}
+
+// BuildDB encodes all training fragments and collects the signature
+// database.
+func BuildDB(enc *Encoder, frags []dataset.Fragment) *DB {
+	counts := make(map[string]int)
+	total := 0
+	for _, frag := range frags {
+		var prev *dataset.Package
+		for _, p := range frag {
+			sig := Signature(enc.Encode(prev, p))
+			counts[sig]++
+			total++
+			prev = p
+		}
+	}
+	return newDB(counts, total)
+}
+
+func newDB(counts map[string]int, total int) *DB {
+	list := make([]string, 0, len(counts))
+	for s := range counts {
+		list = append(list, s)
+	}
+	sort.Slice(list, func(i, j int) bool {
+		if counts[list[i]] != counts[list[j]] {
+			return counts[list[i]] > counts[list[j]]
+		}
+		return list[i] < list[j]
+	})
+	index := make(map[string]int, len(list))
+	for i, s := range list {
+		index[s] = i
+	}
+	return &DB{Counts: counts, List: list, Index: index, Total: total}
+}
+
+// Size returns |S|, the number of unique signatures.
+func (db *DB) Size() int { return len(db.List) }
+
+// Contains reports whether sig is in the database.
+func (db *DB) Contains(sig string) bool {
+	_, ok := db.Counts[sig]
+	return ok
+}
+
+// Count returns #(s), the number of training occurrences of sig.
+func (db *DB) Count(sig string) int { return db.Counts[sig] }
+
+// ClassOf returns the class index of sig and whether it exists.
+func (db *DB) ClassOf(sig string) (int, bool) {
+	i, ok := db.Index[sig]
+	return i, ok
+}
+
+// ValidationError returns the proportion of packages in the validation
+// fragments whose signature is absent from the database — the errv of
+// §IV-B, the estimator of the package-level false positive rate.
+func (db *DB) ValidationError(enc *Encoder, frags []dataset.Fragment) float64 {
+	total, misses := 0, 0
+	for _, frag := range frags {
+		var prev *dataset.Package
+		for _, p := range frag {
+			sig := Signature(enc.Encode(prev, p))
+			if !db.Contains(sig) {
+				misses++
+			}
+			total++
+			prev = p
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(misses) / float64(total)
+}

@@ -1,0 +1,181 @@
+// Package signature implements the package-signature layer of the paper:
+// feature discretization (§IV-A/B, Table III), the injective signature
+// generating function g(·), the signature database with occurrence counts
+// (needed by the probabilistic-noise trainer), and the granularity search
+// that picks the most fine-grained discretization below an acceptable
+// validation false-positive rate (Fig. 5).
+package signature
+
+import (
+	"encoding/gob"
+	"fmt"
+	"math"
+	"sort"
+
+	"icsdetect/internal/cluster"
+)
+
+// Discretizer maps a (possibly multi-dimensional) continuous feature to a
+// discrete bucket. Every discretizer reserves one extra bucket — index
+// Buckets()-1 — for out-of-range values, per the paper: "we also assign an
+// additional discrete value to each feature to represent those values that
+// cannot be assigned to any of the clusters or intervals".
+type Discretizer interface {
+	// Buckets returns the number of discrete values including the
+	// out-of-range bucket.
+	Buckets() int
+	// Discretize maps the raw feature vector to a bucket in [0, Buckets()).
+	Discretize(v []float64) int
+	// Dims returns the input dimensionality.
+	Dims() int
+}
+
+// KMeansDisc discretizes by nearest centroid with a radius bound
+// ("K-means clustering" rows of Table III).
+type KMeansDisc struct {
+	Model *cluster.KMeans
+}
+
+var _ Discretizer = (*KMeansDisc)(nil)
+
+// FitKMeansDisc clusters the training values into k groups.
+func FitKMeansDisc(points [][]float64, k int, seed uint64) (*KMeansDisc, error) {
+	model, err := cluster.Fit(points, cluster.Config{K: k, Seed: seed})
+	if err != nil {
+		return nil, fmt.Errorf("signature: fit kmeans discretizer: %w", err)
+	}
+	return &KMeansDisc{Model: model}, nil
+}
+
+// Buckets returns K+1 (clusters plus the out-of-range bucket).
+func (d *KMeansDisc) Buckets() int { return d.Model.K() + 1 }
+
+// Dims returns the centroid dimensionality.
+func (d *KMeansDisc) Dims() int {
+	if d.Model.K() == 0 {
+		return 0
+	}
+	return len(d.Model.Centroids[0])
+}
+
+// Discretize assigns v to its nearest centroid, or the out-of-range bucket
+// when it is farther than the cluster radius from all centroids.
+func (d *KMeansDisc) Discretize(v []float64) int {
+	if j := d.Model.AssignBounded(v); j >= 0 {
+		return j
+	}
+	return d.Model.K()
+}
+
+// IntervalDisc discretizes by even-interval partition of the observed
+// training range ("Even interval partition" rows of Table III).
+type IntervalDisc struct {
+	Lo, Hi float64
+	Bins   int
+	// Slack widens the accepted range by Slack*(Hi-Lo) on each side before
+	// a value is declared out of range, absorbing benign extrapolation.
+	Slack float64
+}
+
+var _ Discretizer = (*IntervalDisc)(nil)
+
+// FitIntervalDisc builds an even partition of [min, max] of values.
+func FitIntervalDisc(values []float64, bins int) (*IntervalDisc, error) {
+	if len(values) == 0 {
+		return nil, cluster.ErrNoData
+	}
+	if bins < 1 {
+		return nil, fmt.Errorf("signature: interval bins must be >= 1, got %d", bins)
+	}
+	lo, hi := values[0], values[0]
+	for _, v := range values[1:] {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	return &IntervalDisc{Lo: lo, Hi: hi, Bins: bins, Slack: 0.05}, nil
+}
+
+// Buckets returns Bins+1.
+func (d *IntervalDisc) Buckets() int { return d.Bins + 1 }
+
+// Dims returns 1.
+func (d *IntervalDisc) Dims() int { return 1 }
+
+// Discretize maps v[0] into its interval, or the out-of-range bucket.
+func (d *IntervalDisc) Discretize(v []float64) int {
+	x := v[0]
+	span := d.Hi - d.Lo
+	if x < d.Lo-d.Slack*span || x > d.Hi+d.Slack*span {
+		return d.Bins
+	}
+	i := int(float64(d.Bins) * (x - d.Lo) / span)
+	if i < 0 {
+		i = 0
+	}
+	if i >= d.Bins {
+		i = d.Bins - 1
+	}
+	return i
+}
+
+// CategoricalDisc maps each distinct observed value to its own bucket;
+// unseen values go to the out-of-range bucket. Used for the discrete Table I
+// columns (address, function code, length, modes, coils).
+type CategoricalDisc struct {
+	// Values holds the observed domain, sorted ascending for determinism.
+	Values []float64
+}
+
+var _ Discretizer = (*CategoricalDisc)(nil)
+
+// FitCategoricalDisc collects the distinct values of the training data.
+func FitCategoricalDisc(values []float64) (*CategoricalDisc, error) {
+	if len(values) == 0 {
+		return nil, cluster.ErrNoData
+	}
+	seen := make(map[float64]struct{})
+	for _, v := range values {
+		seen[v] = struct{}{}
+	}
+	domain := make([]float64, 0, len(seen))
+	for v := range seen {
+		domain = append(domain, v)
+	}
+	sort.Float64s(domain)
+	return &CategoricalDisc{Values: domain}, nil
+}
+
+// Buckets returns |domain|+1.
+func (d *CategoricalDisc) Buckets() int { return len(d.Values) + 1 }
+
+// Dims returns 1.
+func (d *CategoricalDisc) Dims() int { return 1 }
+
+// Discretize finds v[0] in the domain (binary search with a tolerance for
+// float jitter), or returns the out-of-range bucket.
+func (d *CategoricalDisc) Discretize(v []float64) int {
+	x := v[0]
+	i := sort.SearchFloat64s(d.Values, x)
+	const eps = 1e-9
+	if i < len(d.Values) && math.Abs(d.Values[i]-x) <= eps {
+		return i
+	}
+	if i > 0 && math.Abs(d.Values[i-1]-x) <= eps {
+		return i - 1
+	}
+	return len(d.Values)
+}
+
+func init() {
+	// Register concrete discretizers so Encoder round-trips through gob.
+	gob.Register(&KMeansDisc{})
+	gob.Register(&IntervalDisc{})
+	gob.Register(&CategoricalDisc{})
+}

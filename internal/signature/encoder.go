@@ -1,0 +1,273 @@
+package signature
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"icsdetect/internal/dataset"
+)
+
+// FeatureKind identifies which raw columns a feature reads.
+type FeatureKind int
+
+// The feature set of the gas pipeline dataset (Table I, §VIII-A-1): nine
+// continuous features (time interval, crc rate, setpoint, pressure, and the
+// five PID parameters treated jointly) plus the discrete protocol columns.
+const (
+	KindInterval FeatureKind = iota + 1 // derived from consecutive timestamps
+	KindCRCRate
+	KindPressure
+	KindSetpoint
+	KindPID // 5-dimensional joint feature
+	KindAddress
+	KindFunction
+	KindLength
+	KindSystemMode
+	KindControlScheme
+	KindPump
+	KindSolenoid
+	KindCmdResponse
+)
+
+// String returns the dataset column name for the feature kind.
+func (k FeatureKind) String() string {
+	switch k {
+	case KindInterval:
+		return "time_interval"
+	case KindCRCRate:
+		return "crc_rate"
+	case KindPressure:
+		return "pressure_measurement"
+	case KindSetpoint:
+		return "setpoint"
+	case KindPID:
+		return "pid_parameters"
+	case KindAddress:
+		return "address"
+	case KindFunction:
+		return "function"
+	case KindLength:
+		return "length"
+	case KindSystemMode:
+		return "system_mode"
+	case KindControlScheme:
+		return "control_scheme"
+	case KindPump:
+		return "pump"
+	case KindSolenoid:
+		return "solenoid"
+	case KindCmdResponse:
+		return "command_response"
+	default:
+		return fmt.Sprintf("FeatureKind(%d)", int(k))
+	}
+}
+
+// extract returns the raw feature vector for kind. prev may be nil at
+// fragment starts.
+func extract(kind FeatureKind, prev, cur *dataset.Package) []float64 {
+	switch kind {
+	case KindInterval:
+		return []float64{dataset.Interval(prev, cur)}
+	case KindCRCRate:
+		return []float64{cur.CRCRate}
+	case KindPressure:
+		return []float64{cur.Pressure}
+	case KindSetpoint:
+		return []float64{cur.Setpoint}
+	case KindPID:
+		return cur.PIDVector()
+	case KindAddress:
+		return []float64{cur.Address}
+	case KindFunction:
+		return []float64{cur.Function}
+	case KindLength:
+		return []float64{cur.Length}
+	case KindSystemMode:
+		return []float64{cur.SystemMode}
+	case KindControlScheme:
+		return []float64{cur.ControlScheme}
+	case KindPump:
+		return []float64{cur.Pump}
+	case KindSolenoid:
+		return []float64{cur.Solenoid}
+	case KindCmdResponse:
+		return []float64{cur.CmdResponse}
+	default:
+		panic(fmt.Sprintf("signature: unknown feature kind %d", int(kind)))
+	}
+}
+
+// Feature pairs a raw feature with its fitted discretizer.
+type Feature struct {
+	Kind FeatureKind
+	Disc Discretizer
+}
+
+// Encoder turns packages into discretized vectors c(t) and signatures
+// s(x(t)). The feature order is fixed at fit time, making g(·) injective on
+// discretized vectors.
+type Encoder struct {
+	Features []Feature
+}
+
+// Granularity is the tunable part of the discretization (the {n_1 … n_l} of
+// §IV-B plus the K-means cluster counts of Table III).
+type Granularity struct {
+	IntervalClusters int // time interval K-means clusters (paper: 2)
+	CRCClusters      int // crc rate K-means clusters (paper: 2)
+	PressureBins     int // pressure even-interval bins (paper: 20)
+	SetpointBins     int // setpoint even-interval bins (paper: 10)
+	PIDClusters      int // joint PID K-means clusters (paper: 32)
+}
+
+// PaperGranularity returns the Table III strategy.
+func PaperGranularity() Granularity {
+	return Granularity{
+		IntervalClusters: 2,
+		CRCClusters:      2,
+		PressureBins:     20,
+		SetpointBins:     10,
+		PIDClusters:      32,
+	}
+}
+
+// Validate reports invalid granularity settings.
+func (g Granularity) Validate() error {
+	if g.IntervalClusters < 1 || g.CRCClusters < 1 || g.PressureBins < 1 ||
+		g.SetpointBins < 1 || g.PIDClusters < 1 {
+		return fmt.Errorf("signature: granularity values must all be >= 1: %+v", g)
+	}
+	return nil
+}
+
+// orderedKinds is the canonical feature order of the signature.
+var orderedKinds = []FeatureKind{
+	KindAddress, KindFunction, KindLength, KindCmdResponse,
+	KindSystemMode, KindControlScheme, KindPump, KindSolenoid,
+	KindInterval, KindCRCRate, KindSetpoint, KindPressure, KindPID,
+}
+
+// FitEncoder fits all discretizers on attack-free training fragments with
+// the given granularity.
+func FitEncoder(frags []dataset.Fragment, g Granularity, seed uint64) (*Encoder, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if len(frags) == 0 {
+		return nil, fmt.Errorf("signature: no training fragments")
+	}
+
+	// Collect raw feature columns, respecting fragment boundaries for the
+	// interval feature.
+	columns := make(map[FeatureKind][][]float64, len(orderedKinds))
+	for _, frag := range frags {
+		var prev *dataset.Package
+		for _, p := range frag {
+			for _, kind := range orderedKinds {
+				columns[kind] = append(columns[kind], extract(kind, prev, p))
+			}
+			prev = p
+		}
+	}
+	scalar := func(kind FeatureKind) []float64 {
+		rows := columns[kind]
+		out := make([]float64, len(rows))
+		for i, r := range rows {
+			out[i] = r[0]
+		}
+		return out
+	}
+
+	enc := &Encoder{Features: make([]Feature, 0, len(orderedKinds))}
+	for i, kind := range orderedKinds {
+		var (
+			disc Discretizer
+			err  error
+		)
+		seedK := seed + uint64(i)*0x9E37
+		switch kind {
+		case KindInterval:
+			disc, err = FitKMeansDisc(columns[kind], g.IntervalClusters, seedK)
+		case KindCRCRate:
+			disc, err = FitKMeansDisc(columns[kind], g.CRCClusters, seedK)
+		case KindPID:
+			disc, err = FitKMeansDisc(columns[kind], g.PIDClusters, seedK)
+		case KindPressure:
+			disc, err = FitIntervalDisc(scalar(kind), g.PressureBins)
+		case KindSetpoint:
+			disc, err = FitIntervalDisc(scalar(kind), g.SetpointBins)
+		default:
+			disc, err = FitCategoricalDisc(scalar(kind))
+		}
+		if err != nil {
+			return nil, fmt.Errorf("signature: fit %v: %w", kind, err)
+		}
+		enc.Features = append(enc.Features, Feature{Kind: kind, Disc: disc})
+	}
+	return enc, nil
+}
+
+// Dim returns the number of elements in the discretized vector c(t).
+func (e *Encoder) Dim() int { return len(e.Features) }
+
+// Buckets returns the per-feature bucket counts (each includes its
+// out-of-range bucket), used to size the one-hot encoding.
+func (e *Encoder) Buckets() []int {
+	out := make([]int, len(e.Features))
+	for i, f := range e.Features {
+		out[i] = f.Disc.Buckets()
+	}
+	return out
+}
+
+// Encode produces the discretized vector c(t) for cur given the previous
+// package in its fragment (nil at fragment start).
+func (e *Encoder) Encode(prev, cur *dataset.Package) []int {
+	c := make([]int, len(e.Features))
+	for i, f := range e.Features {
+		c[i] = f.Disc.Discretize(extract(f.Kind, prev, cur))
+	}
+	return c
+}
+
+// EncodeFragment encodes every package of a fragment.
+func (e *Encoder) EncodeFragment(frag dataset.Fragment) [][]int {
+	out := make([][]int, len(frag))
+	var prev *dataset.Package
+	for i, p := range frag {
+		out[i] = e.Encode(prev, p)
+		prev = p
+	}
+	return out
+}
+
+// Signature implements the generating function g(·): the discretized values
+// joined with a separator, which assigns a unique string to each distinct
+// combination (paper §IV-A).
+func Signature(c []int) string {
+	var b strings.Builder
+	b.Grow(len(c) * 3)
+	for i, v := range c {
+		if i > 0 {
+			b.WriteByte(':')
+		}
+		b.WriteString(strconv.Itoa(v))
+	}
+	return b.String()
+}
+
+// ParseSignature inverts Signature; used by tests to verify injectivity.
+func ParseSignature(s string) ([]int, error) {
+	parts := strings.Split(s, ":")
+	out := make([]int, len(parts))
+	for i, p := range parts {
+		v, err := strconv.Atoi(p)
+		if err != nil {
+			return nil, fmt.Errorf("signature: parse %q: %w", s, err)
+		}
+		out[i] = v
+	}
+	return out, nil
+}

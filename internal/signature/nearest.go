@@ -1,0 +1,41 @@
+package signature
+
+// Nearest returns the database signature with the smallest Hamming distance
+// to c (fewest differing features), along with that distance and the indices
+// of the differing features. Ties break toward the more frequent signature,
+// then lexicographic order, so the result is deterministic.
+//
+// The detector's Explain uses this to tell an operator *which* features made
+// a package anomalous — e.g. "pressure bucket 19 where bucket 7 was
+// expected" — turning a raw alarm into an actionable diagnosis.
+func (db *DB) Nearest(c []int) (sig string, distance int, differing []int) {
+	bestDist := -1
+	var bestSig string
+	var bestDiff []int
+	for _, cand := range db.List {
+		cv, err := ParseSignature(cand)
+		if err != nil || len(cv) != len(c) {
+			continue
+		}
+		dist := 0
+		for i := range c {
+			if cv[i] != c[i] {
+				dist++
+				if bestDist >= 0 && dist > bestDist {
+					break
+				}
+			}
+		}
+		if bestDist < 0 || dist < bestDist {
+			bestDist = dist
+			bestSig = cand
+			bestDiff = nil
+			for i := range c {
+				if cv[i] != c[i] {
+					bestDiff = append(bestDiff, i)
+				}
+			}
+		}
+	}
+	return bestSig, bestDist, bestDiff
+}

@@ -1,0 +1,131 @@
+package signature
+
+import (
+	"fmt"
+
+	"icsdetect/internal/dataset"
+)
+
+// SearchConfig drives the granularity search of §IV-B: choose
+//
+//	argmax Σ w_i · n_i   subject to   errv = f(n_1 … n_l) < θ
+//
+// over a grid of candidate granularities for the features without natural
+// clusters (pressure, setpoint, PID), holding the naturally clustered
+// features (time interval, crc rate) at their K-means counts.
+type SearchConfig struct {
+	// Theta is the acceptable validation false-positive rate θ.
+	Theta float64
+	// PressureGrid, SetpointGrid and PIDGrid are the candidate bucket
+	// counts. Defaults mirror the sweep behind the paper's Fig. 5.
+	PressureGrid, SetpointGrid, PIDGrid []int
+	// WPressure, WSetpoint, WPID are the weights w_i expressing relative
+	// importance of each feature's granularity. The paper weights pressure
+	// above setpoint ("we think the discretization granularity of pressure
+	// measurement is more important than setpoint").
+	WPressure, WSetpoint, WPID float64
+	// IntervalClusters and CRCClusters fix the naturally clustered
+	// features (paper: 2 and 2).
+	IntervalClusters, CRCClusters int
+	// Seed drives K-means initialization.
+	Seed uint64
+}
+
+// DefaultSearchConfig mirrors the paper's setup: θ=0.03, pressure weighted
+// twice setpoint, interval/crc fixed at 2 clusters.
+func DefaultSearchConfig() SearchConfig {
+	return SearchConfig{
+		Theta:            0.03,
+		PressureGrid:     []int{4, 8, 15, 20},
+		SetpointGrid:     []int{3, 5, 10},
+		PIDGrid:          []int{2, 8, 32},
+		WPressure:        2,
+		WSetpoint:        1,
+		WPID:             0.5,
+		IntervalClusters: 2,
+		CRCClusters:      2,
+	}
+}
+
+// SearchPoint records one evaluated granularity (a point on Fig. 5).
+type SearchPoint struct {
+	Granularity Granularity
+	Score       float64 // Σ w_i n_i
+	Errv        float64 // validation error
+	Signatures  int     // |S| at this granularity
+	Feasible    bool    // errv < θ
+}
+
+// SearchResult is the outcome of the granularity search.
+type SearchResult struct {
+	Best        Granularity
+	BestDB      *DB
+	BestEncoder *Encoder
+	// Points holds every evaluated granularity for plotting Fig. 5.
+	Points []SearchPoint
+}
+
+// Search evaluates the grid and returns the feasible granularity with the
+// highest weighted score, together with the full evaluation trace.
+func Search(train, validation []dataset.Fragment, cfg SearchConfig) (*SearchResult, error) {
+	if cfg.Theta <= 0 {
+		return nil, fmt.Errorf("signature: search theta must be positive, got %g", cfg.Theta)
+	}
+	if len(cfg.PressureGrid) == 0 || len(cfg.SetpointGrid) == 0 || len(cfg.PIDGrid) == 0 {
+		return nil, fmt.Errorf("signature: empty search grid")
+	}
+	res := &SearchResult{}
+	bestScore := -1.0
+	for _, pb := range cfg.PressureGrid {
+		for _, sb := range cfg.SetpointGrid {
+			for _, pk := range cfg.PIDGrid {
+				g := Granularity{
+					IntervalClusters: cfg.IntervalClusters,
+					CRCClusters:      cfg.CRCClusters,
+					PressureBins:     pb,
+					SetpointBins:     sb,
+					PIDClusters:      pk,
+				}
+				enc, err := FitEncoder(train, g, cfg.Seed)
+				if err != nil {
+					return nil, fmt.Errorf("signature: search at %+v: %w", g, err)
+				}
+				db := BuildDB(enc, train)
+				errv := db.ValidationError(enc, validation)
+				score := cfg.WPressure*float64(pb) + cfg.WSetpoint*float64(sb) + cfg.WPID*float64(pk)
+				pt := SearchPoint{
+					Granularity: g,
+					Score:       score,
+					Errv:        errv,
+					Signatures:  db.Size(),
+					Feasible:    errv < cfg.Theta,
+				}
+				res.Points = append(res.Points, pt)
+				if pt.Feasible && score > bestScore {
+					bestScore = score
+					res.Best = g
+					res.BestDB = db
+					res.BestEncoder = enc
+				}
+			}
+		}
+	}
+	if bestScore < 0 {
+		// No feasible point: fall back to the coarsest granularity (lowest
+		// errv wins ties), so callers always get a usable encoder.
+		var fallback *SearchPoint
+		for i := range res.Points {
+			if fallback == nil || res.Points[i].Errv < fallback.Errv {
+				fallback = &res.Points[i]
+			}
+		}
+		enc, err := FitEncoder(train, fallback.Granularity, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		res.Best = fallback.Granularity
+		res.BestEncoder = enc
+		res.BestDB = BuildDB(enc, train)
+	}
+	return res, nil
+}

@@ -1,0 +1,339 @@
+package signature
+
+import (
+	"bytes"
+	"encoding/gob"
+	"testing"
+	"testing/quick"
+
+	"icsdetect/internal/dataset"
+	"icsdetect/internal/mathx"
+)
+
+// syntheticFragments builds plausible traffic for encoder tests.
+func syntheticFragments(rng *mathx.RNG, n int) []dataset.Fragment {
+	var frag dataset.Fragment
+	setpoints := []float64{6, 8, 10}
+	sp := setpoints[0]
+	tm := 0.0
+	for i := 0; i < n; i++ {
+		if rng.Bernoulli(0.02) {
+			sp = setpoints[rng.Intn(len(setpoints))]
+		}
+		isCmd := i%2 == 0
+		fn, ln := 16.0, 29.0
+		if !isCmd {
+			fn, ln = 65, 27
+		}
+		tm += 0.01 + rng.Float64()*0.2
+		frag = append(frag, &dataset.Package{
+			Address: 4, Function: fn, Length: ln,
+			CmdResponse: boolTo01(isCmd),
+			Setpoint:    sp, Gain: 0.45, ResetRate: 0.15,
+			Deadband: 0.05, CycleTime: 0.25, Rate: 0.02,
+			SystemMode: 2, Pressure: sp + rng.NormScaled(0, 0.4),
+			CRCRate: 0, Time: tm,
+		})
+	}
+	return []dataset.Fragment{frag}
+}
+
+func boolTo01(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func testGranularity() Granularity {
+	return Granularity{
+		IntervalClusters: 2, CRCClusters: 1,
+		PressureBins: 5, SetpointBins: 3, PIDClusters: 2,
+	}
+}
+
+func TestFitEncoderBasics(t *testing.T) {
+	rng := mathx.NewRNG(1)
+	frags := syntheticFragments(rng, 500)
+	enc, err := FitEncoder(frags, testGranularity(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if enc.Dim() != len(orderedKinds) {
+		t.Errorf("Dim = %d, want %d", enc.Dim(), len(orderedKinds))
+	}
+	buckets := enc.Buckets()
+	for i, b := range buckets {
+		if b < 2 {
+			t.Errorf("feature %v has %d buckets (need value + out-of-range)",
+				enc.Features[i].Kind, b)
+		}
+	}
+	// Every training package must discretize without landing entirely in
+	// out-of-range buckets.
+	var prev *dataset.Package
+	for _, p := range frags[0] {
+		c := enc.Encode(prev, p)
+		for fi, v := range c {
+			if v < 0 || v >= buckets[fi] {
+				t.Fatalf("bucket out of range: feature %d value %d", fi, v)
+			}
+		}
+		prev = p
+	}
+}
+
+func TestFitEncoderErrors(t *testing.T) {
+	if _, err := FitEncoder(nil, testGranularity(), 1); err == nil {
+		t.Error("no fragments accepted")
+	}
+	rng := mathx.NewRNG(2)
+	frags := syntheticFragments(rng, 50)
+	bad := testGranularity()
+	bad.PressureBins = 0
+	if _, err := FitEncoder(frags, bad, 1); err == nil {
+		t.Error("invalid granularity accepted")
+	}
+}
+
+// TestSignatureInjective: g(c) = g(c') ⇔ c = c', the defining property of
+// the signature generating function (paper §IV-A).
+func TestSignatureInjective(t *testing.T) {
+	f := func(a, b []int) bool {
+		// Restrict to plausible bucket values.
+		for i := range a {
+			if a[i] < 0 {
+				a[i] = -a[i]
+			}
+			a[i] %= 100
+		}
+		for i := range b {
+			if b[i] < 0 {
+				b[i] = -b[i]
+			}
+			b[i] %= 100
+		}
+		sa, sb := Signature(a), Signature(b)
+		equal := len(a) == len(b)
+		if equal {
+			for i := range a {
+				if a[i] != b[i] {
+					equal = false
+					break
+				}
+			}
+		}
+		return (sa == sb) == equal
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSignatureParseRoundTrip(t *testing.T) {
+	c := []int{0, 5, 12, 3, 1}
+	back, err := ParseSignature(Signature(c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range c {
+		if back[i] != c[i] {
+			t.Fatalf("round trip mismatch: %v vs %v", back, c)
+		}
+	}
+	if _, err := ParseSignature("1:x:3"); err == nil {
+		t.Error("bad signature parsed")
+	}
+}
+
+func TestDBCountsAndValidation(t *testing.T) {
+	rng := mathx.NewRNG(3)
+	frags := syntheticFragments(rng, 600)
+	enc, err := FitEncoder(frags, testGranularity(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := BuildDB(enc, frags)
+	if db.Total != 600 {
+		t.Errorf("Total = %d", db.Total)
+	}
+	var sum int
+	for _, c := range db.Counts {
+		sum += c
+	}
+	if sum != 600 {
+		t.Errorf("counts sum to %d", sum)
+	}
+	// List is sorted by descending count.
+	for i := 1; i < len(db.List); i++ {
+		if db.Counts[db.List[i-1]] < db.Counts[db.List[i]] {
+			t.Fatal("List not sorted by count")
+		}
+	}
+	// Index inverts List.
+	for i, s := range db.List {
+		if idx, ok := db.ClassOf(s); !ok || idx != i {
+			t.Fatalf("Index[%q] = %d, want %d", s, idx, i)
+		}
+	}
+	// The training data validates against itself with zero error.
+	if errv := db.ValidationError(enc, frags); errv != 0 {
+		t.Errorf("self validation error = %v", errv)
+	}
+}
+
+func TestValidationErrorDetectsNovelty(t *testing.T) {
+	rng := mathx.NewRNG(4)
+	train := syntheticFragments(rng, 400)
+	enc, err := FitEncoder(train, testGranularity(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := BuildDB(enc, train)
+
+	// A validation fragment at absurd pressures must miss the database.
+	weird := make(dataset.Fragment, 20)
+	for i := range weird {
+		p := *train[0][i]
+		p.Pressure = 19.9 // far outside the synthetic operating band
+		weird[i] = &p
+	}
+	if errv := db.ValidationError(enc, []dataset.Fragment{weird}); errv < 0.9 {
+		t.Errorf("novel traffic validation error = %v, want ~1", errv)
+	}
+}
+
+func TestDiscretizers(t *testing.T) {
+	// Interval.
+	id, err := FitIntervalDisc([]float64{0, 10}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id.Buckets() != 6 {
+		t.Errorf("interval buckets = %d", id.Buckets())
+	}
+	if b := id.Discretize([]float64{0.5}); b != 0 {
+		t.Errorf("low value bucket = %d", b)
+	}
+	if b := id.Discretize([]float64{9.9}); b != 4 {
+		t.Errorf("high value bucket = %d", b)
+	}
+	if b := id.Discretize([]float64{50}); b != 5 {
+		t.Errorf("out-of-range bucket = %d, want %d", b, 5)
+	}
+	if _, err := FitIntervalDisc(nil, 3); err == nil {
+		t.Error("empty interval fit accepted")
+	}
+
+	// Categorical.
+	cd, err := FitCategoricalDisc([]float64{1, 2, 2, 16, 65})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cd.Buckets() != 5 { // 4 distinct + OOR
+		t.Errorf("categorical buckets = %d", cd.Buckets())
+	}
+	if cd.Discretize([]float64{16}) == cd.Discretize([]float64{65}) {
+		t.Error("distinct values share a bucket")
+	}
+	if b := cd.Discretize([]float64{99}); b != 4 {
+		t.Errorf("unseen categorical bucket = %d", b)
+	}
+
+	// KMeans.
+	kd, err := FitKMeansDisc([][]float64{{0}, {0.1}, {10}, {10.1}}, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kd.Buckets() != 3 {
+		t.Errorf("kmeans buckets = %d", kd.Buckets())
+	}
+	if kd.Discretize([]float64{0.05}) == kd.Discretize([]float64{10.05}) {
+		t.Error("separated values share a cluster")
+	}
+	if b := kd.Discretize([]float64{500}); b != 2 {
+		t.Errorf("out-of-range kmeans bucket = %d", b)
+	}
+}
+
+func TestEncoderGobRoundTrip(t *testing.T) {
+	rng := mathx.NewRNG(5)
+	frags := syntheticFragments(rng, 300)
+	enc, err := FitEncoder(frags, testGranularity(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(enc); err != nil {
+		t.Fatal(err)
+	}
+	var back Encoder
+	if err := gob.NewDecoder(&buf).Decode(&back); err != nil {
+		t.Fatal(err)
+	}
+	// Same encodings for the same packages.
+	var prev *dataset.Package
+	for _, p := range frags[0][:50] {
+		a := enc.Encode(prev, p)
+		b := back.Encode(prev, p)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("gob round trip changed encoding at feature %d", i)
+			}
+		}
+		prev = p
+	}
+}
+
+func TestSearchPrefersFineFeasible(t *testing.T) {
+	rng := mathx.NewRNG(6)
+	train := syntheticFragments(rng, 800)
+	validation := syntheticFragments(mathx.NewRNG(7), 300)
+	cfg := DefaultSearchConfig()
+	cfg.Theta = 0.4 // generous: everything feasible on synthetic data
+	cfg.PressureGrid = []int{2, 4}
+	cfg.SetpointGrid = []int{2, 3}
+	cfg.PIDGrid = []int{2}
+	res, err := Search(train, validation, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 4 {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	// With everything feasible, the highest weighted score (finest grid)
+	// must win.
+	if res.Best.PressureBins != 4 || res.Best.SetpointBins != 3 {
+		t.Errorf("best = %+v, want finest", res.Best)
+	}
+	if res.BestDB == nil || res.BestEncoder == nil {
+		t.Error("missing best artifacts")
+	}
+}
+
+func TestSearchFallbackWhenInfeasible(t *testing.T) {
+	rng := mathx.NewRNG(8)
+	train := syntheticFragments(rng, 200)
+	validation := syntheticFragments(mathx.NewRNG(9), 200)
+	cfg := DefaultSearchConfig()
+	cfg.Theta = 1e-9 // nothing can be feasible
+	cfg.PressureGrid = []int{2, 3}
+	cfg.SetpointGrid = []int{2}
+	cfg.PIDGrid = []int{2}
+	res, err := Search(train, validation, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestEncoder == nil || res.BestDB == nil {
+		t.Fatal("fallback did not produce a usable encoder")
+	}
+}
+
+func TestSearchErrors(t *testing.T) {
+	if _, err := Search(nil, nil, SearchConfig{Theta: 0}); err == nil {
+		t.Error("zero theta accepted")
+	}
+	if _, err := Search(nil, nil, SearchConfig{Theta: 0.1}); err == nil {
+		t.Error("empty grid accepted")
+	}
+}

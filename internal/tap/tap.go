@@ -1,0 +1,250 @@
+// Package tap implements a transparent Modbus/TCP network tap: a proxy that
+// relays frames between masters and a slave while decoding every frame into
+// the Table I package schema for the anomaly detector. This is the
+// deployment shape the paper assumes — "anomaly detection systems for ICS
+// are often deployed by monitoring the network traffic between field
+// devices" (§III) — realized as an in-path software tap.
+package tap
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"icsdetect/internal/dataset"
+	"icsdetect/internal/modbus"
+)
+
+// RegisterMap describes how the monitored device lays out its controller
+// state block in holding registers. Indices of -1 mark absent fields.
+// Scaling follows the testbed conventions: pressures, gains and rates are
+// stored ×100, cycle time ×1000.
+type RegisterMap struct {
+	Setpoint  int
+	Gain      int
+	ResetRate int
+	Deadband  int
+	CycleTime int
+	Rate      int
+	Mode      int
+	Scheme    int
+	Pump      int
+	Solenoid  int
+	Pressure  int
+	// MinRegisters is the smallest payload (in registers) that carries the
+	// parameter block; shorter reads/writes are treated as partial and
+	// leave the parameter columns zero.
+	MinRegisters int
+}
+
+// DefaultRegisterMap matches the gas pipeline simulator's layout.
+func DefaultRegisterMap() RegisterMap {
+	return RegisterMap{
+		Setpoint: 0, Gain: 1, ResetRate: 2, Deadband: 3, CycleTime: 4,
+		Rate: 5, Mode: 6, Scheme: 7, Pump: 8, Solenoid: 9, Pressure: 10,
+		MinRegisters: 10,
+	}
+}
+
+func (m *RegisterMap) field(regs []uint16, idx int, scale float64) float64 {
+	if idx < 0 || idx >= len(regs) {
+		return 0
+	}
+	return float64(regs[idx]) / scale
+}
+
+// decode populates the parameter columns of p from a register payload.
+func (m *RegisterMap) decode(p *dataset.Package, regs []uint16) {
+	if len(regs) < m.MinRegisters {
+		return
+	}
+	p.Setpoint = m.field(regs, m.Setpoint, 100)
+	p.Gain = m.field(regs, m.Gain, 100)
+	p.ResetRate = m.field(regs, m.ResetRate, 100)
+	p.Deadband = m.field(regs, m.Deadband, 100)
+	p.CycleTime = m.field(regs, m.CycleTime, 1000)
+	p.Rate = m.field(regs, m.Rate, 100)
+	p.SystemMode = m.field(regs, m.Mode, 1)
+	p.ControlScheme = m.field(regs, m.Scheme, 1)
+	p.Pump = m.field(regs, m.Pump, 1)
+	p.Solenoid = m.field(regs, m.Solenoid, 1)
+	p.Pressure = m.field(regs, m.Pressure, 100)
+}
+
+// Proxy is the tap. Create with New, start with Listen, collect packages
+// with Drain or stream them with SetSink.
+type Proxy struct {
+	upstream string
+	regs     RegisterMap
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]struct{}
+	wg       sync.WaitGroup
+	closed   bool
+
+	pkgMu    sync.Mutex
+	packages []*dataset.Package
+	sink     func(*dataset.Package)
+	started  time.Time
+}
+
+// New creates a tap that forwards to the slave at upstream.
+func New(upstream string, regs RegisterMap) *Proxy {
+	return &Proxy{
+		upstream: upstream,
+		regs:     regs,
+		conns:    make(map[net.Conn]struct{}),
+		started:  time.Now(),
+	}
+}
+
+// Listen binds the tap and returns its address. Each accepted client gets
+// its own upstream connection; both directions are decoded.
+func (p *Proxy) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("tap: listen: %w", err)
+	}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		ln.Close()
+		return "", fmt.Errorf("tap: already closed")
+	}
+	p.listener = ln
+	p.mu.Unlock()
+	p.wg.Add(1)
+	go p.acceptLoop(ln)
+	return ln.Addr().String(), nil
+}
+
+// SetSink streams every decoded package to fn (called from relay
+// goroutines; fn must be safe for concurrent use or the tap must serve one
+// client). Packages are still buffered for Drain unless a sink is set.
+func (p *Proxy) SetSink(fn func(*dataset.Package)) {
+	p.pkgMu.Lock()
+	defer p.pkgMu.Unlock()
+	p.sink = fn
+}
+
+func (p *Proxy) acceptLoop(ln net.Listener) {
+	defer p.wg.Done()
+	for {
+		client, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		server, err := net.Dial("tcp", p.upstream)
+		if err != nil {
+			client.Close()
+			continue
+		}
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			client.Close()
+			server.Close()
+			return
+		}
+		p.conns[client] = struct{}{}
+		p.conns[server] = struct{}{}
+		p.mu.Unlock()
+		p.wg.Add(2)
+		go p.relay(client, server, true)  // master → slave: commands
+		go p.relay(server, client, false) // slave → master: responses
+	}
+}
+
+func (p *Proxy) relay(src, dst net.Conn, isCmd bool) {
+	defer p.wg.Done()
+	defer func() {
+		src.Close()
+		dst.Close()
+		p.mu.Lock()
+		delete(p.conns, src)
+		delete(p.conns, dst)
+		p.mu.Unlock()
+	}()
+	for {
+		frame, err := modbus.ReadTCPFrame(src)
+		if err != nil {
+			return
+		}
+		p.record(frame, isCmd)
+		if err := modbus.WriteTCPFrame(dst, frame); err != nil {
+			return
+		}
+	}
+}
+
+// record converts a frame to the Table I schema and delivers it.
+func (p *Proxy) record(frame *modbus.TCPFrame, isCmd bool) {
+	raw, err := modbus.EncodeTCP(frame)
+	if err != nil {
+		return
+	}
+	pkg := &dataset.Package{
+		Address:  float64(frame.Header.UnitID),
+		Function: float64(frame.PDU.Function),
+		Length:   float64(len(raw)),
+		Time:     time.Since(p.started).Seconds(),
+	}
+	if isCmd {
+		pkg.CmdResponse = 1
+	}
+
+	switch frame.PDU.Function {
+	case modbus.FuncWriteMultipleRegs:
+		if isCmd {
+			if _, values, err := modbus.ParseWriteMultipleRequest(frame.PDU); err == nil {
+				p.regs.decode(pkg, values)
+			}
+		}
+	case modbus.FuncReadHoldingRegisters, modbus.FuncReadInputRegisters, modbus.FuncReadState:
+		if !isCmd && !frame.PDU.IsException() {
+			if values, err := modbus.ParseReadRegistersResponse(frame.PDU); err == nil {
+				p.regs.decode(pkg, values)
+			}
+		}
+	}
+
+	p.pkgMu.Lock()
+	sink := p.sink
+	if sink == nil {
+		p.packages = append(p.packages, pkg)
+	}
+	p.pkgMu.Unlock()
+	if sink != nil {
+		sink(pkg)
+	}
+}
+
+// Drain returns and clears the buffered packages.
+func (p *Proxy) Drain() []*dataset.Package {
+	p.pkgMu.Lock()
+	defer p.pkgMu.Unlock()
+	out := p.packages
+	p.packages = nil
+	return out
+}
+
+// Close stops the tap and waits for all relay goroutines.
+func (p *Proxy) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		p.wg.Wait()
+		return
+	}
+	p.closed = true
+	if p.listener != nil {
+		p.listener.Close()
+	}
+	for c := range p.conns {
+		c.Close()
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+}

@@ -1,0 +1,129 @@
+package tap
+
+import (
+	"testing"
+	"time"
+
+	"icsdetect/internal/dataset"
+	"icsdetect/internal/modbus"
+)
+
+// startStack brings up slave ← tap ← client and returns the pieces.
+func startStack(t *testing.T) (*modbus.RegisterBank, *Proxy, *modbus.Client) {
+	t.Helper()
+	bank := modbus.NewRegisterBank(16, 4)
+	srv := modbus.NewServer(bank, 4)
+	slaveAddr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+
+	proxy := New(slaveAddr.String(), DefaultRegisterMap())
+	tapAddr, err := proxy.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(proxy.Close)
+
+	client, err := modbus.Dial(tapAddr, 4, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { client.Close() })
+	return bank, proxy, client
+}
+
+func TestProxyRelaysAndRecords(t *testing.T) {
+	bank, proxy, client := startStack(t)
+
+	// Write the parameter block through the tap.
+	regs := []uint16{800, 45, 15, 5, 250, 2, 2, 0, 0, 0}
+	if err := client.WriteMultipleRegisters(0, regs); err != nil {
+		t.Fatal(err)
+	}
+	// The write must have reached the slave.
+	snap := bank.Snapshot()
+	if snap[0] != 800 || snap[6] != 2 {
+		t.Fatalf("write not relayed: %v", snap[:10])
+	}
+	// Publish a pressure and read the full block back.
+	if err := bank.StoreMeasurement(10, 812); err != nil {
+		t.Fatal(err)
+	}
+	values, err := client.ReadHoldingRegisters(0, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if values[10] != 812 {
+		t.Fatalf("read not relayed: %v", values)
+	}
+
+	pkgs := proxy.Drain()
+	// write cmd, write ack, read cmd, read resp.
+	if len(pkgs) != 4 {
+		t.Fatalf("recorded %d packages, want 4", len(pkgs))
+	}
+	cmd := pkgs[0]
+	if cmd.CmdResponse != 1 || cmd.Function != float64(modbus.FuncWriteMultipleRegs) {
+		t.Errorf("first package = %+v", cmd)
+	}
+	if cmd.Setpoint != 8 || cmd.SystemMode != 2 {
+		t.Errorf("decoded command fields: setpoint=%v mode=%v", cmd.Setpoint, cmd.SystemMode)
+	}
+	resp := pkgs[3]
+	if resp.CmdResponse != 0 {
+		t.Errorf("read response marked as command")
+	}
+	if resp.Pressure != 8.12 {
+		t.Errorf("decoded pressure = %v, want 8.12", resp.Pressure)
+	}
+	// Timestamps monotone.
+	for i := 1; i < len(pkgs); i++ {
+		if pkgs[i].Time < pkgs[i-1].Time {
+			t.Error("timestamps decrease")
+		}
+	}
+}
+
+func TestProxySink(t *testing.T) {
+	_, proxy, client := startStack(t)
+	got := make(chan *dataset.Package, 16)
+	proxy.SetSink(func(p *dataset.Package) { got <- p })
+
+	if err := client.WriteSingleRegister(0, 700); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ { // command + ack
+		select {
+		case <-got:
+		case <-time.After(2 * time.Second):
+			t.Fatal("sink did not receive packages")
+		}
+	}
+	// With a sink installed, Drain stays empty.
+	if pkgs := proxy.Drain(); len(pkgs) != 0 {
+		t.Errorf("drain returned %d packages despite sink", len(pkgs))
+	}
+}
+
+func TestRegisterMapPartialPayload(t *testing.T) {
+	m := DefaultRegisterMap()
+	p := &dataset.Package{}
+	m.decode(p, []uint16{800, 45}) // below MinRegisters
+	if p.Setpoint != 0 {
+		t.Error("partial payload decoded parameter fields")
+	}
+}
+
+func TestProxyCloseIdempotent(t *testing.T) {
+	proxy := New("127.0.0.1:1", DefaultRegisterMap())
+	if _, err := proxy.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	proxy.Close()
+	proxy.Close()
+	if _, err := proxy.Listen("127.0.0.1:0"); err == nil {
+		t.Error("listen after close accepted")
+	}
+}
