@@ -1,0 +1,38 @@
+GO ?= go
+
+.PHONY: check build fmt vet test race race-quick bench bench-smoke
+
+check: fmt vet test race-quick bench-smoke
+
+build:
+	$(GO) build ./...
+
+fmt:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Full tree under the race detector (the training integration tests make
+# this take a few minutes); race-quick covers the concurrency-heavy engine
+# with full tests and everything else in short mode.
+race:
+	$(GO) test -race ./...
+
+race-quick:
+	$(GO) test -race -short ./...
+	$(GO) test -race ./internal/engine/
+
+bench:
+	$(GO) test -run=NONE -bench=. -benchmem .
+
+# A quick engine-throughput smoke: proves the batched multi-stream path
+# still works and reports pkg/s without the full benchmark suite.
+bench-smoke:
+	$(GO) test -run=NONE -bench='BenchmarkEngineThroughput/engine/shards=8/streams=256' -benchtime=50x .

@@ -22,6 +22,7 @@ import (
 	"icsdetect/internal/bloom"
 	"icsdetect/internal/core"
 	"icsdetect/internal/dataset"
+	"icsdetect/internal/engine"
 	"icsdetect/internal/experiments"
 	"icsdetect/internal/gaspipeline"
 	"icsdetect/internal/nn"
@@ -212,6 +213,127 @@ func BenchmarkModelMemory(b *testing.B) {
 		total = env.Framework.MemoryBytes()
 	}
 	b.ReportMetric(float64(total)/1024, "KB")
+}
+
+// ---- Concurrent engine (multi-stream serving path) ---------------------------
+
+var (
+	engineFwOnce sync.Once
+	engineFw     *core.Framework
+)
+
+// engineBenchFramework wraps the bench environment's trained signature
+// substrate around a production-scale (paper: 2×256) LSTM. Verdict quality
+// is irrelevant for throughput, so the big model is random-initialized
+// rather than trained; the compute and memory profile per package is the
+// full-scale one.
+func engineBenchFramework(b *testing.B) *core.Framework {
+	b.Helper()
+	env := benchEnvironment(b)
+	engineFwOnce.Do(func() {
+		base := env.Framework
+		model, err := nn.NewClassifier(base.Input.Dim, []int{256, 256}, base.DB.Size(), 99)
+		if err != nil {
+			benchErr = err
+			return
+		}
+		engineFw = &core.Framework{
+			Encoder: base.Encoder,
+			DB:      base.DB,
+			Package: base.Package,
+			Series:  &core.TimeSeriesDetector{Model: model, K: base.Series.K},
+			Input:   base.Input,
+		}
+	})
+	if benchErr != nil {
+		b.Fatalf("build engine bench framework: %v", benchErr)
+	}
+	return engineFw
+}
+
+// BenchmarkEngineThroughput measures the sharded multi-stream engine
+// against N sequential Sessions over the same round-robin traffic, at the
+// paper's full model scale. Before timing, it re-proves single-stream
+// verdict equivalence between the engine and the sequential session on
+// this framework. The pkg/s metric is the end-to-end classification rate.
+func BenchmarkEngineThroughput(b *testing.B) {
+	fw := engineBenchFramework(b)
+	env := benchEnvironment(b)
+	test := env.Split.Test
+
+	// Untimed: engine verdicts must equal sequential session verdicts.
+	verify := test
+	if len(verify) > 300 {
+		verify = verify[:300]
+	}
+	sess := fw.NewSession()
+	want := make([]core.Verdict, len(verify))
+	for i, p := range verify {
+		want[i] = sess.Classify(p)
+	}
+	idx := 0
+	var mismatch error
+	eq, err := engine.New(fw, engine.Config{Shards: 2}, func(r engine.Result) {
+		if mismatch == nil && r.Verdict != want[idx] {
+			mismatch = fmt.Errorf("package %d: engine %+v, sequential %+v", idx, r.Verdict, want[idx])
+		}
+		idx++
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, p := range verify {
+		if err := eq.Submit("equivalence", p); err != nil {
+			b.Fatal(err)
+		}
+	}
+	eq.Stop()
+	if mismatch != nil {
+		b.Fatalf("engine/session divergence: %v", mismatch)
+	}
+
+	for _, streams := range []int{1, 32, 256} {
+		streams := streams
+		b.Run(fmt.Sprintf("sequential/streams=%d", streams), func(b *testing.B) {
+			sessions := make([]*core.Session, streams)
+			for i := range sessions {
+				sessions[i] = fw.NewSession()
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sessions[i%streams].Classify(test[i%len(test)])
+			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "pkg/s")
+		})
+		for _, shards := range []int{1, 4, 8} {
+			shards := shards
+			name := fmt.Sprintf("engine/shards=%d/streams=%d", shards, streams)
+			b.Run(name, func(b *testing.B) {
+				keys := make([]string, streams)
+				for i := range keys {
+					keys[i] = fmt.Sprintf("plc-%03d", i)
+				}
+				e, err := engine.New(fw, engine.Config{Shards: shards}, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := e.Submit(keys[i%streams], test[i%len(test)]); err != nil {
+						b.Fatal(err)
+					}
+				}
+				e.Stop() // timed: drains every queued package
+				b.StopTimer()
+				st := e.Stats()
+				if st.Packages != uint64(b.N) {
+					b.Fatalf("engine classified %d of %d packages", st.Packages, b.N)
+				}
+				b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "pkg/s")
+				b.ReportMetric(st.MeanBatch(), "pkg/batch")
+			})
+		}
+	}
 }
 
 // ---- Substrate micro-benches -------------------------------------------------

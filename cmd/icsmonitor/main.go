@@ -24,6 +24,7 @@ import (
 
 	"icsdetect/internal/core"
 	"icsdetect/internal/dataset"
+	"icsdetect/internal/engine"
 	"icsdetect/internal/signature"
 	"icsdetect/internal/tap"
 )
@@ -44,6 +45,7 @@ func run() error {
 		save      = flag.String("save", "", "save the bootstrapped model here")
 		epochs    = flag.Int("epochs", 10, "bootstrap training epochs")
 		quietSecs = flag.Int("stats-interval", 30, "seconds between summary lines")
+		shards    = flag.Int("shards", 0, "detection engine shards (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 	if *upstream == "" {
@@ -91,22 +93,37 @@ func run() error {
 		}
 	}
 
-	// Streaming classification. The sink runs on relay goroutines; the
-	// session is single-threaded, so serialize.
-	var (
-		mu             sync.Mutex
-		sess           = fw.NewSession()
-		total, alerted int
-	)
-	proxy.SetSink(func(p *dataset.Package) {
-		mu.Lock()
-		defer mu.Unlock()
-		total++
-		if v := sess.Classify(p); v.Anomaly {
-			alerted++
-			fmt.Printf("%s ALERT level=%s fn=%.0f addr=%.0f signature=%s\n",
-				time.Now().Format(time.RFC3339), v.Level, p.Function, p.Address, v.Signature)
+	// Streaming classification through the sharded detection engine: one
+	// stream per slave unit, decoded packages submitted from the relay
+	// goroutines, alerts logged from the engine's shard workers. Bounded
+	// shard queues push back on the relay path if classification ever
+	// falls behind.
+	eng, err := engine.New(fw, engine.Config{Shards: *shards}, func(r engine.Result) {
+		if r.Verdict.Anomaly {
+			p := r.Package
+			fmt.Printf("%s ALERT stream=%s level=%s fn=%.0f addr=%.0f signature=%s\n",
+				time.Now().Format(time.RFC3339), r.Stream, r.Verdict.Level,
+				p.Function, p.Address, r.Verdict.Signature)
 		}
+	})
+	if err != nil {
+		return err
+	}
+	// The tap invokes the sink from its relay goroutines — one per
+	// direction per connection — so two goroutines can carry packages of
+	// the same unit. Engine.Submit requires per-stream submissions from
+	// one goroutine at a time; a mutex pins the stream order to the
+	// arrival order the sink observes. Stream keys are precomputed per
+	// Modbus unit ID (a byte) to keep the submit path allocation-free.
+	var unitStream [256]string
+	for i := range unitStream {
+		unitStream[i] = fmt.Sprintf("unit-%d", i)
+	}
+	var submitMu sync.Mutex
+	proxy.SetSink(func(p *dataset.Package) {
+		submitMu.Lock()
+		defer submitMu.Unlock()
+		_ = eng.Submit(unitStream[int(p.Address)&0xff], p)
 	})
 
 	stop := make(chan os.Signal, 1)
@@ -116,13 +133,15 @@ func run() error {
 	for {
 		select {
 		case <-ticker.C:
-			mu.Lock()
-			fmt.Fprintf(os.Stderr, "stats: %d packages, %d alerts\n", total, alerted)
-			mu.Unlock()
+			st := eng.Stats()
+			fmt.Fprintf(os.Stderr, "stats: %d packages on %d streams, %d alerts, %.0f pkg/s, queue %d\n",
+				st.Packages, st.Streams, st.Anomalies(), st.PerSecond(), st.QueueDepth)
 		case <-stop:
-			mu.Lock()
-			fmt.Fprintf(os.Stderr, "shutting down: %d packages, %d alerts\n", total, alerted)
-			mu.Unlock()
+			proxy.Close()
+			eng.Stop()
+			st := eng.Stats()
+			fmt.Fprintf(os.Stderr, "shutting down: %d packages on %d streams, %d alerts\n",
+				st.Packages, st.Streams, st.Anomalies())
 			return nil
 		}
 	}

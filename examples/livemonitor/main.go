@@ -10,8 +10,9 @@
 //
 // Phase 1 observes attack-free traffic and trains the two-level framework
 // on it ("air-gapped" baseline, paper §IV). Phase 2 lets an attacker client
-// inject malicious parameter and state commands through the same proxy;
-// the detector classifies every package in flight.
+// inject malicious parameter and state commands through the same proxy; the
+// concurrent detection engine classifies every package in flight, one
+// stream per slave unit.
 //
 //	go run ./examples/livemonitor
 package main
@@ -19,10 +20,12 @@ package main
 import (
 	"fmt"
 	"log"
+	"sync/atomic"
 	"time"
 
 	"icsdetect/internal/core"
 	"icsdetect/internal/dataset"
+	"icsdetect/internal/engine"
 	"icsdetect/internal/gaspipeline"
 	"icsdetect/internal/mathx"
 	"icsdetect/internal/modbus"
@@ -171,18 +174,34 @@ func run() error {
 	}
 	defer attacker.Close()
 
-	sess := fw.NewSession()
-	var seen, alerts int
-	classifyPending := func() {
-		for _, p := range monitor.Drain() {
-			seen++
-			if v := sess.Classify(p); v.Anomaly {
-				alerts++
-				if alerts <= 8 {
-					fmt.Printf("  ALERT %-12s signature=%s\n", v.Level, v.Signature)
-				}
+	// The engine shards streams across workers and micro-batches the LSTM
+	// steps; this loop has a single slave unit, so it exercises the
+	// single-stream path with verdicts identical to a sequential session.
+	var alerts atomic.Int64
+	eng, err := engine.New(fw, engine.Config{}, func(r engine.Result) {
+		if r.Verdict.Anomaly {
+			if n := alerts.Add(1); n <= 8 {
+				fmt.Printf("  ALERT %-12s stream=%s signature=%s\n",
+					r.Verdict.Level, r.Stream, r.Verdict.Signature)
 			}
 		}
+	})
+	if err != nil {
+		return err
+	}
+	streamKeys := map[int]string{}
+	classifyPending := func() error {
+		for _, p := range monitor.Drain() {
+			key, ok := streamKeys[int(p.Address)]
+			if !ok {
+				key = fmt.Sprintf("unit-%d", int(p.Address))
+				streamKeys[int(p.Address)] = key
+			}
+			if err := eng.Submit(key, p); err != nil {
+				return err
+			}
+		}
+		return nil
 	}
 
 	atkRng := rng.Split()
@@ -207,14 +226,21 @@ func run() error {
 				return err
 			}
 		}
-		classifyPending()
+		if err := classifyPending(); err != nil {
+			return err
+		}
 	}
-	classifyPending()
+	if err := classifyPending(); err != nil {
+		return err
+	}
+	eng.Stop()
 
 	close(stopPlant)
 	<-plantDone
-	fmt.Printf("live phase: %d packages classified, %d alerts raised\n", seen, alerts)
-	if alerts == 0 {
+	st := eng.Stats()
+	fmt.Printf("live phase: %d packages classified on %d streams, %d alerts raised (%.1f pkg/batch)\n",
+		st.Packages, st.Streams, st.Anomalies(), st.MeanBatch())
+	if st.Anomalies() == 0 {
 		return fmt.Errorf("expected the injected attacks to raise alerts")
 	}
 	return nil

@@ -1,0 +1,3 @@
+module icsdetect
+
+go 1.21

@@ -31,6 +31,7 @@ import (
 
 	"icsdetect/internal/core"
 	"icsdetect/internal/dataset"
+	"icsdetect/internal/engine"
 	"icsdetect/internal/gaspipeline"
 	"icsdetect/internal/signature"
 )
@@ -74,7 +75,55 @@ type (
 	TrainOptions = core.Config
 	// Granularity is the feature discretization setting (paper Table III).
 	Granularity = signature.Granularity
+	// Mode selects which detector levels a session or engine applies.
+	Mode = core.Mode
+	// StageDetector is one pluggable stage of the detection pipeline.
+	StageDetector = core.StageDetector
 )
+
+// Detector modes: the paper's combined two-level framework, or each level
+// alone for ablation.
+const (
+	ModeCombined    = core.ModeCombined
+	ModePackageOnly = core.ModePackageOnly
+	ModeSeriesOnly  = core.ModeSeriesOnly
+)
+
+// Re-exported concurrent detection engine types. The engine classifies
+// many package streams at once — one stream per monitored device or link —
+// sharded across worker goroutines with micro-batched LSTM inference, and
+// produces per-stream verdicts identical to a sequential Session.
+type (
+	// Engine is the sharded multi-stream detection engine.
+	Engine = engine.Engine
+	// EngineConfig tunes shards, micro-batch width, queue depth and mode.
+	EngineConfig = engine.Config
+	// EngineResult is one classified package delivered to the handler.
+	EngineResult = engine.Result
+	// EngineHandler receives every classified package on shard goroutines.
+	EngineHandler = engine.Handler
+	// EngineStats is an engine-wide counter snapshot.
+	EngineStats = engine.Stats
+	// ShardStats is a per-shard counter snapshot.
+	ShardStats = engine.ShardStats
+)
+
+// NewEngine builds and starts a concurrent detection engine over a trained
+// detector. Feed it with Submit (one stream per device), read verdicts in
+// the handler, snapshot throughput with Stats, and release it with Stop:
+//
+//	eng, _ := icsdetect.NewEngine(det, icsdetect.EngineConfig{}, func(r icsdetect.EngineResult) {
+//		if r.Verdict.Anomaly {
+//			// raise an alert for r.Stream
+//		}
+//	})
+//	for pkg := range captured {
+//		eng.Submit(deviceID(pkg), pkg)
+//	}
+//	eng.Stop()
+func NewEngine(det *Detector, cfg EngineConfig, handler EngineHandler) (*Engine, error) {
+	return engine.New(det, cfg, handler)
+}
 
 // DatasetOptions configures GenerateDataset.
 type DatasetOptions struct {

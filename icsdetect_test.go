@@ -2,6 +2,7 @@ package icsdetect_test
 
 import (
 	"bytes"
+	"sync"
 	"testing"
 
 	"icsdetect"
@@ -61,6 +62,34 @@ func TestFacadeQuickPath(t *testing.T) {
 	}
 	if alerts == 0 {
 		t.Error("no alerts on a test set full of attacks")
+	}
+
+	// The concurrent engine through the facade: same stream, same verdicts.
+	var engineAlerts int
+	var mu sync.Mutex
+	eng, err := icsdetect.NewEngine(det, icsdetect.EngineConfig{Shards: 2},
+		func(r icsdetect.EngineResult) {
+			if r.Verdict.Anomaly {
+				mu.Lock()
+				engineAlerts++
+				mu.Unlock()
+			}
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range split.Test {
+		if err := eng.Submit("link", p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng.Stop()
+	st := eng.Stats()
+	if st.Packages != uint64(len(split.Test)) {
+		t.Errorf("engine classified %d of %d packages", st.Packages, len(split.Test))
+	}
+	if engineAlerts != alerts {
+		t.Errorf("engine raised %d alerts, sequential session %d", engineAlerts, alerts)
 	}
 
 	var model bytes.Buffer

@@ -5,7 +5,6 @@ import (
 
 	"icsdetect/internal/dataset"
 	"icsdetect/internal/metrics"
-	"icsdetect/internal/nn"
 	"icsdetect/internal/signature"
 )
 
@@ -29,87 +28,87 @@ type Framework struct {
 	Input   *InputEncoder
 }
 
-// Session classifies a package stream against a framework, maintaining the
-// recurrent model state and the previous package (for the interval
-// feature). Packages — whatever their verdict — feed the time-series input
+// Session classifies one package stream against a framework: a thin
+// per-stream state object holding the previous package (for the interval
+// feature) and one StageState per pipeline stage. All mutable state lives
+// here — the Framework and its stages stay read-only during classification
+// — so each goroutine of a concurrent deployment owns its sessions without
+// locking. Packages — whatever their verdict — feed the time-series input
 // for the classification of future packages, with the noise flag set to the
 // verdict (Fig. 3).
 type Session struct {
-	f     *Framework
-	mode  Mode
-	state *nn.State
-	prev  *dataset.Package
-	probs []float64
-	// scored reports whether probs holds a valid prediction (false before
-	// the first package has been fed).
-	scored bool
+	f      *Framework
+	mode   Mode
+	stages []StageDetector
+	states []StageState
+	prev   *dataset.Package
 }
 
 // NewSession starts a classification session in combined mode.
 func (f *Framework) NewSession() *Session { return f.NewSessionMode(ModeCombined) }
 
-// NewSessionMode starts a session with an explicit detector mode.
+// NewSessionMode starts a session with an explicit detector mode. Unknown
+// modes fall back to the combined pipeline.
 func (f *Framework) NewSessionMode(mode Mode) *Session {
-	return &Session{
-		f:     f,
-		mode:  mode,
-		state: f.Series.Model.NewState(),
-		probs: make([]float64, f.Series.Model.Classes()),
+	stages, err := f.Stages(mode)
+	if err != nil {
+		mode = ModeCombined
+		stages, _ = f.Stages(mode)
 	}
+	states := make([]StageState, len(stages))
+	for i, st := range stages {
+		states[i] = st.NewState()
+	}
+	return &Session{f: f, mode: mode, stages: stages, states: states}
 }
+
+// Mode returns the session's detector mode.
+func (s *Session) Mode() Mode { return s.mode }
 
 // Classify classifies the next package of the stream and advances the
 // session.
 func (s *Session) Classify(cur *dataset.Package) Verdict {
-	f := s.f
-	c := f.Encoder.Encode(s.prev, cur)
-	sig := signature.Signature(c)
-	v := Verdict{Signature: sig, Rank: -1}
-
-	// Package content level (Fig. 3: checked first; a hit short-circuits
-	// the time-series level since an unknown signature can never be in
-	// S(k)).
-	if s.mode != ModeSeriesOnly && f.Package.Anomalous(sig) {
-		v.Anomaly = true
-		v.Level = LevelPackage
-	}
-
-	// Time-series level, only for packages that passed the Bloom filter.
-	if !v.Anomaly && s.mode != ModePackageOnly && s.scored {
-		class, ok := f.DB.ClassOf(sig)
-		if !ok {
-			// The signature passed the Bloom filter (a filter false
-			// positive) but is not in the database, so it cannot be among
-			// the top-k predicted signatures.
-			v.Anomaly = true
-			v.Level = LevelTimeSeries
-		} else {
-			v.Rank = rankOf(s.probs, class)
-			if v.Rank >= f.Series.K {
-				v.Anomaly = true
-				v.Level = LevelTimeSeries
-			}
-		}
-	}
-
-	// Feed the package into the model for the classification of future
-	// packages; the extra feature carries this package's verdict (§V-A-3:
-	// "the additional feature of any packages classified as anomalies will
-	// be set to 1").
-	f.Series.Model.Step(s.state, f.Input.Encode(c, v.Anomaly), s.probs)
-	s.scored = true
-	s.prev = cur
+	v, pc := s.ClassifyOnly(cur)
+	s.Advance(pc, v)
 	return v
 }
 
-// Reset returns the session to its initial state.
-func (s *Session) Reset() {
-	s.state.Reset()
-	s.prev = nil
-	s.scored = false
-	for i := range s.probs {
-		s.probs[i] = 0
+// ClassifyOnly runs the Check half of the pipeline: it encodes the package
+// and evaluates each stage in order until one flags it (Fig. 3: the Bloom
+// filter is checked first and short-circuits the time-series level, since
+// an unknown signature can never be in S(k)). Stream state does not move;
+// the caller completes the step with Advance — or batches it across
+// sessions with SeriesBatch.Queue — before classifying the next package of
+// this stream.
+func (s *Session) ClassifyOnly(cur *dataset.Package) (Verdict, PackageContext) {
+	c := s.f.Encoder.Encode(s.prev, cur)
+	pc := PackageContext{Prev: s.prev, Cur: cur, C: c, Sig: signature.Signature(c)}
+	v := Verdict{Signature: pc.Sig, Rank: -1}
+	for i, stage := range s.stages {
+		stage.Check(s.states[i], &pc, &v)
+		if v.Anomaly {
+			break
+		}
 	}
+	return v, pc
+}
+
+// Advance feeds the classified package into every stage's stream state and
+// completes the step that v closed.
+func (s *Session) Advance(pc PackageContext, v Verdict) {
+	for i, stage := range s.stages {
+		stage.Advance(s.states[i], &pc, &v)
+	}
+	s.prev = pc.Cur
+}
+
+// Reset returns the session to its initial state. A reset session produces
+// verdicts identical to a fresh one.
+func (s *Session) Reset() {
+	for _, st := range s.states {
+		st.Reset()
+	}
+	s.prev = nil
 }
 
 // Evaluation is the outcome of running a framework over a labeled test set.

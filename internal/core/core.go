@@ -61,7 +61,7 @@ type PackageDetector struct {
 // NewPackageDetector inserts every signature of db into a Bloom filter sized
 // for the target false-positive probability fp.
 func NewPackageDetector(db *signature.DB, fp float64) (*PackageDetector, error) {
-	f, err := bloom.NewWithEstimates(uint64(maxInt(db.Size(), 1)), fp)
+	f, err := bloom.NewWithEstimates(uint64(max(db.Size(), 1)), fp)
 	if err != nil {
 		return nil, fmt.Errorf("core: package detector: %w", err)
 	}
@@ -81,10 +81,3 @@ func (d *PackageDetector) Anomalous(sig string) bool {
 
 // SizeBytes returns the filter's memory footprint.
 func (d *PackageDetector) SizeBytes() int { return d.Filter.SizeBytes() }
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}

@@ -27,6 +27,26 @@ func TestSessionBehaviour(t *testing.T) {
 		}
 	})
 
+	t.Run("ResetMatchesFreshSession", func(t *testing.T) {
+		// A reused session must be indistinguishable from a fresh one:
+		// every field of every verdict, not just the anomaly bit.
+		for _, mode := range []core.Mode{core.ModeCombined, core.ModePackageOnly, core.ModeSeriesOnly} {
+			reused := fw.NewSessionMode(mode)
+			for _, p := range split.Test[:150] {
+				reused.Classify(p)
+			}
+			reused.Reset()
+			fresh := fw.NewSessionMode(mode)
+			for i, p := range split.Test[:150] {
+				got, want := reused.Classify(p), fresh.Classify(p)
+				if got != want {
+					t.Fatalf("mode %d verdict %d: reset session %+v, fresh session %+v",
+						mode, i, got, want)
+				}
+			}
+		}
+	})
+
 	t.Run("FirstPackageNeverSeriesFlagged", func(t *testing.T) {
 		sess := fw.NewSession()
 		v := sess.Classify(split.Test[0])
@@ -56,6 +76,79 @@ func TestSessionBehaviour(t *testing.T) {
 		serEval := fw.Evaluate(split.Test, core.ModeSeriesOnly)
 		if serEval.ByLevel[core.LevelPackage] != 0 {
 			t.Error("series-only mode attributed detections to the package level")
+		}
+	})
+
+	t.Run("PackageOnlyAblationPath", func(t *testing.T) {
+		// The package-only pipeline never consults the LSTM: no
+		// time-series levels, no ranks, and identical verdicts to the
+		// combined pipeline's package level on the same stream.
+		pkgOnly := fw.NewSessionMode(core.ModePackageOnly)
+		combined := fw.NewSessionMode(core.ModeCombined)
+		for i, p := range split.Test[:300] {
+			pv, cv := pkgOnly.Classify(p), combined.Classify(p)
+			if pv.Level == core.LevelTimeSeries {
+				t.Fatal("package-only session produced a time-series verdict")
+			}
+			if pv.Rank != -1 {
+				t.Fatalf("package-only verdict %d carries rank %d", i, pv.Rank)
+			}
+			if pv.Anomaly != (cv.Anomaly && cv.Level == core.LevelPackage) {
+				t.Fatalf("package %d: package-only anomaly=%v, combined %+v", i, pv.Anomaly, cv)
+			}
+		}
+	})
+
+	t.Run("SeriesOnlyAblationPath", func(t *testing.T) {
+		// The series-only pipeline never fires the Bloom level, still
+		// never scores the first package, and ranks every scored package
+		// whose signature is in the database.
+		sess := fw.NewSessionMode(core.ModeSeriesOnly)
+		for i, p := range split.Test[:300] {
+			v := sess.Classify(p)
+			if v.Level == core.LevelPackage {
+				t.Fatal("series-only session produced a package-level verdict")
+			}
+			if i == 0 {
+				if v.Anomaly {
+					t.Fatal("series-only session flagged the first package of the stream")
+				}
+				continue
+			}
+			if _, known := fw.DB.ClassOf(v.Signature); known && v.Rank < 0 {
+				t.Fatalf("package %d: known signature not ranked: %+v", i, v)
+			}
+		}
+	})
+
+	t.Run("StagePipelinesPerMode", func(t *testing.T) {
+		cases := []struct {
+			mode   core.Mode
+			levels []core.Level
+		}{
+			{core.ModeCombined, []core.Level{core.LevelPackage, core.LevelTimeSeries}},
+			{core.ModePackageOnly, []core.Level{core.LevelPackage}},
+			{core.ModeSeriesOnly, []core.Level{core.LevelTimeSeries}},
+		}
+		for _, c := range cases {
+			stages, err := fw.Stages(c.mode)
+			if err != nil {
+				t.Fatalf("Stages(%d): %v", c.mode, err)
+			}
+			if len(stages) != len(c.levels) {
+				t.Fatalf("Stages(%d) has %d stages, want %d", c.mode, len(stages), len(c.levels))
+			}
+			for i, st := range stages {
+				if st.Level() != c.levels[i] {
+					t.Errorf("Stages(%d)[%d] level = %v, want %v", c.mode, i, st.Level(), c.levels[i])
+				}
+				if st.Name() == "" {
+					t.Errorf("Stages(%d)[%d] has no name", c.mode, i)
+				}
+			}
+		}
+		if _, err := fw.Stages(core.Mode(42)); err == nil {
+			t.Error("Stages accepted an unknown mode")
 		}
 	})
 

@@ -1,0 +1,285 @@
+package core
+
+import (
+	"fmt"
+
+	"icsdetect/internal/dataset"
+	"icsdetect/internal/nn"
+	"icsdetect/internal/signature"
+)
+
+// PackageContext is the encoded form of one package as it moves through the
+// detection pipeline: the raw packages, the discretized feature vector c(t)
+// and the signature s(x(t)). It is produced once per package by
+// Session.ClassifyOnly and shared by every stage.
+type PackageContext struct {
+	// Prev is the previous package of the stream (nil at stream start); it
+	// supplies the interval feature.
+	Prev *dataset.Package
+	// Cur is the package being classified.
+	Cur *dataset.Package
+	// C is the discretized feature vector c(t).
+	C []int
+	// Sig is the signature s(x(t)) = g(c(t)).
+	Sig string
+}
+
+// StageState is the per-stream state owned by one pipeline stage. Stages
+// that keep no stream state return a shared no-op value.
+type StageState interface {
+	// Reset returns the state to stream start.
+	Reset()
+}
+
+// StageDetector is one pluggable stage of the Fig. 3 detection pipeline.
+// The framework wires the Bloom package-content level and the LSTM
+// time-series level as two stages; sessions and the concurrent engine drive
+// any stage slice the same way:
+//
+//   - Check runs in pipeline order until a stage flags the package; later
+//     stages are short-circuited (an unknown signature can never be in the
+//     top-k predicted set, so the time-series level never re-examines a
+//     package-level detection).
+//   - Advance runs for every stage on every package after the verdict is
+//     final, whatever the verdict was: anomalous packages still feed the
+//     time-series input with the noise flag set (§V-A-3).
+//
+// Stage values themselves are immutable and safe for concurrent use; all
+// per-stream mutability lives in the StageState, so one goroutine per
+// stream (or per shard of streams) needs no locking.
+type StageDetector interface {
+	// Name identifies the stage in diagnostics and counters.
+	Name() string
+	// Level is the verdict level the stage attributes detections to.
+	Level() Level
+	// NewState allocates fresh per-stream state for this stage.
+	NewState() StageState
+	// Check evaluates the package and may flag it in v. It must not mutate
+	// st: state only moves in Advance.
+	Check(st StageState, pc *PackageContext, v *Verdict)
+	// Advance feeds the package into the stream state once v is final.
+	Advance(st StageState, pc *PackageContext, v *Verdict)
+}
+
+// Stages returns the pipeline stage slice for a detector mode. ModeCombined
+// is the paper's two-level framework; the single-stage modes support
+// ablation. Session and the engine both build their pipelines here, so the
+// two always agree on semantics.
+func (f *Framework) Stages(mode Mode) ([]StageDetector, error) {
+	pkg := &PackageStage{Detector: f.Package}
+	series := &SeriesStage{DB: f.DB, Detector: f.Series, Input: f.Input}
+	switch mode {
+	case ModeCombined:
+		return []StageDetector{pkg, series}, nil
+	case ModePackageOnly:
+		return []StageDetector{pkg}, nil
+	case ModeSeriesOnly:
+		return []StageDetector{series}, nil
+	default:
+		return nil, fmt.Errorf("core: unknown mode %d", int(mode))
+	}
+}
+
+// nopState is the shared state of stateless stages.
+type nopState struct{}
+
+func (nopState) Reset() {}
+
+// PackageStage is the package content level F_p as a pipeline stage: a
+// stateless membership test against the Bloom-filter signature store.
+type PackageStage struct {
+	Detector *PackageDetector
+}
+
+// Name implements StageDetector.
+func (s *PackageStage) Name() string { return "package" }
+
+// Level implements StageDetector.
+func (s *PackageStage) Level() Level { return LevelPackage }
+
+// NewState implements StageDetector; the stage keeps no stream state.
+func (s *PackageStage) NewState() StageState { return nopState{} }
+
+// Check implements F_p: flag iff the signature is not in the filter.
+func (s *PackageStage) Check(_ StageState, pc *PackageContext, v *Verdict) {
+	if s.Detector.Anomalous(pc.Sig) {
+		v.Anomaly = true
+		v.Level = LevelPackage
+	}
+}
+
+// Advance implements StageDetector; nothing to advance.
+func (s *PackageStage) Advance(StageState, *PackageContext, *Verdict) {}
+
+// SeriesStage is the time-series level F_t as a pipeline stage: the stacked
+// LSTM predicts the next signature's class distribution and the stage flags
+// packages whose signature ranks outside the top-k predicted set.
+type SeriesStage struct {
+	DB       *signature.DB
+	Detector *TimeSeriesDetector
+	Input    *InputEncoder
+}
+
+// seriesState is the per-stream recurrent state of the time-series stage.
+type seriesState struct {
+	rnn *nn.State
+	// scores holds the prediction for the *current* package, written by the
+	// previous package's Advance as raw logits — on the sequential path
+	// (StepLogits) and the batched path (StepBatchLogits) alike, so both
+	// rank the exact same values and verdicts are bitwise identical.
+	// Ranking logits rather than softmax probabilities also avoids the
+	// rounding collapse where two distinct logits map to equal (or
+	// underflowed) probabilities and perturb tie-breaking, and it skips
+	// Classes() exponentials per package.
+	scores []float64
+	// x is the reusable LSTM input vector.
+	x []float64
+	// scored reports whether scores holds a valid prediction (false before
+	// the first package has been fed).
+	scored bool
+}
+
+// Reset implements StageState.
+func (st *seriesState) Reset() {
+	st.rnn.Reset()
+	st.scored = false
+	for i := range st.scores {
+		st.scores[i] = 0
+	}
+}
+
+// Name implements StageDetector.
+func (s *SeriesStage) Name() string { return "time-series" }
+
+// Level implements StageDetector.
+func (s *SeriesStage) Level() Level { return LevelTimeSeries }
+
+// NewState implements StageDetector.
+func (s *SeriesStage) NewState() StageState {
+	return &seriesState{
+		rnn:    s.Detector.Model.NewState(),
+		scores: make([]float64, s.Detector.Model.Classes()),
+		x:      make([]float64, s.Input.Dim),
+	}
+}
+
+// Check implements F_t: a package whose signature ranks outside the top-k
+// predicted set S(k) is anomalous. The first package of a stream is never
+// scored (no prediction exists yet).
+func (s *SeriesStage) Check(state StageState, pc *PackageContext, v *Verdict) {
+	st := state.(*seriesState)
+	if !st.scored {
+		return
+	}
+	class, ok := s.DB.ClassOf(pc.Sig)
+	if !ok {
+		// The signature passed the Bloom filter (a filter false positive)
+		// but is not in the database, so it cannot be among the top-k
+		// predicted signatures.
+		v.Anomaly = true
+		v.Level = LevelTimeSeries
+		return
+	}
+	v.Rank = rankOf(st.scores, class)
+	if v.Rank >= s.Detector.K {
+		v.Anomaly = true
+		v.Level = LevelTimeSeries
+	}
+}
+
+// encodeStep writes the step input for the classified package into the
+// stream's input buffer and marks the stream scored. It is the shared
+// pre-step half of both advancement paths — sequential Advance and batched
+// SeriesBatch.Queue — so the two can never diverge on what feeds the model:
+// the extra input feature carries this package's verdict (§V-A-3: "the
+// additional feature of any packages classified as anomalies will be set
+// to 1").
+func (s *SeriesStage) encodeStep(st *seriesState, pc *PackageContext, v *Verdict) {
+	s.Input.EncodeInto(st.x, pc.C, v.Anomaly)
+	st.scored = true
+}
+
+// Advance feeds the package into the recurrent model for the classification
+// of future packages.
+func (s *SeriesStage) Advance(state StageState, pc *PackageContext, v *Verdict) {
+	st := state.(*seriesState)
+	s.encodeStep(st, pc, v)
+	s.Detector.Model.StepLogits(st.rnn, st.x, st.scores)
+}
+
+// SeriesBatch advances the time-series stage of many independent sessions
+// in one batched LSTM pass (nn.StepBatchLogits): the engine's micro-batch
+// primitive. Queue completes everything about a classified package except
+// the LSTM step, which Flush performs for all queued sessions at once.
+//
+// Protocol: after Queue(s, …), session s must not classify another package
+// until Flush has run. A SeriesBatch is not safe for concurrent use; the
+// engine owns one per shard.
+type SeriesBatch struct {
+	model  *nn.Classifier
+	buf    *nn.BatchBuffer
+	rnns   []*nn.State
+	inputs [][]float64
+	scores [][]float64
+	n      int
+}
+
+// NewSeriesBatch allocates a batch for up to maxBatch concurrently advanced
+// sessions. All scratch is allocated here once; Queue and Flush allocate
+// nothing.
+func (f *Framework) NewSeriesBatch(maxBatch int) *SeriesBatch {
+	if maxBatch < 1 {
+		maxBatch = 1
+	}
+	b := &SeriesBatch{
+		model:  f.Series.Model,
+		buf:    f.Series.Model.NewBatchBuffer(maxBatch),
+		rnns:   make([]*nn.State, maxBatch),
+		inputs: make([][]float64, maxBatch),
+		scores: make([][]float64, maxBatch),
+	}
+	return b
+}
+
+// Len returns the number of queued sessions.
+func (b *SeriesBatch) Len() int { return b.n }
+
+// Cap returns the batch capacity.
+func (b *SeriesBatch) Cap() int { return len(b.rnns) }
+
+// Full reports whether the batch must be flushed before the next Queue.
+func (b *SeriesBatch) Full() bool { return b.n == len(b.rnns) }
+
+// Queue completes the step that v closed for session s: every stage except
+// the time-series stage advances inline and the LSTM step is deferred into
+// the batch. Sessions whose mode has no time-series stage complete
+// immediately and occupy no batch slot.
+func (b *SeriesBatch) Queue(s *Session, pc PackageContext, v Verdict) {
+	if b.Full() {
+		panic("core: SeriesBatch.Queue on a full batch")
+	}
+	s.prev = pc.Cur
+	for i, stage := range s.stages {
+		series, ok := stage.(*SeriesStage)
+		if !ok {
+			stage.Advance(s.states[i], &pc, &v)
+			continue
+		}
+		st := s.states[i].(*seriesState)
+		series.encodeStep(st, &pc, &v)
+		b.rnns[b.n] = st.rnn
+		b.inputs[b.n] = st.x
+		b.scores[b.n] = st.scores
+		b.n++
+	}
+}
+
+// Flush advances every queued session's recurrent state through one batched
+// matrix-matrix pass and empties the batch.
+func (b *SeriesBatch) Flush() {
+	if b.n == 0 {
+		return
+	}
+	b.model.StepBatchLogits(b.buf, b.rnns[:b.n], b.inputs[:b.n], b.scores[:b.n])
+	b.n = 0
+}

@@ -72,11 +72,13 @@ func BuildSequences(enc *signature.Encoder, ienc *InputEncoder, db *signature.DB
 
 // TopKRanks runs the model statefully over attack-free fragments and
 // returns the rank of every true next-signature, the raw material for the
-// top-k error curve err_k (§V-A-2).
+// top-k error curve err_k (§V-A-2). Ranks are computed over raw logits,
+// exactly as the deployed detector ranks them (SeriesStage), so the
+// calibrated k and the runtime top-k boundary always agree.
 func (d *TimeSeriesDetector) TopKRanks(enc *signature.Encoder, ienc *InputEncoder,
 	db *signature.DB, frags []dataset.Fragment) []int {
 	var ranks []int
-	probs := make([]float64, d.Model.Classes())
+	scores := make([]float64, d.Model.Classes())
 	for _, frag := range frags {
 		if len(frag) < 2 {
 			continue
@@ -84,7 +86,7 @@ func (d *TimeSeriesDetector) TopKRanks(enc *signature.Encoder, ienc *InputEncode
 		state := d.Model.NewState()
 		cs := enc.EncodeFragment(frag)
 		for t := 0; t < len(frag)-1; t++ {
-			d.Model.Step(state, ienc.Encode(cs[t], false), probs)
+			d.Model.StepLogits(state, ienc.Encode(cs[t], false), scores)
 			nextSig := signature.Signature(cs[t+1])
 			class, ok := db.ClassOf(nextSig)
 			if !ok {
@@ -93,7 +95,7 @@ func (d *TimeSeriesDetector) TopKRanks(enc *signature.Encoder, ienc *InputEncode
 				ranks = append(ranks, d.Model.Classes())
 				continue
 			}
-			ranks = append(ranks, rankOf(probs, class))
+			ranks = append(ranks, rankOf(scores, class))
 		}
 	}
 	return ranks

@@ -1,0 +1,302 @@
+// Package engine is the concurrent multi-stream detection engine: it runs
+// the two-level framework of internal/core over many package streams at
+// once (one stream per monitored device, link or unit), sharded across
+// worker goroutines with micro-batched LSTM inference.
+//
+// Architecture:
+//
+//	Submit(stream, pkg) ──hash(stream)──▶ shard 0 ─▶ worker goroutine
+//	                                      shard 1 ─▶ worker goroutine
+//	                                      …            │
+//	                                                   ▼
+//	                          per-stream Session (Check phase, sequential)
+//	                          micro-batch of LSTM steps (nn.StepBatchLogits)
+//
+// Each stream is pinned to one shard by a hash of its ID, so per-stream
+// package order — and therefore per-stream verdicts — are exactly those of
+// a sequential core.Session. Within a shard, the recurrent steps of
+// distinct streams are independent and advance through one batched
+// matrix-matrix pass per drained tick instead of one matrix-vector pass per
+// package. Shard input channels are bounded: a saturated engine pushes back
+// on Submit instead of growing without bound.
+package engine
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"icsdetect/internal/core"
+	"icsdetect/internal/dataset"
+)
+
+// Config tunes the engine. The zero value picks sensible defaults.
+type Config struct {
+	// Shards is the number of worker goroutines (and stream partitions).
+	// Default: GOMAXPROCS.
+	Shards int
+	// MaxBatch caps the micro-batch width of one LSTM pass. Default: 64.
+	MaxBatch int
+	// QueueDepth bounds each shard's input channel; a full shard blocks
+	// Submit (backpressure). Default: 4 * MaxBatch.
+	QueueDepth int
+	// Mode selects the detector levels each stream applies.
+	// Default: core.ModeCombined.
+	Mode core.Mode
+}
+
+// withDefaults fills unset fields.
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 64
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4 * c.MaxBatch
+	}
+	if c.Mode == 0 {
+		c.Mode = core.ModeCombined
+	}
+	return c
+}
+
+// Result is one classified package.
+type Result struct {
+	// Stream is the stream ID the package was submitted under.
+	Stream string
+	// Seq is the package's 0-based position within its stream.
+	Seq uint64
+	// Package is the classified package.
+	Package *dataset.Package
+	// Verdict is identical to what a sequential core.Session for this
+	// stream would have produced.
+	Verdict core.Verdict
+}
+
+// Handler receives every classified package. It is called on shard
+// goroutines — possibly concurrently for packages of different shards — and
+// must be safe for that; a slow handler stalls its shard and, through the
+// bounded queues, eventually the submitters.
+type Handler func(Result)
+
+// packet is one queued unit of work.
+type packet struct {
+	stream string
+	pkg    *dataset.Package
+}
+
+// Engine is a running multi-stream detection engine. Create one with New,
+// feed it with Submit, stop it with Stop. The framework must not be mutated
+// (SetK, Update, …) while the engine runs.
+//
+// Stream state (a Session with its recurrent LSTM state) is retained for
+// the lifetime of the engine — recurrent detection has no natural point to
+// forget a stream. Key streams by a bounded-cardinality identity (device,
+// unit, link), not by connection or request; a churn of distinct stream IDs
+// grows memory without bound.
+type Engine struct {
+	fw      *core.Framework
+	cfg     Config
+	handler Handler
+	shards  []*shard
+	wg      sync.WaitGroup
+	started time.Time
+	stopped atomic.Bool
+	// mu serializes submissions against Stop: submitters hold it shared
+	// for the duration of their channel send, and Stop takes it exclusive
+	// before closing the shard channels, so a racing Submit returns the
+	// stopped error instead of panicking on a closed channel.
+	mu sync.RWMutex
+}
+
+// New builds and starts an engine over a trained framework. handler may be
+// nil when only the counters are of interest.
+func New(fw *core.Framework, cfg Config, handler Handler) (*Engine, error) {
+	cfg = cfg.withDefaults()
+	if _, err := fw.Stages(cfg.Mode); err != nil {
+		return nil, fmt.Errorf("engine: %w", err)
+	}
+	e := &Engine{
+		fw:      fw,
+		cfg:     cfg,
+		handler: handler,
+		shards:  make([]*shard, cfg.Shards),
+		started: time.Now(),
+	}
+	for i := range e.shards {
+		e.shards[i] = newShard(i, e)
+	}
+	e.wg.Add(len(e.shards))
+	for _, s := range e.shards {
+		go s.run(&e.wg)
+	}
+	return e, nil
+}
+
+// shardFor pins a stream to a shard by FNV-1a hash, so stream placement is
+// deterministic across runs and processes.
+func (e *Engine) shardFor(stream string) *shard {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(stream); i++ {
+		h ^= uint64(stream[i])
+		h *= prime64
+	}
+	return e.shards[h%uint64(len(e.shards))]
+}
+
+// Submit enqueues one package of a stream, blocking while the stream's
+// shard queue is full (backpressure). Packages of one stream must be
+// submitted from one goroutine at a time to preserve stream order; distinct
+// streams may submit concurrently. Submitting during or after Stop returns
+// an error.
+func (e *Engine) Submit(stream string, pkg *dataset.Package) error {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.stopped.Load() {
+		return fmt.Errorf("engine: submit after Stop")
+	}
+	e.shardFor(stream).in <- packet{stream: stream, pkg: pkg}
+	return nil
+}
+
+// TrySubmit is Submit without blocking: it reports false when the stream's
+// shard queue is full, letting in-path deployments shed load explicitly
+// instead of stalling the protocol path.
+func (e *Engine) TrySubmit(stream string, pkg *dataset.Package) (bool, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.stopped.Load() {
+		return false, fmt.Errorf("engine: submit after Stop")
+	}
+	select {
+	case e.shardFor(stream).in <- packet{stream: stream, pkg: pkg}:
+		return true, nil
+	default:
+		return false, nil
+	}
+}
+
+// Stop drains every queued package, waits for the workers to finish, and
+// releases them. Submissions racing Stop either land before the shutdown
+// (their packages are drained) or return the stopped error; a submitter
+// blocked on a full queue completes normally, because the workers keep
+// draining until the channels close. Stop is idempotent.
+func (e *Engine) Stop() {
+	e.mu.Lock()
+	if e.stopped.Swap(true) {
+		e.mu.Unlock()
+		return
+	}
+	e.mu.Unlock()
+	for _, s := range e.shards {
+		close(s.in)
+	}
+	e.wg.Wait()
+}
+
+// shard is one worker: a partition of streams, its bounded input queue, its
+// micro-batch, and its counters.
+type shard struct {
+	id      int
+	e       *Engine
+	in      chan packet
+	streams map[string]*stream
+	batch   *core.SeriesBatch
+	inBatch []*stream
+	stats   shardCounters
+}
+
+// stream is the engine's per-stream state.
+type stream struct {
+	sess *core.Session
+	seq  uint64
+	// pending reports that the stream's LSTM step sits in the current
+	// micro-batch: a second package of the same stream forces a flush
+	// first, because its prediction depends on that step.
+	pending bool
+}
+
+func newShard(id int, e *Engine) *shard {
+	return &shard{
+		id:      id,
+		e:       e,
+		in:      make(chan packet, e.cfg.QueueDepth),
+		streams: make(map[string]*stream),
+		batch:   e.fw.NewSeriesBatch(e.cfg.MaxBatch),
+		inBatch: make([]*stream, 0, e.cfg.MaxBatch),
+	}
+}
+
+// run is the shard worker loop: block for one packet, then opportunistically
+// drain whatever else is queued — the micro-batch "tick" — and flush the
+// batched LSTM pass before blocking again.
+func (s *shard) run(wg *sync.WaitGroup) {
+	defer wg.Done()
+	for pkt := range s.in {
+		s.handle(pkt)
+	drain:
+		for {
+			select {
+			case more, ok := <-s.in:
+				if !ok {
+					break drain
+				}
+				s.handle(more)
+			default:
+				break drain
+			}
+		}
+		s.flush()
+	}
+	s.flush()
+}
+
+// handle classifies one package against its stream's session and defers the
+// LSTM step into the micro-batch.
+func (s *shard) handle(pkt packet) {
+	st := s.streams[pkt.stream]
+	if st == nil {
+		st = &stream{sess: s.e.fw.NewSessionMode(s.e.cfg.Mode)}
+		s.streams[pkt.stream] = st
+		s.stats.streams.Add(1)
+	}
+	if st.pending || s.batch.Full() {
+		s.flush()
+	}
+	v, pc := st.sess.ClassifyOnly(pkt.pkg)
+	before := s.batch.Len()
+	s.batch.Queue(st.sess, pc, v)
+	if s.batch.Len() > before {
+		st.pending = true
+		s.inBatch = append(s.inBatch, st)
+	}
+
+	s.stats.packages.Add(1)
+	s.stats.byLevel[v.Level].Add(1)
+	if s.e.handler != nil {
+		s.e.handler(Result{Stream: pkt.stream, Seq: st.seq, Package: pkt.pkg, Verdict: v})
+	}
+	st.seq++
+}
+
+// flush advances every queued stream through one batched LSTM pass.
+func (s *shard) flush() {
+	if s.batch.Len() == 0 {
+		return
+	}
+	s.stats.batched.Add(uint64(s.batch.Len()))
+	s.stats.batches.Add(1)
+	s.batch.Flush()
+	for _, st := range s.inBatch {
+		st.pending = false
+	}
+	s.inBatch = s.inBatch[:0]
+}

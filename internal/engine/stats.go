@@ -1,0 +1,119 @@
+package engine
+
+import (
+	"sync/atomic"
+	"time"
+
+	"icsdetect/internal/core"
+)
+
+// shardCounters are the per-shard atomics, updated on the worker goroutine
+// and read by Stats snapshots without any coordination.
+type shardCounters struct {
+	packages atomic.Uint64
+	streams  atomic.Uint64
+	batches  atomic.Uint64
+	batched  atomic.Uint64
+	// byLevel counts verdicts per detection level, indexed by core.Level
+	// (LevelNone, LevelPackage, LevelTimeSeries).
+	byLevel [3]atomic.Uint64
+}
+
+// ShardStats is a point-in-time snapshot of one shard's counters.
+type ShardStats struct {
+	// Shard is the shard index.
+	Shard int
+	// Packages is the number of packages classified.
+	Packages uint64
+	// Streams is the number of distinct streams seen.
+	Streams uint64
+	// Clean, PackageLevel and SeriesLevel split Packages by verdict level.
+	Clean, PackageLevel, SeriesLevel uint64
+	// Batches counts batched LSTM passes; Batched counts the recurrent
+	// steps they advanced. Batched/Batches is the mean micro-batch width.
+	Batches, Batched uint64
+	// QueueDepth and QueueCap describe the shard's bounded input channel at
+	// snapshot time.
+	QueueDepth, QueueCap int
+}
+
+// Anomalies is the number of packages flagged by either level.
+func (s ShardStats) Anomalies() uint64 { return s.PackageLevel + s.SeriesLevel }
+
+// Stats is an engine-wide snapshot.
+type Stats struct {
+	// Packages, Streams, Clean, PackageLevel, SeriesLevel, Batches and
+	// Batched aggregate the shard counters.
+	Packages, Streams                uint64
+	Clean, PackageLevel, SeriesLevel uint64
+	Batches, Batched                 uint64
+	// QueueDepth sums the queued-but-unprocessed packages across shards.
+	QueueDepth int
+	// Elapsed is the time since the engine started.
+	Elapsed time.Duration
+}
+
+// Anomalies is the number of packages flagged by either level.
+func (s Stats) Anomalies() uint64 { return s.PackageLevel + s.SeriesLevel }
+
+// PerSecond is the mean classification rate since the engine started.
+func (s Stats) PerSecond() float64 {
+	if s.Elapsed <= 0 {
+		return 0
+	}
+	return float64(s.Packages) / s.Elapsed.Seconds()
+}
+
+// MeanBatch is the mean micro-batch width of the LSTM passes so far.
+func (s Stats) MeanBatch() float64 {
+	if s.Batches == 0 {
+		return 0
+	}
+	return float64(s.Batched) / float64(s.Batches)
+}
+
+// snapshot reads the shard's counters.
+func (s *shard) snapshot() ShardStats {
+	return ShardStats{
+		Shard:        s.id,
+		Packages:     s.stats.packages.Load(),
+		Streams:      s.stats.streams.Load(),
+		Clean:        s.stats.byLevel[core.LevelNone].Load(),
+		PackageLevel: s.stats.byLevel[core.LevelPackage].Load(),
+		SeriesLevel:  s.stats.byLevel[core.LevelTimeSeries].Load(),
+		Batches:      s.stats.batches.Load(),
+		Batched:      s.stats.batched.Load(),
+		QueueDepth:   len(s.in),
+		QueueCap:     cap(s.in),
+	}
+}
+
+// ShardStats snapshots every shard without stopping the world: counters are
+// atomics, so a snapshot taken while the workers run is a consistent-enough
+// view for monitoring (each counter is exact; cross-counter skew is bounded
+// by whatever the workers did during the snapshot).
+func (e *Engine) ShardStats() []ShardStats {
+	out := make([]ShardStats, len(e.shards))
+	for i, s := range e.shards {
+		out[i] = s.snapshot()
+	}
+	return out
+}
+
+// Stats aggregates the shard counters into one engine-wide snapshot.
+func (e *Engine) Stats() Stats {
+	var st Stats
+	for _, s := range e.shards {
+		ss := s.snapshot()
+		st.Packages += ss.Packages
+		st.Streams += ss.Streams
+		st.Clean += ss.Clean
+		st.PackageLevel += ss.PackageLevel
+		st.SeriesLevel += ss.SeriesLevel
+		st.Batches += ss.Batches
+		st.Batched += ss.Batched
+		st.QueueDepth += ss.QueueDepth
+	}
+	st.Elapsed = time.Since(e.started)
+	return st
+}

@@ -1,0 +1,49 @@
+//go:build amd64
+
+package mathx
+
+// cpuHasAVX reports AVX support with OS-enabled YMM state (implemented in
+// gemm_amd64.s).
+func cpuHasAVX() bool
+
+// gemm4avx is the AVX microkernel behind MulRowsT (gemm_amd64.s): four
+// streams per ymm lane, Dot-identical association per lane.
+//
+//go:noescape
+func gemm4avx(w *float64, stride, rows int, xt *float64, kn int, dst *float64, dstStride int, cont bool)
+
+var hasAVX = cpuHasAVX()
+
+// gemmChunkK is the packed-column chunk size: 4 lanes × 256 columns = 8 KB
+// of stack scratch per call.
+const gemmChunkK = 256
+
+// mulRows4SIMD computes the four-stream block dst(4×R, lane stride R) =
+// [x0;x1;x2;x3]·mᵀ with the AVX kernel. Columns beyond gemmChunkK are
+// processed in aligned chunks with the accumulator carried through dst, so
+// the per-element association still matches Dot exactly. Only the
+// overwriting form is provided: accumulate-into-dst would need a different
+// association (dst + full-dot), which the chunked kernel cannot reproduce —
+// batched callers compute separate products and combine them elementwise
+// instead.
+func mulRows4SIMD(m *Matrix, dst []float64, x0, x1, x2, x3 []float64) bool {
+	if !hasAVX {
+		return false
+	}
+	R, C := m.Rows, m.Cols
+	var xt [4 * gemmChunkK]float64
+	for kc := 0; kc < C; kc += gemmChunkK {
+		kn := C - kc
+		if kn > gemmChunkK {
+			kn = gemmChunkK
+		}
+		for k := 0; k < kn; k++ {
+			xt[4*k] = x0[kc+k]
+			xt[4*k+1] = x1[kc+k]
+			xt[4*k+2] = x2[kc+k]
+			xt[4*k+3] = x3[kc+k]
+		}
+		gemm4avx(&m.Data[kc], C, R, &xt[0], kn, &dst[0], R, kc > 0)
+	}
+	return true
+}

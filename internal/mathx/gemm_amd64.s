@@ -1,0 +1,118 @@
+// AVX kernel for the batched GEMM (MulRowsT): four input rows (streams)
+// advance together, one ymm lane per stream. Each lane reproduces exactly
+// the scalar Dot association — groups of four summed left-to-right into the
+// accumulator, then a sequential tail — so the vectorized result is bitwise
+// identical to MulVec per row. VMULPD/VADDPD are elementwise IEEE double
+// multiply/add: no FMA contraction, no cross-lane reduction.
+
+#include "textflag.h"
+
+// func cpuHasAVX() bool
+TEXT ·cpuHasAVX(SB), NOSPLIT, $0-1
+	MOVL $1, AX
+	CPUID
+	// Need OSXSAVE (ECX bit 27) and AVX (ECX bit 28).
+	MOVL CX, BX
+	ANDL $(1<<27 | 1<<28), BX
+	CMPL BX, $(1<<27 | 1<<28)
+	JNE  noavx
+	// XCR0 bits 1 and 2: XMM and YMM state enabled by the OS.
+	XORL CX, CX
+	XGETBV
+	ANDL $6, AX
+	CMPL AX, $6
+	JNE  noavx
+	MOVB $1, ret+0(FP)
+	RET
+noavx:
+	MOVB $0, ret+0(FP)
+	RET
+
+// func gemm4avx(w *float64, stride, rows int, xt *float64, kn int, dst *float64, dstStride int, cont bool)
+//
+// For each of rows weight rows: acc(4 lanes) = dst lanes if cont else 0;
+// then for kn packed columns of xt (layout xt[4*k+lane]) accumulate
+// acc += w[k]*xt[k] in Dot's group-of-four association; store acc back to
+// the four lanes dst[lane*dstStride + j].
+TEXT ·gemm4avx(SB), NOSPLIT, $0-57
+	MOVQ    w+0(FP), SI        // w row pointer (advances per row)
+	MOVQ    stride+8(FP), AX
+	SHLQ    $3, AX             // w row stride in bytes
+	MOVQ    rows+16(FP), R8
+	MOVQ    xt+24(FP), DX
+	MOVQ    kn+32(FP), R9
+	MOVQ    dst+40(FP), DI
+	MOVQ    dstStride+48(FP), R10
+	SHLQ    $3, R10            // lane stride in bytes
+	MOVBLZX cont+56(FP), R11
+	XORQ    R13, R13           // j: row index
+
+rowloop:
+	CMPQ R13, R8
+	JGE  done
+	LEAQ (DI)(R13*8), R15      // &dst[j], lane 0
+	LEAQ (R15)(R10*1), R14     // lane 1; lanes 2,3 are (R15/R14)(R10*2)
+
+	TESTQ R11, R11
+	JZ    zeroacc
+	VMOVSD  (R15), X0
+	VMOVHPD (R14), X0, X0
+	VMOVSD  (R15)(R10*2), X1
+	VMOVHPD (R14)(R10*2), X1, X1
+	VINSERTF128 $1, X1, Y0, Y0
+	JMP  accready
+zeroacc:
+	VXORPD Y0, Y0, Y0
+accready:
+
+	MOVQ SI, BX                // w walker
+	MOVQ DX, CX                // xt walker
+	MOVQ R9, R12               // remaining columns
+
+groups:
+	CMPQ R12, $4
+	JLT  tail
+	// t = ((w0*x0 + w1*x1) + w2*x2) + w3*x3, one lane per stream.
+	VBROADCASTSD (BX), Y1
+	VMULPD       (CX), Y1, Y2
+	VBROADCASTSD 8(BX), Y1
+	VMULPD       32(CX), Y1, Y3
+	VADDPD       Y3, Y2, Y2
+	VBROADCASTSD 16(BX), Y1
+	VMULPD       64(CX), Y1, Y3
+	VADDPD       Y3, Y2, Y2
+	VBROADCASTSD 24(BX), Y1
+	VMULPD       96(CX), Y1, Y3
+	VADDPD       Y3, Y2, Y2
+	// acc += t
+	VADDPD Y2, Y0, Y0
+	ADDQ   $32, BX
+	ADDQ   $128, CX
+	SUBQ   $4, R12
+	JMP    groups
+
+tail:
+	TESTQ R12, R12
+	JZ    store
+	VBROADCASTSD (BX), Y1
+	VMULPD       (CX), Y1, Y2
+	VADDPD       Y2, Y0, Y0
+	ADDQ  $8, BX
+	ADDQ  $32, CX
+	DECQ  R12
+	JMP   tail
+
+store:
+	VEXTRACTF128 $1, Y0, X1
+	VMOVSD  X0, (R15)
+	VMOVHPD X0, (R14)
+	VMOVSD  X1, (R15)(R10*2)
+	VMOVHPD X1, (R14)(R10*2)
+
+	ADDQ AX, SI
+	INCQ R13
+	JMP  rowloop
+
+done:
+	VZEROUPPER
+	RET

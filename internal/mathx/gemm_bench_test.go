@@ -1,0 +1,30 @@
+package mathx
+
+import "testing"
+
+// BenchmarkGEMVvsGEMM compares the per-element cost of 32 GEMVs against one
+// 32-row GEMM at LSTM-layer shape (4H x H for H=256).
+func BenchmarkGEMVvsGEMM(b *testing.B) {
+	const rows, cols, batch = 1024, 256, 32
+	rng := NewRNG(1)
+	m := randomMatrix(rng, rows, cols)
+	xs := make([][]float64, batch)
+	for i := range xs {
+		xs[i] = randomVec(rng, cols)
+	}
+	dst := make([]float64, batch*rows)
+	b.Run("gemv", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for s := 0; s < batch; s++ {
+				m.MulVec(dst[s*rows:(s+1)*rows], xs[s])
+			}
+		}
+		b.ReportMetric(float64(b.N)*batch*rows*cols*2/b.Elapsed().Seconds()/1e9, "GFLOP/s")
+	})
+	b.Run("gemm", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			m.MulRowsT(dst, xs)
+		}
+		b.ReportMetric(float64(b.N)*batch*rows*cols*2/b.Elapsed().Seconds()/1e9, "GFLOP/s")
+	})
+}

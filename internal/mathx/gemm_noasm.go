@@ -1,0 +1,9 @@
+//go:build !amd64
+
+package mathx
+
+// mulRows4SIMD reports that no SIMD kernel is available on this
+// architecture; mulRowsT falls back to the scalar register tile.
+func mulRows4SIMD(m *Matrix, dst []float64, x0, x1, x2, x3 []float64) bool {
+	return false
+}

@@ -79,6 +79,61 @@ func TestMulVecTIsTranspose(t *testing.T) {
 	}
 }
 
+func TestMulRowsTMatchesMulVec(t *testing.T) {
+	// The batched GEMM must be bitwise identical to one GEMV per input row —
+	// the batched LSTM inference path relies on this for exact verdict
+	// equivalence with the sequential session.
+	rng := NewRNG(6)
+	for trial := 0; trial < 30; trial++ {
+		rows, cols := 1+rng.Intn(20), 1+rng.Intn(20)
+		n := 1 + rng.Intn(9)
+		m := randomMatrix(rng, rows, cols)
+		xs := make([][]float64, n)
+		for i := range xs {
+			xs[i] = randomVec(rng, cols)
+		}
+		got := make([]float64, n*rows)
+		m.MulRowsT(got, xs)
+		for i := 0; i < n; i++ {
+			want := make([]float64, rows)
+			m.MulVec(want, xs[i])
+			for j := range want {
+				if got[i*rows+j] != want[j] {
+					t.Fatalf("MulRowsT row %d element %d = %v, MulVec gives %v",
+						i, j, got[i*rows+j], want[j])
+				}
+			}
+		}
+	}
+}
+
+func TestMulRowsTLargeColumns(t *testing.T) {
+	// Exercise the SIMD chunking path (columns beyond one packed chunk)
+	// and an odd tail, still requiring bitwise GEMV equality.
+	rng := NewRNG(7)
+	m := randomMatrix(rng, 9, 531)
+	xs := make([][]float64, 5)
+	for i := range xs {
+		xs[i] = randomVec(rng, 531)
+	}
+	got := make([]float64, len(xs)*9)
+	m.MulRowsT(got, xs)
+	for i, x := range xs {
+		want := make([]float64, 9)
+		m.MulVec(want, x)
+		for j := range want {
+			if got[i*9+j] != want[j] {
+				t.Fatalf("MulRowsT[%d][%d] = %v, MulVec gives %v", i, j, got[i*9+j], want[j])
+			}
+		}
+	}
+}
+
+func TestMulRowsTEmptyBatch(t *testing.T) {
+	m := NewMatrix(3, 2)
+	m.MulRowsT(nil, nil) // zero rows is a no-op, not a panic
+}
+
 func TestAddOuter(t *testing.T) {
 	rng := NewRNG(3)
 	m := NewMatrix(5, 7)

@@ -1,0 +1,146 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"icsdetect/internal/mathx"
+)
+
+// BatchBuffer is the reusable scratch memory for StepBatch: per-layer gate
+// buffers and the batched logits, sized once for a maximum batch width.
+// Owning one buffer per worker goroutine removes every per-step allocation
+// from the batched inference path; a buffer must not be shared between
+// concurrent StepBatch calls.
+type BatchBuffer struct {
+	maxBatch int
+	// z[l] holds the concatenated 4H gate pre-activations of layer l for the
+	// whole batch, row-major with stride 4H (one row per stream); zu[l] is
+	// the recurrent U·h product, combined into z elementwise so both
+	// products can use the overwriting GEMM kernel.
+	z, zu [][]float64
+	// logits holds the batched dense-head outputs, stride Classes().
+	logits []float64
+	// xs collects the per-stream input slices handed to the GEMM kernels.
+	xs [][]float64
+}
+
+// NewBatchBuffer allocates scratch for batches of up to maxBatch streams.
+func (c *Classifier) NewBatchBuffer(maxBatch int) *BatchBuffer {
+	if maxBatch < 1 {
+		maxBatch = 1
+	}
+	b := &BatchBuffer{
+		maxBatch: maxBatch,
+		z:        make([][]float64, len(c.Layers)),
+		zu:       make([][]float64, len(c.Layers)),
+		logits:   make([]float64, maxBatch*c.Out.OutputSize),
+		xs:       make([][]float64, maxBatch),
+	}
+	for i, l := range c.Layers {
+		b.z[i] = make([]float64, maxBatch*numGates*l.HiddenSize)
+		b.zu[i] = make([]float64, maxBatch*numGates*l.HiddenSize)
+	}
+	return b
+}
+
+// MaxBatch returns the batch width the buffer was sized for.
+func (b *BatchBuffer) MaxBatch() int { return b.maxBatch }
+
+// StepBatch advances n = len(states) independent recurrent states through
+// one batched forward pass and writes each stream's class probability
+// vector into probs[i] (len = Classes()). inputs[i] is stream i's input
+// vector; states are updated in place. It is the batched equivalent of
+// calling Step once per stream, and by construction produces bitwise
+// identical hidden states and probabilities: every output element is the
+// same mathx.Dot in the same order, only the loop nesting changes so that
+// each weight row is streamed from memory once per batch instead of once
+// per stream (one matrix-matrix pass per layer instead of n matrix-vector
+// passes).
+//
+// buf must come from NewBatchBuffer on this classifier with
+// MaxBatch() >= n, and must not be used concurrently.
+func (c *Classifier) StepBatch(buf *BatchBuffer, states []*State, inputs [][]float64, probs [][]float64) {
+	c.StepBatchLogits(buf, states, inputs, probs)
+	for i := range probs {
+		mathx.Softmax(probs[i], probs[i])
+	}
+}
+
+// StepBatchLogits is StepBatch without the final softmax: scores[i]
+// receives stream i's raw logit vector. Softmax is strictly monotone and
+// shared across one prediction, so top-k ranks computed over logits equal
+// ranks over probabilities; hot inference paths that only need ranks use
+// this variant to skip Classes() exponentials per stream per step.
+func (c *Classifier) StepBatchLogits(buf *BatchBuffer, states []*State, inputs [][]float64, scores [][]float64) {
+	n := len(states)
+	if n == 0 {
+		return
+	}
+	if len(inputs) != n || len(scores) != n {
+		panic(fmt.Sprintf("nn: batch size mismatch (states=%d inputs=%d scores=%d)",
+			n, len(inputs), len(scores)))
+	}
+	if n > buf.maxBatch {
+		panic(fmt.Sprintf("nn: batch of %d exceeds buffer capacity %d", n, buf.maxBatch))
+	}
+
+	xs := buf.xs[:n]
+	copy(xs, inputs)
+	for li, l := range c.Layers {
+		H := l.HiddenSize
+		z := buf.z[li][:n*numGates*H]
+		zu := buf.zu[li][:n*numGates*H]
+
+		// Gate pre-activations for the whole batch: z = X·Wᵀ + H_prev·Uᵀ + B.
+		// The two products run as separate overwriting GEMMs and combine
+		// elementwise in Step's exact order (Wx, then +Uh, then +B), so the
+		// SIMD kernel applies to both and the sums stay bitwise identical.
+		l.W.MulRowsT(z, xs)
+		for i := 0; i < n; i++ {
+			buf.xs[i] = states[i].h[li]
+		}
+		l.U.MulRowsT(zu, buf.xs[:n])
+		for i := 0; i < n; i++ {
+			row := z[i*numGates*H : (i+1)*numGates*H]
+			urow := zu[i*numGates*H : (i+1)*numGates*H]
+			for j := range row {
+				row[j] += urow[j]
+				row[j] += l.B[j]
+			}
+		}
+
+		// Activations and cell update, in place on each stream's state. The
+		// pre-activations for the whole layer are complete, so overwriting
+		// h/c here cannot feed back into this layer's gates.
+		for i := 0; i < n; i++ {
+			gates := z[i*numGates*H : (i+1)*numGates*H]
+			h, cc := states[i].h[li], states[i].c[li]
+			for j := 0; j < H; j++ {
+				gates[gateI*H+j] = mathx.Sigmoid(gates[gateI*H+j])
+				gates[gateF*H+j] = mathx.Sigmoid(gates[gateF*H+j])
+				gates[gateO*H+j] = mathx.Sigmoid(gates[gateO*H+j])
+				gates[gateG*H+j] = math.Tanh(gates[gateG*H+j])
+			}
+			for j := 0; j < H; j++ {
+				cj := gates[gateF*H+j]*cc[j] + gates[gateI*H+j]*gates[gateG*H+j]
+				cc[j] = cj
+				h[j] = gates[gateO*H+j] * math.Tanh(cj)
+			}
+			// The next layer reads this layer's fresh hidden vector.
+			buf.xs[i] = h
+		}
+	}
+
+	// Batched dense head: logits = H_top·Wᵀ + B.
+	K := c.Out.OutputSize
+	logits := buf.logits[:n*K]
+	c.Out.W.MulRowsT(logits, buf.xs[:n])
+	for i := 0; i < n; i++ {
+		row := logits[i*K : (i+1)*K]
+		for j := range row {
+			row[j] += c.Out.B[j]
+		}
+		copy(scores[i], row)
+	}
+}

@@ -121,6 +121,17 @@ func (s *State) Clone() *State {
 // Step advances the recurrent state with input x and writes the class
 // probability vector into probs (len = Classes()).
 func (c *Classifier) Step(state *State, x, probs []float64) {
+	c.StepLogits(state, x, probs)
+	mathx.Softmax(probs, probs)
+}
+
+// StepLogits is Step without the final softmax: scores receives the raw
+// logit vector. Softmax is monotone, so top-k ranking over logits agrees
+// with ranking over probabilities up to float rounding — and unlike
+// probabilities, distinct logits can never collapse into a tie, so
+// inference paths that only need ranks use this variant (it also skips
+// Classes() exponentials per step).
+func (c *Classifier) StepLogits(state *State, x, scores []float64) {
 	cur := x
 	for i, l := range c.Layers {
 		cache := l.stepForward(cur, state.h[i], state.c[i])
@@ -128,9 +139,7 @@ func (c *Classifier) Step(state *State, x, probs []float64) {
 		state.c[i] = cache.c
 		cur = cache.h
 	}
-	logits := make([]float64, c.Out.OutputSize)
-	c.Out.Forward(logits, cur)
-	mathx.Softmax(probs, logits)
+	c.Out.Forward(scores, cur)
 }
 
 // GradBuffer accumulates gradients for every parameter of a classifier. One
