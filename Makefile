@@ -1,11 +1,14 @@
 GO ?= go
 
-.PHONY: check build fmt vet test race race-quick bench bench-smoke
+.PHONY: check build fmt vet test race race-quick bench bench-smoke bench-train
 
-check: fmt vet test race-quick bench-smoke
+check: fmt vet build test race-quick bench-smoke
 
+# build also cross-compiles for arm64 so the non-SIMD kernel stubs
+# (gemm_noasm.go) stay in signature-lockstep with the amd64 assembly.
 build:
 	$(GO) build ./...
+	GOARCH=arm64 $(GO) build ./...
 
 fmt:
 	@unformatted=$$(gofmt -l .); \
@@ -36,3 +39,9 @@ bench:
 # still works and reports pkg/s without the full benchmark suite.
 bench-smoke:
 	$(GO) test -run=NONE -bench='BenchmarkEngineThroughput/engine/shards=8/streams=256' -benchtime=50x .
+
+# Training-throughput smoke: batched vs reference gradient engine at the
+# paper's 2x256 model scale (proves the bitwise equivalence untimed, then
+# reports windows/s for both engines).
+bench-train:
+	$(GO) test -run=NONE -bench=BenchmarkTrainThroughput -benchtime=2x .

@@ -33,8 +33,16 @@ type Config struct {
 	ThetaSeries float64
 	// MaxK bounds the top-k error curve (paper plots k ≤ 10).
 	MaxK int
-	// Fit configures the LSTM optimizer loop.
+	// Fit configures the LSTM optimizer loop, including the gradient
+	// engine (Fit.Trainer: batched by default, reference as the escape
+	// hatch — both produce bitwise-identical models).
 	Fit nn.TrainConfig
+	// Checkpoint, when non-nil, receives a provisional framework after
+	// every training epoch so long runs can be saved incrementally. The
+	// framework shares the live (partially trained) model and uses k=1
+	// until selection runs after the final epoch; the callback must not
+	// retain it across epochs.
+	Checkpoint func(epoch int, fw *Framework)
 	// Seed drives all randomness.
 	Seed uint64
 }
@@ -161,6 +169,21 @@ func Train(split *dataset.Split, cfg Config) (*Framework, *Report, error) {
 	seqs := BuildSequences(enc, ienc, db, split.Train, noise)
 	fit := cfg.Fit
 	fit.Seed = cfg.Seed ^ 0x7121
+	if cfg.Checkpoint != nil {
+		userEnd := fit.EpochEnd
+		fit.EpochEnd = func(st nn.EpochStats) {
+			if userEnd != nil {
+				userEnd(st)
+			}
+			cfg.Checkpoint(st.Epoch, &Framework{
+				Encoder: enc,
+				DB:      db,
+				Package: pkg,
+				Series:  &TimeSeriesDetector{Model: model, K: 1},
+				Input:   ienc,
+			})
+		}
+	}
 	loss, err := nn.Train(model, seqs, fit)
 	if err != nil {
 		return nil, nil, err

@@ -12,7 +12,25 @@ func cpuHasAVX() bool
 //go:noescape
 func gemm4avx(w *float64, stride, rows int, xt *float64, kn int, dst *float64, dstStride int, cont bool)
 
+// chain4avx is the AVX microkernel behind chain4 (gemm_amd64.s): four
+// accumulator chains (dst rows, stride c) advance over n vectorizable
+// columns, one rounded multiply-add per step per element, steps ascending.
+//
+//go:noescape
+func chain4avx(dst *float64, scal *float64, vp *float64, steps, n, c int)
+
 var hasAVX = cpuHasAVX()
+
+// SetSIMDEnabled force-disables (false) or re-enables (true, subject to CPU
+// support) the SIMD kernels, returning the previous state. It exists so
+// equivalence tests and benchmarks can cover both the assembly and the
+// pure-Go paths on the same machine; it is not safe to call concurrently
+// with kernel use.
+func SetSIMDEnabled(on bool) bool {
+	prev := hasAVX
+	hasAVX = on && cpuHasAVX()
+	return prev
+}
 
 // gemmChunkK is the packed-column chunk size: 4 lanes × 256 columns = 8 KB
 // of stack scratch per call.
@@ -44,6 +62,23 @@ func mulRows4SIMD(m *Matrix, dst []float64, x0, x1, x2, x3 []float64) bool {
 			xt[4*k+3] = x3[kc+k]
 		}
 		gemm4avx(&m.Data[kc], C, R, &xt[0], kn, &dst[0], R, kc > 0)
+	}
+	return true
+}
+
+// chain4SIMD runs the four-chain tile with the AVX microkernel, delegating
+// the column tail (c % 4) to the scalar tile; it reports false when AVX is
+// unavailable so chain4 falls back to pure Go.
+func chain4SIMD(dst []float64, scal, vp []float64, steps, c int) bool {
+	if !hasAVX || steps == 0 || c == 0 {
+		return false
+	}
+	n := c &^ 3
+	if n > 0 {
+		chain4avx(&dst[0], &scal[0], &vp[0], steps, n, c)
+	}
+	if n < c {
+		chain4cols(dst, scal, vp, steps, c, n)
 	}
 	return true
 }

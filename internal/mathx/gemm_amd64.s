@@ -116,3 +116,67 @@ store:
 done:
 	VZEROUPPER
 	RET
+
+// func chain4avx(dst *float64, scal *float64, vp *float64, steps, n, c int)
+//
+// Four accumulator chains advance together over the vectorizable columns
+// [0, n): for r = 0..3, j in a 4-wide ymm tile, acc(r,j) is loaded from
+// dst[r*c+j], then for each of steps rows acc += scal[4*s+r]*vp[s*c+j]
+// (VMULPD + VADDPD: one rounding per multiply and per add, no FMA, no
+// cross-lane reduction — the exact association of the scalar tile), and the
+// accumulators are stored back. n and c are in elements; n is a multiple of
+// four and the caller handles the c % 4 column tail.
+TEXT ·chain4avx(SB), NOSPLIT, $0-48
+	MOVQ dst+0(FP), DI
+	MOVQ scal+8(FP), DX
+	MOVQ vp+16(FP), SI
+	MOVQ steps+24(FP), R8
+	MOVQ n+32(FP), R9
+	SHLQ $3, R9                // vector-column end in bytes
+	MOVQ c+40(FP), R10
+	SHLQ $3, R10               // row stride in bytes
+	XORQ R13, R13              // j offset in bytes
+
+jloop:
+	CMPQ R13, R9
+	JGE  done
+	LEAQ (DI)(R13*1), AX       // row 0 tile
+	LEAQ (AX)(R10*1), R14      // row 1 tile; rows 2,3 via (R10*2)
+	VMOVUPD (AX), Y0
+	VMOVUPD (R14), Y1
+	VMOVUPD (AX)(R10*2), Y2
+	VMOVUPD (R14)(R10*2), Y3
+
+	MOVQ DX, BX                // scal walker
+	LEAQ (SI)(R13*1), CX       // vp walker
+	MOVQ R8, R12               // remaining steps
+
+sloop:
+	VMOVUPD      (CX), Y6
+	VBROADCASTSD (BX), Y4
+	VMULPD       Y6, Y4, Y5
+	VADDPD       Y5, Y0, Y0
+	VBROADCASTSD 8(BX), Y4
+	VMULPD       Y6, Y4, Y5
+	VADDPD       Y5, Y1, Y1
+	VBROADCASTSD 16(BX), Y4
+	VMULPD       Y6, Y4, Y5
+	VADDPD       Y5, Y2, Y2
+	VBROADCASTSD 24(BX), Y4
+	VMULPD       Y6, Y4, Y5
+	VADDPD       Y5, Y3, Y3
+	ADDQ $32, BX
+	ADDQ R10, CX
+	DECQ R12
+	JNZ  sloop
+
+	VMOVUPD Y0, (AX)
+	VMOVUPD Y1, (R14)
+	VMOVUPD Y2, (AX)(R10*2)
+	VMOVUPD Y3, (R14)(R10*2)
+	ADDQ $32, R13
+	JMP  jloop
+
+done:
+	VZEROUPPER
+	RET

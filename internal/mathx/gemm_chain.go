@@ -1,0 +1,168 @@
+package mathx
+
+import "fmt"
+
+// This file holds the two GEMM variants that back the batched training
+// pipeline, siblings of the inference-side MulRowsT:
+//
+//   - MulRows is the batched input-gradient product dY·W: one MulVecT per
+//     stream, restructured so four streams share every weight-row load.
+//   - AddOuterSeq is the weight-gradient accumulator ΔW += Σₛ uₛ·vₛᵀ: a
+//     sequence of rank-1 updates (Aᵀ·B-shaped when the uₛ/vₛ are stacked as
+//     matrices), restructured so the gradient matrix is streamed once per
+//     call instead of once per step.
+//
+// Both guarantee the same headline property as MulRowsT: every output
+// element is accumulated in exactly the reference primitive's association —
+// a strict sequential chain, one rounded multiply-add per step, no
+// data-dependent control flow — so the batched trainer that is built on
+// them produces bitwise-identical gradients (and therefore parameters) to
+// the per-window reference trainer. The speedup comes purely from loop
+// restructuring: a register tile of four independent chains advances
+// together, so each streamed vector element is loaded once per four chains
+// and the four accumulators hide floating-point add latency, while the
+// per-element math is unchanged.
+//
+// Both share one inner kernel, chain4: four chains with a common streamed
+// row sequence. On amd64 with AVX the kernel dispatches to chain4avx
+// (gemm_amd64.s); everywhere else (and for ragged tails) the pure-Go tile
+// below runs, with identical per-element arithmetic.
+
+// chainChunk bounds the packed scalar buffer of the chain kernels: 4 chains
+// x 256 steps = 8 KB of stack scratch per call, mirroring gemmChunkK.
+const chainChunk = 256
+
+// MulRows computes dst = X·m where the rows of X are the slices xs:
+// dst[i*m.Cols+j] = Σ_k xs[i][k]·m[k,j]. dst is row-major with stride
+// m.Cols and must have length len(xs)*m.Cols; every row of xs must have
+// length m.Rows.
+//
+// It is the batched form of MulVecT — the input-gradient product dY·W of
+// the backward pass, with the rows of X a batch of upstream gradients —
+// and is bitwise identical to calling MulVecT once per row of X: each
+// output element starts at zero and accumulates one rounded term per
+// weight row, rows ascending. Four streams advance together per weight
+// row, so each weight element is loaded once per four chains; that tiling
+// (not the arithmetic) is the source of the speedup.
+func (m *Matrix) MulRows(dst []float64, xs [][]float64) {
+	R, C := m.Rows, m.Cols
+	if len(dst) != len(xs)*C {
+		panic(fmt.Sprintf("mathx: gemm-T shape mismatch (%d rows of %d into %d)",
+			len(xs), C, len(dst)))
+	}
+	var scal [4 * chainChunk]float64
+	i := 0
+	for ; i+4 <= len(xs); i += 4 {
+		x0, x1, x2, x3 := xs[i][:R], xs[i+1][:R], xs[i+2][:R], xs[i+3][:R]
+		d := dst[i*C : (i+4)*C]
+		Fill(d, 0)
+		// Chunk over weight rows; the chain carries through dst between
+		// chunks, so the per-element association is unchanged.
+		for rc := 0; rc < R; rc += chainChunk {
+			rn := R - rc
+			if rn > chainChunk {
+				rn = chainChunk
+			}
+			for r := 0; r < rn; r++ {
+				scal[4*r] = x0[rc+r]
+				scal[4*r+1] = x1[rc+r]
+				scal[4*r+2] = x2[rc+r]
+				scal[4*r+3] = x3[rc+r]
+			}
+			chain4(d, scal[:4*rn], m.Data[rc*C:], rn, C)
+		}
+	}
+	for ; i < len(xs); i++ {
+		m.MulVecT(dst[i*C:(i+1)*C], xs[i])
+	}
+}
+
+// AddOuterSeq accumulates a sequence of outer products into m:
+// m[i,j] += Σ_s us[s*m.Rows+i] · vs[s*m.Cols+j], terms added strictly in
+// ascending s. us and vs are step-major flat buffers holding steps rows of
+// length m.Rows and m.Cols respectively.
+//
+// This is the weight-gradient kernel of the batched trainer (Aᵀ·B-shaped:
+// with U and V the stacked step matrices it computes m += Uᵀ·V), and it is
+// bitwise identical to calling AddOuter(1, u_s, v_s) once per step in the
+// same order: each element's terms are added one at a time onto the
+// existing value, with one rounding per multiply and per add. The batched
+// trainer feeds each window's timesteps in the reference order (t
+// descending), so the accumulated gradient matches the per-window
+// reference bitwise while streaming the gradient matrix once per window
+// instead of once per timestep.
+func (m *Matrix) AddOuterSeq(us, vs []float64, steps int) {
+	R, C := m.Rows, m.Cols
+	if len(us) < steps*R || len(vs) < steps*C {
+		panic(fmt.Sprintf("mathx: outer-seq shape mismatch (%d steps of %dx%d, have %dx%d)",
+			steps, R, C, len(us), len(vs)))
+	}
+	var scal [4 * chainChunk]float64
+	i := 0
+	for ; i+4 <= R; i += 4 {
+		rows := m.Data[i*C : (i+4)*C]
+		// Chunk over steps; the chain carries through m between chunks.
+		for sc := 0; sc < steps; sc += chainChunk {
+			sn := steps - sc
+			if sn > chainChunk {
+				sn = chainChunk
+			}
+			for s := 0; s < sn; s++ {
+				base := (sc+s)*R + i
+				scal[4*s] = us[base]
+				scal[4*s+1] = us[base+1]
+				scal[4*s+2] = us[base+2]
+				scal[4*s+3] = us[base+3]
+			}
+			chain4(rows, scal[:4*sn], vs[sc*C:], sn, C)
+		}
+	}
+	// Tail rows (R not a multiple of 4): one chain at a time, same
+	// association.
+	for ; i < R; i++ {
+		row := m.Data[i*C : (i+1)*C]
+		for s := 0; s < steps; s++ {
+			a := us[s*R+i]
+			v := vs[s*C : s*C+C]
+			for j, x := range v {
+				row[j] += a * x
+			}
+		}
+	}
+}
+
+// chain4 advances four accumulator chains together: for r = 0..3 and
+// j = 0..c-1, dst[r*c+j] += Σ_s scal[4*s+r]·vp[s*c+j], each element's terms
+// added one at a time in ascending s. dst holds the four chains
+// contiguously (stride c); vp holds the streamed rows contiguously
+// (stride c).
+func chain4(dst []float64, scal, vp []float64, steps, c int) {
+	if chain4SIMD(dst, scal, vp, steps, c) {
+		return
+	}
+	chain4cols(dst, scal, vp, steps, c, 0)
+}
+
+// chain4cols is the pure-Go chain tile, covering columns [j0, c). Each
+// element update is a single mul-add expression — the same shape as Axpy's
+// inner statement — so scalar and SIMD paths round identically.
+func chain4cols(dst []float64, scal, vp []float64, steps, c, j0 int) {
+	if c == 0 {
+		return
+	}
+	d0 := dst[0:c]
+	d1 := dst[c : 2*c]
+	d2 := dst[2*c : 3*c]
+	d3 := dst[3*c : 4*c]
+	for s := 0; s < steps; s++ {
+		a0, a1, a2, a3 := scal[4*s], scal[4*s+1], scal[4*s+2], scal[4*s+3]
+		row := vp[s*c : s*c+c]
+		for j := j0; j < c; j++ {
+			x := row[j]
+			d0[j] += a0 * x
+			d1[j] += a1 * x
+			d2[j] += a2 * x
+			d3[j] += a3 * x
+		}
+	}
+}

@@ -1,0 +1,174 @@
+package mathx
+
+import "testing"
+
+// TestMulRowsMatchesMulVecT: the batched input-gradient GEMM must be
+// bitwise identical to one MulVecT per stream — the association the batched
+// trainer's bitwise-equivalence guarantee rests on.
+func TestMulRowsMatchesMulVecT(t *testing.T) {
+	rng := NewRNG(11)
+	for trial := 0; trial < 40; trial++ {
+		rows, cols := 1+rng.Intn(24), 1+rng.Intn(24)
+		n := rng.Intn(10)
+		m := randomMatrix(rng, rows, cols)
+		xs := make([][]float64, n)
+		for i := range xs {
+			xs[i] = randomVec(rng, rows)
+		}
+		got := make([]float64, n*cols)
+		m.MulRows(got, xs)
+		for i := 0; i < n; i++ {
+			want := make([]float64, cols)
+			m.MulVecT(want, xs[i])
+			for j := range want {
+				if got[i*cols+j] != want[j] {
+					t.Fatalf("MulRows stream %d element %d = %v, MulVecT gives %v (m %dx%d)",
+						i, j, got[i*cols+j], want[j], rows, cols)
+				}
+			}
+		}
+	}
+}
+
+// TestMulRowsLargeRows exercises the chunking path (weight rows beyond one
+// packed chunk) plus odd column tails, still requiring bitwise equality.
+func TestMulRowsLargeRows(t *testing.T) {
+	rng := NewRNG(12)
+	m := randomMatrix(rng, 3*chainChunk+5, 37)
+	xs := make([][]float64, 6)
+	for i := range xs {
+		xs[i] = randomVec(rng, m.Rows)
+	}
+	got := make([]float64, len(xs)*m.Cols)
+	m.MulRows(got, xs)
+	for i, x := range xs {
+		want := make([]float64, m.Cols)
+		m.MulVecT(want, x)
+		for j := range want {
+			if got[i*m.Cols+j] != want[j] {
+				t.Fatalf("MulRows[%d][%d] = %v, MulVecT gives %v", i, j, got[i*m.Cols+j], want[j])
+			}
+		}
+	}
+}
+
+// TestAddOuterSeqMatchesAddOuter: the weight-gradient accumulator must be
+// bitwise identical to a sequence of rank-1 AddOuter updates in the same
+// order, starting from an arbitrary (non-zero) matrix.
+func TestAddOuterSeqMatchesAddOuter(t *testing.T) {
+	rng := NewRNG(13)
+	for trial := 0; trial < 40; trial++ {
+		rows, cols := 1+rng.Intn(24), 1+rng.Intn(24)
+		steps := rng.Intn(12)
+		ref := randomMatrix(rng, rows, cols)
+		got := ref.Clone()
+		us := randomVec(rng, steps*rows)
+		vs := randomVec(rng, steps*cols)
+		for s := 0; s < steps; s++ {
+			ref.AddOuter(1, us[s*rows:(s+1)*rows], vs[s*cols:(s+1)*cols])
+		}
+		got.AddOuterSeq(us, vs, steps)
+		for i := range ref.Data {
+			if got.Data[i] != ref.Data[i] {
+				t.Fatalf("AddOuterSeq element %d = %v, AddOuter sequence gives %v (m %dx%d steps %d)",
+					i, got.Data[i], ref.Data[i], rows, cols, steps)
+			}
+		}
+	}
+}
+
+// TestAddOuterSeqLongChain exercises the step-chunking path (steps beyond
+// one packed chunk).
+func TestAddOuterSeqLongChain(t *testing.T) {
+	rng := NewRNG(14)
+	rows, cols := 9, 21
+	steps := chainChunk + 37
+	ref := randomMatrix(rng, rows, cols)
+	got := ref.Clone()
+	us := randomVec(rng, steps*rows)
+	vs := randomVec(rng, steps*cols)
+	for s := 0; s < steps; s++ {
+		ref.AddOuter(1, us[s*rows:(s+1)*rows], vs[s*cols:(s+1)*cols])
+	}
+	got.AddOuterSeq(us, vs, steps)
+	for i := range ref.Data {
+		if got.Data[i] != ref.Data[i] {
+			t.Fatalf("element %d diverged after %d chained steps", i, steps)
+		}
+	}
+}
+
+// TestChainKernelScalarVsSIMD pins the SIMD microkernel to the scalar tile
+// bitwise, on machines where the SIMD path exists.
+func TestChainKernelScalarVsSIMD(t *testing.T) {
+	if !SetSIMDEnabled(true) {
+		SetSIMDEnabled(false)
+		t.Skip("no SIMD kernel on this platform")
+	}
+	defer SetSIMDEnabled(true)
+	rng := NewRNG(15)
+	for trial := 0; trial < 20; trial++ {
+		rows, cols := 1+rng.Intn(30), 1+rng.Intn(30)
+		n := 4 + rng.Intn(8)
+		steps := 1 + rng.Intn(20)
+		m := randomMatrix(rng, rows, cols)
+
+		xs := make([][]float64, n)
+		for i := range xs {
+			xs[i] = randomVec(rng, rows)
+		}
+		us := randomVec(rng, steps*rows)
+		vs := randomVec(rng, steps*cols)
+
+		SetSIMDEnabled(true)
+		mulSIMD := make([]float64, n*cols)
+		m.MulRows(mulSIMD, xs)
+		accSIMD := m.Clone()
+		accSIMD.AddOuterSeq(us, vs, steps)
+
+		SetSIMDEnabled(false)
+		mulScalar := make([]float64, n*cols)
+		m.MulRows(mulScalar, xs)
+		accScalar := m.Clone()
+		accScalar.AddOuterSeq(us, vs, steps)
+
+		for i := range mulSIMD {
+			if mulSIMD[i] != mulScalar[i] {
+				t.Fatalf("MulRows SIMD/scalar divergence at %d (m %dx%d n=%d)", i, rows, cols, n)
+			}
+		}
+		for i := range accSIMD.Data {
+			if accSIMD.Data[i] != accScalar.Data[i] {
+				t.Fatalf("AddOuterSeq SIMD/scalar divergence at %d (m %dx%d steps=%d)", i, rows, cols, steps)
+			}
+		}
+	}
+}
+
+func TestChainKernelEmptyInputs(t *testing.T) {
+	m := NewMatrix(4, 3)
+	m.MulRows(nil, nil)        // zero streams is a no-op
+	m.AddOuterSeq(nil, nil, 0) // zero steps is a no-op
+	for _, v := range m.Data {
+		if v != 0 {
+			t.Fatal("no-op mutated the matrix")
+		}
+	}
+}
+
+func TestChainKernelShapePanics(t *testing.T) {
+	m := NewMatrix(2, 3)
+	for name, fn := range map[string]func(){
+		"MulRows":     func() { m.MulRows(make([]float64, 2), [][]float64{make([]float64, 2)}) },
+		"AddOuterSeq": func() { m.AddOuterSeq(make([]float64, 1), make([]float64, 3), 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s with bad shape did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

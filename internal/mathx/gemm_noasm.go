@@ -7,3 +7,15 @@ package mathx
 func mulRows4SIMD(m *Matrix, dst []float64, x0, x1, x2, x3 []float64) bool {
 	return false
 }
+
+// chain4SIMD reports that no SIMD kernel is available on this architecture;
+// chain4 falls back to the scalar tile.
+func chain4SIMD(dst []float64, scal, vp []float64, steps, c int) bool {
+	return false
+}
+
+// SetSIMDEnabled is a no-op without SIMD kernels; it reports false (the
+// previous — and only — state).
+func SetSIMDEnabled(on bool) bool {
+	return false
+}

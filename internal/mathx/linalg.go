@@ -86,6 +86,12 @@ func (m *Matrix) MulVecAdd(dst, x []float64) {
 
 // MulVecT computes dst = mᵀ * x, i.e. dst[j] = Σ_i m[i,j]*x[i]. dst must have
 // length m.Cols and x length m.Rows. Used for gradient backpropagation.
+//
+// Every output element is a plain sequential chain — dst[j] starts at zero
+// and one rounded term x[i]*m[i,j] is added per row, i ascending, with no
+// data-dependent skips. MulRows reproduces exactly this association for a
+// batch of x vectors, which is what makes the batched trainer bitwise
+// identical to the per-window reference.
 func (m *Matrix) MulVecT(dst, x []float64) {
 	if len(x) != m.Rows || len(dst) != m.Cols {
 		panic(fmt.Sprintf("mathx: gemv-T shape mismatch (%dx%d by %d into %d)",
@@ -95,12 +101,8 @@ func (m *Matrix) MulVecT(dst, x []float64) {
 		dst[j] = 0
 	}
 	for i := 0; i < m.Rows; i++ {
-		xi := x[i]
-		if xi == 0 {
-			continue
-		}
 		row := m.Data[i*m.Cols : (i+1)*m.Cols]
-		Axpy(dst, xi, row)
+		Axpy(dst, x[i], row)
 	}
 }
 
@@ -177,18 +179,19 @@ func (m *Matrix) MulRowsT(dst []float64, xs [][]float64) {
 
 // AddOuter accumulates the outer product a*u*vᵀ into m:
 // m[i,j] += a*u[i]*v[j]. Used for weight-gradient accumulation.
+//
+// Like MulVecT this is a pure sequential per-element chain (one rounded
+// fl(a*u[i]) * v[j] added per call, no data-dependent skips), so a sequence
+// of AddOuter calls has a well-defined association that AddOuterSeq can
+// reproduce bitwise.
 func (m *Matrix) AddOuter(a float64, u, v []float64) {
 	if len(u) != m.Rows || len(v) != m.Cols {
 		panic(fmt.Sprintf("mathx: outer shape mismatch (%dx%d vs %dx%d)",
 			m.Rows, m.Cols, len(u), len(v)))
 	}
 	for i, ui := range u {
-		s := a * ui
-		if s == 0 {
-			continue
-		}
 		row := m.Data[i*m.Cols : (i+1)*m.Cols]
-		Axpy(row, s, v)
+		Axpy(row, a*ui, v)
 	}
 }
 

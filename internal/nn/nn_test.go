@@ -248,6 +248,72 @@ func TestMakeWindows(t *testing.T) {
 	}
 }
 
+func TestMakeWindowsEdgeCases(t *testing.T) {
+	mk := func(n int) Sequence {
+		return Sequence{Inputs: make([][]float64, n), Targets: make([]int, n)}
+	}
+	// Exact multiples produce only full windows, no empty remainder.
+	ws := MakeWindows([]Sequence{mk(64)}, 32)
+	if len(ws) != 2 || len(ws[0].Inputs) != 32 || len(ws[1].Inputs) != 32 {
+		t.Errorf("exact multiple: got %d windows", len(ws))
+	}
+	// Empty input and empty sequences yield no windows.
+	if ws := MakeWindows(nil, 32); len(ws) != 0 {
+		t.Errorf("nil sequences produced %d windows", len(ws))
+	}
+	if ws := MakeWindows([]Sequence{mk(0)}, 32); len(ws) != 0 {
+		t.Errorf("empty sequence produced %d windows", len(ws))
+	}
+	// Sequences entirely shorter than 2 are dropped...
+	if ws := MakeWindows([]Sequence{mk(1)}, 32); len(ws) != 0 {
+		t.Errorf("length-1 sequence produced %d windows", len(ws))
+	}
+	// ...while a length-2 sequence is the smallest trainable window.
+	if ws := MakeWindows([]Sequence{mk(2)}, 32); len(ws) != 1 || len(ws[0].Inputs) != 2 {
+		t.Errorf("length-2 sequence: %d windows", len(ws))
+	}
+	// Window length 2 over an odd sequence: 5 = 2+2+1, last dropped.
+	if ws := MakeWindows([]Sequence{mk(5)}, 2); len(ws) != 2 {
+		t.Errorf("5 steps at window 2: %d windows, want 2", len(ws))
+	}
+	// Windows alias the parent sequence rather than copying it.
+	parent := mk(4)
+	for i := range parent.Inputs {
+		parent.Inputs[i] = []float64{float64(i)}
+	}
+	ws = MakeWindows([]Sequence{parent}, 2)
+	if &ws[1].Inputs[0][0] != &parent.Inputs[2][0] {
+		t.Error("windows copied inputs instead of aliasing")
+	}
+}
+
+// TestAdamStepDeterminism: identical parameter/gradient histories must
+// produce bitwise-identical parameters — the optimizer-side half of the
+// trainer equivalence invariant.
+func TestAdamStepDeterminism(t *testing.T) {
+	run := func() []float64 {
+		opt := NewAdam(3e-3)
+		params := []Param{{Name: "w", Data: make([]float64, 13)}}
+		g := mathx.NewRNG(99)
+		for iter := 0; iter < 50; iter++ {
+			grad := make([]float64, 13)
+			for i := range grad {
+				grad[i] = g.NormScaled(0, 1)
+			}
+			if err := opt.Step(params, [][]float64{grad}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return params[0].Data
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("Adam diverged at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
 func TestAdamConvergesOnQuadratic(t *testing.T) {
 	// Minimize f(w) = Σ (w_i - i)² with Adam.
 	target := []float64{0, 1, 2, 3}

@@ -25,9 +25,11 @@ func makeCyclicData(rng *mathx.RNG, classes, frags, length int) []Sequence {
 }
 
 // TestWorkerCountEquivalence: gradients are summed over the batch before
-// the optimizer step, so the trained model must be identical regardless of
-// the worker count (bitwise equality is too strict with float reordering;
-// the loss must agree closely and predictions must match).
+// the optimizer step, so the reference trainer must produce an equivalent
+// model regardless of the worker count (bitwise equality is too strict with
+// float reordering across workers; the loss must agree closely and
+// predictions must match). The batched trainer has the stronger bitwise
+// guarantee, covered in trainbatch_test.go.
 func TestWorkerCountEquivalence(t *testing.T) {
 	rng := mathx.NewRNG(13)
 	data := makeCyclicData(rng, 5, 4, 60)
@@ -39,7 +41,7 @@ func TestWorkerCountEquivalence(t *testing.T) {
 		}
 		loss, err := Train(c, data, TrainConfig{
 			Epochs: 5, Window: 20, BatchSize: 4, LR: 3e-3, ClipNorm: 5,
-			Seed: 7, Workers: workers,
+			Seed: 7, Workers: workers, Trainer: TrainerReference,
 		})
 		if err != nil {
 			t.Fatal(err)

@@ -1,0 +1,217 @@
+package nn
+
+import (
+	"testing"
+
+	"icsdetect/internal/mathx"
+)
+
+// trainTwin builds two identically initialized classifiers and trains one
+// with the given trainer kind, returning the model and final loss.
+func trainTwin(t *testing.T, data []Sequence, cfg TrainConfig, kind TrainerKind) (*Classifier, float64) {
+	t.Helper()
+	c, err := NewClassifier(7, []int{10, 8}, 6, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Trainer = kind
+	loss, err := Train(c, data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, loss
+}
+
+// ragged training data: mixed fragment lengths (remainder windows, one
+// dropped length-1 remainder at window 9), sprinkled negative targets.
+func raggedData(rng *mathx.RNG, inputs, classes int) []Sequence {
+	var out []Sequence
+	for _, length := range []int{23, 18, 4, 28, 11} {
+		seq := Sequence{}
+		for i := 0; i < length; i++ {
+			x := make([]float64, inputs)
+			x[rng.Intn(inputs)] = 1
+			if rng.Bernoulli(0.3) {
+				x[rng.Intn(inputs)] = 1
+			}
+			seq.Inputs = append(seq.Inputs, x)
+			tgt := rng.Intn(classes)
+			if rng.Bernoulli(0.15) {
+				tgt = -1 // unscored step: no loss, state still advances
+			}
+			seq.Targets = append(seq.Targets, tgt)
+		}
+		out = append(out, seq)
+	}
+	return out
+}
+
+// TestBatchedTrainerBitwiseEqualsReference is the headline invariant of the
+// batched training pipeline: for the same seed and window order, the
+// batched trainer must produce bitwise-identical parameters (and losses) to
+// the sequential reference trainer, across multiple epochs with gradient
+// clipping, LR decay, ragged windows, and skipped targets — on both the
+// SIMD and the pure-Go kernel paths.
+func TestBatchedTrainerBitwiseEqualsReference(t *testing.T) {
+	run := func(t *testing.T) {
+		rng := mathx.NewRNG(21)
+		data := raggedData(rng, 7, 6)
+		cfg := TrainConfig{
+			Epochs: 4, Window: 9, BatchSize: 3, LR: 3e-3, ClipNorm: 1.5,
+			LRDecayEpoch: 2, LRDecayFactor: 0.5, Seed: 5, Workers: 1,
+		}
+		ref, refLoss := trainTwin(t, data, cfg, TrainerReference)
+		bat, batLoss := trainTwin(t, data, cfg, TrainerBatched)
+
+		if refLoss != batLoss {
+			t.Errorf("final losses diverge: reference %v, batched %v", refLoss, batLoss)
+		}
+		rp, bp := ref.Params(), bat.Params()
+		for i := range rp {
+			for j := range rp[i].Data {
+				if rp[i].Data[j] != bp[i].Data[j] {
+					t.Fatalf("parameter %s[%d] diverged: reference %v, batched %v",
+						rp[i].Name, j, rp[i].Data[j], bp[i].Data[j])
+				}
+			}
+		}
+	}
+	t.Run("simd", run)
+	t.Run("scalar", func(t *testing.T) {
+		prev := mathx.SetSIMDEnabled(false)
+		defer mathx.SetSIMDEnabled(prev)
+		run(t)
+	})
+}
+
+// TestBatchedTrainerGradientsMatchReference compares a single minibatch's
+// raw gradient buffer (before any optimizer state is involved), including
+// batch widths that exercise the 4-wide kernel tiles and their tails.
+func TestBatchedTrainerGradientsMatchReference(t *testing.T) {
+	rng := mathx.NewRNG(31)
+	for _, nWin := range []int{1, 3, 4, 7} {
+		c, err := NewClassifier(5, []int{9, 6}, 4, 13)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var batch []Sequence
+		for i := 0; i < nWin; i++ {
+			seq := raggedData(rng, 5, 4)[0]
+			batch = append(batch, Sequence{Inputs: seq.Inputs[:6+i], Targets: seq.Targets[:6+i]})
+		}
+
+		ref := c.NewGradBuffer()
+		var refLoss float64
+		var refSteps int
+		for i := range batch {
+			loss, steps := c.lossForwardBackward(&batch[i], ref)
+			refLoss += loss
+			refSteps += steps
+		}
+
+		bt := newBatchTrainer(c, len(batch), 16)
+		batLoss, batSteps := bt.run(batch)
+
+		if refLoss != batLoss || refSteps != batSteps {
+			t.Errorf("nWin=%d: loss/steps diverge: reference (%v, %d), batched (%v, %d)",
+				nWin, refLoss, refSteps, batLoss, batSteps)
+		}
+		if ref.Steps != bt.grads.Steps {
+			t.Errorf("nWin=%d: GradBuffer.Steps %d vs %d", nWin, ref.Steps, bt.grads.Steps)
+		}
+		rs, bs := ref.Slices(), bt.grads.Slices()
+		for i := range rs {
+			for j := range rs[i] {
+				if rs[i][j] != bs[i][j] {
+					t.Fatalf("nWin=%d: gradient tensor %d element %d diverged: %v vs %v",
+						nWin, i, j, rs[i][j], bs[i][j])
+				}
+			}
+		}
+	}
+}
+
+// TestBatchedTrainerDeterministic: two identical batched runs must agree
+// bitwise (the property the reference trainer only has with Workers=1).
+func TestBatchedTrainerDeterministic(t *testing.T) {
+	rng := mathx.NewRNG(41)
+	data := raggedData(rng, 7, 6)
+	cfg := TrainConfig{Epochs: 3, Window: 8, BatchSize: 4, LR: 2e-3, ClipNorm: 5, Seed: 9}
+	a, lossA := trainTwin(t, data, cfg, TrainerBatched)
+	b, lossB := trainTwin(t, data, cfg, TrainerBatched)
+	if lossA != lossB {
+		t.Errorf("losses diverge across identical runs: %v vs %v", lossA, lossB)
+	}
+	ap, bp := a.Params(), b.Params()
+	for i := range ap {
+		for j := range ap[i].Data {
+			if ap[i].Data[j] != bp[i].Data[j] {
+				t.Fatalf("parameter %s[%d] diverged across identical runs", ap[i].Name, j)
+			}
+		}
+	}
+}
+
+func TestTrainRejectsUnknownTrainer(t *testing.T) {
+	c, _ := NewClassifier(3, []int{4}, 2, 1)
+	_, err := Train(c, []Sequence{{
+		Inputs:  [][]float64{{1, 0, 0}, {0, 1, 0}},
+		Targets: []int{0, 1},
+	}}, TrainConfig{Trainer: "turbo"})
+	if err == nil {
+		t.Error("unknown trainer accepted")
+	}
+}
+
+func TestParseTrainer(t *testing.T) {
+	for in, want := range map[string]TrainerKind{
+		"":          TrainerBatched,
+		"batched":   TrainerBatched,
+		"reference": TrainerReference,
+	} {
+		got, err := ParseTrainer(in)
+		if err != nil || got != want {
+			t.Errorf("ParseTrainer(%q) = (%v, %v), want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseTrainer("warp"); err == nil {
+		t.Error("ParseTrainer accepted garbage")
+	}
+}
+
+// TestEpochEndStats: the per-epoch callback reports coherent counts and
+// wall time alongside Progress.
+func TestEpochEndStats(t *testing.T) {
+	rng := mathx.NewRNG(51)
+	data := raggedData(rng, 7, 6)
+	var stats []EpochStats
+	c, _ := NewClassifier(7, []int{6}, 6, 2)
+	_, err := Train(c, data, TrainConfig{
+		Epochs: 3, Window: 8, BatchSize: 4, Seed: 1,
+		EpochEnd: func(s EpochStats) { stats = append(stats, s) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) != 3 {
+		t.Fatalf("EpochEnd called %d times, want 3", len(stats))
+	}
+	wantWindows := len(MakeWindows(data, 8))
+	for i, s := range stats {
+		if s.Epoch != i+1 || s.Epochs != 3 {
+			t.Errorf("epoch %d: numbering %d/%d", i, s.Epoch, s.Epochs)
+		}
+		if s.Windows != wantWindows {
+			t.Errorf("epoch %d: %d windows, want %d", i, s.Windows, wantWindows)
+		}
+		if s.Steps <= 0 || s.Duration < 0 {
+			t.Errorf("epoch %d: implausible stats %+v", i, s)
+		}
+	}
+	if stats[0].WindowsPerSec() < 0 {
+		t.Error("negative throughput")
+	}
+	if (EpochStats{Windows: 5}).WindowsPerSec() != 0 {
+		t.Error("zero-duration throughput not guarded")
+	}
+}

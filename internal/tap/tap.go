@@ -122,11 +122,32 @@ func (p *Proxy) Listen(addr string) (string, error) {
 
 // SetSink streams every decoded package to fn (called from relay
 // goroutines; fn must be safe for concurrent use or the tap must serve one
-// client). Packages are still buffered for Drain unless a sink is set.
+// client). Any packages already buffered for Drain are first flushed to fn
+// in arrival order, so switching from polling (Drain) to streaming loses
+// nothing and never mixes the two delivery modes: packages recorded while
+// the flush is in progress keep buffering and are drained before the sink
+// is installed, so buffered packages are always delivered ahead of live
+// ones. The flush calls fn outside the package lock — like live delivery —
+// so a slow sink delays only delivery, never frame relaying. fn must not
+// call SetSink. Passing nil reverts to buffering.
 func (p *Proxy) SetSink(fn func(*dataset.Package)) {
 	p.pkgMu.Lock()
-	defer p.pkgMu.Unlock()
+	if fn == nil {
+		p.sink = nil
+		p.pkgMu.Unlock()
+		return
+	}
+	for len(p.packages) > 0 {
+		buffered := p.packages
+		p.packages = nil
+		p.pkgMu.Unlock()
+		for _, pkg := range buffered {
+			fn(pkg)
+		}
+		p.pkgMu.Lock()
+	}
 	p.sink = fn
+	p.pkgMu.Unlock()
 }
 
 func (p *Proxy) acceptLoop(ln net.Listener) {

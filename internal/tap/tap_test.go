@@ -107,6 +107,61 @@ func TestProxySink(t *testing.T) {
 	}
 }
 
+// TestSetSinkFlushesBuffered: packages recorded before a sink is installed
+// must be delivered to it on installation, in arrival order, ahead of live
+// traffic — not stranded in the Drain buffer.
+func TestSetSinkFlushesBuffered(t *testing.T) {
+	_, proxy, client := startStack(t)
+
+	// Two packages (command + ack) buffered with no sink installed.
+	if err := client.WriteSingleRegister(0, 700); err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan *dataset.Package, 16)
+	proxy.SetSink(func(p *dataset.Package) {
+		// The flush runs outside the package lock, so a sink touching the
+		// proxy (or blocking briefly) cannot stall frame relaying.
+		proxy.Drain()
+		got <- p
+	})
+
+	// The buffered pair arrives immediately, command first.
+	first := <-got
+	if first.CmdResponse != 1 {
+		t.Errorf("flushed packages out of order: first has CmdResponse=%v", first.CmdResponse)
+	}
+	<-got
+	if pkgs := proxy.Drain(); len(pkgs) != 0 {
+		t.Errorf("drain returned %d packages after flush", len(pkgs))
+	}
+
+	// Live traffic keeps streaming to the same sink.
+	if err := client.WriteSingleRegister(1, 45); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		select {
+		case <-got:
+		case <-time.After(2 * time.Second):
+			t.Fatal("sink did not receive live packages after flush")
+		}
+	}
+
+	// Reverting to nil buffers again; a later sink flushes that too.
+	proxy.SetSink(nil)
+	if err := client.WriteSingleRegister(2, 9); err != nil {
+		t.Fatal(err)
+	}
+	proxy.SetSink(func(p *dataset.Package) { got <- p })
+	for i := 0; i < 2; i++ {
+		select {
+		case <-got:
+		case <-time.After(2 * time.Second):
+			t.Fatal("re-installed sink did not flush buffered packages")
+		}
+	}
+}
+
 func TestRegisterMapPartialPayload(t *testing.T) {
 	m := DefaultRegisterMap()
 	p := &dataset.Package{}
