@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: check build fmt vet test race race-quick bench bench-smoke bench-train
+.PHONY: check build fmt vet test race race-quick bench bench-smoke bench-train fuzz-smoke
 
-check: fmt vet build test race-quick bench-smoke
+check: fmt vet build test race-quick fuzz-smoke bench-smoke
 
 # build also cross-compiles for arm64 so the non-SIMD kernel stubs
 # (gemm_noasm.go) stay in signature-lockstep with the amd64 assembly.
@@ -28,12 +28,23 @@ test:
 race:
 	$(GO) test -race ./...
 
+# The -short sweep already covers internal/trace and the root golden-trace
+# conformance tests under -race (neither Short-skips); the explicit
+# conformance line below guards that coverage against a future Short-gate.
 race-quick:
 	$(GO) test -race -short ./...
 	$(GO) test -race ./internal/engine/
+	$(GO) test -race -run 'TestTraceConformance' .
 
 bench:
 	$(GO) test -run=NONE -bench=. -benchmem .
+
+# Short coverage-guided runs of the Modbus codec fuzzers, seeded from the
+# golden corpus frames (decode→encode must stay stable, no panics on
+# arbitrary bytes).
+fuzz-smoke:
+	$(GO) test ./internal/modbus/ -run=NONE -fuzz=FuzzPDUDecode -fuzztime=5s
+	$(GO) test ./internal/modbus/ -run=NONE -fuzz=FuzzFrameDecode -fuzztime=5s
 
 # A quick engine-throughput smoke: proves the batched multi-stream path
 # still works and reports pkg/s without the full benchmark suite.

@@ -14,7 +14,9 @@
 package icsdetect_test
 
 import (
+	"bytes"
 	"fmt"
+	"os"
 	"strings"
 	"sync"
 	"testing"
@@ -27,6 +29,7 @@ import (
 	"icsdetect/internal/gaspipeline"
 	"icsdetect/internal/nn"
 	"icsdetect/internal/signature"
+	"icsdetect/internal/trace"
 )
 
 var (
@@ -610,4 +613,139 @@ func BenchmarkAblationDynamicK(b *testing.B) {
 	}
 	b.ReportMetric(fixedF1, "f1/fixedK")
 	b.ReportMetric(dynF1, "f1/dynamicK")
+}
+
+// ---- Trace replay throughput -----------------------------------------------
+
+// replayBenchEnv builds the replay benchmark fixture once: the committed
+// corpus model plus an in-memory recorded trace of benchReplayCycles poll
+// cycles (mixed normal + attack traffic).
+var (
+	replayOnce   sync.Once
+	replayFW     *core.Framework
+	replayHeader trace.Header
+	replayRecs   []*trace.Record
+	replayErr    error
+)
+
+const benchReplayCycles = 1000
+
+// benchReplayScript drives the scenario both the recorded-trace and the
+// live-simulation variants of the benchmark replay: routine polling with
+// periodic attack episodes.
+func benchReplayScript(sim *gaspipeline.Simulator) {
+	for c := 0; c < benchReplayCycles/10; c++ {
+		for i := 0; i < 8; i++ {
+			sim.RunNormalCycle(dataset.Normal)
+		}
+		switch c % 4 {
+		case 0:
+			sim.RunNMRIEpisode(1)
+		case 1:
+			sim.RunMPCIEpisode(1)
+		case 2:
+			sim.RunDoSEpisode(1)
+		case 3:
+			sim.RunReconEpisode(3)
+		}
+	}
+}
+
+func replayBenchEnv(b *testing.B) (*core.Framework, trace.Header, []*trace.Record) {
+	b.Helper()
+	replayOnce.Do(func() {
+		f, err := os.Open("testdata/traces/model.fw")
+		if err != nil {
+			replayErr = err
+			return
+		}
+		defer f.Close()
+		if replayFW, replayErr = core.Load(f); replayErr != nil {
+			return
+		}
+		cfg := gaspipeline.DefaultSimConfig()
+		cfg.Seed = 77
+		sim, err := gaspipeline.NewSimulator(cfg)
+		if err != nil {
+			replayErr = err
+			return
+		}
+		var buf bytes.Buffer
+		rec, err := trace.NewRecorder(&buf, trace.SimHeader("bench", ""))
+		if err != nil {
+			replayErr = err
+			return
+		}
+		sim.SetFrameSink(rec.RecordSim)
+		benchReplayScript(sim)
+		if replayErr = rec.Flush(); replayErr != nil {
+			return
+		}
+		replayHeader, replayRecs, replayErr = trace.ReadAll(bytes.NewReader(buf.Bytes()))
+	})
+	if replayErr != nil {
+		b.Fatalf("build replay bench fixture: %v", replayErr)
+	}
+	return replayFW, replayHeader, replayRecs
+}
+
+// BenchmarkReplayThroughput compares the recorded-trace workload against
+// the live-simulation path on identical traffic: "replay" decodes wire
+// frames from an in-memory trace and classifies them (sequential session or
+// batched engine), "live" runs the gas-pipeline simulator and classifies
+// its packages as they are produced. The trace acceptance bar is replay ≥
+// live: a recorded corpus must never be slower to evaluate than
+// re-simulating the scenario.
+func BenchmarkReplayThroughput(b *testing.B) {
+	fw, header, recs := replayBenchEnv(b)
+
+	b.Run("replay/session", func(b *testing.B) {
+		var pkgs int
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := trace.Replay(fw, header, recs, trace.ReplayConfig{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			pkgs = len(res.Verdicts)
+		}
+		b.ReportMetric(float64(pkgs)*float64(b.N)/b.Elapsed().Seconds(), "pkg/s")
+	})
+
+	b.Run("replay/engine", func(b *testing.B) {
+		var pkgs int
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := trace.Replay(fw, header, recs, trace.ReplayConfig{
+				Engine: &engine.Config{Shards: 1, MaxBatch: 64},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			pkgs = len(res.Verdicts)
+		}
+		b.ReportMetric(float64(pkgs)*float64(b.N)/b.Elapsed().Seconds(), "pkg/s")
+	})
+
+	b.Run("live/session", func(b *testing.B) {
+		var pkgs int
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			cfg := gaspipeline.DefaultSimConfig()
+			cfg.Seed = 77
+			sim, err := gaspipeline.NewSimulator(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sess := fw.NewSession()
+			n := 0
+			sim.SetFrameSink(func(gaspipeline.Frame) { n++ })
+			benchReplayScript(sim)
+			for _, p := range sim.Packages() {
+				_ = sess.Classify(p)
+			}
+			pkgs = n
+		}
+		b.ReportMetric(float64(pkgs)*float64(b.N)/b.Elapsed().Seconds(), "pkg/s")
+	})
 }

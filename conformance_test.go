@@ -1,0 +1,177 @@
+// Golden-verdict conformance over the committed trace corpus
+// (testdata/traces): every recorded scenario must replay to verdicts
+// bitwise-identical to its golden file — through the sequential Session and
+// the batched engine, on the SIMD and the scalar kernel paths. This extends
+// the repo's equivalence bar from "batched vs sequential in one process" to
+// "any build, any kernel path, against recorded artifacts": a regression in
+// frame decoding, feature reconstruction, the detector pipeline or the
+// numeric kernels shows up as a concrete first-differing verdict line.
+//
+// The test trains nothing (the corpus pins a model snapshot), so it runs in
+// -short mode and under -race. Regenerate the corpus deliberately with
+// `go run ./cmd/icsreplay -record testdata/traces -fuzzseeds
+// internal/modbus/testdata/frames` after intentional format/model changes.
+package icsdetect_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"icsdetect/internal/core"
+	"icsdetect/internal/engine"
+	"icsdetect/internal/mathx"
+	"icsdetect/internal/trace"
+)
+
+// corpusScenarios lists the committed traces; keeping the list explicit
+// means a half-written corpus (missing trace or golden) fails loudly
+// instead of silently shrinking coverage.
+var corpusScenarios = []string{
+	"normal", "nmri", "cmri", "msci", "mpci", "mfci", "dos", "recon",
+}
+
+const corpusDir = "testdata/traces"
+
+type corpusTrace struct {
+	name    string
+	header  trace.Header
+	records []*trace.Record
+	golden  []byte
+}
+
+func loadCorpus(t *testing.T) (*core.Framework, []corpusTrace) {
+	t.Helper()
+	f, err := os.Open(filepath.Join(corpusDir, "model.fw"))
+	if err != nil {
+		t.Fatalf("open corpus model (regenerate with icsreplay -record): %v", err)
+	}
+	defer f.Close()
+	fw, err := core.Load(f)
+	if err != nil {
+		t.Fatalf("load corpus model: %v", err)
+	}
+
+	fingerprint := fw.Fingerprint()
+	traces := make([]corpusTrace, 0, len(corpusScenarios))
+	for _, name := range corpusScenarios {
+		tf, err := os.Open(filepath.Join(corpusDir, name+".trace"))
+		if err != nil {
+			t.Fatalf("open trace %s: %v", name, err)
+		}
+		header, records, err := trace.ReadAll(tf)
+		tf.Close()
+		if err != nil {
+			t.Fatalf("read trace %s: %v", name, err)
+		}
+		if header.Scenario != name {
+			t.Fatalf("trace %s names scenario %q", name, header.Scenario)
+		}
+		if header.Fingerprint != fingerprint {
+			t.Fatalf("trace %s was recorded for model %s, corpus model is %s",
+				name, header.Fingerprint, fingerprint)
+		}
+		golden, err := os.ReadFile(filepath.Join(corpusDir, name+".verdicts"))
+		if err != nil {
+			t.Fatalf("read goldens for %s: %v", name, err)
+		}
+		traces = append(traces, corpusTrace{name: name, header: header, records: records, golden: golden})
+	}
+	return fw, traces
+}
+
+// TestTraceConformance is the corpus gate: sequential and engine replays of
+// every committed trace, on both kernel paths, against the golden bytes.
+func TestTraceConformance(t *testing.T) {
+	fw, traces := loadCorpus(t)
+
+	for _, kernel := range []struct {
+		name string
+		simd bool
+	}{{"simd", true}, {"scalar", false}} {
+		t.Run(kernel.name, func(t *testing.T) {
+			prev := mathx.SetSIMDEnabled(kernel.simd)
+			defer mathx.SetSIMDEnabled(prev)
+			for _, tc := range traces {
+				t.Run(tc.name, func(t *testing.T) {
+					seq, err := trace.Replay(fw, tc.header, tc.records, trace.ReplayConfig{})
+					if err != nil {
+						t.Fatal(err)
+					}
+					got := trace.FormatVerdicts(tc.name, tc.header.Fingerprint, seq.Verdicts)
+					if line := trace.DiffVerdicts(tc.golden, got); line != 0 {
+						t.Fatalf("sequential replay drifted from goldens at line %d", line)
+					}
+
+					eng, err := trace.Replay(fw, tc.header, tc.records, trace.ReplayConfig{
+						Engine: &engine.Config{Shards: 3, MaxBatch: 16, QueueDepth: 32},
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					got = trace.FormatVerdicts(tc.name, tc.header.Fingerprint, eng.Verdicts)
+					if line := trace.DiffVerdicts(tc.golden, got); line != 0 {
+						t.Fatalf("engine replay drifted from goldens at line %d", line)
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestTraceConformanceLatencyAccounting: replaying an attack trace must
+// attribute episodes and detection latency to the trace's attack category —
+// the latency-mode measurements icsreplay reports are grounded here.
+func TestTraceConformanceLatencyAccounting(t *testing.T) {
+	fw, traces := loadCorpus(t)
+	attacks := map[string]string{
+		"nmri": "NMRI", "cmri": "CMRI", "msci": "MSCI", "mpci": "MPCI",
+		"mfci": "MFCI", "dos": "DoS", "recon": "Recon",
+	}
+	for _, tc := range traces {
+		res, err := trace.Replay(fw, tc.header, tc.records, trace.ReplayConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tc.name == "normal" {
+			if len(res.Latency.Episodes) != 0 {
+				t.Errorf("normal trace produced attack episodes: %+v", res.Latency.Episodes)
+			}
+			continue
+		}
+		found := false
+		for at, n := range res.Latency.Episodes {
+			if at.String() == attacks[tc.name] {
+				found = true
+				if n < 2 {
+					t.Errorf("%s: %d episodes, corpus scripts record 2", tc.name, n)
+				}
+				if res.Latency.Detected[at] == 0 {
+					t.Errorf("%s: no episode detected; golden corpus should never pin a blind model", tc.name)
+				}
+				if res.Latency.Detected[at] > 0 && res.Latency.MeanLatency(at) < 0 {
+					t.Errorf("%s: negative mean latency", tc.name)
+				}
+			}
+		}
+		if !found {
+			t.Errorf("%s: no %s episodes in latency accounting: %+v", tc.name, attacks[tc.name], res.Latency.Episodes)
+		}
+	}
+}
+
+// TestTraceConformanceTimedMode: the timed (latency-mode) replay path must
+// produce the same verdicts as throughput mode — pacing must never leak
+// into classification.
+func TestTraceConformanceTimedMode(t *testing.T) {
+	fw, traces := loadCorpus(t)
+	tc := traces[0]
+	res, err := trace.Replay(fw, tc.header, tc.records, trace.ReplayConfig{Timed: true, Speed: 1e6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := trace.FormatVerdicts(tc.name, tc.header.Fingerprint, res.Verdicts)
+	if line := trace.DiffVerdicts(tc.golden, got); line != 0 {
+		t.Fatalf("timed replay drifted from goldens at line %d", line)
+	}
+}

@@ -1,0 +1,114 @@
+// Record → replay → metrics: capture a labeled attack scenario from the
+// gas-pipeline simulator into the binary trace format, then replay the
+// recorded wire frames through the detector — once as fast as possible
+// (throughput mode) and once on the trace's own timeline (latency mode) —
+// and report per-attack detection latency.
+//
+//	go run ./examples/replay
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"icsdetect/internal/dataset"
+	"icsdetect/internal/engine"
+	"icsdetect/internal/gaspipeline"
+	"icsdetect/internal/trace"
+)
+
+func main() {
+	// 1. Train a small detector on a *recorded* normal capture, so the
+	//    model learns exactly the feature distributions that replay
+	//    reconstructs from wire bytes.
+	fmt.Println("training on a recorded normal capture...")
+	det, err := trace.TrainCorpusModel(8000, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("model fingerprint %s\n", det.Fingerprint())
+
+	// 2. Record a scenario: normal polling with a DoS episode and a
+	//    reconnaissance sweep, captured off the simulator's frame sink into
+	//    a trace file.
+	simCfg := gaspipeline.DefaultSimConfig()
+	simCfg.Seed = 42
+	sim, err := gaspipeline.NewSimulator(simCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < 40; i++ { // let the PID loop settle, unrecorded
+		sim.RunNormalCycle(dataset.Normal)
+	}
+	var buf bytes.Buffer
+	rec, err := trace.NewRecorder(&buf, trace.SimHeader("demo", det.Fingerprint()))
+	if err != nil {
+		log.Fatal(err)
+	}
+	sim.SetFrameSink(rec.RecordSim)
+	for i := 0; i < 12; i++ {
+		sim.RunNormalCycle(dataset.Normal)
+	}
+	sim.RunDoSEpisode(3)
+	for i := 0; i < 8; i++ {
+		sim.RunNormalCycle(dataset.Normal)
+	}
+	sim.RunReconEpisode(8)
+	for i := 0; i < 8; i++ {
+		sim.RunNormalCycle(dataset.Normal)
+	}
+	if err := rec.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	path := filepath.Join(os.TempDir(), "icsdetect-demo.trace")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("recorded %d frames (%d bytes) to %s\n", rec.Count(), buf.Len(), path)
+
+	// 3. Replay the trace file. Throughput mode races through the recorded
+	//    frames via the batched engine; latency mode honors the recorded
+	//    timeline (here 20x faster than real time).
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	header, records, err := trace.ReadAll(f)
+	f.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fast, err := trace.Replay(det, header, records, trace.ReplayConfig{
+		Engine: &engine.Config{Shards: 2},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nthroughput replay: %d packages of %.1fs recorded traffic in %v (%.0f pkg/s)\n",
+		len(fast.Verdicts), fast.TraceSeconds, fast.Wall, fast.PerSecond())
+
+	timed, err := trace.Replay(det, header, records, trace.ReplayConfig{Timed: true, Speed: 20})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("latency replay (20x): same verdicts in %v\n", timed.Wall)
+
+	// 4. Metrics: verdict summary plus per-attack detection latency on the
+	//    trace's own clock.
+	fmt.Printf("\nverdicts: %v\n", fast.Summary)
+	var attacks []dataset.AttackType
+	for at := range fast.Latency.Episodes {
+		attacks = append(attacks, at)
+	}
+	sort.Slice(attacks, func(i, j int) bool { return attacks[i] < attacks[j] })
+	for _, at := range attacks {
+		fmt.Printf("%-6v detected %d/%d episodes, ratio %.2f, detection latency mean %.3fs\n",
+			at, fast.Latency.Detected[at], fast.Latency.Episodes[at],
+			fast.PerAttack.Ratio(at), fast.Latency.MeanLatency(at))
+	}
+}

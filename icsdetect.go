@@ -34,6 +34,7 @@ import (
 	"icsdetect/internal/engine"
 	"icsdetect/internal/gaspipeline"
 	"icsdetect/internal/signature"
+	"icsdetect/internal/trace"
 )
 
 // Re-exported dataset types.
@@ -123,6 +124,47 @@ type (
 //	eng.Stop()
 func NewEngine(det *Detector, cfg EngineConfig, handler EngineHandler) (*Engine, error) {
 	return engine.New(det, cfg, handler)
+}
+
+// Re-exported trace capture/replay types. A trace is a deterministic
+// recording of labeled wire traffic (see internal/trace for the binary
+// format): record one off the simulator or the live tap, then replay it
+// through a detector — as fast as possible or on its own timeline — and the
+// verdicts are bitwise-reproducible across runs, replay paths and kernel
+// builds. The repository ships a golden conformance corpus of such traces
+// under testdata/traces.
+type (
+	// TraceHeader describes a trace (format, scenario, model fingerprint,
+	// register map).
+	TraceHeader = trace.Header
+	// TraceRecord is one captured frame with its timestamp delta and label.
+	TraceRecord = trace.Record
+	// TraceRecorder captures frames into a trace stream.
+	TraceRecorder = trace.Recorder
+	// ReplayConfig tunes a replay run (throughput vs timed, session vs
+	// engine).
+	ReplayConfig = trace.ReplayConfig
+	// ReplayResult is the scored outcome of a replay, including per-attack
+	// detection latency.
+	ReplayResult = trace.Result
+)
+
+// NewTraceRecorder writes the trace header for h to w and returns a
+// recorder; see TraceRecorder.RecordSim and RecordTap for the capture
+// hooks.
+func NewTraceRecorder(w io.Writer, h TraceHeader) (*TraceRecorder, error) {
+	return trace.NewRecorder(w, h)
+}
+
+// ReadTrace reads a whole recorded trace.
+func ReadTrace(r io.Reader) (TraceHeader, []*TraceRecord, error) {
+	return trace.ReadAll(r)
+}
+
+// ReplayTrace drives a recorded trace through a trained detector and
+// scores the verdicts against the trace's labels.
+func ReplayTrace(det *Detector, h TraceHeader, recs []*TraceRecord, cfg ReplayConfig) (*ReplayResult, error) {
+	return trace.Replay(det, h, recs, cfg)
 }
 
 // DatasetOptions configures GenerateDataset.

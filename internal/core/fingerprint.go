@@ -1,0 +1,71 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+)
+
+// Fingerprint returns a stable 64-bit hex digest of everything that
+// determines this framework's verdicts: the discretizer shapes, the
+// signature class space, the Bloom filter bits, the top-k threshold and
+// every LSTM/dense parameter bit. Two frameworks with equal fingerprints
+// classify every package stream identically, so recorded traces and golden
+// verdict files embed the fingerprint to pin the model they were produced
+// against (a conformance run rejects a trace/model mismatch instead of
+// reporting spurious verdict drift).
+//
+// The digest is FNV-1a over a canonical serialization; it is identical
+// across processes, architectures and kernel paths (SIMD or scalar), unlike
+// a hash of the gob snapshot, whose map encodings are order-dependent.
+func (f *Framework) Fingerprint() string {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xFF
+			h *= prime64
+			v >>= 8
+		}
+	}
+	mixBytes := func(b []byte) {
+		mix(uint64(len(b)))
+		for _, c := range b {
+			h ^= uint64(c)
+			h *= prime64
+		}
+	}
+
+	// Discretization shape.
+	mix(uint64(f.Encoder.Dim()))
+	for _, fe := range f.Encoder.Features {
+		mix(uint64(fe.Kind))
+		mix(uint64(fe.Disc.Buckets()))
+	}
+	// Class space: the ordered signature list.
+	mix(uint64(f.DB.Size()))
+	for _, sig := range f.DB.List {
+		mixBytes([]byte(sig))
+	}
+	// Package level: the exact filter bits (the filter's own canonical
+	// binary serialization).
+	var bf bytes.Buffer
+	if _, err := f.Package.Filter.WriteTo(&bf); err == nil {
+		mixBytes(bf.Bytes())
+	}
+	// Time-series level: k, the input layout and every parameter bit in
+	// canonical order.
+	mix(uint64(f.Series.K))
+	mix(uint64(f.Input.Dim))
+	for _, p := range f.Series.Model.Params() {
+		mixBytes([]byte(p.Name))
+		mix(uint64(len(p.Data)))
+		for _, v := range p.Data {
+			mix(math.Float64bits(v))
+		}
+	}
+	return fmt.Sprintf("%016x", h)
+}

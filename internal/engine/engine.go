@@ -83,10 +83,13 @@ type Result struct {
 // bounded queues, eventually the submitters.
 type Handler func(Result)
 
-// packet is one queued unit of work.
+// packet is one queued unit of work: a package of a stream, or a barrier
+// marker (barrier non-nil) that the worker acknowledges once everything
+// queued before it has been classified and flushed.
 type packet struct {
-	stream string
-	pkg    *dataset.Package
+	stream  string
+	pkg     *dataset.Package
+	barrier *sync.WaitGroup
 }
 
 // Engine is a running multi-stream detection engine. Create one with New,
@@ -184,6 +187,30 @@ func (e *Engine) TrySubmit(stream string, pkg *dataset.Package) (bool, error) {
 	}
 }
 
+// Barrier blocks until every package submitted before it has been fully
+// processed — verdict delivered to the handler and recurrent state advanced
+// through its LSTM step — without stopping the engine. It is the replay
+// entry point for workloads that feed the engine in bounded phases (one
+// recorded trace after another through a single warm engine) and need a
+// completion point between phases; unlike Stop it can be called repeatedly.
+// Packages submitted concurrently with Barrier may land on either side of
+// it. Barrier blocks while shard queues are full, like Submit, and returns
+// an error during or after Stop.
+func (e *Engine) Barrier() error {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.stopped.Load() {
+		return fmt.Errorf("engine: barrier after Stop")
+	}
+	var wg sync.WaitGroup
+	wg.Add(len(e.shards))
+	for _, s := range e.shards {
+		s.in <- packet{barrier: &wg}
+	}
+	wg.Wait()
+	return nil
+}
+
 // Stop drains every queued package, waits for the workers to finish, and
 // releases them. Submissions racing Stop either land before the shutdown
 // (their packages are drained) or return the stopped error; a submitter
@@ -262,6 +289,13 @@ func (s *shard) run(wg *sync.WaitGroup) {
 // handle classifies one package against its stream's session and defers the
 // LSTM step into the micro-batch.
 func (s *shard) handle(pkt packet) {
+	if pkt.barrier != nil {
+		// Everything queued before the barrier has been handled (shard FIFO);
+		// flush so their recurrent steps are complete before acknowledging.
+		s.flush()
+		pkt.barrier.Done()
+		return
+	}
 	st := s.streams[pkt.stream]
 	if st == nil {
 		st = &stream{sess: s.e.fw.NewSessionMode(s.e.cfg.Mode)}

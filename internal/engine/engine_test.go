@@ -302,6 +302,70 @@ func TestEngineConcurrentSubmitters(t *testing.T) {
 	}
 }
 
+// TestEngineBarrier: Barrier must complete all prior submissions (verdicts
+// delivered, in order) without stopping the engine, and be repeatable —
+// the replay entry point for phase-bounded workloads.
+func TestEngineBarrier(t *testing.T) {
+	fw, split := testFramework(t)
+	pkgs := split.Test
+	if len(pkgs) > 300 {
+		pkgs = pkgs[:300]
+	}
+
+	var mu sync.Mutex
+	var got []core.Verdict
+	e, err := engine.New(fw, engine.Config{Shards: 3, MaxBatch: 8}, func(r engine.Result) {
+		mu.Lock()
+		got = append(got, r.Verdict)
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	want := make([]core.Verdict, 0, len(pkgs))
+	sess := fw.NewSession()
+	for _, p := range pkgs {
+		want = append(want, sess.Classify(p))
+	}
+
+	// Three phases through one warm engine, a barrier after each.
+	third := len(pkgs) / 3
+	for phase := 0; phase < 3; phase++ {
+		lo, hi := phase*third, (phase+1)*third
+		if phase == 2 {
+			hi = len(pkgs)
+		}
+		for _, p := range pkgs[lo:hi] {
+			if err := e.Submit("dev", p); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := e.Barrier(); err != nil {
+			t.Fatal(err)
+		}
+		mu.Lock()
+		n := len(got)
+		mu.Unlock()
+		if n != hi {
+			t.Fatalf("phase %d: %d verdicts after barrier, want %d", phase, n, hi)
+		}
+		if st := e.Stats(); st.QueueDepth != 0 {
+			t.Fatalf("phase %d: queue depth %d after barrier", phase, st.QueueDepth)
+		}
+	}
+	e.Stop()
+
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("package %d: verdict %+v across barriers, sequential %+v", i, got[i], want[i])
+		}
+	}
+	if err := e.Barrier(); err == nil {
+		t.Error("Barrier after Stop did not error")
+	}
+}
+
 // TestEngineSubmitAfterStop verifies the lifecycle guard.
 func TestEngineSubmitAfterStop(t *testing.T) {
 	fw, split := testFramework(t)

@@ -110,11 +110,14 @@ type Simulator struct {
 	now float64 // simulation clock, seconds
 	// CRC failure tracking: the monitor reports the failure rate over a
 	// rolling window of recent frames, the way the testbed's crc_rate
-	// column behaves (mostly zero, sticky bursts after corruption).
-	crcRing  [crcWindow]bool
-	crcIdx   int
-	crcCount int
-	crcSeen  int
+	// column behaves (mostly zero, sticky bursts after corruption). The
+	// same monitor type runs inside the trace replayer, so recorded traces
+	// reproduce these rates exactly.
+	crcMon modbus.CRCRateMonitor
+
+	// frameSink, when set, observes every emitted wire frame (see
+	// SetFrameSink).
+	frameSink func(Frame)
 
 	// desired is the operator's intended controller block; it is re-sent
 	// every cycle and restored after attacks.
@@ -187,26 +190,46 @@ func (s *Simulator) intraDelay() float64 {
 	return s.rng.Range(s.cfg.IntraDelayMin, s.cfg.IntraDelayMax)
 }
 
-// crcWindow is the rolling frame window over which the monitor computes the
-// CRC failure rate. Short enough that a corruption burst decays within a
-// couple of poll cycles.
-const crcWindow = 16
+// crcWindow is the rolling frame window of the shared CRC failure monitor;
+// the DoS decay tail is sized off it.
+const crcWindow = modbus.CRCRateWindow
 
-// recordFrame updates the rolling CRC failure rate for one observed frame
-// and returns the rate the monitor would log with the package.
-func (s *Simulator) recordFrame(corrupt bool) float64 {
-	if s.crcSeen < crcWindow {
-		s.crcSeen++
-	} else if s.crcRing[s.crcIdx] {
-		s.crcCount--
+// Frame is one wire frame as observed by a recording tap on the simulated
+// link: the raw Modbus RTU bytes plus the side information a trace recorder
+// needs (direction, ground truth, whether the frame arrived corrupted, and
+// the simulation timestamp).
+type Frame struct {
+	// Raw is the encoded RTU frame. Its CRC is valid unless the frame was
+	// deliberately tampered with (CorruptCRC attacks); benign link glitches
+	// are reported via Corrupt instead, because the simulator models them
+	// after encoding.
+	Raw []byte
+	// IsCmd marks master→slave traffic.
+	IsCmd bool
+	// Corrupt reports whether the monitor saw the frame's CRC fail (attack
+	// tampering or benign link glitch).
+	Corrupt bool
+	// Label is the ground-truth attack type of the frame.
+	Label dataset.AttackType
+	// Time is the simulation clock at emission, seconds.
+	Time float64
+}
+
+// SetFrameSink installs fn to observe every emitted wire frame, in emission
+// order, alongside the package record. Pass nil to detach. The sink is
+// called synchronously from the simulation loop; the Raw slice must not be
+// retained or mutated across calls.
+//
+// Attaching a sink resets the CRC failure window: a recording observes the
+// link from its own start, so the rates the simulator logs from here on are
+// exactly the rates a trace decoder recomputes from the recorded bytes —
+// a warm pre-recording window would otherwise leak into the first 16
+// logged rates but be invisible in the capture.
+func (s *Simulator) SetFrameSink(fn func(Frame)) {
+	if fn != nil {
+		s.crcMon.Reset()
 	}
-	s.crcRing[s.crcIdx] = corrupt
-	if corrupt {
-		s.crcCount++
-	}
-	s.crcIdx = (s.crcIdx + 1) % crcWindow
-	rate := float64(s.crcCount) / float64(s.crcSeen)
-	return math.Round(rate*10000) / 10000
+	s.frameSink = fn
 }
 
 // emit appends a package built from an actual Modbus RTU frame so that the
@@ -220,7 +243,12 @@ func (s *Simulator) emit(frame *modbus.RTUFrame, st ControllerState,
 		panic(fmt.Sprintf("gaspipeline: encode frame: %v", err))
 	}
 	corrupt := frame.CorruptCRC || s.rng.Bernoulli(s.cfg.CRCGlitchProb)
-	rate := s.recordFrame(corrupt)
+	rate := s.crcMon.Observe(corrupt)
+	if s.frameSink != nil {
+		s.frameSink(Frame{
+			Raw: raw, IsCmd: isCmd, Corrupt: corrupt, Label: label, Time: s.now,
+		})
+	}
 	cmd := 0.0
 	if isCmd {
 		cmd = 1

@@ -121,6 +121,72 @@ func (p *PerAttack) Ratio(label dataset.AttackType) float64 {
 	return float64(p.Detected[label]) / float64(p.Total[label])
 }
 
+// DetectionLatency accumulates per-attack-type detection latency over
+// attack episodes: an episode is one contiguous run of packages carrying
+// the same attack label, and its latency is the time from the episode's
+// first package to the first package of the episode the detector flagged.
+// Undetected episodes contribute to the episode count but not to the
+// latency moments, so MeanLatency answers "when we catch this attack, how
+// fast" and DetectionRate answers "how often do we catch it at all" — the
+// replay harness reports both side by side.
+type DetectionLatency struct {
+	Episodes map[dataset.AttackType]int
+	Detected map[dataset.AttackType]int
+	// TotalSeconds and MaxSeconds aggregate the latency of detected
+	// episodes only.
+	TotalSeconds map[dataset.AttackType]float64
+	MaxSeconds   map[dataset.AttackType]float64
+}
+
+// NewDetectionLatency allocates the accumulator.
+func NewDetectionLatency() *DetectionLatency {
+	return &DetectionLatency{
+		Episodes:     make(map[dataset.AttackType]int),
+		Detected:     make(map[dataset.AttackType]int),
+		TotalSeconds: make(map[dataset.AttackType]float64),
+		MaxSeconds:   make(map[dataset.AttackType]float64),
+	}
+}
+
+// AddEpisode records one completed attack episode: whether it was detected
+// and, if so, the detection latency in seconds (ignored otherwise; a
+// negative latency is clamped to zero). Normal "episodes" are ignored.
+func (l *DetectionLatency) AddEpisode(label dataset.AttackType, detected bool, latencySeconds float64) {
+	if label == dataset.Normal {
+		return
+	}
+	l.Episodes[label]++
+	if !detected {
+		return
+	}
+	l.Detected[label]++
+	if latencySeconds < 0 {
+		latencySeconds = 0
+	}
+	l.TotalSeconds[label] += latencySeconds
+	if latencySeconds > l.MaxSeconds[label] {
+		l.MaxSeconds[label] = latencySeconds
+	}
+}
+
+// DetectionRate returns the fraction of episodes of the given type that
+// were detected (0 when none were recorded).
+func (l *DetectionLatency) DetectionRate(label dataset.AttackType) float64 {
+	if l.Episodes[label] == 0 {
+		return 0
+	}
+	return float64(l.Detected[label]) / float64(l.Episodes[label])
+}
+
+// MeanLatency returns the mean detection latency in seconds over the
+// detected episodes of the given type (0 when none were detected).
+func (l *DetectionLatency) MeanLatency(label dataset.AttackType) float64 {
+	if l.Detected[label] == 0 {
+		return 0
+	}
+	return l.TotalSeconds[label] / float64(l.Detected[label])
+}
+
 // TopKCurve is the top-k error as a function of k (Fig. 6): Err[k-1] is the
 // fraction of predictions whose true class was outside the k most probable
 // classes.

@@ -44,6 +44,100 @@ func TestConfusionEmptyDenominators(t *testing.T) {
 	}
 }
 
+// TestConfusionEdgeCases: every zero-denominator corner of the four metrics
+// must return a finite value (0), never NaN or Inf — replay summaries over
+// single-class traces (all-normal or all-attack) hit all of them.
+func TestConfusionEdgeCases(t *testing.T) {
+	for _, tc := range []struct {
+		name               string
+		c                  Confusion
+		prec, rec, acc, f1 float64
+	}{
+		{name: "empty"},
+		{name: "all-TP", c: Confusion{TP: 7}, prec: 1, rec: 1, acc: 1, f1: 1},
+		{name: "all-TN", c: Confusion{TN: 9}, acc: 1},
+		{name: "all-FP", c: Confusion{FP: 4}},
+		{name: "all-FN", c: Confusion{FN: 3}},
+		{name: "no-predicted-positives", c: Confusion{TN: 5, FN: 2}, acc: 5.0 / 7},
+		{name: "no-actual-positives", c: Confusion{TN: 5, FP: 2}, acc: 5.0 / 7},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			got := Summarize(&tc.c)
+			want := Summary{Precision: tc.prec, Recall: tc.rec, Accuracy: tc.acc, F1: tc.f1}
+			if got != want {
+				t.Errorf("summary = %+v, want %+v", got, want)
+			}
+			for name, v := range map[string]float64{
+				"precision": got.Precision, "recall": got.Recall,
+				"accuracy": got.Accuracy, "f1": got.F1,
+			} {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Errorf("%s = %v, want finite", name, v)
+				}
+			}
+		})
+	}
+}
+
+func TestPerAttackUnseenType(t *testing.T) {
+	p := NewPerAttack()
+	p.Add(dataset.Normal, true) // ignored
+	if r := p.Ratio(dataset.DOS); r != 0 || math.IsNaN(r) {
+		t.Errorf("ratio of unseen type = %v, want 0", r)
+	}
+	if len(p.Total) != 0 {
+		t.Error("normal packages must not be counted")
+	}
+}
+
+func TestTopKCurveEmptyRanks(t *testing.T) {
+	curve := NewTopKCurve(nil, 5)
+	if len(curve.Err) != 5 {
+		t.Fatalf("curve length = %d", len(curve.Err))
+	}
+	for k, e := range curve.Err {
+		if e != 0 || math.IsNaN(e) {
+			t.Errorf("err[%d] = %v on empty ranks", k, e)
+		}
+	}
+}
+
+func TestDetectionLatency(t *testing.T) {
+	l := NewDetectionLatency()
+	// Unrecorded type: zero rate and latency, no NaN.
+	if r := l.DetectionRate(dataset.NMRI); r != 0 || math.IsNaN(r) {
+		t.Errorf("rate of unseen type = %v", r)
+	}
+	if m := l.MeanLatency(dataset.NMRI); m != 0 || math.IsNaN(m) {
+		t.Errorf("latency of unseen type = %v", m)
+	}
+
+	l.AddEpisode(dataset.Normal, true, 1) // ignored
+	l.AddEpisode(dataset.DOS, true, 2.0)
+	l.AddEpisode(dataset.DOS, true, 4.0)
+	l.AddEpisode(dataset.DOS, false, 99) // undetected: latency ignored
+	l.AddEpisode(dataset.CMRI, true, -1) // clamped to 0
+
+	if l.Episodes[dataset.DOS] != 3 || l.Detected[dataset.DOS] != 2 {
+		t.Errorf("DoS episodes=%d detected=%d", l.Episodes[dataset.DOS], l.Detected[dataset.DOS])
+	}
+	if r := l.DetectionRate(dataset.DOS); math.Abs(r-2.0/3) > 1e-12 {
+		t.Errorf("DoS rate = %v", r)
+	}
+	if m := l.MeanLatency(dataset.DOS); math.Abs(m-3.0) > 1e-12 {
+		t.Errorf("DoS mean latency = %v, want 3", m)
+	}
+	if l.MaxSeconds[dataset.DOS] != 4.0 {
+		t.Errorf("DoS max latency = %v, want 4", l.MaxSeconds[dataset.DOS])
+	}
+	if m := l.MeanLatency(dataset.CMRI); m != 0 {
+		t.Errorf("clamped latency = %v, want 0", m)
+	}
+	if l.Episodes[dataset.Normal] != 0 {
+		t.Error("normal episodes must be ignored")
+	}
+}
+
 // TestF1IsHarmonicMean: F1 lies between min and max of P and R and equals
 // them when they coincide.
 func TestF1IsHarmonicMean(t *testing.T) {

@@ -1,0 +1,49 @@
+package modbus
+
+import "math"
+
+// CRCRateWindow is the rolling frame window over which a SCADA monitor
+// computes the CRC failure rate. Short enough that a corruption burst decays
+// within a couple of poll cycles, matching the testbed's crc_rate column
+// (mostly zero, sticky bursts after corruption). Exported so consumers that
+// size behaviour off the window (the gas-pipeline DoS decay tail) cannot
+// drift from the monitor.
+const CRCRateWindow = 16
+
+// CRCRateMonitor tracks the fraction of recently observed frames whose CRC
+// failed, over a rolling window of CRCRateWindow frames. It is the single
+// source of the dataset's crc_rate feature: the gas-pipeline simulator and
+// the trace replayer both feed it one frame at a time, so a recorded trace
+// reproduces the exact same rates on replay as the live capture produced.
+//
+// The zero value is ready to use. The monitor is not safe for concurrent
+// use; each observer owns its own.
+type CRCRateMonitor struct {
+	ring  [CRCRateWindow]bool
+	idx   int
+	count int
+	seen  int
+}
+
+// Observe records one frame (corrupt or clean) and returns the rate the
+// monitor would log with it: failures/window over the frames seen so far,
+// rounded to four decimals the way the testbed logs it.
+func (m *CRCRateMonitor) Observe(corrupt bool) float64 {
+	if m.seen < CRCRateWindow {
+		m.seen++
+	} else if m.ring[m.idx] {
+		m.count--
+	}
+	m.ring[m.idx] = corrupt
+	if corrupt {
+		m.count++
+	}
+	m.idx = (m.idx + 1) % CRCRateWindow
+	rate := float64(m.count) / float64(m.seen)
+	return math.Round(rate*10000) / 10000
+}
+
+// Reset returns the monitor to its initial (no frames seen) state.
+func (m *CRCRateMonitor) Reset() {
+	*m = CRCRateMonitor{}
+}

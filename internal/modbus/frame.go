@@ -109,6 +109,33 @@ func EncodeTCP(f *TCPFrame) ([]byte, error) {
 	return buf, nil
 }
 
+// DecodeTCP parses one complete TCP frame from a byte slice. Unlike
+// ReadTCPFrame it is strict about the MBAP length field: raw must contain
+// exactly the header plus the advertised body, so that EncodeTCP∘DecodeTCP
+// reproduces the input bytes (the round-trip property the trace replayer
+// and the frame fuzzer rely on).
+func DecodeTCP(raw []byte) (*TCPFrame, error) {
+	if len(raw) < mbapLen+1 {
+		return nil, ErrShortPDU
+	}
+	length := binary.BigEndian.Uint16(raw[4:6])
+	if length < 2 || len(raw) != mbapLen+int(length)-1 {
+		return nil, fmt.Errorf("%w: MBAP length %d for %d raw bytes", ErrBadLength, length, len(raw))
+	}
+	pdu, err := DecodePDU(raw[mbapLen:])
+	if err != nil {
+		return nil, err
+	}
+	return &TCPFrame{
+		Header: MBAPHeader{
+			TransactionID: binary.BigEndian.Uint16(raw[0:2]),
+			ProtocolID:    binary.BigEndian.Uint16(raw[2:4]),
+			UnitID:        raw[6],
+		},
+		PDU: pdu,
+	}, nil
+}
+
 // ReadTCPFrame reads one complete TCP frame from r, blocking until the full
 // length-prefixed payload arrives.
 func ReadTCPFrame(r io.Reader) (*TCPFrame, error) {

@@ -54,6 +54,31 @@ func (m *RegisterMap) field(regs []uint16, idx int, scale float64) float64 {
 	return float64(regs[idx]) / scale
 }
 
+// DecodePDU populates the parameter columns of p from the function-specific
+// payload of one PDU, given its direction: write-multiple commands carry the
+// controller block the master is sending, register-read responses carry the
+// block the device reported (including the pressure measurement); every
+// other function leaves the parameter columns zero. This is the single
+// frame→schema decode rule shared by the live tap and the trace replayer,
+// so a replayed capture reconstructs exactly the packages the tap would
+// have produced.
+func (m *RegisterMap) DecodePDU(p *dataset.Package, pdu *modbus.PDU, isCmd bool) {
+	switch pdu.Function {
+	case modbus.FuncWriteMultipleRegs:
+		if isCmd {
+			if _, values, err := modbus.ParseWriteMultipleRequest(pdu); err == nil {
+				m.decode(p, values)
+			}
+		}
+	case modbus.FuncReadHoldingRegisters, modbus.FuncReadInputRegisters, modbus.FuncReadState:
+		if !isCmd && !pdu.IsException() {
+			if values, err := modbus.ParseReadRegistersResponse(pdu); err == nil {
+				m.decode(p, values)
+			}
+		}
+	}
+}
+
 // decode populates the parameter columns of p from a register payload.
 func (m *RegisterMap) decode(p *dataset.Package, regs []uint16) {
 	if len(regs) < m.MinRegisters {
@@ -85,10 +110,29 @@ type Proxy struct {
 	closed   bool
 
 	pkgMu    sync.Mutex
-	packages []*dataset.Package
+	buffered []capture
+	// recSent counts the leading buffered entries whose frames have already
+	// been delivered to a recorder; buffered[recSent:] are pending for one.
+	recSent  int
 	sink     func(*dataset.Package)
+	recorder FrameFunc
 	started  time.Time
 }
+
+// capture is one observed frame with its decoded package, buffered until a
+// sink (package view) and recorder (frame view) consume it.
+type capture struct {
+	pkg   *dataset.Package
+	raw   []byte
+	isCmd bool
+}
+
+// FrameFunc receives one raw relayed frame (see SetRecorder): the wire
+// bytes, the direction, and the package the tap decoded from it (whose Time
+// field timestamps the frame). raw must not be retained or mutated. Like a
+// sink, it is called from relay goroutines and must be safe for concurrent
+// use unless the tap serves a single client.
+type FrameFunc func(raw []byte, isCmd bool, pkg *dataset.Package)
 
 // New creates a tap that forwards to the slave at upstream.
 func New(upstream string, regs RegisterMap) *Proxy {
@@ -137,16 +181,50 @@ func (p *Proxy) SetSink(fn func(*dataset.Package)) {
 		p.pkgMu.Unlock()
 		return
 	}
-	for len(p.packages) > 0 {
-		buffered := p.packages
-		p.packages = nil
+	for len(p.buffered) > 0 {
+		// Entries whose frames a recorder has not consumed yet are released
+		// too: the package view (sink/Drain) owns the buffer lifetime, and a
+		// recorder only replays frames still buffered at attach time.
+		buffered := p.buffered
+		p.buffered = nil
+		p.recSent = 0
 		p.pkgMu.Unlock()
-		for _, pkg := range buffered {
-			fn(pkg)
+		for _, c := range buffered {
+			fn(c.pkg)
 		}
 		p.pkgMu.Lock()
 	}
 	p.sink = fn
+	p.pkgMu.Unlock()
+}
+
+// SetRecorder streams every relayed frame (raw bytes plus decoded package)
+// to fn, independently of any package sink: a recorder and a sink can be
+// attached in either order, simultaneously, without stealing each other's
+// buffered packages. Frames still buffered for Drain/SetSink at attach time
+// are first flushed to fn in arrival order — outside the package lock, with
+// the same ordering discipline as SetSink, so frames relayed during the
+// flush queue behind it rather than overtaking it. Buffer lifetime belongs
+// to the package view: frames released by Drain or a SetSink flush before a
+// recorder attaches are no longer replayable (the recorder then starts at
+// the live stream). fn must not call SetRecorder; passing nil detaches.
+func (p *Proxy) SetRecorder(fn FrameFunc) {
+	p.pkgMu.Lock()
+	if fn == nil {
+		p.recorder = nil
+		p.pkgMu.Unlock()
+		return
+	}
+	for p.recSent < len(p.buffered) {
+		pending := p.buffered[p.recSent:]
+		p.recSent = len(p.buffered)
+		p.pkgMu.Unlock()
+		for _, c := range pending {
+			fn(c.raw, c.isCmd, c.pkg)
+		}
+		p.pkgMu.Lock()
+	}
+	p.recorder = fn
 	p.pkgMu.Unlock()
 }
 
@@ -215,39 +293,42 @@ func (p *Proxy) record(frame *modbus.TCPFrame, isCmd bool) {
 	if isCmd {
 		pkg.CmdResponse = 1
 	}
-
-	switch frame.PDU.Function {
-	case modbus.FuncWriteMultipleRegs:
-		if isCmd {
-			if _, values, err := modbus.ParseWriteMultipleRequest(frame.PDU); err == nil {
-				p.regs.decode(pkg, values)
-			}
-		}
-	case modbus.FuncReadHoldingRegisters, modbus.FuncReadInputRegisters, modbus.FuncReadState:
-		if !isCmd && !frame.PDU.IsException() {
-			if values, err := modbus.ParseReadRegistersResponse(frame.PDU); err == nil {
-				p.regs.decode(pkg, values)
-			}
-		}
-	}
+	p.regs.DecodePDU(pkg, frame.PDU, isCmd)
 
 	p.pkgMu.Lock()
-	sink := p.sink
+	sink, rec := p.sink, p.recorder
 	if sink == nil {
-		p.packages = append(p.packages, pkg)
+		p.buffered = append(p.buffered, capture{pkg: pkg, raw: raw, isCmd: isCmd})
+		if rec != nil {
+			// The frame is delivered live below; only its package side stays
+			// buffered.
+			p.recSent = len(p.buffered)
+		}
 	}
 	p.pkgMu.Unlock()
+	if rec != nil {
+		rec(raw, isCmd, pkg)
+	}
 	if sink != nil {
 		sink(pkg)
 	}
 }
 
-// Drain returns and clears the buffered packages.
+// Drain returns and clears the buffered packages. Frames not yet consumed
+// by a recorder are released with them (polling mode trades frame replay
+// for bounded memory).
 func (p *Proxy) Drain() []*dataset.Package {
 	p.pkgMu.Lock()
 	defer p.pkgMu.Unlock()
-	out := p.packages
-	p.packages = nil
+	out := make([]*dataset.Package, len(p.buffered))
+	for i, c := range p.buffered {
+		out[i] = c.pkg
+	}
+	p.buffered = nil
+	p.recSent = 0
+	if len(out) == 0 {
+		return nil
+	}
 	return out
 }
 

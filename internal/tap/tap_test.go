@@ -162,6 +162,97 @@ func TestSetSinkFlushesBuffered(t *testing.T) {
 	}
 }
 
+// TestRecorderAndSinkSimultaneous: a frame recorder and a package sink must
+// be attachable around the same buffered startup traffic without stealing
+// each other's copies — the recorder flush must not drain the package
+// buffer (the regression), and live traffic must reach both in order.
+func TestRecorderAndSinkSimultaneous(t *testing.T) {
+	_, proxy, client := startStack(t)
+
+	// Two packages (command + ack) buffered with nothing attached.
+	if err := client.WriteSingleRegister(0, 700); err != nil {
+		t.Fatal(err)
+	}
+
+	type rec struct {
+		fn    float64
+		isCmd bool
+		time  float64
+	}
+	frames := make(chan rec, 16)
+	proxy.SetRecorder(func(raw []byte, isCmd bool, pkg *dataset.Package) {
+		frame, err := modbus.DecodeTCP(raw)
+		if err != nil {
+			t.Errorf("recorded frame does not decode: %v", err)
+			return
+		}
+		if float64(frame.PDU.Function) != pkg.Function {
+			t.Errorf("frame function %d != package function %v", frame.PDU.Function, pkg.Function)
+		}
+		frames <- rec{fn: pkg.Function, isCmd: isCmd, time: pkg.Time}
+	})
+
+	// The recorder flush delivers the buffered pair, command first.
+	first := <-frames
+	if !first.isCmd {
+		t.Error("flushed frames out of order: first is not the command")
+	}
+	second := <-frames
+	if second.isCmd {
+		t.Error("flushed frames out of order: second is the command")
+	}
+	if second.time < first.time {
+		t.Error("recorded frame timestamps decrease")
+	}
+
+	// The package buffer must still hold both packages for the sink: the
+	// recorder flush consumed only the frame view.
+	pkgs := make(chan *dataset.Package, 16)
+	proxy.SetSink(func(p *dataset.Package) { pkgs <- p })
+	if p := <-pkgs; p.CmdResponse != 1 {
+		t.Error("sink flush lost or reordered the buffered command package")
+	}
+	<-pkgs
+
+	// Live traffic reaches both consumers.
+	if err := client.WriteSingleRegister(1, 45); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		select {
+		case <-frames:
+		case <-time.After(2 * time.Second):
+			t.Fatal("recorder did not receive live frames")
+		}
+		select {
+		case <-pkgs:
+		case <-time.After(2 * time.Second):
+			t.Fatal("sink did not receive live packages")
+		}
+	}
+	if got := proxy.Drain(); len(got) != 0 {
+		t.Errorf("drain returned %d packages with sink+recorder live", len(got))
+	}
+
+	// Detaching the recorder stops frame delivery but not the sink.
+	proxy.SetRecorder(nil)
+	if err := client.WriteSingleRegister(2, 9); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		select {
+		case <-pkgs:
+		case <-time.After(2 * time.Second):
+			t.Fatal("sink stalled after recorder detach")
+		}
+	}
+	select {
+	case <-frames:
+		t.Error("detached recorder still received frames")
+	default:
+	}
+}
+
 func TestRegisterMapPartialPayload(t *testing.T) {
 	m := DefaultRegisterMap()
 	p := &dataset.Package{}

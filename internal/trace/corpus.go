@@ -1,0 +1,276 @@
+package trace
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"icsdetect/internal/core"
+	"icsdetect/internal/dataset"
+	"icsdetect/internal/gaspipeline"
+	"icsdetect/internal/signature"
+)
+
+// This file builds the golden conformance corpus committed under
+// testdata/traces at the repository root: one trained model snapshot, one
+// recorded trace per scenario (normal operation plus each gas-pipeline
+// attack category) and one golden verdict file per trace. Regenerate with
+// `go run ./cmd/icsreplay -record testdata/traces` after any deliberate
+// change to the trace format, the decode rules or the model recipe; the
+// conformance test then holds every future build to the new goldens.
+
+// CorpusConfig parameterizes BuildCorpus.
+type CorpusConfig struct {
+	// Dir receives the model, traces and verdict files.
+	Dir string
+	// FrameSeedDir, when non-empty, receives one .bin file per distinct
+	// frame shape seen across the corpus — the fuzz seed corpus of
+	// internal/modbus.
+	FrameSeedDir string
+	// TrainPackages sizes the normal capture the model trains on
+	// (default 16000).
+	TrainPackages int
+	// Seed drives the whole build (default 1).
+	Seed uint64
+}
+
+// CorpusScenario is one recorded scenario: a name, the attack it carries
+// (Normal for the clean trace) and the episode script.
+type CorpusScenario struct {
+	Name   string
+	Attack dataset.AttackType
+	Script func(sim *gaspipeline.Simulator)
+}
+
+// CorpusScenarios returns the scenario set of the golden corpus: normal
+// operation plus two episodes of every attack category of Table II,
+// separated by normal traffic so each trace exercises attack onset, attack
+// steady-state and recovery.
+func CorpusScenarios() []CorpusScenario {
+	attackScript := func(run func(sim *gaspipeline.Simulator)) func(sim *gaspipeline.Simulator) {
+		return func(sim *gaspipeline.Simulator) {
+			for i := 0; i < 8; i++ {
+				sim.RunNormalCycle(dataset.Normal)
+			}
+			run(sim)
+			for i := 0; i < 10; i++ {
+				sim.RunNormalCycle(dataset.Normal)
+			}
+			run(sim)
+			for i := 0; i < 8; i++ {
+				sim.RunNormalCycle(dataset.Normal)
+			}
+		}
+	}
+	return []CorpusScenario{
+		{Name: "normal", Attack: dataset.Normal, Script: func(sim *gaspipeline.Simulator) {
+			for i := 0; i < 60; i++ {
+				sim.RunNormalCycle(dataset.Normal)
+			}
+		}},
+		{Name: "nmri", Attack: dataset.NMRI, Script: attackScript(func(sim *gaspipeline.Simulator) {
+			sim.RunNMRIEpisode(4)
+		})},
+		{Name: "cmri", Attack: dataset.CMRI, Script: attackScript(func(sim *gaspipeline.Simulator) {
+			sim.RunCMRIEpisode(6)
+		})},
+		{Name: "msci", Attack: dataset.MSCI, Script: attackScript(func(sim *gaspipeline.Simulator) {
+			sim.RunMSCIEpisode(3)
+		})},
+		{Name: "mpci", Attack: dataset.MPCI, Script: attackScript(func(sim *gaspipeline.Simulator) {
+			sim.RunMPCIEpisode(3)
+		})},
+		{Name: "mfci", Attack: dataset.MFCI, Script: attackScript(func(sim *gaspipeline.Simulator) {
+			sim.RunMFCIEpisode(4)
+		})},
+		{Name: "dos", Attack: dataset.DOS, Script: attackScript(func(sim *gaspipeline.Simulator) {
+			sim.RunDoSEpisode(4)
+		})},
+		{Name: "recon", Attack: dataset.Recon, Script: attackScript(func(sim *gaspipeline.Simulator) {
+			sim.RunReconEpisode(10)
+		})},
+	}
+}
+
+// recordScenario runs script on a fresh simulator (after an unrecorded
+// warm-up so the PID loop and CRC window have settled) and returns the
+// recorded trace bytes.
+func recordScenario(name, fingerprint string, seed uint64, script func(*gaspipeline.Simulator)) ([]byte, error) {
+	simCfg := gaspipeline.DefaultSimConfig()
+	simCfg.Seed = seed
+	sim, err := gaspipeline.NewSimulator(simCfg)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < 60; i++ {
+		sim.RunNormalCycle(dataset.Normal)
+	}
+	var buf bytes.Buffer
+	rec, err := NewRecorder(&buf, SimHeader(name, fingerprint))
+	if err != nil {
+		return nil, err
+	}
+	sim.SetFrameSink(rec.RecordSim)
+	script(sim)
+	sim.SetFrameSink(nil)
+	if err := rec.Flush(); err != nil {
+		return nil, fmt.Errorf("trace: record %s: %w", name, err)
+	}
+	return buf.Bytes(), nil
+}
+
+// corpusTrainConfig is the fixed model recipe of the golden corpus: small
+// enough to train in seconds, expressive enough that every attack category
+// is detectable on replayed traces.
+func corpusTrainConfig(seed uint64) core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Granularity = signature.Granularity{
+		IntervalClusters: 2, CRCClusters: 2,
+		PressureBins: 8, SetpointBins: 5, PIDClusters: 4,
+	}
+	cfg.Hidden = []int{32, 32}
+	cfg.Fit.Epochs = 16
+	cfg.Fit.BatchSize = 8
+	cfg.Fit.LR = 3e-3
+	cfg.Seed = seed
+	return cfg
+}
+
+// TrainCorpusModel trains the corpus framework the way BuildCorpus does:
+// on the package stream decoded from a recorded attack-free trace, so the
+// model sees exactly the feature distributions replay reconstructs from
+// wire bytes (not the simulator's internal state view).
+func TrainCorpusModel(trainPackages int, seed uint64) (*core.Framework, error) {
+	if trainPackages <= 0 {
+		trainPackages = 16000
+	}
+	cycles := trainPackages / 4
+	raw, err := recordScenario("train", "", seed, func(sim *gaspipeline.Simulator) {
+		for i := 0; i < cycles; i++ {
+			sim.RunNormalCycle(dataset.Normal)
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	h, recs, err := ReadAll(bytes.NewReader(raw))
+	if err != nil {
+		return nil, err
+	}
+	pkgs, err := Packages(h, recs)
+	if err != nil {
+		return nil, err
+	}
+	split, err := dataset.MakeSplit(&dataset.Dataset{Packages: pkgs}, dataset.SplitConfig{})
+	if err != nil {
+		return nil, err
+	}
+	fw, _, err := core.Train(split, corpusTrainConfig(seed))
+	return fw, err
+}
+
+// CorpusReport summarizes a BuildCorpus run.
+type CorpusReport struct {
+	Fingerprint string
+	// Results holds the golden replay of every scenario.
+	Results []*Result
+	// FrameSeeds is the number of fuzz seed frames written.
+	FrameSeeds int
+}
+
+// BuildCorpus trains the corpus model, records every scenario, replays each
+// trace to produce its golden verdicts, and writes the whole corpus to
+// cfg.Dir (model.fw, <scenario>.trace, <scenario>.verdicts). Every attack
+// trace must yield at least one detected attack package — a corpus whose
+// goldens say "nothing detected" would pin a useless model — otherwise the
+// build fails.
+func BuildCorpus(cfg CorpusConfig) (*CorpusReport, error) {
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("trace: corpus dir required")
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, err
+	}
+	fw, err := TrainCorpusModel(cfg.TrainPackages, cfg.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("trace: train corpus model: %w", err)
+	}
+	fingerprint := fw.Fingerprint()
+	var model bytes.Buffer
+	if err := fw.Save(&model); err != nil {
+		return nil, err
+	}
+	if err := os.WriteFile(filepath.Join(cfg.Dir, "model.fw"), model.Bytes(), 0o644); err != nil {
+		return nil, err
+	}
+
+	report := &CorpusReport{Fingerprint: fingerprint}
+	var seedFrames [][]byte
+	seenShapes := make(map[string]bool)
+	for i, sc := range CorpusScenarios() {
+		// Scenario seeds are offset from the training seed so no golden
+		// trace replays traffic the model was fit on (seed+0 would make the
+		// normal trace a bitwise prefix of the training capture).
+		raw, err := recordScenario(sc.Name, fingerprint, cfg.Seed+1+uint64(i)*0x9E3779B9, sc.Script)
+		if err != nil {
+			return nil, err
+		}
+		h, recs, err := ReadAll(bytes.NewReader(raw))
+		if err != nil {
+			return nil, fmt.Errorf("trace: reread %s: %w", sc.Name, err)
+		}
+		res, err := Replay(fw, h, recs, ReplayConfig{})
+		if err != nil {
+			return nil, fmt.Errorf("trace: golden replay %s: %w", sc.Name, err)
+		}
+		if sc.Attack != dataset.Normal && res.PerAttack.Detected[sc.Attack] == 0 {
+			return nil, fmt.Errorf("trace: corpus scenario %s: no %v package detected; refusing to pin a blind golden",
+				sc.Name, sc.Attack)
+		}
+		if err := os.WriteFile(filepath.Join(cfg.Dir, sc.Name+".trace"), raw, 0o644); err != nil {
+			return nil, err
+		}
+		golden := FormatVerdicts(sc.Name, fingerprint, res.Verdicts)
+		if err := os.WriteFile(filepath.Join(cfg.Dir, sc.Name+".verdicts"), golden, 0o644); err != nil {
+			return nil, err
+		}
+		report.Results = append(report.Results, res)
+
+		for _, rec := range recs {
+			shape := fmt.Sprintf("%x:%d:%v", rec.Frame[1], len(rec.Frame), rec.IsCmd)
+			if !seenShapes[shape] {
+				seenShapes[shape] = true
+				seedFrames = append(seedFrames, rec.Frame)
+			}
+		}
+	}
+
+	if cfg.FrameSeedDir != "" {
+		if err := os.MkdirAll(cfg.FrameSeedDir, 0o755); err != nil {
+			return nil, err
+		}
+		// A regeneration owns the seed directory: drop seeds of a previous
+		// corpus so a shrinking shape set cannot leave stale frames behind.
+		stale, err := filepath.Glob(filepath.Join(cfg.FrameSeedDir, "corpus*.bin"))
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range stale {
+			if err := os.Remove(p); err != nil {
+				return nil, err
+			}
+		}
+		for i, frame := range seedFrames {
+			name := filepath.Join(cfg.FrameSeedDir, fmt.Sprintf("corpus%02d.bin", i))
+			if err := os.WriteFile(name, frame, 0o644); err != nil {
+				return nil, err
+			}
+		}
+		report.FrameSeeds = len(seedFrames)
+	}
+	return report, nil
+}

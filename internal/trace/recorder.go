@@ -1,0 +1,127 @@
+package trace
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"icsdetect/internal/dataset"
+	"icsdetect/internal/gaspipeline"
+	"icsdetect/internal/modbus"
+)
+
+// Recorder captures labeled frames into a trace. It adapts the two capture
+// points of the repo — the gas-pipeline simulator's frame sink (RTU traces)
+// and the live tap's recorder hook (TCP traces) — onto the Writer, turning
+// absolute capture timestamps into record deltas.
+//
+// A Recorder is not safe for concurrent use: attach it to one simulator or
+// one single-client tap. The first error sticks and is returned from every
+// subsequent call and from Flush, so a sink wiring that cannot propagate
+// errors (the simulator's frame sink) can check Err once at the end.
+type Recorder struct {
+	w     *Writer
+	fmt   Format
+	prev  float64
+	first bool
+	count int
+	err   error
+}
+
+// NewRecorder writes the header for h to w and returns a recorder
+// producing records in h.Format.
+func NewRecorder(w io.Writer, h Header) (*Recorder, error) {
+	tw, err := NewWriter(w, h)
+	if err != nil {
+		return nil, err
+	}
+	return &Recorder{w: tw, fmt: h.Format, first: true}, nil
+}
+
+// Count returns the number of records captured so far.
+func (r *Recorder) Count() int { return r.count }
+
+// Err returns the first error the recorder hit (nil if none).
+func (r *Recorder) Err() error { return r.err }
+
+// Flush flushes the underlying writer and returns the sticky error.
+func (r *Recorder) Flush() error {
+	if r.err != nil {
+		return r.err
+	}
+	if err := r.w.Flush(); err != nil {
+		r.err = err
+	}
+	return r.err
+}
+
+// Record appends one frame captured at the absolute time t (seconds). The
+// delta to the previous record is rounded to whole nanoseconds; the first
+// record anchors the trace at delta 0. raw is copied.
+func (r *Recorder) Record(raw []byte, t float64, isCmd bool, label dataset.AttackType) error {
+	if r.err != nil {
+		return r.err
+	}
+	var delta uint64
+	if r.first {
+		r.first = false
+	} else {
+		d := t - r.prev
+		if d < 0 {
+			d = 0
+		}
+		delta = uint64(math.Round(d * 1e9))
+	}
+	r.prev = t
+	frame := make([]byte, len(raw))
+	copy(frame, raw)
+	if err := r.w.Write(&Record{Delta: delta, Label: label, IsCmd: isCmd, Frame: frame}); err != nil {
+		r.err = err
+		return err
+	}
+	r.count++
+	return nil
+}
+
+// RecordSim captures one simulator frame; wire it up with
+// sim.SetFrameSink(rec.RecordSim) on an RTU recorder. The simulator models
+// benign link glitches after encoding, so when a frame it marks corrupt
+// still carries a valid CRC the recorder flips the checksum in the recorded
+// copy: the trace's wire bytes then carry the corruption themselves, and
+// the replayer reconstructs the crc_rate feature from the bytes alone.
+func (r *Recorder) RecordSim(f gaspipeline.Frame) {
+	if r.err != nil {
+		return
+	}
+	if r.fmt != FormatRTU {
+		r.err = fmt.Errorf("trace: simulator frames require an RTU recorder, have %v", r.fmt)
+		return
+	}
+	raw := f.Raw
+	if f.Corrupt && len(raw) >= 4 {
+		body := raw[:len(raw)-2]
+		wire := binary.LittleEndian.Uint16(raw[len(raw)-2:])
+		if modbus.CRC16(body) == wire {
+			tampered := make([]byte, len(raw))
+			copy(tampered, raw)
+			binary.LittleEndian.PutUint16(tampered[len(raw)-2:], wire^0xFFFF)
+			raw = tampered
+		}
+	}
+	_ = r.Record(raw, f.Time, f.IsCmd, f.Label)
+}
+
+// RecordTap captures one tap frame; wire it up with
+// proxy.SetRecorder(rec.RecordTap) on a TCP recorder. Tap traffic has no
+// ground truth, so records are labeled Normal.
+func (r *Recorder) RecordTap(raw []byte, isCmd bool, pkg *dataset.Package) {
+	if r.err != nil {
+		return
+	}
+	if r.fmt != FormatTCP {
+		r.err = fmt.Errorf("trace: tap frames require a TCP recorder, have %v", r.fmt)
+		return
+	}
+	_ = r.Record(raw, pkg.Time, isCmd, dataset.Normal)
+}

@@ -1,0 +1,354 @@
+// Package trace implements deterministic capture and replay of ICS network
+// traffic: a versioned binary trace format holding raw Modbus frames with
+// timestamps and ground-truth labels, a Recorder that taps the gas-pipeline
+// simulator or the live network tap, a Decoder that reconstructs the Table I
+// package schema from the recorded wire bytes exactly as the tap would, and
+// a Replayer that drives a trace through the detection framework — either
+// as fast as possible (throughput mode) or time-scaled (latency mode).
+//
+// The point of the subsystem is a stable artifact: a recorded trace replays
+// to bitwise-identical packages — and, for a fixed model, bitwise-identical
+// verdicts — on every run, every build and every kernel path (SIMD or
+// scalar), so detector behaviour can be regression-tested against committed
+// golden verdict files instead of re-simulated traffic (see testdata/traces
+// at the repository root and the conformance test over it).
+//
+// # Trace format (version 1)
+//
+// A trace is a header followed by length-prefixed records. All multi-byte
+// fixed-width integers are big-endian; "uvarint" is the unsigned varint of
+// encoding/binary.
+//
+//	trace   := header record*
+//	header  := magic "ICSTRACE" (8 bytes)
+//	           version u16          // this package writes 1
+//	           format  u8           // 1 = Modbus RTU frames, 2 = Modbus/TCP
+//	           reserved u8          // 0; readers reject non-zero
+//	           scenario    uvarint n, n bytes  // UTF-8 scenario name
+//	           fingerprint uvarint n, n bytes  // model fingerprint (hex), may be empty
+//	           regmap      12 × i16 // register map, fixed order (see below)
+//	record  := uvarint payloadLen, payload
+//	payload := delta uvarint       // nanoseconds since previous record (0 for first)
+//	           label u8            // dataset.AttackType ground truth
+//	           flags u8            // bit 0: master→slave command; others 0
+//	           frame bytes         // raw wire frame, rest of the payload
+//
+// The register map fields are serialized in declaration order of
+// tap.RegisterMap: Setpoint, Gain, ResetRate, Deadband, CycleTime, Rate,
+// Mode, Scheme, Pump, Solenoid, Pressure, MinRegisters.
+//
+// Compatibility rules: the major version is the version field — readers
+// reject traces whose version or frame format they do not know, and reject
+// non-zero reserved header bits or record flag bits, so additions require a
+// version bump rather than silently re-interpreted traces. Record payloads
+// are length-prefixed, letting tools skip records without decoding frames.
+// Timestamps are deltas, so traces are position-independent artifacts: replay
+// time bases are chosen by the replayer, and concatenating record streams
+// under one header is well-defined.
+//
+// The fingerprint ties a trace (and its golden verdict file) to the exact
+// model it was recorded for; see core.Framework.Fingerprint.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"icsdetect/internal/dataset"
+	"icsdetect/internal/tap"
+)
+
+// Format identifies the wire framing of the recorded frames.
+type Format uint8
+
+// Supported frame formats.
+const (
+	// FormatRTU records Modbus RTU frames (address + PDU + CRC16), the
+	// framing of the gas-pipeline testbed link. RTU traces carry authentic
+	// CRCs, so the crc_rate feature is reconstructed from the wire bytes.
+	FormatRTU Format = 1
+	// FormatTCP records Modbus/TCP frames (MBAP header + PDU), the framing
+	// the live tap relays. TCP has no CRC; the crc_rate feature is zero.
+	FormatTCP Format = 2
+)
+
+// String names the format.
+func (f Format) String() string {
+	switch f {
+	case FormatRTU:
+		return "rtu"
+	case FormatTCP:
+		return "tcp"
+	default:
+		return fmt.Sprintf("Format(%d)", uint8(f))
+	}
+}
+
+// Version is the trace format version this package reads and writes.
+const Version = 1
+
+// magic identifies a trace file.
+var magic = [8]byte{'I', 'C', 'S', 'T', 'R', 'A', 'C', 'E'}
+
+// Limits guarding the decoder against corrupt or hostile trace files.
+const (
+	maxNameLen   = 4096
+	maxRecordLen = 1 << 20
+	// maxRecordDelta caps the gap between consecutive records at 24 hours.
+	// SCADA polling runs at sub-second periods; an absurd delta in a trace
+	// is corruption, and rejecting it keeps timed replay from sleeping for
+	// years and the decoder's nanosecond accumulator from overflowing.
+	maxRecordDelta = uint64(24 * 60 * 60 * 1e9)
+)
+
+// Errors returned by the trace codec.
+var (
+	ErrBadMagic   = errors.New("trace: not a trace file (bad magic)")
+	ErrBadVersion = errors.New("trace: unsupported format version")
+	ErrBadFormat  = errors.New("trace: unknown frame format")
+	ErrCorrupt    = errors.New("trace: corrupt trace")
+)
+
+// Header describes a trace: frame format, scenario identity, the model the
+// trace was recorded for, and the register map needed to decode controller
+// blocks out of the recorded frames.
+type Header struct {
+	// Version is the format version (set by the reader; the writer always
+	// writes Version).
+	Version uint16
+	// Format is the wire framing of the records.
+	Format Format
+	// Scenario names the recorded scenario ("normal", "dos", …).
+	Scenario string
+	// Fingerprint pins the model the trace's golden verdicts were produced
+	// against (core.Framework.Fingerprint); empty when the trace is not tied
+	// to a model.
+	Fingerprint string
+	// Registers maps holding registers to controller-state columns.
+	Registers tap.RegisterMap
+}
+
+// Record is one captured frame.
+type Record struct {
+	// Delta is the time since the previous record in nanoseconds (0 for the
+	// first record of a trace).
+	Delta uint64
+	// Label is the ground-truth attack type of the frame.
+	Label dataset.AttackType
+	// IsCmd marks master→slave traffic.
+	IsCmd bool
+	// Frame is the raw wire frame in the trace's format.
+	Frame []byte
+}
+
+// regMapFields flattens a register map in the canonical serialization
+// order.
+func regMapFields(m *tap.RegisterMap) []*int {
+	return []*int{
+		&m.Setpoint, &m.Gain, &m.ResetRate, &m.Deadband, &m.CycleTime,
+		&m.Rate, &m.Mode, &m.Scheme, &m.Pump, &m.Solenoid, &m.Pressure,
+		&m.MinRegisters,
+	}
+}
+
+// Writer serializes a trace. Create with NewWriter (which writes the
+// header), append records with Write, and Flush before closing the
+// underlying file.
+type Writer struct {
+	w   *bufio.Writer
+	buf []byte
+}
+
+// NewWriter writes the header for h to w and returns a record writer.
+func NewWriter(w io.Writer, h Header) (*Writer, error) {
+	if h.Format != FormatRTU && h.Format != FormatTCP {
+		return nil, fmt.Errorf("%w: %d", ErrBadFormat, uint8(h.Format))
+	}
+	if len(h.Scenario) > maxNameLen || len(h.Fingerprint) > maxNameLen {
+		return nil, fmt.Errorf("trace: header string too long")
+	}
+	bw := bufio.NewWriter(w)
+	var hdr []byte
+	hdr = append(hdr, magic[:]...)
+	hdr = binary.BigEndian.AppendUint16(hdr, Version)
+	hdr = append(hdr, byte(h.Format), 0)
+	hdr = binary.AppendUvarint(hdr, uint64(len(h.Scenario)))
+	hdr = append(hdr, h.Scenario...)
+	hdr = binary.AppendUvarint(hdr, uint64(len(h.Fingerprint)))
+	hdr = append(hdr, h.Fingerprint...)
+	regs := h.Registers
+	for _, f := range regMapFields(&regs) {
+		v := *f
+		if v < math.MinInt16 || v > math.MaxInt16 {
+			return nil, fmt.Errorf("trace: register map index %d out of int16 range", v)
+		}
+		hdr = binary.BigEndian.AppendUint16(hdr, uint16(int16(v)))
+	}
+	if _, err := bw.Write(hdr); err != nil {
+		return nil, fmt.Errorf("trace: write header: %w", err)
+	}
+	return &Writer{w: bw}, nil
+}
+
+// Write appends one record.
+func (w *Writer) Write(rec *Record) error {
+	if rec.Label < 0 || int(rec.Label) > math.MaxUint8 {
+		return fmt.Errorf("trace: label %d out of range", rec.Label)
+	}
+	if rec.Delta > maxRecordDelta {
+		return fmt.Errorf("trace: record delta %d ns exceeds the %d ns limit", rec.Delta, maxRecordDelta)
+	}
+	w.buf = w.buf[:0]
+	w.buf = binary.AppendUvarint(w.buf, rec.Delta)
+	w.buf = append(w.buf, byte(rec.Label))
+	var flags byte
+	if rec.IsCmd {
+		flags |= 1
+	}
+	w.buf = append(w.buf, flags)
+	w.buf = append(w.buf, rec.Frame...)
+	if len(w.buf) > maxRecordLen {
+		return fmt.Errorf("trace: record of %d bytes exceeds limit", len(w.buf))
+	}
+	var lenbuf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(lenbuf[:], uint64(len(w.buf)))
+	if _, err := w.w.Write(lenbuf[:n]); err != nil {
+		return fmt.Errorf("trace: write record: %w", err)
+	}
+	if _, err := w.w.Write(w.buf); err != nil {
+		return fmt.Errorf("trace: write record: %w", err)
+	}
+	return nil
+}
+
+// Flush flushes buffered records to the underlying writer.
+func (w *Writer) Flush() error { return w.w.Flush() }
+
+// Reader parses a trace stream. Create with NewReader (which reads and
+// validates the header), then call Next until io.EOF.
+type Reader struct {
+	r      *bufio.Reader
+	header Header
+}
+
+// NewReader reads the header from r and returns a record reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReader(r)
+	var m [8]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadMagic, err)
+	}
+	if m != magic {
+		return nil, ErrBadMagic
+	}
+	var fixed [4]byte
+	if _, err := io.ReadFull(br, fixed[:]); err != nil {
+		return nil, fmt.Errorf("%w: truncated header: %v", ErrCorrupt, err)
+	}
+	h := Header{
+		Version: binary.BigEndian.Uint16(fixed[0:2]),
+		Format:  Format(fixed[2]),
+	}
+	if h.Version != Version {
+		return nil, fmt.Errorf("%w: %d (this reader understands %d)", ErrBadVersion, h.Version, Version)
+	}
+	if h.Format != FormatRTU && h.Format != FormatTCP {
+		return nil, fmt.Errorf("%w: %d", ErrBadFormat, uint8(h.Format))
+	}
+	if fixed[3] != 0 {
+		return nil, fmt.Errorf("%w: reserved header byte 0x%02x", ErrCorrupt, fixed[3])
+	}
+	var err error
+	if h.Scenario, err = readString(br); err != nil {
+		return nil, err
+	}
+	if h.Fingerprint, err = readString(br); err != nil {
+		return nil, err
+	}
+	var regbuf [24]byte
+	if _, err := io.ReadFull(br, regbuf[:]); err != nil {
+		return nil, fmt.Errorf("%w: truncated register map: %v", ErrCorrupt, err)
+	}
+	for i, f := range regMapFields(&h.Registers) {
+		*f = int(int16(binary.BigEndian.Uint16(regbuf[2*i:])))
+	}
+	return &Reader{r: br, header: h}, nil
+}
+
+func readString(br *bufio.Reader) (string, error) {
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return "", fmt.Errorf("%w: header string length: %v", ErrCorrupt, err)
+	}
+	if n > maxNameLen {
+		return "", fmt.Errorf("%w: header string of %d bytes", ErrCorrupt, n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(br, buf); err != nil {
+		return "", fmt.Errorf("%w: truncated header string: %v", ErrCorrupt, err)
+	}
+	return string(buf), nil
+}
+
+// Header returns the trace header.
+func (r *Reader) Header() Header { return r.header }
+
+// Next reads the next record. It returns io.EOF at a clean end of trace;
+// a trace truncated mid-record yields ErrCorrupt.
+func (r *Reader) Next() (*Record, error) {
+	plen, err := binary.ReadUvarint(r.r)
+	if err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("%w: record length: %v", ErrCorrupt, err)
+	}
+	if plen < 3 || plen > maxRecordLen {
+		return nil, fmt.Errorf("%w: record of %d bytes", ErrCorrupt, plen)
+	}
+	payload := make([]byte, plen)
+	if _, err := io.ReadFull(r.r, payload); err != nil {
+		return nil, fmt.Errorf("%w: truncated record: %v", ErrCorrupt, err)
+	}
+	delta, n := binary.Uvarint(payload)
+	if n <= 0 || len(payload)-n < 2 {
+		return nil, fmt.Errorf("%w: record payload", ErrCorrupt)
+	}
+	if delta > maxRecordDelta {
+		return nil, fmt.Errorf("%w: record delta %d ns", ErrCorrupt, delta)
+	}
+	label := payload[n]
+	flags := payload[n+1]
+	if flags&^byte(1) != 0 {
+		return nil, fmt.Errorf("%w: unknown record flags 0x%02x", ErrCorrupt, flags)
+	}
+	return &Record{
+		Delta: delta,
+		Label: dataset.AttackType(label),
+		IsCmd: flags&1 != 0,
+		Frame: payload[n+2:],
+	}, nil
+}
+
+// ReadAll reads a whole trace: header plus every record.
+func ReadAll(r io.Reader) (Header, []*Record, error) {
+	tr, err := NewReader(r)
+	if err != nil {
+		return Header{}, nil, err
+	}
+	var recs []*Record
+	for {
+		rec, err := tr.Next()
+		if err == io.EOF {
+			return tr.Header(), recs, nil
+		}
+		if err != nil {
+			return Header{}, nil, err
+		}
+		recs = append(recs, rec)
+	}
+}
