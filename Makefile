@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build fmt vet test race race-quick bench bench-smoke bench-train fuzz-smoke
+.PHONY: check build fmt vet test race race-quick conformance bench bench-smoke bench-train fuzz-smoke
 
 check: fmt vet build test race-quick fuzz-smoke bench-smoke
 
@@ -31,10 +31,18 @@ race:
 # The -short sweep already covers internal/trace and the root golden-trace
 # conformance tests under -race (neither Short-skips); the explicit
 # conformance line below guards that coverage against a future Short-gate.
+# Keep -race on this quick subset only — a full -race sweep takes minutes
+# on the 1-CPU CI runner.
 race-quick:
 	$(GO) test -race -short ./...
 	$(GO) test -race ./internal/engine/
 	$(GO) test -race -run 'TestTraceConformance' .
+
+# The scenario-matrix golden conformance suite alone: both testbeds x
+# {sequential, engine} x {SIMD, scalar} against the committed corpora,
+# plus the mixed-scenario engine and cross-scenario parity gates.
+conformance:
+	$(GO) test -v -run 'TestTraceConformance' .
 
 bench:
 	$(GO) test -run=NONE -bench=. -benchmem .

@@ -671,7 +671,7 @@ func replayBenchEnv(b *testing.B) (*core.Framework, trace.Header, []*trace.Recor
 			return
 		}
 		var buf bytes.Buffer
-		rec, err := trace.NewRecorder(&buf, trace.SimHeader("bench", ""))
+		rec, err := trace.NewRecorder(&buf, trace.SimHeader("bench", "", gaspipeline.Registers()))
 		if err != nil {
 			replayErr = err
 			return

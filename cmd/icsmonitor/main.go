@@ -6,6 +6,7 @@
 // Usage:
 //
 //	icsmonitor -listen :15020 -upstream 10.0.0.7:502 -model model.bin
+//	icsmonitor -scenario watertank -upstream 10.0.0.9:502 -model tank.bin
 //
 // Bootstrap mode trains a model from an initial attack-free observation
 // window instead of loading one:
@@ -18,6 +19,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"sync"
 	"syscall"
 	"time"
@@ -25,8 +27,11 @@ import (
 	"icsdetect/internal/core"
 	"icsdetect/internal/dataset"
 	"icsdetect/internal/engine"
-	"icsdetect/internal/signature"
+	"icsdetect/internal/scenario"
 	"icsdetect/internal/tap"
+
+	_ "icsdetect/internal/gaspipeline"
+	_ "icsdetect/internal/watertank"
 )
 
 func main() {
@@ -39,6 +44,7 @@ func main() {
 func run() error {
 	var (
 		listen    = flag.String("listen", "127.0.0.1:15020", "address masters connect to")
+		scName    = flag.String("scenario", scenario.Default, "testbed scenario of the monitored device: "+strings.Join(scenario.Names(), ", "))
 		upstream  = flag.String("upstream", "", "slave device address (required)")
 		modelPath = flag.String("model", "", "trained model to load")
 		bootstrap = flag.Int("bootstrap", 0, "observe N clean packages, then train in place")
@@ -54,8 +60,14 @@ func run() error {
 	if *modelPath == "" && *bootstrap == 0 {
 		return fmt.Errorf("either -model or -bootstrap is required")
 	}
+	sc, err := scenario.Get(*scName)
+	if err != nil {
+		return err
+	}
 
-	proxy := tap.New(*upstream, tap.DefaultRegisterMap())
+	// The scenario's register map tells the tap how to decode this
+	// device's controller block out of the relayed frames.
+	proxy := tap.New(*upstream, sc.Registers())
 	addr, err := proxy.Listen(*listen)
 	if err != nil {
 		return err
@@ -75,7 +87,7 @@ func run() error {
 			return err
 		}
 	} else {
-		fw, err = bootstrapModel(proxy, *bootstrap, *epochs)
+		fw, err = bootstrapModel(proxy, sc, *bootstrap, *epochs)
 		if err != nil {
 			return err
 		}
@@ -148,8 +160,9 @@ func run() error {
 }
 
 // bootstrapModel waits for n observed packages and trains the framework on
-// them (the paper's "air-gapped" observation phase, §IV).
-func bootstrapModel(proxy *tap.Proxy, n, epochs int) (*core.Framework, error) {
+// them (the paper's "air-gapped" observation phase, §IV), with the
+// discretization the scenario prescribes for a capture of that size.
+func bootstrapModel(proxy *tap.Proxy, sc scenario.Scenario, n, epochs int) (*core.Framework, error) {
 	fmt.Fprintf(os.Stderr, "bootstrap: waiting for %d clean packages …\n", n)
 	var clean []*dataset.Package
 	for len(clean) < n {
@@ -164,10 +177,7 @@ func bootstrapModel(proxy *tap.Proxy, n, epochs int) (*core.Framework, error) {
 		return nil, err
 	}
 	cfg := core.DefaultConfig()
-	cfg.Granularity = signature.Granularity{
-		IntervalClusters: 2, CRCClusters: 2,
-		PressureBins: 5, SetpointBins: 3, PIDClusters: 2,
-	}
+	cfg.Granularity = sc.Granularity(len(clean))
 	cfg.Hidden = []int{32, 32}
 	cfg.Fit.Epochs = epochs
 	cfg.Fit.BatchSize = 4

@@ -14,10 +14,12 @@
 //	icsreplay -trace dos.trace -model model.fw -verify dos.verdicts
 //	icsreplay -trace dos.trace -model model.fw -verdicts /tmp/dos.verdicts
 //
-// Rebuild the whole golden conformance corpus (model, traces, verdict
-// files, fuzz seed frames):
+// Rebuild a golden conformance corpus (model, traces, verdict files, fuzz
+// seed frames) for a testbed scenario:
 //
 //	icsreplay -record testdata/traces -fuzzseeds internal/modbus/testdata/frames
+//	icsreplay -record testdata/traces/watertank -scenario watertank \
+//	          -fuzzseeds internal/modbus/testdata/frames
 package main
 
 import (
@@ -25,12 +27,17 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 	"time"
 
 	"icsdetect/internal/core"
 	"icsdetect/internal/dataset"
 	"icsdetect/internal/engine"
+	"icsdetect/internal/scenario"
 	"icsdetect/internal/trace"
+
+	_ "icsdetect/internal/gaspipeline"
+	_ "icsdetect/internal/watertank"
 )
 
 func main() {
@@ -43,6 +50,7 @@ func main() {
 func run() error {
 	var (
 		recordDir = flag.String("record", "", "build the golden corpus into this directory")
+		scName    = flag.String("scenario", scenario.Default, "with -record: testbed scenario to build the corpus for ("+strings.Join(scenario.Names(), ", ")+")")
 		fuzzSeeds = flag.String("fuzzseeds", "", "with -record: also write fuzz seed frames here")
 		trainN    = flag.Int("train", 16000, "with -record: training capture size in packages")
 		seed      = flag.Uint64("seed", 1, "with -record: corpus seed")
@@ -60,7 +68,11 @@ func run() error {
 	flag.Parse()
 
 	if *recordDir != "" {
-		return record(*recordDir, *fuzzSeeds, *trainN, *seed)
+		sc, err := scenario.Get(*scName)
+		if err != nil {
+			return err
+		}
+		return record(sc, *recordDir, *fuzzSeeds, *trainN, *seed)
 	}
 	if *tracePath == "" || *modelPath == "" {
 		return fmt.Errorf("either -record DIR, or -trace FILE with -model FILE, is required")
@@ -160,11 +172,19 @@ func report(res *trace.Result, h trace.Header) {
 	}
 }
 
-func record(dir, fuzzDir string, trainN int, seed uint64) error {
+func record(sc scenario.Scenario, dir, fuzzDir string, trainN int, seed uint64) error {
 	start := time.Now()
-	fmt.Printf("building golden corpus in %s (training on %d packages)...\n", dir, trainN)
+	fmt.Printf("building %s golden corpus in %s (training on %d packages)...\n", sc.Name(), dir, trainN)
+	// The gas pipeline keeps the historical "corpus" fuzz seed prefix;
+	// other testbeds use their name so corpora can't clobber each other's
+	// seeds.
+	prefix := "corpus"
+	if sc.Name() != scenario.Default {
+		prefix = sc.Name()
+	}
 	rep, err := trace.BuildCorpus(trace.CorpusConfig{
-		Dir: dir, FrameSeedDir: fuzzDir, TrainPackages: trainN, Seed: seed,
+		Scenario: sc, Dir: dir, FrameSeedDir: fuzzDir, SeedPrefix: prefix,
+		TrainPackages: trainN, Seed: seed,
 	})
 	if err != nil {
 		return err

@@ -4,11 +4,12 @@
 // Usage:
 //
 //	icstrain -in capture.arff -model model.bin [-hidden 64,64] [-epochs 12]
-//	         [-search] [-no-noise] [-trainer batched|reference]
-//	         [-checkpoint prefix]
+//	         [-scenario watertank] [-search] [-no-noise]
+//	         [-trainer batched|reference] [-checkpoint prefix]
 //
 // By default the Table III-style fixed granularity is tuned to the capture
-// size heuristically; -search runs the paper's §IV-B granularity search
+// size through the scenario's scale heuristic (-scenario names the testbed
+// the capture came from); -search runs the paper's §IV-B granularity search
 // instead. Training uses the batched gradient engine; -trainer=reference
 // selects the per-window engine (both produce bitwise-identical models for
 // the same seed). Each epoch reports loss, wall time and windows/sec, and
@@ -26,7 +27,10 @@ import (
 	"icsdetect/internal/core"
 	"icsdetect/internal/dataset"
 	"icsdetect/internal/nn"
-	"icsdetect/internal/signature"
+	"icsdetect/internal/scenario"
+
+	_ "icsdetect/internal/gaspipeline"
+	_ "icsdetect/internal/watertank"
 )
 
 func main() {
@@ -39,6 +43,7 @@ func main() {
 func run() error {
 	var (
 		in      = flag.String("in", "", "input ARFF capture (required)")
+		scName  = flag.String("scenario", scenario.Default, "testbed scenario the capture came from: "+strings.Join(scenario.Names(), ", "))
 		model   = flag.String("model", "model.bin", "output model path")
 		hidden  = flag.String("hidden", "64,64", "LSTM hidden sizes, comma separated")
 		epochs  = flag.Int("epochs", 12, "training epochs")
@@ -52,6 +57,10 @@ func run() error {
 	flag.Parse()
 	if *in == "" {
 		return fmt.Errorf("-in is required")
+	}
+	sc, err := scenario.Get(*scName)
+	if err != nil {
+		return err
 	}
 	engine, err := nn.ParseTrainer(*trainer)
 	if err != nil {
@@ -82,7 +91,7 @@ func run() error {
 		return err
 	}
 	if !*search {
-		cfg.Granularity = heuristicGranularity(ds.Len())
+		cfg.Granularity = sc.Granularity(ds.Len())
 	}
 	cfg.Fit.Trainer = engine
 	cfg.Fit.EpochEnd = func(st nn.EpochStats) {
@@ -141,19 +150,4 @@ func parseHidden(s string) ([]int, error) {
 		out = append(out, v)
 	}
 	return out, nil
-}
-
-// heuristicGranularity scales the discretization with the capture size, the
-// practical counterpart of the paper's search when retraining frequently.
-func heuristicGranularity(n int) signature.Granularity {
-	switch {
-	case n >= 150000:
-		return signature.PaperGranularity()
-	case n >= 50000:
-		return signature.Granularity{IntervalClusters: 2, CRCClusters: 2,
-			PressureBins: 8, SetpointBins: 5, PIDClusters: 4}
-	default:
-		return signature.Granularity{IntervalClusters: 2, CRCClusters: 2,
-			PressureBins: 5, SetpointBins: 3, PIDClusters: 2}
-	}
 }

@@ -110,7 +110,7 @@ func run() error {
 	defer server.Close()
 
 	// ---- Tap proxy ---------------------------------------------------------
-	monitor := tap.New(slaveAddr.String(), tap.DefaultRegisterMap())
+	monitor := tap.New(slaveAddr.String(), gaspipeline.Registers())
 	tapAddr, err := monitor.Listen("127.0.0.1:0")
 	if err != nil {
 		return err

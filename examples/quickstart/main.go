@@ -1,20 +1,28 @@
-// Quickstart: generate a simulated gas-pipeline capture, train the
-// two-level detector, and classify the held-out traffic.
+// Quickstart: generate a simulated SCADA capture for a testbed scenario,
+// train the two-level detector, and classify the held-out traffic.
 //
 //	go run ./examples/quickstart
+//	go run ./examples/quickstart -scenario watertank
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
+	"strings"
 
 	"icsdetect"
 )
 
 func main() {
-	// 1. Simulated SCADA capture with the Morris dataset's schema: ~22%
+	scName := flag.String("scenario", "",
+		"testbed scenario: "+strings.Join(icsdetect.Scenarios(), ", "))
+	flag.Parse()
+
+	// 1. Simulated SCADA capture with the Morris datasets' schema: ~22%
 	//    attack packages across all seven attack types.
 	ds, err := icsdetect.GenerateDataset(icsdetect.DatasetOptions{
+		Scenario: *scName,
 		Packages: 12000,
 		Seed:     1,
 	})

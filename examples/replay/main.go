@@ -1,51 +1,62 @@
-// Record → replay → metrics: capture a labeled attack scenario from the
-// gas-pipeline simulator into the binary trace format, then replay the
-// recorded wire frames through the detector — once as fast as possible
-// (throughput mode) and once on the trace's own timeline (latency mode) —
-// and report per-attack detection latency.
+// Record → replay → metrics: capture a labeled attack scenario from a
+// testbed simulator into the binary trace format, then replay the recorded
+// wire frames through the detector — once as fast as possible (throughput
+// mode) and once on the trace's own timeline (latency mode) — and report
+// per-attack detection latency.
 //
 //	go run ./examples/replay
+//	go run ./examples/replay -scenario watertank
 package main
 
 import (
 	"bytes"
+	"flag"
 	"fmt"
 	"log"
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 
 	"icsdetect/internal/dataset"
 	"icsdetect/internal/engine"
-	"icsdetect/internal/gaspipeline"
+	"icsdetect/internal/scenario"
 	"icsdetect/internal/trace"
+
+	_ "icsdetect/internal/gaspipeline"
+	_ "icsdetect/internal/watertank"
 )
 
 func main() {
+	scName := flag.String("scenario", scenario.Default,
+		"testbed scenario: "+strings.Join(scenario.Names(), ", "))
+	flag.Parse()
+	sc, err := scenario.Get(*scName)
+	if err != nil {
+		log.Fatal(err)
+	}
 	// 1. Train a small detector on a *recorded* normal capture, so the
 	//    model learns exactly the feature distributions that replay
 	//    reconstructs from wire bytes.
-	fmt.Println("training on a recorded normal capture...")
-	det, err := trace.TrainCorpusModel(8000, 1)
+	fmt.Printf("training on a recorded normal %s capture...\n", sc.Name())
+	det, err := trace.TrainCorpusModel(sc, 8000, 1)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("model fingerprint %s\n", det.Fingerprint())
 
 	// 2. Record a scenario: normal polling with a DoS episode and a
-	//    reconnaissance sweep, captured off the simulator's frame sink into
-	//    a trace file.
-	simCfg := gaspipeline.DefaultSimConfig()
-	simCfg.Seed = 42
-	sim, err := gaspipeline.NewSimulator(simCfg)
+	//    reconnaissance sweep, captured off the simulator's frame sink
+	//    into a trace file. The same script drives any registered testbed.
+	sim, err := sc.NewSim(42)
 	if err != nil {
 		log.Fatal(err)
 	}
-	for i := 0; i < 40; i++ { // let the PID loop settle, unrecorded
+	for i := 0; i < 40; i++ { // let the control loop settle, unrecorded
 		sim.RunNormalCycle(dataset.Normal)
 	}
 	var buf bytes.Buffer
-	rec, err := trace.NewRecorder(&buf, trace.SimHeader("demo", det.Fingerprint()))
+	rec, err := trace.NewRecorder(&buf, trace.SimHeader("demo", det.Fingerprint(), sc.Registers()))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -53,11 +64,15 @@ func main() {
 	for i := 0; i < 12; i++ {
 		sim.RunNormalCycle(dataset.Normal)
 	}
-	sim.RunDoSEpisode(3)
+	if err := sim.RunAttackEpisode(dataset.DOS, 3); err != nil {
+		log.Fatal(err)
+	}
 	for i := 0; i < 8; i++ {
 		sim.RunNormalCycle(dataset.Normal)
 	}
-	sim.RunReconEpisode(8)
+	if err := sim.RunAttackEpisode(dataset.Recon, 8); err != nil {
+		log.Fatal(err)
+	}
 	for i := 0; i < 8; i++ {
 		sim.RunNormalCycle(dataset.Normal)
 	}

@@ -5,10 +5,11 @@
 // flags packages whose signatures fall outside the top-k predicted set.
 //
 // The library is stdlib-only and ships with every substrate the paper
-// depends on: a gas pipeline SCADA simulator with the original dataset's
-// schema and attack taxonomy, a Modbus protocol stack, a from-scratch LSTM
-// trainer, the six comparison baselines of the paper's Table IV, and an
-// experiment harness that regenerates every table and figure.
+// depends on: pluggable SCADA testbed scenarios (the paper's gas pipeline
+// plus the sibling water storage tank, both with the original datasets'
+// schema and attack taxonomy), a Modbus protocol stack, a from-scratch
+// LSTM trainer, the six comparison baselines of the paper's Table IV, and
+// an experiment harness that regenerates every table and figure.
 //
 // # Quickstart
 //
@@ -32,9 +33,13 @@ import (
 	"icsdetect/internal/core"
 	"icsdetect/internal/dataset"
 	"icsdetect/internal/engine"
-	"icsdetect/internal/gaspipeline"
+	"icsdetect/internal/scenario"
 	"icsdetect/internal/signature"
 	"icsdetect/internal/trace"
+
+	// Register the built-in testbed scenarios.
+	_ "icsdetect/internal/gaspipeline"
+	_ "icsdetect/internal/watertank"
 )
 
 // Re-exported dataset types.
@@ -167,8 +172,15 @@ func ReplayTrace(det *Detector, h TraceHeader, recs []*TraceRecord, cfg ReplayCo
 	return trace.Replay(det, h, recs, cfg)
 }
 
+// Scenarios lists the registered testbed scenario names ("gaspipeline",
+// "watertank", plus anything an embedding program registered).
+func Scenarios() []string { return scenario.Names() }
+
 // DatasetOptions configures GenerateDataset.
 type DatasetOptions struct {
+	// Scenario names the testbed to simulate (see Scenarios). Empty means
+	// the paper's gas pipeline.
+	Scenario string
 	// Packages is the approximate capture size.
 	Packages int
 	// Seed makes generation deterministic.
@@ -179,18 +191,26 @@ type DatasetOptions struct {
 	AttackRatio float64
 }
 
-// GenerateDataset produces a labeled simulated gas-pipeline capture with
-// the original dataset's schema (see internal/gaspipeline for the plant
-// model).
+// GenerateDataset produces a labeled simulated SCADA capture with the
+// original datasets' schema for the chosen testbed scenario (see
+// internal/gaspipeline and internal/watertank for the plant models).
 func GenerateDataset(opts DatasetOptions) (*Dataset, error) {
-	cfg := gaspipeline.DefaultGenConfig(opts.Packages, opts.Seed)
+	sc, err := scenario.Get(opts.Scenario)
+	if err != nil {
+		return nil, err
+	}
+	cfg := scenario.GenConfig{
+		TotalPackages: opts.Packages,
+		AttackRatio:   0.219,
+		Seed:          opts.Seed,
+	}
 	switch {
 	case opts.AttackRatio < 0:
 		cfg.AttackRatio = 0
 	case opts.AttackRatio > 0:
 		cfg.AttackRatio = opts.AttackRatio
 	}
-	return gaspipeline.Generate(cfg)
+	return sc.Generate(cfg)
 }
 
 // Split partitions a dataset 6:2:2 chronologically, removing anomalies and

@@ -236,9 +236,14 @@ var arffColumns = []string{
 }
 
 // ToARFF converts the dataset to an ARFF relation with the Table I schema
-// plus a numeric attack_type label column.
-func ToARFF(d *Dataset) *arff.Relation {
-	rel := &arff.Relation{Name: "gas_pipeline"}
+// plus a numeric attack_type label column, under the historical
+// gas_pipeline relation name.
+func ToARFF(d *Dataset) *arff.Relation { return ToARFFNamed(d, "gas_pipeline") }
+
+// ToARFFNamed is ToARFF with an explicit relation name (scenario-aware
+// tools write the testbed name; readers ignore it).
+func ToARFFNamed(d *Dataset, relation string) *arff.Relation {
+	rel := &arff.Relation{Name: relation}
 	for _, c := range arffColumns {
 		rel.Attributes = append(rel.Attributes, arff.Attribute{Name: c, Type: arff.Numeric})
 	}
@@ -297,6 +302,12 @@ func FromARFF(rel *arff.Relation) (*Dataset, error) {
 // WriteARFF writes the dataset in ARFF format.
 func WriteARFF(w io.Writer, d *Dataset) error {
 	return arff.Write(w, ToARFF(d))
+}
+
+// WriteARFFNamed writes the dataset in ARFF format under an explicit
+// relation name.
+func WriteARFFNamed(w io.Writer, d *Dataset, relation string) error {
+	return arff.Write(w, ToARFFNamed(d, relation))
 }
 
 // ReadARFF reads a dataset in ARFF format.

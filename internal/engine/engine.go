@@ -83,12 +83,14 @@ type Result struct {
 // bounded queues, eventually the submitters.
 type Handler func(Result)
 
-// packet is one queued unit of work: a package of a stream, or a barrier
+// packet is one queued unit of work: a package of a stream (with the
+// framework that classifies it; nil means the engine default), or a barrier
 // marker (barrier non-nil) that the worker acknowledges once everything
 // queued before it has been classified and flushed.
 type packet struct {
 	stream  string
 	pkg     *dataset.Package
+	fw      *core.Framework
 	barrier *sync.WaitGroup
 }
 
@@ -114,6 +116,11 @@ type Engine struct {
 	// before closing the shard channels, so a racing Submit returns the
 	// stopped error instead of panicking on a closed channel.
 	mu sync.RWMutex
+	// bindings maps stream → *core.Framework, fixed by the stream's first
+	// submission. Rebinding a live stream to a different model would
+	// silently score it with the wrong weights, so SubmitFor enforces the
+	// binding here, on the submit path, where it can return an error.
+	bindings sync.Map
 }
 
 // New builds and starts an engine over a trained framework. handler may be
@@ -161,12 +168,49 @@ func (e *Engine) shardFor(stream string) *shard {
 // streams may submit concurrently. Submitting during or after Stop returns
 // an error.
 func (e *Engine) Submit(stream string, pkg *dataset.Package) error {
+	return e.SubmitFor(nil, stream, pkg)
+}
+
+// SubmitFor is Submit with an explicit framework: the stream is classified
+// by fw instead of the engine default, letting one engine serve streams of
+// different scenarios — each with its own trained model — on shared shards.
+// The first package of a stream binds it to its framework for the lifetime
+// of the engine; a later submission of the same stream under a different
+// framework (nil counts as the default) is rejected with an error before
+// anything is enqueued — recurrent state is model-specific, so a rebound
+// stream would silently be scored with the wrong weights. fw must support
+// the engine's mode: a framework missing the mode's stages is rejected
+// here too. Within a shard, streams of distinct frameworks micro-batch
+// separately — batching never mixes weights — while per-stream verdicts
+// remain exactly those of a sequential core.Session over fw. A nil fw
+// means the engine's default framework.
+func (e *Engine) SubmitFor(fw *core.Framework, stream string, pkg *dataset.Package) error {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	if e.stopped.Load() {
 		return fmt.Errorf("engine: submit after Stop")
 	}
-	e.shardFor(stream).in <- packet{stream: stream, pkg: pkg}
+	if fw != nil && fw != e.fw {
+		if _, err := fw.Stages(e.cfg.Mode); err != nil {
+			return fmt.Errorf("engine: submit for framework: %w", err)
+		}
+	}
+	if err := e.bindStream(stream, fw); err != nil {
+		return err
+	}
+	e.shardFor(stream).in <- packet{stream: stream, pkg: pkg, fw: fw}
+	return nil
+}
+
+// bindStream records (or checks) the stream→framework binding. nil
+// normalizes to the engine default, so Submit and SubmitFor(nil, …) agree.
+func (e *Engine) bindStream(stream string, fw *core.Framework) error {
+	if fw == nil {
+		fw = e.fw
+	}
+	if prev, loaded := e.bindings.LoadOrStore(stream, fw); loaded && prev.(*core.Framework) != fw {
+		return fmt.Errorf("engine: stream %q is already bound to a different framework", stream)
+	}
 	return nil
 }
 
@@ -179,8 +223,15 @@ func (e *Engine) TrySubmit(stream string, pkg *dataset.Package) (bool, error) {
 	if e.stopped.Load() {
 		return false, fmt.Errorf("engine: submit after Stop")
 	}
+	// Check the binding up front, but record it only once a package is
+	// actually enqueued: a shed (queue-full) probe must not bind a stream
+	// that never carried traffic.
+	if prev, ok := e.bindings.Load(stream); ok && prev.(*core.Framework) != e.fw {
+		return false, fmt.Errorf("engine: stream %q is already bound to a different framework", stream)
+	}
 	select {
 	case e.shardFor(stream).in <- packet{stream: stream, pkg: pkg}:
+		e.bindings.LoadOrStore(stream, e.fw)
 		return true, nil
 	default:
 		return false, nil
@@ -230,21 +281,35 @@ func (e *Engine) Stop() {
 }
 
 // shard is one worker: a partition of streams, its bounded input queue, its
-// micro-batch, and its counters.
+// per-framework micro-batches, and its counters.
 type shard struct {
 	id      int
 	e       *Engine
 	in      chan packet
 	streams map[string]*stream
+	// batches holds one micro-batch per framework served by this shard.
+	// Most engines serve a single framework, so the slice almost always
+	// has one entry; a linear scan beats a map at that size and keeps the
+	// flush order deterministic.
+	batches []*fwBatch
+	stats   shardCounters
+}
+
+// fwBatch is the micro-batch state of one framework within a shard: LSTM
+// steps of streams bound to different frameworks must never share a
+// batched pass (the weights differ), so each framework batches alone.
+type fwBatch struct {
+	fw      *core.Framework
 	batch   *core.SeriesBatch
 	inBatch []*stream
-	stats   shardCounters
 }
 
 // stream is the engine's per-stream state.
 type stream struct {
 	sess *core.Session
-	seq  uint64
+	// fb is the micro-batch of the framework this stream is bound to.
+	fb  *fwBatch
+	seq uint64
 	// pending reports that the stream's LSTM step sits in the current
 	// micro-batch: a second package of the same stream forces a flush
 	// first, because its prediction depends on that step.
@@ -257,9 +322,24 @@ func newShard(id int, e *Engine) *shard {
 		e:       e,
 		in:      make(chan packet, e.cfg.QueueDepth),
 		streams: make(map[string]*stream),
-		batch:   e.fw.NewSeriesBatch(e.cfg.MaxBatch),
-		inBatch: make([]*stream, 0, e.cfg.MaxBatch),
 	}
+}
+
+// batchFor returns the shard's micro-batch for fw, creating it on first
+// use.
+func (s *shard) batchFor(fw *core.Framework) *fwBatch {
+	for _, fb := range s.batches {
+		if fb.fw == fw {
+			return fb
+		}
+	}
+	fb := &fwBatch{
+		fw:      fw,
+		batch:   fw.NewSeriesBatch(s.e.cfg.MaxBatch),
+		inBatch: make([]*stream, 0, s.e.cfg.MaxBatch),
+	}
+	s.batches = append(s.batches, fb)
+	return fb
 }
 
 // run is the shard worker loop: block for one packet, then opportunistically
@@ -296,21 +376,25 @@ func (s *shard) handle(pkt packet) {
 		pkt.barrier.Done()
 		return
 	}
+	fw := pkt.fw
+	if fw == nil {
+		fw = s.e.fw
+	}
 	st := s.streams[pkt.stream]
 	if st == nil {
-		st = &stream{sess: s.e.fw.NewSessionMode(s.e.cfg.Mode)}
+		st = &stream{sess: fw.NewSessionMode(s.e.cfg.Mode), fb: s.batchFor(fw)}
 		s.streams[pkt.stream] = st
 		s.stats.streams.Add(1)
 	}
-	if st.pending || s.batch.Full() {
+	if st.pending || st.fb.batch.Full() {
 		s.flush()
 	}
 	v, pc := st.sess.ClassifyOnly(pkt.pkg)
-	before := s.batch.Len()
-	s.batch.Queue(st.sess, pc, v)
-	if s.batch.Len() > before {
+	before := st.fb.batch.Len()
+	st.fb.batch.Queue(st.sess, pc, v)
+	if st.fb.batch.Len() > before {
 		st.pending = true
-		s.inBatch = append(s.inBatch, st)
+		st.fb.inBatch = append(st.fb.inBatch, st)
 	}
 
 	s.stats.packages.Add(1)
@@ -321,16 +405,19 @@ func (s *shard) handle(pkt packet) {
 	st.seq++
 }
 
-// flush advances every queued stream through one batched LSTM pass.
+// flush advances every queued stream through one batched LSTM pass per
+// framework, in the deterministic first-seen framework order.
 func (s *shard) flush() {
-	if s.batch.Len() == 0 {
-		return
+	for _, fb := range s.batches {
+		if fb.batch.Len() == 0 {
+			continue
+		}
+		s.stats.batched.Add(uint64(fb.batch.Len()))
+		s.stats.batches.Add(1)
+		fb.batch.Flush()
+		for _, st := range fb.inBatch {
+			st.pending = false
+		}
+		fb.inBatch = fb.inBatch[:0]
 	}
-	s.stats.batched.Add(uint64(s.batch.Len()))
-	s.stats.batches.Add(1)
-	s.batch.Flush()
-	for _, st := range s.inBatch {
-		st.pending = false
-	}
-	s.inBatch = s.inBatch[:0]
 }

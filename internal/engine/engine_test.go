@@ -1,6 +1,7 @@
 package engine_test
 
 import (
+	"bytes"
 	"fmt"
 	"sync"
 	"testing"
@@ -388,5 +389,50 @@ func TestEngineRejectsBadMode(t *testing.T) {
 	fw, _ := testFramework(t)
 	if _, err := engine.New(fw, engine.Config{Mode: core.Mode(99)}, nil); err == nil {
 		t.Error("engine accepted an unknown mode")
+	}
+}
+
+// TestEngineStreamBinding: a stream is bound to its framework by its first
+// submission; submitting it later under a different framework (or the
+// default) must error instead of silently scoring it with the wrong model.
+func TestEngineStreamBinding(t *testing.T) {
+	fw, split := testFramework(t)
+	var buf bytes.Buffer
+	if err := fw.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	fw2, err := core.Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	e, err := engine.New(fw, engine.Config{Shards: 2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Stop()
+	pkg := split.Test[0]
+
+	if err := e.SubmitFor(fw2, "tank-1", pkg); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.SubmitFor(fw2, "tank-1", pkg); err != nil {
+		t.Errorf("resubmission under the bound framework errored: %v", err)
+	}
+	if err := e.Submit("tank-1", pkg); err == nil {
+		t.Error("default-framework submit on a stream bound elsewhere was accepted")
+	}
+	if ok, err := e.TrySubmit("tank-1", pkg); ok || err == nil {
+		t.Error("TrySubmit on a stream bound elsewhere was accepted")
+	}
+
+	if err := e.Submit("plc-1", pkg); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.SubmitFor(fw, "plc-1", pkg); err != nil {
+		t.Errorf("explicit default framework rejected on a default-bound stream: %v", err)
+	}
+	if err := e.SubmitFor(fw2, "plc-1", pkg); err == nil {
+		t.Error("rebinding a default-bound stream to another framework was accepted")
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"icsdetect/internal/dataset"
 	"icsdetect/internal/mathx"
 	"icsdetect/internal/modbus"
+	"icsdetect/internal/scenario"
 )
 
 // This file implements the AutoIt-style attack injector (paper §VII,
@@ -13,6 +14,14 @@ import (
 // falsified responses, flood traffic — matching the original dataset's
 // per-packet labeling; routine master polling that continues during an
 // episode stays labeled Normal.
+
+// RunAttackEpisode dispatches one episode of the given Table II category to
+// its Run*Episode injector, implementing the scenario.Sim contract. n is the
+// episode length in the category's natural unit (cycles, or probes for
+// Recon).
+func (s *Simulator) RunAttackEpisode(at dataset.AttackType, n int) error {
+	return scenario.DispatchEpisode(s, at, n)
+}
 
 // RunNMRIEpisode injects naive malicious response packets: after each normal
 // poll cycle the attacker forges 1-3 extra state-read responses carrying

@@ -1,10 +1,9 @@
 package gaspipeline
 
 import (
-	"fmt"
-
 	"icsdetect/internal/dataset"
 	"icsdetect/internal/mathx"
+	"icsdetect/internal/scenario"
 )
 
 // GenConfig controls dataset generation.
@@ -37,80 +36,26 @@ func DefaultGenConfig(totalPackages int, seed uint64) GenConfig {
 	}
 }
 
-// Generate runs the simulation and returns the labeled dataset. Attack
-// episodes are interleaved with normal operation throughout the capture
-// (the AutoIt script "randomly chooses to send legal commands or launch
-// cyber attacks", §VII), with episode types drawn round-robin so every
-// attack class is represented at every scale.
+// Generate runs the simulation through the shared generation loop
+// (scenario.RunGeneration) and returns the labeled dataset: attack episodes
+// interleaved with normal operation throughout the capture, episode types
+// drawn round-robin from the schedule so every attack class is represented
+// at every scale.
 func Generate(cfg GenConfig) (*dataset.Dataset, error) {
-	if cfg.TotalPackages <= 0 {
-		return nil, fmt.Errorf("gaspipeline: TotalPackages must be positive, got %d", cfg.TotalPackages)
-	}
-	if cfg.AttackRatio < 0 || cfg.AttackRatio >= 1 {
-		return nil, fmt.Errorf("gaspipeline: AttackRatio must be in [0,1), got %g", cfg.AttackRatio)
-	}
-	if len(cfg.AttackTypes) == 0 {
-		cfg.AttackTypes = defaultAttackSchedule()
-	}
 	sim, err := NewSimulator(cfg.Sim)
 	if err != nil {
 		return nil, err
 	}
 	sched := mathx.NewRNG(cfg.Sim.Seed ^ 0xA77AC4)
-
-	// Warm up without recording.
-	for i := 0; i < cfg.WarmupCycles; i++ {
-		sim.RunNormalCycle(dataset.Normal)
+	schedule := cfg.AttackTypes
+	if len(schedule) == 0 {
+		schedule = defaultAttackSchedule()
 	}
-	sim.packages = sim.packages[:0]
-
-	attackIdx := 0
-	attackCount := 0
-	for len(sim.packages) < cfg.TotalPackages {
-		total := len(sim.packages)
-		wantAttack := cfg.AttackRatio > 0 &&
-			float64(attackCount) < cfg.AttackRatio*float64(total+40) &&
-			sched.Bernoulli(0.8)
-		if !wantAttack {
-			n := 3 + sched.Intn(8)
-			for i := 0; i < n; i++ {
-				sim.RunNormalCycle(dataset.Normal)
-			}
-			continue
-		}
-		before := len(sim.packages)
-		at := cfg.AttackTypes[attackIdx%len(cfg.AttackTypes)]
-		attackIdx++
-		switch at {
-		case dataset.NMRI:
-			sim.RunNMRIEpisode(2 + sched.Intn(5))
-		case dataset.CMRI:
-			sim.RunCMRIEpisode(3 + sched.Intn(8))
-		case dataset.MSCI:
-			sim.RunMSCIEpisode(2 + sched.Intn(3))
-		case dataset.MPCI:
-			sim.RunMPCIEpisode(2 + sched.Intn(4))
-		case dataset.MFCI:
-			sim.RunMFCIEpisode(2 + sched.Intn(4))
-		case dataset.DOS:
-			sim.RunDoSEpisode(3 + sched.Intn(6))
-		case dataset.Recon:
-			sim.RunReconEpisode(6 + sched.Intn(12))
-		default:
-			return nil, fmt.Errorf("gaspipeline: unsupported attack type %v", at)
-		}
-		for _, p := range sim.packages[before:] {
-			if p.IsAttack() {
-				attackCount++
-			}
-		}
-		// Normal cool-down between episodes.
-		n := 1 + sched.Intn(4)
-		for i := 0; i < n; i++ {
-			sim.RunNormalCycle(dataset.Normal)
-		}
-	}
-	return &dataset.Dataset{Packages: sim.packages}, nil
+	return scenario.RunGeneration(sim, sched, scenario.GenConfig{
+		TotalPackages: cfg.TotalPackages,
+		AttackRatio:   cfg.AttackRatio,
+		Seed:          cfg.Sim.Seed,
+	}, cfg.WarmupCycles, schedule, scenario.DefaultEpisodeLengths())
 }
 
 // defaultAttackSchedule interleaves episode types so the resulting
@@ -120,38 +65,15 @@ func Generate(cfg GenConfig) (*dataset.Dataset, error) {
 // counts are weighted by the inverse of each type's labeled-package yield
 // (a DoS episode labels ~3x more packages than an NMRI episode).
 func defaultAttackSchedule() []dataset.AttackType {
-	weights := []struct {
-		at dataset.AttackType
-		n  int
-	}{
-		{dataset.CMRI, 11},
-		{dataset.NMRI, 8},
-		{dataset.Recon, 6},
-		{dataset.MPCI, 5},
-		{dataset.MSCI, 3},
-		{dataset.MFCI, 2},
-		{dataset.DOS, 1},
-	}
-	total := 0
-	for _, w := range weights {
-		total += w.n
-	}
-	// Largest-remainder interleaving keeps the types spread through the
-	// schedule instead of clumped.
-	out := make([]dataset.AttackType, 0, total)
-	acc := make([]int, len(weights))
-	for len(out) < total {
-		best := -1
-		for i, w := range weights {
-			acc[i] += w.n
-			if best < 0 || acc[i] > acc[best] {
-				best = i
-			}
-		}
-		acc[best] -= total
-		out = append(out, weights[best].at)
-	}
-	return out
+	return scenario.WeightedSchedule([]scenario.ScheduleWeight{
+		{Attack: dataset.CMRI, Weight: 11},
+		{Attack: dataset.NMRI, Weight: 8},
+		{Attack: dataset.Recon, Weight: 6},
+		{Attack: dataset.MPCI, Weight: 5},
+		{Attack: dataset.MSCI, Weight: 3},
+		{Attack: dataset.MFCI, Weight: 2},
+		{Attack: dataset.DOS, Weight: 1},
+	})
 }
 
 // GenerateNormal produces an attack-free capture (the paper's "air-gapped"

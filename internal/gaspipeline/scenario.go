@@ -1,0 +1,63 @@
+package gaspipeline
+
+import (
+	"icsdetect/internal/dataset"
+	"icsdetect/internal/scenario"
+	"icsdetect/internal/signature"
+	"icsdetect/internal/tap"
+)
+
+// Registers returns the gas pipeline field device's register layout: the
+// full controller block in registers 0-9 with the pressure measurement at
+// 10, the layout the simulator's write commands and state-read responses
+// carry (see stateRegisters).
+func Registers() tap.RegisterMap {
+	return tap.RegisterMap{
+		Setpoint: 0, Gain: 1, ResetRate: 2, Deadband: 3, CycleTime: 4,
+		Rate: 5, Mode: 6, Scheme: 7, Pump: 8, Solenoid: 9, Pressure: 10,
+		MinRegisters: 10,
+	}
+}
+
+// testbed implements scenario.Scenario for the gas pipeline.
+type testbed struct{}
+
+// Scenario returns the gas pipeline testbed, the paper's primary scenario.
+func Scenario() scenario.Scenario { return testbed{} }
+
+func init() { scenario.Register(Scenario()) }
+
+func (testbed) Name() string               { return "gaspipeline" }
+func (testbed) Registers() tap.RegisterMap { return Registers() }
+
+func (testbed) NewSim(seed uint64) (scenario.Sim, error) {
+	cfg := DefaultSimConfig()
+	cfg.Seed = seed
+	return NewSimulator(cfg)
+}
+
+func (testbed) Generate(cfg scenario.GenConfig) (*dataset.Dataset, error) {
+	g := DefaultGenConfig(cfg.TotalPackages, cfg.Seed)
+	g.AttackRatio = cfg.AttackRatio
+	if len(cfg.AttackTypes) > 0 {
+		g.AttackTypes = cfg.AttackTypes
+	}
+	return Generate(g)
+}
+
+// Granularity scales the discretization with the capture size, the
+// practical counterpart of the paper's §IV-B search when retraining
+// frequently: the full Table III strategy needs the original dataset's
+// volume to populate its bins, smaller captures get coarser grids.
+func (testbed) Granularity(n int) signature.Granularity {
+	switch {
+	case n >= 150000:
+		return signature.PaperGranularity()
+	case n >= 50000:
+		return signature.Granularity{IntervalClusters: 2, CRCClusters: 2,
+			PressureBins: 8, SetpointBins: 5, PIDClusters: 4}
+	default:
+		return signature.Granularity{IntervalClusters: 2, CRCClusters: 2,
+			PressureBins: 5, SetpointBins: 3, PIDClusters: 2}
+	}
+}

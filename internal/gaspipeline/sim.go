@@ -7,6 +7,7 @@ import (
 	"icsdetect/internal/dataset"
 	"icsdetect/internal/mathx"
 	"icsdetect/internal/modbus"
+	"icsdetect/internal/scenario"
 )
 
 // SimConfig controls the SCADA traffic simulation.
@@ -194,26 +195,9 @@ func (s *Simulator) intraDelay() float64 {
 // the DoS decay tail is sized off it.
 const crcWindow = modbus.CRCRateWindow
 
-// Frame is one wire frame as observed by a recording tap on the simulated
-// link: the raw Modbus RTU bytes plus the side information a trace recorder
-// needs (direction, ground truth, whether the frame arrived corrupted, and
-// the simulation timestamp).
-type Frame struct {
-	// Raw is the encoded RTU frame. Its CRC is valid unless the frame was
-	// deliberately tampered with (CorruptCRC attacks); benign link glitches
-	// are reported via Corrupt instead, because the simulator models them
-	// after encoding.
-	Raw []byte
-	// IsCmd marks master→slave traffic.
-	IsCmd bool
-	// Corrupt reports whether the monitor saw the frame's CRC fail (attack
-	// tampering or benign link glitch).
-	Corrupt bool
-	// Label is the ground-truth attack type of the frame.
-	Label dataset.AttackType
-	// Time is the simulation clock at emission, seconds.
-	Time float64
-}
+// Frame is one observed wire frame; see scenario.Frame for the field
+// contract.
+type Frame = scenario.Frame
 
 // SetFrameSink installs fn to observe every emitted wire frame, in emission
 // order, alongside the package record. Pass nil to detach. The sink is

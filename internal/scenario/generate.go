@@ -1,0 +1,123 @@
+package scenario
+
+import (
+	"fmt"
+
+	"icsdetect/internal/dataset"
+	"icsdetect/internal/mathx"
+)
+
+// ScheduleWeight weights one attack category in a generation schedule.
+type ScheduleWeight struct {
+	Attack dataset.AttackType
+	Weight int
+}
+
+// WeightedSchedule interleaves attack categories by largest-remainder
+// apportionment, keeping the types spread through the schedule instead of
+// clumped. The result has sum-of-weights entries.
+func WeightedSchedule(weights []ScheduleWeight) []dataset.AttackType {
+	total := 0
+	for _, w := range weights {
+		total += w.Weight
+	}
+	out := make([]dataset.AttackType, 0, total)
+	acc := make([]int, len(weights))
+	for len(out) < total {
+		best := -1
+		for i, w := range weights {
+			acc[i] += w.Weight
+			if best < 0 || acc[i] > acc[best] {
+				best = i
+			}
+		}
+		acc[best] -= total
+		out = append(out, weights[best].Attack)
+	}
+	return out
+}
+
+// EpisodeLengths bounds the per-category episode length draw (inclusive) of
+// the generation loop.
+type EpisodeLengths map[dataset.AttackType][2]int
+
+// DefaultEpisodeLengths returns the episode-length bounds both built-in
+// testbeds generate with (cycles, or probes for Recon).
+func DefaultEpisodeLengths() EpisodeLengths {
+	return EpisodeLengths{
+		dataset.NMRI:  {2, 6},
+		dataset.CMRI:  {3, 10},
+		dataset.MSCI:  {2, 4},
+		dataset.MPCI:  {2, 5},
+		dataset.MFCI:  {2, 5},
+		dataset.DOS:   {3, 8},
+		dataset.Recon: {6, 17},
+	}
+}
+
+// RunGeneration drives sim through the shared labeled-capture loop: warm
+// the plant up unrecorded, then interleave normal operation with attack
+// episodes — type order from schedule, lengths drawn from lengths via
+// sched — until the capture reaches cfg.TotalPackages past the warm-up,
+// steering the attack-labeled fraction toward cfg.AttackRatio. Every
+// testbed generates through this one loop (the AutoIt script of paper §VII
+// "randomly chooses to send legal commands or launch cyber attacks"); only
+// the sim, the schedule and the scheduling RNG differ per scenario.
+func RunGeneration(sim Sim, sched *mathx.RNG, cfg GenConfig, warmup int,
+	schedule []dataset.AttackType, lengths EpisodeLengths) (*dataset.Dataset, error) {
+	if cfg.TotalPackages <= 0 {
+		return nil, fmt.Errorf("scenario: TotalPackages must be positive, got %d", cfg.TotalPackages)
+	}
+	if cfg.AttackRatio < 0 || cfg.AttackRatio >= 1 {
+		return nil, fmt.Errorf("scenario: AttackRatio must be in [0,1), got %g", cfg.AttackRatio)
+	}
+	if len(schedule) == 0 {
+		return nil, fmt.Errorf("scenario: empty attack schedule")
+	}
+
+	// Warm up unrecorded: the capture starts at offset, after the control
+	// loop has settled.
+	for i := 0; i < warmup; i++ {
+		sim.RunNormalCycle(dataset.Normal)
+	}
+	offset := len(sim.Packages())
+
+	captured := func() []*dataset.Package { return sim.Packages()[offset:] }
+	attackIdx := 0
+	attackCount := 0
+	for len(captured()) < cfg.TotalPackages {
+		total := len(captured())
+		wantAttack := cfg.AttackRatio > 0 &&
+			float64(attackCount) < cfg.AttackRatio*float64(total+40) &&
+			sched.Bernoulli(0.8)
+		if !wantAttack {
+			n := 3 + sched.Intn(8)
+			for i := 0; i < n; i++ {
+				sim.RunNormalCycle(dataset.Normal)
+			}
+			continue
+		}
+		before := len(captured())
+		at := schedule[attackIdx%len(schedule)]
+		attackIdx++
+		bounds, ok := lengths[at]
+		if !ok {
+			return nil, fmt.Errorf("scenario: no episode length bounds for attack type %v", at)
+		}
+		n := bounds[0] + sched.Intn(bounds[1]-bounds[0]+1)
+		if err := sim.RunAttackEpisode(at, n); err != nil {
+			return nil, err
+		}
+		for _, p := range captured()[before:] {
+			if p.IsAttack() {
+				attackCount++
+			}
+		}
+		// Normal cool-down between episodes.
+		n = 1 + sched.Intn(4)
+		for i := 0; i < n; i++ {
+			sim.RunNormalCycle(dataset.Normal)
+		}
+	}
+	return &dataset.Dataset{Packages: captured()}, nil
+}

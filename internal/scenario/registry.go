@@ -1,0 +1,63 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Default is the name of the scenario tools assume when none is given: the
+// paper's primary testbed.
+const Default = "gaspipeline"
+
+var (
+	regMu    sync.RWMutex
+	registry = make(map[string]Scenario)
+)
+
+// Register adds a scenario to the registry. Implementations call it from
+// their package init, so importing a scenario package (directly or through
+// the root icsdetect package) makes it resolvable by name. Registering an
+// empty name or the same name twice panics: both are wiring bugs worth
+// failing loudly on at startup.
+func Register(s Scenario) {
+	name := s.Name()
+	if name == "" {
+		panic("scenario: Register with empty name")
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("scenario: %q registered twice", name))
+	}
+	registry[name] = s
+}
+
+// Get resolves a scenario by name. An empty name resolves to Default.
+func Get(name string) (Scenario, error) {
+	if name == "" {
+		name = Default
+	}
+	regMu.RLock()
+	defer regMu.RUnlock()
+	if s, ok := registry[name]; ok {
+		return s, nil
+	}
+	return nil, fmt.Errorf("scenario: unknown scenario %q (have %v)", name, namesLocked())
+}
+
+// Names lists the registered scenarios, sorted.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	return namesLocked()
+}
+
+func namesLocked() []string {
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

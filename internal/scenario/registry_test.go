@@ -1,0 +1,104 @@
+package scenario_test
+
+import (
+	"slices"
+	"testing"
+
+	"icsdetect/internal/dataset"
+	"icsdetect/internal/gaspipeline"
+	"icsdetect/internal/scenario"
+	"icsdetect/internal/watertank"
+)
+
+// The two built-in testbeds register themselves at import; the registry is
+// the single place scenario names resolve.
+func TestRegistryResolvesBuiltins(t *testing.T) {
+	names := scenario.Names()
+	for _, want := range []string{"gaspipeline", "watertank"} {
+		if !slices.Contains(names, want) {
+			t.Fatalf("registry %v missing %q", names, want)
+		}
+	}
+
+	def, err := scenario.Get("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if def.Name() != scenario.Default {
+		t.Errorf("empty name resolved to %q, want default %q", def.Name(), scenario.Default)
+	}
+
+	wt, err := scenario.Get("watertank")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wt.Name() != "watertank" {
+		t.Errorf("watertank resolved to %q", wt.Name())
+	}
+
+	if _, err := scenario.Get("steamturbine"); err == nil {
+		t.Error("unknown scenario resolved")
+	}
+}
+
+// TestScenarioContracts exercises the interface surface every registered
+// testbed must honor: sims are reproducible per seed, frame sinks observe
+// the traffic, and all seven Table II categories inject.
+func TestScenarioContracts(t *testing.T) {
+	for _, sc := range []scenario.Scenario{gaspipeline.Scenario(), watertank.Scenario()} {
+		t.Run(sc.Name(), func(t *testing.T) {
+			regs := sc.Registers()
+			if regs.MinRegisters <= 0 {
+				t.Errorf("register map has no minimum payload: %+v", regs)
+			}
+			if g := sc.Granularity(1000); g.Validate() != nil {
+				t.Errorf("small-capture granularity invalid: %+v", g)
+			}
+			if g := sc.Granularity(200000); g.Validate() != nil {
+				t.Errorf("paper-scale granularity invalid: %+v", g)
+			}
+
+			sim, err := sc.NewSim(5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			frames := 0
+			sim.SetFrameSink(func(f scenario.Frame) {
+				if len(f.Raw) == 0 {
+					t.Error("sink observed an empty frame")
+				}
+				frames++
+			})
+			for i := 0; i < 10; i++ {
+				sim.RunNormalCycle(dataset.Normal)
+			}
+			for _, at := range dataset.AttackTypes {
+				if err := sim.RunAttackEpisode(at, 2); err != nil {
+					t.Fatalf("attack %v: %v", at, err)
+				}
+			}
+			sim.SetFrameSink(nil)
+			if frames != len(sim.Packages()) {
+				t.Errorf("sink saw %d frames, sim emitted %d packages", frames, len(sim.Packages()))
+			}
+			if sim.Now() <= 0 {
+				t.Error("clock never advanced")
+			}
+
+			// Same seed, same traffic: the trace corpus depends on it.
+			replay, err := sc.NewSim(5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 10; i++ {
+				replay.RunNormalCycle(dataset.Normal)
+			}
+			a, b := sim.Packages(), replay.Packages()
+			for i := range b {
+				if *a[i] != *b[i] {
+					t.Fatalf("package %d differs across same-seed sims:\n%+v\n%+v", i, a[i], b[i])
+				}
+			}
+		})
+	}
+}

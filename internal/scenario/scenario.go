@@ -1,0 +1,145 @@
+// Package scenario defines the pluggable testbed contract of the detection
+// framework. The paper evaluates on the Mississippi State gas pipeline
+// testbed, but the two-level detector itself is process-agnostic: it sees
+// only the Table I package schema. A Scenario bundles everything that IS
+// process-specific — the plant dynamics and controller, the Modbus register
+// layout of the controller block, the attack-episode injectors for the seven
+// Table II categories, and the labeled dataset generator — behind one
+// interface, so the tap, the trace codec, the replayer, the engine and the
+// command-line tools can serve any registered testbed.
+//
+// Implementations live in their own packages (internal/gaspipeline,
+// internal/watertank) and register themselves in this package's registry at
+// init time; resolve one by name with Get. Adding a third testbed means
+// implementing Scenario and Sim and calling Register — nothing else in the
+// pipeline changes (see the README's "Scenarios" section).
+package scenario
+
+import (
+	"fmt"
+
+	"icsdetect/internal/dataset"
+	"icsdetect/internal/signature"
+	"icsdetect/internal/tap"
+)
+
+// Frame is one wire frame as observed by a recording tap on a simulated
+// link: the raw Modbus RTU bytes plus the side information a trace recorder
+// needs (direction, ground truth, whether the frame arrived corrupted, and
+// the simulation timestamp).
+type Frame struct {
+	// Raw is the encoded RTU frame. Its CRC is valid unless the frame was
+	// deliberately tampered with (CorruptCRC attacks); benign link glitches
+	// are reported via Corrupt instead, because simulators model them after
+	// encoding.
+	Raw []byte
+	// IsCmd marks master→slave traffic.
+	IsCmd bool
+	// Corrupt reports whether the monitor saw the frame's CRC fail (attack
+	// tampering or benign link glitch).
+	Corrupt bool
+	// Label is the ground-truth attack type of the frame.
+	Label dataset.AttackType
+	// Time is the simulation clock at emission, seconds.
+	Time float64
+}
+
+// Sim is a running testbed simulation: a traffic source the trace recorder,
+// the corpus builder and the dataset generator drive cycle by cycle. A Sim
+// is single-goroutine and owns its plant, controller and RNG; all
+// randomness derives from the seed it was created with.
+type Sim interface {
+	// RunNormalCycle performs one legitimate poll cycle, labeling its
+	// packages with label (Normal for legitimate traffic; attack decay
+	// tails reuse it with an attack label).
+	RunNormalCycle(label dataset.AttackType)
+	// RunAttackEpisode plays one episode of the given Table II category
+	// against the live simulation; n scales the episode length in the
+	// category's natural unit (cycles for injections, probes for Recon).
+	// Unsupported categories return an error.
+	RunAttackEpisode(at dataset.AttackType, n int) error
+	// SetFrameSink installs fn to observe every emitted wire frame in
+	// emission order; nil detaches. The Raw slice must not be retained or
+	// mutated across calls.
+	SetFrameSink(fn func(Frame))
+	// Packages returns the packages emitted so far (not a copy; the caller
+	// driving the simulation owns it).
+	Packages() []*dataset.Package
+	// Now returns the simulation clock in seconds.
+	Now() float64
+}
+
+// EpisodeRunner is the injector surface both built-in simulators expose:
+// one Run*Episode method per Table II category. DispatchEpisode maps a
+// category onto it, so each Sim's RunAttackEpisode is a one-line delegate
+// instead of a per-testbed copy of the dispatch switch.
+type EpisodeRunner interface {
+	RunNMRIEpisode(cycles int)
+	RunCMRIEpisode(cycles int)
+	RunMSCIEpisode(cycles int)
+	RunMPCIEpisode(cycles int)
+	RunMFCIEpisode(count int)
+	RunDoSEpisode(cycles int)
+	RunReconEpisode(probes int)
+}
+
+// DispatchEpisode plays one episode of the given Table II category on r;
+// unknown categories return an error.
+func DispatchEpisode(r EpisodeRunner, at dataset.AttackType, n int) error {
+	switch at {
+	case dataset.NMRI:
+		r.RunNMRIEpisode(n)
+	case dataset.CMRI:
+		r.RunCMRIEpisode(n)
+	case dataset.MSCI:
+		r.RunMSCIEpisode(n)
+	case dataset.MPCI:
+		r.RunMPCIEpisode(n)
+	case dataset.MFCI:
+		r.RunMFCIEpisode(n)
+	case dataset.DOS:
+		r.RunDoSEpisode(n)
+	case dataset.Recon:
+		r.RunReconEpisode(n)
+	default:
+		return fmt.Errorf("scenario: unsupported attack type %v", at)
+	}
+	return nil
+}
+
+// GenConfig parameterizes a scenario's labeled dataset generator. The zero
+// value of AttackTypes means all seven Table II categories.
+type GenConfig struct {
+	// TotalPackages is the approximate dataset size (generation stops at
+	// the first episode boundary past this count).
+	TotalPackages int
+	// AttackRatio is the target fraction of attack-labeled packages
+	// (original dataset: ≈ 0.219). Zero generates attack-free traffic.
+	AttackRatio float64
+	// AttackTypes restricts which attacks are injected (default: all 7).
+	AttackTypes []dataset.AttackType
+	// Seed drives all randomness.
+	Seed uint64
+}
+
+// Scenario is one complete testbed: a named physical process with its
+// controller, Modbus register layout, attack injectors and dataset
+// generator. Implementations must be stateless values — all simulation
+// state lives in the Sims they create.
+type Scenario interface {
+	// Name is the registry key ("gaspipeline", "watertank").
+	Name() string
+	// Registers describes how the testbed's field device lays out its
+	// controller block in holding registers — the frame→schema decode rule
+	// the tap and the trace decoder apply to this scenario's traffic.
+	Registers() tap.RegisterMap
+	// NewSim creates a fresh simulation seeded with seed.
+	NewSim(seed uint64) (Sim, error)
+	// Generate runs the simulation and returns a labeled dataset with the
+	// Table I schema, interleaving attack episodes with normal operation.
+	Generate(cfg GenConfig) (*dataset.Dataset, error)
+	// Granularity returns the signature discretization suited to a capture
+	// of n packages (the scale heuristic icstrain applies when the paper's
+	// granularity search is not run).
+	Granularity(n int) signature.Granularity
+}

@@ -1,0 +1,177 @@
+// Table-driven DecodePDU conformance over both scenario register maps: the
+// frame→schema decode rule is the single point the live tap and the trace
+// replayer share, so its behaviour per layout — including on malformed
+// PDUs — is pinned here. This is an external test package because the
+// scenario implementations import tap.
+package tap_test
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"icsdetect/internal/dataset"
+	"icsdetect/internal/gaspipeline"
+	"icsdetect/internal/modbus"
+	"icsdetect/internal/tap"
+	"icsdetect/internal/watertank"
+)
+
+// gasRegs encodes a full gas-pipeline block: setpoint 8.00, gain 0.45,
+// reset 0.15, deadband 0.05, cycle 0.25, rate 0.02, auto, pump scheme,
+// pump/solenoid idle, pressure 7.93.
+func gasRegs(withPressure bool) []uint16 {
+	regs := []uint16{800, 45, 15, 5, 250, 2, 2, 0, 0, 0}
+	if withPressure {
+		regs = append(regs, 793)
+	}
+	return regs
+}
+
+// tankRegs encodes a full water-tank block: H 60.00, HH 90.00, L 40.00,
+// LL 10.00, cycle 0.5, auto, pump scheme, pump/valve idle, level 55.25.
+func tankRegs(withLevel bool) []uint16 {
+	regs := []uint16{6000, 9000, 4000, 1000, 500, 2, 0, 0, 0}
+	if withLevel {
+		regs = append(regs, 5525)
+	}
+	return regs
+}
+
+func TestDecodePDUTable(t *testing.T) {
+	gas := gaspipeline.Registers()
+	tank := watertank.Registers()
+
+	// truncate drops the trailing n bytes of a PDU's payload.
+	truncate := func(p *modbus.PDU, n int) *modbus.PDU {
+		return &modbus.PDU{Function: p.Function, Data: p.Data[:len(p.Data)-n]}
+	}
+	// misCount corrupts a write-multiple quantity field so it exceeds the
+	// carried payload (out-of-range register count).
+	misCount := func(p *modbus.PDU) *modbus.PDU {
+		data := append([]byte(nil), p.Data...)
+		binary.BigEndian.PutUint16(data[2:], 120)
+		return &modbus.PDU{Function: p.Function, Data: data}
+	}
+
+	cases := []struct {
+		name  string
+		regs  tap.RegisterMap
+		pdu   *modbus.PDU
+		isCmd bool
+		want  dataset.Package // parameter columns only
+	}{
+		{
+			name: "gas write command decodes full block",
+			regs: gas, isCmd: true,
+			pdu: modbus.WriteMultipleRequest(0, gasRegs(false)),
+			want: dataset.Package{Setpoint: 8, Gain: 0.45, ResetRate: 0.15,
+				Deadband: 0.05, CycleTime: 0.25, Rate: 0.02, SystemMode: 2},
+		},
+		{
+			name: "gas read response decodes block plus pressure",
+			regs: gas, isCmd: false,
+			pdu: modbus.ReadRegistersResponse(modbus.FuncReadState, gasRegs(true)),
+			want: dataset.Package{Setpoint: 8, Gain: 0.45, ResetRate: 0.15,
+				Deadband: 0.05, CycleTime: 0.25, Rate: 0.02, SystemMode: 2,
+				Pressure: 7.93},
+		},
+		{
+			name: "tank write command maps alarm block onto parameter columns",
+			regs: tank, isCmd: true,
+			pdu: modbus.WriteMultipleRequest(0, tankRegs(false)),
+			want: dataset.Package{Setpoint: 60, Gain: 90, ResetRate: 40,
+				Deadband: 10, CycleTime: 0.5, SystemMode: 2},
+		},
+		{
+			name: "tank read response decodes block plus level",
+			regs: tank, isCmd: false,
+			pdu: modbus.ReadRegistersResponse(modbus.FuncReadState, tankRegs(true)),
+			want: dataset.Package{Setpoint: 60, Gain: 90, ResetRate: 40,
+				Deadband: 10, CycleTime: 0.5, SystemMode: 2, Pressure: 55.25},
+		},
+		{
+			name: "tank absent rate register stays zero",
+			regs: tank, isCmd: false,
+			pdu: modbus.ReadRegistersResponse(modbus.FuncReadState,
+				append(tankRegs(true), 999)), // extra register beyond the map
+			want: dataset.Package{Setpoint: 60, Gain: 90, ResetRate: 40,
+				Deadband: 10, CycleTime: 0.5, SystemMode: 2, Pressure: 55.25},
+		},
+		{
+			name: "write command in response direction is ignored",
+			regs: gas, isCmd: false,
+			pdu: modbus.WriteMultipleRequest(0, gasRegs(false)),
+		},
+		{
+			name: "read response in command direction is ignored",
+			regs: tank, isCmd: true,
+			pdu: modbus.ReadRegistersResponse(modbus.FuncReadState, tankRegs(true)),
+		},
+		{
+			name: "exception response is ignored",
+			regs: gas, isCmd: false,
+			pdu: modbus.NewException(modbus.FuncReadState, modbus.ExcIllegalAddress),
+		},
+		{
+			name: "wrong function code leaves columns zero",
+			regs: gas, isCmd: true,
+			pdu: modbus.WriteSingleRequest(modbus.FuncDiagnostics, 4, 0),
+		},
+		{
+			name: "truncated write command leaves columns zero",
+			regs: gas, isCmd: true,
+			pdu: truncate(modbus.WriteMultipleRequest(0, gasRegs(false)), 3),
+		},
+		{
+			name: "truncated read response leaves columns zero",
+			regs: tank, isCmd: false,
+			pdu: truncate(modbus.ReadRegistersResponse(modbus.FuncReadState, tankRegs(true)), 1),
+		},
+		{
+			name: "out-of-range register count leaves columns zero",
+			regs: tank, isCmd: true,
+			pdu: misCount(modbus.WriteMultipleRequest(0, tankRegs(false))),
+		},
+		{
+			name: "payload below MinRegisters leaves columns zero",
+			regs: gas, isCmd: true,
+			pdu: modbus.WriteMultipleRequest(0, []uint16{800, 45}),
+		},
+		{
+			name: "empty write payload leaves columns zero",
+			regs: tank, isCmd: true,
+			pdu: &modbus.PDU{Function: modbus.FuncWriteMultipleRegs},
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var got dataset.Package
+			tc.regs.DecodePDU(&got, tc.pdu, tc.isCmd)
+			if got != tc.want {
+				t.Errorf("decoded %+v\nwant    %+v", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestDecodePDUScenarioMapsDisjoint: the two layouts must disagree on the
+// same payload — a watertank block decoded with the gas map (or vice versa)
+// lands on different columns, which is why traces carry their register map
+// in the header.
+func TestDecodePDUScenarioMapsDisjoint(t *testing.T) {
+	pdu := modbus.ReadRegistersResponse(modbus.FuncReadState, tankRegs(true))
+	var asTank, asGas dataset.Package
+	tankMap, gasMap := watertank.Registers(), gaspipeline.Registers()
+	tankMap.DecodePDU(&asTank, pdu, false)
+	gasMap.DecodePDU(&asGas, pdu, false)
+	if asTank == asGas {
+		t.Fatal("gas and watertank register maps decoded a tank block identically")
+	}
+	if asTank.Pressure != 55.25 {
+		t.Errorf("tank map level = %v, want 55.25", asTank.Pressure)
+	}
+	if asGas.Pressure == 55.25 {
+		t.Error("gas map read the tank's level register as pressure")
+	}
+}

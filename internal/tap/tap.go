@@ -17,9 +17,15 @@ import (
 )
 
 // RegisterMap describes how the monitored device lays out its controller
-// state block in holding registers. Indices of -1 mark absent fields.
-// Scaling follows the testbed conventions: pressures, gains and rates are
-// stored ×100, cycle time ×1000.
+// state block in holding registers. Indices of -1 mark absent fields (a
+// testbed without that column leaves the feature zero). Scaling follows the
+// testbed conventions: process values, gains and rates are stored ×100,
+// cycle time ×1000. Each scenario supplies its own layout (for example
+// gaspipeline.Registers and watertank.Registers); field names refer to the
+// Table I package columns the registers decode into, not to what the
+// registers mean in the physical process — the water tank maps its level
+// measurement onto the Pressure column and its alarm setpoints onto the PID
+// parameter columns.
 type RegisterMap struct {
 	Setpoint  int
 	Gain      int
@@ -36,15 +42,6 @@ type RegisterMap struct {
 	// parameter block; shorter reads/writes are treated as partial and
 	// leave the parameter columns zero.
 	MinRegisters int
-}
-
-// DefaultRegisterMap matches the gas pipeline simulator's layout.
-func DefaultRegisterMap() RegisterMap {
-	return RegisterMap{
-		Setpoint: 0, Gain: 1, ResetRate: 2, Deadband: 3, CycleTime: 4,
-		Rate: 5, Mode: 6, Scheme: 7, Pump: 8, Solenoid: 9, Pressure: 10,
-		MinRegisters: 10,
-	}
 }
 
 func (m *RegisterMap) field(regs []uint16, idx int, scale float64) float64 {

@@ -8,6 +8,17 @@ import (
 	"icsdetect/internal/modbus"
 )
 
+// testRegisterMap is the gas-pipeline register layout, replicated locally:
+// the tap package has no scenario dependency (scenario implementations
+// import tap), so its tests pin an explicit layout instead.
+func testRegisterMap() RegisterMap {
+	return RegisterMap{
+		Setpoint: 0, Gain: 1, ResetRate: 2, Deadband: 3, CycleTime: 4,
+		Rate: 5, Mode: 6, Scheme: 7, Pump: 8, Solenoid: 9, Pressure: 10,
+		MinRegisters: 10,
+	}
+}
+
 // startStack brings up slave ← tap ← client and returns the pieces.
 func startStack(t *testing.T) (*modbus.RegisterBank, *Proxy, *modbus.Client) {
 	t.Helper()
@@ -19,7 +30,7 @@ func startStack(t *testing.T) (*modbus.RegisterBank, *Proxy, *modbus.Client) {
 	}
 	t.Cleanup(srv.Close)
 
-	proxy := New(slaveAddr.String(), DefaultRegisterMap())
+	proxy := New(slaveAddr.String(), testRegisterMap())
 	tapAddr, err := proxy.Listen("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -254,7 +265,7 @@ func TestRecorderAndSinkSimultaneous(t *testing.T) {
 }
 
 func TestRegisterMapPartialPayload(t *testing.T) {
-	m := DefaultRegisterMap()
+	m := testRegisterMap()
 	p := &dataset.Package{}
 	m.decode(p, []uint16{800, 45}) // below MinRegisters
 	if p.Setpoint != 0 {
@@ -263,7 +274,7 @@ func TestRegisterMapPartialPayload(t *testing.T) {
 }
 
 func TestProxyCloseIdempotent(t *testing.T) {
-	proxy := New("127.0.0.1:1", DefaultRegisterMap())
+	proxy := New("127.0.0.1:1", testRegisterMap())
 	if _, err := proxy.Listen("127.0.0.1:0"); err != nil {
 		t.Fatal(err)
 	}

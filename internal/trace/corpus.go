@@ -8,26 +8,34 @@ import (
 
 	"icsdetect/internal/core"
 	"icsdetect/internal/dataset"
-	"icsdetect/internal/gaspipeline"
+	"icsdetect/internal/scenario"
 	"icsdetect/internal/signature"
 )
 
-// This file builds the golden conformance corpus committed under
-// testdata/traces at the repository root: one trained model snapshot, one
-// recorded trace per scenario (normal operation plus each gas-pipeline
-// attack category) and one golden verdict file per trace. Regenerate with
-// `go run ./cmd/icsreplay -record testdata/traces` after any deliberate
-// change to the trace format, the decode rules or the model recipe; the
-// conformance test then holds every future build to the new goldens.
+// This file builds the golden conformance corpora committed under
+// testdata/traces at the repository root: per testbed, one trained model
+// snapshot, one recorded trace per corpus scenario (normal operation plus
+// each attack category) and one golden verdict file per trace. Regenerate
+// with `go run ./cmd/icsreplay -record testdata/traces` (gas pipeline) or
+// `go run ./cmd/icsreplay -record testdata/traces/watertank -scenario
+// watertank` after any deliberate change to the trace format, the decode
+// rules or the model recipe; the conformance test then holds every future
+// build to the new goldens.
 
 // CorpusConfig parameterizes BuildCorpus.
 type CorpusConfig struct {
+	// Scenario is the testbed the corpus records (required).
+	Scenario scenario.Scenario
 	// Dir receives the model, traces and verdict files.
 	Dir string
 	// FrameSeedDir, when non-empty, receives one .bin file per distinct
 	// frame shape seen across the corpus — the fuzz seed corpus of
 	// internal/modbus.
 	FrameSeedDir string
+	// SeedPrefix names this corpus's fuzz seed files
+	// (<prefix>NN.bin; default "corpus"). Distinct testbeds use distinct
+	// prefixes so regenerating one corpus cannot delete another's seeds.
+	SeedPrefix string
 	// TrainPackages sizes the normal capture the model trains on
 	// (default 16000).
 	TrainPackages int
@@ -35,71 +43,67 @@ type CorpusConfig struct {
 	Seed uint64
 }
 
-// CorpusScenario is one recorded scenario: a name, the attack it carries
-// (Normal for the clean trace) and the episode script.
+// CorpusScenario is one recorded corpus entry: a name, the attack it
+// carries (Normal for the clean trace) and the per-injection episode
+// length passed to scenario.Sim.RunAttackEpisode.
 type CorpusScenario struct {
-	Name   string
-	Attack dataset.AttackType
-	Script func(sim *gaspipeline.Simulator)
+	Name    string
+	Attack  dataset.AttackType
+	Episode int
 }
 
-// CorpusScenarios returns the scenario set of the golden corpus: normal
-// operation plus two episodes of every attack category of Table II,
+// CorpusScenarios returns the recording script set of a golden corpus:
+// normal operation plus two episodes of every attack category of Table II,
 // separated by normal traffic so each trace exercises attack onset, attack
-// steady-state and recovery.
+// steady-state and recovery. The set is testbed-independent — each
+// scenario's injectors interpret the episode lengths in their own units.
 func CorpusScenarios() []CorpusScenario {
-	attackScript := func(run func(sim *gaspipeline.Simulator)) func(sim *gaspipeline.Simulator) {
-		return func(sim *gaspipeline.Simulator) {
-			for i := 0; i < 8; i++ {
-				sim.RunNormalCycle(dataset.Normal)
-			}
-			run(sim)
-			for i := 0; i < 10; i++ {
-				sim.RunNormalCycle(dataset.Normal)
-			}
-			run(sim)
-			for i := 0; i < 8; i++ {
-				sim.RunNormalCycle(dataset.Normal)
-			}
-		}
-	}
 	return []CorpusScenario{
-		{Name: "normal", Attack: dataset.Normal, Script: func(sim *gaspipeline.Simulator) {
-			for i := 0; i < 60; i++ {
-				sim.RunNormalCycle(dataset.Normal)
-			}
-		}},
-		{Name: "nmri", Attack: dataset.NMRI, Script: attackScript(func(sim *gaspipeline.Simulator) {
-			sim.RunNMRIEpisode(4)
-		})},
-		{Name: "cmri", Attack: dataset.CMRI, Script: attackScript(func(sim *gaspipeline.Simulator) {
-			sim.RunCMRIEpisode(6)
-		})},
-		{Name: "msci", Attack: dataset.MSCI, Script: attackScript(func(sim *gaspipeline.Simulator) {
-			sim.RunMSCIEpisode(3)
-		})},
-		{Name: "mpci", Attack: dataset.MPCI, Script: attackScript(func(sim *gaspipeline.Simulator) {
-			sim.RunMPCIEpisode(3)
-		})},
-		{Name: "mfci", Attack: dataset.MFCI, Script: attackScript(func(sim *gaspipeline.Simulator) {
-			sim.RunMFCIEpisode(4)
-		})},
-		{Name: "dos", Attack: dataset.DOS, Script: attackScript(func(sim *gaspipeline.Simulator) {
-			sim.RunDoSEpisode(4)
-		})},
-		{Name: "recon", Attack: dataset.Recon, Script: attackScript(func(sim *gaspipeline.Simulator) {
-			sim.RunReconEpisode(10)
-		})},
+		{Name: "normal", Attack: dataset.Normal},
+		{Name: "nmri", Attack: dataset.NMRI, Episode: 4},
+		{Name: "cmri", Attack: dataset.CMRI, Episode: 6},
+		{Name: "msci", Attack: dataset.MSCI, Episode: 3},
+		{Name: "mpci", Attack: dataset.MPCI, Episode: 3},
+		{Name: "mfci", Attack: dataset.MFCI, Episode: 4},
+		{Name: "dos", Attack: dataset.DOS, Episode: 4},
+		{Name: "recon", Attack: dataset.Recon, Episode: 10},
 	}
 }
 
-// recordScenario runs script on a fresh simulator (after an unrecorded
-// warm-up so the PID loop and CRC window have settled) and returns the
-// recorded trace bytes.
-func recordScenario(name, fingerprint string, seed uint64, script func(*gaspipeline.Simulator)) ([]byte, error) {
-	simCfg := gaspipeline.DefaultSimConfig()
-	simCfg.Seed = seed
-	sim, err := gaspipeline.NewSimulator(simCfg)
+// runScript drives one corpus scenario on a live simulation: 60 cycles of
+// normal traffic for the clean trace, or two attack episodes bracketed and
+// separated by normal operation.
+func runScript(sim scenario.Sim, sc CorpusScenario) error {
+	if sc.Attack == dataset.Normal {
+		for i := 0; i < 60; i++ {
+			sim.RunNormalCycle(dataset.Normal)
+		}
+		return nil
+	}
+	for i := 0; i < 8; i++ {
+		sim.RunNormalCycle(dataset.Normal)
+	}
+	if err := sim.RunAttackEpisode(sc.Attack, sc.Episode); err != nil {
+		return err
+	}
+	for i := 0; i < 10; i++ {
+		sim.RunNormalCycle(dataset.Normal)
+	}
+	if err := sim.RunAttackEpisode(sc.Attack, sc.Episode); err != nil {
+		return err
+	}
+	for i := 0; i < 8; i++ {
+		sim.RunNormalCycle(dataset.Normal)
+	}
+	return nil
+}
+
+// recordScenario runs script on a fresh simulation of tb (after an
+// unrecorded warm-up so the control loop and CRC window have settled) and
+// returns the recorded trace bytes.
+func recordScenario(tb scenario.Scenario, name, fingerprint string, seed uint64,
+	script func(scenario.Sim) error) ([]byte, error) {
+	sim, err := tb.NewSim(seed)
 	if err != nil {
 		return nil, err
 	}
@@ -107,22 +111,27 @@ func recordScenario(name, fingerprint string, seed uint64, script func(*gaspipel
 		sim.RunNormalCycle(dataset.Normal)
 	}
 	var buf bytes.Buffer
-	rec, err := NewRecorder(&buf, SimHeader(name, fingerprint))
+	rec, err := NewRecorder(&buf, SimHeader(name, fingerprint, tb.Registers()))
 	if err != nil {
 		return nil, err
 	}
 	sim.SetFrameSink(rec.RecordSim)
-	script(sim)
+	scriptErr := script(sim)
 	sim.SetFrameSink(nil)
+	if scriptErr != nil {
+		return nil, fmt.Errorf("trace: record %s: %w", name, scriptErr)
+	}
 	if err := rec.Flush(); err != nil {
 		return nil, fmt.Errorf("trace: record %s: %w", name, err)
 	}
 	return buf.Bytes(), nil
 }
 
-// corpusTrainConfig is the fixed model recipe of the golden corpus: small
+// corpusTrainConfig is the fixed model recipe of the golden corpora: small
 // enough to train in seconds, expressive enough that every attack category
-// is detectable on replayed traces.
+// is detectable on replayed traces. It is deliberately identical across
+// testbeds — the detector is process-agnostic, so the corpora double as
+// evidence that one recipe transfers between plants.
 func corpusTrainConfig(seed uint64) core.Config {
 	cfg := core.DefaultConfig()
 	cfg.Granularity = signature.Granularity{
@@ -137,19 +146,20 @@ func corpusTrainConfig(seed uint64) core.Config {
 	return cfg
 }
 
-// TrainCorpusModel trains the corpus framework the way BuildCorpus does:
-// on the package stream decoded from a recorded attack-free trace, so the
-// model sees exactly the feature distributions replay reconstructs from
+// TrainCorpusModel trains the corpus framework for tb the way BuildCorpus
+// does: on the package stream decoded from a recorded attack-free trace, so
+// the model sees exactly the feature distributions replay reconstructs from
 // wire bytes (not the simulator's internal state view).
-func TrainCorpusModel(trainPackages int, seed uint64) (*core.Framework, error) {
+func TrainCorpusModel(tb scenario.Scenario, trainPackages int, seed uint64) (*core.Framework, error) {
 	if trainPackages <= 0 {
 		trainPackages = 16000
 	}
 	cycles := trainPackages / 4
-	raw, err := recordScenario("train", "", seed, func(sim *gaspipeline.Simulator) {
+	raw, err := recordScenario(tb, "train", "", seed, func(sim scenario.Sim) error {
 		for i := 0; i < cycles; i++ {
 			sim.RunNormalCycle(dataset.Normal)
 		}
+		return nil
 	})
 	if err != nil {
 		return nil, err
@@ -179,23 +189,29 @@ type CorpusReport struct {
 	FrameSeeds int
 }
 
-// BuildCorpus trains the corpus model, records every scenario, replays each
-// trace to produce its golden verdicts, and writes the whole corpus to
-// cfg.Dir (model.fw, <scenario>.trace, <scenario>.verdicts). Every attack
-// trace must yield at least one detected attack package — a corpus whose
-// goldens say "nothing detected" would pin a useless model — otherwise the
-// build fails.
+// BuildCorpus trains the corpus model for the configured testbed, records
+// every corpus scenario, replays each trace to produce its golden verdicts,
+// and writes the whole corpus to cfg.Dir (model.fw, <scenario>.trace,
+// <scenario>.verdicts). Every attack trace must yield at least one detected
+// attack package — a corpus whose goldens say "nothing detected" would pin
+// a useless model — otherwise the build fails.
 func BuildCorpus(cfg CorpusConfig) (*CorpusReport, error) {
+	if cfg.Scenario == nil {
+		return nil, fmt.Errorf("trace: corpus scenario required")
+	}
 	if cfg.Dir == "" {
 		return nil, fmt.Errorf("trace: corpus dir required")
 	}
 	if cfg.Seed == 0 {
 		cfg.Seed = 1
 	}
+	if cfg.SeedPrefix == "" {
+		cfg.SeedPrefix = "corpus"
+	}
 	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
 		return nil, err
 	}
-	fw, err := TrainCorpusModel(cfg.TrainPackages, cfg.Seed)
+	fw, err := TrainCorpusModel(cfg.Scenario, cfg.TrainPackages, cfg.Seed)
 	if err != nil {
 		return nil, fmt.Errorf("trace: train corpus model: %w", err)
 	}
@@ -215,7 +231,10 @@ func BuildCorpus(cfg CorpusConfig) (*CorpusReport, error) {
 		// Scenario seeds are offset from the training seed so no golden
 		// trace replays traffic the model was fit on (seed+0 would make the
 		// normal trace a bitwise prefix of the training capture).
-		raw, err := recordScenario(sc.Name, fingerprint, cfg.Seed+1+uint64(i)*0x9E3779B9, sc.Script)
+		sc := sc
+		raw, err := recordScenario(cfg.Scenario, sc.Name, fingerprint,
+			cfg.Seed+1+uint64(i)*0x9E3779B9,
+			func(sim scenario.Sim) error { return runScript(sim, sc) })
 		if err != nil {
 			return nil, err
 		}
@@ -253,9 +272,9 @@ func BuildCorpus(cfg CorpusConfig) (*CorpusReport, error) {
 		if err := os.MkdirAll(cfg.FrameSeedDir, 0o755); err != nil {
 			return nil, err
 		}
-		// A regeneration owns the seed directory: drop seeds of a previous
+		// A regeneration owns its seed prefix: drop seeds of a previous
 		// corpus so a shrinking shape set cannot leave stale frames behind.
-		stale, err := filepath.Glob(filepath.Join(cfg.FrameSeedDir, "corpus*.bin"))
+		stale, err := filepath.Glob(filepath.Join(cfg.FrameSeedDir, cfg.SeedPrefix+"*.bin"))
 		if err != nil {
 			return nil, err
 		}
@@ -265,7 +284,7 @@ func BuildCorpus(cfg CorpusConfig) (*CorpusReport, error) {
 			}
 		}
 		for i, frame := range seedFrames {
-			name := filepath.Join(cfg.FrameSeedDir, fmt.Sprintf("corpus%02d.bin", i))
+			name := filepath.Join(cfg.FrameSeedDir, fmt.Sprintf("%s%02d.bin", cfg.SeedPrefix, i))
 			if err := os.WriteFile(name, frame, 0o644); err != nil {
 				return nil, err
 			}

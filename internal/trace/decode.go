@@ -91,13 +91,13 @@ func TapHeader(scenario string, regs tap.RegisterMap) Header {
 	return Header{Format: FormatTCP, Scenario: scenario, Registers: regs}
 }
 
-// SimHeader returns a header for recording gas-pipeline simulator traffic:
-// RTU framing with the simulator's register layout.
-func SimHeader(scenario, fingerprint string) Header {
+// SimHeader returns a header for recording scenario-simulator traffic: RTU
+// framing with the simulating testbed's register layout.
+func SimHeader(scenario, fingerprint string, regs tap.RegisterMap) Header {
 	return Header{
 		Format:      FormatRTU,
 		Scenario:    scenario,
 		Fingerprint: fingerprint,
-		Registers:   tap.DefaultRegisterMap(),
+		Registers:   regs,
 	}
 }

@@ -7,13 +7,13 @@ import (
 	"math"
 
 	"icsdetect/internal/dataset"
-	"icsdetect/internal/gaspipeline"
 	"icsdetect/internal/modbus"
+	"icsdetect/internal/scenario"
 )
 
 // Recorder captures labeled frames into a trace. It adapts the two capture
-// points of the repo — the gas-pipeline simulator's frame sink (RTU traces)
-// and the live tap's recorder hook (TCP traces) — onto the Writer, turning
+// points of the repo — a scenario simulator's frame sink (RTU traces) and
+// the live tap's recorder hook (TCP traces) — onto the Writer, turning
 // absolute capture timestamps into record deltas.
 //
 // A Recorder is not safe for concurrent use: attach it to one simulator or
@@ -85,12 +85,12 @@ func (r *Recorder) Record(raw []byte, t float64, isCmd bool, label dataset.Attac
 }
 
 // RecordSim captures one simulator frame; wire it up with
-// sim.SetFrameSink(rec.RecordSim) on an RTU recorder. The simulator models
-// benign link glitches after encoding, so when a frame it marks corrupt
+// sim.SetFrameSink(rec.RecordSim) on an RTU recorder. Simulators model
+// benign link glitches after encoding, so when a frame marked corrupt
 // still carries a valid CRC the recorder flips the checksum in the recorded
 // copy: the trace's wire bytes then carry the corruption themselves, and
 // the replayer reconstructs the crc_rate feature from the bytes alone.
-func (r *Recorder) RecordSim(f gaspipeline.Frame) {
+func (r *Recorder) RecordSim(f scenario.Frame) {
 	if r.err != nil {
 		return
 	}

@@ -24,7 +24,7 @@ func TestFormatRoundTrip(t *testing.T) {
 		Format:      FormatRTU,
 		Scenario:    "unit-test",
 		Fingerprint: "00deadbeef00cafe",
-		Registers:   tap.DefaultRegisterMap(),
+		Registers:   gaspipeline.Registers(),
 	}
 	h.Registers.Pressure = -1 // negative indices must survive
 	recs := []*Record{
@@ -70,7 +70,7 @@ func TestFormatRoundTrip(t *testing.T) {
 func TestReaderRejectsBadInput(t *testing.T) {
 	valid := func() []byte {
 		var buf bytes.Buffer
-		w, err := NewWriter(&buf, SimHeader("x", ""))
+		w, err := NewWriter(&buf, SimHeader("x", "", gaspipeline.Registers()))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -120,7 +120,7 @@ func TestReaderRejectsBadInput(t *testing.T) {
 // or overflow the decoder's nanosecond accumulator.
 func TestRecordDeltaCap(t *testing.T) {
 	var buf bytes.Buffer
-	w, err := NewWriter(&buf, SimHeader("x", ""))
+	w, err := NewWriter(&buf, SimHeader("x", "", gaspipeline.Registers()))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -183,7 +183,7 @@ func recordTestScenario(t *testing.T, glitchProb float64) ([]byte, []*dataset.Pa
 	}
 	warmed := len(sim.Packages())
 	var buf bytes.Buffer
-	rec, err := NewRecorder(&buf, SimHeader("unit", ""))
+	rec, err := NewRecorder(&buf, SimHeader("unit", "", gaspipeline.Registers()))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -381,7 +381,7 @@ func TestRecorderTapPath(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Cleanup(srv.Close)
-	proxy := tap.New(slaveAddr.String(), tap.DefaultRegisterMap())
+	proxy := tap.New(slaveAddr.String(), gaspipeline.Registers())
 	tapAddr, err := proxy.Listen("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -394,7 +394,7 @@ func TestRecorderTapPath(t *testing.T) {
 	t.Cleanup(func() { client.Close() })
 
 	var buf bytes.Buffer
-	rec, err := NewRecorder(&buf, TapHeader("tap-unit", tap.DefaultRegisterMap()))
+	rec, err := NewRecorder(&buf, TapHeader("tap-unit", gaspipeline.Registers()))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,198 @@
+package watertank
+
+import (
+	"icsdetect/internal/dataset"
+	"icsdetect/internal/mathx"
+	"icsdetect/internal/modbus"
+	"icsdetect/internal/scenario"
+)
+
+// This file implements the water-tank variants of the seven attack
+// categories of the paper's Table II. Each Run*Episode method plays one
+// attack episode against the live simulation; ground-truth labels mark
+// exactly the packages the attacker caused, matching the original dataset's
+// per-packet labeling.
+
+// RunAttackEpisode dispatches one episode of the given Table II category to
+// its Run*Episode injector, implementing the scenario.Sim contract. n is
+// the episode length in the category's natural unit (cycles, or probes for
+// Recon).
+func (s *Simulator) RunAttackEpisode(at dataset.AttackType, n int) error {
+	return scenario.DispatchEpisode(s, at, n)
+}
+
+// RunNMRIEpisode injects naive malicious response packets: after each normal
+// poll cycle the attacker forges 1-3 extra state-read responses carrying
+// random level readings — half blatant (uniform over the whole tank), half
+// mimicry near the live level.
+func (s *Simulator) RunNMRIEpisode(cycles int) {
+	for c := 0; c < cycles; c++ {
+		s.RunNormalCycle(dataset.Normal)
+		forged := 1 + s.rng.Intn(3)
+		st := s.ctrl.State()
+		for i := 0; i < forged; i++ {
+			s.advance(s.intraDelay())
+			fakeLevel := s.rng.Range(0, s.cfg.Plant.Capacity)
+			if s.rng.Bernoulli(0.5) {
+				fakeLevel = mathx.Clamp(
+					s.plant.Level()+s.rng.Range(-5, 5), 0, s.cfg.Plant.Capacity)
+			}
+			pdu := modbus.ReadRegistersResponse(modbus.FuncReadState,
+				stateRegisters(st, 0, 0, fakeLevel, true))
+			s.emit(&modbus.RTUFrame{Address: s.cfg.SlaveAddress, PDU: pdu},
+				st, 0, 0, fakeLevel, false, dataset.NMRI)
+		}
+	}
+}
+
+// RunCMRIEpisode hides the real state of the process: every state-read
+// response during the episode reports a frozen, attacker-chosen level while
+// the true tank keeps filling or draining. Only the falsified responses
+// carry the attack label — the classic overflow attack on a tank: the
+// operator sees a calm mid-band level while the pump runs the tank over the
+// HH line.
+func (s *Simulator) RunCMRIEpisode(cycles int) {
+	// The frozen reading is drawn across the full span the plant can
+	// plausibly occupy; values outside the active alarm band leave a
+	// content-level trace, values inside it are pure mimicry.
+	frozen := mathx.Clamp(s.rng.Range(5, 95), 0.5, s.cfg.Plant.Capacity-0.5)
+	falsify := cycleOpts{reportLevel: func(float64) float64 {
+		return mathx.Clamp(frozen+s.rng.NormScaled(0, 0.05), 0, s.cfg.Plant.Capacity)
+	}}
+	for c := 0; c < cycles; c++ {
+		s.operatorStep()
+		s.runCycle(s.desired, cycleLabels{Resp: dataset.CMRI}, falsify)
+	}
+}
+
+// RunMSCIEpisode injects malicious state commands: the attacker switches the
+// device to manual mode with adversarial actuator settings — pump forced on
+// (overflow), dump valve forced open (empty the tank) — or switches it off.
+// The injected command, its acknowledgement and the state reads that expose
+// the tampered state carry the label.
+func (s *Simulator) RunMSCIEpisode(cycles int) {
+	mal := s.desired
+	switch s.rng.Intn(5) {
+	case 0, 1: // force the pump on: run the tank over HH
+		mal.Mode, mal.Pump, mal.Valve = ModeManual, 1, 0
+	case 2, 3: // dump the tank
+		mal.Mode, mal.Pump, mal.Valve = ModeManual, 0, 1
+	default: // kill control entirely
+		mal.Mode, mal.Pump, mal.Valve = ModeOff, 0, 0
+	}
+	labels := cycleLabels{
+		Cmd: dataset.MSCI, Ack: dataset.MSCI,
+		Read: dataset.Normal, Resp: dataset.MSCI,
+	}
+	for c := 0; c < cycles; c++ {
+		s.runCycle(mal, labels, cycleOpts{})
+	}
+	// Operator notices and restores the legitimate block; the first
+	// post-restore state read still reports the attacker-caused state.
+	s.runCycle(s.desired, cycleLabels{Resp: dataset.MSCI}, cycleOpts{})
+}
+
+// RunMPCIEpisode injects malicious parameter commands: a write carrying a
+// tampered alarm-setpoint block. Some injections are blatant (inverted
+// ordering, zeroed LL), many are mimicry just outside the legal presets —
+// raising H toward HH quietly re-tunes the plant to run near overflow.
+func (s *Simulator) RunMPCIEpisode(cycles int) {
+	mal := s.desired
+	n := 1 + s.rng.Intn(2)
+	for i := 0; i < n; i++ {
+		switch s.rng.Intn(4) {
+		case 0:
+			mal.H = s.rng.Range(20, 95)
+		case 1:
+			mal.L = s.rng.Range(5, 60)
+		case 2:
+			mal.HH = s.rng.Range(50, 100)
+		default:
+			mal.LL = s.rng.Range(0, 30)
+		}
+	}
+	labels := cycleLabels{
+		Cmd: dataset.MPCI, Ack: dataset.MPCI,
+		Read: dataset.Normal, Resp: dataset.MPCI,
+	}
+	// The device firmware stores whatever registers arrive
+	// (ApplyUnchecked), where the legitimate path would reject an invalid
+	// alarm ordering.
+	unchecked := cycleOpts{apply: s.ctrl.ApplyUnchecked}
+	for c := 0; c < cycles; c++ {
+		s.runCycle(mal, labels, unchecked)
+	}
+	s.runCycle(s.desired, cycleLabels{Resp: dataset.MPCI}, cycleOpts{})
+}
+
+// RunMFCIEpisode injects malicious function code commands: diagnostics
+// force-listen-only / restart sub-functions the master never uses. The
+// device answers with the diagnostics echo, so both directions are exposed.
+func (s *Simulator) RunMFCIEpisode(count int) {
+	st := s.ctrl.State()
+	for i := 0; i < count; i++ {
+		// Sub-function 4 = force listen only; 1 = restart communications.
+		sub := uint16(4)
+		if s.rng.Bernoulli(0.5) {
+			sub = 1
+		}
+		pdu := modbus.WriteSingleRequest(modbus.FuncDiagnostics, sub, 0)
+		s.emit(&modbus.RTUFrame{Address: s.cfg.SlaveAddress, PDU: pdu},
+			st, 0, 0, 0, true, dataset.MFCI)
+		s.advance(s.intraDelay())
+		s.emit(&modbus.RTUFrame{Address: s.cfg.SlaveAddress, PDU: pdu},
+			st, 0, 0, 0, false, dataset.MFCI)
+		s.advance(s.cfg.CycleTime * s.rng.Range(0.5, 1.5))
+	}
+}
+
+// RunDoSEpisode denies service on the communication link: reads go
+// unanswered, the master retries after long timeouts, and the flood
+// corrupts frames, driving the CRC failure rate up. The decay tail — cycles
+// whose CRC rate is still contaminated — belongs to the attack period.
+func (s *Simulator) RunDoSEpisode(cycles int) {
+	st := s.ctrl.State()
+	for c := 0; c < cycles; c++ {
+		// Master read attempt; response never arrives.
+		s.emit(&modbus.RTUFrame{Address: s.cfg.SlaveAddress, PDU: modbus.ReadRequest(modbus.FuncReadState, 0, 10)},
+			ControllerState{CycleTime: st.CycleTime}, 0, 0, 0, true, dataset.DOS)
+		// Timeout plus backoff: an interval far outside both normal
+		// clusters.
+		s.advance(s.rng.Range(2.0, 5.0))
+		// Flood garbage: corrupted frames observed on the wire.
+		if s.rng.Bernoulli(0.8) {
+			junk := modbus.ReadRequest(modbus.FuncReadState, 0, 10)
+			s.emit(&modbus.RTUFrame{Address: s.cfg.SlaveAddress, PDU: junk, CorruptCRC: true},
+				ControllerState{CycleTime: st.CycleTime}, 0, 0, 0, true, dataset.DOS)
+			s.advance(s.rng.Range(0.3, 1.0))
+		}
+	}
+	// Service resumes but the monitor's CRC failure rate is still decaying;
+	// those cycles belong to the attack period.
+	for c := 0; c < crcWindow/4; c++ {
+		s.RunNormalCycle(dataset.DOS)
+	}
+}
+
+// RunReconEpisode scans for devices: rapid state-read probes at station
+// addresses the master never talks to. The real device stays silent, so
+// only command packages appear.
+func (s *Simulator) RunReconEpisode(probes int) {
+	st := s.ctrl.State()
+	for i := 0; i < probes; i++ {
+		addr := uint8(1 + s.rng.Intn(10))
+		if addr == s.cfg.SlaveAddress {
+			addr = s.cfg.SlaveAddress + 1
+		}
+		fn := modbus.FuncReadHoldingRegisters
+		if s.rng.Bernoulli(0.3) {
+			fn = modbus.FuncReadCoils
+		}
+		pdu := modbus.ReadRequest(fn, 0, uint16(1+s.rng.Intn(8)))
+		s.emit(&modbus.RTUFrame{Address: addr, PDU: pdu},
+			ControllerState{CycleTime: st.CycleTime}, 0, 0, 0, true, dataset.Recon)
+		s.advance(s.rng.Range(0.02, 0.06))
+	}
+	// Let the line settle to the next cycle boundary.
+	s.advance(s.cfg.CycleTime)
+}

@@ -1,0 +1,158 @@
+package watertank
+
+import "fmt"
+
+// System modes, encoded as in the dataset's system_mode column (shared with
+// the gas pipeline so the feature keeps one meaning across scenarios).
+const (
+	ModeOff    = 0
+	ModeManual = 1
+	ModeAuto   = 2
+)
+
+// Control schemes as encoded in the control_scheme column: fill control
+// cycles the pump between L and H with the dump valve shut; drain control
+// runs the pump continuously and cycles the dump valve instead (used when
+// the tank feeds a process that must never see the pump stop).
+const (
+	SchemePump  = 0
+	SchemeValve = 1
+)
+
+// ControllerState is the full SCADA-visible controller block of the water
+// tank: the four alarm setpoints, the poll cycle time, mode, scheme and the
+// manual actuator commands — everything a write command carries and a state
+// read returns.
+type ControllerState struct {
+	// H and L bound the automatic operating band; HH and LL are the
+	// high-high / low-low alarm setpoints (safety limits). Legal blocks
+	// keep LL < L < H < HH.
+	H, HH, L, LL float64
+	// CycleTime is the master's poll period in seconds, echoed in the
+	// block like the gas pipeline's PID cycle time.
+	CycleTime float64
+	Mode      int // ModeOff/ModeManual/ModeAuto
+	Scheme    int // SchemePump/SchemeValve
+	Pump      int // manual-mode pump command (1 on / 0 off)
+	Valve     int // manual-mode dump valve command (1 open / 0 closed)
+}
+
+// Validate reports obviously corrupt states; the attack injector is allowed
+// to bypass this, the legitimate operator is not. The alarm ordering
+// LL < L < H < HH is the water tank's core configuration invariant.
+func (s *ControllerState) Validate() error {
+	if s.Mode < ModeOff || s.Mode > ModeAuto {
+		return fmt.Errorf("watertank: invalid mode %d", s.Mode)
+	}
+	if s.Scheme != SchemePump && s.Scheme != SchemeValve {
+		return fmt.Errorf("watertank: invalid scheme %d", s.Scheme)
+	}
+	if s.LL < 0 {
+		return fmt.Errorf("watertank: negative LL alarm %g", s.LL)
+	}
+	if !(s.LL < s.L && s.L < s.H && s.H < s.HH) {
+		return fmt.Errorf("watertank: alarm ordering violated: LL=%g L=%g H=%g HH=%g",
+			s.LL, s.L, s.H, s.HH)
+	}
+	if s.CycleTime <= 0 {
+		return fmt.Errorf("watertank: non-positive cycle time %g", s.CycleTime)
+	}
+	return nil
+}
+
+// Controller runs the field device's control law: in automatic mode an
+// on/off loop holds the level inside [L, H] (driving the pump or the dump
+// valve depending on the scheme); in manual mode the operator's pump/valve
+// commands pass through; in off mode the pump idles. Independently of mode,
+// a hard high-level failsafe latches the dump valve open at HH and releases
+// it with hysteresis once the level is back below H.
+type Controller struct {
+	state ControllerState
+	// pumpOn / valveOpen retain the on/off loop's hysteresis state between
+	// cycles.
+	pumpOn    bool
+	valveOpen bool
+	// safetyOpen latches the HH overflow failsafe.
+	safetyOpen bool
+}
+
+// NewController builds a controller with the given initial state.
+func NewController(initial ControllerState) (*Controller, error) {
+	if err := initial.Validate(); err != nil {
+		return nil, err
+	}
+	return &Controller{state: initial}, nil
+}
+
+// State returns a copy of the controller block.
+func (c *Controller) State() ControllerState { return c.state }
+
+// Apply installs a new controller block (a Modbus write command). Invalid
+// blocks are rejected with an error, matching the device's illegal-value
+// exception; the attack injector uses ApplyUnchecked.
+func (c *Controller) Apply(s ControllerState) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	c.state = s
+	return nil
+}
+
+// ApplyUnchecked installs a controller block without operator-level
+// validation. Malicious writes land here: the real firmware stores whatever
+// register values arrive, and the control law then acts on the corrupted
+// block (an inverted alarm ordering makes the on/off loop chatter, exactly
+// the process damage an MPCI attack is after).
+func (c *Controller) ApplyUnchecked(s ControllerState) { c.state = s }
+
+// Actuate computes actuator commands for the current measured level and
+// applies them to the plant.
+func (c *Controller) Actuate(plant *Plant, measured float64) {
+	// Hard overflow failsafe with hysteresis, independent of mode.
+	if measured >= c.state.HH {
+		c.safetyOpen = true
+	} else if measured <= c.state.H {
+		c.safetyOpen = false
+	}
+
+	switch c.state.Mode {
+	case ModeAuto:
+		if c.state.Scheme == SchemePump {
+			// Fill control: pump on below L, off above H; the dump valve
+			// only opens on the failsafe.
+			if measured <= c.state.L {
+				c.pumpOn = true
+			} else if measured >= c.state.H {
+				c.pumpOn = false
+			}
+			c.valveOpen = false
+		} else {
+			// Drain control: pump runs continuously, the dump valve bleeds
+			// the excess — open above H, shut below L.
+			c.pumpOn = true
+			if measured >= c.state.H {
+				c.valveOpen = true
+			} else if measured <= c.state.L {
+				c.valveOpen = false
+			}
+		}
+		plant.PumpOn = c.pumpOn
+		plant.ValveOpen = c.valveOpen || c.safetyOpen
+	case ModeManual:
+		plant.PumpOn = c.state.Pump == 1
+		plant.ValveOpen = c.state.Valve == 1 || c.safetyOpen
+	default: // ModeOff
+		plant.PumpOn = false
+		plant.ValveOpen = c.safetyOpen
+	}
+}
+
+// ActuatorView returns the pump/valve columns a state read reports. As in
+// the gas pipeline's Table I, these columns are meaningful only for manual
+// mode; in automatic and off modes the device reports zeros.
+func (c *Controller) ActuatorView() (pump, valve int) {
+	if c.state.Mode == ModeManual {
+		return c.state.Pump, c.state.Valve
+	}
+	return 0, 0
+}

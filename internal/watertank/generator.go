@@ -1,0 +1,79 @@
+package watertank
+
+import (
+	"icsdetect/internal/dataset"
+	"icsdetect/internal/mathx"
+	"icsdetect/internal/scenario"
+)
+
+// GenConfig controls dataset generation.
+type GenConfig struct {
+	Sim SimConfig
+	// TotalPackages is the approximate dataset size (generation stops at
+	// the first episode boundary past this count).
+	TotalPackages int
+	// AttackRatio is the target fraction of attack-labeled packages.
+	AttackRatio float64
+	// AttackTypes restricts which attacks are injected (default: all 7).
+	AttackTypes []dataset.AttackType
+	// WarmupCycles runs the plant before recording so the on/off loop has
+	// settled into its band when the capture starts.
+	WarmupCycles int
+}
+
+// DefaultGenConfig returns a generation config mirroring the gas-pipeline
+// generator's proportions at the given size.
+func DefaultGenConfig(totalPackages int, seed uint64) GenConfig {
+	sim := DefaultSimConfig()
+	sim.Seed = seed
+	return GenConfig{
+		Sim:           sim,
+		TotalPackages: totalPackages,
+		AttackRatio:   0.219,
+		AttackTypes:   defaultAttackSchedule(),
+		WarmupCycles:  200,
+	}
+}
+
+// Generate runs the simulation through the shared generation loop
+// (scenario.RunGeneration) and returns the labeled dataset.
+func Generate(cfg GenConfig) (*dataset.Dataset, error) {
+	sim, err := NewSimulator(cfg.Sim)
+	if err != nil {
+		return nil, err
+	}
+	sched := mathx.NewRNG(cfg.Sim.Seed ^ 0x7A11C4)
+	schedule := cfg.AttackTypes
+	if len(schedule) == 0 {
+		schedule = defaultAttackSchedule()
+	}
+	return scenario.RunGeneration(sim, sched, scenario.GenConfig{
+		TotalPackages: cfg.TotalPackages,
+		AttackRatio:   cfg.AttackRatio,
+		Seed:          cfg.Sim.Seed,
+	}, cfg.WarmupCycles, schedule, scenario.DefaultEpisodeLengths())
+}
+
+// defaultAttackSchedule interleaves episode types with the same emphasis as
+// the gas pipeline's schedule: response injections dominate, command
+// injections and reconnaissance follow, MFCI and DoS are comparatively
+// rare.
+func defaultAttackSchedule() []dataset.AttackType {
+	return scenario.WeightedSchedule([]scenario.ScheduleWeight{
+		{Attack: dataset.CMRI, Weight: 11},
+		{Attack: dataset.NMRI, Weight: 8},
+		{Attack: dataset.Recon, Weight: 6},
+		{Attack: dataset.MPCI, Weight: 5},
+		{Attack: dataset.MSCI, Weight: 3},
+		{Attack: dataset.MFCI, Weight: 2},
+		{Attack: dataset.DOS, Weight: 1},
+	})
+}
+
+// GenerateNormal produces an attack-free capture (the paper's "air-gapped"
+// observation mode used to build the signature database).
+func GenerateNormal(totalPackages int, seed uint64) (*dataset.Dataset, error) {
+	cfg := DefaultGenConfig(totalPackages, seed)
+	cfg.AttackRatio = 0
+	return Generate(cfg)
+}

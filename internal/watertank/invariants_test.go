@@ -1,0 +1,152 @@
+package watertank
+
+import (
+	"testing"
+
+	"icsdetect/internal/dataset"
+	"icsdetect/internal/mathx"
+)
+
+// TestLevelStaysInBounds: the tank level is physically confined to
+// [0, Capacity] no matter what the controller — or an attacker driving the
+// actuators — does.
+func TestLevelStaysInBounds(t *testing.T) {
+	cfg := DefaultSimConfig()
+	cfg.Seed = 21
+	sim, err := NewSimulator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(stage string) {
+		t.Helper()
+		if lv := sim.plant.Level(); lv < 0 || lv > cfg.Plant.Capacity {
+			t.Fatalf("%s: level %v outside [0, %v]", stage, lv, cfg.Plant.Capacity)
+		}
+	}
+	for i := 0; i < 200; i++ {
+		sim.RunNormalCycle(dataset.Normal)
+		check("normal")
+	}
+	// Adversarial actuator states push hardest against the bounds.
+	sim.RunMSCIEpisode(40) // may pin the pump on or the valve open
+	check("msci")
+	sim.RunMPCIEpisode(40) // may corrupt the alarm ordering
+	check("mpci")
+	for i := 0; i < 100; i++ {
+		sim.RunNormalCycle(dataset.Normal)
+		check("recovery")
+	}
+	for _, p := range sim.Packages() {
+		if p.Pressure < 0 || p.Pressure > cfg.Plant.Capacity {
+			t.Fatalf("package level %v outside [0, %v]", p.Pressure, cfg.Plant.Capacity)
+		}
+	}
+}
+
+// TestAlarmOrderingInvariant: legal controller blocks keep LL < L < H < HH;
+// Validate rejects every violation of the ordering, and all shipped presets
+// satisfy it.
+func TestAlarmOrderingInvariant(t *testing.T) {
+	base := ControllerState{
+		LL: 10, L: 40, H: 60, HH: 90, CycleTime: 0.5, Mode: ModeAuto, Scheme: SchemePump,
+	}
+	if err := base.Validate(); err != nil {
+		t.Fatalf("legal block rejected: %v", err)
+	}
+	bad := []ControllerState{
+		func(s ControllerState) ControllerState { s.LL, s.L = s.L, s.LL; return s }(base),
+		func(s ControllerState) ControllerState { s.H, s.L = s.L, s.H; return s }(base),
+		func(s ControllerState) ControllerState { s.HH = s.H; return s }(base),
+		func(s ControllerState) ControllerState { s.L = s.H; return s }(base),
+		func(s ControllerState) ControllerState { s.LL = -1; return s }(base),
+		func(s ControllerState) ControllerState { s.CycleTime = 0; return s }(base),
+		func(s ControllerState) ControllerState { s.Mode = 3; return s }(base),
+		func(s ControllerState) ControllerState { s.Scheme = 2; return s }(base),
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("corrupt block %d accepted: %+v", i, s)
+		}
+	}
+	for i, p := range defaultAlarmPresets() {
+		if !(p.LL < p.L && p.L < p.H && p.H < p.HH) {
+			t.Errorf("preset %d violates LL<L<H<HH: %+v", i, p)
+		}
+	}
+}
+
+// TestControllerConvergence: from random initial levels, the automatic
+// on/off loop must bring the tank into the [L, H] operating band and hold
+// it there (with a noise margin), under both control schemes and a seeded
+// rng.
+func TestControllerConvergence(t *testing.T) {
+	const (
+		dt     = 0.5
+		settle = 400 // cycles to converge (200 s)
+		hold   = 200 // cycles the band must then hold
+		margin = 5.0
+	)
+	preset := defaultAlarmPresets()[0]
+	for _, scheme := range []int{SchemePump, SchemeValve} {
+		rng := mathx.NewRNG(99)
+		for trial := 0; trial < 6; trial++ {
+			initial := rng.Range(0, 100)
+			pcfg := DefaultPlantConfig()
+			pcfg.InitialLevel = initial
+			plant, err := NewPlant(pcfg, rng.Split())
+			if err != nil {
+				t.Fatal(err)
+			}
+			ctrl, err := NewController(ControllerState{
+				LL: preset.LL, L: preset.L, H: preset.H, HH: preset.HH,
+				CycleTime: dt, Mode: ModeAuto, Scheme: scheme,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < settle; i++ {
+				ctrl.Actuate(plant, plant.Measure())
+				plant.Step(dt)
+			}
+			for i := 0; i < hold; i++ {
+				ctrl.Actuate(plant, plant.Measure())
+				plant.Step(dt)
+				if lv := plant.Level(); lv < preset.L-margin || lv > preset.H+margin {
+					t.Fatalf("scheme %d from level %.1f: level %.2f left band [%g, %g] at hold cycle %d",
+						scheme, initial, lv, preset.L-margin, preset.H+margin, i)
+				}
+			}
+		}
+	}
+}
+
+// TestOverflowFailsafe: with the pump forced on in manual mode, the HH
+// failsafe valve must cap the level below the physical brim.
+func TestOverflowFailsafe(t *testing.T) {
+	rng := mathx.NewRNG(7)
+	pcfg := DefaultPlantConfig()
+	pcfg.InitialLevel = 70
+	plant, err := NewPlant(pcfg, rng.Split())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl, err := NewController(ControllerState{
+		LL: 10, L: 40, H: 60, HH: 90, CycleTime: 0.5,
+		Mode: ModeManual, Pump: 1, Valve: 0, Scheme: SchemePump,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	peak := 0.0
+	for i := 0; i < 800; i++ {
+		ctrl.Actuate(plant, plant.Measure())
+		plant.Step(0.5)
+		peak = max(peak, plant.Level())
+	}
+	if peak >= 95 {
+		t.Fatalf("failsafe never engaged: level peaked at %.2f", peak)
+	}
+	if peak < 89 {
+		t.Fatalf("pump forced on never approached HH: peak %.2f", peak)
+	}
+}

@@ -1,0 +1,131 @@
+// Package watertank simulates the laboratory water storage tank testbed
+// from the same Mississippi State SCADA laboratory as the gas pipeline
+// (Morris et al.): a storage tank fed by a pump, drained by a continuous
+// process demand line and an operator-controlled dump valve, instrumented
+// with a level sensor, and regulated by an on/off controller around four
+// alarm setpoints LL < L < H < HH. A SCADA master polls the field device
+// over Modbus; an attack injector reproduces water-tank variants of the
+// seven attack categories of the paper's Table II.
+//
+// The package implements the scenario contract of internal/scenario, making
+// the water tank the framework's canonical second process: the detector
+// itself sees only the Table I package schema, with the tank's level on the
+// pressure_measurement column and its alarm block on the setpoint/PID
+// parameter columns (see Registers for the exact mapping).
+package watertank
+
+import (
+	"fmt"
+	"math"
+
+	"icsdetect/internal/mathx"
+)
+
+// PlantConfig holds the physical constants of the tank.
+type PlantConfig struct {
+	// Capacity is the full tank level in percent; the sensor reports level
+	// in [0, Capacity].
+	Capacity float64
+	// PumpRate is the level rise per second with the pump running and no
+	// outflow (%/s).
+	PumpRate float64
+	// DemandRate is the continuous process draw at full level (%/s);
+	// outflow through the demand line scales with level but never stops
+	// entirely while the tank holds water.
+	DemandRate float64
+	// ValveRate is the level drop per second through the fully open dump
+	// valve at full level (%/s); like a real gravity drain it scales with
+	// the square root of the head.
+	ValveRate float64
+	// ProcessNoise is the standard deviation of random level perturbations
+	// per sqrt-second (sloshing, demand variation).
+	ProcessNoise float64
+	// SensorNoise is the standard deviation of measurement error in level
+	// percent.
+	SensorNoise float64
+	// InitialLevel is the level at simulation start.
+	InitialLevel float64
+}
+
+// DefaultPlantConfig returns constants tuned so the on/off control loop
+// cycles the pump every few tens of seconds between the L and H setpoints,
+// with visible but bounded process noise.
+func DefaultPlantConfig() PlantConfig {
+	return PlantConfig{
+		Capacity:     100,
+		PumpRate:     2.2,
+		DemandRate:   1.1,
+		ValveRate:    3.0,
+		ProcessNoise: 0.08,
+		SensorNoise:  0.05,
+		InitialLevel: 50,
+	}
+}
+
+// Plant integrates the tank level dynamics. Not safe for concurrent use;
+// the simulator owns it.
+type Plant struct {
+	cfg   PlantConfig
+	level float64
+	// PumpOn and ValveOpen drive the dynamics; the controller sets them
+	// each cycle.
+	PumpOn    bool
+	ValveOpen bool
+	rng       *mathx.RNG
+}
+
+// NewPlant constructs a plant with the given constants and noise stream.
+func NewPlant(cfg PlantConfig, rng *mathx.RNG) (*Plant, error) {
+	if cfg.Capacity <= 0 {
+		return nil, fmt.Errorf("watertank: Capacity must be positive, got %g", cfg.Capacity)
+	}
+	if cfg.PumpRate <= 0 || cfg.DemandRate < 0 || cfg.ValveRate <= 0 {
+		return nil, fmt.Errorf("watertank: pump/demand/valve rates invalid (%g, %g, %g)",
+			cfg.PumpRate, cfg.DemandRate, cfg.ValveRate)
+	}
+	if cfg.PumpRate <= cfg.DemandRate {
+		return nil, fmt.Errorf("watertank: pump rate %g cannot overcome demand %g",
+			cfg.PumpRate, cfg.DemandRate)
+	}
+	return &Plant{cfg: cfg, level: mathx.Clamp(cfg.InitialLevel, 0, cfg.Capacity), rng: rng}, nil
+}
+
+// Level returns the true (noise-free sensor aside) tank level.
+func (p *Plant) Level() float64 { return p.level }
+
+// Measure returns a noisy sensor reading of the current level.
+func (p *Plant) Measure() float64 {
+	m := p.level + p.rng.NormScaled(0, p.cfg.SensorNoise)
+	return mathx.Clamp(m, 0, p.cfg.Capacity)
+}
+
+// Step advances the dynamics by dt seconds using forward Euler with the
+// current actuator settings. Sub-stepping keeps the integration stable for
+// the long inter-cycle gaps.
+func (p *Plant) Step(dt float64) {
+	const maxSub = 0.05
+	for dt > 0 {
+		h := math.Min(dt, maxSub)
+		dt -= h
+		inflow := 0.0
+		if p.PumpOn {
+			// The pump fills at a constant rate; a float switch tapers it
+			// off over the last 5% so it cannot push water over the brim.
+			inflow = p.cfg.PumpRate * mathx.Clamp((p.cfg.Capacity-p.level)/(0.05*p.cfg.Capacity), 0, 1)
+		}
+		frac := p.level / p.cfg.Capacity
+		// The demand line keeps drawing while the tank holds water; the
+		// 0.25 floor models the pressurized distribution side.
+		demand := p.cfg.DemandRate * (0.25 + 0.75*frac)
+		if p.level <= 0 {
+			demand = 0
+		}
+		outflow := demand
+		if p.ValveOpen {
+			outflow += p.cfg.ValveRate * math.Sqrt(math.Max(frac, 0))
+		}
+		noise := p.rng.NormScaled(0, p.cfg.ProcessNoise*math.Sqrt(h))
+		p.level += h*(inflow-outflow) + noise
+		p.level = mathx.Clamp(p.level, 0, p.cfg.Capacity)
+	}
+}

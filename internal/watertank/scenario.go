@@ -1,0 +1,69 @@
+package watertank
+
+import (
+	"icsdetect/internal/dataset"
+	"icsdetect/internal/scenario"
+	"icsdetect/internal/signature"
+	"icsdetect/internal/tap"
+)
+
+// Registers returns the water tank field device's register layout and its
+// mapping onto the Table I package columns: the alarm block rides the
+// setpoint/PID parameter columns (H → setpoint, HH → gain, L → reset_rate,
+// LL → deadband), the poll cycle time keeps its column, the level
+// measurement rides the pressure column, and the PID rate column is absent
+// (-1) — the tank has no PID loop.
+func Registers() tap.RegisterMap {
+	return tap.RegisterMap{
+		Setpoint: 0, Gain: 1, ResetRate: 2, Deadband: 3, CycleTime: 4,
+		Rate: -1, Mode: 5, Scheme: 6, Pump: 7, Solenoid: 8, Pressure: 9,
+		MinRegisters: 9,
+	}
+}
+
+// testbed implements scenario.Scenario for the water storage tank.
+type testbed struct{}
+
+// Scenario returns the water storage tank testbed, the framework's
+// canonical second process.
+func Scenario() scenario.Scenario { return testbed{} }
+
+func init() { scenario.Register(Scenario()) }
+
+func (testbed) Name() string               { return "watertank" }
+func (testbed) Registers() tap.RegisterMap { return Registers() }
+
+func (testbed) NewSim(seed uint64) (scenario.Sim, error) {
+	cfg := DefaultSimConfig()
+	cfg.Seed = seed
+	return NewSimulator(cfg)
+}
+
+func (testbed) Generate(cfg scenario.GenConfig) (*dataset.Dataset, error) {
+	g := DefaultGenConfig(cfg.TotalPackages, cfg.Seed)
+	g.AttackRatio = cfg.AttackRatio
+	if len(cfg.AttackTypes) > 0 {
+		g.AttackTypes = cfg.AttackTypes
+	}
+	return Generate(g)
+}
+
+// Granularity scales the discretization with the capture size. The tank's
+// parameter space is smaller than the pipeline's (four alarm values drawn
+// from a handful of presets, no PID trims), so the parameter-vector
+// clusters never need the paper's 32 — but they must stay at least one per
+// preset even on small captures: coarser clusters grow radii wide enough to
+// absorb tampered alarm blocks, blinding the package level to MPCI.
+func (testbed) Granularity(n int) signature.Granularity {
+	switch {
+	case n >= 150000:
+		return signature.Granularity{IntervalClusters: 2, CRCClusters: 2,
+			PressureBins: 20, SetpointBins: 8, PIDClusters: 12}
+	case n >= 50000:
+		return signature.Granularity{IntervalClusters: 2, CRCClusters: 2,
+			PressureBins: 8, SetpointBins: 5, PIDClusters: 6}
+	default:
+		return signature.Granularity{IntervalClusters: 2, CRCClusters: 2,
+			PressureBins: 5, SetpointBins: 3, PIDClusters: 4}
+	}
+}

@@ -1,0 +1,403 @@
+package watertank
+
+import (
+	"fmt"
+	"math"
+
+	"icsdetect/internal/dataset"
+	"icsdetect/internal/mathx"
+	"icsdetect/internal/modbus"
+	"icsdetect/internal/scenario"
+)
+
+// SimConfig controls the SCADA traffic simulation.
+type SimConfig struct {
+	Plant PlantConfig
+	// SlaveAddress is the Modbus station address of the field device. The
+	// lab runs the tank at a different station than the pipeline.
+	SlaveAddress uint8
+	// CycleTime is the master's base poll period in seconds.
+	CycleTime float64
+	// CycleJitter is the fractional jitter on the poll period.
+	CycleJitter float64
+	// IntraDelayMin/Max bound the gap between packages inside one poll
+	// cycle (request-to-response turnaround), in seconds.
+	IntraDelayMin, IntraDelayMax float64
+	// CRCGlitchProb is the per-frame probability of benign link corruption.
+	CRCGlitchProb float64
+	// Operator configures the legitimate operator behaviour.
+	Operator OperatorConfig
+	// Seed drives all randomness.
+	Seed uint64
+}
+
+// AlarmPreset is one legal alarm-setpoint block (LL < L < H < HH).
+type AlarmPreset struct {
+	LL, L, H, HH float64
+}
+
+// OperatorConfig models the legitimate operator: which alarm blocks are
+// legal and how often modes change. The spread of these values defines the
+// "normal profile" the signature database learns.
+type OperatorConfig struct {
+	// AlarmPresets are the legal alarm-setpoint blocks.
+	AlarmPresets []AlarmPreset
+	// PresetChangeProb is the per-cycle probability of moving to another
+	// legal block. The presets form the natural clusters the signature
+	// level's K-means discretization exploits.
+	PresetChangeProb float64
+	// ManualEpisodeProb is the per-cycle probability of a manual-mode
+	// operating episode; ManualLen bounds its length in cycles.
+	ManualEpisodeProb float64
+	ManualLen         [2]int
+	// OffEpisodeProb and OffLen control maintenance (mode off) episodes.
+	OffEpisodeProb float64
+	OffLen         [2]int
+	// ValveSchemeProb and ValveSchemeLen control drain-control-scheme
+	// episodes (pump continuous, dump valve cycling).
+	ValveSchemeProb float64
+	ValveSchemeLen  [2]int
+}
+
+// DefaultSimConfig returns the configuration used by the experiments: a
+// single slave at station 7 polled twice a second.
+func DefaultSimConfig() SimConfig {
+	return SimConfig{
+		Plant:         DefaultPlantConfig(),
+		SlaveAddress:  7,
+		CycleTime:     0.5,
+		CycleJitter:   0.10,
+		IntraDelayMin: 0.005,
+		IntraDelayMax: 0.020,
+		CRCGlitchProb: 0.002,
+		Operator: OperatorConfig{
+			AlarmPresets:      defaultAlarmPresets(),
+			PresetChangeProb:  0.02,
+			ManualEpisodeProb: 0.005,
+			ManualLen:         [2]int{5, 14},
+			OffEpisodeProb:    0.002,
+			OffLen:            [2]int{3, 7},
+			ValveSchemeProb:   0.004,
+			ValveSchemeLen:    [2]int{12, 30},
+		},
+		Seed: 1,
+	}
+}
+
+func defaultAlarmPresets() []AlarmPreset {
+	return []AlarmPreset{
+		{LL: 10, L: 40, H: 60, HH: 90},
+		{LL: 10, L: 35, H: 55, HH: 85},
+		{LL: 15, L: 45, H: 65, HH: 90},
+		{LL: 5, L: 30, H: 50, HH: 80},
+	}
+}
+
+// Frame is one observed wire frame; see scenario.Frame for the field
+// contract.
+type Frame = scenario.Frame
+
+// Simulator produces the package time series. It owns the plant, the field
+// device controller, and the master/operator state machines.
+type Simulator struct {
+	cfg   SimConfig
+	plant *Plant
+	ctrl  *Controller
+	rng   *mathx.RNG
+
+	now    float64 // simulation clock, seconds
+	crcMon modbus.CRCRateMonitor
+
+	frameSink func(Frame)
+
+	// desired is the operator's intended controller block; it is re-sent
+	// every cycle and restored after attacks.
+	desired    ControllerState
+	manualLeft int
+	offLeft    int
+	valveLeft  int
+
+	packages []*dataset.Package
+}
+
+// NewSimulator constructs a simulator.
+func NewSimulator(cfg SimConfig) (*Simulator, error) {
+	if cfg.CycleTime <= 0 {
+		return nil, fmt.Errorf("watertank: cycle time must be positive, got %g", cfg.CycleTime)
+	}
+	if len(cfg.Operator.AlarmPresets) == 0 {
+		return nil, fmt.Errorf("watertank: operator needs at least one alarm preset")
+	}
+	rng := mathx.NewRNG(cfg.Seed)
+	plant, err := NewPlant(cfg.Plant, rng.Split())
+	if err != nil {
+		return nil, err
+	}
+	preset := cfg.Operator.AlarmPresets[0]
+	initial := ControllerState{
+		H: preset.H, HH: preset.HH, L: preset.L, LL: preset.LL,
+		CycleTime: cfg.CycleTime,
+		Mode:      ModeAuto,
+		Scheme:    SchemePump,
+	}
+	ctrl, err := NewController(initial)
+	if err != nil {
+		return nil, err
+	}
+	return &Simulator{
+		cfg:     cfg,
+		plant:   plant,
+		ctrl:    ctrl,
+		rng:     rng,
+		desired: initial,
+	}, nil
+}
+
+// Packages returns the packages emitted so far (not a copy; the generator
+// owns the simulator).
+func (s *Simulator) Packages() []*dataset.Package { return s.packages }
+
+// Now returns the simulation clock.
+func (s *Simulator) Now() float64 { return s.now }
+
+// advance moves the clock and integrates the plant.
+func (s *Simulator) advance(dt float64) {
+	if dt <= 0 {
+		return
+	}
+	s.plant.Step(dt)
+	s.now += dt
+}
+
+func (s *Simulator) intraDelay() float64 {
+	return s.rng.Range(s.cfg.IntraDelayMin, s.cfg.IntraDelayMax)
+}
+
+// crcWindow is the rolling frame window of the shared CRC failure monitor;
+// the DoS decay tail is sized off it.
+const crcWindow = modbus.CRCRateWindow
+
+// SetFrameSink installs fn to observe every emitted wire frame, in emission
+// order, alongside the package record. Pass nil to detach. The sink is
+// called synchronously from the simulation loop; the Raw slice must not be
+// retained or mutated across calls. Attaching a sink resets the CRC failure
+// window so recorded traces reproduce the logged rates exactly (see the gas
+// pipeline simulator for the rationale).
+func (s *Simulator) SetFrameSink(fn func(Frame)) {
+	if fn != nil {
+		s.crcMon.Reset()
+	}
+	s.frameSink = fn
+}
+
+// emit appends a package built from an actual Modbus RTU frame so that the
+// length and CRC features are authentic.
+func (s *Simulator) emit(frame *modbus.RTUFrame, st ControllerState,
+	pump, valve int, level float64, isCmd bool, label dataset.AttackType) {
+	raw, err := modbus.EncodeRTU(frame)
+	if err != nil {
+		panic(fmt.Sprintf("watertank: encode frame: %v", err))
+	}
+	corrupt := frame.CorruptCRC || s.rng.Bernoulli(s.cfg.CRCGlitchProb)
+	rate := s.crcMon.Observe(corrupt)
+	if s.frameSink != nil {
+		s.frameSink(Frame{
+			Raw: raw, IsCmd: isCmd, Corrupt: corrupt, Label: label, Time: s.now,
+		})
+	}
+	cmd := 0.0
+	if isCmd {
+		cmd = 1
+	}
+	// Column mapping (see Registers): the alarm block rides the
+	// setpoint/PID parameter columns, the level rides the pressure column.
+	s.packages = append(s.packages, &dataset.Package{
+		Address:       float64(frame.Address),
+		CRCRate:       rate,
+		Function:      float64(frame.PDU.Function),
+		Length:        float64(len(raw)),
+		Setpoint:      st.H,
+		Gain:          st.HH,
+		ResetRate:     st.L,
+		Deadband:      st.LL,
+		CycleTime:     st.CycleTime,
+		SystemMode:    float64(st.Mode),
+		ControlScheme: float64(st.Scheme),
+		Pump:          float64(pump),
+		Solenoid:      float64(valve),
+		Pressure:      math.Round(level*100) / 100,
+		CmdResponse:   cmd,
+		Time:          s.now,
+		Label:         label,
+	})
+}
+
+// stateRegisters encodes a controller block (plus optional level) as Modbus
+// register values, the payload layout of the tank's field device.
+func stateRegisters(st ControllerState, pump, valve int, level float64, withLevel bool) []uint16 {
+	regs := []uint16{
+		uint16(mathx.Clamp(st.H*100, 0, 65535)),
+		uint16(mathx.Clamp(st.HH*100, 0, 65535)),
+		uint16(mathx.Clamp(st.L*100, 0, 65535)),
+		uint16(mathx.Clamp(st.LL*100, 0, 65535)),
+		uint16(mathx.Clamp(st.CycleTime*1000, 0, 65535)),
+		uint16(st.Mode),
+		uint16(st.Scheme),
+		uint16(pump),
+		uint16(valve),
+	}
+	if withLevel {
+		regs = append(regs, uint16(mathx.Clamp(level*100, 0, 65535)))
+	}
+	return regs
+}
+
+// cycleLabels assigns a ground-truth label to each package of a poll cycle.
+type cycleLabels struct {
+	Cmd, Ack, Read, Resp dataset.AttackType
+}
+
+// uniformLabels labels every package of a cycle identically.
+func uniformLabels(at dataset.AttackType) cycleLabels {
+	return cycleLabels{Cmd: at, Ack: at, Read: at, Resp: at}
+}
+
+// RunNormalCycle performs one legitimate poll cycle: operator update, write
+// command + ack, state read + response, then the inter-cycle gap.
+func (s *Simulator) RunNormalCycle(label dataset.AttackType) {
+	s.operatorStep()
+	s.runCycle(s.desired, uniformLabels(label), cycleOpts{})
+}
+
+// cycleOpts vary the poll-cycle body between the legitimate path and the
+// attack injectors; the zero value is a fully legitimate cycle.
+type cycleOpts struct {
+	// apply installs the written block on the device. Default: the
+	// validated operator write (invalid blocks are rejected and the device
+	// keeps its previous block). MPCI substitutes ApplyUnchecked.
+	apply func(ControllerState)
+	// reportLevel maps the true measurement to the level the state-read
+	// response reports. Default: the truth. CMRI substitutes the frozen
+	// reading.
+	reportLevel func(measured float64) float64
+}
+
+// runCycle performs one poll cycle writing the given controller block:
+// write command + ack, state read + response, then the inter-cycle gap.
+// All cycle-shaped traffic — normal, CMRI, MPCI — goes through this one
+// body, so framing, labeling and timing can never drift apart between
+// normal and attack cycles.
+func (s *Simulator) runCycle(write ControllerState, label cycleLabels, opts cycleOpts) {
+	start := s.now
+
+	// 1. Write command carrying the desired controller block.
+	cmdPDU := modbus.WriteMultipleRequest(0, stateRegisters(write, write.Pump, write.Valve, 0, false))
+	s.emit(&modbus.RTUFrame{Address: s.cfg.SlaveAddress, PDU: cmdPDU},
+		write, write.Pump, write.Valve, 0, true, label.Cmd)
+	if opts.apply != nil {
+		opts.apply(write)
+	} else if err := s.ctrl.Apply(write); err != nil {
+		// Invalid operator blocks are rejected by the device; keep previous.
+		_ = err
+	}
+
+	// 2. Write acknowledgement.
+	s.advance(s.intraDelay())
+	ackPDU := modbus.WriteMultipleResponse(0, 9)
+	st := s.ctrl.State()
+	s.emit(&modbus.RTUFrame{Address: s.cfg.SlaveAddress, PDU: ackPDU},
+		st, 0, 0, 0, false, label.Ack)
+
+	// 3. State read command.
+	s.advance(s.intraDelay())
+	readPDU := modbus.ReadRequest(modbus.FuncReadState, 0, 10)
+	s.emit(&modbus.RTUFrame{Address: s.cfg.SlaveAddress, PDU: readPDU},
+		ControllerState{CycleTime: st.CycleTime}, 0, 0, 0, true, label.Read)
+
+	// 4. Control action + state read response with the level measurement.
+	// The device always actuates on the REAL measurement; only the
+	// reported value can be falsified in transit.
+	s.advance(s.intraDelay())
+	measured := s.plant.Measure()
+	s.ctrl.Actuate(s.plant, measured)
+	pump, valve := s.ctrl.ActuatorView()
+	reported := measured
+	if opts.reportLevel != nil {
+		reported = opts.reportLevel(measured)
+	}
+	respPDU := modbus.ReadRegistersResponse(modbus.FuncReadState,
+		stateRegisters(st, pump, valve, reported, true))
+	s.emit(&modbus.RTUFrame{Address: s.cfg.SlaveAddress, PDU: respPDU},
+		st, pump, valve, reported, false, label.Resp)
+
+	// Inter-cycle gap.
+	period := s.cfg.CycleTime * (1 + s.cfg.CycleJitter*(2*s.rng.Float64()-1))
+	if rest := period - (s.now - start); rest > 0 {
+		s.advance(rest)
+	}
+}
+
+// operatorStep evolves the legitimate operator state machine by one cycle.
+func (s *Simulator) operatorStep() {
+	op := &s.cfg.Operator
+
+	// Finish or continue episodes first.
+	switch {
+	case s.offLeft > 0:
+		s.offLeft--
+		if s.offLeft == 0 {
+			s.desired.Mode = ModeAuto
+		}
+		return
+	case s.manualLeft > 0:
+		s.manualLeft--
+		// Thermostat-style manual operation around the band.
+		lv := s.plant.Level()
+		if lv < s.desired.L+2 {
+			s.desired.Pump, s.desired.Valve = 1, 0
+		} else if lv > s.desired.H-2 {
+			s.desired.Pump, s.desired.Valve = 0, 1
+		} else {
+			s.desired.Pump, s.desired.Valve = 0, 0
+		}
+		if s.manualLeft == 0 {
+			s.desired.Mode = ModeAuto
+			s.desired.Pump, s.desired.Valve = 0, 0
+		}
+		return
+	}
+	if s.valveLeft > 0 {
+		s.valveLeft--
+		if s.valveLeft == 0 {
+			s.desired.Scheme = SchemePump
+		}
+	}
+
+	// Episode starts.
+	switch {
+	case s.rng.Bernoulli(op.OffEpisodeProb):
+		s.offLeft = s.randLen(op.OffLen)
+		s.desired.Mode = ModeOff
+		return
+	case s.rng.Bernoulli(op.ManualEpisodeProb):
+		s.manualLeft = s.randLen(op.ManualLen)
+		s.desired.Mode = ModeManual
+		return
+	case s.valveLeft == 0 && s.rng.Bernoulli(op.ValveSchemeProb):
+		s.valveLeft = s.randLen(op.ValveSchemeLen)
+		s.desired.Scheme = SchemeValve
+	}
+
+	// Routine alarm-block changes between legal presets.
+	if s.rng.Bernoulli(op.PresetChangeProb) {
+		p := op.AlarmPresets[s.rng.Intn(len(op.AlarmPresets))]
+		s.desired.LL, s.desired.L, s.desired.H, s.desired.HH = p.LL, p.L, p.H, p.HH
+	}
+}
+
+func (s *Simulator) randLen(bounds [2]int) int {
+	if bounds[1] <= bounds[0] {
+		return bounds[0]
+	}
+	return bounds[0] + s.rng.Intn(bounds[1]-bounds[0]+1)
+}

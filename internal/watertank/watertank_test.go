@@ -1,0 +1,174 @@
+package watertank
+
+import (
+	"testing"
+
+	"icsdetect/internal/dataset"
+	"icsdetect/internal/scenario"
+)
+
+// TestScenarioRegistered: the watertank registers itself in the scenario
+// registry under its canonical name.
+func TestScenarioRegistered(t *testing.T) {
+	sc, err := scenario.Get("watertank")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Name() != "watertank" {
+		t.Fatalf("registry returned scenario %q", sc.Name())
+	}
+	regs := sc.Registers()
+	if regs.Rate != -1 {
+		t.Errorf("water tank has no PID rate register, map says index %d", regs.Rate)
+	}
+	if regs.Pressure != 9 || regs.MinRegisters != 9 {
+		t.Errorf("unexpected level register layout: %+v", regs)
+	}
+}
+
+// TestGeneratedTimestampsMonotone: the capture is a time series; the
+// interval feature and the split logic depend on non-decreasing timestamps.
+func TestGeneratedTimestampsMonotone(t *testing.T) {
+	ds, err := Generate(DefaultGenConfig(5000, 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < ds.Len(); i++ {
+		if ds.Packages[i].Time < ds.Packages[i-1].Time {
+			t.Fatalf("timestamp decreased at %d: %v -> %v",
+				i, ds.Packages[i-1].Time, ds.Packages[i].Time)
+		}
+	}
+}
+
+// TestGeneratedFeatureRanges: every feature stays in its physical domain.
+func TestGeneratedFeatureRanges(t *testing.T) {
+	cfg := DefaultGenConfig(5000, 12)
+	ds, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range ds.Packages {
+		if p.Pressure < 0 || p.Pressure > cfg.Sim.Plant.Capacity {
+			t.Fatalf("package %d level %v", i, p.Pressure)
+		}
+		if p.CRCRate < 0 || p.CRCRate > 1 {
+			t.Fatalf("package %d crc rate %v", i, p.CRCRate)
+		}
+		if p.CmdResponse != 0 && p.CmdResponse != 1 {
+			t.Fatalf("package %d cmd/resp %v", i, p.CmdResponse)
+		}
+		if p.SystemMode < 0 || p.SystemMode > 2 {
+			t.Fatalf("package %d mode %v", i, p.SystemMode)
+		}
+		if p.Address < 1 || p.Address > 247 {
+			t.Fatalf("package %d station address %v", i, p.Address)
+		}
+		if p.Length < 4 || p.Length > 256 {
+			t.Fatalf("package %d frame length %v", i, p.Length)
+		}
+		if p.Rate != 0 {
+			t.Fatalf("package %d PID rate %v, tank has no rate register", i, p.Rate)
+		}
+	}
+}
+
+// TestGenerateSplitCompatibility: a generated capture must survive the
+// paper's split with usable training material at every supported size.
+func TestGenerateSplitCompatibility(t *testing.T) {
+	for _, n := range []int{3000, 10000} {
+		ds, err := Generate(DefaultGenConfig(n, 13))
+		if err != nil {
+			t.Fatal(err)
+		}
+		split, err := dataset.MakeSplit(ds, dataset.SplitConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		trainN := len(dataset.FragmentPackages(split.Train))
+		if trainN < n/4 {
+			t.Errorf("n=%d: only %d training packages survive cleaning", n, trainN)
+		}
+		attacks := 0
+		for _, p := range split.Test {
+			if p.IsAttack() {
+				attacks++
+			}
+		}
+		if attacks == 0 {
+			t.Errorf("n=%d: test set has no attacks", n)
+		}
+	}
+}
+
+// TestInjectedAttacksHaveDistinctiveContent spot-checks that each attack
+// leaves the trace the detectors rely on.
+func TestInjectedAttacksHaveDistinctiveContent(t *testing.T) {
+	sim, err := NewSimulator(DefaultSimConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.RunMFCIEpisode(3)
+	for _, p := range sim.Packages() {
+		if p.Label == dataset.MFCI && p.Function != 8 {
+			t.Errorf("MFCI package uses function %v, want diagnostics (8)", p.Function)
+		}
+	}
+
+	sim2, _ := NewSimulator(DefaultSimConfig())
+	sim2.RunNMRIEpisode(3)
+	forged := 0
+	for _, p := range sim2.Packages() {
+		if p.Label == dataset.NMRI {
+			forged++
+			if p.CmdResponse != 0 {
+				t.Error("forged NMRI package is not a response")
+			}
+		}
+	}
+	if forged == 0 {
+		t.Fatal("NMRI episode forged nothing")
+	}
+
+	sim3, _ := NewSimulator(DefaultSimConfig())
+	sim3.RunMSCIEpisode(3)
+	tampered := false
+	for _, p := range sim3.Packages() {
+		if p.Label == dataset.MSCI && p.CmdResponse == 1 && p.SystemMode != float64(ModeAuto) {
+			tampered = true
+		}
+	}
+	if !tampered {
+		t.Error("MSCI episode never injected a non-auto state command")
+	}
+
+	// MPCI writes land unchecked in the device, so a tampered alarm block
+	// must surface in the parameter columns of subsequent state reads.
+	sim4, _ := NewSimulator(DefaultSimConfig())
+	base := sim4.ctrl.State()
+	sim4.RunMPCIEpisode(3)
+	moved := false
+	for _, p := range sim4.Packages() {
+		if p.Label == dataset.MPCI && p.CmdResponse == 0 && p.Function == float64(65) {
+			if p.Setpoint != base.H || p.Gain != base.HH ||
+				p.ResetRate != base.L || p.Deadband != base.LL {
+				moved = true
+			}
+		}
+	}
+	if !moved {
+		t.Error("MPCI episode never surfaced a tampered alarm block in a state read")
+	}
+}
+
+// TestAttackEpisodeDispatchRejectsUnknown: the scenario.Sim contract
+// requires an error for unsupported categories.
+func TestAttackEpisodeDispatchRejectsUnknown(t *testing.T) {
+	sim, err := NewSimulator(DefaultSimConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.RunAttackEpisode(dataset.AttackType(42), 1); err == nil {
+		t.Fatal("unknown attack type accepted")
+	}
+}
