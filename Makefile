@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build fmt vet test race race-quick conformance bench bench-smoke bench-train fuzz-smoke
+.PHONY: check build fmt vet test race race-quick conformance bench bench-smoke bench-stack bench-train fuzz-smoke
 
 check: fmt vet build test race-quick fuzz-smoke bench-smoke
 
@@ -40,12 +40,22 @@ race-quick:
 
 # The scenario-matrix golden conformance suite alone: both testbeds x
 # {sequential, engine} x {SIMD, scalar} against the committed corpora,
-# plus the mixed-scenario engine and cross-scenario parity gates.
+# plus the mixed-scenario engine and cross-scenario parity gates — and the
+# stack conformance suite, which locks sequential==engine bitwise
+# equivalence for composed level stacks (freshly trained bloom,pca,lstm
+# under majority-vote, dynamic-k, all fusion policies) beyond what the
+# two-level goldens cover.
 conformance:
-	$(GO) test -v -run 'TestTraceConformance' .
+	$(GO) test -v -run 'TestTraceConformance|TestStackConformance' .
 
-bench:
+bench: bench-stack
 	$(GO) test -run=NONE -bench=. -benchmem .
+
+# Detection-stack benchmark: per-level time share and sequential vs engine
+# throughput across level stacks (bloom, bloom+lstm, bloom+pca+lstm,
+# all-levels). Results are recorded in BENCH.md.
+bench-stack:
+	$(GO) run ./cmd/icsbench -stackbench -packages 8000
 
 # Short coverage-guided runs of the Modbus codec fuzzers, seeded from the
 # golden corpus frames (decode→encode must stay stable, no panics on
@@ -55,9 +65,11 @@ fuzz-smoke:
 	$(GO) test ./internal/modbus/ -run=NONE -fuzz=FuzzFrameDecode -fuzztime=5s
 
 # A quick engine-throughput smoke: proves the batched multi-stream path
-# still works and reports pkg/s without the full benchmark suite.
+# still works and reports pkg/s without the full benchmark suite, plus a
+# small stack benchmark exercising the per-stage-kind engine dispatch.
 bench-smoke:
 	$(GO) test -run=NONE -bench='BenchmarkEngineThroughput/engine/shards=8/streams=256' -benchtime=50x .
+	$(GO) run ./cmd/icsbench -stackbench -packages 4000
 
 # Training-throughput smoke: batched vs reference gradient engine at the
 # paper's 2x256 model scale (proves the bitwise equivalence untimed, then

@@ -1,0 +1,125 @@
+// Hot-path allocation regression gates: steady-state classification must
+// stay allocation-lean, on the sequential ClassifyOnly/Advance path and
+// through the engine, for the default two-level stack and a composed
+// 4-level stack. The bounds are regression gates (measured ceiling plus
+// slack), not zero: the package encoder allocates the discretized vector
+// and signature string per package, and evidence-recording stacks allocate
+// the per-verdict evidence slice.
+package icsdetect_test
+
+import (
+	"testing"
+
+	"icsdetect"
+)
+
+// classifyAllocs measures the mean allocations per package of a warmed
+// sequential session over spec.
+func classifyAllocs(t *testing.T, spec icsdetect.StackSpec) float64 {
+	t.Helper()
+	fx := loadStackFixture(t)
+	sess, err := fx.det.NewStackSession(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs := fx.split.Test
+	if len(pkgs) > 1400 {
+		pkgs = pkgs[:1400]
+	}
+	warm := pkgs[:400]
+	steady := pkgs[400:]
+	for _, p := range warm {
+		sess.Classify(p)
+	}
+	i := 0
+	per := testing.AllocsPerRun(len(steady), func() {
+		v, pc := sess.ClassifyOnly(steady[i])
+		sess.Advance(pc, v)
+		i++
+		if i == len(steady) {
+			i = 0
+			sess.Reset()
+		}
+	})
+	return per
+}
+
+// engineAllocs measures the mean allocations per package of a warmed
+// engine over spec (whole submit→classify→handle path, all shards).
+func engineAllocs(t *testing.T, spec icsdetect.StackSpec) float64 {
+	t.Helper()
+	fx := loadStackFixture(t)
+	pkgs := fx.split.Test
+	if len(pkgs) > 1400 {
+		pkgs = pkgs[:1400]
+	}
+	eng, err := icsdetect.NewEngine(fx.det, icsdetect.EngineConfig{
+		Shards: 2, MaxBatch: 8, QueueDepth: 32, Stack: spec,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Stop()
+	feed := func(n int) {
+		for r := 0; r < n; r++ {
+			for _, p := range pkgs {
+				if err := eng.Submit("dev", p); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if err := eng.Barrier(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	feed(1) // warm: stream state, batches, tick buffers
+	const rounds = 3
+	per := testing.AllocsPerRun(1, func() { feed(rounds) })
+	return per / float64(rounds*len(pkgs))
+}
+
+// TestHotPathAllocations gates the per-package allocation counts. If a
+// refactor trips a gate, either the hot path regressed (fix it) or the
+// cost is deliberate (justify it and raise the bound in the same change).
+func TestHotPathAllocations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation gates use the trained stack fixture")
+	}
+	defaultSpec := icsdetect.DefaultStack()
+	fourSpec, err := icsdetect.ParseStack("bloom,pca,gmm,lstm", "majority")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name    string
+		engine  bool
+		spec    icsdetect.StackSpec
+		ceiling float64
+	}{
+		// Sequential default stack: encoder vector + signature string
+		// (measured 7.0 after the extractInto/stepInfer work).
+		{"sequential/default", false, defaultSpec, 8},
+		// The 4-level stack adds the evidence slice; window scoring runs
+		// on preallocated state scratch (measured 11.0).
+		{"sequential/4level", false, fourSpec, 12},
+		// Engine paths add the submit/handle machinery per package
+		// (measured 8.8 and 12.0).
+		{"engine/default", true, defaultSpec, 10},
+		{"engine/4level", true, fourSpec, 14},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			var per float64
+			if c.engine {
+				per = engineAllocs(t, c.spec)
+			} else {
+				per = classifyAllocs(t, c.spec)
+			}
+			t.Logf("%s: %.2f allocs/package (gate %.0f)", c.name, per, c.ceiling)
+			if per > c.ceiling {
+				t.Errorf("%s allocates %.2f/package, gate is %.0f", c.name, per, c.ceiling)
+			}
+		})
+	}
+}

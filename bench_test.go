@@ -347,7 +347,7 @@ func BenchmarkEngineThroughput(b *testing.B) {
 	idx := 0
 	var mismatch error
 	eq, err := engine.New(fw, engine.Config{Shards: 2}, func(r engine.Result) {
-		if mismatch == nil && r.Verdict != want[idx] {
+		if mismatch == nil && !r.Verdict.Equal(want[idx]) {
 			mismatch = fmt.Errorf("package %d: engine %+v, sequential %+v", idx, r.Verdict, want[idx])
 		}
 		idx++

@@ -7,12 +7,18 @@
 //
 //	icsbench [-packages N] [-seed S] [-full] [-quiet]
 //	icsbench -trainbench
+//	icsbench -stackbench [-packages N] [-levels pca,lstm -fusion weighted]
 //
 // -full runs at the original dataset's scale with the paper's 2×256 LSTM
 // (slow); the default runs a scaled configuration that preserves every
 // qualitative result. -trainbench skips the evaluation and instead
 // measures the batched training engine against the per-window reference at
 // the paper's 2×256 model scale, reporting windows/sec and the speedup.
+// -stackbench measures the composable detection stacks: sequential
+// throughput with per-level time share, and engine throughput with the
+// per-stage micro-batch widths, across bloom / bloom,lstm /
+// bloom,pca,lstm / all-levels (plus an optional -levels custom stack);
+// results are recorded in BENCH.md.
 package main
 
 import (
@@ -23,10 +29,14 @@ import (
 
 	"icsdetect/internal/core"
 	"icsdetect/internal/dataset"
+	"icsdetect/internal/engine"
 	"icsdetect/internal/experiments"
 	"icsdetect/internal/gaspipeline"
+	"icsdetect/internal/metrics"
 	"icsdetect/internal/nn"
 	"icsdetect/internal/signature"
+
+	_ "icsdetect/internal/baselines"
 )
 
 func main() {
@@ -45,11 +55,17 @@ func run() error {
 		epochs   = flag.Int("epochs", 0, "override LSTM training epochs")
 		markdown = flag.Bool("markdown", false, "emit a markdown report instead of plain tables")
 		trainB   = flag.Bool("trainbench", false, "benchmark batched vs reference training at paper scale and exit")
+		stackB   = flag.Bool("stackbench", false, "benchmark detection stacks (per-level time share + throughput) and exit")
+		levels   = flag.String("levels", "", "with -stackbench: additionally bench this custom stack")
+		fusion   = flag.String("fusion", "", "with -stackbench: fusion policy of the -levels custom stack")
 	)
 	flag.Parse()
 
 	if *trainB {
 		return runTrainBench(*packages, *seed)
+	}
+	if *stackB {
+		return runStackBench(*packages, *seed, *levels, *fusion)
 	}
 
 	cfg := experiments.DefaultConfig()
@@ -173,5 +189,170 @@ func runTrainBench(packages int, seed uint64) error {
 		return err
 	}
 	fmt.Printf("speedup: %.2fx\n", bat/ref)
+	return nil
+}
+
+// timedStage wraps a StageDetector and accumulates wall time per phase,
+// the instrument behind the per-level time-share column of -stackbench.
+// Sequential sessions drive Check/Advance directly, so the promoted batch
+// methods of the inner stage are never consulted here.
+type timedStage struct {
+	core.StageDetector
+	check, advance *time.Duration
+}
+
+func (t timedStage) Check(st core.StageState, pc *core.PackageContext, r *core.StageResult) {
+	start := time.Now()
+	t.StageDetector.Check(st, pc, r)
+	*t.check += time.Since(start)
+}
+
+func (t timedStage) Advance(st core.StageState, pc *core.PackageContext, v *core.Verdict) {
+	start := time.Now()
+	t.StageDetector.Advance(st, pc, v)
+	*t.advance += time.Since(start)
+}
+
+// stackBenchAll is the widest stack -stackbench trains models for: every
+// promoted level plus the built-in two.
+const stackBenchAll = "bloom,bf4,pca,gmm,iforest,bayesnet,svdd,lstm"
+
+// runStackBench trains one framework plus every promoted level's stage
+// model, then measures each stack: sequential throughput with per-level
+// time share (instrumented stages), and engine throughput with the mean
+// micro-batch widths of the batched Advance and Check passes.
+func runStackBench(packages int, seed uint64, customLevels, customFusion string) error {
+	if packages <= 0 {
+		packages = 10000
+	}
+	if seed == 0 {
+		seed = 1
+	}
+	ds, err := gaspipeline.Generate(gaspipeline.DefaultGenConfig(packages, seed))
+	if err != nil {
+		return err
+	}
+	split, err := dataset.MakeSplit(ds, dataset.SplitConfig{})
+	if err != nil {
+		return err
+	}
+	cfg := core.DefaultConfig()
+	cfg.Granularity = signature.Granularity{
+		IntervalClusters: 2, CRCClusters: 2,
+		PressureBins: 6, SetpointBins: 3, PIDClusters: 2,
+	}
+	cfg.Hidden = []int{32, 32}
+	cfg.Fit.Epochs = 6
+	cfg.Seed = seed
+	start := time.Now()
+	fw, report, err := core.Train(split, cfg)
+	if err != nil {
+		return err
+	}
+	allSpec, err := core.ParseStackSpec(stackBenchAll, "majority")
+	if err != nil {
+		return err
+	}
+	if err := fw.TrainStages(allSpec, split, seed); err != nil {
+		return err
+	}
+	fmt.Printf("framework + %d stage models trained in %v (|S|=%d k=%d, test %d packages)\n",
+		len(fw.Extra), time.Since(start).Round(time.Millisecond), report.Signatures,
+		report.ChosenK, len(split.Test))
+
+	stacks := []struct{ levels, fusion string }{
+		{"bloom", "first-hit"},
+		{"bloom,lstm", "first-hit"},
+		{"bloom,pca,lstm", "first-hit"},
+		{stackBenchAll, "majority"},
+	}
+	if customLevels != "" {
+		stacks = append(stacks, struct{ levels, fusion string }{customLevels, customFusion})
+	}
+	for _, sb := range stacks {
+		spec, err := core.ParseStackSpec(sb.levels, sb.fusion)
+		if err != nil {
+			return err
+		}
+		if err := benchStack(fw, spec, split.Test); err != nil {
+			return fmt.Errorf("stack %s: %w", spec, err)
+		}
+	}
+	return nil
+}
+
+// benchStack measures one stack sequentially (instrumented) and through
+// the engine (16 streams on 2 shards).
+func benchStack(fw *core.Framework, spec core.StackSpec, test []*dataset.Package) error {
+	// Repeat the test stream until the run is long enough to time.
+	const targetPkgs = 60000
+	reps := targetPkgs/len(test) + 1
+
+	// Sequential, instrumented per level.
+	stack, err := fw.NewStack(spec)
+	if err != nil {
+		return err
+	}
+	inner := stack.Stages()
+	timers := make([][2]time.Duration, len(inner))
+	wrapped := make([]core.StageDetector, len(inner))
+	for i, st := range inner {
+		wrapped[i] = timedStage{StageDetector: st, check: &timers[i][0], advance: &timers[i][1]}
+	}
+	tstack, err := core.NewStackFromStages(fw, spec, wrapped)
+	if err != nil {
+		return err
+	}
+	sess := tstack.NewSession()
+	seqStart := time.Now()
+	n := 0
+	for r := 0; r < reps; r++ {
+		for _, p := range test {
+			sess.Classify(p)
+			n++
+		}
+		sess.Reset()
+	}
+	seqWall := time.Since(seqStart)
+	share := metrics.NewBreakdown()
+	for i, st := range inner {
+		share.Add(st.Name(), float64(timers[i][0]+timers[i][1]))
+	}
+
+	// Engine: the same packages interleaved over 16 streams on 2 shards.
+	const streams = 16
+	eng, err := engine.New(fw, engine.Config{Shards: 2, MaxBatch: 32, Stack: spec}, nil)
+	if err != nil {
+		return err
+	}
+	keys := make([]string, streams)
+	for s := range keys {
+		keys[s] = fmt.Sprintf("dev-%02d", s)
+	}
+	engStart := time.Now()
+	en := 0
+	for r := 0; r < reps; r++ {
+		for i, p := range test {
+			if err := eng.Submit(keys[i%streams], p); err != nil {
+				return err
+			}
+			en++
+		}
+	}
+	if err := eng.Barrier(); err != nil {
+		return err
+	}
+	engWall := time.Since(engStart)
+	stats := eng.Stats()
+	eng.Stop()
+
+	meanCheck := 0.0
+	if stats.CheckBatches > 0 {
+		meanCheck = float64(stats.CheckBatched) / float64(stats.CheckBatches)
+	}
+	fmt.Printf("%-52s seq %7.0f pkg/s  engine %7.0f pkg/s  advance-batch %.1f  check-batch %.1f\n",
+		spec.String(), float64(n)/seqWall.Seconds(), float64(en)/engWall.Seconds(),
+		stats.MeanBatch(), meanCheck)
+	fmt.Printf("    level time share: %s\n", share)
 	return nil
 }

@@ -5,6 +5,12 @@
 //
 //	icsdetect -model model.bin -in capture.arff [-mode combined] [-k 4]
 //	          [-alerts alerts.txt]
+//	icsdetect -model model.bin -in capture.arff -levels bloom,pca,lstm \
+//	          -fusion majority
+//
+// -levels composes an arbitrary detection stack from the registered level
+// kinds (see -levels list); levels beyond the built-in two need their
+// stage models in the loaded framework (train them with icstrain -levels).
 package main
 
 import (
@@ -12,10 +18,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"icsdetect/internal/core"
 	"icsdetect/internal/dataset"
 	"icsdetect/internal/metrics"
+
+	// Register the promoted baseline detection levels.
+	_ "icsdetect/internal/baselines"
 )
 
 func main() {
@@ -30,12 +40,23 @@ func run() error {
 		modelPath = flag.String("model", "model.bin", "trained model path")
 		in        = flag.String("in", "", "input ARFF capture (required)")
 		mode      = flag.String("mode", "combined", "detector mode: combined, package, series")
+		levels    = flag.String("levels", "", "detection stack, e.g. bloom,pca,lstm (overrides -mode; registered: "+strings.Join(core.StageKinds(), ", ")+"); \"list\" prints the kinds")
+		fusion    = flag.String("fusion", "", "verdict fusion policy for -levels: first-hit, majority or weighted")
 		k         = flag.Int("k", 0, "override top-k threshold (0 keeps the trained k)")
 		alerts    = flag.String("alerts", "", "write one line per detected anomaly to this file")
 	)
 	flag.Parse()
+	if *levels == "list" {
+		fmt.Println(strings.Join(core.StageKinds(), "\n"))
+		return nil
+	}
 	if *in == "" {
 		return fmt.Errorf("-in is required")
+	}
+
+	spec, err := core.ResolveStackFlags(*levels, *fusion, *mode)
+	if err != nil {
+		return err
 	}
 
 	mf, err := os.Open(*modelPath)
@@ -52,6 +73,10 @@ func run() error {
 			return err
 		}
 	}
+	if missing := fw.MissingStages(spec); len(missing) > 0 {
+		return fmt.Errorf("model has no trained stage models for %s (retrain with icstrain -levels %s)",
+			strings.Join(missing, ", "), *levels)
+	}
 
 	df, err := os.Open(*in)
 	if err != nil {
@@ -61,18 +86,6 @@ func run() error {
 	df.Close()
 	if err != nil {
 		return err
-	}
-
-	var detMode core.Mode
-	switch *mode {
-	case "combined":
-		detMode = core.ModeCombined
-	case "package":
-		detMode = core.ModePackageOnly
-	case "series":
-		detMode = core.ModeSeriesOnly
-	default:
-		return fmt.Errorf("unknown mode %q", *mode)
 	}
 
 	var alertW *bufio.Writer
@@ -86,13 +99,20 @@ func run() error {
 		defer alertW.Flush()
 	}
 
-	sess := fw.NewSessionMode(detMode)
+	sess, err := fw.NewStackSession(spec)
+	if err != nil {
+		return err
+	}
 	var conf metrics.Confusion
 	per := metrics.NewPerAttack()
+	byLevel := make(map[core.Level]int)
 	for i, p := range ds.Packages {
 		v := sess.Classify(p)
 		conf.Add(v.Anomaly, p.IsAttack())
 		per.Add(p.Label, v.Anomaly)
+		if v.Anomaly {
+			byLevel[v.Level]++
+		}
 		if v.Anomaly && alertW != nil {
 			fmt.Fprintf(alertW, "package %d t=%.3f level=%s signature=%s label=%s\n",
 				i, p.Time, v.Level, v.Signature, p.Label)
@@ -100,10 +120,16 @@ func run() error {
 	}
 
 	sum := metrics.Summarize(&conf)
+	fmt.Printf("stack: %s\n", spec)
 	fmt.Printf("packages: %d\n", conf.Total())
 	fmt.Printf("precision=%.4f recall=%.4f accuracy=%.4f f1=%.4f\n",
 		sum.Precision, sum.Recall, sum.Accuracy, sum.F1)
 	fmt.Printf("TP=%d FP=%d TN=%d FN=%d\n", conf.TP, conf.FP, conf.TN, conf.FN)
+	for l := core.Level(0); l < core.NumLevels; l++ {
+		if n := byLevel[l]; n > 0 {
+			fmt.Printf("level %-12s %6d detections\n", l, n)
+		}
+	}
 	for _, at := range dataset.AttackTypes {
 		if per.Total[at] > 0 {
 			fmt.Printf("%-6s detected %4d/%4d (%.2f)\n",

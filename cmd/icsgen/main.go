@@ -7,6 +7,11 @@
 //	icsgen -packages 60000 -seed 1 -out capture.arff
 //	icsgen -scenario watertank -packages 60000 -out tank.arff
 //	icsgen -normal -packages 20000 -out clean.arff   # attack-free
+//
+// -levels/-fusion validate a detection-stack spec against the registered
+// level kinds before the capture is generated, so a gen→train→replay
+// pipeline fails on a stack typo immediately instead of after the (long)
+// generation step.
 package main
 
 import (
@@ -15,9 +20,11 @@ import (
 	"os"
 	"strings"
 
+	"icsdetect/internal/core"
 	"icsdetect/internal/dataset"
 	"icsdetect/internal/scenario"
 
+	_ "icsdetect/internal/baselines"
 	_ "icsdetect/internal/gaspipeline"
 	_ "icsdetect/internal/watertank"
 )
@@ -37,9 +44,16 @@ func run() error {
 		ratio    = flag.Float64("attack-ratio", 0.219, "target fraction of attack packages")
 		normal   = flag.Bool("normal", false, "generate attack-free traffic")
 		out      = flag.String("out", "-", "output path (- for stdout)")
+		levels   = flag.String("levels", "", "validate this detection stack spec before generating (fail-fast for pipelines; registered: "+strings.Join(core.StageKinds(), ", ")+")")
+		fusion   = flag.String("fusion", "", "fusion policy for the -levels validation")
 	)
 	flag.Parse()
 
+	if *levels != "" {
+		if _, err := core.ParseStackSpec(*levels, *fusion); err != nil {
+			return err
+		}
+	}
 	sc, err := scenario.Get(*name)
 	if err != nil {
 		return err

@@ -7,6 +7,7 @@
 //
 //	icsmonitor -listen :15020 -upstream 10.0.0.7:502 -model model.bin
 //	icsmonitor -scenario watertank -upstream 10.0.0.9:502 -model tank.bin
+//	icsmonitor -upstream 10.0.0.7:502 -model model.bin -levels bloom,pca,lstm -fusion majority
 //
 // Bootstrap mode trains a model from an initial attack-free observation
 // window instead of loading one:
@@ -30,6 +31,7 @@ import (
 	"icsdetect/internal/scenario"
 	"icsdetect/internal/tap"
 
+	_ "icsdetect/internal/baselines"
 	_ "icsdetect/internal/gaspipeline"
 	_ "icsdetect/internal/watertank"
 )
@@ -52,6 +54,8 @@ func run() error {
 		epochs    = flag.Int("epochs", 10, "bootstrap training epochs")
 		quietSecs = flag.Int("stats-interval", 30, "seconds between summary lines")
 		shards    = flag.Int("shards", 0, "detection engine shards (0 = GOMAXPROCS)")
+		levels    = flag.String("levels", "", "detection stack, e.g. bloom,pca,lstm (registered: "+strings.Join(core.StageKinds(), ", ")+")")
+		fusion    = flag.String("fusion", "", "verdict fusion policy for -levels: first-hit, majority or weighted")
 	)
 	flag.Parse()
 	if *upstream == "" {
@@ -61,6 +65,10 @@ func run() error {
 		return fmt.Errorf("either -model or -bootstrap is required")
 	}
 	sc, err := scenario.Get(*scName)
+	if err != nil {
+		return err
+	}
+	spec, err := core.ResolveStackFlags(*levels, *fusion, "")
 	if err != nil {
 		return err
 	}
@@ -87,7 +95,7 @@ func run() error {
 			return err
 		}
 	} else {
-		fw, err = bootstrapModel(proxy, sc, *bootstrap, *epochs)
+		fw, err = bootstrapModel(proxy, sc, spec, *bootstrap, *epochs)
 		if err != nil {
 			return err
 		}
@@ -110,7 +118,11 @@ func run() error {
 	// goroutines, alerts logged from the engine's shard workers. Bounded
 	// shard queues push back on the relay path if classification ever
 	// falls behind.
-	eng, err := engine.New(fw, engine.Config{Shards: *shards}, func(r engine.Result) {
+	if missing := fw.MissingStages(spec); len(missing) > 0 {
+		return fmt.Errorf("model has no trained stage models for %s (retrain with icstrain -levels %s)",
+			strings.Join(missing, ", "), *levels)
+	}
+	eng, err := engine.New(fw, engine.Config{Shards: *shards, Stack: spec}, func(r engine.Result) {
 		if r.Verdict.Anomaly {
 			p := r.Package
 			fmt.Printf("%s ALERT stream=%s level=%s fn=%.0f addr=%.0f signature=%s\n",
@@ -161,8 +173,10 @@ func run() error {
 
 // bootstrapModel waits for n observed packages and trains the framework on
 // them (the paper's "air-gapped" observation phase, §IV), with the
-// discretization the scenario prescribes for a capture of that size.
-func bootstrapModel(proxy *tap.Proxy, sc scenario.Scenario, n, epochs int) (*core.Framework, error) {
+// discretization the scenario prescribes for a capture of that size. Stage
+// models of every promoted level in spec train from the same observation
+// window.
+func bootstrapModel(proxy *tap.Proxy, sc scenario.Scenario, spec core.StackSpec, n, epochs int) (*core.Framework, error) {
 	fmt.Fprintf(os.Stderr, "bootstrap: waiting for %d clean packages …\n", n)
 	var clean []*dataset.Package
 	for len(clean) < n {
@@ -183,6 +197,9 @@ func bootstrapModel(proxy *tap.Proxy, sc scenario.Scenario, n, epochs int) (*cor
 	cfg.Fit.BatchSize = 4
 	fw, report, err := core.Train(split, cfg)
 	if err != nil {
+		return nil, err
+	}
+	if err := fw.TrainStages(spec, split, cfg.Seed); err != nil {
 		return nil, err
 	}
 	fmt.Fprintf(os.Stderr, "bootstrap: ready (|S|=%d k=%d errv=%.4f)\n",

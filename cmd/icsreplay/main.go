@@ -7,6 +7,7 @@
 //	icsreplay -trace testdata/traces/dos.trace -model testdata/traces/model.fw
 //	icsreplay -trace dos.trace -model model.fw -timed -speed 10
 //	icsreplay -trace dos.trace -model model.fw -engine -shards 4
+//	icsreplay -trace dos.trace -model model.fw -levels bloom,pca,lstm -fusion majority
 //
 // Verify a replay against a committed golden verdict file, or write a new
 // one:
@@ -36,6 +37,7 @@ import (
 	"icsdetect/internal/scenario"
 	"icsdetect/internal/trace"
 
+	_ "icsdetect/internal/baselines"
 	_ "icsdetect/internal/gaspipeline"
 	_ "icsdetect/internal/watertank"
 )
@@ -62,6 +64,8 @@ func run() error {
 		timed     = flag.Bool("timed", false, "latency mode: replay on the trace's own timeline")
 		speed     = flag.Float64("speed", 1, "timeline scale for -timed (2 = twice as fast)")
 		modeName  = flag.String("mode", "combined", "detector mode: combined, package or series")
+		levels    = flag.String("levels", "", "detection stack, e.g. bloom,pca,lstm (overrides -mode; registered: "+strings.Join(core.StageKinds(), ", ")+")")
+		fusion    = flag.String("fusion", "", "verdict fusion policy for -levels: first-hit, majority or weighted")
 		verify    = flag.String("verify", "", "golden verdict file to compare against (exit 1 on drift)")
 		verdicts  = flag.String("verdicts", "", "write the replay's verdicts to this golden file")
 	)
@@ -78,7 +82,7 @@ func run() error {
 		return fmt.Errorf("either -record DIR, or -trace FILE with -model FILE, is required")
 	}
 
-	mode, err := parseMode(*modeName)
+	spec, err := core.ResolveStackFlags(*levels, *fusion, *modeName)
 	if err != nil {
 		return err
 	}
@@ -90,6 +94,10 @@ func run() error {
 	f.Close()
 	if err != nil {
 		return err
+	}
+	if missing := fw.MissingStages(spec); len(missing) > 0 {
+		return fmt.Errorf("model has no trained stage models for %s (retrain with icstrain -levels %s)",
+			strings.Join(missing, ", "), *levels)
 	}
 
 	tf, err := os.Open(*tracePath)
@@ -106,7 +114,7 @@ func run() error {
 			header.Fingerprint, fw.Fingerprint())
 	}
 
-	cfg := trace.ReplayConfig{Mode: mode, Timed: *timed, Speed: *speed}
+	cfg := trace.ReplayConfig{Stack: spec, Timed: *timed, Speed: *speed}
 	if *useEngine {
 		cfg.Engine = &engine.Config{Shards: *shards}
 	}
@@ -137,27 +145,21 @@ func run() error {
 	return nil
 }
 
-func parseMode(name string) (core.Mode, error) {
-	switch name {
-	case "combined":
-		return core.ModeCombined, nil
-	case "package":
-		return core.ModePackageOnly, nil
-	case "series":
-		return core.ModeSeriesOnly, nil
-	default:
-		return 0, fmt.Errorf("unknown mode %q (combined, package or series)", name)
-	}
-}
-
 func report(res *trace.Result, h trace.Header) {
 	fmt.Printf("scenario %s (%s, %d packages, %.1fs of recorded traffic)\n",
 		res.Scenario, h.Format, len(res.Verdicts), res.TraceSeconds)
 	fmt.Printf("replayed in %v (%.0f pkg/s)\n", res.Wall.Round(time.Microsecond), res.PerSecond())
 	fmt.Printf("verdicts: %v\n", res.Summary)
-	fmt.Printf("levels: package=%d time-series=%d clean=%d\n",
-		res.ByLevel[core.LevelPackage], res.ByLevel[core.LevelTimeSeries],
-		len(res.Verdicts)-res.ByLevel[core.LevelPackage]-res.ByLevel[core.LevelTimeSeries])
+	var parts []string
+	detected := 0
+	for l := core.Level(1); l < core.NumLevels; l++ {
+		if n := res.ByLevel[l]; n > 0 {
+			parts = append(parts, fmt.Sprintf("%s=%d", l, n))
+			detected += n
+		}
+	}
+	parts = append(parts, fmt.Sprintf("clean=%d", len(res.Verdicts)-detected))
+	fmt.Printf("levels: %s\n", strings.Join(parts, " "))
 
 	types := make([]dataset.AttackType, 0, len(res.Latency.Episodes))
 	for at := range res.Latency.Episodes {

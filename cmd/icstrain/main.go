@@ -1,11 +1,17 @@
-// Command icstrain trains the two-level anomaly detection framework on an
-// ARFF capture and saves the model.
+// Command icstrain trains the multi-level anomaly detection framework on
+// an ARFF capture and saves the model.
 //
 // Usage:
 //
 //	icstrain -in capture.arff -model model.bin [-hidden 64,64] [-epochs 12]
 //	         [-scenario watertank] [-search] [-no-noise]
 //	         [-trainer batched|reference] [-checkpoint prefix]
+//	         [-levels bloom,pca,lstm]
+//
+// -levels additionally trains the stage models of the named promoted
+// detection levels (pca, gmm, iforest, bayesnet, svdd, bf4) from the same
+// split and persists them inside the model, so icsdetect/icsreplay/
+// icsmonitor can compose them into stacks.
 //
 // By default the Table III-style fixed granularity is tuned to the capture
 // size through the scenario's scale heuristic (-scenario names the testbed
@@ -20,6 +26,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -29,6 +36,7 @@ import (
 	"icsdetect/internal/nn"
 	"icsdetect/internal/scenario"
 
+	_ "icsdetect/internal/baselines"
 	_ "icsdetect/internal/gaspipeline"
 	_ "icsdetect/internal/watertank"
 )
@@ -53,6 +61,8 @@ func run() error {
 		seed    = flag.Uint64("seed", 1, "random seed")
 		trainer = flag.String("trainer", "batched", "gradient engine: batched or reference")
 		ckpt    = flag.String("checkpoint", "", "when set, write <prefix>-epochNNN.bin after every epoch")
+		levels  = flag.String("levels", "", "also train these promoted detection levels into the model, e.g. bloom,pca,lstm (registered: "+strings.Join(core.StageKinds(), ", ")+")")
+		fusion  = flag.String("fusion", "", "fusion policy used only to validate -levels")
 	)
 	flag.Parse()
 	if *in == "" {
@@ -109,6 +119,13 @@ func run() error {
 		}
 	}
 
+	var spec core.StackSpec
+	if *levels != "" {
+		if spec, err = core.ParseStackSpec(*levels, *fusion); err != nil {
+			return err
+		}
+	}
+
 	start := time.Now()
 	fw, report, err := core.Train(split, cfg)
 	if err != nil {
@@ -117,6 +134,20 @@ func run() error {
 	fmt.Fprintf(os.Stderr, "trained in %v: |S|=%d errv=%.4f k=%d\n",
 		time.Since(start).Round(time.Millisecond),
 		report.Signatures, report.PackageErrv, report.ChosenK)
+
+	if *levels != "" {
+		stageStart := time.Now()
+		if err := fw.TrainStages(spec, split, *seed); err != nil {
+			return err
+		}
+		trained := make([]string, 0, len(fw.Extra))
+		for kind := range fw.Extra {
+			trained = append(trained, kind)
+		}
+		sort.Strings(trained)
+		fmt.Fprintf(os.Stderr, "stage models trained in %v: %s\n",
+			time.Since(stageStart).Round(time.Millisecond), strings.Join(trained, ", "))
+	}
 
 	if err := saveFramework(fw, *model); err != nil {
 		return err

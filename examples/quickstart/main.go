@@ -1,5 +1,8 @@
 // Quickstart: generate a simulated SCADA capture for a testbed scenario,
-// train the two-level detector, and classify the held-out traffic.
+// train the two-level detector, classify the held-out traffic, then
+// compose a three-level detection stack (bloom,pca,lstm under
+// majority-vote fusion) and print the per-level evidence behind its first
+// alerts.
 //
 //	go run ./examples/quickstart
 //	go run ./examples/quickstart -scenario watertank
@@ -76,4 +79,40 @@ func main() {
 		alerts, truePositives,
 		float64(truePositives)/float64(alerts),
 		float64(truePositives)/float64(attacks))
+
+	// 5. Compose a deeper stack: promote the PCA baseline to a streaming
+	//    level and fuse three levels by majority vote. Verdicts of
+	//    non-default stacks carry per-level evidence — what every level
+	//    saw before fusion.
+	spec, err := icsdetect.ParseStack("bloom,pca,lstm", "majority")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := det.TrainStages(spec, split, 1); err != nil {
+		log.Fatal(err)
+	}
+	stacked, err := det.NewStackSession(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nstack %s — evidence behind the first alerts:\n", spec)
+	shown := 0
+	for _, pkg := range split.Test {
+		v := stacked.Classify(pkg)
+		if !v.Anomaly || shown >= 3 {
+			continue
+		}
+		shown++
+		fmt.Printf("alert at level %s (signature %s, label %s):\n", v.Level, v.Signature, pkg.Label)
+		for _, ev := range v.Evidence {
+			switch {
+			case !ev.Scored:
+				fmt.Printf("  %-6s abstained\n", ev.Stage)
+			case ev.Flagged:
+				fmt.Printf("  %-6s anomalous (score %.4g, rank %d)\n", ev.Stage, ev.Score, ev.Rank)
+			default:
+				fmt.Printf("  %-6s clean     (score %.4g, rank %d)\n", ev.Stage, ev.Score, ev.Rank)
+			}
+		}
+	}
 }

@@ -37,6 +37,9 @@ import (
 	"icsdetect/internal/signature"
 	"icsdetect/internal/trace"
 
+	// Register the promoted baseline detection levels (pca, gmm, iforest,
+	// bayesnet, svdd, bf4) with the stage registry.
+	_ "icsdetect/internal/baselines"
 	// Register the built-in testbed scenarios.
 	_ "icsdetect/internal/gaspipeline"
 	_ "icsdetect/internal/watertank"
@@ -81,11 +84,36 @@ type (
 	TrainOptions = core.Config
 	// Granularity is the feature discretization setting (paper Table III).
 	Granularity = signature.Granularity
-	// Mode selects which detector levels a session or engine applies.
+	// Mode selects which detector levels a session or engine applies
+	// (legacy two-level API; StackSpec composes arbitrary level stacks).
 	Mode = core.Mode
-	// StageDetector is one pluggable stage of the detection pipeline.
+	// StageDetector is one pluggable level of the detection stack.
 	StageDetector = core.StageDetector
+	// StageResult is one level's pre-fusion opinion on one package.
+	StageResult = core.StageResult
+	// StackSpec describes a detection stack: ordered level descriptors
+	// plus the fusion policy combining their votes.
+	StackSpec = core.StackSpec
+	// StageSpec describes one level of a stack (kind + fusion weight).
+	StageSpec = core.StageSpec
+	// Fusion is the verdict fusion policy of a stack.
+	Fusion = core.Fusion
+	// Level identifies the detector level behind a verdict.
+	Level = core.Level
+	// LevelEvidence is one level's recorded outcome inside a Verdict.
+	LevelEvidence = core.LevelEvidence
+	// StageFactory wires a custom stage kind into the registry.
+	StageFactory = core.StageFactory
+	// DynamicKConfig tunes the adaptive top-k controller of the
+	// "lstm-dynamic" level.
+	DynamicKConfig = core.DynamicKConfig
 )
+
+// DefaultDynamicKConfig derives adaptive-k controller bounds from the
+// trained k.
+func DefaultDynamicKConfig(trainedK int) DynamicKConfig {
+	return core.DefaultDynamicKConfig(trainedK)
+}
 
 // Detector modes: the paper's combined two-level framework, or each level
 // alone for ablation.
@@ -94,6 +122,51 @@ const (
 	ModePackageOnly = core.ModePackageOnly
 	ModeSeriesOnly  = core.ModeSeriesOnly
 )
+
+// Fusion policies: the paper's first-hit short-circuit (default), strict
+// majority vote, and weighted score.
+const (
+	FusionFirstHit = core.FusionFirstHit
+	FusionMajority = core.FusionMajority
+	FusionWeighted = core.FusionWeighted
+)
+
+// Detection levels.
+const (
+	LevelNone       = core.LevelNone
+	LevelPackage    = core.LevelPackage
+	LevelTimeSeries = core.LevelTimeSeries
+	LevelPCA        = core.LevelPCA
+	LevelGMM        = core.LevelGMM
+	LevelIForest    = core.LevelIForest
+	LevelBayesNet   = core.LevelBayesNet
+	LevelSVDD       = core.LevelSVDD
+	LevelBF4        = core.LevelBF4
+)
+
+// DefaultStack returns the paper's two-level framework stack (bloom,lstm
+// under first-hit fusion).
+func DefaultStack() StackSpec { return core.DefaultStackSpec() }
+
+// ParseStack parses a detection stack from the -levels/-fusion flag
+// syntax: a comma-separated level list (each "kind" or "kind:weight") and
+// a fusion policy name ("first-hit", "majority" or "weighted"). Empty
+// levels means the default two-level stack.
+//
+//	spec, err := icsdetect.ParseStack("bloom,pca,lstm", "majority")
+//	sess, err := det.NewStackSession(spec) // after det.TrainStages(spec, split, seed)
+func ParseStack(levels, fusion string) (StackSpec, error) {
+	return core.ParseStackSpec(levels, fusion)
+}
+
+// StageKinds lists the registered detection level kinds ("bloom", "lstm",
+// "lstm-dynamic", the promoted Table IV baselines, plus anything an
+// embedding program registered).
+func StageKinds() []string { return core.StageKinds() }
+
+// RegisterStage adds a custom detection level kind to the registry; see
+// the "Detection levels" section of the README for the contract.
+func RegisterStage(kind string, f StageFactory) { core.RegisterStage(kind, f) }
 
 // Re-exported concurrent detection engine types. The engine classifies
 // many package streams at once — one stream per monitored device or link —

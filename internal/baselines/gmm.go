@@ -19,7 +19,10 @@ type GMM struct {
 	logNorm []float64
 }
 
-var _ Scorer = (*GMM)(nil)
+var (
+	_ Scorer            = (*GMM)(nil)
+	_ BatchVectorScorer = (*GMM)(nil)
+)
 
 // GMMConfig bundles the mixture hyper-parameters.
 type GMMConfig struct {
@@ -167,13 +170,7 @@ func (g *GMM) refreshNorm() {
 
 // logDensity returns log N(x; μ_j, diag σ²_j).
 func (g *GMM) logDensity(j int, x []float64) float64 {
-	var q float64
-	mu, va := g.means[j], g.vars[j]
-	for d := range x {
-		diff := x[d] - mu[d]
-		q += diff * diff / va[d]
-	}
-	return g.logNorm[j] - 0.5*q
+	return g.logNorm[j] - 0.5*mathx.ScaledSqDist(x, g.means[j], g.vars[j])
 }
 
 // Name implements Scorer.
@@ -181,18 +178,70 @@ func (g *GMM) Name() string { return "GMM" }
 
 // Score returns the negative log-likelihood of the window.
 func (g *GMM) Score(w *Window) float64 {
-	x := w.Sample
-	maxLog := math.Inf(-1)
-	logs := make([]float64, len(g.weights))
+	return g.ScoreVector(w.Sample, make([]float64, g.ScratchLen()))
+}
+
+// ScratchLen implements VectorScorer.
+func (g *GMM) ScratchLen() int { return len(g.weights) }
+
+// ScoreVector implements VectorScorer: the negative log-likelihood of one
+// standardized sample, computed from the per-component Mahalanobis terms
+// by scoreFromQ — the combine step the batched path shares.
+func (g *GMM) ScoreVector(x, scratch []float64) float64 {
+	qs := scratch[:len(g.weights)]
 	for j := range g.weights {
-		logs[j] = math.Log(g.weights[j]+1e-300) + g.logDensity(j, x)
-		if logs[j] > maxLog {
-			maxLog = logs[j]
+		qs[j] = mathx.ScaledSqDist(x, g.means[j], g.vars[j])
+	}
+	return g.scoreFromQ(qs, 1)
+}
+
+// scoreFromQ folds per-component squared distances (qs[j*stride]) into the
+// negative log-likelihood with the exact association of the original
+// scalar Score (log-sum-exp over components in index order).
+func (g *GMM) scoreFromQ(qs []float64, stride int) float64 {
+	maxLog := math.Inf(-1)
+	var z float64
+	// Two sequential passes over j, like the original logs-slice loop. The
+	// parenthesization matters: the original rounded logDensity's
+	// (logNorm − q/2) before adding log(w), and changing that association
+	// would drift scores by ULPs from every pre-refactor build.
+	for j := range g.weights {
+		l := math.Log(g.weights[j]+1e-300) + (g.logNorm[j] - 0.5*qs[j*stride])
+		if l > maxLog {
+			maxLog = l
 		}
 	}
-	var z float64
-	for _, l := range logs {
+	for j := range g.weights {
+		l := math.Log(g.weights[j]+1e-300) + (g.logNorm[j] - 0.5*qs[j*stride])
 		z += math.Exp(l - maxLog)
 	}
 	return -(maxLog + math.Log(z))
+}
+
+// NewScoreBatch implements BatchVectorScorer.
+func (g *GMM) NewScoreBatch(maxBatch int) ScoreBatch {
+	if maxBatch < 1 {
+		maxBatch = 1
+	}
+	return &gmmScoreBatch{g: g, q: make([]float64, len(g.weights)*maxBatch), maxBatch: maxBatch}
+}
+
+// gmmScoreBatch scores many samples with one tiled Mahalanobis pass per
+// component (means/variances stream through the cache once per tile of
+// four samples), then the shared scoreFromQ combine per sample.
+type gmmScoreBatch struct {
+	g        *GMM
+	q        []float64 // component-major: q[j*maxBatch+i]
+	maxBatch int
+}
+
+// Score implements ScoreBatch; bitwise-identical to ScoreVector per row.
+func (b *gmmScoreBatch) Score(dst []float64, xs [][]float64) {
+	n := len(xs)
+	for j := range b.g.weights {
+		mathx.ScaledSqDistBatch(b.q[j*b.maxBatch:j*b.maxBatch+n], xs, b.g.means[j], b.g.vars[j])
+	}
+	for i := 0; i < n; i++ {
+		dst[i] = b.g.scoreFromQ(b.q[i:], b.maxBatch)
+	}
 }

@@ -136,10 +136,20 @@ func (f *IsolationForest) Name() string { return "IF" }
 // Score returns the anomaly score 2^(−E[h(x)]/c(ψ)) ∈ (0,1]; values near 1
 // are anomalies.
 func (f *IsolationForest) Score(w *Window) float64 {
+	return f.ScoreVector(w.Sample, nil)
+}
+
+// ScratchLen implements VectorScorer; tree walks need no scratch.
+func (f *IsolationForest) ScratchLen() int { return 0 }
+
+// ScoreVector implements VectorScorer.
+func (f *IsolationForest) ScoreVector(x, _ []float64) float64 {
 	var sum float64
 	for _, t := range f.trees {
-		sum += pathLength(t, w.Sample, 0)
+		sum += pathLength(t, x, 0)
 	}
 	mean := sum / float64(len(f.trees))
 	return math.Pow(2, -mean/f.expected)
 }
+
+var _ VectorScorer = (*IsolationForest)(nil)

@@ -16,11 +16,16 @@ import (
 // orthogonal (power) iteration with deflation, which is exactly the
 // truncated SVD of the centered data matrix.
 type PCASVD struct {
-	mean       []float64
-	components [][]float64 // top-q eigenvectors, unit norm
+	mean []float64
+	// comps holds the top-q eigenvectors (unit norm) as matrix rows, the
+	// operand layout of the mathx residual kernels.
+	comps *mathx.Matrix
 }
 
-var _ Scorer = (*PCASVD)(nil)
+var (
+	_ Scorer            = (*PCASVD)(nil)
+	_ BatchVectorScorer = (*PCASVD)(nil)
+)
 
 // PCAConfig bundles the PCA hyper-parameters.
 type PCAConfig struct {
@@ -77,12 +82,13 @@ func NewPCASVD(data [][]float64, cfg PCAConfig) (*PCASVD, error) {
 	}
 	rng := mathx.NewRNG(cfg.Seed + 7)
 	var explained float64
+	var components [][]float64
 	for q := 0; q < maxComp; q++ {
 		vec, eig := powerIteration(cov, cfg.Iterations, rng)
 		if eig <= 1e-10 {
 			break
 		}
-		p.components = append(p.components, vec)
+		components = append(components, vec)
 		explained += eig
 		// Deflate: cov -= eig * v vᵀ.
 		cov.AddOuter(-eig, vec, vec)
@@ -90,8 +96,12 @@ func NewPCASVD(data [][]float64, cfg PCAConfig) (*PCASVD, error) {
 			break
 		}
 	}
-	if len(p.components) == 0 {
+	if len(components) == 0 {
 		return nil, fmt.Errorf("baselines: pca found no components (zero variance data)")
+	}
+	p.comps = mathx.NewMatrix(len(components), dim)
+	for j, vec := range components {
+		copy(p.comps.Row(j), vec)
 	}
 	return p, nil
 }
@@ -142,23 +152,63 @@ func (p *PCASVD) Name() string { return "PCA-SVD" }
 // Score returns the squared reconstruction error ‖x̃ − ΠΠᵀx̃‖² where x̃ is the
 // centered window and Π the component matrix.
 func (p *PCASVD) Score(w *Window) float64 {
+	return p.ScoreVector(w.Sample, make([]float64, p.ScratchLen()))
+}
+
+// ScratchLen implements VectorScorer.
+func (p *PCASVD) ScratchLen() int { return 2*len(p.mean) + p.comps.Rows }
+
+// ScoreVector implements VectorScorer: the reconstruction error of one
+// standardized sample, through the same mathx kernel association the
+// batched path replicates bitwise.
+func (p *PCASVD) ScoreVector(x, scratch []float64) float64 {
 	dim := len(p.mean)
-	centered := make([]float64, dim)
-	for d := range centered {
-		centered[d] = w.Sample[d] - p.mean[d]
+	centered := scratch[:dim]
+	recon := scratch[dim : 2*dim]
+	proj := scratch[2*dim : 2*dim+p.comps.Rows]
+	for d := 0; d < dim; d++ {
+		centered[d] = x[d] - p.mean[d]
 	}
-	recon := make([]float64, dim)
-	for _, comp := range p.components {
-		proj := mathx.Dot(comp, centered)
-		mathx.Axpy(recon, proj, comp)
+	return p.comps.ReconResidual(centered, proj, recon)
+}
+
+// NewScoreBatch implements BatchVectorScorer.
+func (p *PCASVD) NewScoreBatch(maxBatch int) ScoreBatch {
+	if maxBatch < 1 {
+		maxBatch = 1
 	}
-	var err float64
-	for d := range centered {
-		diff := centered[d] - recon[d]
-		err += diff * diff
+	dim := len(p.mean)
+	b := &pcaScoreBatch{
+		p:        p,
+		centered: make([][]float64, maxBatch),
+		proj:     make([]float64, 4*p.comps.Rows),
+		recon:    make([]float64, 4*dim),
 	}
-	return err
+	backing := make([]float64, maxBatch*dim)
+	for i := range b.centered {
+		b.centered[i] = backing[i*dim : (i+1)*dim]
+	}
+	return b
+}
+
+// pcaScoreBatch scores many samples through the tiled residual kernel.
+type pcaScoreBatch struct {
+	p           *PCASVD
+	centered    [][]float64
+	proj, recon []float64
+}
+
+// Score implements ScoreBatch; bitwise-identical to ScoreVector per row.
+func (b *pcaScoreBatch) Score(dst []float64, xs [][]float64) {
+	dim := len(b.p.mean)
+	for i, x := range xs {
+		c := b.centered[i]
+		for d := 0; d < dim; d++ {
+			c[d] = x[d] - b.p.mean[d]
+		}
+	}
+	b.p.comps.ReconResidualBatch(dst, b.centered[:len(xs)], b.proj, b.recon)
 }
 
 // Components returns the retained subspace dimension.
-func (p *PCASVD) Components() int { return len(p.components) }
+func (p *PCASVD) Components() int { return p.comps.Rows }

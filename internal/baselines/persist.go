@@ -1,0 +1,206 @@
+package baselines
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"icsdetect/internal/bloom"
+	"icsdetect/internal/mathx"
+)
+
+// This file defines the deterministic on-disk snapshots of the promoted
+// window levels: each stage model (scorer + standardizer + threshold)
+// round-trips through gob with exported, map-free structures, so the
+// encodings are byte-stable and safe for core.Framework.Fingerprint to
+// mix. The snapshots feed the stage registry's Encode/Decode hooks
+// (register.go) and through them core.Framework.Save/Load.
+
+// windowModelSnap is the common envelope of every persisted window level.
+type windowModelSnap struct {
+	Std       *Standardizer
+	Threshold float64
+	// Exactly one of the scorer snapshots is non-nil, matching the kind.
+	PCA *pcaSnap
+	GMM *gmmSnap
+	IF  *ifSnap
+	BN  *bnSnap
+	SV  *svddSnap
+	BF  *bfSnap
+}
+
+type pcaSnap struct {
+	Mean  []float64
+	Comps *mathx.Matrix
+}
+
+type gmmSnap struct {
+	Weights []float64
+	Means   [][]float64
+	Vars    [][]float64
+}
+
+// ifNodeSnap flattens one isolation-tree node; Left/Right index into the
+// node array (-1 for leaves).
+type ifNodeSnap struct {
+	Size        int
+	Attr        int
+	Split       float64
+	Left, Right int32
+}
+
+type ifSnap struct {
+	Nodes    []ifNodeSnap
+	Roots    []int32
+	Sub      int
+	Expected float64
+}
+
+type bnSnap struct {
+	Parent []int
+	Card   []int
+	CPT    [][]float64
+}
+
+type svddSnap struct {
+	Gamma, C, AA float64
+	Support      [][]float64
+	Alpha        []float64
+}
+
+type bfSnap struct {
+	Filter []byte
+}
+
+// snapshotScorer captures a trained scorer into the envelope.
+func snapshotScorer(snap *windowModelSnap, sc Scorer) error {
+	switch m := sc.(type) {
+	case *PCASVD:
+		snap.PCA = &pcaSnap{Mean: m.mean, Comps: m.comps}
+	case *GMM:
+		snap.GMM = &gmmSnap{Weights: m.weights, Means: m.means, Vars: m.vars}
+	case *IsolationForest:
+		s := &ifSnap{Sub: m.sub, Expected: m.expected}
+		for _, root := range m.trees {
+			s.Roots = append(s.Roots, flattenIso(s, root))
+		}
+		snap.IF = s
+	case *BayesNet:
+		snap.BN = &bnSnap{Parent: m.parent, Card: m.card, CPT: m.cpt}
+	case *SVDD:
+		snap.SV = &svddSnap{Gamma: m.Gamma, C: m.C, AA: m.aa, Support: m.support, Alpha: m.alpha}
+	case *BF:
+		var buf bytes.Buffer
+		if _, err := m.filter.WriteTo(&buf); err != nil {
+			return fmt.Errorf("baselines: snapshot bf filter: %w", err)
+		}
+		snap.BF = &bfSnap{Filter: buf.Bytes()}
+	default:
+		return fmt.Errorf("baselines: no snapshot for scorer %T", sc)
+	}
+	return nil
+}
+
+// restoreScorer rebuilds the scorer the envelope carries.
+func (snap *windowModelSnap) restoreScorer() (Scorer, error) {
+	switch {
+	case snap.PCA != nil:
+		return &PCASVD{mean: snap.PCA.Mean, comps: snap.PCA.Comps}, nil
+	case snap.GMM != nil:
+		g := &GMM{
+			weights: snap.GMM.Weights,
+			means:   snap.GMM.Means,
+			vars:    snap.GMM.Vars,
+			logNorm: make([]float64, len(snap.GMM.Weights)),
+		}
+		g.refreshNorm()
+		return g, nil
+	case snap.IF != nil:
+		f := &IsolationForest{sub: snap.IF.Sub, expected: snap.IF.Expected}
+		for _, root := range snap.IF.Roots {
+			tree, err := unflattenIso(snap.IF, root)
+			if err != nil {
+				return nil, err
+			}
+			f.trees = append(f.trees, tree)
+		}
+		return f, nil
+	case snap.BN != nil:
+		return &BayesNet{parent: snap.BN.Parent, card: snap.BN.Card, cpt: snap.BN.CPT}, nil
+	case snap.SV != nil:
+		return &SVDD{
+			Gamma: snap.SV.Gamma, C: snap.SV.C, aa: snap.SV.AA,
+			support: snap.SV.Support, alpha: snap.SV.Alpha,
+		}, nil
+	case snap.BF != nil:
+		var filter bloom.Filter
+		if _, err := filter.ReadFrom(bytes.NewReader(snap.BF.Filter)); err != nil {
+			return nil, fmt.Errorf("baselines: restore bf filter: %w", err)
+		}
+		return &BF{filter: &filter}, nil
+	default:
+		return nil, fmt.Errorf("baselines: snapshot carries no scorer")
+	}
+}
+
+// flattenIso appends node's subtree to s.Nodes in preorder and returns
+// node's index.
+func flattenIso(s *ifSnap, node *isoNode) int32 {
+	idx := int32(len(s.Nodes))
+	s.Nodes = append(s.Nodes, ifNodeSnap{Size: node.size, Attr: node.attr, Split: node.split, Left: -1, Right: -1})
+	if node.left != nil {
+		left := flattenIso(s, node.left)
+		right := flattenIso(s, node.right)
+		s.Nodes[idx].Left = left
+		s.Nodes[idx].Right = right
+	}
+	return idx
+}
+
+// unflattenIso rebuilds the subtree rooted at idx.
+func unflattenIso(s *ifSnap, idx int32) (*isoNode, error) {
+	if idx < 0 || int(idx) >= len(s.Nodes) {
+		return nil, fmt.Errorf("baselines: isolation tree node %d out of range", idx)
+	}
+	n := s.Nodes[idx]
+	node := &isoNode{size: n.Size, attr: n.Attr, split: n.Split}
+	if n.Left >= 0 {
+		var err error
+		if node.left, err = unflattenIso(s, n.Left); err != nil {
+			return nil, err
+		}
+		if node.right, err = unflattenIso(s, n.Right); err != nil {
+			return nil, err
+		}
+	}
+	return node, nil
+}
+
+// encodeWindowModel serializes a trained window level.
+func encodeWindowModel(m *WindowModel) ([]byte, error) {
+	snap := windowModelSnap{Std: m.Std, Threshold: m.Threshold}
+	if err := snapshotScorer(&snap, m.Scorer); err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&snap); err != nil {
+		return nil, fmt.Errorf("baselines: encode window level: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// decodeWindowModel deserializes a window level snapshot.
+func decodeWindowModel(b []byte) (*WindowModel, error) {
+	var snap windowModelSnap
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("baselines: decode window level: %w", err)
+	}
+	if snap.Std == nil {
+		return nil, fmt.Errorf("baselines: window level snapshot has no standardizer")
+	}
+	sc, err := snap.restoreScorer()
+	if err != nil {
+		return nil, err
+	}
+	return &WindowModel{Std: snap.Std, Threshold: snap.Threshold, Scorer: sc}, nil
+}

@@ -1,0 +1,150 @@
+package baselines
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"icsdetect/internal/core"
+	"icsdetect/internal/dataset"
+)
+
+// This file promotes the offline Table IV comparison models into
+// first-class streaming detection levels: each kind registers with the
+// core stage registry, so `-levels bloom,pca,lstm` (or any other
+// combination) composes them with the paper's built-in levels under any
+// fusion policy, trained from the same dataset path (TrainStages over the
+// same attack-free split) and persisted inside the framework snapshot.
+
+// StageTheta is the acceptable false-positive rate of a promoted window
+// level on held-out normal traffic: the decision threshold is the
+// (1−StageTheta) quantile of the validation window scores, mirroring the
+// θ rule that selects the LSTM's k (§V-A-2).
+const StageTheta = 0.02
+
+// WindowModel is the trained model of one promoted window level: the
+// scorer, the standardizer its samples were fitted with, and the decision
+// threshold (scores above it flag the window).
+type WindowModel struct {
+	Std       *Standardizer
+	Threshold float64
+	Scorer    Scorer
+}
+
+// windowKind describes one promoted level.
+type windowKind struct {
+	kind  string
+	level core.Level
+	fit   func(train []*Window, seed uint64) (Scorer, error)
+}
+
+// windowKinds lists the promoted levels in Table IV order.
+var windowKinds = []windowKind{
+	{core.LevelBF4.String(), core.LevelBF4, func(train []*Window, _ uint64) (Scorer, error) {
+		return NewBF(train, 0.005)
+	}},
+	{core.LevelBayesNet.String(), core.LevelBayesNet, func(train []*Window, _ uint64) (Scorer, error) {
+		return NewBayesNet(train)
+	}},
+	{core.LevelSVDD.String(), core.LevelSVDD, func(train []*Window, seed uint64) (Scorer, error) {
+		return NewSVDD(Samples(train), SVDDConfig{Seed: seed})
+	}},
+	{core.LevelIForest.String(), core.LevelIForest, func(train []*Window, seed uint64) (Scorer, error) {
+		return NewIsolationForest(Samples(train), IForestConfig{Seed: seed})
+	}},
+	{core.LevelGMM.String(), core.LevelGMM, func(train []*Window, seed uint64) (Scorer, error) {
+		return NewGMM(Samples(train), GMMConfig{Seed: seed})
+	}},
+	{core.LevelPCA.String(), core.LevelPCA, func(train []*Window, seed uint64) (Scorer, error) {
+		return NewPCASVD(Samples(train), PCAConfig{Seed: seed})
+	}},
+}
+
+// WindowStageKinds lists the registered promoted level kinds, sorted.
+func WindowStageKinds() []string {
+	kinds := make([]string, 0, len(windowKinds))
+	for _, wk := range windowKinds {
+		kinds = append(kinds, wk.kind)
+	}
+	sort.Strings(kinds)
+	return kinds
+}
+
+func init() {
+	for _, wk := range windowKinds {
+		wk := wk
+		core.RegisterStage(wk.kind, core.StageFactory{
+			Build: func(fw *core.Framework, _ core.StageSpec) (core.StageDetector, error) {
+				m, ok := fw.Extra[wk.kind].(*WindowModel)
+				if !ok {
+					return nil, fmt.Errorf("no trained %s stage model in the framework "+
+						"(train it with TrainStages / icstrain -levels)", wk.kind)
+				}
+				wz := NewWindowizerWith(fw.Encoder, m.Std)
+				return NewWindowStage(wk.kind, wk.level, wz, m.Scorer, m.Threshold), nil
+			},
+			Train: func(fw *core.Framework, split *dataset.Split, seed uint64) (core.StageModel, error) {
+				return trainWindowModel(fw, split, wk, seed)
+			},
+			Encode: func(m core.StageModel) ([]byte, error) {
+				wm, ok := m.(*WindowModel)
+				if !ok {
+					return nil, fmt.Errorf("baselines: %s stage model has type %T", wk.kind, m)
+				}
+				return encodeWindowModel(wm)
+			},
+			Decode: func(b []byte) (core.StageModel, error) {
+				return decodeWindowModel(b)
+			},
+		})
+	}
+}
+
+// trainWindowModel fits one promoted level from the framework's training
+// split: windows are built with the framework's own discretizer (all
+// levels see the same feature view), the scorer fits on the training
+// windows, and the threshold is the (1−StageTheta) quantile of the
+// validation window scores — the same held-out-θ philosophy that selects
+// the LSTM's k.
+func trainWindowModel(fw *core.Framework, split *dataset.Split, wk windowKind, seed uint64) (*WindowModel, error) {
+	wz, err := NewWindowizer(fw.Encoder, split.Train)
+	if err != nil {
+		return nil, err
+	}
+	train := wz.FromFragments(split.Train)
+	if len(train) == 0 {
+		return nil, fmt.Errorf("baselines: no training windows for %s stage", wk.kind)
+	}
+	sc, err := wk.fit(train, seed)
+	if err != nil {
+		return nil, err
+	}
+	held := wz.FromFragments(split.Validation)
+	if len(held) == 0 {
+		held = train
+	}
+	scores := make([]float64, len(held))
+	for i, w := range held {
+		scores[i] = sc.Score(w)
+	}
+	return &WindowModel{
+		Std:       wz.Std(),
+		Threshold: quantileThreshold(scores, 1-StageTheta),
+		Scorer:    sc,
+	}, nil
+}
+
+// quantileThreshold returns the q-quantile of scores (sorted ascending);
+// scores strictly above it flag.
+func quantileThreshold(scores []float64, q float64) float64 {
+	sorted := append([]float64(nil), scores...)
+	sort.Float64s(sorted)
+	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}

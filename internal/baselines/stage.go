@@ -1,0 +1,266 @@
+package baselines
+
+import (
+	"icsdetect/internal/core"
+	"icsdetect/internal/dataset"
+)
+
+// VectorScorer is a Scorer that can score the standardized numeric sample
+// of a window directly, without a fully populated Window — the
+// allocation-free streaming path. scratch must have ScratchLen elements.
+type VectorScorer interface {
+	Scorer
+	ScratchLen() int
+	ScoreVector(x, scratch []float64) float64
+}
+
+// BatchVectorScorer is a VectorScorer that can score many samples in one
+// batched kernel pass, bitwise-identically to ScoreVector per row.
+type BatchVectorScorer interface {
+	VectorScorer
+	NewScoreBatch(maxBatch int) ScoreBatch
+}
+
+// ScoreBatch scores up to its configured batch of samples at once. A
+// ScoreBatch owns its scratch and is not safe for concurrent use.
+type ScoreBatch interface {
+	Score(dst []float64, xs [][]float64)
+}
+
+// WindowStage promotes an offline window Scorer into a streaming
+// core.StageDetector: per-stream state accumulates packages into
+// command-response cycle windows with exactly the offline Windowizer
+// slicing (a write command starts a new window, windows cap at
+// WindowSize), and the package that completes a full window carries the
+// window's verdict — score above the trained threshold ⇒ anomalous.
+// Packages that do not complete a window (mid-cycle traffic, and the
+// members of short misaligned windows, which only hindsight can close)
+// leave the stage unscored, so it abstains from fusion on them.
+//
+// The stage itself is immutable and safe for concurrent use; VectorScorer
+// models score through per-stream scratch, and BatchVectorScorer models
+// additionally expose the engine's batched Check precompute
+// (core.CheckBatchStage).
+type WindowStage struct {
+	kind      string
+	level     core.Level
+	wz        *Windowizer
+	scorer    Scorer
+	vec       VectorScorer      // non-nil when scorer scores samples directly
+	batch     BatchVectorScorer // non-nil when the scorer batches
+	threshold float64
+	// Observer, when non-nil, receives every finalized window with its
+	// score and decision — the hook behind the streaming-vs-offline parity
+	// tests and score diagnostics. The nil-observer hot path never builds
+	// Window values for finalization.
+	Observer func(w *Window, score float64, flagged bool)
+}
+
+var (
+	_ core.StageDetector   = (*WindowStage)(nil)
+	_ core.CheckBatchStage = (*WindowStage)(nil)
+)
+
+// NewWindowStage wraps a trained scorer as a streaming detection level.
+func NewWindowStage(kind string, level core.Level, wz *Windowizer, scorer Scorer, threshold float64) *WindowStage {
+	s := &WindowStage{kind: kind, level: level, wz: wz, scorer: scorer, threshold: threshold}
+	if v, ok := scorer.(VectorScorer); ok {
+		s.vec = v
+	}
+	if b, ok := scorer.(BatchVectorScorer); ok {
+		s.batch = b
+	}
+	return s
+}
+
+// Threshold returns the stage's decision threshold (scores above it flag).
+func (s *WindowStage) Threshold() float64 { return s.threshold }
+
+// Scorer returns the wrapped window scorer.
+func (s *WindowStage) Scorer() Scorer { return s.scorer }
+
+// Name implements core.StageDetector.
+func (s *WindowStage) Name() string { return s.kind }
+
+// Level implements core.StageDetector.
+func (s *WindowStage) Level() core.Level { return s.level }
+
+// winState is the per-stream state: the open window's packages plus
+// preallocated scoring scratch and the batched-precompute deposit slot.
+type winState struct {
+	buf [WindowSize]*dataset.Package
+	n   int
+	// closing is the scratch window [buf[:n], cur] assembled for scoring.
+	closing [WindowSize]*dataset.Package
+	sample  []float64
+	scratch []float64
+	// prePkg/preScore carry a batched-kernel score deposited by the
+	// engine's precompute pass for the package prePkg; Check consumes it
+	// instead of recomputing, Advance invalidates it.
+	prePkg   *dataset.Package
+	preScore float64
+}
+
+// Reset implements core.StageState.
+func (st *winState) Reset() {
+	st.n = 0
+	st.prePkg = nil
+}
+
+// NewState implements core.StageDetector.
+func (s *WindowStage) NewState() core.StageState {
+	st := &winState{}
+	if s.vec != nil {
+		st.sample = make([]float64, SampleDim)
+		st.scratch = make([]float64, s.vec.ScratchLen())
+	}
+	return st
+}
+
+// completes reports whether cur closes a full window given the open
+// buffer: a write command starts a new window (so it can never be the
+// fourth package of the open one), otherwise the window closes when cur
+// is its WindowSize-th package.
+func (st *winState) completes(cur *dataset.Package) bool {
+	if st.n > 0 && isCycleStart(cur) {
+		return false
+	}
+	return st.n+1 == WindowSize
+}
+
+// closingWindow assembles the window cur would close into state scratch.
+func (st *winState) closingWindow(cur *dataset.Package) []*dataset.Package {
+	copy(st.closing[:st.n], st.buf[:st.n])
+	st.closing[st.n] = cur
+	return st.closing[:st.n+1]
+}
+
+// Check implements core.StageDetector: the package completing a full
+// command-response window carries the window's score. A score deposited
+// by the batched precompute pass is consumed as-is (it is
+// bitwise-identical to the inline computation by kernel contract).
+func (s *WindowStage) Check(state core.StageState, pc *core.PackageContext, r *core.StageResult) {
+	st := state.(*winState)
+	if !st.completes(pc.Cur) {
+		return
+	}
+	var score float64
+	if st.prePkg == pc.Cur {
+		score = st.preScore
+	} else {
+		score = s.scoreClosing(st, pc.Cur)
+	}
+	r.Scored = true
+	r.Score = score
+	r.Flagged = score > s.threshold
+}
+
+// scoreClosing scores the window pc.Cur completes, on the scalar path.
+func (s *WindowStage) scoreClosing(st *winState, cur *dataset.Package) float64 {
+	pkgs := st.closingWindow(cur)
+	if s.vec != nil {
+		s.wz.SampleInto(st.sample, pkgs)
+		return s.vec.ScoreVector(st.sample, st.scratch)
+	}
+	// Discrete scorers (BN, BF) need the full window; the Window is
+	// transient — scoring must not retain it.
+	return s.scorer.Score(s.wz.Build(pkgs))
+}
+
+// Advance implements core.StageDetector: move the window buffer exactly
+// like the offline slice4 — flush on a write command, flush on a full
+// window — and invalidate any deposited precompute score.
+func (s *WindowStage) Advance(state core.StageState, pc *core.PackageContext, _ *core.Verdict) {
+	st := state.(*winState)
+	st.prePkg = nil
+	if st.n > 0 && isCycleStart(pc.Cur) {
+		s.finalize(st)
+	}
+	st.buf[st.n] = pc.Cur
+	st.n++
+	if st.n == WindowSize {
+		s.finalize(st)
+	}
+}
+
+// finalize closes the open window. Scores are recomputed only for the
+// observer; decisions were already rendered in Check (full windows) or
+// never rendered (short windows — their members are classified before the
+// window is known to be short).
+func (s *WindowStage) finalize(st *winState) {
+	if s.Observer != nil {
+		w := s.wz.Build(append([]*dataset.Package(nil), st.buf[:st.n]...))
+		score := s.scorer.Score(w)
+		s.Observer(w, score, score > s.threshold)
+	}
+	st.n = 0
+}
+
+// NewCheckBatch implements core.CheckBatchStage. It returns nil — no
+// batching — for scorers without a batched kernel, which the stack batch
+// treats as inline-only.
+func (s *WindowStage) NewCheckBatch(maxBatch int) core.CheckBatch {
+	if s.batch == nil {
+		return nil
+	}
+	if maxBatch < 1 {
+		maxBatch = 1
+	}
+	b := &winCheckBatch{
+		stage:  s,
+		sb:     s.batch.NewScoreBatch(maxBatch),
+		rows:   make([][]float64, maxBatch),
+		scores: make([]float64, maxBatch),
+		states: make([]*winState, maxBatch),
+		pkgs:   make([]*dataset.Package, maxBatch),
+	}
+	backing := make([]float64, maxBatch*SampleDim)
+	for i := range b.rows {
+		b.rows[i] = backing[i*SampleDim : (i+1)*SampleDim]
+	}
+	return b
+}
+
+// winCheckBatch precomputes window scores for many streams in one batched
+// kernel pass and deposits them into the stream states.
+type winCheckBatch struct {
+	stage  *WindowStage
+	sb     ScoreBatch
+	rows   [][]float64
+	scores []float64
+	states []*winState
+	pkgs   []*dataset.Package
+	n      int
+}
+
+// Queue implements core.CheckBatch.
+func (b *winCheckBatch) Queue(state core.StageState, cur *dataset.Package) bool {
+	st := state.(*winState)
+	if !st.completes(cur) {
+		return false
+	}
+	b.stage.wz.SampleInto(b.rows[b.n], st.closingWindow(cur))
+	b.states[b.n] = st
+	b.pkgs[b.n] = cur
+	b.n++
+	return true
+}
+
+// Flush implements core.CheckBatch.
+func (b *winCheckBatch) Flush() {
+	if b.n == 0 {
+		return
+	}
+	b.sb.Score(b.scores[:b.n], b.rows[:b.n])
+	for i := 0; i < b.n; i++ {
+		b.states[i].preScore = b.scores[i]
+		b.states[i].prePkg = b.pkgs[i]
+	}
+	b.n = 0
+}
+
+// Len implements core.CheckBatch.
+func (b *winCheckBatch) Len() int { return b.n }
+
+// Cap implements core.CheckBatch.
+func (b *winCheckBatch) Cap() int { return len(b.rows) }

@@ -1,0 +1,301 @@
+package baselines
+
+import (
+	"math"
+	"testing"
+
+	"icsdetect/internal/core"
+	"icsdetect/internal/dataset"
+	"icsdetect/internal/gaspipeline"
+	"icsdetect/internal/signature"
+)
+
+// stageFixture builds the shared split/encoder fixture the streaming-stage
+// tests train against.
+type stageFixture struct {
+	fw    *core.Framework
+	split *dataset.Split
+}
+
+var sharedStageFixture *stageFixture
+
+func loadStageFixture(t *testing.T) *stageFixture {
+	t.Helper()
+	if sharedStageFixture != nil {
+		return sharedStageFixture
+	}
+	ds, err := gaspipeline.Generate(gaspipeline.DefaultGenConfig(8000, 11))
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	split, err := dataset.MakeSplit(ds, dataset.SplitConfig{})
+	if err != nil {
+		t.Fatalf("split: %v", err)
+	}
+	g := signature.Granularity{IntervalClusters: 2, CRCClusters: 2, PressureBins: 5, SetpointBins: 3, PIDClusters: 2}
+	enc, err := signature.FitEncoder(split.Train, g, 1)
+	if err != nil {
+		t.Fatalf("fit encoder: %v", err)
+	}
+	// The window levels only consult the framework's encoder at train and
+	// build time, so a minimal framework carries the fixture.
+	sharedStageFixture = &stageFixture{fw: &core.Framework{Encoder: enc}, split: split}
+	return sharedStageFixture
+}
+
+// trainStage fits one promoted level and wraps it as a streaming stage.
+func trainStage(t *testing.T, fx *stageFixture, wk windowKind) (*WindowModel, *WindowStage) {
+	t.Helper()
+	m, err := trainWindowModel(fx.fw, fx.split, wk, 3)
+	if err != nil {
+		t.Fatalf("train %s: %v", wk.kind, err)
+	}
+	wz := NewWindowizerWith(fx.fw.Encoder, m.Std)
+	return m, NewWindowStage(wk.kind, wk.level, wz, m.Scorer, m.Threshold)
+}
+
+// runStream drives a package stream through a stage the way a session
+// does, returning the per-package stage results.
+func runStream(stage *WindowStage, state core.StageState, pkgs []*dataset.Package) []core.StageResult {
+	out := make([]core.StageResult, len(pkgs))
+	for i, p := range pkgs {
+		pc := core.PackageContext{Cur: p}
+		r := core.StageResult{Rank: -1}
+		stage.Check(state, &pc, &r)
+		out[i] = r
+		var v core.Verdict
+		stage.Advance(state, &pc, &v)
+	}
+	return out
+}
+
+// TestStreamingOfflineParity: every promoted level, replayed as a
+// streaming stage over the raw test stream, must reproduce the window
+// slicing, the scores and the decisions of the offline baselines.Eval
+// path (Windowizer.FromStream + Scorer.Score) exactly — bit for bit on
+// the scores.
+func TestStreamingOfflineParity(t *testing.T) {
+	fx := loadStageFixture(t)
+	stream := fx.split.Test
+	if len(stream) > 2400 {
+		stream = stream[:2400]
+	}
+	for _, wk := range windowKinds {
+		wk := wk
+		t.Run(wk.kind, func(t *testing.T) {
+			m, stage := trainStage(t, fx, wk)
+
+			// Offline view of the same stream.
+			wz := NewWindowizerWith(fx.fw.Encoder, m.Std)
+			offline := wz.FromStream(stream)
+			offScores := make([]float64, len(offline))
+			for i, w := range offline {
+				offScores[i] = m.Scorer.Score(w)
+			}
+
+			// Streaming view: the observer logs every finalized window.
+			type finalized struct {
+				score   float64
+				flagged bool
+				n       int
+			}
+			var got []finalized
+			stage.Observer = func(w *Window, score float64, flagged bool) {
+				got = append(got, finalized{score, flagged, len(w.Packages)})
+			}
+			results := runStream(stage, stage.NewState(), stream)
+
+			// A stream never "ends" for the stage, so at most the trailing
+			// open window is unfinalized.
+			if len(got) != len(offline) && len(got) != len(offline)-1 {
+				t.Fatalf("streaming finalized %d windows, offline built %d", len(got), len(offline))
+			}
+			for i, g := range got {
+				if len(offline[i].Packages) != g.n {
+					t.Fatalf("window %d: streaming %d packages, offline %d", i, g.n, len(offline[i].Packages))
+				}
+				if math.Float64bits(g.score) != math.Float64bits(offScores[i]) {
+					t.Fatalf("window %d: streaming score %x, offline %x", i,
+						math.Float64bits(g.score), math.Float64bits(offScores[i]))
+				}
+				if g.flagged != (offScores[i] > m.Threshold) {
+					t.Fatalf("window %d: streaming decision %v, offline %v", i, g.flagged, offScores[i] > m.Threshold)
+				}
+			}
+
+			// Per-package verdicts: exactly the closing package of every
+			// full window scores, with the window's decision.
+			ri := 0
+			for i, w := range offline {
+				last := ri + len(w.Packages) - 1
+				for j := ri; j <= last && j < len(results); j++ {
+					r := results[j]
+					closing := j == last && len(w.Packages) == WindowSize
+					if r.Scored != closing {
+						t.Fatalf("package %d (window %d): scored=%v, want %v", j, i, r.Scored, closing)
+					}
+					if closing {
+						if math.Float64bits(r.Score) != math.Float64bits(offScores[i]) {
+							t.Fatalf("package %d: score %x, offline window %x", j,
+								math.Float64bits(r.Score), math.Float64bits(offScores[i]))
+						}
+						if r.Flagged != (offScores[i] > m.Threshold) {
+							t.Fatalf("package %d: flagged=%v, offline %v", j, r.Flagged, offScores[i] > m.Threshold)
+						}
+					}
+				}
+				ri += len(w.Packages)
+			}
+		})
+	}
+}
+
+// TestBatchedScorerBitwise: the batched score kernels of the PCA and GMM
+// levels must equal their scalar ScoreVector bit for bit on real window
+// samples, at batch widths around the kernel tile.
+func TestBatchedScorerBitwise(t *testing.T) {
+	fx := loadStageFixture(t)
+	wz, err := NewWindowizer(fx.fw.Encoder, fx.split.Train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	windows := wz.FromStream(fx.split.Test)
+	if len(windows) > 200 {
+		windows = windows[:200]
+	}
+	samples := Samples(windows)
+
+	for _, wk := range windowKinds {
+		wk := wk
+		sc, err := wk.fit(wz.FromFragments(fx.split.Train), 3)
+		if err != nil {
+			t.Fatalf("fit %s: %v", wk.kind, err)
+		}
+		bv, ok := sc.(BatchVectorScorer)
+		if !ok {
+			continue
+		}
+		t.Run(wk.kind, func(t *testing.T) {
+			for _, width := range []int{1, 3, 4, 7, 64} {
+				sb := bv.NewScoreBatch(width)
+				scratch := make([]float64, bv.ScratchLen())
+				dst := make([]float64, width)
+				for off := 0; off < len(samples); off += width {
+					end := off + width
+					if end > len(samples) {
+						end = len(samples)
+					}
+					xs := samples[off:end]
+					sb.Score(dst[:len(xs)], xs)
+					for i, x := range xs {
+						want := bv.ScoreVector(x, scratch)
+						if math.Float64bits(dst[i]) != math.Float64bits(want) {
+							t.Fatalf("width %d sample %d: batch %x scalar %x", width, off+i,
+								math.Float64bits(dst[i]), math.Float64bits(want))
+						}
+					}
+				}
+			}
+		})
+	}
+	// The interface checks above must actually cover the two batched kinds.
+	if _, ok := any(&PCASVD{}).(BatchVectorScorer); !ok {
+		t.Error("PCASVD lost its batched scorer")
+	}
+	if _, ok := any(&GMM{}).(BatchVectorScorer); !ok {
+		t.Error("GMM lost its batched scorer")
+	}
+}
+
+// TestWindowStageCheckBatch: a score deposited by the stage's CheckBatch
+// must be consumed by Check bit-for-bit, and the batch must skip packages
+// that do not complete a window.
+func TestWindowStageCheckBatch(t *testing.T) {
+	fx := loadStageFixture(t)
+	for _, wk := range windowKinds {
+		wk := wk
+		t.Run(wk.kind, func(t *testing.T) {
+			_, stage := trainStage(t, fx, wk)
+			cb := stage.NewCheckBatch(8)
+			if stage.batch == nil {
+				if cb != nil {
+					t.Fatal("non-batchable stage returned a check batch")
+				}
+				return
+			}
+			if cb == nil {
+				t.Fatal("batchable stage returned no check batch")
+			}
+
+			stream := fx.split.Test[:600]
+			// Reference: plain sequential run.
+			ref := runStream(stage, stage.NewState(), stream)
+			// Batched: queue every package through the check batch first.
+			state := stage.NewState()
+			for i, p := range stream {
+				queued := cb.Queue(state, p)
+				if queued != state.(*winState).completes(p) {
+					t.Fatalf("package %d: queued=%v but completes=%v", i, queued, !queued)
+				}
+				cb.Flush()
+				pc := core.PackageContext{Cur: p}
+				r := core.StageResult{Rank: -1}
+				stage.Check(state, &pc, &r)
+				if r != ref[i] {
+					t.Fatalf("package %d: batched result %+v, sequential %+v", i, r, ref[i])
+				}
+				var v core.Verdict
+				stage.Advance(state, &pc, &v)
+			}
+		})
+	}
+}
+
+// TestWindowModelRoundTrip: encode/decode of every promoted level's model
+// must preserve scores bit for bit and the threshold exactly.
+func TestWindowModelRoundTrip(t *testing.T) {
+	fx := loadStageFixture(t)
+	wzTest, err := NewWindowizer(fx.fw.Encoder, fx.split.Train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	windows := wzTest.FromStream(fx.split.Test)
+	if len(windows) > 120 {
+		windows = windows[:120]
+	}
+	for _, wk := range windowKinds {
+		wk := wk
+		t.Run(wk.kind, func(t *testing.T) {
+			m, err := trainWindowModel(fx.fw, fx.split, wk, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := encodeWindowModel(m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Deterministic encoding (Fingerprint mixes these bytes).
+			b2, err := encodeWindowModel(m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(b) != string(b2) {
+				t.Fatal("window model encoding is not deterministic")
+			}
+			got, err := decodeWindowModel(b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Threshold != m.Threshold {
+				t.Fatalf("threshold %v after round trip, want %v", got.Threshold, m.Threshold)
+			}
+			for i, w := range windows {
+				a, bsc := m.Scorer.Score(w), got.Scorer.Score(w)
+				if math.Float64bits(a) != math.Float64bits(bsc) {
+					t.Fatalf("window %d: score %x after round trip, want %x", i,
+						math.Float64bits(bsc), math.Float64bits(a))
+				}
+			}
+		})
+	}
+}

@@ -174,12 +174,22 @@ func (s *SVDD) Name() string { return "SVDD" }
 // Score returns the squared feature-space distance to the hypersphere
 // center: K(x,x) − 2Σ α_i K(x,x_i) + ‖a‖². For RBF, K(x,x)=1.
 func (s *SVDD) Score(w *Window) float64 {
+	return s.ScoreVector(w.Sample, nil)
+}
+
+// ScratchLen implements VectorScorer; the kernel sum needs no scratch.
+func (s *SVDD) ScratchLen() int { return 0 }
+
+// ScoreVector implements VectorScorer.
+func (s *SVDD) ScoreVector(x, _ []float64) float64 {
 	var cross float64
 	for i, sv := range s.support {
-		cross += s.alpha[i] * rbf(w.Sample, sv, s.Gamma)
+		cross += s.alpha[i] * rbf(x, sv, s.Gamma)
 	}
 	return 1 - 2*cross + s.aa
 }
+
+var _ VectorScorer = (*SVDD)(nil)
 
 // SupportVectors returns the number of support vectors (diagnostics).
 func (s *SVDD) SupportVectors() int { return len(s.support) }

@@ -41,15 +41,34 @@ type Window struct {
 // IsAttack reports whether the window contains attack traffic.
 func (w *Window) IsAttack() bool { return w.Label != dataset.Normal }
 
-// numericVector extracts the 17 per-package numeric features (the 16 Table I
-// columns with the timestamp replaced by the inter-package interval).
+// numericInto writes the 17 per-package numeric features (the 16 Table I
+// columns with the timestamp replaced by the inter-package interval) into
+// dst[:numericDim].
+func numericInto(dst []float64, prev, cur *dataset.Package) {
+	dst[0] = cur.Address
+	dst[1] = cur.CRCRate
+	dst[2] = cur.Function
+	dst[3] = cur.Length
+	dst[4] = cur.Setpoint
+	dst[5] = cur.Gain
+	dst[6] = cur.ResetRate
+	dst[7] = cur.Deadband
+	dst[8] = cur.CycleTime
+	dst[9] = cur.Rate
+	dst[10] = cur.SystemMode
+	dst[11] = cur.ControlScheme
+	dst[12] = cur.Pump
+	dst[13] = cur.Solenoid
+	dst[14] = cur.Pressure
+	dst[15] = cur.CmdResponse
+	dst[16] = dataset.Interval(prev, cur)
+}
+
+// numericVector allocates the per-package numeric feature vector.
 func numericVector(prev, cur *dataset.Package) []float64 {
-	return []float64{
-		cur.Address, cur.CRCRate, cur.Function, cur.Length, cur.Setpoint,
-		cur.Gain, cur.ResetRate, cur.Deadband, cur.CycleTime, cur.Rate,
-		cur.SystemMode, cur.ControlScheme, cur.Pump, cur.Solenoid,
-		cur.Pressure, cur.CmdResponse, dataset.Interval(prev, cur),
-	}
+	x := make([]float64, numericDim)
+	numericInto(x, prev, cur)
+	return x
 }
 
 // numericDim is the per-package numeric feature count.
@@ -107,6 +126,19 @@ type Windowizer struct {
 	enc *signature.Encoder
 	std *Standardizer
 }
+
+// SampleDim is the numeric feature dimensionality of one window sample.
+const SampleDim = WindowSize * numericDim
+
+// NewWindowizerWith reassembles a windowizer from its parts (a fitted
+// encoder and a previously fitted standardizer) — the load path of the
+// persisted streaming window levels.
+func NewWindowizerWith(enc *signature.Encoder, std *Standardizer) *Windowizer {
+	return &Windowizer{enc: enc, std: std}
+}
+
+// Std returns the fitted standardizer.
+func (wz *Windowizer) Std() *Standardizer { return wz.std }
 
 // NewWindowizer fits the standardizer on the training fragments.
 func NewWindowizer(enc *signature.Encoder, train []dataset.Fragment) (*Windowizer, error) {
@@ -178,6 +210,26 @@ func rawSample(pkgs []*dataset.Package) []float64 {
 	}
 	return x
 }
+
+// SampleInto writes the standardized numeric sample of a complete
+// (WindowSize-package) window into dst[:SampleDim] without allocating,
+// with values bitwise-identical to Build's Sample. It is the streaming
+// window levels' hot-path sample builder.
+func (wz *Windowizer) SampleInto(dst []float64, pkgs []*dataset.Package) {
+	if len(pkgs) != WindowSize {
+		panic(fmt.Sprintf("baselines: SampleInto over %d packages, want %d", len(pkgs), WindowSize))
+	}
+	var prev *dataset.Package
+	for i, p := range pkgs {
+		numericInto(dst[i*numericDim:(i+1)*numericDim], prev, p)
+		prev = p
+	}
+	wz.std.Apply(dst[:SampleDim])
+}
+
+// Build constructs a fully populated window (padding short windows at the
+// feature level, like the offline evaluation path).
+func (wz *Windowizer) Build(pkgs []*dataset.Package) *Window { return wz.build(pkgs) }
 
 // build constructs a fully populated window.
 func (wz *Windowizer) build(pkgs []*dataset.Package) *Window {

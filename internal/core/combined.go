@@ -8,8 +8,11 @@ import (
 	"icsdetect/internal/signature"
 )
 
-// Mode selects which detector levels an evaluation session applies; the
-// paper's framework is ModeCombined, the others support ablation.
+// Mode selects which of the paper's detector levels an evaluation session
+// applies; the paper's framework is ModeCombined, the others support
+// ablation. Mode is the legacy two-level API — it maps onto the composable
+// stack machinery through SpecForMode, and arbitrary level combinations
+// are described by StackSpec instead.
 type Mode int
 
 // Evaluation modes.
@@ -19,51 +22,81 @@ const (
 	ModeSeriesOnly
 )
 
-// Framework is the trained two-level anomaly detection framework of §VI.
+// Framework is the trained multi-level anomaly detection framework: the
+// paper's two built-in levels (§IV Bloom package detector, §V stacked LSTM
+// time-series detector) plus any promoted extra-level models, composed
+// into a detection stack by NewStack.
 type Framework struct {
 	Encoder *signature.Encoder
 	DB      *signature.DB
 	Package *PackageDetector
 	Series  *TimeSeriesDetector
 	Input   *InputEncoder
+	// Extra holds the trained models of registered non-built-in levels
+	// (see RegisterStage and TrainStages), keyed by stage kind.
+	Extra map[string]StageModel
 }
 
-// Session classifies one package stream against a framework: a thin
+// Session classifies one package stream against a detection stack: a thin
 // per-stream state object holding the previous package (for the interval
-// feature) and one StageState per pipeline stage. All mutable state lives
-// here — the Framework and its stages stay read-only during classification
-// — so each goroutine of a concurrent deployment owns its sessions without
-// locking. Packages — whatever their verdict — feed the time-series input
-// for the classification of future packages, with the noise flag set to the
-// verdict (Fig. 3).
+// feature) and one StageState per level. All mutable state lives here —
+// the Framework, the Stack and its stages stay read-only during
+// classification — so each goroutine of a concurrent deployment owns its
+// sessions without locking. Packages — whatever their verdict — feed the
+// time-series input for the classification of future packages, with the
+// noise flag set to the verdict (Fig. 3).
 type Session struct {
-	f      *Framework
-	mode   Mode
-	stages []StageDetector
+	stack  *Stack
 	states []StageState
 	prev   *dataset.Package
 }
 
-// NewSession starts a classification session in combined mode.
+// NewSession starts a classification session over the default two-level
+// stack (bloom,lstm under first-hit fusion).
 func (f *Framework) NewSession() *Session { return f.NewSessionMode(ModeCombined) }
 
-// NewSessionMode starts a session with an explicit detector mode. Unknown
+// NewSessionMode starts a session with a legacy detector mode. Unknown
 // modes fall back to the combined pipeline.
 func (f *Framework) NewSessionMode(mode Mode) *Session {
-	stages, err := f.Stages(mode)
+	spec, err := SpecForMode(mode)
 	if err != nil {
-		mode = ModeCombined
-		stages, _ = f.Stages(mode)
+		spec = DefaultStackSpec()
 	}
-	states := make([]StageState, len(stages))
-	for i, st := range stages {
-		states[i] = st.NewState()
+	sess, err := f.NewStackSession(spec)
+	if err != nil {
+		// The built-in levels always resolve on a trained framework; an
+		// error here means the framework is structurally broken.
+		panic(fmt.Sprintf("core: session over built-in stack: %v", err))
 	}
-	return &Session{f: f, mode: mode, stages: stages, states: states}
+	return sess
 }
 
-// Mode returns the session's detector mode.
-func (s *Session) Mode() Mode { return s.mode }
+// NewStackSession starts a session over an arbitrary level stack.
+func (f *Framework) NewStackSession(spec StackSpec) (*Session, error) {
+	st, err := f.NewStack(spec)
+	if err != nil {
+		return nil, err
+	}
+	return st.NewSession(), nil
+}
+
+// Mode returns the legacy detector mode this session's stack corresponds
+// to, or ModeCombined when the stack has no mode equivalent.
+func (s *Session) Mode() Mode {
+	spec := s.stack.spec
+	if spec.fusion() == FusionFirstHit && len(spec.Stages) == 1 {
+		switch spec.Stages[0].Kind {
+		case StageBloom:
+			return ModePackageOnly
+		case StageLSTM:
+			return ModeSeriesOnly
+		}
+	}
+	return ModeCombined
+}
+
+// Stack returns the detection stack the session classifies against.
+func (s *Session) Stack() *Stack { return s.stack }
 
 // Classify classifies the next package of the stream and advances the
 // session.
@@ -74,29 +107,108 @@ func (s *Session) Classify(cur *dataset.Package) Verdict {
 }
 
 // ClassifyOnly runs the Check half of the pipeline: it encodes the package
-// and evaluates each stage in order until one flags it (Fig. 3: the Bloom
-// filter is checked first and short-circuits the time-series level, since
-// an unknown signature can never be in S(k)). Stream state does not move;
-// the caller completes the step with Advance — or batches it across
-// sessions with SeriesBatch.Queue — before classifying the next package of
-// this stream.
+// and fuses the levels' opinions into a verdict under the stack's fusion
+// policy (first-hit evaluates levels in order until one flags — Fig. 3:
+// the Bloom filter short-circuits the time-series level, since an unknown
+// signature can never be in S(k); majority and weighted fusion consult
+// every level). Stream state does not move; the caller completes the step
+// with Advance — or batches it across sessions with StackBatch.QueueAdvance
+// — before classifying the next package of this stream.
 func (s *Session) ClassifyOnly(cur *dataset.Package) (Verdict, PackageContext) {
-	c := s.f.Encoder.Encode(s.prev, cur)
+	c := s.stack.fw.Encoder.Encode(s.prev, cur)
 	pc := PackageContext{Prev: s.prev, Cur: cur, C: c, Sig: signature.Signature(c)}
 	v := Verdict{Signature: pc.Sig, Rank: -1}
-	for i, stage := range s.stages {
-		stage.Check(s.states[i], &pc, &v)
-		if v.Anomaly {
-			break
-		}
+	st := s.stack
+	if st.evidence {
+		v.Evidence = make([]LevelEvidence, 0, len(st.stages))
+	}
+	switch st.spec.fusion() {
+	case FusionMajority, FusionWeighted:
+		s.classifyVoting(&pc, &v)
+	default:
+		s.classifyFirstHit(&pc, &v)
 	}
 	return v, pc
+}
+
+// classifyFirstHit evaluates levels in stack order until one flags the
+// package; later levels are short-circuited and do not appear in the
+// evidence.
+func (s *Session) classifyFirstHit(pc *PackageContext, v *Verdict) {
+	for i, stage := range s.stack.stages {
+		r := StageResult{Rank: -1}
+		stage.Check(s.states[i], pc, &r)
+		if r.Rank >= 0 {
+			v.Rank = r.Rank
+		}
+		if s.stack.evidence {
+			v.Evidence = append(v.Evidence, evidenceOf(stage, r))
+		}
+		if r.Flagged {
+			v.Anomaly = true
+			v.Level = stage.Level()
+			return
+		}
+	}
+}
+
+// classifyVoting evaluates every level and fuses their votes: strict
+// majority of the scoring levels (FusionMajority) or a weighted-score
+// threshold (FusionWeighted). Levels that abstain (unscored) join neither
+// side. Verdict.Level is the first level that voted anomalous.
+func (s *Session) classifyVoting(pc *PackageContext, v *Verdict) {
+	var flaggedWeight, scoredWeight float64
+	var flagged, scored int
+	firstLevel := LevelNone
+	for i, stage := range s.stack.stages {
+		r := StageResult{Rank: -1}
+		stage.Check(s.states[i], pc, &r)
+		if r.Rank >= 0 {
+			v.Rank = r.Rank
+		}
+		if s.stack.evidence {
+			v.Evidence = append(v.Evidence, evidenceOf(stage, r))
+		}
+		if !r.Scored {
+			continue
+		}
+		scored++
+		scoredWeight += s.stack.weights[i]
+		if r.Flagged {
+			flagged++
+			flaggedWeight += s.stack.weights[i]
+			if firstLevel == LevelNone {
+				firstLevel = stage.Level()
+			}
+		}
+	}
+	var anomalous bool
+	if s.stack.spec.fusion() == FusionMajority {
+		anomalous = scored > 0 && 2*flagged > scored
+	} else {
+		anomalous = scoredWeight > 0 && flaggedWeight > s.stack.spec.threshold()*scoredWeight
+	}
+	if anomalous {
+		v.Anomaly = true
+		v.Level = firstLevel
+	}
+}
+
+func evidenceOf(stage StageDetector, r StageResult) LevelEvidence {
+	return LevelEvidence{
+		Stage:   stage.Name(),
+		Level:   stage.Level(),
+		Scored:  r.Scored,
+		Flagged: r.Flagged,
+		Score:   r.Score,
+		Rank:    r.Rank,
+	}
 }
 
 // Advance feeds the classified package into every stage's stream state and
 // completes the step that v closed.
 func (s *Session) Advance(pc PackageContext, v Verdict) {
-	for i, stage := range s.stages {
+	for i, stage := range s.stack.stages {
 		stage.Advance(s.states[i], &pc, &v)
 	}
 	s.prev = pc.Cur
@@ -123,7 +235,24 @@ type Evaluation struct {
 // Evaluate classifies every package of the test stream and scores the
 // verdicts against ground truth (§VIII-B).
 func (f *Framework) Evaluate(test []*dataset.Package, mode Mode) *Evaluation {
-	sess := f.NewSessionMode(mode)
+	spec, err := SpecForMode(mode)
+	if err != nil {
+		spec = DefaultStackSpec()
+	}
+	eval, everr := f.EvaluateStack(test, spec)
+	if everr != nil {
+		panic(fmt.Sprintf("core: evaluate over built-in stack: %v", everr))
+	}
+	return eval
+}
+
+// EvaluateStack classifies every package of the test stream through an
+// arbitrary level stack and scores the verdicts against ground truth.
+func (f *Framework) EvaluateStack(test []*dataset.Package, spec StackSpec) (*Evaluation, error) {
+	sess, err := f.NewStackSession(spec)
+	if err != nil {
+		return nil, err
+	}
 	eval := &Evaluation{
 		PerAttack: metrics.NewPerAttack(),
 		ByLevel:   make(map[Level]int),
@@ -137,7 +266,7 @@ func (f *Framework) Evaluate(test []*dataset.Package, mode Mode) *Evaluation {
 		}
 	}
 	eval.Summary = metrics.Summarize(&eval.Confusion)
-	return eval
+	return eval, nil
 }
 
 // SetK overrides the top-k threshold (used by the Fig. 7 sweep over k).
@@ -149,9 +278,9 @@ func (f *Framework) SetK(k int) error {
 	return nil
 }
 
-// MemoryBytes reports the storage cost of the two detection models (the
-// paper reports 684 KB): the Bloom filter bit vector plus the LSTM
-// parameters at 8 bytes each.
+// MemoryBytes reports the storage cost of the two built-in detection
+// models (the paper reports 684 KB): the Bloom filter bit vector plus the
+// LSTM parameters at 8 bytes each.
 func (f *Framework) MemoryBytes() int {
 	return f.Package.SizeBytes() + 8*f.Series.Model.NumParams()
 }

@@ -14,14 +14,31 @@ import (
 // Level identifies which detector level produced a verdict.
 type Level int
 
-// Detection levels.
+// Detection levels. The first three are the paper's original two-level
+// framework; the remaining levels are the Table IV comparison models
+// promoted to streaming pipeline stages (see internal/baselines).
 const (
-	// LevelNone means the package passed both detectors.
+	// LevelNone means the package passed every level of the stack.
 	LevelNone Level = iota
 	// LevelPackage means the Bloom filter flagged the package (F_p = 1).
 	LevelPackage
 	// LevelTimeSeries means the LSTM top-k check flagged it (F_t = 1).
 	LevelTimeSeries
+	// LevelPCA means the PCA-SVD reconstruction-error level flagged it.
+	LevelPCA
+	// LevelGMM means the Gaussian-mixture likelihood level flagged it.
+	LevelGMM
+	// LevelIForest means the Isolation Forest level flagged it.
+	LevelIForest
+	// LevelBayesNet means the Bayesian-network likelihood level flagged it.
+	LevelBayesNet
+	// LevelSVDD means the support-vector data description level flagged it.
+	LevelSVDD
+	// LevelBF4 means the 4-package composite Bloom filter level flagged it.
+	LevelBF4
+
+	// NumLevels bounds the Level space (for per-level counter arrays).
+	NumLevels
 )
 
 // String names the level.
@@ -33,16 +50,51 @@ func (l Level) String() string {
 		return "package"
 	case LevelTimeSeries:
 		return "time-series"
+	case LevelPCA:
+		return "pca"
+	case LevelGMM:
+		return "gmm"
+	case LevelIForest:
+		return "iforest"
+	case LevelBayesNet:
+		return "bayesnet"
+	case LevelSVDD:
+		return "svdd"
+	case LevelBF4:
+		return "bf4"
 	default:
 		return fmt.Sprintf("Level(%d)", int(l))
 	}
+}
+
+// LevelEvidence is the recorded outcome of one stage's Check on one
+// package: what the level saw before the fusion policy combined the stack
+// into a single verdict.
+type LevelEvidence struct {
+	// Stage is the stage's registry kind / diagnostic name.
+	Stage string
+	// Level is the verdict level the stage attributes detections to.
+	Level Level
+	// Scored reports whether the stage had an opinion at all (the LSTM
+	// abstains on the first package of a stream, window levels abstain
+	// mid-cycle).
+	Scored bool
+	// Flagged reports whether the stage considered the package anomalous.
+	Flagged bool
+	// Score is the stage's anomaly score (rank for the LSTM level,
+	// reconstruction error for PCA, negative log-likelihood for GMM, …);
+	// meaningful only when Scored.
+	Score float64
+	// Rank is the 0-based top-k rank for ranking stages, -1 otherwise.
+	Rank int
 }
 
 // Verdict is the classification of one package.
 type Verdict struct {
 	// Anomaly reports whether the package was classified anomalous.
 	Anomaly bool
-	// Level identifies the detector that fired (LevelNone if clean).
+	// Level identifies the detector that fired (LevelNone if clean). Under
+	// majority/weighted fusion it is the first level that voted anomalous.
 	Level Level
 	// Signature is the package's signature s(x(t)).
 	Signature string
@@ -50,6 +102,30 @@ type Verdict struct {
 	// prediction, or -1 when the time-series level did not score the
 	// package (first package of a stream, or a package-level detection).
 	Rank int
+	// Evidence records the per-level outcomes behind the verdict, in stack
+	// order. It is nil for the canonical first-hit stacks of the original
+	// two-level framework (bloom,lstm and its single-level ablations),
+	// whose Level and Rank fields already carry the complete evidence —
+	// this keeps the hot path allocation-lean and the v1 golden-verdict
+	// format byte-stable.
+	Evidence []LevelEvidence
+}
+
+// Equal reports whether two verdicts are identical, including their
+// per-level evidence. (Verdict contains a slice, so == does not compile;
+// equivalence tests compare through Equal.)
+func (v Verdict) Equal(o Verdict) bool {
+	if v.Anomaly != o.Anomaly || v.Level != o.Level ||
+		v.Signature != o.Signature || v.Rank != o.Rank ||
+		len(v.Evidence) != len(o.Evidence) {
+		return false
+	}
+	for i := range v.Evidence {
+		if v.Evidence[i] != o.Evidence[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // PackageDetector is the package content level anomaly detector F_p (§IV-C):

@@ -50,20 +50,171 @@ func (c *DynamicKConfig) Validate() error {
 	return nil
 }
 
-// DynamicSession wraps a Session with the adaptive-k controller: when the
-// recent time-series alert rate exceeds the target, k grows (fewer false
-// positives); when the rate falls well below target, k shrinks back toward
-// the trained value (higher sensitivity).
-type DynamicSession struct {
-	inner *Session
-	cfg   DynamicKConfig
-	k     int
+// DynamicSeriesStage is the time-series level with the adaptive-k
+// controller folded into the stage stack (registry kind "lstm-dynamic"):
+// every stream carries its own adaptive k, so dynamic-k works identically
+// under sequential sessions and the batched multi-stream engine. When the
+// recent per-stream alert rate of the level exceeds the target, k grows
+// (fewer false positives); when the rate falls well below target, k
+// shrinks back toward the trained value (higher sensitivity).
+//
+// The controller observes its own level's outcome from the verdict's
+// per-level evidence during Advance (Check must not mutate stream state),
+// so stacks containing this stage always record evidence — which the
+// stack machinery guarantees, since the kind is not one of the built-in
+// two. Under first-hit fusion a package-level detection short-circuits
+// this stage and leaves no evidence entry, so — exactly like the legacy
+// DynamicSession — Bloom detections never influence the alert rate.
+type DynamicSeriesStage struct {
+	Series *SeriesStage
+	Cfg    DynamicKConfig
+}
 
-	// ring buffer of recent series-level verdicts (true = alert).
+var _ StageDetector = (*DynamicSeriesStage)(nil)
+var _ AdvanceBatchStage = (*DynamicSeriesStage)(nil)
+
+// dynamicState is the per-stream state: the wrapped recurrent state plus
+// the controller (current k and the ring buffer of recent level verdicts).
+type dynamicState struct {
+	inner  *seriesState
+	k      int
 	recent []bool
 	idx    int
 	filled int
 	alerts int
+}
+
+// Reset implements StageState.
+func (st *dynamicState) Reset() {
+	st.inner.Reset()
+	// k intentionally survives a reset along with an emptied controller
+	// window: the operating point was learned from this stream's traffic.
+	st.idx, st.filled, st.alerts = 0, 0, 0
+	for i := range st.recent {
+		st.recent[i] = false
+	}
+}
+
+// Name implements StageDetector.
+func (s *DynamicSeriesStage) Name() string { return StageLSTMDynamic }
+
+// Level implements StageDetector; detections are still time-series
+// detections, whatever the current k.
+func (s *DynamicSeriesStage) Level() Level { return LevelTimeSeries }
+
+// NewState implements StageDetector.
+func (s *DynamicSeriesStage) NewState() StageState {
+	return &dynamicState{
+		inner:  s.Series.NewState().(*seriesState),
+		k:      s.Series.Detector.K,
+		recent: make([]bool, s.Cfg.Window),
+	}
+}
+
+// Check implements StageDetector: the top-k test at the stream's current
+// adaptive k.
+func (s *DynamicSeriesStage) Check(state StageState, pc *PackageContext, r *StageResult) {
+	st := state.(*dynamicState)
+	s.Series.check(st.inner, pc, r, st.k)
+}
+
+// Advance updates the controller from the level's recorded evidence and
+// feeds the package into the recurrent model.
+func (s *DynamicSeriesStage) Advance(state StageState, pc *PackageContext, v *Verdict) {
+	st := state.(*dynamicState)
+	s.observeEvidence(st, v)
+	s.Series.Advance(st.inner, pc, v)
+}
+
+// observeEvidence finds this stage's evidence entry in the final verdict
+// (absent when an earlier level short-circuited the check) and feeds the
+// controller.
+func (s *DynamicSeriesStage) observeEvidence(st *dynamicState, v *Verdict) {
+	for i := range v.Evidence {
+		if v.Evidence[i].Stage == StageLSTMDynamic {
+			s.observe(st, v.Evidence[i].Flagged)
+			return
+		}
+	}
+}
+
+func (s *DynamicSeriesStage) observe(st *dynamicState, alert bool) {
+	if st.filled == len(st.recent) {
+		if st.recent[st.idx] {
+			st.alerts--
+		}
+	} else {
+		st.filled++
+	}
+	st.recent[st.idx] = alert
+	if alert {
+		st.alerts++
+	}
+	st.idx = (st.idx + 1) % len(st.recent)
+
+	if st.filled < len(st.recent)/2 {
+		return // not enough evidence yet
+	}
+	rate := float64(st.alerts) / float64(st.filled)
+	switch {
+	case rate > s.Cfg.TargetRate*1.5 && st.k < s.Cfg.MaxK:
+		st.k++
+		s.decayHalf(st)
+	case rate < s.Cfg.TargetRate/2 && st.k > s.Cfg.MinK:
+		st.k--
+		s.decayHalf(st)
+	}
+}
+
+// decayHalf forgets half the window after a k change so the controller
+// re-estimates the rate at the new operating point instead of oscillating.
+func (s *DynamicSeriesStage) decayHalf(st *dynamicState) {
+	drop := st.filled / 2
+	for i := 0; i < drop; i++ {
+		pos := (st.idx + i) % len(st.recent)
+		if st.recent[pos] {
+			st.alerts--
+			st.recent[pos] = false
+		}
+	}
+	st.filled -= drop
+	if st.filled < 0 {
+		st.filled = 0
+	}
+}
+
+// NewAdvanceBatch implements AdvanceBatchStage: the controller updates
+// inline at queue time and the recurrent step joins the wrapped series
+// stage's batched pass, so dynamic-k streams micro-batch with everything
+// else on the shard.
+func (s *DynamicSeriesStage) NewAdvanceBatch(maxBatch int) AdvanceBatch {
+	return &dynamicAdvanceBatch{stage: s, inner: newSeriesAdvanceBatch(s.Series, maxBatch)}
+}
+
+type dynamicAdvanceBatch struct {
+	stage *DynamicSeriesStage
+	inner *seriesAdvanceBatch
+}
+
+func (b *dynamicAdvanceBatch) Queue(state StageState, pc *PackageContext, v *Verdict) {
+	st := state.(*dynamicState)
+	b.stage.observeEvidence(st, v)
+	b.inner.Queue(st.inner, pc, v)
+}
+
+func (b *dynamicAdvanceBatch) Flush()   { b.inner.Flush() }
+func (b *dynamicAdvanceBatch) Len() int { return b.inner.Len() }
+func (b *dynamicAdvanceBatch) Cap() int { return b.inner.Cap() }
+
+// DynamicSession wraps a Session over the [bloom, lstm-dynamic] stack.
+//
+// Deprecated: DynamicSession predates the composable stack; the adaptive-k
+// controller now lives in DynamicSeriesStage, which any stack (and the
+// concurrent engine) can include via the "lstm-dynamic" kind. This shim
+// remains for callers of the original API and behaves identically.
+type DynamicSession struct {
+	sess  *Session
+	state *dynamicState
 }
 
 // NewDynamicSession starts an adaptive session in combined mode.
@@ -71,75 +222,29 @@ func (f *Framework) NewDynamicSession(cfg DynamicKConfig) (*DynamicSession, erro
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &DynamicSession{
-		inner:  f.NewSession(),
-		cfg:    cfg,
-		k:      f.Series.K,
-		recent: make([]bool, cfg.Window),
-	}, nil
+	stage := &DynamicSeriesStage{
+		Series: &SeriesStage{DB: f.DB, Detector: f.Series, Input: f.Input},
+		Cfg:    cfg,
+	}
+	spec := StackSpec{
+		Stages: []StageSpec{{Kind: StageBloom}, {Kind: StageLSTMDynamic}},
+		Fusion: FusionFirstHit,
+	}
+	stack, err := NewStackFromStages(f, spec, []StageDetector{
+		&PackageStage{Detector: f.Package}, stage,
+	})
+	if err != nil {
+		return nil, err
+	}
+	sess := stack.NewSession()
+	return &DynamicSession{sess: sess, state: sess.states[1].(*dynamicState)}, nil
 }
 
 // K returns the current adaptive k.
-func (s *DynamicSession) K() int { return s.k }
+func (s *DynamicSession) K() int { return s.state.k }
 
 // Classify classifies the next package with the current k and updates the
-// controller. Only packages that reach the time-series level influence the
-// alert rate (Bloom-filter detections are independent of k).
+// controller.
 func (s *DynamicSession) Classify(cur *dataset.Package) Verdict {
-	// Temporarily install the adaptive k on the shared detector; Session
-	// reads it on every classification.
-	saved := s.inner.f.Series.K
-	s.inner.f.Series.K = s.k
-	v := s.inner.Classify(cur)
-	s.inner.f.Series.K = saved
-
-	if v.Level != LevelPackage {
-		s.observe(v.Level == LevelTimeSeries)
-	}
-	return v
-}
-
-func (s *DynamicSession) observe(alert bool) {
-	if s.filled == len(s.recent) {
-		if s.recent[s.idx] {
-			s.alerts--
-		}
-	} else {
-		s.filled++
-	}
-	s.recent[s.idx] = alert
-	if alert {
-		s.alerts++
-	}
-	s.idx = (s.idx + 1) % len(s.recent)
-
-	if s.filled < len(s.recent)/2 {
-		return // not enough evidence yet
-	}
-	rate := float64(s.alerts) / float64(s.filled)
-	switch {
-	case rate > s.cfg.TargetRate*1.5 && s.k < s.cfg.MaxK:
-		s.k++
-		s.decayHalf()
-	case rate < s.cfg.TargetRate/2 && s.k > s.cfg.MinK:
-		s.k--
-		s.decayHalf()
-	}
-}
-
-// decayHalf forgets half the window after a k change so the controller
-// re-estimates the rate at the new operating point instead of oscillating.
-func (s *DynamicSession) decayHalf() {
-	drop := s.filled / 2
-	for i := 0; i < drop; i++ {
-		pos := (s.idx + i) % len(s.recent)
-		if s.recent[pos] {
-			s.alerts--
-			s.recent[pos] = false
-		}
-	}
-	s.filled -= drop
-	if s.filled < 0 {
-		s.filled = 0
-	}
+	return s.sess.Classify(cur)
 }

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"fmt"
 	"math"
+	"sort"
 )
 
 // Fingerprint returns a stable 64-bit hex digest of everything that
@@ -65,6 +66,35 @@ func (f *Framework) Fingerprint() string {
 		mix(uint64(len(p.Data)))
 		for _, v := range p.Data {
 			mix(math.Float64bits(v))
+		}
+	}
+	// Promoted stage models, in sorted kind order via their deterministic
+	// registered encodings. A framework without extra levels mixes nothing
+	// here, so two-level fingerprints are unchanged from before the stack
+	// refactor (the committed golden corpora stay pinned).
+	if len(f.Extra) > 0 {
+		kinds := make([]string, 0, len(f.Extra))
+		for kind := range f.Extra {
+			kinds = append(kinds, kind)
+		}
+		sort.Strings(kinds)
+		for _, kind := range kinds {
+			mixBytes([]byte(kind))
+			// RegisterStage guarantees trainable kinds carry codecs; an
+			// Encode failure here means the model is unserializable, so
+			// mix a loud marker rather than silently fingerprinting it
+			// like an absent model (Save would fail on it anyway).
+			fac, ok := stageFactory(kind)
+			if !ok || fac.Encode == nil {
+				mixBytes([]byte("!no-codec"))
+				continue
+			}
+			b, err := fac.Encode(f.Extra[kind])
+			if err != nil {
+				mixBytes([]byte("!encode-error:" + err.Error()))
+				continue
+			}
+			mixBytes(b)
 		}
 	}
 	return fmt.Sprintf("%016x", h)

@@ -12,7 +12,10 @@ import (
 )
 
 // persisted is the on-disk form of a trained framework. The Bloom filter
-// uses its own binary format; everything else is gob.
+// uses its own binary format; everything else is gob. Extra carries the
+// promoted stage models, each serialized by its kind's registered codec —
+// old snapshots simply have no Extra field, and old readers ignore it, so
+// the format is compatible in both directions.
 type persisted struct {
 	Encoder *signature.Encoder
 	DB      *signature.DB
@@ -20,9 +23,11 @@ type persisted struct {
 	Model   *nn.Classifier
 	K       int
 	Input   *InputEncoder
+	Extra   map[string][]byte
 }
 
-// Save serializes the trained framework.
+// Save serializes the trained framework, including any promoted stage
+// models whose kinds provide a codec.
 func (f *Framework) Save(w io.Writer) error {
 	var bf bytes.Buffer
 	if _, err := f.Package.Filter.WriteTo(&bf); err != nil {
@@ -35,6 +40,20 @@ func (f *Framework) Save(w io.Writer) error {
 		Model:   f.Series.Model,
 		K:       f.Series.K,
 		Input:   f.Input,
+	}
+	for kind, m := range f.Extra {
+		fac, ok := stageFactory(kind)
+		if !ok || fac.Encode == nil {
+			return fmt.Errorf("core: save framework: stage kind %q has no codec", kind)
+		}
+		b, err := fac.Encode(m)
+		if err != nil {
+			return fmt.Errorf("core: save stage %s: %w", kind, err)
+		}
+		if p.Extra == nil {
+			p.Extra = make(map[string][]byte, len(f.Extra))
+		}
+		p.Extra[kind] = b
 	}
 	if err := gob.NewEncoder(w).Encode(&p); err != nil {
 		return fmt.Errorf("core: save framework: %w", err)
@@ -58,11 +77,27 @@ func Load(r io.Reader) (*Framework, error) {
 	if _, err := filter.ReadFrom(bytes.NewReader(p.Bloom)); err != nil {
 		return nil, fmt.Errorf("core: load bloom filter: %w", err)
 	}
-	return &Framework{
+	fw := &Framework{
 		Encoder: p.Encoder,
 		DB:      p.DB,
 		Package: &PackageDetector{Filter: &filter},
 		Series:  &TimeSeriesDetector{Model: p.Model, K: p.K},
 		Input:   p.Input,
-	}, nil
+	}
+	for kind, b := range p.Extra {
+		fac, ok := stageFactory(kind)
+		if !ok || fac.Decode == nil {
+			return nil, fmt.Errorf("core: load framework: stage kind %q is not registered "+
+				"(import the package that provides it)", kind)
+		}
+		m, err := fac.Decode(b)
+		if err != nil {
+			return nil, fmt.Errorf("core: load stage %s: %w", kind, err)
+		}
+		if fw.Extra == nil {
+			fw.Extra = make(map[string]StageModel, len(p.Extra))
+		}
+		fw.Extra[kind] = m
+	}
+	return fw, nil
 }

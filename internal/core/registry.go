@@ -1,0 +1,129 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"icsdetect/internal/dataset"
+)
+
+// Built-in stage kinds. Additional kinds (the promoted Table IV baselines)
+// register from internal/baselines; embedding programs can register their
+// own.
+const (
+	// StageBloom is the Bloom-filter package content level F_p.
+	StageBloom = "bloom"
+	// StageLSTM is the stacked-LSTM time-series level F_t.
+	StageLSTM = "lstm"
+	// StageLSTMDynamic is the time-series level with the adaptive top-k
+	// controller (§IX future work, realized in DynamicSeriesStage).
+	StageLSTMDynamic = "lstm-dynamic"
+)
+
+// StageModel is an opaque trained model for one registered stage kind,
+// stored in Framework.Extra and consumed by the kind's Build factory.
+type StageModel any
+
+// StageFactory wires one stage kind into the framework: how to build the
+// streaming stage from a trained framework, how to train its model from
+// the dataset path, and how to persist that model inside the framework's
+// save format.
+type StageFactory struct {
+	// Build constructs the stage against a trained framework. Built-in
+	// kinds read Framework fields; promoted kinds read Framework.Extra.
+	Build func(fw *Framework, spec StageSpec) (StageDetector, error)
+	// Train fits the kind's stage model from an attack-free split (nil
+	// for kinds whose model is part of the framework proper).
+	Train func(fw *Framework, split *dataset.Split, seed uint64) (StageModel, error)
+	// Encode/Decode serialize the stage model for Framework.Save/Load
+	// (nil for kinds without a separate model). Encodings must be
+	// deterministic: Fingerprint mixes them.
+	Encode func(m StageModel) ([]byte, error)
+	Decode func(b []byte) (StageModel, error)
+}
+
+var (
+	stageMu       sync.RWMutex
+	stageRegistry = make(map[string]StageFactory)
+)
+
+// RegisterStage adds a stage kind to the registry. It panics on an empty
+// or malformed kind, a nil Build, a trainable kind without a persistence
+// codec, or a duplicate registration — all programming errors in an init
+// path. Kind names are restricted to lowercase letters, digits, '-' and
+// '_': they appear verbatim in the -levels flag grammar (',' and ':' are
+// separators) and in the v2 golden-verdict evidence column (':' and ';'
+// are separators, fields are whitespace-split), so a name containing any
+// of those would corrupt both formats. Kinds whose Train produces a stage
+// model must also provide Encode/Decode: Framework.Save and Fingerprint
+// pin stage models through those codecs, and a trainable kind without
+// them would save un-round-trippably and fingerprint-collide.
+func RegisterStage(kind string, f StageFactory) {
+	if kind == "" || f.Build == nil {
+		panic("core: RegisterStage needs a kind and a Build factory")
+	}
+	for _, r := range kind {
+		if (r < 'a' || r > 'z') && (r < '0' || r > '9') && r != '-' && r != '_' {
+			panic(fmt.Sprintf("core: stage kind %q: only [a-z0-9_-] allowed", kind))
+		}
+	}
+	if f.Train != nil && (f.Encode == nil || f.Decode == nil) {
+		panic(fmt.Sprintf("core: stage kind %q trains a model but has no Encode/Decode codec", kind))
+	}
+	stageMu.Lock()
+	defer stageMu.Unlock()
+	if _, dup := stageRegistry[kind]; dup {
+		panic(fmt.Sprintf("core: stage kind %q registered twice", kind))
+	}
+	stageRegistry[kind] = f
+}
+
+// StageKinds lists the registered stage kinds, sorted.
+func StageKinds() []string {
+	stageMu.RLock()
+	defer stageMu.RUnlock()
+	kinds := make([]string, 0, len(stageRegistry))
+	for k := range stageRegistry {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	return kinds
+}
+
+func stageFactory(kind string) (StageFactory, bool) {
+	stageMu.RLock()
+	defer stageMu.RUnlock()
+	f, ok := stageRegistry[kind]
+	return f, ok
+}
+
+func init() {
+	RegisterStage(StageBloom, StageFactory{
+		Build: func(fw *Framework, _ StageSpec) (StageDetector, error) {
+			if fw.Package == nil {
+				return nil, fmt.Errorf("framework has no package detector")
+			}
+			return &PackageStage{Detector: fw.Package}, nil
+		},
+	})
+	RegisterStage(StageLSTM, StageFactory{
+		Build: func(fw *Framework, _ StageSpec) (StageDetector, error) {
+			if fw.Series == nil {
+				return nil, fmt.Errorf("framework has no time-series detector")
+			}
+			return &SeriesStage{DB: fw.DB, Detector: fw.Series, Input: fw.Input}, nil
+		},
+	})
+	RegisterStage(StageLSTMDynamic, StageFactory{
+		Build: func(fw *Framework, _ StageSpec) (StageDetector, error) {
+			if fw.Series == nil {
+				return nil, fmt.Errorf("framework has no time-series detector")
+			}
+			return &DynamicSeriesStage{
+				Series: &SeriesStage{DB: fw.DB, Detector: fw.Series, Input: fw.Input},
+				Cfg:    DefaultDynamicKConfig(fw.Series.K),
+			}, nil
+		},
+	})
+}

@@ -39,7 +39,7 @@ func TestSessionBehaviour(t *testing.T) {
 			fresh := fw.NewSessionMode(mode)
 			for i, p := range split.Test[:150] {
 				got, want := reused.Classify(p), fresh.Classify(p)
-				if got != want {
+				if !got.Equal(want) {
 					t.Fatalf("mode %d verdict %d: reset session %+v, fresh session %+v",
 						mode, i, got, want)
 				}

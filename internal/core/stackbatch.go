@@ -1,0 +1,220 @@
+package core
+
+import "icsdetect/internal/dataset"
+
+// The engine dispatches per stage kind, not per hard-coded LSTM pass: a
+// stage can expose batched work in two places, and the StackBatch routes
+// each place to the stages that support it while everything else runs
+// inline (scalar stages cost nothing extra).
+//
+//   - AdvanceBatch defers the post-verdict stream-state step (the LSTM's
+//     recurrent step) and executes it for many streams in one pass.
+//   - CheckBatch precomputes the pre-verdict anomaly scores of many
+//     streams' upcoming packages in one batched kernel pass (the window
+//     levels' PCA/GMM scoring); Check then reads the deposited score
+//     instead of recomputing it.
+//
+// Both paths are bitwise-identical to the sequential ones: the batched
+// kernels replicate the scalar kernels' per-element association exactly,
+// so a stack driven through a StackBatch produces the same verdicts as a
+// sequential Session — the invariant the conformance suite locks for
+// every stack.
+
+// AdvanceBatch defers one stage's Advance work across many streams.
+// Protocol: after Queue(state, …), the stream owning state must not
+// classify another package until Flush has run. An AdvanceBatch is not
+// safe for concurrent use; the engine owns one per shard per framework.
+type AdvanceBatch interface {
+	// Queue defers the stage's Advance for one classified package.
+	Queue(st StageState, pc *PackageContext, v *Verdict)
+	// Flush executes every queued step in one batched pass.
+	Flush()
+	// Len returns the number of queued streams.
+	Len() int
+	// Cap returns the batch capacity.
+	Cap() int
+}
+
+// AdvanceBatchStage is a stage whose Advance work batches across streams.
+type AdvanceBatchStage interface {
+	StageDetector
+	NewAdvanceBatch(maxBatch int) AdvanceBatch
+}
+
+// CheckBatch precomputes one stage's Check scores across many streams.
+// Queue inspects the stream's state and the upcoming package; it returns
+// false when the stage has no batchable work for that package (the window
+// is not completing). Flush runs the batched kernel and deposits each
+// score into its stream state, where the stage's Check picks it up; a
+// package never queued simply scores inline, bitwise-identically.
+type CheckBatch interface {
+	Queue(st StageState, cur *dataset.Package) bool
+	Flush()
+	Len() int
+	Cap() int
+}
+
+// CheckBatchStage is a stage whose Check scores batch across streams.
+type CheckBatchStage interface {
+	StageDetector
+	NewCheckBatch(maxBatch int) CheckBatch
+}
+
+// StackBatch batches the batchable stages of one stack across many
+// sessions: the engine's micro-batch primitive, generalized from the
+// LSTM-only series batch to arbitrary stacks. All scratch is allocated at
+// construction; the queue and flush paths allocate nothing.
+type StackBatch struct {
+	stack *Stack
+	// adv[i] / chk[i] are the per-stage batches, nil for stages without
+	// the capability. Indexed by stage position so Queue dispatches with
+	// a single slice lookup.
+	adv []AdvanceBatch
+	chk []CheckBatch
+	// advAny is true when any stage batches its Advance (otherwise
+	// QueueAdvance always completes inline).
+	advAny bool
+	// checkFlushes/checkFlushed count every non-empty check-batch flush
+	// and the scores it produced — including batches flushed mid-queue
+	// when a stage's batch fills — so the engine's counters stay honest
+	// under load.
+	checkFlushes, checkFlushed uint64
+}
+
+// NewBatch allocates a stack batch for up to maxBatch concurrently
+// advanced sessions of this stack.
+func (st *Stack) NewBatch(maxBatch int) *StackBatch {
+	if maxBatch < 1 {
+		maxBatch = 1
+	}
+	b := &StackBatch{
+		stack: st,
+		adv:   make([]AdvanceBatch, len(st.stages)),
+		chk:   make([]CheckBatch, len(st.stages)),
+	}
+	for i, stage := range st.stages {
+		if as, ok := stage.(AdvanceBatchStage); ok {
+			b.adv[i] = as.NewAdvanceBatch(maxBatch)
+			b.advAny = true
+		}
+		if cs, ok := stage.(CheckBatchStage); ok {
+			b.chk[i] = cs.NewCheckBatch(maxBatch)
+		}
+	}
+	return b
+}
+
+// QueueAdvance completes the step that v closed for session s: every
+// stage without batched Advance runs inline and the batchable steps are
+// deferred. It reports whether anything was deferred — if so, the session
+// must not classify again until FlushAdvance has run.
+func (b *StackBatch) QueueAdvance(s *Session, pc PackageContext, v Verdict) bool {
+	if s.stack != b.stack {
+		panic("core: StackBatch.QueueAdvance for a session of a different stack")
+	}
+	s.prev = pc.Cur
+	deferred := false
+	for i, stage := range s.stack.stages {
+		if ab := b.adv[i]; ab != nil {
+			ab.Queue(s.states[i], &pc, &v)
+			deferred = true
+			continue
+		}
+		stage.Advance(s.states[i], &pc, &v)
+	}
+	return deferred
+}
+
+// FlushAdvance executes every deferred Advance step, one batched pass per
+// stage, and empties the batch.
+func (b *StackBatch) FlushAdvance() {
+	for _, ab := range b.adv {
+		if ab != nil {
+			ab.Flush()
+		}
+	}
+}
+
+// AdvanceFull reports whether any stage's advance batch is at capacity —
+// the caller must FlushAdvance before queueing more.
+func (b *StackBatch) AdvanceFull() bool {
+	for _, ab := range b.adv {
+		if ab != nil && ab.Len() == ab.Cap() {
+			return true
+		}
+	}
+	return false
+}
+
+// AdvanceLen returns the deferred steps currently queued across stages.
+func (b *StackBatch) AdvanceLen() int {
+	n := 0
+	for _, ab := range b.adv {
+		if ab != nil {
+			n += ab.Len()
+		}
+	}
+	return n
+}
+
+// QueueCheck registers session s's upcoming package with every
+// check-batchable stage (flushing a stage's batch first if it is full).
+// Call FlushCheck before classifying; packages never queued score inline.
+func (b *StackBatch) QueueCheck(s *Session, cur *dataset.Package) {
+	for i, cb := range b.chk {
+		if cb == nil {
+			continue
+		}
+		if cb.Len() == cb.Cap() {
+			b.flushCheck(cb)
+		}
+		cb.Queue(s.states[i], cur)
+	}
+}
+
+// FlushCheck runs the batched score kernels and deposits the scores into
+// the queued stream states.
+func (b *StackBatch) FlushCheck() {
+	for _, cb := range b.chk {
+		if cb != nil {
+			b.flushCheck(cb)
+		}
+	}
+}
+
+func (b *StackBatch) flushCheck(cb CheckBatch) {
+	if n := cb.Len(); n > 0 {
+		b.checkFlushes++
+		b.checkFlushed += uint64(n)
+	}
+	cb.Flush()
+}
+
+// CheckBatchStats returns the cumulative non-empty check-batch flushes and
+// the scores they produced.
+func (b *StackBatch) CheckBatchStats() (flushes, scored uint64) {
+	return b.checkFlushes, b.checkFlushed
+}
+
+// HasCheck reports whether any stage batches its Check scores; when false
+// the engine skips the precompute pass entirely (the default two-level
+// stack takes this path).
+func (b *StackBatch) HasCheck() bool {
+	for _, cb := range b.chk {
+		if cb != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// CheckLen returns the check-phase entries currently queued across stages.
+func (b *StackBatch) CheckLen() int {
+	n := 0
+	for _, cb := range b.chk {
+		if cb != nil {
+			n += cb.Len()
+		}
+	}
+	return n
+}

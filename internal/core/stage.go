@@ -1,7 +1,7 @@
 package core
 
 import (
-	"fmt"
+	"math"
 
 	"icsdetect/internal/dataset"
 	"icsdetect/internal/nn"
@@ -31,15 +31,30 @@ type StageState interface {
 	Reset()
 }
 
-// StageDetector is one pluggable stage of the Fig. 3 detection pipeline.
-// The framework wires the Bloom package-content level and the LSTM
-// time-series level as two stages; sessions and the concurrent engine drive
-// any stage slice the same way:
+// StageResult is one stage's opinion on one package, before fusion. A
+// stage that has no opinion yet (the LSTM before its first step, a window
+// level mid-cycle) leaves Scored false and abstains from the vote.
+type StageResult struct {
+	// Scored reports whether the stage evaluated the package at all.
+	Scored bool
+	// Flagged reports whether the stage considers the package anomalous.
+	Flagged bool
+	// Score is the stage's anomaly score; meaningful only when Scored.
+	Score float64
+	// Rank is the 0-based top-k rank for ranking stages, -1 otherwise.
+	Rank int
+}
+
+// StageDetector is one pluggable level of the detection stack. The
+// canonical stack wires the Bloom package-content level and the LSTM
+// time-series level; the promoted Table IV baselines (internal/baselines)
+// and embedder-registered kinds slot in the same way. Sessions and the
+// concurrent engine drive any stage slice identically:
 //
-//   - Check runs in pipeline order until a stage flags the package; later
-//     stages are short-circuited (an unknown signature can never be in the
-//     top-k predicted set, so the time-series level never re-examines a
-//     package-level detection).
+//   - Check evaluates the package into a StageResult; the session's fusion
+//     policy combines the results into the Verdict (first-hit
+//     short-circuits after the first flag, majority/weighted run every
+//     stage and vote).
 //   - Advance runs for every stage on every package after the verdict is
 //     final, whatever the verdict was: anomalous packages still feed the
 //     time-series input with the noise flag set (§V-A-3).
@@ -48,36 +63,33 @@ type StageState interface {
 // per-stream mutability lives in the StageState, so one goroutine per
 // stream (or per shard of streams) needs no locking.
 type StageDetector interface {
-	// Name identifies the stage in diagnostics and counters.
+	// Name identifies the stage in diagnostics, counters and evidence.
 	Name() string
 	// Level is the verdict level the stage attributes detections to.
 	Level() Level
 	// NewState allocates fresh per-stream state for this stage.
 	NewState() StageState
-	// Check evaluates the package and may flag it in v. It must not mutate
-	// st: state only moves in Advance.
-	Check(st StageState, pc *PackageContext, v *Verdict)
+	// Check evaluates the package into r. It must not mutate st: state
+	// only moves in Advance.
+	Check(st StageState, pc *PackageContext, r *StageResult)
 	// Advance feeds the package into the stream state once v is final.
 	Advance(st StageState, pc *PackageContext, v *Verdict)
 }
 
 // Stages returns the pipeline stage slice for a detector mode. ModeCombined
 // is the paper's two-level framework; the single-stage modes support
-// ablation. Session and the engine both build their pipelines here, so the
-// two always agree on semantics.
+// ablation. Session and the engine both resolve their pipelines through
+// the same stack machinery, so the two always agree on semantics.
 func (f *Framework) Stages(mode Mode) ([]StageDetector, error) {
-	pkg := &PackageStage{Detector: f.Package}
-	series := &SeriesStage{DB: f.DB, Detector: f.Series, Input: f.Input}
-	switch mode {
-	case ModeCombined:
-		return []StageDetector{pkg, series}, nil
-	case ModePackageOnly:
-		return []StageDetector{pkg}, nil
-	case ModeSeriesOnly:
-		return []StageDetector{series}, nil
-	default:
-		return nil, fmt.Errorf("core: unknown mode %d", int(mode))
+	spec, err := SpecForMode(mode)
+	if err != nil {
+		return nil, err
 	}
+	st, err := f.NewStack(spec)
+	if err != nil {
+		return nil, err
+	}
+	return st.Stages(), nil
 }
 
 // nopState is the shared state of stateless stages.
@@ -92,7 +104,7 @@ type PackageStage struct {
 }
 
 // Name implements StageDetector.
-func (s *PackageStage) Name() string { return "package" }
+func (s *PackageStage) Name() string { return StageBloom }
 
 // Level implements StageDetector.
 func (s *PackageStage) Level() Level { return LevelPackage }
@@ -101,10 +113,11 @@ func (s *PackageStage) Level() Level { return LevelPackage }
 func (s *PackageStage) NewState() StageState { return nopState{} }
 
 // Check implements F_p: flag iff the signature is not in the filter.
-func (s *PackageStage) Check(_ StageState, pc *PackageContext, v *Verdict) {
+func (s *PackageStage) Check(_ StageState, pc *PackageContext, r *StageResult) {
+	r.Scored = true
 	if s.Detector.Anomalous(pc.Sig) {
-		v.Anomaly = true
-		v.Level = LevelPackage
+		r.Flagged = true
+		r.Score = 1
 	}
 }
 
@@ -149,7 +162,7 @@ func (st *seriesState) Reset() {
 }
 
 // Name implements StageDetector.
-func (s *SeriesStage) Name() string { return "time-series" }
+func (s *SeriesStage) Name() string { return StageLSTM }
 
 // Level implements StageDetector.
 func (s *SeriesStage) Level() Level { return LevelTimeSeries }
@@ -166,34 +179,41 @@ func (s *SeriesStage) NewState() StageState {
 // Check implements F_t: a package whose signature ranks outside the top-k
 // predicted set S(k) is anomalous. The first package of a stream is never
 // scored (no prediction exists yet).
-func (s *SeriesStage) Check(state StageState, pc *PackageContext, v *Verdict) {
+func (s *SeriesStage) Check(state StageState, pc *PackageContext, r *StageResult) {
 	st := state.(*seriesState)
+	s.check(st, pc, r, s.Detector.K)
+}
+
+// check is the k-parameterized body of Check, shared with the dynamic-k
+// stage wrapper.
+func (s *SeriesStage) check(st *seriesState, pc *PackageContext, r *StageResult, k int) {
 	if !st.scored {
 		return
 	}
+	r.Scored = true
 	class, ok := s.DB.ClassOf(pc.Sig)
 	if !ok {
 		// The signature passed the Bloom filter (a filter false positive)
 		// but is not in the database, so it cannot be among the top-k
 		// predicted signatures.
-		v.Anomaly = true
-		v.Level = LevelTimeSeries
+		r.Flagged = true
+		r.Score = math.Inf(1)
 		return
 	}
-	v.Rank = rankOf(st.scores, class)
-	if v.Rank >= s.Detector.K {
-		v.Anomaly = true
-		v.Level = LevelTimeSeries
+	r.Rank = rankOf(st.scores, class)
+	r.Score = float64(r.Rank)
+	if r.Rank >= k {
+		r.Flagged = true
 	}
 }
 
 // encodeStep writes the step input for the classified package into the
 // stream's input buffer and marks the stream scored. It is the shared
-// pre-step half of both advancement paths — sequential Advance and batched
-// SeriesBatch.Queue — so the two can never diverge on what feeds the model:
-// the extra input feature carries this package's verdict (§V-A-3: "the
-// additional feature of any packages classified as anomalies will be set
-// to 1").
+// pre-step half of both advancement paths — sequential Advance and the
+// batched seriesAdvanceBatch.Queue — so the two can never diverge on what
+// feeds the model: the extra input feature carries this package's verdict
+// (§V-A-3: "the additional feature of any packages classified as anomalies
+// will be set to 1").
 func (s *SeriesStage) encodeStep(st *seriesState, pc *PackageContext, v *Verdict) {
 	s.Input.EncodeInto(st.x, pc.C, v.Anomaly)
 	st.scored = true
@@ -207,16 +227,18 @@ func (s *SeriesStage) Advance(state StageState, pc *PackageContext, v *Verdict) 
 	s.Detector.Model.StepLogits(st.rnn, st.x, st.scores)
 }
 
-// SeriesBatch advances the time-series stage of many independent sessions
-// in one batched LSTM pass (nn.StepBatchLogits): the engine's micro-batch
-// primitive. Queue completes everything about a classified package except
-// the LSTM step, which Flush performs for all queued sessions at once.
-//
-// Protocol: after Queue(s, …), session s must not classify another package
-// until Flush has run. A SeriesBatch is not safe for concurrent use; the
-// engine owns one per shard.
-type SeriesBatch struct {
-	model  *nn.Classifier
+// NewAdvanceBatch implements AdvanceBatchStage: the LSTM step of many
+// independent streams advances through one batched matrix-matrix pass
+// (nn.StepBatchLogits) instead of one matrix-vector pass per package.
+func (s *SeriesStage) NewAdvanceBatch(maxBatch int) AdvanceBatch {
+	return newSeriesAdvanceBatch(s, maxBatch)
+}
+
+// seriesAdvanceBatch defers the recurrent steps of queued streams into one
+// batched LSTM pass: the engine's micro-batch primitive for the
+// time-series level.
+type seriesAdvanceBatch struct {
+	stage  *SeriesStage
 	buf    *nn.BatchBuffer
 	rnns   []*nn.State
 	inputs [][]float64
@@ -224,62 +246,53 @@ type SeriesBatch struct {
 	n      int
 }
 
-// NewSeriesBatch allocates a batch for up to maxBatch concurrently advanced
-// sessions. All scratch is allocated here once; Queue and Flush allocate
-// nothing.
-func (f *Framework) NewSeriesBatch(maxBatch int) *SeriesBatch {
+func newSeriesAdvanceBatch(s *SeriesStage, maxBatch int) *seriesAdvanceBatch {
 	if maxBatch < 1 {
 		maxBatch = 1
 	}
-	b := &SeriesBatch{
-		model:  f.Series.Model,
-		buf:    f.Series.Model.NewBatchBuffer(maxBatch),
+	return &seriesAdvanceBatch{
+		stage:  s,
+		buf:    s.Detector.Model.NewBatchBuffer(maxBatch),
 		rnns:   make([]*nn.State, maxBatch),
 		inputs: make([][]float64, maxBatch),
 		scores: make([][]float64, maxBatch),
 	}
-	return b
 }
 
-// Len returns the number of queued sessions.
-func (b *SeriesBatch) Len() int { return b.n }
+// Len returns the number of queued streams.
+func (b *seriesAdvanceBatch) Len() int { return b.n }
 
 // Cap returns the batch capacity.
-func (b *SeriesBatch) Cap() int { return len(b.rnns) }
+func (b *seriesAdvanceBatch) Cap() int { return len(b.rnns) }
 
-// Full reports whether the batch must be flushed before the next Queue.
-func (b *SeriesBatch) Full() bool { return b.n == len(b.rnns) }
-
-// Queue completes the step that v closed for session s: every stage except
-// the time-series stage advances inline and the LSTM step is deferred into
-// the batch. Sessions whose mode has no time-series stage complete
-// immediately and occupy no batch slot.
-func (b *SeriesBatch) Queue(s *Session, pc PackageContext, v Verdict) {
-	if b.Full() {
-		panic("core: SeriesBatch.Queue on a full batch")
+// Queue completes everything about the classified package except the LSTM
+// step, which Flush performs for all queued streams at once.
+func (b *seriesAdvanceBatch) Queue(state StageState, pc *PackageContext, v *Verdict) {
+	if b.n == len(b.rnns) {
+		panic("core: advance batch queue on a full batch")
 	}
-	s.prev = pc.Cur
-	for i, stage := range s.stages {
-		series, ok := stage.(*SeriesStage)
-		if !ok {
-			stage.Advance(s.states[i], &pc, &v)
-			continue
-		}
-		st := s.states[i].(*seriesState)
-		series.encodeStep(st, &pc, &v)
-		b.rnns[b.n] = st.rnn
-		b.inputs[b.n] = st.x
-		b.scores[b.n] = st.scores
-		b.n++
-	}
+	st := state.(*seriesState)
+	b.stage.encodeStep(st, pc, v)
+	b.rnns[b.n] = st.rnn
+	b.inputs[b.n] = st.x
+	b.scores[b.n] = st.scores
+	b.n++
 }
 
-// Flush advances every queued session's recurrent state through one batched
+// Flush advances every queued stream's recurrent state through one batched
 // matrix-matrix pass and empties the batch.
-func (b *SeriesBatch) Flush() {
+func (b *seriesAdvanceBatch) Flush() {
 	if b.n == 0 {
 		return
 	}
-	b.model.StepBatchLogits(b.buf, b.rnns[:b.n], b.inputs[:b.n], b.scores[:b.n])
+	b.stage.Detector.Model.StepBatchLogits(b.buf, b.rnns[:b.n], b.inputs[:b.n], b.scores[:b.n])
 	b.n = 0
 }
+
+var _ AdvanceBatchStage = (*SeriesStage)(nil)
+
+// Compile-time interface checks for the built-in stages.
+var (
+	_ StageDetector = (*PackageStage)(nil)
+	_ StageDetector = (*SeriesStage)(nil)
+)

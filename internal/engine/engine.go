@@ -1,7 +1,7 @@
 // Package engine is the concurrent multi-stream detection engine: it runs
-// the two-level framework of internal/core over many package streams at
-// once (one stream per monitored device, link or unit), sharded across
-// worker goroutines with micro-batched LSTM inference.
+// a detection stack of internal/core over many package streams at once
+// (one stream per monitored device, link or unit), sharded across worker
+// goroutines with per-stage-kind micro-batched inference.
 //
 // Architecture:
 //
@@ -9,16 +9,22 @@
 //	                                      shard 1 ─▶ worker goroutine
 //	                                      …            │
 //	                                                   ▼
-//	                          per-stream Session (Check phase, sequential)
-//	                          micro-batch of LSTM steps (nn.StepBatchLogits)
+//	                      tick: drain queued packets
+//	                        precompute batchable Check scores (window
+//	                          levels: PCA/GMM batched kernels)
+//	                        per-stream Session Check phase, sequential
+//	                        micro-batched Advance passes (LSTM steps via
+//	                          nn.StepBatchLogits); scalar stages inline
 //
 // Each stream is pinned to one shard by a hash of its ID, so per-stream
 // package order — and therefore per-stream verdicts — are exactly those of
-// a sequential core.Session. Within a shard, the recurrent steps of
-// distinct streams are independent and advance through one batched
-// matrix-matrix pass per drained tick instead of one matrix-vector pass per
-// package. Shard input channels are bounded: a saturated engine pushes back
-// on Submit instead of growing without bound.
+// a sequential core.Session over the same stack. Within a shard, the
+// batchable work of distinct streams advances through one batched pass per
+// drained tick instead of one scalar pass per package; the engine asks
+// each stage what it can batch (core.AdvanceBatchStage,
+// core.CheckBatchStage) instead of hard-coding the LSTM. Shard input
+// channels are bounded: a saturated engine pushes back on Submit instead
+// of growing without bound.
 package engine
 
 import (
@@ -37,18 +43,26 @@ type Config struct {
 	// Shards is the number of worker goroutines (and stream partitions).
 	// Default: GOMAXPROCS.
 	Shards int
-	// MaxBatch caps the micro-batch width of one LSTM pass. Default: 64.
+	// MaxBatch caps the micro-batch width of one batched stage pass.
+	// Default: 64.
 	MaxBatch int
 	// QueueDepth bounds each shard's input channel; a full shard blocks
 	// Submit (backpressure). Default: 4 * MaxBatch.
 	QueueDepth int
-	// Mode selects the detector levels each stream applies.
-	// Default: core.ModeCombined.
+	// Stack describes the detection stack every stream applies. Empty
+	// means the stack equivalent of Mode (default: the paper's two-level
+	// bloom,lstm stack under first-hit fusion).
+	Stack core.StackSpec
+	// Mode is the legacy level selector; it is consulted only when Stack
+	// is empty.
+	//
+	// Deprecated: describe the levels with Stack instead.
 	Mode core.Mode
 }
 
-// withDefaults fills unset fields.
-func (c Config) withDefaults() Config {
+// withDefaults fills unset fields. An invalid legacy Mode is an error, as
+// it was before the stack refactor.
+func (c Config) withDefaults() (Config, error) {
 	if c.Shards <= 0 {
 		c.Shards = runtime.GOMAXPROCS(0)
 	}
@@ -58,10 +72,18 @@ func (c Config) withDefaults() Config {
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = 4 * c.MaxBatch
 	}
-	if c.Mode == 0 {
-		c.Mode = core.ModeCombined
+	if len(c.Stack.Stages) == 0 {
+		mode := c.Mode
+		if mode == 0 {
+			mode = core.ModeCombined
+		}
+		spec, err := core.SpecForMode(mode)
+		if err != nil {
+			return c, err
+		}
+		c.Stack = spec
 	}
-	return c
+	return c, nil
 }
 
 // Result is one classified package.
@@ -98,8 +120,8 @@ type packet struct {
 // feed it with Submit, stop it with Stop. The framework must not be mutated
 // (SetK, Update, …) while the engine runs.
 //
-// Stream state (a Session with its recurrent LSTM state) is retained for
-// the lifetime of the engine — recurrent detection has no natural point to
+// Stream state (a Session with its per-level states) is retained for the
+// lifetime of the engine — recurrent detection has no natural point to
 // forget a stream. Key streams by a bounded-cardinality identity (device,
 // unit, link), not by connection or request; a churn of distinct stream IDs
 // grows memory without bound.
@@ -121,13 +143,22 @@ type Engine struct {
 	// silently score it with the wrong weights, so SubmitFor enforces the
 	// binding here, on the submit path, where it can return an error.
 	bindings sync.Map
+	// validated caches frameworks already proven to support the engine's
+	// stack, so SubmitFor pays the stack resolution once per framework
+	// instead of once per package.
+	validated sync.Map
 }
 
 // New builds and starts an engine over a trained framework. handler may be
-// nil when only the counters are of interest.
+// nil when only the counters are of interest. The configured stack must
+// resolve against the framework (levels beyond the built-in two need their
+// stage models trained; see core.Framework.TrainStages).
 func New(fw *core.Framework, cfg Config, handler Handler) (*Engine, error) {
-	cfg = cfg.withDefaults()
-	if _, err := fw.Stages(cfg.Mode); err != nil {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, fmt.Errorf("engine: %w", err)
+	}
+	if _, err := fw.NewStack(cfg.Stack); err != nil {
 		return nil, fmt.Errorf("engine: %w", err)
 	}
 	e := &Engine{
@@ -179,11 +210,11 @@ func (e *Engine) Submit(stream string, pkg *dataset.Package) error {
 // framework (nil counts as the default) is rejected with an error before
 // anything is enqueued — recurrent state is model-specific, so a rebound
 // stream would silently be scored with the wrong weights. fw must support
-// the engine's mode: a framework missing the mode's stages is rejected
-// here too. Within a shard, streams of distinct frameworks micro-batch
-// separately — batching never mixes weights — while per-stream verdicts
-// remain exactly those of a sequential core.Session over fw. A nil fw
-// means the engine's default framework.
+// the engine's stack: a framework missing a level's stage model is
+// rejected here too. Within a shard, streams of distinct frameworks
+// micro-batch separately — batching never mixes weights — while per-stream
+// verdicts remain exactly those of a sequential core.Session over fw. A
+// nil fw means the engine's default framework.
 func (e *Engine) SubmitFor(fw *core.Framework, stream string, pkg *dataset.Package) error {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
@@ -191,8 +222,11 @@ func (e *Engine) SubmitFor(fw *core.Framework, stream string, pkg *dataset.Packa
 		return fmt.Errorf("engine: submit after Stop")
 	}
 	if fw != nil && fw != e.fw {
-		if _, err := fw.Stages(e.cfg.Mode); err != nil {
-			return fmt.Errorf("engine: submit for framework: %w", err)
+		if _, ok := e.validated.Load(fw); !ok {
+			if _, err := fw.NewStack(e.cfg.Stack); err != nil {
+				return fmt.Errorf("engine: submit for framework: %w", err)
+			}
+			e.validated.Store(fw, struct{}{})
 		}
 	}
 	if err := e.bindStream(stream, fw); err != nil {
@@ -239,14 +273,14 @@ func (e *Engine) TrySubmit(stream string, pkg *dataset.Package) (bool, error) {
 }
 
 // Barrier blocks until every package submitted before it has been fully
-// processed — verdict delivered to the handler and recurrent state advanced
-// through its LSTM step — without stopping the engine. It is the replay
-// entry point for workloads that feed the engine in bounded phases (one
-// recorded trace after another through a single warm engine) and need a
-// completion point between phases; unlike Stop it can be called repeatedly.
-// Packages submitted concurrently with Barrier may land on either side of
-// it. Barrier blocks while shard queues are full, like Submit, and returns
-// an error during or after Stop.
+// processed — verdict delivered to the handler and stream state advanced
+// through its batched steps — without stopping the engine. It is the
+// replay entry point for workloads that feed the engine in bounded phases
+// (one recorded trace after another through a single warm engine) and need
+// a completion point between phases; unlike Stop it can be called
+// repeatedly. Packages submitted concurrently with Barrier may land on
+// either side of it. Barrier blocks while shard queues are full, like
+// Submit, and returns an error during or after Stop.
 func (e *Engine) Barrier() error {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
@@ -292,16 +326,27 @@ type shard struct {
 	// has one entry; a linear scan beats a map at that size and keeps the
 	// flush order deterministic.
 	batches []*fwBatch
-	stats   shardCounters
+	// tickBuf collects one drained tick of packets so batchable Check
+	// scores can be precomputed before the packets are classified.
+	tickBuf []packet
+	// tick stamps streams seen in the current tick (precompute only covers
+	// a stream's first packet of the tick — later packets depend on state
+	// the earlier ones will move).
+	tick  uint64
+	stats shardCounters
 }
 
-// fwBatch is the micro-batch state of one framework within a shard: LSTM
-// steps of streams bound to different frameworks must never share a
-// batched pass (the weights differ), so each framework batches alone.
+// fwBatch is the micro-batch state of one framework within a shard:
+// batched passes of streams bound to different frameworks must never share
+// a pass (the weights differ), so each framework batches alone.
 type fwBatch struct {
 	fw      *core.Framework
-	batch   *core.SeriesBatch
+	stack   *core.Stack
+	batch   *core.StackBatch
 	inBatch []*stream
+	// chkFlushes/chkScored mirror the batch's cumulative check counters
+	// already published to the shard stats.
+	chkFlushes, chkScored uint64
 }
 
 // stream is the engine's per-stream state.
@@ -310,10 +355,12 @@ type stream struct {
 	// fb is the micro-batch of the framework this stream is bound to.
 	fb  *fwBatch
 	seq uint64
-	// pending reports that the stream's LSTM step sits in the current
-	// micro-batch: a second package of the same stream forces a flush
-	// first, because its prediction depends on that step.
+	// pending reports that a batched Advance step of this stream sits in
+	// the current micro-batch: a second package of the same stream forces
+	// a flush first, because its prediction depends on that step.
 	pending bool
+	// tickStamp marks the tick that already precomputed for this stream.
+	tickStamp uint64
 }
 
 func newShard(id int, e *Engine) *shard {
@@ -322,6 +369,7 @@ func newShard(id int, e *Engine) *shard {
 		e:       e,
 		in:      make(chan packet, e.cfg.QueueDepth),
 		streams: make(map[string]*stream),
+		tickBuf: make([]packet, 0, e.cfg.QueueDepth+1),
 	}
 }
 
@@ -333,45 +381,110 @@ func (s *shard) batchFor(fw *core.Framework) *fwBatch {
 			return fb
 		}
 	}
+	stack, err := fw.NewStack(s.e.cfg.Stack)
+	if err != nil {
+		// SubmitFor validated the framework against the stack before
+		// enqueueing anything for it.
+		panic(fmt.Sprintf("engine: stack for bound framework: %v", err))
+	}
 	fb := &fwBatch{
 		fw:      fw,
-		batch:   fw.NewSeriesBatch(s.e.cfg.MaxBatch),
+		stack:   stack,
+		batch:   stack.NewBatch(s.e.cfg.MaxBatch),
 		inBatch: make([]*stream, 0, s.e.cfg.MaxBatch),
 	}
 	s.batches = append(s.batches, fb)
 	return fb
 }
 
-// run is the shard worker loop: block for one packet, then opportunistically
-// drain whatever else is queued — the micro-batch "tick" — and flush the
-// batched LSTM pass before blocking again.
+// run is the shard worker loop: block for one packet, drain whatever else
+// is queued into the tick buffer (bounded by the queue depth), precompute
+// the tick's batchable Check scores, classify every packet, and flush the
+// batched Advance passes before blocking again.
 func (s *shard) run(wg *sync.WaitGroup) {
 	defer wg.Done()
 	for pkt := range s.in {
-		s.handle(pkt)
+		tick := append(s.tickBuf[:0], pkt)
 	drain:
-		for {
+		for len(tick) < cap(tick) {
 			select {
 			case more, ok := <-s.in:
 				if !ok {
 					break drain
 				}
-				s.handle(more)
+				tick = append(tick, more)
 			default:
 				break drain
 			}
+		}
+		s.precompute(tick)
+		for _, p := range tick {
+			s.handle(p)
 		}
 		s.flush()
 	}
 	s.flush()
 }
 
+// precompute batches the Check-phase work of the tick: for the first
+// packet of every stream in the tick, each check-batchable stage (the
+// PCA/GMM window levels) scores the upcoming package through its batched
+// kernel and deposits the result in the stream state, where the
+// sequential Check phase picks it up. Later packets of the same stream
+// score inline — their stage state depends on the earlier packets'
+// Advance — and take the bitwise-identical scalar path.
+func (s *shard) precompute(tick []packet) {
+	// Nothing to do unless some framework's stack batches Check scores —
+	// the default two-level stack skips the whole pass (streams only
+	// exist under frameworks with a batch, so an absent batch means no
+	// batchable stream either).
+	needed := false
+	for _, fb := range s.batches {
+		if fb.batch.HasCheck() {
+			needed = true
+			break
+		}
+	}
+	if !needed {
+		return
+	}
+	s.tick++
+	queued := false
+	for _, pkt := range tick {
+		if pkt.barrier != nil {
+			continue
+		}
+		st := s.streams[pkt.stream]
+		if st == nil || st.tickStamp == s.tick {
+			// A stream's very first package can have no batchable window
+			// (window levels need a cycle of history), so skipping unknown
+			// streams loses nothing.
+			continue
+		}
+		st.tickStamp = s.tick
+		st.fb.batch.QueueCheck(st.sess, pkt.pkg)
+		queued = true
+	}
+	if !queued {
+		return
+	}
+	for _, fb := range s.batches {
+		fb.batch.FlushCheck()
+		// Publish the batch's cumulative counters (they also cover
+		// batches flushed mid-queue when a stage's batch filled).
+		flushes, scored := fb.batch.CheckBatchStats()
+		s.stats.checkBatches.Add(flushes - fb.chkFlushes)
+		s.stats.checkBatched.Add(scored - fb.chkScored)
+		fb.chkFlushes, fb.chkScored = flushes, scored
+	}
+}
+
 // handle classifies one package against its stream's session and defers the
-// LSTM step into the micro-batch.
+// batchable Advance steps into the micro-batch.
 func (s *shard) handle(pkt packet) {
 	if pkt.barrier != nil {
 		// Everything queued before the barrier has been handled (shard FIFO);
-		// flush so their recurrent steps are complete before acknowledging.
+		// flush so their batched steps are complete before acknowledging.
 		s.flush()
 		pkt.barrier.Done()
 		return
@@ -382,39 +495,39 @@ func (s *shard) handle(pkt packet) {
 	}
 	st := s.streams[pkt.stream]
 	if st == nil {
-		st = &stream{sess: fw.NewSessionMode(s.e.cfg.Mode), fb: s.batchFor(fw)}
+		fb := s.batchFor(fw)
+		st = &stream{sess: fb.stack.NewSession(), fb: fb}
 		s.streams[pkt.stream] = st
 		s.stats.streams.Add(1)
 	}
-	if st.pending || st.fb.batch.Full() {
+	if st.pending || st.fb.batch.AdvanceFull() {
 		s.flush()
 	}
 	v, pc := st.sess.ClassifyOnly(pkt.pkg)
-	before := st.fb.batch.Len()
-	st.fb.batch.Queue(st.sess, pc, v)
-	if st.fb.batch.Len() > before {
+	if st.fb.batch.QueueAdvance(st.sess, pc, v) {
 		st.pending = true
 		st.fb.inBatch = append(st.fb.inBatch, st)
 	}
 
 	s.stats.packages.Add(1)
-	s.stats.byLevel[v.Level].Add(1)
+	s.stats.byLevel[levelIndex(v.Level)].Add(1)
 	if s.e.handler != nil {
 		s.e.handler(Result{Stream: pkt.stream, Seq: st.seq, Package: pkt.pkg, Verdict: v})
 	}
 	st.seq++
 }
 
-// flush advances every queued stream through one batched LSTM pass per
-// framework, in the deterministic first-seen framework order.
+// flush advances every queued stream through one batched pass per stage
+// per framework, in the deterministic first-seen framework order.
 func (s *shard) flush() {
 	for _, fb := range s.batches {
-		if fb.batch.Len() == 0 {
+		n := fb.batch.AdvanceLen()
+		if n == 0 {
 			continue
 		}
-		s.stats.batched.Add(uint64(fb.batch.Len()))
+		s.stats.batched.Add(uint64(n))
 		s.stats.batches.Add(1)
-		fb.batch.Flush()
+		fb.batch.FlushAdvance()
 		for _, st := range fb.inBatch {
 			st.pending = false
 		}

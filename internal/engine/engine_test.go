@@ -125,7 +125,7 @@ func TestEngineMatchesSequentialSessions(t *testing.T) {
 					t.Fatalf("stream %s: %d verdicts, want %d", key, len(gv), len(wv))
 				}
 				for i := range wv {
-					if gv[i] != wv[i] {
+					if !gv[i].Equal(wv[i]) {
 						t.Fatalf("stream %s package %d: engine verdict %+v, sequential %+v",
 							key, i, gv[i], wv[i])
 					}
@@ -358,7 +358,7 @@ func TestEngineBarrier(t *testing.T) {
 	e.Stop()
 
 	for i := range want {
-		if got[i] != want[i] {
+		if !got[i].Equal(want[i]) {
 			t.Fatalf("package %d: verdict %+v across barriers, sequential %+v", i, got[i], want[i])
 		}
 	}

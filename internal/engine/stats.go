@@ -7,16 +7,37 @@ import (
 	"icsdetect/internal/core"
 )
 
+// levelOverflow is the counter bucket for verdict levels outside the
+// core.Level space (an embedder-registered stage reporting a custom
+// level). Keeping them off LevelNone keeps Clean — and therefore
+// Anomalies() — honest.
+const levelOverflow = int(core.NumLevels)
+
+// levelIndex maps a verdict level into the per-level counter array,
+// clamping out-of-range values onto the overflow bucket rather than
+// panicking a shard worker.
+func levelIndex(l core.Level) int {
+	if l < 0 || l >= core.NumLevels {
+		return levelOverflow
+	}
+	return int(l)
+}
+
 // shardCounters are the per-shard atomics, updated on the worker goroutine
 // and read by Stats snapshots without any coordination.
 type shardCounters struct {
 	packages atomic.Uint64
 	streams  atomic.Uint64
-	batches  atomic.Uint64
-	batched  atomic.Uint64
-	// byLevel counts verdicts per detection level, indexed by core.Level
-	// (LevelNone, LevelPackage, LevelTimeSeries).
-	byLevel [3]atomic.Uint64
+	// batches/batched count batched Advance passes and the deferred steps
+	// they executed; checkBatches/checkBatched count batched Check-score
+	// passes (the window levels' precompute) and the scores they produced.
+	batches      atomic.Uint64
+	batched      atomic.Uint64
+	checkBatches atomic.Uint64
+	checkBatched atomic.Uint64
+	// byLevel counts verdicts per detection level, indexed by core.Level,
+	// with one extra overflow slot for out-of-range custom levels.
+	byLevel [core.NumLevels + 1]atomic.Uint64
 }
 
 // ShardStats is a point-in-time snapshot of one shard's counters.
@@ -27,34 +48,51 @@ type ShardStats struct {
 	Packages uint64
 	// Streams is the number of distinct streams seen.
 	Streams uint64
-	// Clean, PackageLevel and SeriesLevel split Packages by verdict level.
+	// ByLevel splits Packages by verdict level, indexed by core.Level.
+	ByLevel [core.NumLevels]uint64
+	// OtherLevels counts verdicts whose level falls outside the core.Level
+	// space (custom registered stages).
+	OtherLevels uint64
+	// Clean, PackageLevel and SeriesLevel are the classic two-level slices
+	// of ByLevel, kept for monitoring continuity.
 	Clean, PackageLevel, SeriesLevel uint64
-	// Batches counts batched LSTM passes; Batched counts the recurrent
+	// Batches counts batched Advance passes; Batched counts the deferred
 	// steps they advanced. Batched/Batches is the mean micro-batch width.
 	Batches, Batched uint64
+	// CheckBatches counts batched Check-score passes; CheckBatched counts
+	// the scores they precomputed.
+	CheckBatches, CheckBatched uint64
 	// QueueDepth and QueueCap describe the shard's bounded input channel at
 	// snapshot time.
 	QueueDepth, QueueCap int
 }
 
-// Anomalies is the number of packages flagged by either level.
-func (s ShardStats) Anomalies() uint64 { return s.PackageLevel + s.SeriesLevel }
+// Anomalies is the number of packages flagged by any level.
+func (s ShardStats) Anomalies() uint64 { return s.Packages - s.Clean }
 
 // Stats is an engine-wide snapshot.
 type Stats struct {
-	// Packages, Streams, Clean, PackageLevel, SeriesLevel, Batches and
-	// Batched aggregate the shard counters.
-	Packages, Streams                uint64
+	// Packages, Streams, Batches, Batched, CheckBatches and CheckBatched
+	// aggregate the shard counters.
+	Packages, Streams          uint64
+	Batches, Batched           uint64
+	CheckBatches, CheckBatched uint64
+	// ByLevel splits Packages by verdict level, indexed by core.Level.
+	ByLevel [core.NumLevels]uint64
+	// OtherLevels counts verdicts whose level falls outside the core.Level
+	// space (custom registered stages).
+	OtherLevels uint64
+	// Clean, PackageLevel and SeriesLevel are the classic two-level slices
+	// of ByLevel, kept for monitoring continuity.
 	Clean, PackageLevel, SeriesLevel uint64
-	Batches, Batched                 uint64
 	// QueueDepth sums the queued-but-unprocessed packages across shards.
 	QueueDepth int
 	// Elapsed is the time since the engine started.
 	Elapsed time.Duration
 }
 
-// Anomalies is the number of packages flagged by either level.
-func (s Stats) Anomalies() uint64 { return s.PackageLevel + s.SeriesLevel }
+// Anomalies is the number of packages flagged by any level.
+func (s Stats) Anomalies() uint64 { return s.Packages - s.Clean }
 
 // PerSecond is the mean classification rate since the engine started.
 func (s Stats) PerSecond() float64 {
@@ -64,7 +102,8 @@ func (s Stats) PerSecond() float64 {
 	return float64(s.Packages) / s.Elapsed.Seconds()
 }
 
-// MeanBatch is the mean micro-batch width of the LSTM passes so far.
+// MeanBatch is the mean micro-batch width of the batched Advance passes so
+// far.
 func (s Stats) MeanBatch() float64 {
 	if s.Batches == 0 {
 		return 0
@@ -74,18 +113,25 @@ func (s Stats) MeanBatch() float64 {
 
 // snapshot reads the shard's counters.
 func (s *shard) snapshot() ShardStats {
-	return ShardStats{
+	st := ShardStats{
 		Shard:        s.id,
 		Packages:     s.stats.packages.Load(),
 		Streams:      s.stats.streams.Load(),
-		Clean:        s.stats.byLevel[core.LevelNone].Load(),
-		PackageLevel: s.stats.byLevel[core.LevelPackage].Load(),
-		SeriesLevel:  s.stats.byLevel[core.LevelTimeSeries].Load(),
 		Batches:      s.stats.batches.Load(),
 		Batched:      s.stats.batched.Load(),
+		CheckBatches: s.stats.checkBatches.Load(),
+		CheckBatched: s.stats.checkBatched.Load(),
 		QueueDepth:   len(s.in),
 		QueueCap:     cap(s.in),
 	}
+	for i := range st.ByLevel {
+		st.ByLevel[i] = s.stats.byLevel[i].Load()
+	}
+	st.OtherLevels = s.stats.byLevel[levelOverflow].Load()
+	st.Clean = st.ByLevel[core.LevelNone]
+	st.PackageLevel = st.ByLevel[core.LevelPackage]
+	st.SeriesLevel = st.ByLevel[core.LevelTimeSeries]
+	return st
 }
 
 // ShardStats snapshots every shard without stopping the world: counters are
@@ -107,13 +153,19 @@ func (e *Engine) Stats() Stats {
 		ss := s.snapshot()
 		st.Packages += ss.Packages
 		st.Streams += ss.Streams
-		st.Clean += ss.Clean
-		st.PackageLevel += ss.PackageLevel
-		st.SeriesLevel += ss.SeriesLevel
 		st.Batches += ss.Batches
 		st.Batched += ss.Batched
+		st.CheckBatches += ss.CheckBatches
+		st.CheckBatched += ss.CheckBatched
+		for i := range ss.ByLevel {
+			st.ByLevel[i] += ss.ByLevel[i]
+		}
+		st.OtherLevels += ss.OtherLevels
 		st.QueueDepth += ss.QueueDepth
 	}
+	st.Clean = st.ByLevel[core.LevelNone]
+	st.PackageLevel = st.ByLevel[core.LevelPackage]
+	st.SeriesLevel = st.ByLevel[core.LevelTimeSeries]
 	st.Elapsed = time.Since(e.started)
 	return st
 }

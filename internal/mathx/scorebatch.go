@@ -1,0 +1,137 @@
+package mathx
+
+import "fmt"
+
+// This file holds the batched anomaly-score kernels behind the promoted
+// window detection levels (PCA reconstruction error, GMM Mahalanobis
+// terms). Like MulRowsT for the LSTM, each batched kernel carries a
+// bitwise contract with its scalar sibling: every output element is
+// accumulated in exactly the scalar kernel's association (the same
+// rounded operations in the same order), so a batched engine pass scores
+// a stream identically to a sequential session — only faster, because the
+// model operands (means, variances, component rows) stream through the
+// cache once per tile of four rows instead of once per row.
+
+// ScaledSqDist returns Σ_d (x[d]−mu[d])²/va[d], accumulated sequentially
+// over d: the squared Mahalanobis distance for a diagonal covariance.
+func ScaledSqDist(x, mu, va []float64) float64 {
+	var q float64
+	for d := range x {
+		diff := x[d] - mu[d]
+		q += diff * diff / va[d]
+	}
+	return q
+}
+
+// ScaledSqDistBatch computes dst[i] = ScaledSqDist(xs[i], mu, va) for every
+// row, bitwise-identically to the scalar call per row. Rows advance in
+// tiles of four so mu and va are loaded once per four distance chains.
+func ScaledSqDistBatch(dst []float64, xs [][]float64, mu, va []float64) {
+	if len(dst) < len(xs) {
+		panic(fmt.Sprintf("mathx: scaled sqdist batch into %d results for %d rows", len(dst), len(xs)))
+	}
+	D := len(mu)
+	i := 0
+	for ; i+4 <= len(xs); i += 4 {
+		x0, x1, x2, x3 := xs[i][:D], xs[i+1][:D], xs[i+2][:D], xs[i+3][:D]
+		var q0, q1, q2, q3 float64
+		for d := 0; d < D; d++ {
+			m, v := mu[d], va[d]
+			d0 := x0[d] - m
+			d1 := x1[d] - m
+			d2 := x2[d] - m
+			d3 := x3[d] - m
+			q0 += d0 * d0 / v
+			q1 += d1 * d1 / v
+			q2 += d2 * d2 / v
+			q3 += d3 * d3 / v
+		}
+		dst[i], dst[i+1], dst[i+2], dst[i+3] = q0, q1, q2, q3
+	}
+	for ; i < len(xs); i++ {
+		dst[i] = ScaledSqDist(xs[i], mu, va)
+	}
+}
+
+// ReconResidual returns the squared residual ‖x − PᵀPx‖² of projecting x
+// onto the orthonormal rows of p: the PCA-SVD anomaly score of a centered
+// sample. proj (len ≥ p.Rows) and recon (len ≥ p.Cols) are caller scratch.
+// The association is fixed: one Dot per component row, reconstruction
+// accumulated per component in row order via Axpy, then a sequential
+// residual sum — ReconResidualBatch reproduces it exactly.
+func (p *Matrix) ReconResidual(x, proj, recon []float64) float64 {
+	if len(x) != p.Cols || len(proj) < p.Rows || len(recon) < p.Cols {
+		panic(fmt.Sprintf("mathx: recon residual shape mismatch (%dx%d by %d, scratch %d/%d)",
+			p.Rows, p.Cols, len(x), len(proj), len(recon)))
+	}
+	recon = recon[:p.Cols]
+	for j := 0; j < p.Rows; j++ {
+		proj[j] = Dot(p.Row(j), x)
+	}
+	for d := range recon {
+		recon[d] = 0
+	}
+	for j := 0; j < p.Rows; j++ {
+		Axpy(recon, proj[j], p.Row(j))
+	}
+	var err float64
+	for d := range recon {
+		diff := x[d] - recon[d]
+		err += diff * diff
+	}
+	return err
+}
+
+// ReconResidualBatch computes dst[i] = ReconResidual(xs[i], …) for every
+// centered row, bitwise-identically to the scalar call per row. Rows
+// advance in tiles of four with the component loops component-major, so
+// each component row streams through the cache once per four scores
+// instead of once per score. proj needs 4*p.Rows scratch and recon
+// 4*p.Cols.
+func (p *Matrix) ReconResidualBatch(dst []float64, xs [][]float64, proj, recon []float64) {
+	if len(dst) < len(xs) {
+		panic(fmt.Sprintf("mathx: recon residual batch into %d results for %d rows", len(dst), len(xs)))
+	}
+	if len(proj) < 4*p.Rows || len(recon) < 4*p.Cols {
+		panic(fmt.Sprintf("mathx: recon residual batch scratch %d/%d, need %d/%d",
+			len(proj), len(recon), 4*p.Rows, 4*p.Cols))
+	}
+	R, C := p.Rows, p.Cols
+	i := 0
+	for ; i+4 <= len(xs); i += 4 {
+		x := [4][]float64{xs[i][:C], xs[i+1][:C], xs[i+2][:C], xs[i+3][:C]}
+		pr := [4][]float64{proj[:R], proj[R : 2*R], proj[2*R : 3*R], proj[3*R : 4*R]}
+		rc := [4][]float64{recon[:C], recon[C : 2*C], recon[2*C : 3*C], recon[3*C : 4*C]}
+		for j := 0; j < R; j++ {
+			row := p.Row(j)
+			pr[0][j] = Dot(row, x[0])
+			pr[1][j] = Dot(row, x[1])
+			pr[2][j] = Dot(row, x[2])
+			pr[3][j] = Dot(row, x[3])
+		}
+		for r := 0; r < 4; r++ {
+			for d := range rc[r] {
+				rc[r][d] = 0
+			}
+		}
+		for j := 0; j < R; j++ {
+			row := p.Row(j)
+			Axpy(rc[0], pr[0][j], row)
+			Axpy(rc[1], pr[1][j], row)
+			Axpy(rc[2], pr[2][j], row)
+			Axpy(rc[3], pr[3][j], row)
+		}
+		for r := 0; r < 4; r++ {
+			var err float64
+			xr, rr := x[r], rc[r]
+			for d := 0; d < C; d++ {
+				diff := xr[d] - rr[d]
+				err += diff * diff
+			}
+			dst[i+r] = err
+		}
+	}
+	for ; i < len(xs); i++ {
+		dst[i] = p.ReconResidual(xs[i], proj[:R], recon[:C])
+	}
+}

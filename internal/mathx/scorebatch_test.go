@@ -1,0 +1,134 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+)
+
+// randRows builds n rows of dim pseudo-random values.
+func randRows(rng *RNG, n, dim int) [][]float64 {
+	rows := make([][]float64, n)
+	for i := range rows {
+		rows[i] = make([]float64, dim)
+		for d := range rows[i] {
+			rows[i][d] = rng.NormScaled(0, 3)
+		}
+	}
+	return rows
+}
+
+// TestScaledSqDistBatchBitwise: the batched Mahalanobis kernel must equal
+// the scalar kernel bit for bit on every row, for shapes around the tile
+// width (tail rows included) and for odd dimensions.
+func TestScaledSqDistBatchBitwise(t *testing.T) {
+	rng := NewRNG(7)
+	for _, n := range []int{0, 1, 3, 4, 5, 8, 17} {
+		for _, dim := range []int{1, 2, 7, 16, 68} {
+			xs := randRows(rng, n, dim)
+			mu := randRows(rng, 1, dim)[0]
+			va := make([]float64, dim)
+			for d := range va {
+				va[d] = 0.25 + rng.Float64()
+			}
+			got := make([]float64, n)
+			ScaledSqDistBatch(got, xs, mu, va)
+			for i := range xs {
+				want := ScaledSqDist(xs[i], mu, va)
+				if math.Float64bits(got[i]) != math.Float64bits(want) {
+					t.Fatalf("n=%d dim=%d row %d: batch %x scalar %x", n, dim, i,
+						math.Float64bits(got[i]), math.Float64bits(want))
+				}
+			}
+		}
+	}
+}
+
+// TestReconResidualBatchBitwise: the batched PCA reconstruction-error
+// kernel must equal the scalar kernel bit for bit on every row.
+func TestReconResidualBatchBitwise(t *testing.T) {
+	rng := NewRNG(11)
+	for _, n := range []int{0, 1, 3, 4, 6, 9} {
+		for _, shape := range []struct{ q, dim int }{{1, 5}, {3, 17}, {8, 68}, {5, 4}} {
+			p := NewMatrix(shape.q, shape.dim)
+			for i := range p.Data {
+				p.Data[i] = rng.NormScaled(0, 1)
+			}
+			xs := randRows(rng, n, shape.dim)
+			got := make([]float64, n)
+			proj := make([]float64, 4*shape.q)
+			recon := make([]float64, 4*shape.dim)
+			p.ReconResidualBatch(got, xs, proj, recon)
+			sproj := make([]float64, shape.q)
+			srecon := make([]float64, shape.dim)
+			for i := range xs {
+				want := p.ReconResidual(xs[i], sproj, srecon)
+				if math.Float64bits(got[i]) != math.Float64bits(want) {
+					t.Fatalf("n=%d q=%d dim=%d row %d: batch %x scalar %x", n, shape.q, shape.dim, i,
+						math.Float64bits(got[i]), math.Float64bits(want))
+				}
+			}
+		}
+	}
+}
+
+// TestReconResidualProperties: a sample inside the span of the components
+// reconstructs with ~zero residual; orthogonal residue survives.
+func TestReconResidualProperties(t *testing.T) {
+	// Orthonormal axis-aligned components e0, e1 in R^4.
+	p := NewMatrix(2, 4)
+	p.Set(0, 0, 1)
+	p.Set(1, 1, 1)
+	proj := make([]float64, 2)
+	recon := make([]float64, 4)
+	if err := p.ReconResidual([]float64{3, -2, 0, 0}, proj, recon); err != 0 {
+		t.Fatalf("in-span residual = %g, want 0", err)
+	}
+	if err := p.ReconResidual([]float64{0, 0, 2, 1}, proj, recon); math.Abs(err-5) > 1e-12 {
+		t.Fatalf("out-of-span residual = %g, want 5", err)
+	}
+}
+
+// BenchmarkScoreBatchKernels reports the batched kernels against per-row
+// scalar calls at the window-level shape (dim 68).
+func BenchmarkScoreBatchKernels(b *testing.B) {
+	rng := NewRNG(3)
+	const n, dim, q = 64, 68, 12
+	xs := randRows(rng, n, dim)
+	mu := randRows(rng, 1, dim)[0]
+	va := make([]float64, dim)
+	for d := range va {
+		va[d] = 0.5 + rng.Float64()
+	}
+	p := NewMatrix(q, dim)
+	for i := range p.Data {
+		p.Data[i] = rng.NormScaled(0, 1)
+	}
+	dst := make([]float64, n)
+	proj := make([]float64, 4*q)
+	recon := make([]float64, 4*dim)
+
+	b.Run("sqdist/scalar", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for r := range xs {
+				dst[r] = ScaledSqDist(xs[r], mu, va)
+			}
+		}
+	})
+	b.Run("sqdist/batch", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ScaledSqDistBatch(dst, xs, mu, va)
+		}
+	})
+	b.Run("recon/scalar", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for r := range xs {
+				dst[r] = p.ReconResidual(xs[r], proj[:q], recon[:dim])
+			}
+		}
+	})
+	b.Run("recon/batch", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			p.ReconResidualBatch(dst, xs, proj, recon)
+		}
+	})
+}

@@ -96,6 +96,31 @@ type lstmStepCache struct {
 
 // stepForward advances one timestep. x, hPrev and cPrev are not retained by
 // the layer; the returned cache aliases the slices it allocates.
+// stepInfer is the allocation-free inference step: gate pre-activations
+// go through the caller's z scratch and h/c update in place. Per element
+// it performs exactly stepForward's operations in the same order (gate
+// pre-activation sums, activations, then the cell/hidden update), so the
+// inference path stays bitwise-identical to the training-forward path and
+// to the batched StepBatchLogits (which also updates h/c in place).
+func (l *LSTMLayer) stepInfer(z, x, h, c []float64) {
+	H := l.HiddenSize
+	l.W.MulVec(z, x)
+	l.U.MulVecAdd(z, h)
+	for i := range z {
+		z[i] += l.B[i]
+	}
+	for j := 0; j < H; j++ {
+		z[gateI*H+j] = mathx.Sigmoid(z[gateI*H+j])
+		z[gateF*H+j] = mathx.Sigmoid(z[gateF*H+j])
+		z[gateO*H+j] = mathx.Sigmoid(z[gateO*H+j])
+		z[gateG*H+j] = math.Tanh(z[gateG*H+j])
+	}
+	for j := 0; j < H; j++ {
+		c[j] = z[gateF*H+j]*c[j] + z[gateI*H+j]*z[gateG*H+j]
+		h[j] = z[gateO*H+j] * math.Tanh(c[j])
+	}
+}
+
 func (l *LSTMLayer) stepForward(x, hPrev, cPrev []float64) *lstmStepCache {
 	H := l.HiddenSize
 	z := make([]float64, numGates*H)

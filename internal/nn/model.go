@@ -85,6 +85,9 @@ func (c *Classifier) Params() []Param {
 // monitored link.
 type State struct {
 	h, c [][]float64
+	// z is per-layer gate pre-activation scratch for the allocation-free
+	// sequential inference step (StepLogits).
+	z [][]float64
 }
 
 // NewState returns a zero state for the classifier.
@@ -92,10 +95,12 @@ func (c *Classifier) NewState() *State {
 	s := &State{
 		h: make([][]float64, len(c.Layers)),
 		c: make([][]float64, len(c.Layers)),
+		z: make([][]float64, len(c.Layers)),
 	}
 	for i, l := range c.Layers {
 		s.h[i] = make([]float64, l.HiddenSize)
 		s.c[i] = make([]float64, l.HiddenSize)
+		s.z[i] = make([]float64, numGates*l.HiddenSize)
 	}
 	return s
 }
@@ -110,10 +115,15 @@ func (s *State) Reset() {
 
 // Clone deep-copies the state.
 func (s *State) Clone() *State {
-	out := &State{h: make([][]float64, len(s.h)), c: make([][]float64, len(s.c))}
+	out := &State{
+		h: make([][]float64, len(s.h)),
+		c: make([][]float64, len(s.c)),
+		z: make([][]float64, len(s.z)),
+	}
 	for i := range s.h {
 		out.h[i] = append([]float64(nil), s.h[i]...)
 		out.c[i] = append([]float64(nil), s.c[i]...)
+		out.z[i] = make([]float64, len(s.z[i]))
 	}
 	return out
 }
@@ -134,10 +144,8 @@ func (c *Classifier) Step(state *State, x, probs []float64) {
 func (c *Classifier) StepLogits(state *State, x, scores []float64) {
 	cur := x
 	for i, l := range c.Layers {
-		cache := l.stepForward(cur, state.h[i], state.c[i])
-		state.h[i] = cache.h
-		state.c[i] = cache.c
-		cur = cache.h
+		l.stepInfer(state.z[i], cur, state.h[i], state.c[i])
+		cur = state.h[i]
 	}
 	c.Out.Forward(scores, cur)
 }

@@ -64,39 +64,54 @@ func (k FeatureKind) String() string {
 	}
 }
 
-// extract returns the raw feature vector for kind. prev may be nil at
-// fragment starts.
-func extract(kind FeatureKind, prev, cur *dataset.Package) []float64 {
+// extractDim is the widest raw feature vector (the 5-element PID block).
+const extractDim = 5
+
+// extractInto writes the raw feature vector for kind into buf (len ≥
+// extractDim) and returns the filled prefix. prev may be nil at fragment
+// starts. Taking a caller buffer keeps the per-package classification path
+// free of one allocation per feature; the discretizers read the slice and
+// never retain it.
+func extractInto(buf []float64, kind FeatureKind, prev, cur *dataset.Package) []float64 {
 	switch kind {
 	case KindInterval:
-		return []float64{dataset.Interval(prev, cur)}
+		buf[0] = dataset.Interval(prev, cur)
 	case KindCRCRate:
-		return []float64{cur.CRCRate}
+		buf[0] = cur.CRCRate
 	case KindPressure:
-		return []float64{cur.Pressure}
+		buf[0] = cur.Pressure
 	case KindSetpoint:
-		return []float64{cur.Setpoint}
+		buf[0] = cur.Setpoint
 	case KindPID:
-		return cur.PIDVector()
+		buf[0], buf[1], buf[2], buf[3], buf[4] = cur.Gain, cur.ResetRate, cur.Deadband, cur.CycleTime, cur.Rate
+		return buf[:5]
 	case KindAddress:
-		return []float64{cur.Address}
+		buf[0] = cur.Address
 	case KindFunction:
-		return []float64{cur.Function}
+		buf[0] = cur.Function
 	case KindLength:
-		return []float64{cur.Length}
+		buf[0] = cur.Length
 	case KindSystemMode:
-		return []float64{cur.SystemMode}
+		buf[0] = cur.SystemMode
 	case KindControlScheme:
-		return []float64{cur.ControlScheme}
+		buf[0] = cur.ControlScheme
 	case KindPump:
-		return []float64{cur.Pump}
+		buf[0] = cur.Pump
 	case KindSolenoid:
-		return []float64{cur.Solenoid}
+		buf[0] = cur.Solenoid
 	case KindCmdResponse:
-		return []float64{cur.CmdResponse}
+		buf[0] = cur.CmdResponse
 	default:
 		panic(fmt.Sprintf("signature: unknown feature kind %d", int(kind)))
 	}
+	return buf[:1]
+}
+
+// extract returns the raw feature vector for kind as a fresh slice (the
+// fitting paths keep the extracted columns).
+func extract(kind FeatureKind, prev, cur *dataset.Package) []float64 {
+	buf := make([]float64, extractDim)
+	return extractInto(buf, kind, prev, cur)
 }
 
 // Feature pairs a raw feature with its fitted discretizer.
@@ -223,11 +238,14 @@ func (e *Encoder) Buckets() []int {
 }
 
 // Encode produces the discretized vector c(t) for cur given the previous
-// package in its fragment (nil at fragment start).
+// package in its fragment (nil at fragment start). The raw feature values
+// pass through a stack buffer — the per-package hot path allocates only
+// the returned vector.
 func (e *Encoder) Encode(prev, cur *dataset.Package) []int {
 	c := make([]int, len(e.Features))
+	var buf [extractDim]float64
 	for i, f := range e.Features {
-		c[i] = f.Disc.Discretize(extract(f.Kind, prev, cur))
+		c[i] = f.Disc.Discretize(extractInto(buf[:], f.Kind, prev, cur))
 	}
 	return c
 }

@@ -1,7 +1,6 @@
 package trace
 
 import (
-	"bytes"
 	"fmt"
 	"time"
 
@@ -19,9 +18,13 @@ import (
 const episodeGap = 8
 
 // ReplayConfig tunes a replay run. The zero value replays as fast as
-// possible through a sequential session in combined mode.
+// possible through a sequential session over the default two-level stack.
 type ReplayConfig struct {
-	// Mode selects the detector levels (default core.ModeCombined).
+	// Stack describes the detection stack to replay through (levels +
+	// fusion policy). Empty means the stack equivalent of Mode.
+	Stack core.StackSpec
+	// Mode selects the legacy detector levels (default core.ModeCombined);
+	// it is consulted only when Stack is empty.
 	Mode core.Mode
 	// Timed replays on the trace's own timeline (latency mode): package i
 	// is delivered Time(i)/Speed after the replay started. False replays as
@@ -101,21 +104,55 @@ func findEpisodes(pkgs []*dataset.Package) ([]*episode, []int) {
 	return eps, idx
 }
 
-// Replay drives a recorded trace through a trained framework and scores the
-// verdicts. The verdict stream is a pure function of the trace bytes and
-// the framework — identical across runs, replay paths (session or engine)
-// and kernel builds — which is what the golden-verdict conformance corpus
-// asserts.
-func Replay(fw *core.Framework, h Header, recs []*Record, cfg ReplayConfig) (*Result, error) {
-	if cfg.Engine != nil && cfg.Engine.Mode != 0 {
-		if cfg.Mode != 0 && cfg.Mode != cfg.Engine.Mode {
-			return nil, fmt.Errorf("trace: replay mode %d conflicts with engine mode %d",
-				cfg.Mode, cfg.Engine.Mode)
+// replaySpec resolves the detection stack of a replay: an explicit Stack
+// wins (and must not conflict with legacy mode fields); otherwise the
+// legacy Mode / Engine.Mode merge decides, exactly as before the stack
+// refactor.
+func replaySpec(cfg *ReplayConfig) (core.StackSpec, error) {
+	if len(cfg.Stack.Stages) > 0 {
+		if cfg.Mode != 0 {
+			return core.StackSpec{}, fmt.Errorf("trace: replay stack %s conflicts with legacy mode %d",
+				cfg.Stack, cfg.Mode)
 		}
-		cfg.Mode = cfg.Engine.Mode
+		if cfg.Engine != nil && cfg.Engine.Mode != 0 {
+			return core.StackSpec{}, fmt.Errorf("trace: replay stack %s conflicts with engine mode %d",
+				cfg.Stack, cfg.Engine.Mode)
+		}
+		if cfg.Engine != nil && len(cfg.Engine.Stack.Stages) > 0 {
+			return core.StackSpec{}, fmt.Errorf("trace: set the replay stack on ReplayConfig, not EngineConfig")
+		}
+		return cfg.Stack, cfg.Stack.Validate()
 	}
-	if cfg.Mode == 0 {
-		cfg.Mode = core.ModeCombined
+	mode := cfg.Mode
+	if cfg.Engine != nil && cfg.Engine.Mode != 0 {
+		if mode != 0 && mode != cfg.Engine.Mode {
+			return core.StackSpec{}, fmt.Errorf("trace: replay mode %d conflicts with engine mode %d",
+				mode, cfg.Engine.Mode)
+		}
+		mode = cfg.Engine.Mode
+	}
+	if cfg.Engine != nil && len(cfg.Engine.Stack.Stages) > 0 {
+		if mode != 0 {
+			return core.StackSpec{}, fmt.Errorf("trace: engine stack %s conflicts with legacy mode %d",
+				cfg.Engine.Stack, mode)
+		}
+		return cfg.Engine.Stack, cfg.Engine.Stack.Validate()
+	}
+	if mode == 0 {
+		mode = core.ModeCombined
+	}
+	return core.SpecForMode(mode)
+}
+
+// Replay drives a recorded trace through a trained framework and scores the
+// verdicts. The verdict stream is a pure function of the trace bytes, the
+// framework and the stack — identical across runs, replay paths (session
+// or engine) and kernel builds — which is what the golden-verdict
+// conformance corpus asserts.
+func Replay(fw *core.Framework, h Header, recs []*Record, cfg ReplayConfig) (*Result, error) {
+	spec, err := replaySpec(&cfg)
+	if err != nil {
+		return nil, err
 	}
 	if cfg.Speed <= 0 {
 		cfg.Speed = 1
@@ -159,14 +196,18 @@ func Replay(fw *core.Framework, h Header, recs []*Record, cfg ReplayConfig) (*Re
 	}
 
 	if cfg.Engine == nil {
-		sess := fw.NewSessionMode(cfg.Mode)
+		sess, err := fw.NewStackSession(spec)
+		if err != nil {
+			return nil, err
+		}
 		for i, p := range pkgs {
 			pace(i)
 			observe(i, sess.Classify(p))
 		}
 	} else {
 		ecfg := *cfg.Engine
-		ecfg.Mode = cfg.Mode
+		ecfg.Stack = spec
+		ecfg.Mode = 0
 		stream := cfg.Stream
 		if stream == "" {
 			stream = h.Scenario
@@ -213,38 +254,4 @@ func Replay(fw *core.Framework, h Header, recs []*Record, cfg ReplayConfig) (*Re
 		res.Latency.AddEpisode(ep.label, true, pkgs[ep.detectedAt].Time-pkgs[ep.start].Time)
 	}
 	return res, nil
-}
-
-// FormatVerdicts renders a verdict stream as the canonical golden-verdict
-// text: one line per package — index, anomaly bit, level, rank, signature —
-// after a fixed two-line preamble. Golden files compare bytewise, so any
-// verdict drift shows as a concrete first-differing line.
-func FormatVerdicts(scenario, fingerprint string, vs []core.Verdict) []byte {
-	var b bytes.Buffer
-	fmt.Fprintf(&b, "# icsdetect golden verdicts v1\n")
-	fmt.Fprintf(&b, "# scenario=%s fingerprint=%s packages=%d\n", scenario, fingerprint, len(vs))
-	for i, v := range vs {
-		anomaly := 0
-		if v.Anomaly {
-			anomaly = 1
-		}
-		fmt.Fprintf(&b, "%d %d %d %d %s\n", i, anomaly, int(v.Level), v.Rank, v.Signature)
-	}
-	return b.Bytes()
-}
-
-// DiffVerdicts compares two golden-verdict documents and reports the first
-// differing line (1-based), or 0 when they are identical.
-func DiffVerdicts(a, b []byte) int {
-	if bytes.Equal(a, b) {
-		return 0
-	}
-	la := bytes.Split(a, []byte{'\n'})
-	lb := bytes.Split(b, []byte{'\n'})
-	for i := 0; i < len(la) && i < len(lb); i++ {
-		if !bytes.Equal(la[i], lb[i]) {
-			return i + 1
-		}
-	}
-	return min(len(la), len(lb)) + 1
 }

@@ -1,0 +1,194 @@
+package trace
+
+import (
+	"bytes"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"icsdetect/internal/core"
+)
+
+// Golden-verdict documents come in two versions:
+//
+//   - v1 is the original format: one line per package — index, anomaly
+//     bit, level, rank, signature — after a fixed two-line preamble. Every
+//     verdict of the canonical first-hit stacks is fully described by
+//     those fields, so v1 remains the format of the committed golden
+//     corpora (which the default bloom,lstm stack must regenerate
+//     byte-identically).
+//   - v2 appends a sixth per-level evidence column for verdicts of
+//     non-canonical stacks (extra levels, or majority/weighted fusion):
+//     `-` when a verdict carries no evidence, otherwise `;`-separated
+//     entries `stage:level:scored:flagged:score:rank` with the score in
+//     Go's shortest round-trippable float syntax.
+//
+// FormatVerdicts picks v1 exactly when no verdict carries evidence, so
+// documents of the original framework never change bytes; ParseVerdicts
+// reads both versions.
+
+// FormatVerdicts renders a verdict stream as canonical golden-verdict
+// text. Golden files compare bytewise, so any verdict drift shows as a
+// concrete first-differing line.
+func FormatVerdicts(scenario, fingerprint string, vs []core.Verdict) []byte {
+	version := 1
+	for i := range vs {
+		if vs[i].Evidence != nil {
+			version = 2
+			break
+		}
+	}
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "# icsdetect golden verdicts v%d\n", version)
+	fmt.Fprintf(&b, "# scenario=%s fingerprint=%s packages=%d\n", scenario, fingerprint, len(vs))
+	for i, v := range vs {
+		anomaly := 0
+		if v.Anomaly {
+			anomaly = 1
+		}
+		if version == 1 {
+			fmt.Fprintf(&b, "%d %d %d %d %s\n", i, anomaly, int(v.Level), v.Rank, v.Signature)
+			continue
+		}
+		fmt.Fprintf(&b, "%d %d %d %d %s %s\n", i, anomaly, int(v.Level), v.Rank, v.Signature,
+			formatEvidence(v.Evidence))
+	}
+	return b.Bytes()
+}
+
+func formatEvidence(ev []core.LevelEvidence) string {
+	if len(ev) == 0 {
+		return "-"
+	}
+	var b strings.Builder
+	for i, e := range ev {
+		if i > 0 {
+			b.WriteByte(';')
+		}
+		scored, flagged := 0, 0
+		if e.Scored {
+			scored = 1
+		}
+		if e.Flagged {
+			flagged = 1
+		}
+		fmt.Fprintf(&b, "%s:%d:%d:%d:%s:%d", e.Stage, int(e.Level), scored, flagged,
+			strconv.FormatFloat(e.Score, 'g', -1, 64), e.Rank)
+	}
+	return b.String()
+}
+
+// ParseVerdicts reads a golden-verdict document of either version back
+// into the scenario, fingerprint and verdict stream it was formatted
+// from. Evidence columns of v2 documents are restored; v1 documents
+// yield verdicts without evidence.
+func ParseVerdicts(doc []byte) (scenario, fingerprint string, vs []core.Verdict, err error) {
+	lines := strings.Split(string(doc), "\n")
+	if len(lines) < 2 {
+		return "", "", nil, fmt.Errorf("trace: verdict document too short")
+	}
+	var version int
+	if _, err := fmt.Sscanf(lines[0], "# icsdetect golden verdicts v%d", &version); err != nil {
+		return "", "", nil, fmt.Errorf("trace: bad verdict preamble %q", lines[0])
+	}
+	if version != 1 && version != 2 {
+		return "", "", nil, fmt.Errorf("trace: unsupported verdict format v%d", version)
+	}
+	var packages int
+	if _, err := fmt.Sscanf(lines[1], "# scenario=%s fingerprint=%s packages=%d",
+		&scenario, &fingerprint, &packages); err != nil {
+		return "", "", nil, fmt.Errorf("trace: bad verdict header %q", lines[1])
+	}
+	vs = make([]core.Verdict, 0, packages)
+	for ln, line := range lines[2:] {
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		want := 5
+		if version == 2 {
+			want = 6
+		}
+		if len(fields) != want {
+			return "", "", nil, fmt.Errorf("trace: verdict line %d has %d fields, want %d", ln+3, len(fields), want)
+		}
+		idx, err := strconv.Atoi(fields[0])
+		if err != nil || idx != len(vs) {
+			return "", "", nil, fmt.Errorf("trace: verdict line %d: bad index %q", ln+3, fields[0])
+		}
+		anomaly, err := strconv.Atoi(fields[1])
+		if err != nil || (anomaly != 0 && anomaly != 1) {
+			return "", "", nil, fmt.Errorf("trace: verdict line %d: bad anomaly bit %q", ln+3, fields[1])
+		}
+		level, err := strconv.Atoi(fields[2])
+		if err != nil {
+			return "", "", nil, fmt.Errorf("trace: verdict line %d: bad level %q", ln+3, fields[2])
+		}
+		rank, err := strconv.Atoi(fields[3])
+		if err != nil {
+			return "", "", nil, fmt.Errorf("trace: verdict line %d: bad rank %q", ln+3, fields[3])
+		}
+		v := core.Verdict{
+			Anomaly:   anomaly == 1,
+			Level:     core.Level(level),
+			Rank:      rank,
+			Signature: fields[4],
+		}
+		if version == 2 && fields[5] != "-" {
+			if v.Evidence, err = parseEvidence(fields[5]); err != nil {
+				return "", "", nil, fmt.Errorf("trace: verdict line %d: %w", ln+3, err)
+			}
+		}
+		vs = append(vs, v)
+	}
+	if len(vs) != packages {
+		return "", "", nil, fmt.Errorf("trace: verdict document has %d lines, header says %d", len(vs), packages)
+	}
+	return scenario, fingerprint, vs, nil
+}
+
+func parseEvidence(s string) ([]core.LevelEvidence, error) {
+	entries := strings.Split(s, ";")
+	ev := make([]core.LevelEvidence, 0, len(entries))
+	for _, entry := range entries {
+		parts := strings.Split(entry, ":")
+		if len(parts) != 6 {
+			return nil, fmt.Errorf("bad evidence entry %q", entry)
+		}
+		level, err1 := strconv.Atoi(parts[1])
+		scored, err2 := strconv.Atoi(parts[2])
+		flagged, err3 := strconv.Atoi(parts[3])
+		score, err4 := strconv.ParseFloat(parts[4], 64)
+		rank, err5 := strconv.Atoi(parts[5])
+		for _, err := range []error{err1, err2, err3, err4, err5} {
+			if err != nil {
+				return nil, fmt.Errorf("bad evidence entry %q: %w", entry, err)
+			}
+		}
+		ev = append(ev, core.LevelEvidence{
+			Stage:   parts[0],
+			Level:   core.Level(level),
+			Scored:  scored == 1,
+			Flagged: flagged == 1,
+			Score:   score,
+			Rank:    rank,
+		})
+	}
+	return ev, nil
+}
+
+// DiffVerdicts compares two golden-verdict documents and reports the first
+// differing line (1-based), or 0 when they are identical.
+func DiffVerdicts(a, b []byte) int {
+	if bytes.Equal(a, b) {
+		return 0
+	}
+	la := bytes.Split(a, []byte{'\n'})
+	lb := bytes.Split(b, []byte{'\n'})
+	for i := 0; i < len(la) && i < len(lb); i++ {
+		if !bytes.Equal(la[i], lb[i]) {
+			return i + 1
+		}
+	}
+	return min(len(la), len(lb)) + 1
+}

@@ -1,0 +1,300 @@
+// Stack conformance beyond the committed goldens: the golden corpora pin
+// the default two-level stack, so this suite locks the sequential≡engine
+// bitwise invariant for composed stacks — freshly trained promoted levels
+// (PCA, GMM) under non-first-hit fusion, on both kernel paths. CI runs it
+// as part of `make conformance`.
+package icsdetect_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"icsdetect"
+	"icsdetect/internal/mathx"
+)
+
+// stackFixture is the shared trained framework of the stack conformance
+// and allocation-gate tests: a small gas-pipeline model plus the stage
+// models of the promoted levels used in the composed stacks.
+type stackFixture struct {
+	det   *icsdetect.Detector
+	split *icsdetect.DataSplit
+	err   error
+}
+
+var (
+	stackFixtureOnce sync.Once
+	sharedStack      stackFixture
+)
+
+func loadStackFixture(t testing.TB) *stackFixture {
+	t.Helper()
+	stackFixtureOnce.Do(func() {
+		sharedStack.err = func() error {
+			ds, err := icsdetect.GenerateDataset(icsdetect.DatasetOptions{Packages: 6000, Seed: 33})
+			if err != nil {
+				return err
+			}
+			split, err := icsdetect.Split(ds)
+			if err != nil {
+				return err
+			}
+			opts := icsdetect.DefaultTrainOptions()
+			opts.Granularity = icsdetect.Granularity{
+				IntervalClusters: 2, CRCClusters: 2,
+				PressureBins: 5, SetpointBins: 3, PIDClusters: 2,
+			}
+			opts.Hidden = []int{16, 16}
+			opts.Fit.Epochs = 4
+			opts.Fit.BatchSize = 4
+			det, _, err := icsdetect.Train(split, opts)
+			if err != nil {
+				return err
+			}
+			// Stage models for every level the composed stacks below use,
+			// trained from the same dataset path as the framework itself.
+			spec, err := icsdetect.ParseStack("bloom,pca,gmm,lstm", "majority")
+			if err != nil {
+				return err
+			}
+			if err := det.TrainStages(spec, split, 33); err != nil {
+				return err
+			}
+			sharedStack.det, sharedStack.split = det, split
+			return nil
+		}()
+	})
+	if sharedStack.err != nil {
+		t.Fatalf("stack fixture: %v", sharedStack.err)
+	}
+	return &sharedStack
+}
+
+// sequentialStackVerdicts classifies the stream through a sequential
+// session over spec.
+func sequentialStackVerdicts(t testing.TB, fx *stackFixture, spec icsdetect.StackSpec,
+	pkgs []*icsdetect.Package) []icsdetect.Verdict {
+	t.Helper()
+	sess, err := fx.det.NewStackSession(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]icsdetect.Verdict, len(pkgs))
+	for i, p := range pkgs {
+		out[i] = sess.Classify(p)
+	}
+	return out
+}
+
+// TestStackConformance: a freshly trained bloom,pca,lstm stack under
+// majority-vote fusion must produce bitwise-identical verdicts (evidence
+// included) through the sequential session and the batched engine, on the
+// SIMD and the scalar kernel paths — many interleaved streams sharing
+// shards, so the window levels' batched Check precompute genuinely runs.
+func TestStackConformance(t *testing.T) {
+	fx := loadStackFixture(t)
+	spec, err := icsdetect.ParseStack("bloom,pca,lstm", "majority")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs := fx.split.Test
+	if len(pkgs) > 900 {
+		pkgs = pkgs[:900]
+	}
+
+	for _, kernel := range []struct {
+		name string
+		simd bool
+	}{{"simd", true}, {"scalar", false}} {
+		t.Run(kernel.name, func(t *testing.T) {
+			prev := mathx.SetSIMDEnabled(kernel.simd)
+			defer mathx.SetSIMDEnabled(prev)
+
+			want := sequentialStackVerdicts(t, fx, spec, pkgs)
+
+			// Six identical streams interleaved on three shards: shards
+			// constantly hold multiple streams mid-window, so Check
+			// precompute batches width > 1 and Advance passes batch the
+			// LSTM steps of distinct streams.
+			const streams = 6
+			var mu sync.Mutex
+			got := make(map[string][]icsdetect.Verdict, streams)
+			eng, err := icsdetect.NewEngine(fx.det, icsdetect.EngineConfig{
+				Shards: 3, MaxBatch: 8, QueueDepth: 32, Stack: spec,
+			}, func(r icsdetect.EngineResult) {
+				mu.Lock()
+				got[r.Stream] = append(got[r.Stream], r.Verdict)
+				mu.Unlock()
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, p := range pkgs {
+				for s := 0; s < streams; s++ {
+					if err := eng.Submit(fmt.Sprintf("dev-%d", s), p); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			if err := eng.Barrier(); err != nil {
+				t.Fatal(err)
+			}
+			stats := eng.Stats()
+			eng.Stop()
+
+			for s := 0; s < streams; s++ {
+				stream := fmt.Sprintf("dev-%d", s)
+				gv := got[stream]
+				if len(gv) != len(want) {
+					t.Fatalf("%s: %d verdicts for %d packages", stream, len(gv), len(want))
+				}
+				for i := range want {
+					if !gv[i].Equal(want[i]) {
+						t.Fatalf("%s package %d: engine %+v, sequential %+v", stream, i, gv[i], want[i])
+					}
+				}
+			}
+			if stats.Batches == 0 {
+				t.Error("engine never ran a batched Advance pass")
+			}
+			if stats.CheckBatches == 0 {
+				t.Error("engine never ran a batched Check precompute pass")
+			}
+			if stats.ByLevel[icsdetect.LevelPCA] == 0 {
+				t.Log("note: PCA level never decided a verdict on this stream")
+			}
+		})
+	}
+}
+
+// TestStackConformanceDynamicK: the adaptive-k controller folded onto the
+// stage stack (kind "lstm-dynamic") must work identically under the
+// batched engine and a sequential session — per-stream k adaptation
+// included — and must keep matching the legacy DynamicSession shim.
+func TestStackConformanceDynamicK(t *testing.T) {
+	fx := loadStackFixture(t)
+	spec, err := icsdetect.ParseStack("bloom,lstm-dynamic", "first-hit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs := fx.split.Test
+
+	want := sequentialStackVerdicts(t, fx, spec, pkgs)
+
+	var mu sync.Mutex
+	var got []icsdetect.Verdict
+	eng, err := icsdetect.NewEngine(fx.det, icsdetect.EngineConfig{
+		Shards: 2, MaxBatch: 8, Stack: spec,
+	}, func(r icsdetect.EngineResult) {
+		mu.Lock()
+		got = append(got, r.Verdict)
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pkgs {
+		if err := eng.Submit("plc", p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := eng.Barrier(); err != nil {
+		t.Fatal(err)
+	}
+	stats := eng.Stats()
+	eng.Stop()
+	if len(got) != len(want) {
+		t.Fatalf("%d verdicts for %d packages", len(got), len(want))
+	}
+	for i := range want {
+		if !got[i].Equal(want[i]) {
+			t.Fatalf("package %d: engine %+v, sequential %+v", i, got[i], want[i])
+		}
+	}
+	if stats.Batches == 0 {
+		t.Error("dynamic-k stream never joined a batched LSTM pass")
+	}
+
+	// The legacy shim (same default controller config) agrees with the
+	// stack verdicts package for package.
+	shim, err := fx.det.NewDynamicSession(icsdetect.DefaultDynamicKConfig(fx.det.Series.K))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range pkgs {
+		v := shim.Classify(p)
+		// The shim records evidence too (its stack contains a promoted
+		// kind), so full verdict equality is the right comparison.
+		if !v.Equal(want[i]) {
+			t.Fatalf("package %d: shim %+v, stack session %+v", i, v, want[i])
+		}
+	}
+	if k := shim.K(); k < 1 {
+		t.Fatalf("shim adaptive k = %d", k)
+	}
+}
+
+// TestStackConformanceFusionPolicies: the three fusion policies over the
+// same 4-level stack must agree between sequential and engine execution,
+// and first-hit must remain a superset-of-none relationship with the
+// voting policies' evidence (every verdict carries one evidence entry per
+// consulted level).
+func TestStackConformanceFusionPolicies(t *testing.T) {
+	fx := loadStackFixture(t)
+	pkgs := fx.split.Test
+	if len(pkgs) > 600 {
+		pkgs = pkgs[:600]
+	}
+	for _, fusion := range []string{"first-hit", "majority", "weighted"} {
+		t.Run(fusion, func(t *testing.T) {
+			spec, err := icsdetect.ParseStack("bloom,pca:2,gmm,lstm:3", fusion)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := sequentialStackVerdicts(t, fx, spec, pkgs)
+
+			var mu sync.Mutex
+			var got []icsdetect.Verdict
+			eng, err := icsdetect.NewEngine(fx.det, icsdetect.EngineConfig{
+				Shards: 2, MaxBatch: 4, Stack: spec,
+			}, func(r icsdetect.EngineResult) {
+				mu.Lock()
+				got = append(got, r.Verdict)
+				mu.Unlock()
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, p := range pkgs {
+				if err := eng.Submit("dev", p); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := eng.Barrier(); err != nil {
+				t.Fatal(err)
+			}
+			eng.Stop()
+
+			if len(got) != len(want) {
+				t.Fatalf("%d verdicts for %d packages", len(got), len(want))
+			}
+			anomalies := 0
+			for i := range want {
+				if !got[i].Equal(want[i]) {
+					t.Fatalf("package %d: engine %+v, sequential %+v", i, got[i], want[i])
+				}
+				if want[i].Anomaly {
+					anomalies++
+				}
+				if fusion != "first-hit" && len(want[i].Evidence) != 4 {
+					t.Fatalf("package %d: %d evidence entries under %s fusion, want 4",
+						i, len(want[i].Evidence), fusion)
+				}
+			}
+			if anomalies == 0 {
+				t.Errorf("%s fusion flagged nothing on attack-laden traffic", fusion)
+			}
+		})
+	}
+}
