@@ -39,12 +39,12 @@ race-quick:
 	$(GO) test -race -run 'TestTraceConformance' .
 
 # The scenario-matrix golden conformance suite alone: both testbeds x
-# {sequential, engine} x {SIMD, scalar} against the committed corpora,
-# plus the mixed-scenario engine and cross-scenario parity gates — and the
-# stack conformance suite, which locks sequential==engine bitwise
-# equivalence for composed level stacks (freshly trained bloom,pca,lstm
-# under majority-vote, dynamic-k, all fusion policies) beyond what the
-# two-level goldens cover.
+# {sequential, engine} x {avx512, avx2, scalar} kernel tiers against the
+# committed corpora, plus the mixed-scenario engine and cross-scenario
+# parity gates — and the stack conformance suite, which locks
+# sequential==engine bitwise equivalence for composed level stacks (freshly
+# trained bloom,pca,lstm under majority-vote, dynamic-k, all fusion
+# policies) beyond what the two-level goldens cover.
 conformance:
 	$(GO) test -v -run 'TestTraceConformance|TestStackConformance' .
 
@@ -66,10 +66,12 @@ fuzz-smoke:
 
 # A quick engine-throughput smoke: proves the batched multi-stream path
 # still works and reports pkg/s without the full benchmark suite, plus a
-# small stack benchmark exercising the per-stage-kind engine dispatch.
+# small stack benchmark exercising the per-stage-kind engine dispatch and
+# the per-kernel microbenchmarks (dense vs one-hot × kernel tiers).
 bench-smoke:
 	$(GO) test -run=NONE -bench='BenchmarkEngineThroughput/engine/shards=8/streams=256' -benchtime=50x .
 	$(GO) run ./cmd/icsbench -stackbench -packages 4000
+	$(GO) run ./cmd/icsbench -kernelbench
 
 # Training-throughput smoke: batched vs reference gradient engine at the
 # paper's 2x256 model scale (proves the bitwise equivalence untimed, then

@@ -1,10 +1,8 @@
 // Hot-path allocation regression gates: steady-state classification must
-// stay allocation-lean, on the sequential ClassifyOnly/Advance path and
-// through the engine, for the default two-level stack and a composed
-// 4-level stack. The bounds are regression gates (measured ceiling plus
-// slack), not zero: the package encoder allocates the discretized vector
-// and signature string per package, and evidence-recording stacks allocate
-// the per-verdict evidence slice.
+// stay allocation-free on the sequential ClassifyOnly/Advance path for the
+// default stack, and allocation-lean through the engine and for
+// evidence-recording stacks (those allocate the per-verdict evidence slice
+// the caller keeps). The bounds are measured ceilings plus one of slack.
 package icsdetect_test
 
 import (
@@ -96,16 +94,19 @@ func TestHotPathAllocations(t *testing.T) {
 		spec    icsdetect.StackSpec
 		ceiling float64
 	}{
-		// Sequential default stack: encoder vector + signature string
-		// (measured 7.0 after the extractInto/stepInfer work).
-		{"sequential/default", false, defaultSpec, 8},
-		// The 4-level stack adds the evidence slice; window scoring runs
-		// on preallocated state scratch (measured 11.0).
-		{"sequential/4level", false, fourSpec, 12},
-		// Engine paths add the submit/handle machinery per package
-		// (measured 8.8 and 12.0).
-		{"engine/default", true, defaultSpec, 10},
-		{"engine/4level", true, fourSpec, 14},
+		// Sequential default stack is allocation-free in steady state: the
+		// session reuses its encoding buffers, known signatures intern to
+		// the database's canonical strings, bloom hashes inline, and the
+		// structs handed to the stage interfaces live on the session
+		// (measured 0.0).
+		{"sequential/default", false, defaultSpec, 1},
+		// The 4-level stack allocates the per-verdict evidence slice — the
+		// caller retains it, so it cannot be pooled (measured 1.0).
+		{"sequential/4level", false, fourSpec, 2},
+		// Engine paths add a fraction of amortized submit/batch machinery
+		// (measured 0.3 and 1.3).
+		{"engine/default", true, defaultSpec, 2},
+		{"engine/4level", true, fourSpec, 3},
 	}
 	for _, c := range cases {
 		c := c

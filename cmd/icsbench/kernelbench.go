@@ -1,0 +1,149 @@
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"icsdetect/internal/mathx"
+	"icsdetect/internal/nn"
+)
+
+// runKernelBench microbenchmarks the inference kernels at the paper's model
+// shape (one-hot width 138 → 32 → 32 → 49 classes): the dense and one-hot
+// step paths, sequential and batched, plus the fused activation kernels —
+// each under every kernel tier override (scalar reference, AVX2, AVX-512).
+// On machines without a tier the override is a no-op and that column
+// repeats the tier below, so columns are comparable only where the
+// hardware differs.
+func runKernelBench() error {
+	const (
+		inputDim = 138
+		classes  = 49
+		batch    = 8
+	)
+	c, err := nn.NewClassifier(inputDim, []int{32, 32}, classes, 7)
+	if err != nil {
+		return err
+	}
+
+	// One fixed stream of one-hot index sets shaped like the detector's
+	// encoder output: one active bucket per feature, ~14 actives per
+	// package over the one-hot width.
+	rng := mathx.NewRNG(11)
+	idxs := make([][]int, 256)
+	xs := make([][]float64, len(idxs))
+	for i := range idxs {
+		var idx []int
+		for j := 0; j < inputDim; j++ {
+			if rng.Bernoulli(0.1) {
+				idx = append(idx, j)
+			}
+		}
+		if len(idx) == 0 {
+			idx = append(idx, rng.Intn(inputDim))
+		}
+		idxs[i] = idx
+		x := make([]float64, inputDim)
+		for _, j := range idx {
+			x[j] = 1
+		}
+		xs[i] = x
+	}
+
+	state := c.NewState()
+	states := make([]*nn.State, batch)
+	for i := range states {
+		states[i] = c.NewState()
+	}
+	buf := c.NewBatchBuffer(batch)
+	scores := make([]float64, classes)
+	batchScores := make([][]float64, batch)
+	batchIdxs := make([][]int, batch)
+	batchXs := make([][]float64, batch)
+	for i := 0; i < batch; i++ {
+		batchScores[i] = make([]float64, classes)
+	}
+	act := make([]float64, 96)
+	for i := range act {
+		act[i] = rng.Norm()
+	}
+	actDst := make([]float64, len(act))
+
+	// Each row is one kernel; the reported figure is ns per package (the
+	// batch rows divide by the batch width) except the act/* rows, which
+	// are ns per kernel call on a 96-wide gate block.
+	rows := []struct {
+		name string
+		per  int // packages (or calls) per op
+		op   func(i int)
+	}{
+		{"step/dense", 1, func(i int) {
+			c.StepLogits(state, xs[i%len(xs)], scores)
+		}},
+		{"step/onehot", 1, func(i int) {
+			c.StepLogitsOneHot(state, idxs[i%len(idxs)], scores)
+		}},
+		{fmt.Sprintf("batch%d/dense", batch), batch, func(i int) {
+			for s := 0; s < batch; s++ {
+				batchXs[s] = xs[(i*batch+s)%len(xs)]
+			}
+			c.StepBatchLogits(buf, states, batchXs, batchScores)
+		}},
+		{fmt.Sprintf("batch%d/onehot", batch), batch, func(i int) {
+			for s := 0; s < batch; s++ {
+				batchIdxs[s] = idxs[(i*batch+s)%len(idxs)]
+			}
+			c.StepBatchLogitsOneHot(buf, states, batchIdxs, batchScores)
+		}},
+		{"act/vsigmoid-96", 1, func(i int) { mathx.VSigmoid(actDst, act) }},
+		{"act/vtanh-96", 1, func(i int) { mathx.VTanh(actDst, act) }},
+		{"act/vexp-96", 1, func(i int) { mathx.VExp(actDst, act) }},
+	}
+	tiers := []struct {
+		name         string
+		simd, avx512 bool
+	}{
+		{"scalar", false, false},
+		{"avx2", true, false},
+		{"avx512", true, true},
+	}
+
+	fmt.Printf("%-16s", "kernel")
+	for _, tier := range tiers {
+		fmt.Printf(" %12s", tier.name)
+	}
+	fmt.Println("   (ns/package; act rows ns/call)")
+	for _, row := range rows {
+		fmt.Printf("%-16s", row.name)
+		for _, tier := range tiers {
+			prevSIMD := mathx.SetSIMDEnabled(tier.simd)
+			prevAVX512 := mathx.SetAVX512Enabled(tier.avx512)
+			ns := timeOp(row.op) / float64(row.per)
+			mathx.SetAVX512Enabled(prevAVX512)
+			mathx.SetSIMDEnabled(prevSIMD)
+			fmt.Printf(" %12.0f", ns)
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+// timeOp times op, growing the iteration count until the measured run is
+// long enough to trust, and returns ns per op.
+func timeOp(op func(i int)) float64 {
+	for i := 0; i < 200; i++ {
+		op(i)
+	}
+	n := 500
+	for {
+		start := time.Now()
+		for i := 0; i < n; i++ {
+			op(i)
+		}
+		elapsed := time.Since(start)
+		if elapsed >= 60*time.Millisecond {
+			return float64(elapsed.Nanoseconds()) / float64(n)
+		}
+		n *= 4
+	}
+}

@@ -8,6 +8,7 @@
 //	icsbench [-packages N] [-seed S] [-full] [-quiet]
 //	icsbench -trainbench
 //	icsbench -stackbench [-packages N] [-levels pca,lstm -fusion weighted]
+//	icsbench -kernelbench
 //
 // -full runs at the original dataset's scale with the paper's 2×256 LSTM
 // (slow); the default runs a scaled configuration that preserves every
@@ -18,7 +19,10 @@
 // throughput with per-level time share, and engine throughput with the
 // per-stage micro-batch widths, across bloom / bloom,lstm /
 // bloom,pca,lstm / all-levels (plus an optional -levels custom stack);
-// results are recorded in BENCH.md.
+// results are recorded in BENCH.md. -kernelbench microbenchmarks the
+// inference kernels themselves — dense vs one-hot step, sequential vs
+// batched, and the vectorized activations — under each kernel tier
+// (scalar, AVX2, AVX-512).
 package main
 
 import (
@@ -56,6 +60,7 @@ func run() error {
 		markdown = flag.Bool("markdown", false, "emit a markdown report instead of plain tables")
 		trainB   = flag.Bool("trainbench", false, "benchmark batched vs reference training at paper scale and exit")
 		stackB   = flag.Bool("stackbench", false, "benchmark detection stacks (per-level time share + throughput) and exit")
+		kernelB  = flag.Bool("kernelbench", false, "microbenchmark the inference kernels (dense vs one-hot × kernel tiers) and exit")
 		levels   = flag.String("levels", "", "with -stackbench: additionally bench this custom stack")
 		fusion   = flag.String("fusion", "", "with -stackbench: fusion policy of the -levels custom stack")
 	)
@@ -66,6 +71,9 @@ func run() error {
 	}
 	if *stackB {
 		return runStackBench(*packages, *seed, *levels, *fusion)
+	}
+	if *kernelB {
+		return runKernelBench()
 	}
 
 	cfg := experiments.DefaultConfig()

@@ -2,9 +2,10 @@
 // (testdata/traces for the gas pipeline, testdata/traces/watertank for the
 // water storage tank): every recorded scenario of every testbed must replay
 // to verdicts bitwise-identical to its golden file — through the sequential
-// Session and the batched engine, on the SIMD and the scalar kernel paths.
-// This extends the repo's equivalence bar from "batched vs sequential in
-// one process" to "any build, any kernel path, any testbed, against
+// Session and the batched engine, on every kernel tier (AVX-512, AVX2,
+// scalar). This extends the repo's equivalence bar from "batched vs
+// sequential in one process" to "any build, any kernel tier, any testbed,
+// against
 // recorded artifacts": a regression in frame decoding, feature
 // reconstruction, the detector pipeline or the numeric kernels shows up as
 // a concrete first-differing verdict line.
@@ -27,7 +28,6 @@ import (
 	"icsdetect/internal/core"
 	"icsdetect/internal/dataset"
 	"icsdetect/internal/engine"
-	"icsdetect/internal/mathx"
 	"icsdetect/internal/trace"
 )
 
@@ -111,47 +111,40 @@ func loadCorpora(t *testing.T) []*corpus {
 }
 
 // TestTraceConformance is the corpus gate, a full scenario matrix: both
-// testbeds × {sequential session, batched engine} × {SIMD, scalar} kernels,
-// every committed trace against its golden bytes.
+// testbeds × {sequential session, batched engine} × {AVX-512, AVX2,
+// scalar} kernel tiers, every committed trace against its golden bytes.
 func TestTraceConformance(t *testing.T) {
 	corpora := loadCorpora(t)
 
-	for _, kernel := range []struct {
-		name string
-		simd bool
-	}{{"simd", true}, {"scalar", false}} {
-		t.Run(kernel.name, func(t *testing.T) {
-			prev := mathx.SetSIMDEnabled(kernel.simd)
-			defer mathx.SetSIMDEnabled(prev)
-			for _, c := range corpora {
-				t.Run(c.scenario, func(t *testing.T) {
-					for _, tc := range c.traces {
-						t.Run(tc.name, func(t *testing.T) {
-							seq, err := trace.Replay(c.fw, tc.header, tc.records, trace.ReplayConfig{})
-							if err != nil {
-								t.Fatal(err)
-							}
-							got := trace.FormatVerdicts(tc.name, tc.header.Fingerprint, seq.Verdicts)
-							if line := trace.DiffVerdicts(tc.golden, got); line != 0 {
-								t.Fatalf("sequential replay drifted from goldens at line %d", line)
-							}
+	forEachKernelTier(t, func(t *testing.T) {
+		for _, c := range corpora {
+			t.Run(c.scenario, func(t *testing.T) {
+				for _, tc := range c.traces {
+					t.Run(tc.name, func(t *testing.T) {
+						seq, err := trace.Replay(c.fw, tc.header, tc.records, trace.ReplayConfig{})
+						if err != nil {
+							t.Fatal(err)
+						}
+						got := trace.FormatVerdicts(tc.name, tc.header.Fingerprint, seq.Verdicts)
+						if line := trace.DiffVerdicts(tc.golden, got); line != 0 {
+							t.Fatalf("sequential replay drifted from goldens at line %d", line)
+						}
 
-							eng, err := trace.Replay(c.fw, tc.header, tc.records, trace.ReplayConfig{
-								Engine: &engine.Config{Shards: 3, MaxBatch: 16, QueueDepth: 32},
-							})
-							if err != nil {
-								t.Fatal(err)
-							}
-							got = trace.FormatVerdicts(tc.name, tc.header.Fingerprint, eng.Verdicts)
-							if line := trace.DiffVerdicts(tc.golden, got); line != 0 {
-								t.Fatalf("engine replay drifted from goldens at line %d", line)
-							}
+						eng, err := trace.Replay(c.fw, tc.header, tc.records, trace.ReplayConfig{
+							Engine: &engine.Config{Shards: 3, MaxBatch: 16, QueueDepth: 32},
 						})
-					}
-				})
-			}
-		})
-	}
+						if err != nil {
+							t.Fatal(err)
+						}
+						got = trace.FormatVerdicts(tc.name, tc.header.Fingerprint, eng.Verdicts)
+						if line := trace.DiffVerdicts(tc.golden, got); line != 0 {
+							t.Fatalf("engine replay drifted from goldens at line %d", line)
+						}
+					})
+				}
+			})
+		}
+	})
 }
 
 // TestTraceConformanceMixedScenarios: one engine serving gas-pipeline and

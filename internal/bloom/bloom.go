@@ -13,7 +13,6 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
-	"hash/fnv"
 	"io"
 	"math"
 )
@@ -67,19 +66,40 @@ func (f *Filter) N() uint64 { return f.n }
 // SizeBytes returns the memory footprint of the bit vector.
 func (f *Filter) SizeBytes() int { return len(f.bits) * 8 }
 
+// FNV-64 parameters (the same constants hash/fnv uses).
+const (
+	fnvOffset uint64 = 14695981039346656037
+	fnvPrime  uint64 = 1099511628211
+)
+
+// baseHashes computes the two independent 64-bit hashes (FNV-1a and FNV-1)
+// of data inline rather than through hash/fnv's digest objects, which would
+// cost two heap allocations per lookup on the per-package hot path. The
+// bits are identical to fnv.New64a / fnv.New64 (verified by test), so
+// filters built or queried through either spelling agree exactly.
 func baseHashes(data []byte) (h1, h2 uint64) {
-	a := fnv.New64a()
-	a.Write(data) //nolint:errcheck // fnv never fails
-	h1 = a.Sum64()
-	b := fnv.New64()
-	b.Write(data)      //nolint:errcheck
-	h2 = b.Sum64() | 1 // force odd so the stride visits all positions
-	return h1, h2
+	h1, h2 = fnvOffset, fnvOffset
+	for _, c := range data {
+		h1 = (h1 ^ uint64(c)) * fnvPrime // FNV-1a: xor, then multiply
+		h2 = h2*fnvPrime ^ uint64(c)     // FNV-1: multiply, then xor
+	}
+	return h1, h2 | 1 // force odd so the stride visits all positions
 }
 
-// Add inserts data into the filter.
-func (f *Filter) Add(data []byte) {
-	h1, h2 := baseHashes(data)
+// baseHashesString is baseHashes over a string key without the []byte
+// conversion (and its allocation).
+func baseHashesString(s string) (h1, h2 uint64) {
+	h1, h2 = fnvOffset, fnvOffset
+	for i := 0; i < len(s); i++ {
+		c := uint64(s[i])
+		h1 = (h1 ^ c) * fnvPrime
+		h2 = h2*fnvPrime ^ c
+	}
+	return h1, h2 | 1
+}
+
+// add sets the k double-hashed positions for (h1, h2).
+func (f *Filter) add(h1, h2 uint64) {
 	for i := uint64(0); i < f.k; i++ {
 		pos := (h1 + i*h2) % f.m
 		f.bits[pos/64] |= 1 << (pos % 64)
@@ -87,13 +107,8 @@ func (f *Filter) Add(data []byte) {
 	f.n++
 }
 
-// AddString inserts a string key.
-func (f *Filter) AddString(s string) { f.Add([]byte(s)) }
-
-// Contains reports whether data is possibly in the set. False positives are
-// possible; false negatives are not.
-func (f *Filter) Contains(data []byte) bool {
-	h1, h2 := baseHashes(data)
+// contains tests the k double-hashed positions for (h1, h2).
+func (f *Filter) contains(h1, h2 uint64) bool {
 	for i := uint64(0); i < f.k; i++ {
 		pos := (h1 + i*h2) % f.m
 		if f.bits[pos/64]&(1<<(pos%64)) == 0 {
@@ -103,8 +118,32 @@ func (f *Filter) Contains(data []byte) bool {
 	return true
 }
 
+// Add inserts data into the filter.
+func (f *Filter) Add(data []byte) {
+	h1, h2 := baseHashes(data)
+	f.add(h1, h2)
+}
+
+// AddString inserts a string key.
+func (f *Filter) AddString(s string) {
+	h1, h2 := baseHashesString(s)
+	f.add(h1, h2)
+}
+
+// Contains reports whether data is possibly in the set. False positives are
+// possible; false negatives are not.
+func (f *Filter) Contains(data []byte) bool {
+	h1, h2 := baseHashes(data)
+	return f.contains(h1, h2)
+}
+
 // ContainsString reports whether the string key is possibly in the set.
-func (f *Filter) ContainsString(s string) bool { return f.Contains([]byte(s)) }
+// It allocates nothing: the detection stack's package level answers every
+// per-package membership query through this path.
+func (f *Filter) ContainsString(s string) bool {
+	h1, h2 := baseHashesString(s)
+	return f.contains(h1, h2)
+}
 
 // EstimatedFPRate returns the analytic false-positive probability
 // (1 - e^{-kn/m})^k given the observed insert count.

@@ -3,6 +3,7 @@ package bloom
 import (
 	"bytes"
 	"fmt"
+	"hash/fnv"
 	"strconv"
 	"testing"
 	"testing/quick"
@@ -174,5 +175,64 @@ func TestSizeBytes(t *testing.T) {
 	f, _ := New(64*100, 3)
 	if got := f.SizeBytes(); got != 800 {
 		t.Errorf("SizeBytes = %d, want 800", got)
+	}
+}
+
+// TestBaseHashesMatchStdlibFNV pins the inline hash implementations to
+// hash/fnv: the filter's bit positions — and therefore every verdict and
+// every serialized filter — must not move when the hashing is inlined.
+func TestBaseHashesMatchStdlibFNV(t *testing.T) {
+	ref := func(data []byte) (uint64, uint64) {
+		a := fnv.New64a()
+		a.Write(data) //nolint:errcheck
+		b := fnv.New64()
+		b.Write(data) //nolint:errcheck
+		return a.Sum64(), b.Sum64() | 1
+	}
+	check := func(data []byte) {
+		want1, want2 := ref(data)
+		got1, got2 := baseHashes(data)
+		if got1 != want1 || got2 != want2 {
+			t.Fatalf("baseHashes(%q) = (%#x, %#x), want (%#x, %#x)",
+				data, got1, got2, want1, want2)
+		}
+		s1, s2 := baseHashesString(string(data))
+		if s1 != want1 || s2 != want2 {
+			t.Fatalf("baseHashesString(%q) = (%#x, %#x), want (%#x, %#x)",
+				data, s1, s2, want1, want2)
+		}
+	}
+	check(nil)
+	check([]byte{0})
+	check([]byte("3:1:2:0:0:1:0:0:1:1:4:12:7"))
+	rng := uint64(0x9E3779B97F4A7C15)
+	for trial := 0; trial < 200; trial++ {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		data := make([]byte, rng%64)
+		for i := range data {
+			rng = rng*6364136223846793005 + 1442695040888963407
+			data[i] = byte(rng >> 56)
+		}
+		check(data)
+	}
+}
+
+// TestContainsStringAllocFree pins the hot-path lookup at zero allocations.
+func TestContainsStringAllocFree(t *testing.T) {
+	f, err := NewWithEstimates(1000, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		f.AddString("sig-" + strconv.Itoa(i))
+	}
+	keys := []string{"sig-17", "sig-999", "absent"}
+	allocs := testing.AllocsPerRun(200, func() {
+		for _, k := range keys {
+			f.ContainsString(k)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("ContainsString allocates %.1f times per run, want 0", allocs)
 	}
 }

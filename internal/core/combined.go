@@ -49,6 +49,26 @@ type Session struct {
 	stack  *Stack
 	states []StageState
 	prev   *dataset.Package
+	// cbuf and sigbuf are the reusable encoding buffers of the per-package
+	// hot path: the discretized vector and the signature spelling are built
+	// in place, and database signatures intern to their canonical string,
+	// so classifying a normal package allocates nothing. cbuf is exposed to
+	// the stages as PackageContext.C and stays valid only until this
+	// session classifies its next package — stages that keep encoded input
+	// across steps copy at Advance/Queue time.
+	cbuf   []int
+	sigbuf []byte
+	// pcbuf, vbuf and rbuf are session-resident homes for the structs the
+	// classify/advance loops hand to the stage interfaces by pointer. A
+	// stack local passed as *PackageContext/*Verdict/*StageResult into an
+	// interface method is forced to the heap by escape analysis — one
+	// allocation per package (or per stage, for rbuf); fields of the
+	// already-heap-allocated session cost nothing. Stages must not retain
+	// the pointers past the call, which the StageDetector contract already
+	// requires.
+	pcbuf PackageContext
+	vbuf  Verdict
+	rbuf  StageResult
 }
 
 // NewSession starts a classification session over the default two-level
@@ -115,20 +135,22 @@ func (s *Session) Classify(cur *dataset.Package) Verdict {
 // with Advance — or batches it across sessions with StackBatch.QueueAdvance
 // — before classifying the next package of this stream.
 func (s *Session) ClassifyOnly(cur *dataset.Package) (Verdict, PackageContext) {
-	c := s.stack.fw.Encoder.Encode(s.prev, cur)
-	pc := PackageContext{Prev: s.prev, Cur: cur, C: c, Sig: signature.Signature(c)}
-	v := Verdict{Signature: pc.Sig, Rank: -1}
+	fw := s.stack.fw
+	fw.Encoder.EncodeInto(s.cbuf, s.prev, cur)
+	s.sigbuf = signature.AppendSignature(s.sigbuf[:0], s.cbuf)
+	s.pcbuf = PackageContext{Prev: s.prev, Cur: cur, C: s.cbuf, Sig: fw.DB.Intern(s.sigbuf)}
+	v := Verdict{Signature: s.pcbuf.Sig, Rank: -1}
 	st := s.stack
 	if st.evidence {
 		v.Evidence = make([]LevelEvidence, 0, len(st.stages))
 	}
 	switch st.spec.fusion() {
 	case FusionMajority, FusionWeighted:
-		s.classifyVoting(&pc, &v)
+		s.classifyVoting(&s.pcbuf, &v)
 	default:
-		s.classifyFirstHit(&pc, &v)
+		s.classifyFirstHit(&s.pcbuf, &v)
 	}
-	return v, pc
+	return v, s.pcbuf
 }
 
 // classifyFirstHit evaluates levels in stack order until one flags the
@@ -136,15 +158,15 @@ func (s *Session) ClassifyOnly(cur *dataset.Package) (Verdict, PackageContext) {
 // evidence.
 func (s *Session) classifyFirstHit(pc *PackageContext, v *Verdict) {
 	for i, stage := range s.stack.stages {
-		r := StageResult{Rank: -1}
-		stage.Check(s.states[i], pc, &r)
-		if r.Rank >= 0 {
-			v.Rank = r.Rank
+		s.rbuf = StageResult{Rank: -1}
+		stage.Check(s.states[i], pc, &s.rbuf)
+		if s.rbuf.Rank >= 0 {
+			v.Rank = s.rbuf.Rank
 		}
 		if s.stack.evidence {
-			v.Evidence = append(v.Evidence, evidenceOf(stage, r))
+			v.Evidence = append(v.Evidence, evidenceOf(stage, s.rbuf))
 		}
-		if r.Flagged {
+		if s.rbuf.Flagged {
 			v.Anomaly = true
 			v.Level = stage.Level()
 			return
@@ -161,20 +183,20 @@ func (s *Session) classifyVoting(pc *PackageContext, v *Verdict) {
 	var flagged, scored int
 	firstLevel := LevelNone
 	for i, stage := range s.stack.stages {
-		r := StageResult{Rank: -1}
-		stage.Check(s.states[i], pc, &r)
-		if r.Rank >= 0 {
-			v.Rank = r.Rank
+		s.rbuf = StageResult{Rank: -1}
+		stage.Check(s.states[i], pc, &s.rbuf)
+		if s.rbuf.Rank >= 0 {
+			v.Rank = s.rbuf.Rank
 		}
 		if s.stack.evidence {
-			v.Evidence = append(v.Evidence, evidenceOf(stage, r))
+			v.Evidence = append(v.Evidence, evidenceOf(stage, s.rbuf))
 		}
-		if !r.Scored {
+		if !s.rbuf.Scored {
 			continue
 		}
 		scored++
 		scoredWeight += s.stack.weights[i]
-		if r.Flagged {
+		if s.rbuf.Flagged {
 			flagged++
 			flaggedWeight += s.stack.weights[i]
 			if firstLevel == LevelNone {
@@ -208,8 +230,12 @@ func evidenceOf(stage StageDetector, r StageResult) LevelEvidence {
 // Advance feeds the classified package into every stage's stream state and
 // completes the step that v closed.
 func (s *Session) Advance(pc PackageContext, v Verdict) {
+	// The loop hands the structs to the stage interfaces through the
+	// session-resident copies — pointers to the parameters themselves would
+	// escape and heap-allocate both on every call.
+	s.pcbuf, s.vbuf = pc, v
 	for i, stage := range s.stack.stages {
-		stage.Advance(s.states[i], &pc, &v)
+		stage.Advance(s.states[i], &s.pcbuf, &s.vbuf)
 	}
 	s.prev = pc.Cur
 }

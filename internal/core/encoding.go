@@ -64,6 +64,32 @@ func (e *InputEncoder) EncodeInto(dst []float64, c []int, noisy bool) {
 	}
 }
 
+// EncodeSparse appends the active column indices of c's one-hot encoding
+// (exactly one per feature block, plus the noise flag when set) to dst[:0]
+// and returns the result — the sparse form of EncodeInto, with the same
+// defensive clamping. Block offsets ascend and the noise flag is the last
+// column, so the indices are strictly ascending, as the one-hot kernels
+// require. Reusing dst keeps the streaming hot path allocation-free.
+func (e *InputEncoder) EncodeSparse(dst []int, c []int, noisy bool) []int {
+	if len(c) != len(e.Buckets) {
+		panic(fmt.Sprintf("core: discretized vector has %d features, want %d", len(c), len(e.Buckets)))
+	}
+	dst = dst[:0]
+	for i, v := range c {
+		if v < 0 {
+			v = 0
+		}
+		if v >= e.Buckets[i] {
+			v = e.Buckets[i] - 1
+		}
+		dst = append(dst, e.Offsets[i]+v)
+	}
+	if noisy {
+		dst = append(dst, e.Dim-1)
+	}
+	return dst
+}
+
 // NoiseInjector implements the probabilistic-noise strategy of §V-A-3:
 // when a package is used as time-series input during training, with
 // probability p = λ/(λ+#(s)) its discretized vector is corrupted in

@@ -327,7 +327,12 @@ func (st *Stack) NewSession() *Session {
 	for i, s := range st.stages {
 		states[i] = s.NewState()
 	}
-	return &Session{stack: st, states: states}
+	return &Session{
+		stack:  st,
+		states: states,
+		cbuf:   make([]int, st.fw.Encoder.Dim()),
+		sigbuf: make([]byte, 0, 3*st.fw.Encoder.Dim()),
+	}
 }
 
 // TrainStages fits the stage models the spec needs beyond the framework's

@@ -113,14 +113,18 @@ func (b *StackBatch) QueueAdvance(s *Session, pc PackageContext, v Verdict) bool
 		panic("core: StackBatch.QueueAdvance for a session of a different stack")
 	}
 	s.prev = pc.Cur
+	// Queue/Advance take the structs through the session-resident copies;
+	// pointers to the parameters would escape into the stage interfaces and
+	// heap-allocate both per package.
+	s.pcbuf, s.vbuf = pc, v
 	deferred := false
 	for i, stage := range s.stack.stages {
 		if ab := b.adv[i]; ab != nil {
-			ab.Queue(s.states[i], &pc, &v)
+			ab.Queue(s.states[i], &s.pcbuf, &s.vbuf)
 			deferred = true
 			continue
 		}
-		stage.Advance(s.states[i], &pc, &v)
+		stage.Advance(s.states[i], &s.pcbuf, &s.vbuf)
 	}
 	return deferred
 }

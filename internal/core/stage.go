@@ -18,7 +18,11 @@ type PackageContext struct {
 	Prev *dataset.Package
 	// Cur is the package being classified.
 	Cur *dataset.Package
-	// C is the discretized feature vector c(t).
+	// C is the discretized feature vector c(t). The session reuses the
+	// backing array across packages, so C is valid only for the current
+	// Check/Advance step — stages that need encoded input across steps
+	// must copy it (SeriesStage copies into its recurrent input at
+	// Advance/Queue time).
 	C []int
 	// Sig is the signature s(x(t)) = g(c(t)).
 	Sig string
@@ -145,8 +149,11 @@ type seriesState struct {
 	// underflowed) probabilities and perturb tie-breaking, and it skips
 	// Classes() exponentials per package.
 	scores []float64
-	// x is the reusable LSTM input vector.
-	x []float64
+	// xi is the reusable sparse LSTM input: the active one-hot column
+	// indices, strictly ascending. The dense vector is never materialized
+	// on the streaming path — the model's one-hot fast path gathers the
+	// weight columns directly (bitwise-identical to the dense product).
+	xi []int
 	// scored reports whether scores holds a valid prediction (false before
 	// the first package has been fed).
 	scored bool
@@ -172,7 +179,7 @@ func (s *SeriesStage) NewState() StageState {
 	return &seriesState{
 		rnn:    s.Detector.Model.NewState(),
 		scores: make([]float64, s.Detector.Model.Classes()),
-		x:      make([]float64, s.Input.Dim),
+		xi:     make([]int, 0, len(s.Input.Buckets)+1),
 	}
 }
 
@@ -215,16 +222,17 @@ func (s *SeriesStage) check(st *seriesState, pc *PackageContext, r *StageResult,
 // (§V-A-3: "the additional feature of any packages classified as anomalies
 // will be set to 1").
 func (s *SeriesStage) encodeStep(st *seriesState, pc *PackageContext, v *Verdict) {
-	s.Input.EncodeInto(st.x, pc.C, v.Anomaly)
+	st.xi = s.Input.EncodeSparse(st.xi, pc.C, v.Anomaly)
 	st.scored = true
 }
 
 // Advance feeds the package into the recurrent model for the classification
-// of future packages.
+// of future packages, through the one-hot fast path (bitwise-identical to
+// the dense StepLogits on the equivalent encoding).
 func (s *SeriesStage) Advance(state StageState, pc *PackageContext, v *Verdict) {
 	st := state.(*seriesState)
 	s.encodeStep(st, pc, v)
-	s.Detector.Model.StepLogits(st.rnn, st.x, st.scores)
+	s.Detector.Model.StepLogitsOneHot(st.rnn, st.xi, st.scores)
 }
 
 // NewAdvanceBatch implements AdvanceBatchStage: the LSTM step of many
@@ -241,7 +249,7 @@ type seriesAdvanceBatch struct {
 	stage  *SeriesStage
 	buf    *nn.BatchBuffer
 	rnns   []*nn.State
-	inputs [][]float64
+	idxs   [][]int
 	scores [][]float64
 	n      int
 }
@@ -254,7 +262,7 @@ func newSeriesAdvanceBatch(s *SeriesStage, maxBatch int) *seriesAdvanceBatch {
 		stage:  s,
 		buf:    s.Detector.Model.NewBatchBuffer(maxBatch),
 		rnns:   make([]*nn.State, maxBatch),
-		inputs: make([][]float64, maxBatch),
+		idxs:   make([][]int, maxBatch),
 		scores: make([][]float64, maxBatch),
 	}
 }
@@ -274,18 +282,19 @@ func (b *seriesAdvanceBatch) Queue(state StageState, pc *PackageContext, v *Verd
 	st := state.(*seriesState)
 	b.stage.encodeStep(st, pc, v)
 	b.rnns[b.n] = st.rnn
-	b.inputs[b.n] = st.x
+	b.idxs[b.n] = st.xi
 	b.scores[b.n] = st.scores
 	b.n++
 }
 
 // Flush advances every queued stream's recurrent state through one batched
-// matrix-matrix pass and empties the batch.
+// matrix-matrix pass — sparse one-hot inputs, same bits as the sequential
+// path — and empties the batch.
 func (b *seriesAdvanceBatch) Flush() {
 	if b.n == 0 {
 		return
 	}
-	b.stage.Detector.Model.StepBatchLogits(b.buf, b.rnns[:b.n], b.inputs[:b.n], b.scores[:b.n])
+	b.stage.Detector.Model.StepBatchLogitsOneHot(b.buf, b.rnns[:b.n], b.idxs[:b.n], b.scores[:b.n])
 	b.n = 0
 }
 

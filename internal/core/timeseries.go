@@ -79,6 +79,7 @@ func (d *TimeSeriesDetector) TopKRanks(enc *signature.Encoder, ienc *InputEncode
 	db *signature.DB, frags []dataset.Fragment) []int {
 	var ranks []int
 	scores := make([]float64, d.Model.Classes())
+	xi := make([]int, 0, len(ienc.Buckets)+1)
 	for _, frag := range frags {
 		if len(frag) < 2 {
 			continue
@@ -86,7 +87,10 @@ func (d *TimeSeriesDetector) TopKRanks(enc *signature.Encoder, ienc *InputEncode
 		state := d.Model.NewState()
 		cs := enc.EncodeFragment(frag)
 		for t := 0; t < len(frag)-1; t++ {
-			d.Model.StepLogits(state, ienc.Encode(cs[t], false), scores)
+			// Same one-hot fast path as the deployed SeriesStage — the
+			// calibration ranks the exact bits the runtime will rank.
+			xi = ienc.EncodeSparse(xi, cs[t], false)
+			d.Model.StepLogitsOneHot(state, xi, scores)
 			nextSig := signature.Signature(cs[t+1])
 			class, ok := db.ClassOf(nextSig)
 			if !ok {

@@ -141,8 +141,12 @@ type Engine struct {
 	// bindings maps stream → *core.Framework, fixed by the stream's first
 	// submission. Rebinding a live stream to a different model would
 	// silently score it with the wrong weights, so SubmitFor enforces the
-	// binding here, on the submit path, where it can return an error.
-	bindings sync.Map
+	// binding here, on the submit path, where it can return an error. A
+	// plain string-keyed map under bindMu instead of a sync.Map: sync.Map
+	// boxes the key on every Load/LoadOrStore, one heap allocation per
+	// submitted package, while a built-in map lookup allocates nothing.
+	bindMu   sync.RWMutex
+	bindings map[string]*core.Framework
 	// validated caches frameworks already proven to support the engine's
 	// stack, so SubmitFor pays the stack resolution once per framework
 	// instead of once per package.
@@ -162,11 +166,12 @@ func New(fw *core.Framework, cfg Config, handler Handler) (*Engine, error) {
 		return nil, fmt.Errorf("engine: %w", err)
 	}
 	e := &Engine{
-		fw:      fw,
-		cfg:     cfg,
-		handler: handler,
-		shards:  make([]*shard, cfg.Shards),
-		started: time.Now(),
+		fw:       fw,
+		cfg:      cfg,
+		handler:  handler,
+		shards:   make([]*shard, cfg.Shards),
+		started:  time.Now(),
+		bindings: make(map[string]*core.Framework),
 	}
 	for i := range e.shards {
 		e.shards[i] = newShard(i, e)
@@ -242,7 +247,18 @@ func (e *Engine) bindStream(stream string, fw *core.Framework) error {
 	if fw == nil {
 		fw = e.fw
 	}
-	if prev, loaded := e.bindings.LoadOrStore(stream, fw); loaded && prev.(*core.Framework) != fw {
+	e.bindMu.RLock()
+	prev, loaded := e.bindings[stream]
+	e.bindMu.RUnlock()
+	if !loaded {
+		e.bindMu.Lock()
+		if prev, loaded = e.bindings[stream]; !loaded {
+			e.bindings[stream] = fw
+			prev = fw
+		}
+		e.bindMu.Unlock()
+	}
+	if prev != fw {
 		return fmt.Errorf("engine: stream %q is already bound to a different framework", stream)
 	}
 	return nil
@@ -260,12 +276,21 @@ func (e *Engine) TrySubmit(stream string, pkg *dataset.Package) (bool, error) {
 	// Check the binding up front, but record it only once a package is
 	// actually enqueued: a shed (queue-full) probe must not bind a stream
 	// that never carried traffic.
-	if prev, ok := e.bindings.Load(stream); ok && prev.(*core.Framework) != e.fw {
+	e.bindMu.RLock()
+	prev, bound := e.bindings[stream]
+	e.bindMu.RUnlock()
+	if bound && prev != e.fw {
 		return false, fmt.Errorf("engine: stream %q is already bound to a different framework", stream)
 	}
 	select {
 	case e.shardFor(stream).in <- packet{stream: stream, pkg: pkg}:
-		e.bindings.LoadOrStore(stream, e.fw)
+		if !bound {
+			e.bindMu.Lock()
+			if _, ok := e.bindings[stream]; !ok {
+				e.bindings[stream] = e.fw
+			}
+			e.bindMu.Unlock()
+		}
 		return true, nil
 	default:
 		return false, nil

@@ -1,0 +1,46 @@
+package mathx
+
+import "math"
+
+// VExp writes math.Exp(src[i]) into dst[i] for every element, bitwise
+// identical to calling math.Exp in a loop. On capable CPUs the bulk of the
+// slice runs through a packed mirror of the stdlib's FMA exp kernel
+// (act_amd64.s); elements the kernel declines — vector tails and lanes
+// archExp would route through its special paths — are computed by
+// math.Exp itself, so the contract holds for every input on every kernel
+// tier. dst and src may be the same slice.
+func VExp(dst, src []float64) {
+	if len(dst) != len(src) {
+		panic("mathx: VExp length mismatch")
+	}
+	i := vexpSIMD(dst, src)
+	for ; i < len(src); i++ {
+		dst[i] = math.Exp(src[i])
+	}
+}
+
+// VSigmoid is the slice form of Sigmoid with the same bitwise contract as
+// VExp: every element equals Sigmoid(src[i]) exactly. dst and src may
+// alias.
+func VSigmoid(dst, src []float64) {
+	if len(dst) != len(src) {
+		panic("mathx: VSigmoid length mismatch")
+	}
+	i := vsigSIMD(dst, src)
+	for ; i < len(src); i++ {
+		dst[i] = Sigmoid(src[i])
+	}
+}
+
+// VTanh is the slice form of math.Tanh with the same bitwise contract as
+// VExp: every element equals math.Tanh(src[i]) exactly. dst and src may
+// alias.
+func VTanh(dst, src []float64) {
+	if len(dst) != len(src) {
+		panic("mathx: VTanh length mismatch")
+	}
+	i := vtanhSIMD(dst, src)
+	for ; i < len(src); i++ {
+		dst[i] = math.Tanh(src[i])
+	}
+}

@@ -1,0 +1,52 @@
+//go:build amd64
+
+package mathx
+
+// cpuHasFMA reports CPUID FMA support (leaf 1, ECX bit 12). The vector
+// activation kernels mirror archExp's FMA path, which the stdlib only
+// takes on FMA hardware, so they engage only where the scalar reference
+// itself uses FMA — on anything older both sides fall back to the same
+// non-FMA scalar code and stay trivially identical.
+func cpuHasFMA() bool
+
+var cpuFMA = cpuHasFMA()
+
+//go:noescape
+func vexp4(dst, src *float64, n int) int
+
+//go:noescape
+func vsig4(dst, src *float64, n int) int
+
+//go:noescape
+func vtanh4(dst, src *float64, n int) int
+
+// actLanes returns the vector width of the activation kernels under the
+// current SIMD tier, or 0 when they are disabled (scalar tier, or
+// hardware without AVX+FMA).
+func actLanes() int {
+	if !hasAVX || !cpuFMA {
+		return 0
+	}
+	return 4
+}
+
+func vexpSIMD(dst, src []float64) int {
+	if actLanes() == 0 || len(src) < 4 {
+		return 0
+	}
+	return vexp4(&dst[0], &src[0], len(src))
+}
+
+func vsigSIMD(dst, src []float64) int {
+	if actLanes() == 0 || len(src) < 4 {
+		return 0
+	}
+	return vsig4(&dst[0], &src[0], len(src))
+}
+
+func vtanhSIMD(dst, src []float64) int {
+	if actLanes() == 0 || len(src) < 4 {
+		return 0
+	}
+	return vtanh4(&dst[0], &src[0], len(src))
+}

@@ -1,0 +1,12 @@
+//go:build !amd64
+
+package mathx
+
+// Non-amd64 builds have no vector activation kernels; the V* wrappers run
+// their scalar reference loops, which are the bitwise contract.
+
+func actLanes() int { return 0 }
+
+func vexpSIMD(dst, src []float64) int  { return 0 }
+func vsigSIMD(dst, src []float64) int  { return 0 }
+func vtanhSIMD(dst, src []float64) int { return 0 }

@@ -1,0 +1,105 @@
+package mathx
+
+import "sync/atomic"
+
+// simdEpoch is bumped by every kernel-tier override (SetSIMDEnabled,
+// SetAVX512Enabled) so lazily packed weight layouts built under one tier can
+// detect that the tier changed and rebuild. Weight *mutation* is a separate
+// concern: callers that mutate a packed matrix must drop their PackedGEMV
+// and re-pack (see nn's invalidation hooks).
+var simdEpoch atomic.Uint64
+
+// SIMDEpoch returns the current kernel-tier epoch.
+func SIMDEpoch() uint64 { return simdEpoch.Load() }
+
+// PackedGEMV is a tile-packed read-only copy of a Matrix for the
+// single-vector product m·x, laid out so SIMD kernels can vectorize across
+// output rows: tiles of `lanes` consecutive rows, column-major within the
+// tile (data[(t*cols+k)*lanes + l] = m[t*lanes+l, k]). One ymm/zmm lane per
+// output row turns the GEMV into dense vertical multiply-adds with
+// contiguous stores — the per-lane summation association is exactly Dot's
+// (aligned groups of four columns summed left-to-right, sequential tail),
+// so Apply is bitwise-identical to MulVec on every tier, including the
+// scalar fallback (lanes == 0), which simply calls Dot per row.
+type PackedGEMV struct {
+	lanes int // SIMD width at pack time: 8 (AVX-512), 4 (AVX2), 0 (scalar)
+	rows  int
+	cols  int
+	data  []float64 // tiled rows; row tail (rows % lanes) reads src directly
+	src   *Matrix
+	epoch uint64
+}
+
+// Apply epilogue modes. The associations match the dense reference paths:
+// GemvAdd computes dst + dot (MulVecAdd), GemvAddBias (dst + dot) + bias
+// (MulVecAdd followed by a bias loop), GemvSetBias dot + bias (MulVec
+// followed by a bias loop).
+const (
+	GemvSet = iota
+	GemvAdd
+	GemvAddBias
+	GemvSetBias
+)
+
+// PackGEMV builds the packed layout for the current kernel tier. The pack
+// keeps a reference to m for the row tail and the scalar fallback; it is
+// valid only while m's values are unchanged — mutate m and the pack must be
+// dropped.
+func PackGEMV(m *Matrix) *PackedGEMV {
+	p := &PackedGEMV{
+		lanes: gemvLanes(),
+		rows:  m.Rows,
+		cols:  m.Cols,
+		src:   m,
+		epoch: simdEpoch.Load(),
+	}
+	if p.lanes > 0 {
+		tiles := p.rows / p.lanes
+		p.data = make([]float64, tiles*p.cols*p.lanes)
+		idx := 0
+		for t := 0; t < tiles; t++ {
+			base := t * p.lanes
+			for k := 0; k < p.cols; k++ {
+				for l := 0; l < p.lanes; l++ {
+					p.data[idx] = m.Data[(base+l)*p.cols+k]
+					idx++
+				}
+			}
+		}
+	}
+	return p
+}
+
+// Stale reports whether the kernel tier changed since the pack was built
+// (the pack still computes identical bits, but would run the wrong tier's
+// kernel — rebuild to honor the override).
+func (p *PackedGEMV) Stale() bool { return p.epoch != simdEpoch.Load() }
+
+// Apply computes dst = m·x combined per the mode epilogue, bitwise-identical
+// to the MulVec/MulVecAdd + bias-loop reference. bias may be nil for
+// GemvSet/GemvAdd.
+func (p *PackedGEMV) Apply(dst, x, bias []float64, mode int) {
+	if len(dst) != p.rows || len(x) != p.cols {
+		panic("mathx: packed gemv shape mismatch")
+	}
+	done := 0
+	if p.lanes > 0 {
+		tiles := p.rows / p.lanes
+		if tiles > 0 && gemvSIMD(p, dst, x, bias, mode, tiles) {
+			done = tiles * p.lanes
+		}
+	}
+	for i := done; i < p.rows; i++ {
+		s := Dot(p.src.Row(i), x)
+		switch mode {
+		case GemvSet:
+			dst[i] = s
+		case GemvAdd:
+			dst[i] = dst[i] + s
+		case GemvAddBias:
+			dst[i] = (dst[i] + s) + bias[i]
+		default: // GemvSetBias
+			dst[i] = s + bias[i]
+		}
+	}
+}

@@ -2,7 +2,6 @@ package nn
 
 import (
 	"fmt"
-	"math"
 
 	"icsdetect/internal/mathx"
 )
@@ -87,7 +86,56 @@ func (c *Classifier) StepBatchLogits(buf *BatchBuffer, states []*State, inputs [
 
 	xs := buf.xs[:n]
 	copy(xs, inputs)
-	for li, l := range c.Layers {
+	c.stepBatchLayers(buf, states, n, 0)
+	c.stepBatchHead(buf, scores, n)
+}
+
+// StepBatchLogitsOneHot is StepBatchLogits with the first layer's inputs
+// given as one-hot active-column index sets instead of dense vectors — the
+// batched engine's per-package hot path. The W GEMM of layer 0 becomes one
+// column gather per stream (a handful of contiguous vector adds each); the
+// recurrent product, combine and gate epilogue are the shared batched code,
+// so the verdicts stay bitwise-identical to the dense batched pass and to
+// the sequential StepLogitsOneHot.
+func (c *Classifier) StepBatchLogitsOneHot(buf *BatchBuffer, states []*State, idxs [][]int, scores [][]float64) {
+	n := len(states)
+	if n == 0 {
+		return
+	}
+	if len(idxs) != n || len(scores) != n {
+		panic(fmt.Sprintf("nn: batch size mismatch (states=%d inputs=%d scores=%d)",
+			n, len(idxs), len(scores)))
+	}
+	if n > buf.maxBatch {
+		panic(fmt.Sprintf("nn: batch of %d exceeds buffer capacity %d", n, buf.maxBatch))
+	}
+
+	l0 := c.Layers[0]
+	H := l0.HiddenSize
+	z := buf.z[0][:n*numGates*H]
+	wt := l0.wtrans()
+	for i := 0; i < n; i++ {
+		mathx.OneHotGather(z[i*numGates*H:(i+1)*numGates*H], wt, idxs[i])
+		buf.xs[i] = states[i].h[0]
+	}
+	zu := buf.zu[0][:n*numGates*H]
+	l0.U.MulRowsT(zu, buf.xs[:n])
+	for i := 0; i < n; i++ {
+		row := z[i*numGates*H : (i+1)*numGates*H]
+		urow := zu[i*numGates*H : (i+1)*numGates*H]
+		l0.combineGatesCellUpdate(row, urow, states[i].h[0], states[i].c[0])
+		buf.xs[i] = states[i].h[0]
+	}
+	c.stepBatchLayers(buf, states, n, 1)
+	c.stepBatchHead(buf, scores, n)
+}
+
+// stepBatchLayers advances layers [from, len) for a batch of n streams.
+// buf.xs must hold each stream's input to layer `from`; on return it holds
+// the top layer's fresh hidden vectors.
+func (c *Classifier) stepBatchLayers(buf *BatchBuffer, states []*State, n, from int) {
+	for li := from; li < len(c.Layers); li++ {
+		l := c.Layers[li]
 		H := l.HiddenSize
 		z := buf.z[li][:n*numGates*H]
 		zu := buf.zu[li][:n*numGates*H]
@@ -96,43 +144,41 @@ func (c *Classifier) StepBatchLogits(buf *BatchBuffer, states []*State, inputs [
 		// The two products run as separate overwriting GEMMs and combine
 		// elementwise in Step's exact order (Wx, then +Uh, then +B), so the
 		// SIMD kernel applies to both and the sums stay bitwise identical.
-		l.W.MulRowsT(z, xs)
+		l.W.MulRowsT(z, buf.xs[:n])
 		for i := 0; i < n; i++ {
 			buf.xs[i] = states[i].h[li]
 		}
 		l.U.MulRowsT(zu, buf.xs[:n])
+
+		// Combine, activations and cell update, in place on each stream's
+		// state. The pre-activations for the whole layer are complete, so
+		// overwriting h/c here cannot feed back into this layer's gates.
 		for i := 0; i < n; i++ {
 			row := z[i*numGates*H : (i+1)*numGates*H]
 			urow := zu[i*numGates*H : (i+1)*numGates*H]
-			for j := range row {
-				row[j] += urow[j]
-				row[j] += l.B[j]
-			}
-		}
-
-		// Activations and cell update, in place on each stream's state. The
-		// pre-activations for the whole layer are complete, so overwriting
-		// h/c here cannot feed back into this layer's gates.
-		for i := 0; i < n; i++ {
-			gates := z[i*numGates*H : (i+1)*numGates*H]
-			h, cc := states[i].h[li], states[i].c[li]
-			for j := 0; j < H; j++ {
-				gates[gateI*H+j] = mathx.Sigmoid(gates[gateI*H+j])
-				gates[gateF*H+j] = mathx.Sigmoid(gates[gateF*H+j])
-				gates[gateO*H+j] = mathx.Sigmoid(gates[gateO*H+j])
-				gates[gateG*H+j] = math.Tanh(gates[gateG*H+j])
-			}
-			for j := 0; j < H; j++ {
-				cj := gates[gateF*H+j]*cc[j] + gates[gateI*H+j]*gates[gateG*H+j]
-				cc[j] = cj
-				h[j] = gates[gateO*H+j] * math.Tanh(cj)
-			}
+			l.combineGatesCellUpdate(row, urow, states[i].h[li], states[i].c[li])
 			// The next layer reads this layer's fresh hidden vector.
-			buf.xs[i] = h
+			buf.xs[i] = states[i].h[li]
 		}
 	}
+}
 
-	// Batched dense head: logits = H_top·Wᵀ + B.
+// combineGatesCellUpdate fuses the batched epilogue into one pass per
+// stream: combine the two GEMM products with the bias ((wx + uh) + b, the
+// exact order of the unfused loops), activate the four gates and update
+// c/h — without a second traversal of the 4H pre-activation rows and
+// without writing activated gates back. Per element the operation chain is
+// identical to the unfused form, so the fusion is bitwise-free.
+func (l *LSTMLayer) combineGatesCellUpdate(row, urow, h, c []float64) {
+	for j := range row {
+		row[j] = (row[j] + urow[j]) + l.B[j]
+	}
+	l.gatesCellUpdate(row, h, c)
+}
+
+// stepBatchHead runs the batched dense head: logits = H_top·Wᵀ + B, reading
+// the top hidden vectors from buf.xs.
+func (c *Classifier) stepBatchHead(buf *BatchBuffer, scores [][]float64, n int) {
 	K := c.Out.OutputSize
 	logits := buf.logits[:n*K]
 	c.Out.W.MulRowsT(logits, buf.xs[:n])

@@ -1,0 +1,56 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchSetup(b *testing.B) (*Classifier, *BatchBuffer, []*State, [][]float64, [][]int, [][]float64) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(7))
+	c, err := NewClassifier(138, []int{32, 32}, 49, 11)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const n = 8
+	buf := c.NewBatchBuffer(n)
+	states := make([]*State, n)
+	dense := make([][]float64, n)
+	idxs := make([][]int, n)
+	scores := make([][]float64, n)
+	for i := range states {
+		states[i] = c.NewState()
+		dense[i] = make([]float64, 138)
+		for f := 0; f < 13; f++ {
+			col := f*10 + rng.Intn(10)
+			dense[i][col] = 1
+			idxs[i] = append(idxs[i], col)
+		}
+		scores[i] = make([]float64, 49)
+	}
+	return c, buf, states, dense, idxs, scores
+}
+
+func BenchmarkStepBatchDense(b *testing.B) {
+	c, buf, states, dense, _, scores := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.StepBatchLogits(buf, states, dense, scores)
+	}
+}
+
+func BenchmarkStepBatchOneHot(b *testing.B) {
+	c, buf, states, _, idxs, scores := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.StepBatchLogitsOneHot(buf, states, idxs, scores)
+	}
+}
+
+func BenchmarkStepSeqOneHot(b *testing.B) {
+	c, _, states, _, idxs, scores := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.StepLogitsOneHot(states[i%8], idxs[i%8], scores[i%8])
+	}
+}

@@ -2,6 +2,7 @@ package nn
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"icsdetect/internal/mathx"
 )
@@ -14,6 +15,10 @@ type Dense struct {
 	OutputSize int
 	W          *mathx.Matrix // OutputSize × InputSize
 	B          []float64
+
+	// Cached packed-GEMV layout for inference (infer.go); unexported so
+	// gob skips it, dropped on weight mutation.
+	pack atomic.Pointer[mathx.PackedGEMV]
 }
 
 // NewDense allocates a Xavier-initialized dense layer.

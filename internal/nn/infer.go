@@ -1,0 +1,129 @@
+package nn
+
+import (
+	"icsdetect/internal/mathx"
+)
+
+// Inference weight caches. The sequential hot path spends nearly all of its
+// time in single-vector products (W·x, U·h, the dense head), which the
+// row-major matrices serve one Dot at a time; packing the weights into
+// mathx.PackedGEMV tiles lets the SIMD kernels vectorize across output rows
+// instead. The packs (and the transposed W the one-hot gather walks) are
+// derived data: they are built lazily on first use, cached on the layer
+// behind atomic pointers, dropped by InvalidateInference whenever the
+// optimizer mutates the weights, and rebuilt when a kernel-tier override
+// makes them stale. Concurrent builders may race benignly — every build
+// produces identical bits, the last store wins.
+//
+// None of this changes any result: PackedGEMV.Apply and OneHotGather are
+// bitwise-identical to the MulVec/MulVecAdd reference per element, and the
+// fused gate epilogue below performs exactly the same per-element operation
+// chain as the unfused activation + cell loops it replaces.
+
+// lstmPacks is one layer's packed inference weights.
+type lstmPacks struct {
+	w, u *mathx.PackedGEMV
+}
+
+// inferPacks returns the layer's packed weights, building them on first use
+// or after a kernel-tier change.
+func (l *LSTMLayer) inferPacks() *lstmPacks {
+	p := l.packs.Load()
+	if p == nil || p.w.Stale() {
+		p = &lstmPacks{w: mathx.PackGEMV(l.W), u: mathx.PackGEMV(l.U)}
+		l.packs.Store(p)
+	}
+	return p
+}
+
+// wtrans returns Wᵀ for the one-hot gather, building it on first use.
+func (l *LSTMLayer) wtrans() *mathx.Matrix {
+	wt := l.wt.Load()
+	if wt == nil {
+		wt = l.W.Transpose()
+		l.wt.Store(wt)
+	}
+	return wt
+}
+
+// inferPack returns the dense head's packed weights.
+func (d *Dense) inferPack() *mathx.PackedGEMV {
+	p := d.pack.Load()
+	if p == nil || p.Stale() {
+		p = mathx.PackGEMV(d.W)
+		d.pack.Store(p)
+	}
+	return p
+}
+
+// forwardInfer is Forward through the packed weights: logits = W·h + b with
+// the bias add fused into the GEMV epilogue, bitwise-identical to Forward.
+func (d *Dense) forwardInfer(dst, h []float64) {
+	d.inferPack().Apply(dst, h, d.B, mathx.GemvSetBias)
+}
+
+// InvalidateInference drops every cached inference layout (packed GEMV
+// tiles, transposed input weights). The trainer calls it after each
+// optimizer step; anything else that mutates weights in place must do the
+// same. GrowClasses replaces the head wholesale, so its caches start empty.
+func (c *Classifier) InvalidateInference() {
+	for _, l := range c.Layers {
+		l.packs.Store(nil)
+		l.wt.Store(nil)
+	}
+	c.Out.pack.Store(nil)
+}
+
+// gatesCellUpdate is the fused gate epilogue: activation and cell/hidden
+// update in one pass over the hidden units, reading the combined
+// pre-activations from z and never writing activated gates back to memory.
+// Per element it performs exactly the operations of the classic two-loop
+// form (σ/τ on the same pre-activation values, then f⊙c + i⊙g and o⊙τ(c))
+// — there are no cross-element dependencies, so the fusion is bitwise-free.
+func (l *LSTMLayer) gatesCellUpdate(z, h, c []float64) {
+	H := l.HiddenSize
+	// Gate blocks are laid out [i|f|o|g], so the three sigmoid gates are
+	// one contiguous run and the candidate gate follows — each activates
+	// in place through the vectorized kernels (bitwise identical to the
+	// scalar Sigmoid/Tanh loops they replace).
+	mathx.VSigmoid(z[:3*H], z[:3*H])
+	mathx.VTanh(z[3*H:4*H], z[3*H:4*H])
+	zi := z[gateI*H : gateI*H+H]
+	zf := z[gateF*H : gateF*H+H]
+	zo := z[gateO*H : gateO*H+H]
+	zg := z[gateG*H : gateG*H+H]
+	for j := 0; j < H; j++ {
+		c[j] = zf[j]*c[j] + zi[j]*zg[j]
+	}
+	// The i-gate block is consumed, so it doubles as the tanh(c) scratch.
+	mathx.VTanh(zi, c[:H])
+	for j := 0; j < H; j++ {
+		h[j] = zo[j] * zi[j]
+	}
+}
+
+// stepInferOneHot is stepInfer for a one-hot input given as its active
+// column indices (strictly ascending): the W·x product becomes a column
+// gather over Wᵀ, the U·h product and bias fuse into one packed GEMV
+// epilogue, and the gate epilogue is the fused single pass. Bitwise
+// equal to stepInfer on the equivalent dense vector.
+func (l *LSTMLayer) stepInferOneHot(z []float64, idx []int, h, c []float64) {
+	mathx.OneHotGather(z, l.wtrans(), idx)
+	l.inferPacks().u.Apply(z, h, l.B, mathx.GemvAddBias)
+	l.gatesCellUpdate(z, h, c)
+}
+
+// StepLogitsOneHot is StepLogits with the first layer's input given as
+// one-hot active-column indices instead of a dense vector — the streaming
+// detector's per-package hot path. Later layers consume the dense hidden
+// vectors as usual.
+func (c *Classifier) StepLogitsOneHot(state *State, idx []int, scores []float64) {
+	c.Layers[0].stepInferOneHot(state.z[0], idx, state.h[0], state.c[0])
+	cur := state.h[0]
+	for i := 1; i < len(c.Layers); i++ {
+		l := c.Layers[i]
+		l.stepInfer(state.z[i], cur, state.h[i], state.c[i])
+		cur = state.h[i]
+	}
+	c.Out.forwardInfer(scores, cur)
+}

@@ -9,6 +9,7 @@ package nn
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"icsdetect/internal/mathx"
 )
@@ -41,6 +42,12 @@ type LSTMLayer struct {
 	W          *mathx.Matrix
 	U          *mathx.Matrix
 	B          []float64
+
+	// Cached inference layouts (infer.go): packed GEMV tiles of W/U and
+	// the transposed W the one-hot gather walks. Unexported so gob skips
+	// them; dropped by Classifier.InvalidateInference on weight mutation.
+	packs atomic.Pointer[lstmPacks]
+	wt    atomic.Pointer[mathx.Matrix]
 }
 
 // NewLSTMLayer allocates a layer with Xavier/Glorot-uniform weights and the
@@ -97,28 +104,18 @@ type lstmStepCache struct {
 // stepForward advances one timestep. x, hPrev and cPrev are not retained by
 // the layer; the returned cache aliases the slices it allocates.
 // stepInfer is the allocation-free inference step: gate pre-activations
-// go through the caller's z scratch and h/c update in place. Per element
-// it performs exactly stepForward's operations in the same order (gate
-// pre-activation sums, activations, then the cell/hidden update), so the
-// inference path stays bitwise-identical to the training-forward path and
-// to the batched StepBatchLogits (which also updates h/c in place).
+// go through the caller's z scratch and h/c update in place. It runs on
+// the packed inference weights (infer.go) with the bias and gate epilogue
+// fused, but per element it performs exactly stepForward's operations in
+// the same order (gate pre-activation sums, activations, then the
+// cell/hidden update), so the inference path stays bitwise-identical to
+// the training-forward path and to the batched StepBatchLogits (which
+// also updates h/c in place).
 func (l *LSTMLayer) stepInfer(z, x, h, c []float64) {
-	H := l.HiddenSize
-	l.W.MulVec(z, x)
-	l.U.MulVecAdd(z, h)
-	for i := range z {
-		z[i] += l.B[i]
-	}
-	for j := 0; j < H; j++ {
-		z[gateI*H+j] = mathx.Sigmoid(z[gateI*H+j])
-		z[gateF*H+j] = mathx.Sigmoid(z[gateF*H+j])
-		z[gateO*H+j] = mathx.Sigmoid(z[gateO*H+j])
-		z[gateG*H+j] = math.Tanh(z[gateG*H+j])
-	}
-	for j := 0; j < H; j++ {
-		c[j] = z[gateF*H+j]*c[j] + z[gateI*H+j]*z[gateG*H+j]
-		h[j] = z[gateO*H+j] * math.Tanh(c[j])
-	}
+	p := l.inferPacks()
+	p.w.Apply(z, x, nil, mathx.GemvSet)
+	p.u.Apply(z, h, l.B, mathx.GemvAddBias)
+	l.gatesCellUpdate(z, h, c)
 }
 
 func (l *LSTMLayer) stepForward(x, hPrev, cPrev []float64) *lstmStepCache {

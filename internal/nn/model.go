@@ -147,7 +147,7 @@ func (c *Classifier) StepLogits(state *State, x, scores []float64) {
 		l.stepInfer(state.z[i], cur, state.h[i], state.c[i])
 		cur = state.h[i]
 	}
-	c.Out.Forward(scores, cur)
+	c.Out.forwardInfer(scores, cur)
 }
 
 // GradBuffer accumulates gradients for every parameter of a classifier. One

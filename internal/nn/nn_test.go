@@ -11,6 +11,9 @@ import (
 // analyticLoss computes the summed cross-entropy loss of seq without
 // touching gradients, used by the finite-difference check.
 func analyticLoss(c *Classifier, seq *Sequence) float64 {
+	// The gradient check perturbs weight tensors in place between calls,
+	// so the cached inference layouts must be rebuilt from fresh values.
+	c.InvalidateInference()
 	state := c.NewState()
 	probs := make([]float64, c.Classes())
 	var loss float64

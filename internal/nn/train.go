@@ -235,6 +235,9 @@ func Train(c *Classifier, seqs []Sequence, cfg TrainConfig) (float64, error) {
 			if err := opt.Step(params, grads.Slices()); err != nil {
 				return 0, err
 			}
+			// The step mutated every weight tensor in place: drop the
+			// cached inference layouts so they rebuild from fresh values.
+			c.InvalidateInference()
 			epochLoss += batchLoss
 			epochSteps += batchSteps
 		}

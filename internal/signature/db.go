@@ -69,6 +69,17 @@ func (db *DB) Contains(sig string) bool {
 // Count returns #(s), the number of training occurrences of sig.
 func (db *DB) Count(sig string) int { return db.Counts[sig] }
 
+// Intern returns the canonical string for the signature spelled in buf:
+// database signatures resolve to their List entry without allocating (a map
+// lookup keyed by string(buf) does not materialize the string), so only
+// signatures outside S — the anomalous ones — cost a fresh string.
+func (db *DB) Intern(buf []byte) string {
+	if i, ok := db.Index[string(buf)]; ok {
+		return db.List[i]
+	}
+	return string(buf)
+}
+
 // ClassOf returns the class index of sig and whether it exists.
 func (db *DB) ClassOf(sig string) (int, bool) {
 	i, ok := db.Index[sig]

@@ -243,11 +243,42 @@ func (e *Encoder) Buckets() []int {
 // the returned vector.
 func (e *Encoder) Encode(prev, cur *dataset.Package) []int {
 	c := make([]int, len(e.Features))
+	e.EncodeInto(c, prev, cur)
+	return c
+}
+
+// EncodeInto writes the discretized vector c(t) into dst, whose length must
+// be len(e.Features). It is Encode without the allocation: streaming
+// sessions reuse one buffer per stream, keeping the per-package hot path
+// allocation-free.
+func (e *Encoder) EncodeInto(dst []int, prev, cur *dataset.Package) {
+	if len(dst) != len(e.Features) {
+		panic(fmt.Sprintf("signature: encode into vector of %d, want %d", len(dst), len(e.Features)))
+	}
 	var buf [extractDim]float64
 	for i, f := range e.Features {
-		c[i] = f.Disc.Discretize(extractInto(buf[:], f.Kind, prev, cur))
+		dst[i] = discretize(f.Disc, extractInto(buf[:], f.Kind, prev, cur))
 	}
-	return c
+}
+
+// discretize dispatches to the built-in discretizers with concrete calls.
+// None of them retain v, which escape analysis can only see past the
+// interface when the call is devirtualized — the type switch is what keeps
+// EncodeInto's scratch buffer on the stack. Unknown implementations get a
+// defensive copy so v itself still never leaks.
+func discretize(d Discretizer, v []float64) int {
+	switch d := d.(type) {
+	case *KMeansDisc:
+		return d.Discretize(v)
+	case *IntervalDisc:
+		return d.Discretize(v)
+	case *CategoricalDisc:
+		return d.Discretize(v)
+	default:
+		cp := make([]float64, len(v))
+		copy(cp, v)
+		return d.Discretize(cp)
+	}
 }
 
 // EncodeFragment encodes every package of a fragment.
@@ -265,15 +296,21 @@ func (e *Encoder) EncodeFragment(frag dataset.Fragment) [][]int {
 // joined with a separator, which assigns a unique string to each distinct
 // combination (paper §IV-A).
 func Signature(c []int) string {
-	var b strings.Builder
-	b.Grow(len(c) * 3)
+	return string(AppendSignature(make([]byte, 0, len(c)*3), c))
+}
+
+// AppendSignature appends the signature spelling of c to dst and returns the
+// extended buffer. Streaming sessions build signatures into a reusable
+// buffer and intern known ones against the database (DB.Intern), so the
+// per-package hot path allocates only for signatures outside S.
+func AppendSignature(dst []byte, c []int) []byte {
 	for i, v := range c {
 		if i > 0 {
-			b.WriteByte(':')
+			dst = append(dst, ':')
 		}
-		b.WriteString(strconv.Itoa(v))
+		dst = strconv.AppendInt(dst, int64(v), 10)
 	}
-	return b.String()
+	return dst
 }
 
 // ParseSignature inverts Signature; used by tests to verify injectivity.

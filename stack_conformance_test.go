@@ -1,8 +1,8 @@
 // Stack conformance beyond the committed goldens: the golden corpora pin
 // the default two-level stack, so this suite locks the sequential≡engine
 // bitwise invariant for composed stacks — freshly trained promoted levels
-// (PCA, GMM) under non-first-hit fusion, on both kernel paths. CI runs it
-// as part of `make conformance`.
+// (PCA, GMM) under non-first-hit fusion, on every kernel tier (AVX-512,
+// AVX2, scalar). CI runs it as part of `make conformance`.
 package icsdetect_test
 
 import (
@@ -11,7 +11,6 @@ import (
 	"testing"
 
 	"icsdetect"
-	"icsdetect/internal/mathx"
 )
 
 // stackFixture is the shared trained framework of the stack conformance
@@ -89,9 +88,10 @@ func sequentialStackVerdicts(t testing.TB, fx *stackFixture, spec icsdetect.Stac
 
 // TestStackConformance: a freshly trained bloom,pca,lstm stack under
 // majority-vote fusion must produce bitwise-identical verdicts (evidence
-// included) through the sequential session and the batched engine, on the
-// SIMD and the scalar kernel paths — many interleaved streams sharing
-// shards, so the window levels' batched Check precompute genuinely runs.
+// included) through the sequential session and the batched engine, on
+// every kernel tier (AVX-512, AVX2, scalar) — many interleaved streams
+// sharing shards, so the window levels' batched Check precompute genuinely
+// runs.
 func TestStackConformance(t *testing.T) {
 	fx := loadStackFixture(t)
 	spec, err := icsdetect.ParseStack("bloom,pca,lstm", "majority")
@@ -103,69 +103,61 @@ func TestStackConformance(t *testing.T) {
 		pkgs = pkgs[:900]
 	}
 
-	for _, kernel := range []struct {
-		name string
-		simd bool
-	}{{"simd", true}, {"scalar", false}} {
-		t.Run(kernel.name, func(t *testing.T) {
-			prev := mathx.SetSIMDEnabled(kernel.simd)
-			defer mathx.SetSIMDEnabled(prev)
+	forEachKernelTier(t, func(t *testing.T) {
+		want := sequentialStackVerdicts(t, fx, spec, pkgs)
 
-			want := sequentialStackVerdicts(t, fx, spec, pkgs)
-
-			// Six identical streams interleaved on three shards: shards
-			// constantly hold multiple streams mid-window, so Check
-			// precompute batches width > 1 and Advance passes batch the
-			// LSTM steps of distinct streams.
-			const streams = 6
-			var mu sync.Mutex
-			got := make(map[string][]icsdetect.Verdict, streams)
-			eng, err := icsdetect.NewEngine(fx.det, icsdetect.EngineConfig{
-				Shards: 3, MaxBatch: 8, QueueDepth: 32, Stack: spec,
-			}, func(r icsdetect.EngineResult) {
-				mu.Lock()
-				got[r.Stream] = append(got[r.Stream], r.Verdict)
-				mu.Unlock()
-			})
-			if err != nil {
-				t.Fatal(err)
-			}
-			for _, p := range pkgs {
-				for s := 0; s < streams; s++ {
-					if err := eng.Submit(fmt.Sprintf("dev-%d", s), p); err != nil {
-						t.Fatal(err)
-					}
-				}
-			}
-			if err := eng.Barrier(); err != nil {
-				t.Fatal(err)
-			}
-			stats := eng.Stats()
-			eng.Stop()
-
-			for s := 0; s < streams; s++ {
-				stream := fmt.Sprintf("dev-%d", s)
-				gv := got[stream]
-				if len(gv) != len(want) {
-					t.Fatalf("%s: %d verdicts for %d packages", stream, len(gv), len(want))
-				}
-				for i := range want {
-					if !gv[i].Equal(want[i]) {
-						t.Fatalf("%s package %d: engine %+v, sequential %+v", stream, i, gv[i], want[i])
-					}
-				}
-			}
-			if stats.Batches == 0 {
-				t.Error("engine never ran a batched Advance pass")
-			}
-			if stats.CheckBatches == 0 {
-				t.Error("engine never ran a batched Check precompute pass")
-			}
-			if stats.ByLevel[icsdetect.LevelPCA] == 0 {
-				t.Log("note: PCA level never decided a verdict on this stream")
-			}
+		// Six identical streams interleaved on three shards: shards
+		// constantly hold multiple streams mid-window, so Check
+		// precompute batches width > 1 and Advance passes batch the
+		// LSTM steps of distinct streams.
+		const streams = 6
+		var mu sync.Mutex
+		got := make(map[string][]icsdetect.Verdict, streams)
+		eng, err := icsdetect.NewEngine(fx.det, icsdetect.EngineConfig{
+			Shards: 3, MaxBatch: 8, QueueDepth: 32, Stack: spec,
+		}, func(r icsdetect.EngineResult) {
+			mu.Lock()
+			got[r.Stream] = append(got[r.Stream], r.Verdict)
+			mu.Unlock()
 		})
-	}
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range pkgs {
+			for s := 0; s < streams; s++ {
+				if err := eng.Submit(fmt.Sprintf("dev-%d", s), p); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if err := eng.Barrier(); err != nil {
+			t.Fatal(err)
+		}
+		stats := eng.Stats()
+		eng.Stop()
+
+		for s := 0; s < streams; s++ {
+			stream := fmt.Sprintf("dev-%d", s)
+			gv := got[stream]
+			if len(gv) != len(want) {
+				t.Fatalf("%s: %d verdicts for %d packages", stream, len(gv), len(want))
+			}
+			for i := range want {
+				if !gv[i].Equal(want[i]) {
+					t.Fatalf("%s package %d: engine %+v, sequential %+v", stream, i, gv[i], want[i])
+				}
+			}
+		}
+		if stats.Batches == 0 {
+			t.Error("engine never ran a batched Advance pass")
+		}
+		if stats.CheckBatches == 0 {
+			t.Error("engine never ran a batched Check precompute pass")
+		}
+		if stats.ByLevel[icsdetect.LevelPCA] == 0 {
+			t.Log("note: PCA level never decided a verdict on this stream")
+		}
+	})
 }
 
 // TestStackConformanceDynamicK: the adaptive-k controller folded onto the
