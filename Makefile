@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build fmt vet test race race-quick conformance bench bench-smoke bench-stack bench-train fuzz-smoke
+.PHONY: check build fmt vet test race race-quick conformance bench bench-json bench-smoke bench-stack bench-train fuzz-smoke
 
 check: fmt vet build test race-quick fuzz-smoke bench-smoke
 
@@ -31,20 +31,25 @@ race:
 # The -short sweep already covers internal/trace and the root golden-trace
 # conformance tests under -race (neither Short-skips); the explicit
 # conformance line below guards that coverage against a future Short-gate.
-# Keep -race on this quick subset only — a full -race sweep takes minutes
-# on the 1-CPU CI runner.
+# The TestTraceConformance pattern also matches TestTraceConformanceF32, so
+# the f32 verdict-parity suite runs under -race here as well. Keep -race on
+# this quick subset only — a full -race sweep takes minutes on the 1-CPU CI
+# runner.
 race-quick:
 	$(GO) test -race -short ./...
 	$(GO) test -race ./internal/engine/
 	$(GO) test -race -run 'TestTraceConformance' .
 
 # The scenario-matrix golden conformance suite alone: both testbeds x
-# {sequential, engine} x {avx512, avx2, scalar} kernel tiers against the
-# committed corpora, plus the mixed-scenario engine and cross-scenario
-# parity gates — and the stack conformance suite, which locks
-# sequential==engine bitwise equivalence for composed level stacks (freshly
-# trained bloom,pca,lstm under majority-vote, dynamic-k, all fusion
-# policies) beyond what the two-level goldens cover.
+# {sequential, engine} x {f64, f32} precision tiers x {avx512, avx2,
+# scalar} kernel tiers against the committed corpora — the f32 tier must
+# reproduce the f64 goldens bytewise (verdict parity), on every kernel
+# tier, including mixed-precision streams sharing engine shards — plus the
+# mixed-scenario engine and cross-scenario parity gates, and the stack
+# conformance suite, which locks sequential==engine bitwise equivalence
+# for composed level stacks (freshly trained bloom,pca,lstm under
+# majority-vote, dynamic-k, all fusion policies) beyond what the two-level
+# goldens cover.
 conformance:
 	$(GO) test -v -run 'TestTraceConformance|TestStackConformance' .
 
@@ -56,6 +61,15 @@ bench: bench-stack
 # all-levels). Results are recorded in BENCH.md.
 bench-stack:
 	$(GO) run ./cmd/icsbench -stackbench -packages 8000
+
+# Machine-readable benchmark records: the -stackbench matrix at both
+# precision tiers plus the -kernelbench kernel × precision × tier matrix,
+# as JSON. The BENCH_*.json files are committed alongside BENCH.md so
+# tooling can diff throughput across PRs without scraping tables.
+bench-json:
+	$(GO) run ./cmd/icsbench -stackbench -packages 8000 -json > BENCH_STACK.json
+	$(GO) run ./cmd/icsbench -stackbench -packages 8000 -precision f32 -json > BENCH_STACK_F32.json
+	$(GO) run ./cmd/icsbench -kernelbench -json > BENCH_KERNELS.json
 
 # Short coverage-guided runs of the Modbus codec fuzzers, seeded from the
 # golden corpus frames (decode→encode must stay stable, no panics on

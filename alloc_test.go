@@ -12,14 +12,16 @@ import (
 )
 
 // classifyAllocs measures the mean allocations per package of a warmed
-// sequential session over spec.
-func classifyAllocs(t *testing.T, spec icsdetect.StackSpec) float64 {
+// sequential session over spec. reuse opts the session into the pooled
+// per-verdict evidence buffer.
+func classifyAllocs(t *testing.T, spec icsdetect.StackSpec, reuse bool) float64 {
 	t.Helper()
 	fx := loadStackFixture(t)
 	sess, err := fx.det.NewStackSession(spec)
 	if err != nil {
 		t.Fatal(err)
 	}
+	sess.ReuseEvidence(reuse)
 	pkgs := fx.split.Test
 	if len(pkgs) > 1400 {
 		pkgs = pkgs[:1400]
@@ -88,9 +90,12 @@ func TestHotPathAllocations(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	f32Spec := defaultSpec
+	f32Spec.Precision = icsdetect.PrecisionF32
 	cases := []struct {
 		name    string
 		engine  bool
+		reuse   bool
 		spec    icsdetect.StackSpec
 		ceiling float64
 	}{
@@ -99,14 +104,20 @@ func TestHotPathAllocations(t *testing.T) {
 		// the database's canonical strings, bloom hashes inline, and the
 		// structs handed to the stage interfaces live on the session
 		// (measured 0.0).
-		{"sequential/default", false, defaultSpec, 1},
-		// The 4-level stack allocates the per-verdict evidence slice — the
-		// caller retains it, so it cannot be pooled (measured 1.0).
-		{"sequential/4level", false, fourSpec, 2},
+		{"sequential/default", false, false, defaultSpec, 0.5},
+		// The f32 tier shares the zero-alloc hot path (measured 0.0).
+		{"sequential/f32", false, false, f32Spec, 0.5},
+		// The 4-level stack allocates the per-verdict evidence slice by
+		// default — the caller retains it (measured 1.0)…
+		{"sequential/4level", false, false, fourSpec, 1.5},
+		// …and is allocation-free once the caller opts into the pooled
+		// evidence buffer (measured 0.0).
+		{"sequential/4level/reuse", false, true, fourSpec, 0.5},
 		// Engine paths add a fraction of amortized submit/batch machinery
-		// (measured 0.3 and 1.3).
-		{"engine/default", true, defaultSpec, 2},
-		{"engine/4level", true, fourSpec, 3},
+		// (measured 0.2 and 1.2).
+		{"engine/default", true, false, defaultSpec, 1},
+		{"engine/f32", true, false, f32Spec, 1},
+		{"engine/4level", true, false, fourSpec, 2},
 	}
 	for _, c := range cases {
 		c := c
@@ -115,7 +126,7 @@ func TestHotPathAllocations(t *testing.T) {
 			if c.engine {
 				per = engineAllocs(t, c.spec)
 			} else {
-				per = classifyAllocs(t, c.spec)
+				per = classifyAllocs(t, c.spec, c.reuse)
 			}
 			t.Logf("%s: %.2f allocs/package (gate %.0f)", c.name, per, c.ceiling)
 			if per > c.ceiling {

@@ -8,7 +8,8 @@
 //	icsbench [-packages N] [-seed S] [-full] [-quiet]
 //	icsbench -trainbench
 //	icsbench -stackbench [-packages N] [-levels pca,lstm -fusion weighted]
-//	icsbench -kernelbench
+//	icsbench -stackbench -precision f32 [-json]
+//	icsbench -kernelbench [-json]
 //
 // -full runs at the original dataset's scale with the paper's 2×256 LSTM
 // (slow); the default runs a scaled configuration that preserves every
@@ -19,13 +20,19 @@
 // throughput with per-level time share, and engine throughput with the
 // per-stage micro-batch widths, across bloom / bloom,lstm /
 // bloom,pca,lstm / all-levels (plus an optional -levels custom stack);
-// results are recorded in BENCH.md. -kernelbench microbenchmarks the
-// inference kernels themselves — dense vs one-hot step, sequential vs
-// batched, and the vectorized activations — under each kernel tier
-// (scalar, AVX2, AVX-512).
+// -precision f32 benches the stacks on the float32 inference tier,
+// skipping stacks with levels that have no f32 path. Results are recorded
+// in BENCH.md. -kernelbench microbenchmarks the inference kernels
+// themselves — dense vs one-hot step, sequential vs batched, and the
+// vectorized activations, at both f64 and f32 — under each kernel tier
+// (scalar, AVX2, AVX-512). -json emits the -stackbench/-kernelbench
+// results as a machine-readable JSON document on stdout (progress moves
+// to stderr); `make bench-json` records them as BENCH_STACK.json and
+// BENCH_KERNELS.json.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -60,9 +67,11 @@ func run() error {
 		markdown = flag.Bool("markdown", false, "emit a markdown report instead of plain tables")
 		trainB   = flag.Bool("trainbench", false, "benchmark batched vs reference training at paper scale and exit")
 		stackB   = flag.Bool("stackbench", false, "benchmark detection stacks (per-level time share + throughput) and exit")
-		kernelB  = flag.Bool("kernelbench", false, "microbenchmark the inference kernels (dense vs one-hot × kernel tiers) and exit")
+		kernelB  = flag.Bool("kernelbench", false, "microbenchmark the inference kernels (dense vs one-hot × precisions × kernel tiers) and exit")
 		levels   = flag.String("levels", "", "with -stackbench: additionally bench this custom stack")
 		fusion   = flag.String("fusion", "", "with -stackbench: fusion policy of the -levels custom stack")
+		prec     = flag.String("precision", "", "with -stackbench: numeric tier to bench, f64 (default) or f32")
+		jsonOut  = flag.Bool("json", false, "with -stackbench/-kernelbench: emit results as JSON on stdout")
 	)
 	flag.Parse()
 
@@ -70,10 +79,16 @@ func run() error {
 		return runTrainBench(*packages, *seed)
 	}
 	if *stackB {
-		return runStackBench(*packages, *seed, *levels, *fusion)
+		return runStackBench(*packages, *seed, *levels, *fusion, *prec, *jsonOut)
 	}
 	if *kernelB {
-		return runKernelBench()
+		return runKernelBench(*jsonOut)
+	}
+	if *jsonOut {
+		return fmt.Errorf("-json applies to -stackbench and -kernelbench")
+	}
+	if *prec != "" {
+		return fmt.Errorf("-precision applies to -stackbench")
 	}
 
 	cfg := experiments.DefaultConfig()
@@ -225,11 +240,57 @@ func (t timedStage) Advance(st core.StageState, pc *core.PackageContext, v *core
 // promoted level plus the built-in two.
 const stackBenchAll = "bloom,bf4,pca,gmm,iforest,bayesnet,svdd,lstm"
 
+// stackResult is one -stackbench row as emitted by -json.
+type stackResult struct {
+	Stack            string             `json:"stack"`
+	Precision        string             `json:"precision"`
+	SeqPkgsPerSec    float64            `json:"seq_pkgs_per_sec"`
+	EnginePkgsPerSec float64            `json:"engine_pkgs_per_sec"`
+	AdvanceBatch     float64            `json:"advance_batch"`
+	CheckBatch       float64            `json:"check_batch"`
+	LevelTimeShare   map[string]float64 `json:"level_time_share"`
+}
+
+// kernelResult is one -kernelbench cell as emitted by -json: one kernel at
+// one precision on one kernel tier.
+type kernelResult struct {
+	Kernel    string  `json:"kernel"`
+	Precision string  `json:"precision"`
+	Tier      string  `json:"tier"`
+	NsPerOp   float64 `json:"ns_per_op"`
+}
+
+// benchDoc is the -json document: exactly one of Stacks/Kernels is set,
+// named by Benchmark.
+type benchDoc struct {
+	Benchmark string         `json:"benchmark"`
+	Packages  int            `json:"packages,omitempty"`
+	Stacks    []stackResult  `json:"stacks,omitempty"`
+	Kernels   []kernelResult `json:"kernels,omitempty"`
+}
+
+func writeJSON(doc benchDoc) error {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
 // runStackBench trains one framework plus every promoted level's stage
 // model, then measures each stack: sequential throughput with per-level
 // time share (instrumented stages), and engine throughput with the mean
-// micro-batch widths of the batched Advance and Check passes.
-func runStackBench(packages int, seed uint64, customLevels, customFusion string) error {
+// micro-batch widths of the batched Advance and Check passes. precName
+// selects the numeric tier; at f32, built-in stacks containing a level
+// without an f32 path are skipped (noted on stderr), while an f32-incapable
+// -levels custom stack is an error.
+func runStackBench(packages int, seed uint64, customLevels, customFusion, precName string, jsonOut bool) error {
+	prec, err := core.ParsePrecision(precName)
+	if err != nil {
+		return err
+	}
+	progress := os.Stdout
+	if jsonOut {
+		progress = os.Stderr
+	}
 	if packages <= 0 {
 		packages = 10000
 	}
@@ -264,34 +325,56 @@ func runStackBench(packages int, seed uint64, customLevels, customFusion string)
 	if err := fw.TrainStages(allSpec, split, seed); err != nil {
 		return err
 	}
-	fmt.Printf("framework + %d stage models trained in %v (|S|=%d k=%d, test %d packages)\n",
+	fmt.Fprintf(progress, "framework + %d stage models trained in %v (|S|=%d k=%d, test %d packages)\n",
 		len(fw.Extra), time.Since(start).Round(time.Millisecond), report.Signatures,
 		report.ChosenK, len(split.Test))
 
-	stacks := []struct{ levels, fusion string }{
-		{"bloom", "first-hit"},
-		{"bloom,lstm", "first-hit"},
-		{"bloom,pca,lstm", "first-hit"},
-		{stackBenchAll, "majority"},
+	stacks := []struct {
+		levels, fusion string
+		custom         bool
+	}{
+		{"bloom", "first-hit", false},
+		{"bloom,lstm", "first-hit", false},
+		{"bloom,pca,lstm", "first-hit", false},
+		{stackBenchAll, "majority", false},
 	}
 	if customLevels != "" {
-		stacks = append(stacks, struct{ levels, fusion string }{customLevels, customFusion})
+		stacks = append(stacks, struct {
+			levels, fusion string
+			custom         bool
+		}{customLevels, customFusion, true})
 	}
+	var results []stackResult
 	for _, sb := range stacks {
 		spec, err := core.ParseStackSpec(sb.levels, sb.fusion)
 		if err != nil {
 			return err
 		}
-		if err := benchStack(fw, spec, split.Test); err != nil {
+		spec.Precision = prec
+		if err := spec.Validate(); err != nil {
+			if sb.custom {
+				return err
+			}
+			// Built-in list entries with no path at this tier are noted, not
+			// fatal: `-precision f32` benches whatever the tier can run.
+			fmt.Fprintf(os.Stderr, "skipping %s: %v\n", sb.levels, err)
+			continue
+		}
+		res, err := benchStack(fw, spec, split.Test, jsonOut)
+		if err != nil {
 			return fmt.Errorf("stack %s: %w", spec, err)
 		}
+		results = append(results, res)
+	}
+	if jsonOut {
+		return writeJSON(benchDoc{Benchmark: "stackbench", Packages: packages, Stacks: results})
 	}
 	return nil
 }
 
 // benchStack measures one stack sequentially (instrumented) and through
 // the engine (16 streams on 2 shards).
-func benchStack(fw *core.Framework, spec core.StackSpec, test []*dataset.Package) error {
+func benchStack(fw *core.Framework, spec core.StackSpec, test []*dataset.Package, jsonOut bool) (stackResult, error) {
 	// Repeat the test stream until the run is long enough to time.
 	const targetPkgs = 60000
 	reps := targetPkgs/len(test) + 1
@@ -299,7 +382,7 @@ func benchStack(fw *core.Framework, spec core.StackSpec, test []*dataset.Package
 	// Sequential, instrumented per level.
 	stack, err := fw.NewStack(spec)
 	if err != nil {
-		return err
+		return stackResult{}, err
 	}
 	inner := stack.Stages()
 	timers := make([][2]time.Duration, len(inner))
@@ -309,7 +392,7 @@ func benchStack(fw *core.Framework, spec core.StackSpec, test []*dataset.Package
 	}
 	tstack, err := core.NewStackFromStages(fw, spec, wrapped)
 	if err != nil {
-		return err
+		return stackResult{}, err
 	}
 	sess := tstack.NewSession()
 	seqStart := time.Now()
@@ -331,7 +414,7 @@ func benchStack(fw *core.Framework, spec core.StackSpec, test []*dataset.Package
 	const streams = 16
 	eng, err := engine.New(fw, engine.Config{Shards: 2, MaxBatch: 32, Stack: spec}, nil)
 	if err != nil {
-		return err
+		return stackResult{}, err
 	}
 	keys := make([]string, streams)
 	for s := range keys {
@@ -342,13 +425,13 @@ func benchStack(fw *core.Framework, spec core.StackSpec, test []*dataset.Package
 	for r := 0; r < reps; r++ {
 		for i, p := range test {
 			if err := eng.Submit(keys[i%streams], p); err != nil {
-				return err
+				return stackResult{}, err
 			}
 			en++
 		}
 	}
 	if err := eng.Barrier(); err != nil {
-		return err
+		return stackResult{}, err
 	}
 	engWall := time.Since(engStart)
 	stats := eng.Stats()
@@ -358,9 +441,22 @@ func benchStack(fw *core.Framework, spec core.StackSpec, test []*dataset.Package
 	if stats.CheckBatches > 0 {
 		meanCheck = float64(stats.CheckBatched) / float64(stats.CheckBatches)
 	}
-	fmt.Printf("%-52s seq %7.0f pkg/s  engine %7.0f pkg/s  advance-batch %.1f  check-batch %.1f\n",
-		spec.String(), float64(n)/seqWall.Seconds(), float64(en)/engWall.Seconds(),
-		stats.MeanBatch(), meanCheck)
-	fmt.Printf("    level time share: %s\n", share)
-	return nil
+	res := stackResult{
+		Stack:            spec.String(),
+		Precision:        spec.Precision.String(),
+		SeqPkgsPerSec:    float64(n) / seqWall.Seconds(),
+		EnginePkgsPerSec: float64(en) / engWall.Seconds(),
+		AdvanceBatch:     stats.MeanBatch(),
+		CheckBatch:       meanCheck,
+		LevelTimeShare:   make(map[string]float64, len(inner)),
+	}
+	for _, st := range inner {
+		res.LevelTimeShare[st.Name()] = share.Share(st.Name())
+	}
+	if !jsonOut {
+		fmt.Printf("%-52s seq %7.0f pkg/s  engine %7.0f pkg/s  advance-batch %.1f  check-batch %.1f\n",
+			res.Stack, res.SeqPkgsPerSec, res.EnginePkgsPerSec, res.AdvanceBatch, res.CheckBatch)
+		fmt.Printf("    level time share: %s\n", share)
+	}
+	return res, nil
 }

@@ -42,6 +42,7 @@ func run() error {
 		mode      = flag.String("mode", "combined", "detector mode: combined, package, series")
 		levels    = flag.String("levels", "", "detection stack, e.g. bloom,pca,lstm (overrides -mode; registered: "+strings.Join(core.StageKinds(), ", ")+"); \"list\" prints the kinds")
 		fusion    = flag.String("fusion", "", "verdict fusion policy for -levels: first-hit, majority or weighted")
+		precision = flag.String("precision", "", "numeric tier: f64 (default) or f32 (float32 SIMD inference)")
 		k         = flag.Int("k", 0, "override top-k threshold (0 keeps the trained k)")
 		alerts    = flag.String("alerts", "", "write one line per detected anomaly to this file")
 	)
@@ -56,6 +57,9 @@ func run() error {
 
 	spec, err := core.ResolveStackFlags(*levels, *fusion, *mode)
 	if err != nil {
+		return err
+	}
+	if spec, err = spec.WithPrecision(*precision); err != nil {
 		return err
 	}
 

@@ -38,21 +38,28 @@ func main() {
 
 func run() error {
 	var (
-		name     = flag.String("scenario", scenario.Default, "testbed scenario: "+strings.Join(scenario.Names(), ", "))
-		packages = flag.Int("packages", 60000, "approximate capture size in packages")
-		seed     = flag.Uint64("seed", 1, "random seed")
-		ratio    = flag.Float64("attack-ratio", 0.219, "target fraction of attack packages")
-		normal   = flag.Bool("normal", false, "generate attack-free traffic")
-		out      = flag.String("out", "-", "output path (- for stdout)")
-		levels   = flag.String("levels", "", "validate this detection stack spec before generating (fail-fast for pipelines; registered: "+strings.Join(core.StageKinds(), ", ")+")")
-		fusion   = flag.String("fusion", "", "fusion policy for the -levels validation")
+		name      = flag.String("scenario", scenario.Default, "testbed scenario: "+strings.Join(scenario.Names(), ", "))
+		packages  = flag.Int("packages", 60000, "approximate capture size in packages")
+		seed      = flag.Uint64("seed", 1, "random seed")
+		ratio     = flag.Float64("attack-ratio", 0.219, "target fraction of attack packages")
+		normal    = flag.Bool("normal", false, "generate attack-free traffic")
+		out       = flag.String("out", "-", "output path (- for stdout)")
+		levels    = flag.String("levels", "", "validate this detection stack spec before generating (fail-fast for pipelines; registered: "+strings.Join(core.StageKinds(), ", ")+")")
+		fusion    = flag.String("fusion", "", "fusion policy for the -levels validation")
+		precision = flag.String("precision", "", "numeric tier for the -levels validation: f64 (default) or f32")
 	)
 	flag.Parse()
 
 	if *levels != "" {
-		if _, err := core.ParseStackSpec(*levels, *fusion); err != nil {
+		spec, err := core.ParseStackSpec(*levels, *fusion)
+		if err != nil {
 			return err
 		}
+		if _, err := spec.WithPrecision(*precision); err != nil {
+			return err
+		}
+	} else if _, err := core.ParsePrecision(*precision); err != nil {
+		return err
 	}
 	sc, err := scenario.Get(*name)
 	if err != nil {

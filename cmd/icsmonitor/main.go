@@ -56,6 +56,7 @@ func run() error {
 		shards    = flag.Int("shards", 0, "detection engine shards (0 = GOMAXPROCS)")
 		levels    = flag.String("levels", "", "detection stack, e.g. bloom,pca,lstm (registered: "+strings.Join(core.StageKinds(), ", ")+")")
 		fusion    = flag.String("fusion", "", "verdict fusion policy for -levels: first-hit, majority or weighted")
+		precision = flag.String("precision", "", "numeric tier: f64 (default) or f32 (float32 SIMD inference)")
 	)
 	flag.Parse()
 	if *upstream == "" {
@@ -70,6 +71,9 @@ func run() error {
 	}
 	spec, err := core.ResolveStackFlags(*levels, *fusion, "")
 	if err != nil {
+		return err
+	}
+	if spec, err = spec.WithPrecision(*precision); err != nil {
 		return err
 	}
 

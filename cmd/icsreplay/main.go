@@ -66,6 +66,7 @@ func run() error {
 		modeName  = flag.String("mode", "combined", "detector mode: combined, package or series")
 		levels    = flag.String("levels", "", "detection stack, e.g. bloom,pca,lstm (overrides -mode; registered: "+strings.Join(core.StageKinds(), ", ")+")")
 		fusion    = flag.String("fusion", "", "verdict fusion policy for -levels: first-hit, majority or weighted")
+		precision = flag.String("precision", "", "numeric tier: f64 (default) or f32 (float32 SIMD inference)")
 		verify    = flag.String("verify", "", "golden verdict file to compare against (exit 1 on drift)")
 		verdicts  = flag.String("verdicts", "", "write the replay's verdicts to this golden file")
 	)
@@ -84,6 +85,9 @@ func run() error {
 
 	spec, err := core.ResolveStackFlags(*levels, *fusion, *modeName)
 	if err != nil {
+		return err
+	}
+	if spec, err = spec.WithPrecision(*precision); err != nil {
 		return err
 	}
 	f, err := os.Open(*modelPath)

@@ -147,6 +147,105 @@ func TestTraceConformance(t *testing.T) {
 	})
 }
 
+// TestTraceConformanceF32 is the mixed-precision verdict-parity gate: the
+// f32 inference tier must replay every committed trace of both corpora to
+// verdicts bytewise-identical to the f64 goldens — sequential session and
+// batched engine, on every kernel tier (AVX-512, AVX2, scalar). The
+// goldens are recorded at f64, so this is the cross-precision contract of
+// the f32 tier: faster kernels, same verdict sequence. A float32 rounding
+// regression that flips any anomaly bit, level, rank or signature shows up
+// as a concrete first-differing verdict line.
+func TestTraceConformanceF32(t *testing.T) {
+	corpora := loadCorpora(t)
+	f32Spec := core.DefaultStackSpec()
+	f32Spec.Precision = core.PrecisionF32
+
+	forEachKernelTier(t, func(t *testing.T) {
+		for _, c := range corpora {
+			t.Run(c.scenario, func(t *testing.T) {
+				for _, tc := range c.traces {
+					t.Run(tc.name, func(t *testing.T) {
+						seq, err := trace.Replay(c.fw, tc.header, tc.records, trace.ReplayConfig{Stack: f32Spec})
+						if err != nil {
+							t.Fatal(err)
+						}
+						got := trace.FormatVerdicts(tc.name, tc.header.Fingerprint, seq.Verdicts)
+						if line := trace.DiffVerdicts(tc.golden, got); line != 0 {
+							t.Fatalf("f32 sequential replay drifted from f64 goldens at line %d", line)
+						}
+
+						eng, err := trace.Replay(c.fw, tc.header, tc.records, trace.ReplayConfig{
+							Stack:  f32Spec,
+							Engine: &engine.Config{Shards: 3, MaxBatch: 16, QueueDepth: 32},
+						})
+						if err != nil {
+							t.Fatal(err)
+						}
+						got = trace.FormatVerdicts(tc.name, tc.header.Fingerprint, eng.Verdicts)
+						if line := trace.DiffVerdicts(tc.golden, got); line != 0 {
+							t.Fatalf("f32 engine replay drifted from f64 goldens at line %d", line)
+						}
+					})
+				}
+			})
+		}
+	})
+}
+
+// TestTraceConformanceF32MixedPrecision: one engine serving an f64 and an
+// f32 stream of the same trace on shared shards — the f32 stream bound via
+// BindPrecision — must produce, per stream, verdicts bytewise-identical to
+// the goldens. Per-precision micro-batches must never bleed kernels
+// between co-scheduled streams.
+func TestTraceConformanceF32MixedPrecision(t *testing.T) {
+	for _, c := range loadCorpora(t) {
+		t.Run(c.scenario, func(t *testing.T) {
+			tc := c.traces[0]
+			pkgs, err := trace.Packages(tc.header, tc.records)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var mu sync.Mutex
+			verdicts := make(map[string][]core.Verdict)
+			eng, err := engine.New(c.fw,
+				engine.Config{Shards: 2, MaxBatch: 16, QueueDepth: 64},
+				func(r engine.Result) {
+					mu.Lock()
+					verdicts[r.Stream] = append(verdicts[r.Stream], r.Verdict)
+					mu.Unlock()
+				})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := eng.BindPrecision("plc-f32", core.PrecisionF32); err != nil {
+				t.Fatal(err)
+			}
+			for _, p := range pkgs {
+				if err := eng.Submit("plc-f64", p); err != nil {
+					t.Fatal(err)
+				}
+				if err := eng.Submit("plc-f32", p); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := eng.Barrier(); err != nil {
+				t.Fatal(err)
+			}
+			eng.Stop()
+			for _, stream := range []string{"plc-f64", "plc-f32"} {
+				got := verdicts[stream]
+				if len(got) != len(pkgs) {
+					t.Fatalf("%s: %d verdicts for %d packages", stream, len(got), len(pkgs))
+				}
+				doc := trace.FormatVerdicts(tc.name, tc.header.Fingerprint, got)
+				if line := trace.DiffVerdicts(tc.golden, doc); line != 0 {
+					t.Errorf("%s: mixed-precision engine drifted from goldens at line %d", stream, line)
+				}
+			}
+		})
+	}
+}
+
 // TestTraceConformanceMixedScenarios: one engine serving gas-pipeline and
 // water-tank streams concurrently on shared shards — each stream bound to
 // its scenario's model via SubmitFor, submissions interleaved round-robin

@@ -104,6 +104,10 @@ type (
 	LevelEvidence = core.LevelEvidence
 	// StageFactory wires a custom stage kind into the registry.
 	StageFactory = core.StageFactory
+	// Precision selects the numeric tier a stack's kernel-backed levels
+	// run at: the f64 reference (default) or the opt-in f32 inference
+	// tier (see the README's "Precision tiers" section).
+	Precision = core.Precision
 	// DynamicKConfig tunes the adaptive top-k controller of the
 	// "lstm-dynamic" level.
 	DynamicKConfig = core.DynamicKConfig
@@ -130,6 +134,19 @@ const (
 	FusionMajority = core.FusionMajority
 	FusionWeighted = core.FusionWeighted
 )
+
+// Precision tiers.
+const (
+	// PrecisionF64 is the float64 reference tier (the default): its
+	// verdicts are the golden corpora and never change.
+	PrecisionF64 = core.PrecisionF64
+	// PrecisionF32 is the float32 inference tier: f32 SIMD kernels at
+	// twice the lane width, verdict-parity-gated against f64.
+	PrecisionF32 = core.PrecisionF32
+)
+
+// ParsePrecision parses a -precision flag value ("", "f64", "f32", …).
+func ParsePrecision(s string) (Precision, error) { return core.ParsePrecision(s) }
 
 // Detection levels.
 const (

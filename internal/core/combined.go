@@ -69,6 +69,24 @@ type Session struct {
 	pcbuf PackageContext
 	vbuf  Verdict
 	rbuf  StageResult
+	// evbuf backs the per-verdict Evidence slice when the caller opted
+	// into ReuseEvidence: evidence-recording stacks then classify without
+	// the one allocation per package the fresh slice costs.
+	evbuf         []LevelEvidence
+	reuseEvidence bool
+}
+
+// ReuseEvidence opts the session into pooling the per-verdict Evidence
+// slice: every verdict's Evidence aliases one session-owned buffer that
+// the next ClassifyOnly overwrites. Callers that retain verdicts (or
+// their Evidence) past the next classification must copy first — which is
+// why fresh slices remain the default. Only evidence-recording stacks
+// allocate evidence at all; for the rest this is a no-op.
+func (s *Session) ReuseEvidence(on bool) {
+	s.reuseEvidence = on
+	if on && s.evbuf == nil {
+		s.evbuf = make([]LevelEvidence, 0, len(s.stack.stages))
+	}
 }
 
 // NewSession starts a classification session over the default two-level
@@ -142,7 +160,11 @@ func (s *Session) ClassifyOnly(cur *dataset.Package) (Verdict, PackageContext) {
 	v := Verdict{Signature: s.pcbuf.Sig, Rank: -1}
 	st := s.stack
 	if st.evidence {
-		v.Evidence = make([]LevelEvidence, 0, len(st.stages))
+		if s.reuseEvidence {
+			v.Evidence = s.evbuf[:0]
+		} else {
+			v.Evidence = make([]LevelEvidence, 0, len(st.stages))
+		}
 	}
 	switch st.spec.fusion() {
 	case FusionMajority, FusionWeighted:

@@ -188,12 +188,12 @@ func (s *DynamicSeriesStage) decayHalf(st *dynamicState) {
 // stage's batched pass, so dynamic-k streams micro-batch with everything
 // else on the shard.
 func (s *DynamicSeriesStage) NewAdvanceBatch(maxBatch int) AdvanceBatch {
-	return &dynamicAdvanceBatch{stage: s, inner: newSeriesAdvanceBatch(s.Series, maxBatch)}
+	return &dynamicAdvanceBatch{stage: s, inner: s.Series.NewAdvanceBatch(maxBatch)}
 }
 
 type dynamicAdvanceBatch struct {
 	stage *DynamicSeriesStage
-	inner *seriesAdvanceBatch
+	inner AdvanceBatch
 }
 
 func (b *dynamicAdvanceBatch) Queue(state StageState, pc *PackageContext, v *Verdict) {

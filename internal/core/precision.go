@@ -1,0 +1,121 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Precision selects the numeric tier a detection stack's kernel-backed
+// levels run at. The default f64 tier is the reference: its verdicts are
+// the golden corpora and never change. The opt-in f32 tier runs the
+// time-series level on the frozen float32 inference snapshot
+// (nn.InferModel32) with f32 SIMD kernels at twice the lane width;
+// within f32 the scalar, AVX2 and AVX-512 kernels and the sequential and
+// batched paths are all bitwise-identical, and the conformance suite
+// gates f32 against the f64 goldens at the verdict level.
+type Precision string
+
+// Precisions.
+const (
+	// PrecisionF64 is the float64 reference tier (the default).
+	PrecisionF64 Precision = "f64"
+	// PrecisionF32 is the float32 inference tier.
+	PrecisionF32 Precision = "f32"
+)
+
+// ParsePrecision parses a precision name as accepted by the tools'
+// -precision flag. The empty string means the default f64 tier.
+func ParsePrecision(s string) (Precision, error) {
+	switch s {
+	case "", "f64", "float64", "double":
+		return PrecisionF64, nil
+	case "f32", "float32", "single":
+		return PrecisionF32, nil
+	default:
+		return "", fmt.Errorf("core: unknown precision %q (f64 or f32)", s)
+	}
+}
+
+// norm maps the zero value onto the default tier.
+func (p Precision) norm() Precision {
+	if p == "" {
+		return PrecisionF64
+	}
+	return p
+}
+
+// String names the precision as accepted by ParsePrecision.
+func (p Precision) String() string { return string(p.norm()) }
+
+// precision returns the spec's numeric tier with the zero value
+// defaulted, like fusion/threshold.
+func (s StackSpec) precision() Precision { return s.Precision.norm() }
+
+// WithPrecision applies a -precision flag value to a resolved spec and
+// fail-fast validates the result: an unknown name, or an f32 stack
+// containing a level without an f32 kernel path, errors here — at
+// startup, listing the supported set — rather than at first package.
+func (s StackSpec) WithPrecision(name string) (StackSpec, error) {
+	p, err := ParsePrecision(name)
+	if err != nil {
+		return StackSpec{}, err
+	}
+	s.Precision = p
+	return s, s.Validate()
+}
+
+// F32StageKinds lists the registered stage kinds with a float32 kernel
+// path, sorted — the supported set named by precision validation errors.
+func F32StageKinds() []string {
+	stageMu.RLock()
+	defer stageMu.RUnlock()
+	var kinds []string
+	for k, f := range stageRegistry {
+		if f.F32 {
+			kinds = append(kinds, k)
+		}
+	}
+	sort.Strings(kinds)
+	return kinds
+}
+
+// validatePrecision is the precision leg of StackSpec.Validate: the tier
+// must be known and, for f32, every registered level must declare an f32
+// path. Unregistered kinds pass here and surface in NewStack, exactly
+// like the base validation.
+func (s StackSpec) validatePrecision() error {
+	switch s.Precision {
+	case "", PrecisionF64:
+		return nil
+	case PrecisionF32:
+	default:
+		return fmt.Errorf("core: unknown precision %q (f64 or f32)", string(s.Precision))
+	}
+	for _, ss := range s.Stages {
+		fac, ok := stageFactory(ss.Kind)
+		if !ok {
+			continue
+		}
+		if !fac.F32 {
+			return fmt.Errorf("core: level %q has no f32 path (f32-capable: %s)",
+				ss.Kind, strings.Join(F32StageKinds(), ", "))
+		}
+	}
+	return nil
+}
+
+// rankOf32 is rankOf over the f32 logits of the float32 inference tier:
+// the 0-based rank of class, ties broken toward earlier indices with
+// exactly the f64 rule, so the two tiers' top-k boundaries differ only
+// where the logits themselves round apart.
+func rankOf32(probs []float32, class int) int {
+	p := probs[class]
+	rank := 0
+	for i, v := range probs {
+		if v > p || (v == p && i < class) {
+			rank++
+		}
+	}
+	return rank
+}

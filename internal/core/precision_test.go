@@ -1,0 +1,119 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParsePrecision(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Precision
+	}{
+		{"", PrecisionF64},
+		{"f64", PrecisionF64},
+		{"float64", PrecisionF64},
+		{"double", PrecisionF64},
+		{"f32", PrecisionF32},
+		{"float32", PrecisionF32},
+		{"single", PrecisionF32},
+	} {
+		got, err := ParsePrecision(tc.in)
+		if err != nil || got != tc.want {
+			t.Errorf("ParsePrecision(%q) = %v, %v; want %v", tc.in, got, err, tc.want)
+		}
+	}
+	for _, bad := range []string{"f16", "bf16", "fp32", "quad"} {
+		if _, err := ParsePrecision(bad); err == nil {
+			t.Errorf("ParsePrecision(%q) accepted", bad)
+		} else if !strings.Contains(err.Error(), bad) {
+			t.Errorf("ParsePrecision(%q) error %q does not name the input", bad, err)
+		}
+	}
+}
+
+// TestWithPrecisionFailFast: the -precision startup validation. Unknown
+// names error naming the supported set; an f32 stack containing a level
+// without an f32 path errors listing the f32-capable kinds, mirroring the
+// -levels registry error.
+func TestWithPrecisionFailFast(t *testing.T) {
+	spec := DefaultStackSpec()
+	if _, err := spec.WithPrecision("f16"); err == nil || !strings.Contains(err.Error(), "f64 or f32") {
+		t.Fatalf("unknown precision error = %v, want the supported set", err)
+	}
+	got, err := spec.WithPrecision("f32")
+	if err != nil {
+		t.Fatalf("default stack at f32: %v", err)
+	}
+	if got.Precision != PrecisionF32 {
+		t.Fatalf("precision not applied: %+v", got)
+	}
+
+	// A registered kind without an f32 path must be rejected at validation
+	// time, naming the capable set.
+	RegisterStage("f64only-test", StageFactory{
+		Build: func(*Framework, StageSpec) (StageDetector, error) { return nil, nil },
+	})
+	mixed := StackSpec{Stages: []StageSpec{{Kind: StageBloom}, {Kind: "f64only-test"}}}
+	if _, err := mixed.WithPrecision("f32"); err == nil {
+		t.Fatal("f32 stack with an f64-only level validated")
+	} else {
+		for _, want := range []string{"f64only-test", "f32-capable", StageLSTM} {
+			if !strings.Contains(err.Error(), want) {
+				t.Errorf("capability error %q does not mention %q", err, want)
+			}
+		}
+	}
+	// The same stack at the default tier stays valid.
+	if _, err := mixed.WithPrecision(""); err != nil {
+		t.Fatalf("f64 validation of a mixed stack: %v", err)
+	}
+	if err := (StackSpec{Stages: []StageSpec{{Kind: StageBloom}}, Precision: "f16"}).Validate(); err == nil {
+		t.Fatal("spec with a bogus precision value validated")
+	}
+}
+
+func TestF32StageKindsContainsBuiltins(t *testing.T) {
+	kinds := strings.Join(F32StageKinds(), ",")
+	for _, want := range []string{StageBloom, StageLSTM, StageLSTMDynamic} {
+		if !strings.Contains(kinds, want) {
+			t.Errorf("F32StageKinds() = %s missing %s", kinds, want)
+		}
+	}
+}
+
+// TestRankOf32MatchesRankOf: the f32 ranker applies the exact f64
+// tie-break rule (ties count toward earlier indices).
+func TestRankOf32MatchesRankOf(t *testing.T) {
+	cases := [][]float64{
+		{0.5, 0.25, 0.25},
+		{0.25, 0.25, 0.5},
+		{1, 1, 1, 1},
+		{-3, 2, 2, -3, 7},
+		{0},
+	}
+	for _, probs := range cases {
+		p32 := make([]float32, len(probs))
+		for i, v := range probs {
+			p32[i] = float32(v)
+		}
+		for class := range probs {
+			if got, want := rankOf32(p32, class), rankOf(probs, class); got != want {
+				t.Errorf("rankOf32(%v, %d) = %d, rankOf = %d", probs, class, got, want)
+			}
+		}
+	}
+}
+
+// TestStackStringIncludesPrecision: the flag-syntax rendering stays
+// byte-identical at the default tier and names the tier at f32.
+func TestStackStringIncludesPrecision(t *testing.T) {
+	spec := DefaultStackSpec()
+	if got := spec.String(); got != "bloom,lstm/first-hit" {
+		t.Fatalf("default spec renders %q", got)
+	}
+	spec.Precision = PrecisionF32
+	if got := spec.String(); got != "bloom,lstm/first-hit/f32" {
+		t.Fatalf("f32 spec renders %q", got)
+	}
+}

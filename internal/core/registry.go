@@ -41,6 +41,11 @@ type StageFactory struct {
 	// deterministic: Fingerprint mixes them.
 	Encode func(m StageModel) ([]byte, error)
 	Decode func(b []byte) (StageModel, error)
+	// F32 declares that Build honors StageSpec.Precision == PrecisionF32:
+	// the kind either runs on float32 kernels or is precision-independent
+	// (the Bloom membership test). Stacks requesting the f32 tier fail
+	// validation when any level leaves this false.
+	F32 bool
 }
 
 var (
@@ -106,24 +111,30 @@ func init() {
 			}
 			return &PackageStage{Detector: fw.Package}, nil
 		},
+		// The membership test is integer-only: precision-independent.
+		F32: true,
 	})
 	RegisterStage(StageLSTM, StageFactory{
-		Build: func(fw *Framework, _ StageSpec) (StageDetector, error) {
+		Build: func(fw *Framework, spec StageSpec) (StageDetector, error) {
 			if fw.Series == nil {
 				return nil, fmt.Errorf("framework has no time-series detector")
 			}
-			return &SeriesStage{DB: fw.DB, Detector: fw.Series, Input: fw.Input}, nil
+			return &SeriesStage{DB: fw.DB, Detector: fw.Series, Input: fw.Input,
+				F32: spec.Precision == PrecisionF32}, nil
 		},
+		F32: true,
 	})
 	RegisterStage(StageLSTMDynamic, StageFactory{
-		Build: func(fw *Framework, _ StageSpec) (StageDetector, error) {
+		Build: func(fw *Framework, spec StageSpec) (StageDetector, error) {
 			if fw.Series == nil {
 				return nil, fmt.Errorf("framework has no time-series detector")
 			}
 			return &DynamicSeriesStage{
-				Series: &SeriesStage{DB: fw.DB, Detector: fw.Series, Input: fw.Input},
-				Cfg:    DefaultDynamicKConfig(fw.Series.K),
+				Series: &SeriesStage{DB: fw.DB, Detector: fw.Series, Input: fw.Input,
+					F32: spec.Precision == PrecisionF32},
+				Cfg: DefaultDynamicKConfig(fw.Series.K),
 			}, nil
 		},
+		F32: true,
 	})
 }

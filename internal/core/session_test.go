@@ -152,6 +152,63 @@ func TestSessionBehaviour(t *testing.T) {
 		}
 	})
 
+	t.Run("ReuseEvidencePooling", func(t *testing.T) {
+		// Opting into evidence reuse must change only the slice's identity,
+		// never its contents: verdicts match a fresh-slice session field for
+		// field, and the pooled session hands out the same backing buffer
+		// every package.
+		spec := core.DefaultStackSpec()
+		spec.RecordEvidence = true
+		pooled, err := fw.NewStackSession(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pooled.ReuseEvidence(true)
+		fresh, err := fw.NewStackSession(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var prevBuf *core.LevelEvidence
+		for i, p := range split.Test[:300] {
+			pv, fv := pooled.Classify(p), fresh.Classify(p)
+			if !pv.Equal(fv) {
+				t.Fatalf("package %d: pooled verdict %+v, fresh %+v", i, pv, fv)
+			}
+			if len(pv.Evidence) == 0 {
+				t.Fatalf("package %d: evidence-recording stack produced no evidence", i)
+			}
+			if prevBuf != nil && prevBuf != &pv.Evidence[0] {
+				t.Fatalf("package %d: pooled session allocated a new evidence buffer", i)
+			}
+			prevBuf = &pv.Evidence[0]
+		}
+	})
+
+	t.Run("F32SessionResetMatchesFresh", func(t *testing.T) {
+		// The f32 tier honors the same session contract as f64: a reset
+		// session is indistinguishable from a fresh one.
+		spec := core.DefaultStackSpec()
+		spec.Precision = core.PrecisionF32
+		reused, err := fw.NewStackSession(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range split.Test[:150] {
+			reused.Classify(p)
+		}
+		reused.Reset()
+		freshSess, err := fw.NewStackSession(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, p := range split.Test[:150] {
+			got, want := reused.Classify(p), freshSess.Classify(p)
+			if !got.Equal(want) {
+				t.Fatalf("f32 verdict %d: reset session %+v, fresh session %+v", i, got, want)
+			}
+		}
+	})
+
 	t.Run("MFCISignaturesCaughtAtPackageLevel", func(t *testing.T) {
 		sess := fw.NewSession()
 		for _, p := range split.Test {

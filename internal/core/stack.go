@@ -62,6 +62,10 @@ type StageSpec struct {
 	Kind string
 	// Weight is the level's vote weight under weighted fusion (0 means 1).
 	Weight float64
+	// Precision is the numeric tier the level runs at. It is filled from
+	// the stack-wide StackSpec.Precision when the stack is built; factories
+	// read it to pick the kernel tier (zero means f64).
+	Precision Precision
 }
 
 // StackSpec describes a detection stack: an ordered list of level
@@ -81,6 +85,11 @@ type StackSpec struct {
 	// always recorded for non-first-hit fusion and for stacks with levels
 	// beyond the built-in two.
 	RecordEvidence bool
+	// Precision is the numeric tier the stack's kernel-backed levels run
+	// at: PrecisionF64 (the reference, also the zero value) or the opt-in
+	// PrecisionF32 inference tier. Every level of an f32 stack must have
+	// an f32 path (Validate fails fast otherwise).
+	Precision Precision
 }
 
 // DefaultStackSpec returns the paper's framework: the Bloom package level
@@ -199,7 +208,7 @@ func (s StackSpec) Validate() error {
 			return fmt.Errorf("core: level %s has negative weight %g", ss.Kind, ss.Weight)
 		}
 	}
-	return nil
+	return s.validatePrecision()
 }
 
 // String renders the spec in the -levels/-fusion flag syntax.
@@ -216,6 +225,10 @@ func (s StackSpec) String() string {
 	}
 	b.WriteByte('/')
 	b.WriteString(s.fusion().String())
+	if s.precision() != PrecisionF64 {
+		b.WriteByte('/')
+		b.WriteString(s.precision().String())
+	}
 	return b.String()
 }
 
@@ -273,6 +286,8 @@ func (f *Framework) NewStack(spec StackSpec) (*Stack, error) {
 	}
 	stages := make([]StageDetector, len(spec.Stages))
 	for i, ss := range spec.Stages {
+		// Thread the stack-wide numeric tier down to the factory.
+		ss.Precision = spec.precision()
 		fac, ok := stageFactory(ss.Kind)
 		if !ok {
 			return nil, fmt.Errorf("core: unknown level %q (registered: %s)",

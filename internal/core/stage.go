@@ -135,9 +135,17 @@ type SeriesStage struct {
 	DB       *signature.DB
 	Detector *TimeSeriesDetector
 	Input    *InputEncoder
+	// F32 runs the stage on the float32 inference tier: the model's frozen
+	// f32 snapshot (nn.InferModel32) with f32 recurrent state, scores and
+	// kernels. Verdicts are gated against the f64 goldens by the
+	// conformance suite; within f32 every kernel tier and the batched path
+	// are bitwise-identical, exactly like the f64 contract.
+	F32 bool
 }
 
 // seriesState is the per-stream recurrent state of the time-series stage.
+// Exactly one of the f64 pair (rnn, scores) and the f32 pair (rnn32,
+// scores32) is allocated, per the stage's precision.
 type seriesState struct {
 	rnn *nn.State
 	// scores holds the prediction for the *current* package, written by the
@@ -149,6 +157,10 @@ type seriesState struct {
 	// underflowed) probabilities and perturb tie-breaking, and it skips
 	// Classes() exponentials per package.
 	scores []float64
+	// rnn32/scores32 are the float32 twins used when the stage runs the
+	// f32 inference tier.
+	rnn32    *nn.State32
+	scores32 []float32
 	// xi is the reusable sparse LSTM input: the active one-hot column
 	// indices, strictly ascending. The dense vector is never materialized
 	// on the streaming path — the model's one-hot fast path gathers the
@@ -161,10 +173,18 @@ type seriesState struct {
 
 // Reset implements StageState.
 func (st *seriesState) Reset() {
-	st.rnn.Reset()
+	if st.rnn != nil {
+		st.rnn.Reset()
+	}
+	if st.rnn32 != nil {
+		st.rnn32.Reset()
+	}
 	st.scored = false
 	for i := range st.scores {
 		st.scores[i] = 0
+	}
+	for i := range st.scores32 {
+		st.scores32[i] = 0
 	}
 }
 
@@ -176,11 +196,16 @@ func (s *SeriesStage) Level() Level { return LevelTimeSeries }
 
 // NewState implements StageDetector.
 func (s *SeriesStage) NewState() StageState {
-	return &seriesState{
-		rnn:    s.Detector.Model.NewState(),
-		scores: make([]float64, s.Detector.Model.Classes()),
-		xi:     make([]int, 0, len(s.Input.Buckets)+1),
+	st := &seriesState{xi: make([]int, 0, len(s.Input.Buckets)+1)}
+	if s.F32 {
+		m := s.Detector.Model.Infer32()
+		st.rnn32 = m.NewState()
+		st.scores32 = make([]float32, m.Classes())
+	} else {
+		st.rnn = s.Detector.Model.NewState()
+		st.scores = make([]float64, s.Detector.Model.Classes())
 	}
+	return st
 }
 
 // Check implements F_t: a package whose signature ranks outside the top-k
@@ -207,7 +232,11 @@ func (s *SeriesStage) check(st *seriesState, pc *PackageContext, r *StageResult,
 		r.Score = math.Inf(1)
 		return
 	}
-	r.Rank = rankOf(st.scores, class)
+	if s.F32 {
+		r.Rank = rankOf32(st.scores32, class)
+	} else {
+		r.Rank = rankOf(st.scores, class)
+	}
 	r.Score = float64(r.Rank)
 	if r.Rank >= k {
 		r.Flagged = true
@@ -232,13 +261,21 @@ func (s *SeriesStage) encodeStep(st *seriesState, pc *PackageContext, v *Verdict
 func (s *SeriesStage) Advance(state StageState, pc *PackageContext, v *Verdict) {
 	st := state.(*seriesState)
 	s.encodeStep(st, pc, v)
+	if s.F32 {
+		s.Detector.Model.Infer32().StepLogitsOneHot(st.rnn32, st.xi, st.scores32)
+		return
+	}
 	s.Detector.Model.StepLogitsOneHot(st.rnn, st.xi, st.scores)
 }
 
 // NewAdvanceBatch implements AdvanceBatchStage: the LSTM step of many
 // independent streams advances through one batched matrix-matrix pass
-// (nn.StepBatchLogits) instead of one matrix-vector pass per package.
+// (nn.StepBatchLogits) instead of one matrix-vector pass per package. On
+// the f32 tier the pass runs on the frozen f32 snapshot instead.
 func (s *SeriesStage) NewAdvanceBatch(maxBatch int) AdvanceBatch {
+	if s.F32 {
+		return newSeriesAdvanceBatch32(s, maxBatch)
+	}
 	return newSeriesAdvanceBatch(s, maxBatch)
 }
 
@@ -295,6 +332,64 @@ func (b *seriesAdvanceBatch) Flush() {
 		return
 	}
 	b.stage.Detector.Model.StepBatchLogitsOneHot(b.buf, b.rnns[:b.n], b.idxs[:b.n], b.scores[:b.n])
+	b.n = 0
+}
+
+// seriesAdvanceBatch32 is the float32 twin of seriesAdvanceBatch: queued
+// streams advance through one batched pass on the f32 inference snapshot,
+// bitwise-identical to the sequential f32 Advance.
+type seriesAdvanceBatch32 struct {
+	stage  *SeriesStage
+	model  *nn.InferModel32
+	buf    *nn.BatchBuffer32
+	rnns   []*nn.State32
+	idxs   [][]int
+	scores [][]float32
+	n      int
+}
+
+func newSeriesAdvanceBatch32(s *SeriesStage, maxBatch int) *seriesAdvanceBatch32 {
+	if maxBatch < 1 {
+		maxBatch = 1
+	}
+	m := s.Detector.Model.Infer32()
+	return &seriesAdvanceBatch32{
+		stage:  s,
+		model:  m,
+		buf:    m.NewBatchBuffer(maxBatch),
+		rnns:   make([]*nn.State32, maxBatch),
+		idxs:   make([][]int, maxBatch),
+		scores: make([][]float32, maxBatch),
+	}
+}
+
+// Len returns the number of queued streams.
+func (b *seriesAdvanceBatch32) Len() int { return b.n }
+
+// Cap returns the batch capacity.
+func (b *seriesAdvanceBatch32) Cap() int { return len(b.rnns) }
+
+// Queue completes everything about the classified package except the f32
+// LSTM step, which Flush performs for all queued streams at once.
+func (b *seriesAdvanceBatch32) Queue(state StageState, pc *PackageContext, v *Verdict) {
+	if b.n == len(b.rnns) {
+		panic("core: advance batch queue on a full batch")
+	}
+	st := state.(*seriesState)
+	b.stage.encodeStep(st, pc, v)
+	b.rnns[b.n] = st.rnn32
+	b.idxs[b.n] = st.xi
+	b.scores[b.n] = st.scores32
+	b.n++
+}
+
+// Flush advances every queued stream through one batched f32 pass and
+// empties the batch.
+func (b *seriesAdvanceBatch32) Flush() {
+	if b.n == 0 {
+		return
+	}
+	b.model.StepBatchLogitsOneHot(b.buf, b.rnns[:b.n], b.idxs[:b.n], b.scores[:b.n])
 	b.n = 0
 }
 

@@ -51,7 +51,9 @@ type Config struct {
 	QueueDepth int
 	// Stack describes the detection stack every stream applies. Empty
 	// means the stack equivalent of Mode (default: the paper's two-level
-	// bloom,lstm stack under first-hit fusion).
+	// bloom,lstm stack under first-hit fusion). Stack.Precision sets the
+	// default numeric tier; individual streams opt into a different tier
+	// with BindPrecision before their first package.
 	Stack core.StackSpec
 	// Mode is the legacy level selector; it is consulted only when Stack
 	// is empty.
@@ -147,10 +149,21 @@ type Engine struct {
 	// submitted package, while a built-in map lookup allocates nothing.
 	bindMu   sync.RWMutex
 	bindings map[string]*core.Framework
-	// validated caches frameworks already proven to support the engine's
-	// stack, so SubmitFor pays the stack resolution once per framework
-	// instead of once per package.
+	// precisions maps stream → numeric tier for streams bound away from the
+	// engine default by BindPrecision, under bindMu with bindings. Absent
+	// means the configured Stack.Precision.
+	precisions map[string]core.Precision
+	// validated caches (framework, precision) pairs already proven to
+	// support the engine's stack, so SubmitFor pays the stack resolution
+	// once per pair instead of once per package.
 	validated sync.Map
+}
+
+// validationKey keys the validated cache: batching never mixes weights or
+// numeric tiers, so support is proven per (framework, precision) pair.
+type validationKey struct {
+	fw   *core.Framework
+	prec core.Precision
 }
 
 // New builds and starts an engine over a trained framework. handler may be
@@ -166,12 +179,13 @@ func New(fw *core.Framework, cfg Config, handler Handler) (*Engine, error) {
 		return nil, fmt.Errorf("engine: %w", err)
 	}
 	e := &Engine{
-		fw:       fw,
-		cfg:      cfg,
-		handler:  handler,
-		shards:   make([]*shard, cfg.Shards),
-		started:  time.Now(),
-		bindings: make(map[string]*core.Framework),
+		fw:         fw,
+		cfg:        cfg,
+		handler:    handler,
+		shards:     make([]*shard, cfg.Shards),
+		started:    time.Now(),
+		bindings:   make(map[string]*core.Framework),
+		precisions: make(map[string]core.Precision),
 	}
 	for i := range e.shards {
 		e.shards[i] = newShard(i, e)
@@ -227,17 +241,69 @@ func (e *Engine) SubmitFor(fw *core.Framework, stream string, pkg *dataset.Packa
 		return fmt.Errorf("engine: submit after Stop")
 	}
 	if fw != nil && fw != e.fw {
-		if _, ok := e.validated.Load(fw); !ok {
-			if _, err := fw.NewStack(e.cfg.Stack); err != nil {
+		key := validationKey{fw: fw, prec: e.precisionOf(stream)}
+		if _, ok := e.validated.Load(key); !ok {
+			if _, err := fw.NewStack(e.stackFor(key.prec)); err != nil {
 				return fmt.Errorf("engine: submit for framework: %w", err)
 			}
-			e.validated.Store(fw, struct{}{})
+			e.validated.Store(key, struct{}{})
 		}
 	}
 	if err := e.bindStream(stream, fw); err != nil {
 		return err
 	}
 	e.shardFor(stream).in <- packet{stream: stream, pkg: pkg, fw: fw}
+	return nil
+}
+
+// stackFor returns the engine's stack spec at the given numeric tier.
+func (e *Engine) stackFor(p core.Precision) core.StackSpec {
+	spec := e.cfg.Stack
+	spec.Precision = p
+	return spec
+}
+
+// precisionOf returns the numeric tier of a stream: its BindPrecision
+// binding, or the configured default.
+func (e *Engine) precisionOf(stream string) core.Precision {
+	e.bindMu.RLock()
+	p, ok := e.precisions[stream]
+	e.bindMu.RUnlock()
+	if !ok {
+		p = e.cfg.Stack.Precision
+	}
+	if p == "" {
+		p = core.PrecisionF64
+	}
+	return p
+}
+
+// BindPrecision pins a stream to a numeric tier before its first package:
+// the stream's sessions and micro-batches run the engine's stack at p
+// instead of the configured default, and — like the per-framework batches
+// — streams of distinct tiers never share a batched pass. Binding must
+// happen before the stream carries traffic (recurrent state is
+// tier-specific, so re-tiering a live stream would corrupt it); an
+// unsupported tier for the engine's stack is rejected here, fail-fast,
+// with the same validation the -precision flag gets at startup.
+func (e *Engine) BindPrecision(stream string, p core.Precision) error {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.stopped.Load() {
+		return fmt.Errorf("engine: bind precision after Stop")
+	}
+	if _, err := e.fw.NewStack(e.stackFor(p)); err != nil {
+		return fmt.Errorf("engine: bind precision: %w", err)
+	}
+	e.bindMu.Lock()
+	defer e.bindMu.Unlock()
+	if _, active := e.bindings[stream]; active {
+		return fmt.Errorf("engine: stream %q already carries traffic; precision is fixed at first package", stream)
+	}
+	if prev, ok := e.precisions[stream]; ok && prev != p {
+		return fmt.Errorf("engine: stream %q is already bound to precision %s", stream, prev)
+	}
+	e.precisions[stream] = p
 	return nil
 }
 
@@ -361,11 +427,14 @@ type shard struct {
 	stats shardCounters
 }
 
-// fwBatch is the micro-batch state of one framework within a shard:
-// batched passes of streams bound to different frameworks must never share
-// a pass (the weights differ), so each framework batches alone.
+// fwBatch is the micro-batch state of one (framework, precision) pair
+// within a shard: batched passes of streams bound to different frameworks
+// must never share a pass (the weights differ), and neither may streams of
+// different numeric tiers (the kernels differ), so each pair batches
+// alone.
 type fwBatch struct {
 	fw      *core.Framework
+	prec    core.Precision
 	stack   *core.Stack
 	batch   *core.StackBatch
 	inBatch []*stream
@@ -398,22 +467,23 @@ func newShard(id int, e *Engine) *shard {
 	}
 }
 
-// batchFor returns the shard's micro-batch for fw, creating it on first
-// use.
-func (s *shard) batchFor(fw *core.Framework) *fwBatch {
+// batchFor returns the shard's micro-batch for a (framework, precision)
+// pair, creating it on first use.
+func (s *shard) batchFor(fw *core.Framework, prec core.Precision) *fwBatch {
 	for _, fb := range s.batches {
-		if fb.fw == fw {
+		if fb.fw == fw && fb.prec == prec {
 			return fb
 		}
 	}
-	stack, err := fw.NewStack(s.e.cfg.Stack)
+	stack, err := fw.NewStack(s.e.stackFor(prec))
 	if err != nil {
-		// SubmitFor validated the framework against the stack before
-		// enqueueing anything for it.
+		// SubmitFor/BindPrecision validated the pair before enqueueing
+		// anything for it.
 		panic(fmt.Sprintf("engine: stack for bound framework: %v", err))
 	}
 	fb := &fwBatch{
 		fw:      fw,
+		prec:    prec,
 		stack:   stack,
 		batch:   stack.NewBatch(s.e.cfg.MaxBatch),
 		inBatch: make([]*stream, 0, s.e.cfg.MaxBatch),
@@ -520,7 +590,7 @@ func (s *shard) handle(pkt packet) {
 	}
 	st := s.streams[pkt.stream]
 	if st == nil {
-		fb := s.batchFor(fw)
+		fb := s.batchFor(fw, s.e.precisionOf(pkt.stream))
 		st = &stream{sess: fb.stack.NewSession(), fb: fb}
 		s.streams[pkt.stream] = st
 		s.stats.streams.Add(1)

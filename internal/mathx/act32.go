@@ -1,0 +1,140 @@
+package mathx
+
+import "math"
+
+// Float32 activation kernels. Unlike the f64 kernels — which reproduce
+// math.Exp / math.Tanh bitwise — the f32 tier defines its own scalar
+// reference (a Cephes-style single-precision expf/tanhf) and the vector
+// kernels in act32_amd64.s reproduce THAT, lane for lane, with no FMA
+// anywhere, so scalar, AVX2 and AVX-512 tiers are bitwise-identical in
+// float32. Accuracy vs the f64 activations is a few f32 ulps, gated at the
+// verdict level by the f32 conformance suite.
+//
+// The constants are spelled from exact bit patterns shared with
+// act32_amd64.s.
+
+var (
+	exp32Log2e = math.Float32frombits(0x3FB8AA3B) // log2(e)
+	exp32Ln2Hi = math.Float32frombits(0x3F318000) // 0.693359375
+	exp32Ln2Lo = math.Float32frombits(0xB95E8083) // -2.12194440e-4
+	exp32C0    = math.Float32frombits(0x39506967) // 1.9875691500e-4
+	exp32C1    = math.Float32frombits(0x3AB743CE) // 1.3981999507e-3
+	exp32C2    = math.Float32frombits(0x3C088908) // 8.3334519073e-3
+	exp32C3    = math.Float32frombits(0x3D2AA9C1) // 4.1665795894e-2
+	exp32C4    = math.Float32frombits(0x3E2AAAAA) // 1.6666665459e-1
+	exp32C5    = math.Float32frombits(0x3F000000) // 0.5
+
+	tanh32Mid = math.Float32frombits(0x3F200000) // 0.625
+	tanh32Big = math.Float32frombits(0x42300F34) // 44.014845: tanh == ±1 in f32
+	tanh32C0  = math.Float32frombits(0xBBBAF0EA) // -5.70498872745e-3
+	tanh32C1  = math.Float32frombits(0x3CA9134E) // 2.06390887954e-2
+	tanh32C2  = math.Float32frombits(0xBD5C1E2D) // -5.37397155531e-2
+	tanh32C3  = math.Float32frombits(0x3E088393) // 1.33314422036e-1
+	tanh32C4  = math.Float32frombits(0xBEAAAA99) // -3.33332819422e-1
+)
+
+// Exp32 is the scalar f32 exponential reference: k = rint(x·log2e), a
+// two-constant ln2 reduction, a degree-5 Horner polynomial, and 2^k scaling
+// through the exponent field — plain mul/add only, so the packed
+// VMULPS/VADDPS kernel is bitwise-identical on its fast path. Inputs the
+// fast path cannot represent (non-finite, |result| outside the normal
+// range) fall back to the f64 exponential rounded once to f32; the vector
+// kernels early-out on those lanes so the wrapper reaches this same
+// branch.
+func Exp32(x float32) float32 {
+	t := x * exp32Log2e
+	if !(t >= -150 && t <= 150) {
+		// NaN or far outside the int32-safe range: the float→int conversion
+		// below would be implementation-defined.
+		return float32(math.Exp(float64(x)))
+	}
+	k := int32(math.RoundToEven(float64(t))) // VCVTPS2DQ rounds to nearest even
+	e := k + 127
+	if e <= 0 || e >= 255 {
+		return float32(math.Exp(float64(x)))
+	}
+	kf := float32(k)
+	r := x - kf*exp32Ln2Hi
+	r -= kf * exp32Ln2Lo
+	p := ((((exp32C0*r+exp32C1)*r+exp32C2)*r+exp32C3)*r+exp32C4)*r + exp32C5
+	z := r * r
+	pz := p * z
+	y := pz + r
+	y = y + 1
+	return y * math.Float32frombits(uint32(e)<<23)
+}
+
+// Sigmoid32 is the scalar f32 logistic reference, the two-branch form of
+// mathx.Sigmoid over Exp32: both branches evaluate exp(−|x|), so the packed
+// kernel computes one exp core and blends the numerator.
+func Sigmoid32(x float32) float32 {
+	if x >= 0 {
+		z := Exp32(-x)
+		return 1 / (1 + z)
+	}
+	z := Exp32(x)
+	return z / (1 + z)
+}
+
+// Tanh32 is the scalar f32 hyperbolic-tangent reference: ±0 passes
+// through, |x| > 44.01 saturates to ±1, |x| ≥ 0.625 uses
+// sign·(1 − 2/(exp(2|x|)+1)) — always on Exp32's fast path — and the rest
+// takes the odd degree-11 polynomial. Sign handling is by bit arithmetic so
+// the packed AND/OR/XOR lanes match exactly.
+func Tanh32(x float32) float32 {
+	if x == 0 {
+		return x
+	}
+	bits := math.Float32bits(x)
+	sgn := bits & (1 << 31)
+	ax := math.Float32frombits(bits &^ (1 << 31))
+	if ax > tanh32Big {
+		return math.Float32frombits(0x3F800000 | sgn)
+	}
+	if ax >= tanh32Mid {
+		e := Exp32(2 * ax)
+		y := 1 - 2/(e+1)
+		return math.Float32frombits(math.Float32bits(y) ^ sgn)
+	}
+	z := x * x
+	p := ((((tanh32C0*z+tanh32C1)*z+tanh32C2)*z+tanh32C3)*z + tanh32C4)
+	y := p * z
+	y *= x
+	return y + x
+}
+
+// VExp32 writes Exp32(src[i]) into dst[i] for every element, bitwise
+// identical to the scalar loop on every kernel tier. dst and src may alias.
+func VExp32(dst, src []float32) {
+	if len(dst) != len(src) {
+		panic("mathx: VExp32 length mismatch")
+	}
+	i := vexp32SIMD(dst, src)
+	for ; i < len(src); i++ {
+		dst[i] = Exp32(src[i])
+	}
+}
+
+// VSigmoid32 is the slice form of Sigmoid32 with the same bitwise contract
+// as VExp32. dst and src may alias.
+func VSigmoid32(dst, src []float32) {
+	if len(dst) != len(src) {
+		panic("mathx: VSigmoid32 length mismatch")
+	}
+	i := vsig32SIMD(dst, src)
+	for ; i < len(src); i++ {
+		dst[i] = Sigmoid32(src[i])
+	}
+}
+
+// VTanh32 is the slice form of Tanh32 with the same bitwise contract as
+// VExp32. dst and src may alias.
+func VTanh32(dst, src []float32) {
+	if len(dst) != len(src) {
+		panic("mathx: VTanh32 length mismatch")
+	}
+	i := vtanh32SIMD(dst, src)
+	for ; i < len(src); i++ {
+		dst[i] = Tanh32(src[i])
+	}
+}

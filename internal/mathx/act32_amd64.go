@@ -1,0 +1,51 @@
+//go:build amd64
+
+package mathx
+
+// cpuHasAVX2 reports CPUID AVX2 support (leaf 7, EBX bit 5). The f32
+// activation kernels need the 256-bit integer ops (VPADDD/VPCMPGTD/VPSLLD)
+// for the exponent-field arithmetic; the f32 GEMV/GEMM kernels are pure
+// AVX1 float code and only gate on hasAVX.
+func cpuHasAVX2() bool
+
+var cpuAVX2 = cpuHasAVX2()
+
+//go:noescape
+func vexp8f32(dst, src *float32, n int) int
+
+//go:noescape
+func vsig8f32(dst, src *float32, n int) int
+
+//go:noescape
+func vtanh8f32(dst, src *float32, n int) int
+
+// actLanes32 returns the vector width of the f32 activation kernels under
+// the current SIMD tier, or 0 when they are disabled. No FMA requirement:
+// the f32 algorithm is mul/add only by design.
+func actLanes32() int {
+	if !hasAVX || !cpuAVX2 {
+		return 0
+	}
+	return 8
+}
+
+func vexp32SIMD(dst, src []float32) int {
+	if actLanes32() == 0 || len(src) < 8 {
+		return 0
+	}
+	return vexp8f32(&dst[0], &src[0], len(src))
+}
+
+func vsig32SIMD(dst, src []float32) int {
+	if actLanes32() == 0 || len(src) < 8 {
+		return 0
+	}
+	return vsig8f32(&dst[0], &src[0], len(src))
+}
+
+func vtanh32SIMD(dst, src []float32) int {
+	if actLanes32() == 0 || len(src) < 8 {
+		return 0
+	}
+	return vtanh8f32(&dst[0], &src[0], len(src))
+}

@@ -1,0 +1,420 @@
+// Vectorized f32 exp / sigmoid / tanh microkernels.
+//
+// Each kernel reproduces the scalar f32 reference in act32.go lane for
+// lane: the same Cephes-style expf core (k = rint(x*log2e) via VCVTPS2DQ's
+// round-to-nearest-even, two-constant ln2 reduction, degree-5 Horner
+// polynomial, 2^k scaling through the exponent field) and the same branch
+// arithmetic for sigmoid and tanh, evaluated per lane and blended by the
+// scalar conditions. Every arithmetic instruction is a plain
+// VMULPS/VADDPS/VSUBPS/VDIVPS — no FMA — so the lanes are bitwise-identical
+// to the scalar mul/add chains.
+//
+// Lanes the scalar reference routes through its f64 fallback (non-finite
+// inputs, biased result exponent outside (0, 255)) are detected through the
+// exponent-range mask — VCVTPS2DQ's indefinite value 0x80000000 naturally
+// fails it — and the exp/sigmoid kernels stop at the first block containing
+// one, returning how many elements they completed so the Go wrapper
+// finishes with the scalar reference. tanh needs no early-out: its exp
+// argument 2|x| only leaves the fast path on lanes the saturation or
+// passthrough blends overwrite anyway.
+//
+// All constants are the exact bit patterns of the act32.go values.
+
+#include "textflag.h"
+
+DATA f32LOG2E<>+0(SB)/4, $0x3FB8AA3B
+DATA f32LOG2E<>+4(SB)/4, $0x3FB8AA3B
+DATA f32LOG2E<>+8(SB)/4, $0x3FB8AA3B
+DATA f32LOG2E<>+12(SB)/4, $0x3FB8AA3B
+DATA f32LOG2E<>+16(SB)/4, $0x3FB8AA3B
+DATA f32LOG2E<>+20(SB)/4, $0x3FB8AA3B
+DATA f32LOG2E<>+24(SB)/4, $0x3FB8AA3B
+DATA f32LOG2E<>+28(SB)/4, $0x3FB8AA3B
+GLOBL f32LOG2E<>+0(SB), RODATA, $32
+
+DATA f32LN2HI<>+0(SB)/4, $0x3F318000
+DATA f32LN2HI<>+4(SB)/4, $0x3F318000
+DATA f32LN2HI<>+8(SB)/4, $0x3F318000
+DATA f32LN2HI<>+12(SB)/4, $0x3F318000
+DATA f32LN2HI<>+16(SB)/4, $0x3F318000
+DATA f32LN2HI<>+20(SB)/4, $0x3F318000
+DATA f32LN2HI<>+24(SB)/4, $0x3F318000
+DATA f32LN2HI<>+28(SB)/4, $0x3F318000
+GLOBL f32LN2HI<>+0(SB), RODATA, $32
+
+DATA f32LN2LO<>+0(SB)/4, $0xB95E8083
+DATA f32LN2LO<>+4(SB)/4, $0xB95E8083
+DATA f32LN2LO<>+8(SB)/4, $0xB95E8083
+DATA f32LN2LO<>+12(SB)/4, $0xB95E8083
+DATA f32LN2LO<>+16(SB)/4, $0xB95E8083
+DATA f32LN2LO<>+20(SB)/4, $0xB95E8083
+DATA f32LN2LO<>+24(SB)/4, $0xB95E8083
+DATA f32LN2LO<>+28(SB)/4, $0xB95E8083
+GLOBL f32LN2LO<>+0(SB), RODATA, $32
+
+DATA f32EC0<>+0(SB)/4, $0x39506967
+DATA f32EC0<>+4(SB)/4, $0x39506967
+DATA f32EC0<>+8(SB)/4, $0x39506967
+DATA f32EC0<>+12(SB)/4, $0x39506967
+DATA f32EC0<>+16(SB)/4, $0x39506967
+DATA f32EC0<>+20(SB)/4, $0x39506967
+DATA f32EC0<>+24(SB)/4, $0x39506967
+DATA f32EC0<>+28(SB)/4, $0x39506967
+GLOBL f32EC0<>+0(SB), RODATA, $32
+
+DATA f32EC1<>+0(SB)/4, $0x3AB743CE
+DATA f32EC1<>+4(SB)/4, $0x3AB743CE
+DATA f32EC1<>+8(SB)/4, $0x3AB743CE
+DATA f32EC1<>+12(SB)/4, $0x3AB743CE
+DATA f32EC1<>+16(SB)/4, $0x3AB743CE
+DATA f32EC1<>+20(SB)/4, $0x3AB743CE
+DATA f32EC1<>+24(SB)/4, $0x3AB743CE
+DATA f32EC1<>+28(SB)/4, $0x3AB743CE
+GLOBL f32EC1<>+0(SB), RODATA, $32
+
+DATA f32EC2<>+0(SB)/4, $0x3C088908
+DATA f32EC2<>+4(SB)/4, $0x3C088908
+DATA f32EC2<>+8(SB)/4, $0x3C088908
+DATA f32EC2<>+12(SB)/4, $0x3C088908
+DATA f32EC2<>+16(SB)/4, $0x3C088908
+DATA f32EC2<>+20(SB)/4, $0x3C088908
+DATA f32EC2<>+24(SB)/4, $0x3C088908
+DATA f32EC2<>+28(SB)/4, $0x3C088908
+GLOBL f32EC2<>+0(SB), RODATA, $32
+
+DATA f32EC3<>+0(SB)/4, $0x3D2AA9C1
+DATA f32EC3<>+4(SB)/4, $0x3D2AA9C1
+DATA f32EC3<>+8(SB)/4, $0x3D2AA9C1
+DATA f32EC3<>+12(SB)/4, $0x3D2AA9C1
+DATA f32EC3<>+16(SB)/4, $0x3D2AA9C1
+DATA f32EC3<>+20(SB)/4, $0x3D2AA9C1
+DATA f32EC3<>+24(SB)/4, $0x3D2AA9C1
+DATA f32EC3<>+28(SB)/4, $0x3D2AA9C1
+GLOBL f32EC3<>+0(SB), RODATA, $32
+
+DATA f32EC4<>+0(SB)/4, $0x3E2AAAAA
+DATA f32EC4<>+4(SB)/4, $0x3E2AAAAA
+DATA f32EC4<>+8(SB)/4, $0x3E2AAAAA
+DATA f32EC4<>+12(SB)/4, $0x3E2AAAAA
+DATA f32EC4<>+16(SB)/4, $0x3E2AAAAA
+DATA f32EC4<>+20(SB)/4, $0x3E2AAAAA
+DATA f32EC4<>+24(SB)/4, $0x3E2AAAAA
+DATA f32EC4<>+28(SB)/4, $0x3E2AAAAA
+GLOBL f32EC4<>+0(SB), RODATA, $32
+
+DATA f32EC5<>+0(SB)/4, $0x3F000000
+DATA f32EC5<>+4(SB)/4, $0x3F000000
+DATA f32EC5<>+8(SB)/4, $0x3F000000
+DATA f32EC5<>+12(SB)/4, $0x3F000000
+DATA f32EC5<>+16(SB)/4, $0x3F000000
+DATA f32EC5<>+20(SB)/4, $0x3F000000
+DATA f32EC5<>+24(SB)/4, $0x3F000000
+DATA f32EC5<>+28(SB)/4, $0x3F000000
+GLOBL f32EC5<>+0(SB), RODATA, $32
+
+DATA f32ONE<>+0(SB)/4, $0x3F800000
+DATA f32ONE<>+4(SB)/4, $0x3F800000
+DATA f32ONE<>+8(SB)/4, $0x3F800000
+DATA f32ONE<>+12(SB)/4, $0x3F800000
+DATA f32ONE<>+16(SB)/4, $0x3F800000
+DATA f32ONE<>+20(SB)/4, $0x3F800000
+DATA f32ONE<>+24(SB)/4, $0x3F800000
+DATA f32ONE<>+28(SB)/4, $0x3F800000
+GLOBL f32ONE<>+0(SB), RODATA, $32
+
+DATA f32TWO<>+0(SB)/4, $0x40000000
+DATA f32TWO<>+4(SB)/4, $0x40000000
+DATA f32TWO<>+8(SB)/4, $0x40000000
+DATA f32TWO<>+12(SB)/4, $0x40000000
+DATA f32TWO<>+16(SB)/4, $0x40000000
+DATA f32TWO<>+20(SB)/4, $0x40000000
+DATA f32TWO<>+24(SB)/4, $0x40000000
+DATA f32TWO<>+28(SB)/4, $0x40000000
+GLOBL f32TWO<>+0(SB), RODATA, $32
+
+DATA f32MID<>+0(SB)/4, $0x3F200000
+DATA f32MID<>+4(SB)/4, $0x3F200000
+DATA f32MID<>+8(SB)/4, $0x3F200000
+DATA f32MID<>+12(SB)/4, $0x3F200000
+DATA f32MID<>+16(SB)/4, $0x3F200000
+DATA f32MID<>+20(SB)/4, $0x3F200000
+DATA f32MID<>+24(SB)/4, $0x3F200000
+DATA f32MID<>+28(SB)/4, $0x3F200000
+GLOBL f32MID<>+0(SB), RODATA, $32
+
+DATA f32BIG<>+0(SB)/4, $0x42300F34
+DATA f32BIG<>+4(SB)/4, $0x42300F34
+DATA f32BIG<>+8(SB)/4, $0x42300F34
+DATA f32BIG<>+12(SB)/4, $0x42300F34
+DATA f32BIG<>+16(SB)/4, $0x42300F34
+DATA f32BIG<>+20(SB)/4, $0x42300F34
+DATA f32BIG<>+24(SB)/4, $0x42300F34
+DATA f32BIG<>+28(SB)/4, $0x42300F34
+GLOBL f32BIG<>+0(SB), RODATA, $32
+
+DATA f32TC0<>+0(SB)/4, $0xBBBAF0EA
+DATA f32TC0<>+4(SB)/4, $0xBBBAF0EA
+DATA f32TC0<>+8(SB)/4, $0xBBBAF0EA
+DATA f32TC0<>+12(SB)/4, $0xBBBAF0EA
+DATA f32TC0<>+16(SB)/4, $0xBBBAF0EA
+DATA f32TC0<>+20(SB)/4, $0xBBBAF0EA
+DATA f32TC0<>+24(SB)/4, $0xBBBAF0EA
+DATA f32TC0<>+28(SB)/4, $0xBBBAF0EA
+GLOBL f32TC0<>+0(SB), RODATA, $32
+
+DATA f32TC1<>+0(SB)/4, $0x3CA9134E
+DATA f32TC1<>+4(SB)/4, $0x3CA9134E
+DATA f32TC1<>+8(SB)/4, $0x3CA9134E
+DATA f32TC1<>+12(SB)/4, $0x3CA9134E
+DATA f32TC1<>+16(SB)/4, $0x3CA9134E
+DATA f32TC1<>+20(SB)/4, $0x3CA9134E
+DATA f32TC1<>+24(SB)/4, $0x3CA9134E
+DATA f32TC1<>+28(SB)/4, $0x3CA9134E
+GLOBL f32TC1<>+0(SB), RODATA, $32
+
+DATA f32TC2<>+0(SB)/4, $0xBD5C1E2D
+DATA f32TC2<>+4(SB)/4, $0xBD5C1E2D
+DATA f32TC2<>+8(SB)/4, $0xBD5C1E2D
+DATA f32TC2<>+12(SB)/4, $0xBD5C1E2D
+DATA f32TC2<>+16(SB)/4, $0xBD5C1E2D
+DATA f32TC2<>+20(SB)/4, $0xBD5C1E2D
+DATA f32TC2<>+24(SB)/4, $0xBD5C1E2D
+DATA f32TC2<>+28(SB)/4, $0xBD5C1E2D
+GLOBL f32TC2<>+0(SB), RODATA, $32
+
+DATA f32TC3<>+0(SB)/4, $0x3E088393
+DATA f32TC3<>+4(SB)/4, $0x3E088393
+DATA f32TC3<>+8(SB)/4, $0x3E088393
+DATA f32TC3<>+12(SB)/4, $0x3E088393
+DATA f32TC3<>+16(SB)/4, $0x3E088393
+DATA f32TC3<>+20(SB)/4, $0x3E088393
+DATA f32TC3<>+24(SB)/4, $0x3E088393
+DATA f32TC3<>+28(SB)/4, $0x3E088393
+GLOBL f32TC3<>+0(SB), RODATA, $32
+
+DATA f32TC4<>+0(SB)/4, $0xBEAAAA99
+DATA f32TC4<>+4(SB)/4, $0xBEAAAA99
+DATA f32TC4<>+8(SB)/4, $0xBEAAAA99
+DATA f32TC4<>+12(SB)/4, $0xBEAAAA99
+DATA f32TC4<>+16(SB)/4, $0xBEAAAA99
+DATA f32TC4<>+20(SB)/4, $0xBEAAAA99
+DATA f32TC4<>+24(SB)/4, $0xBEAAAA99
+DATA f32TC4<>+28(SB)/4, $0xBEAAAA99
+GLOBL f32TC4<>+0(SB), RODATA, $32
+
+DATA f32ABS<>+0(SB)/4, $0x7FFFFFFF
+DATA f32ABS<>+4(SB)/4, $0x7FFFFFFF
+DATA f32ABS<>+8(SB)/4, $0x7FFFFFFF
+DATA f32ABS<>+12(SB)/4, $0x7FFFFFFF
+DATA f32ABS<>+16(SB)/4, $0x7FFFFFFF
+DATA f32ABS<>+20(SB)/4, $0x7FFFFFFF
+DATA f32ABS<>+24(SB)/4, $0x7FFFFFFF
+DATA f32ABS<>+28(SB)/4, $0x7FFFFFFF
+GLOBL f32ABS<>+0(SB), RODATA, $32
+
+DATA f32SGN<>+0(SB)/4, $0x80000000
+DATA f32SGN<>+4(SB)/4, $0x80000000
+DATA f32SGN<>+8(SB)/4, $0x80000000
+DATA f32SGN<>+12(SB)/4, $0x80000000
+DATA f32SGN<>+16(SB)/4, $0x80000000
+DATA f32SGN<>+20(SB)/4, $0x80000000
+DATA f32SGN<>+24(SB)/4, $0x80000000
+DATA f32SGN<>+28(SB)/4, $0x80000000
+GLOBL f32SGN<>+0(SB), RODATA, $32
+
+DATA f32BIAS<>+0(SB)/4, $0x0000007F
+DATA f32BIAS<>+4(SB)/4, $0x0000007F
+DATA f32BIAS<>+8(SB)/4, $0x0000007F
+DATA f32BIAS<>+12(SB)/4, $0x0000007F
+DATA f32BIAS<>+16(SB)/4, $0x0000007F
+DATA f32BIAS<>+20(SB)/4, $0x0000007F
+DATA f32BIAS<>+24(SB)/4, $0x0000007F
+DATA f32BIAS<>+28(SB)/4, $0x0000007F
+GLOBL f32BIAS<>+0(SB), RODATA, $32
+
+DATA f32EMAX<>+0(SB)/4, $0x000000FF
+DATA f32EMAX<>+4(SB)/4, $0x000000FF
+DATA f32EMAX<>+8(SB)/4, $0x000000FF
+DATA f32EMAX<>+12(SB)/4, $0x000000FF
+DATA f32EMAX<>+16(SB)/4, $0x000000FF
+DATA f32EMAX<>+20(SB)/4, $0x000000FF
+DATA f32EMAX<>+24(SB)/4, $0x000000FF
+DATA f32EMAX<>+28(SB)/4, $0x000000FF
+GLOBL f32EMAX<>+0(SB), RODATA, $32
+
+// EXPCORE8F32 computes Y0 = Exp32(Y0) on eight lanes, mirroring the scalar
+// fast path instruction for instruction (mul/add only). Clobbers Y1-Y3.
+// MASK receives an 8-bit lane mask: bit i set iff lane i stayed on the
+// fast path (biased result exponent strictly inside (0, 255); NaN and
+// out-of-range inputs fall out through VCVTPS2DQ's indefinite value).
+#define EXPCORE8F32(MASK) \
+	VMULPS    f32LOG2E<>(SB), Y0, Y1 \
+	VCVTPS2DQ Y1, Y1                 \
+	VCVTDQ2PS Y1, Y2                 \
+	VMULPS    f32LN2HI<>(SB), Y2, Y3 \
+	VSUBPS    Y3, Y0, Y0             \
+	VMULPS    f32LN2LO<>(SB), Y2, Y3 \
+	VSUBPS    Y3, Y0, Y0             \
+	VMOVUPS   f32EC0<>(SB), Y3       \
+	VMULPS    Y0, Y3, Y3             \
+	VADDPS    f32EC1<>(SB), Y3, Y3   \
+	VMULPS    Y0, Y3, Y3             \
+	VADDPS    f32EC2<>(SB), Y3, Y3   \
+	VMULPS    Y0, Y3, Y3             \
+	VADDPS    f32EC3<>(SB), Y3, Y3   \
+	VMULPS    Y0, Y3, Y3             \
+	VADDPS    f32EC4<>(SB), Y3, Y3   \
+	VMULPS    Y0, Y3, Y3             \
+	VADDPS    f32EC5<>(SB), Y3, Y3   \
+	VMULPS    Y0, Y0, Y2             \
+	VMULPS    Y2, Y3, Y3             \
+	VADDPS    Y0, Y3, Y3             \
+	VADDPS    f32ONE<>(SB), Y3, Y0   \
+	VPADDD    f32BIAS<>(SB), Y1, Y1  \
+	VPXOR     Y2, Y2, Y2             \
+	VPCMPGTD  Y2, Y1, Y3             \
+	VMOVDQU   f32EMAX<>(SB), Y2      \
+	VPCMPGTD  Y1, Y2, Y2             \
+	VPAND     Y2, Y3, Y2             \
+	VMOVMSKPS Y2, MASK               \
+	VPSLLD    $23, Y1, Y1            \
+	VMULPS    Y1, Y0, Y0
+
+// func vexp8f32(dst, src *float32, n int) int
+// Exponentiates src[0:n] into dst eight lanes at a time; returns the
+// number of leading elements completed (a multiple of 8). Stops early at
+// the first block with a fallback lane, leaving src untouched from there
+// so the caller can finish in place with Exp32.
+TEXT ·vexp8f32(SB), NOSPLIT, $0-32
+	MOVQ dst+0(FP), DI
+	MOVQ src+8(FP), SI
+	MOVQ n+16(FP), CX
+	XORQ AX, AX
+	SUBQ $7, CX
+
+vexp8loop:
+	CMPQ AX, CX
+	JGE  vexp8done
+	VMOVUPS (SI)(AX*4), Y0
+	EXPCORE8F32(DX)
+	CMPL DX, $0xFF
+	JNE  vexp8done
+	VMOVUPS Y0, (DI)(AX*4)
+	ADDQ $8, AX
+	JMP  vexp8loop
+
+vexp8done:
+	VZEROUPPER
+	MOVQ AX, ret+24(FP)
+	RET
+
+// func vsig8f32(dst, src *float32, n int) int
+// Logistic sigmoid via the shared exp core: e = Exp32(-|x|), then
+// 1/(1+e) for x >= 0 and e/(1+e) otherwise — the exact two branches of
+// Sigmoid32, selected by blend. Early-out contract matches vexp8f32.
+TEXT ·vsig8f32(SB), NOSPLIT, $0-32
+	MOVQ dst+0(FP), DI
+	MOVQ src+8(FP), SI
+	MOVQ n+16(FP), CX
+	XORQ AX, AX
+	SUBQ $7, CX
+
+vsig8loop:
+	CMPQ AX, CX
+	JGE  vsig8done
+	VMOVUPS (SI)(AX*4), Y4
+	VANDPS  f32ABS<>(SB), Y4, Y0
+	VORPS   f32SGN<>(SB), Y0, Y0
+	EXPCORE8F32(DX)
+	CMPL DX, $0xFF
+	JNE  vsig8done
+	VADDPS  f32ONE<>(SB), Y0, Y1
+	VXORPS  Y2, Y2, Y2
+	VCMPPS  $0x0D, Y2, Y4, Y3
+	VMOVUPS f32ONE<>(SB), Y2
+	VBLENDVPS Y3, Y2, Y0, Y2
+	VDIVPS  Y1, Y2, Y0
+	VMOVUPS Y0, (DI)(AX*4)
+	ADDQ $8, AX
+	JMP  vsig8loop
+
+vsig8done:
+	VZEROUPPER
+	MOVQ AX, ret+24(FP)
+	RET
+
+// func vtanh8f32(dst, src *float32, n int) int
+// Hyperbolic tangent, mirroring Tanh32's branches per lane: |x| > 44.01
+// gives copysign(1, x); |x| >= 0.625 gives 1 - 2/(Exp32(2|x|)+1) with the
+// sign reapplied; otherwise the odd polynomial, with x == 0 passed
+// through. The exp core's fallback lanes all fall in the saturated branch
+// (2|x| <= 88.03 on the middle branch can never overflow), so every block
+// completes; the return value only reflects the vector tail.
+TEXT ·vtanh8f32(SB), NOSPLIT, $0-32
+	MOVQ dst+0(FP), DI
+	MOVQ src+8(FP), SI
+	MOVQ n+16(FP), CX
+	XORQ AX, AX
+	SUBQ $7, CX
+
+vtanh8loop:
+	CMPQ AX, CX
+	JGE  vtanh8done
+	VMOVUPS (SI)(AX*4), Y4
+	VANDPS  f32ABS<>(SB), Y4, Y5
+	VMULPS  f32TWO<>(SB), Y5, Y0
+	EXPCORE8F32(DX)
+	VADDPS  f32ONE<>(SB), Y0, Y1
+	VMOVUPS f32TWO<>(SB), Y2
+	VDIVPS  Y1, Y2, Y2
+	VMOVUPS f32ONE<>(SB), Y1
+	VSUBPS  Y2, Y1, Y1
+	VANDPS  f32SGN<>(SB), Y4, Y6
+	VXORPS  Y6, Y1, Y1
+	VMULPS  Y4, Y4, Y2
+	VMOVUPS f32TC0<>(SB), Y3
+	VMULPS  Y2, Y3, Y3
+	VADDPS  f32TC1<>(SB), Y3, Y3
+	VMULPS  Y2, Y3, Y3
+	VADDPS  f32TC2<>(SB), Y3, Y3
+	VMULPS  Y2, Y3, Y3
+	VADDPS  f32TC3<>(SB), Y3, Y3
+	VMULPS  Y2, Y3, Y3
+	VADDPS  f32TC4<>(SB), Y3, Y3
+	VMULPS  Y2, Y3, Y0
+	VMULPS  Y4, Y0, Y0
+	VADDPS  Y4, Y0, Y0
+	VCMPPS  $0x0D, f32MID<>(SB), Y5, Y3
+	VBLENDVPS Y3, Y1, Y0, Y0
+	VCMPPS  $0x0E, f32BIG<>(SB), Y5, Y3
+	VMOVUPS f32ONE<>(SB), Y1
+	VORPS   Y6, Y1, Y1
+	VBLENDVPS Y3, Y1, Y0, Y0
+	VXORPS  Y1, Y1, Y1
+	VCMPPS  $0x00, Y1, Y4, Y3
+	VBLENDVPS Y3, Y4, Y0, Y0
+	VMOVUPS Y0, (DI)(AX*4)
+	ADDQ $8, AX
+	JMP  vtanh8loop
+
+vtanh8done:
+	VZEROUPPER
+	MOVQ AX, ret+24(FP)
+	RET
+
+// func cpuHasAVX2() bool
+TEXT ·cpuHasAVX2(SB), NOSPLIT, $0-1
+	MOVL $0, AX
+	CPUID
+	CMPL AX, $7
+	JLT  noavx2
+	MOVL $7, AX
+	XORL CX, CX
+	CPUID
+	ANDL $(1 << 5), BX
+	JZ   noavx2
+	MOVB $1, ret+0(FP)
+	RET
+noavx2:
+	MOVB $0, ret+0(FP)
+	RET

@@ -1,0 +1,13 @@
+//go:build !amd64
+
+package mathx
+
+// Non-amd64 builds have no vector f32 activation kernels; the V*32
+// wrappers run their scalar reference loops, which are the bitwise
+// contract.
+
+func actLanes32() int { return 0 }
+
+func vexp32SIMD(dst, src []float32) int  { return 0 }
+func vsig32SIMD(dst, src []float32) int  { return 0 }
+func vtanh32SIMD(dst, src []float32) int { return 0 }

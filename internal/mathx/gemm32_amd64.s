@@ -1,0 +1,609 @@
+// f32 kernels for the batched GEMM (Matrix32.MulRowsT) and the packed
+// single-vector GEMV (PackedGEMV32.Apply), at full native f32 lane width:
+// eight streams/rows per ymm on AVX2, sixteen per zmm on AVX-512. Each
+// lane reproduces exactly the scalar Dot32 association — groups of four
+// summed left-to-right into the accumulator, then a sequential tail — so
+// the vectorized result is bitwise identical to the scalar f32 path.
+// VMULPS/VADDPS are elementwise IEEE single multiply/add: no FMA
+// contraction, no cross-lane reduction.
+//
+// The GEMM kernels move lanes between vector registers and the strided
+// dst layout (dst[lane*dstStride + j]) through a small stack staging
+// buffer: a vector store plus a scalar dword loop. That costs a handful
+// of scalar moves per output row but keeps the kernels to plain AVX1
+// float ops.
+
+#include "textflag.h"
+
+// func gemm8f32avx(w *float32, stride, rows int, xt *float32, kn int, dst *float32, dstStride int, cont bool)
+//
+// For each of rows weight rows: acc(8 lanes) = dst lanes if cont else 0;
+// then for kn packed columns of xt (layout xt[8*k+lane]) accumulate
+// acc += w[k]*xt[k] in Dot32's group-of-four association; store acc back
+// to the eight lanes dst[lane*dstStride + j].
+TEXT ·gemm8f32avx(SB), NOSPLIT, $32-57
+	MOVQ    w+0(FP), SI        // w row pointer (advances per row)
+	MOVQ    stride+8(FP), AX
+	SHLQ    $2, AX             // w row stride in bytes
+	MOVQ    rows+16(FP), R8
+	MOVQ    xt+24(FP), DX
+	MOVQ    kn+32(FP), R9
+	MOVQ    dst+40(FP), DI
+	MOVQ    dstStride+48(FP), R10
+	SHLQ    $2, R10            // lane stride in bytes
+	MOVBLZX cont+56(FP), R11
+	XORQ    R13, R13           // j: row index
+
+rowloop8f:
+	CMPQ R13, R8
+	JGE  done8f
+	LEAQ (DI)(R13*4), R15      // &dst[j], lane 0
+
+	TESTQ R11, R11
+	JZ    zeroacc8f
+	// Gather the eight strided lanes through the staging buffer.
+	MOVQ R15, BX
+	LEAQ buf-32(SP), CX
+	MOVQ $8, R12
+ld8f:
+	MOVL (BX), R14
+	MOVL R14, (CX)
+	ADDQ R10, BX
+	ADDQ $4, CX
+	DECQ R12
+	JNZ  ld8f
+	VMOVUPS buf-32(SP), Y0
+	JMP  accready8f
+zeroacc8f:
+	VXORPS Y0, Y0, Y0
+accready8f:
+
+	MOVQ SI, BX                // w walker
+	MOVQ DX, CX                // xt walker
+	MOVQ R9, R12               // remaining columns
+
+groups8f:
+	CMPQ R12, $4
+	JLT  tail8f
+	// t = ((w0*x0 + w1*x1) + w2*x2) + w3*x3, one lane per stream.
+	VBROADCASTSS (BX), Y1
+	VMULPS       (CX), Y1, Y2
+	VBROADCASTSS 4(BX), Y1
+	VMULPS       32(CX), Y1, Y3
+	VADDPS       Y3, Y2, Y2
+	VBROADCASTSS 8(BX), Y1
+	VMULPS       64(CX), Y1, Y3
+	VADDPS       Y3, Y2, Y2
+	VBROADCASTSS 12(BX), Y1
+	VMULPS       96(CX), Y1, Y3
+	VADDPS       Y3, Y2, Y2
+	// acc += t
+	VADDPS Y2, Y0, Y0
+	ADDQ   $16, BX
+	ADDQ   $128, CX
+	SUBQ   $4, R12
+	JMP    groups8f
+
+tail8f:
+	TESTQ R12, R12
+	JZ    store8f
+	VBROADCASTSS (BX), Y1
+	VMULPS       (CX), Y1, Y2
+	VADDPS       Y2, Y0, Y0
+	ADDQ  $4, BX
+	ADDQ  $32, CX
+	DECQ  R12
+	JMP   tail8f
+
+store8f:
+	// Scatter the eight lanes back through the staging buffer.
+	VMOVUPS Y0, buf-32(SP)
+	MOVQ R15, BX
+	LEAQ buf-32(SP), CX
+	MOVQ $8, R12
+st8f:
+	MOVL (CX), R14
+	MOVL R14, (BX)
+	ADDQ R10, BX
+	ADDQ $4, CX
+	DECQ R12
+	JNZ  st8f
+
+	ADDQ AX, SI
+	INCQ R13
+	JMP  rowloop8f
+
+done8f:
+	VZEROUPPER
+	RET
+
+// func gemm16f32avx512(w *float32, stride, rows int, xt *float32, kn int, dst *float32, dstStride int, cont bool)
+//
+// The 512-bit twin of gemm8f32avx: sixteen streams per zmm lane, packed
+// layout xt[16*k+lane], same association and staging-buffer lane I/O.
+TEXT ·gemm16f32avx512(SB), NOSPLIT, $64-57
+	MOVQ    w+0(FP), SI        // w row pointer (advances per row)
+	MOVQ    stride+8(FP), AX
+	SHLQ    $2, AX             // w row stride in bytes
+	MOVQ    rows+16(FP), R8
+	MOVQ    xt+24(FP), DX
+	MOVQ    kn+32(FP), R9
+	MOVQ    dst+40(FP), DI
+	MOVQ    dstStride+48(FP), R10
+	SHLQ    $2, R10            // lane stride in bytes
+	MOVBLZX cont+56(FP), R11
+	XORQ    R13, R13           // j: row index
+
+rowloop16f:
+	CMPQ R13, R8
+	JGE  done16f
+	LEAQ (DI)(R13*4), R15      // &dst[j], lane 0
+
+	TESTQ R11, R11
+	JZ    zeroacc16f
+	// Gather the sixteen strided lanes through the staging buffer.
+	MOVQ R15, BX
+	LEAQ buf-64(SP), CX
+	MOVQ $16, R12
+ld16f:
+	MOVL (BX), R14
+	MOVL R14, (CX)
+	ADDQ R10, BX
+	ADDQ $4, CX
+	DECQ R12
+	JNZ  ld16f
+	VMOVUPS buf-64(SP), Z0
+	JMP  accready16f
+zeroacc16f:
+	VPXORQ Z0, Z0, Z0
+accready16f:
+
+	MOVQ SI, BX                // w walker
+	MOVQ DX, CX                // xt walker
+	MOVQ R9, R12               // remaining columns
+
+groups16f:
+	CMPQ R12, $4
+	JLT  tail16f
+	// t = ((w0*x0 + w1*x1) + w2*x2) + w3*x3, one lane per stream.
+	VBROADCASTSS (BX), Z1
+	VMULPS       (CX), Z1, Z2
+	VBROADCASTSS 4(BX), Z1
+	VMULPS       64(CX), Z1, Z3
+	VADDPS       Z3, Z2, Z2
+	VBROADCASTSS 8(BX), Z1
+	VMULPS       128(CX), Z1, Z3
+	VADDPS       Z3, Z2, Z2
+	VBROADCASTSS 12(BX), Z1
+	VMULPS       192(CX), Z1, Z3
+	VADDPS       Z3, Z2, Z2
+	// acc += t
+	VADDPS Z2, Z0, Z0
+	ADDQ   $16, BX
+	ADDQ   $256, CX
+	SUBQ   $4, R12
+	JMP    groups16f
+
+tail16f:
+	TESTQ R12, R12
+	JZ    store16f
+	VBROADCASTSS (BX), Z1
+	VMULPS       (CX), Z1, Z2
+	VADDPS       Z2, Z0, Z0
+	ADDQ  $4, BX
+	ADDQ  $64, CX
+	DECQ  R12
+	JMP   tail16f
+
+store16f:
+	// Scatter the sixteen lanes back through the staging buffer.
+	VMOVUPS Z0, buf-64(SP)
+	MOVQ R15, BX
+	LEAQ buf-64(SP), CX
+	MOVQ $16, R12
+st16f:
+	MOVL (CX), R14
+	MOVL R14, (BX)
+	ADDQ R10, BX
+	ADDQ $4, CX
+	DECQ R12
+	JNZ  st16f
+
+	ADDQ AX, SI
+	INCQ R13
+	JMP  rowloop16f
+
+done16f:
+	VZEROUPPER
+	RET
+
+// func gemm8x2f32avx512(wp *float32, stride, pairs int, xt *float32, kn int, dst *float32, dstStride int, cont bool)
+//
+// Row-pair AVX-512 kernel for eight streams: wp is the PackGEMM32 layout
+// (adjacent weight-row pairs interleaved per column), xt holds each stream
+// value duplicated into a lane pair (xt[16k+2s] = xt[16k+2s+1] = xs[s][k]),
+// and one zmm accumulates two output rows for all eight streams — lane 2s
+// is (stream s, row j), lane 2s+1 is (stream s, row j+1). VBROADCASTSD
+// replicates the 64-bit weight pair across the eight lane-pairs; it moves
+// bits only, so the arithmetic per lane is still VMULPS/VADDPS in Dot32's
+// group-of-four association. dst rows j and j+1 are adjacent per stream,
+// so lane I/O stages 64-bit pairs instead of the other kernels' 32-bit
+// lanes. stride is the pair-row stride in floats (2·cols of the unchunked
+// matrix); cont carries the accumulator through dst across column chunks.
+TEXT ·gemm8x2f32avx512(SB), NOSPLIT, $64-57
+	MOVQ    wp+0(FP), SI       // pair-row pointer (advances per pair)
+	MOVQ    stride+8(FP), AX
+	SHLQ    $2, AX             // pair-row stride in bytes
+	MOVQ    pairs+16(FP), R8
+	MOVQ    xt+24(FP), DX
+	MOVQ    kn+32(FP), R9
+	MOVQ    dst+40(FP), DI     // &dst[j], advances 8 bytes per pair
+	MOVQ    dstStride+48(FP), R10
+	SHLQ    $2, R10            // stream stride in bytes
+	MOVBLZX cont+56(FP), R11
+
+rowloop8x2f:
+	TESTQ R8, R8
+	JZ    done8x2f
+
+	TESTQ R11, R11
+	JZ    zeroacc8x2f
+	// Gather the eight strided 64-bit row pairs through the staging buffer.
+	MOVQ DI, BX
+	LEAQ buf-64(SP), CX
+	MOVQ $8, R12
+ld8x2f:
+	MOVQ (BX), R14
+	MOVQ R14, (CX)
+	ADDQ R10, BX
+	ADDQ $8, CX
+	DECQ R12
+	JNZ  ld8x2f
+	VMOVUPS buf-64(SP), Z0
+	JMP  accready8x2f
+zeroacc8x2f:
+	VPXORQ Z0, Z0, Z0
+accready8x2f:
+
+	MOVQ SI, BX                // weight-pair walker
+	MOVQ DX, CX                // xt walker
+	MOVQ R9, R12               // remaining columns
+
+groups8x2f:
+	CMPQ R12, $4
+	JLT  tail8x2f
+	// t = ((w0*x0 + w1*x1) + w2*x2) + w3*x3 per lane, two rows at once.
+	VBROADCASTSD (BX), Z1
+	VMULPS       (CX), Z1, Z2
+	VBROADCASTSD 8(BX), Z1
+	VMULPS       64(CX), Z1, Z3
+	VADDPS       Z3, Z2, Z2
+	VBROADCASTSD 16(BX), Z1
+	VMULPS       128(CX), Z1, Z3
+	VADDPS       Z3, Z2, Z2
+	VBROADCASTSD 24(BX), Z1
+	VMULPS       192(CX), Z1, Z3
+	VADDPS       Z3, Z2, Z2
+	// acc += t
+	VADDPS Z2, Z0, Z0
+	ADDQ   $32, BX
+	ADDQ   $256, CX
+	SUBQ   $4, R12
+	JMP    groups8x2f
+
+tail8x2f:
+	TESTQ R12, R12
+	JZ    store8x2f
+	VBROADCASTSD (BX), Z1
+	VMULPS       (CX), Z1, Z2
+	VADDPS       Z2, Z0, Z0
+	ADDQ  $8, BX
+	ADDQ  $64, CX
+	DECQ  R12
+	JMP   tail8x2f
+
+store8x2f:
+	// Scatter the eight row pairs back through the staging buffer.
+	VMOVUPS Z0, buf-64(SP)
+	MOVQ DI, BX
+	LEAQ buf-64(SP), CX
+	MOVQ $8, R12
+st8x2f:
+	MOVQ (CX), R14
+	MOVQ R14, (BX)
+	ADDQ R10, BX
+	ADDQ $8, CX
+	DECQ R12
+	JNZ  st8x2f
+
+	ADDQ AX, SI
+	ADDQ $8, DI                // next pair of output rows
+	DECQ R8
+	JMP  rowloop8x2f
+
+done8x2f:
+	VZEROUPPER
+	RET
+
+// func vcombine8f32(dst, u, b *float32, n int) int
+//
+// Fused elementwise combine dst = (dst + u) + b over the 8-divisible
+// prefix; returns the count handled. Pure AVX1 float adds in the scalar
+// loop's exact per-element order.
+TEXT ·vcombine8f32(SB), NOSPLIT, $0-40
+	MOVQ dst+0(FP), DI
+	MOVQ u+8(FP), SI
+	MOVQ b+16(FP), DX
+	MOVQ n+24(FP), CX
+	ANDQ $-8, CX
+	MOVQ CX, ret+32(FP)
+
+comb8f:
+	TESTQ CX, CX
+	JZ    done8fc
+	VMOVUPS (DI), Y0
+	VADDPS  (SI), Y0, Y0
+	VADDPS  (DX), Y0, Y0
+	VMOVUPS Y0, (DI)
+	ADDQ $32, DI
+	ADDQ $32, SI
+	ADDQ $32, DX
+	SUBQ $8, CX
+	JMP  comb8f
+
+done8fc:
+	VZEROUPPER
+	RET
+
+// func vgroupadd8f32(dst, r0, r1, r2, r3 *float32, rows, n int, assign bool) int
+//
+// One-hot gather group combine over the 8-divisible prefix: the subtotal
+// of the first rows row-vectors chained left-to-right per lane, assigned
+// to dst or added to it. One loop body per row count so the hot path has
+// a single predictable branch per step. Returns the count handled.
+TEXT ·vgroupadd8f32(SB), NOSPLIT, $0-72
+	MOVQ dst+0(FP), DI
+	MOVQ r0+8(FP), SI
+	MOVQ r1+16(FP), R8
+	MOVQ r2+24(FP), R9
+	MOVQ r3+32(FP), R10
+	MOVQ rows+40(FP), AX
+	MOVQ n+48(FP), CX
+	ANDQ    $-8, CX
+	MOVQ    CX, ret+64(FP)
+	MOVBLZX assign+56(FP), BX
+	CMPQ AX, $1
+	JEQ  loop1g
+	CMPQ AX, $2
+	JEQ  loop2g
+	CMPQ AX, $3
+	JEQ  loop3g
+
+loop4g:
+	TESTQ CX, CX
+	JZ    doneg
+	VMOVUPS (SI), Y0
+	VADDPS  (R8), Y0, Y0
+	VADDPS  (R9), Y0, Y0
+	VADDPS  (R10), Y0, Y0
+	TESTQ BX, BX
+	JNZ   store4g
+	VADDPS (DI), Y0, Y0
+store4g:
+	VMOVUPS Y0, (DI)
+	ADDQ $32, DI
+	ADDQ $32, SI
+	ADDQ $32, R8
+	ADDQ $32, R9
+	ADDQ $32, R10
+	SUBQ $8, CX
+	JMP  loop4g
+
+loop3g:
+	TESTQ CX, CX
+	JZ    doneg
+	VMOVUPS (SI), Y0
+	VADDPS  (R8), Y0, Y0
+	VADDPS  (R9), Y0, Y0
+	TESTQ BX, BX
+	JNZ   store3g
+	VADDPS (DI), Y0, Y0
+store3g:
+	VMOVUPS Y0, (DI)
+	ADDQ $32, DI
+	ADDQ $32, SI
+	ADDQ $32, R8
+	ADDQ $32, R9
+	SUBQ $8, CX
+	JMP  loop3g
+
+loop2g:
+	TESTQ CX, CX
+	JZ    doneg
+	VMOVUPS (SI), Y0
+	VADDPS  (R8), Y0, Y0
+	TESTQ BX, BX
+	JNZ   store2g
+	VADDPS (DI), Y0, Y0
+store2g:
+	VMOVUPS Y0, (DI)
+	ADDQ $32, DI
+	ADDQ $32, SI
+	ADDQ $32, R8
+	SUBQ $8, CX
+	JMP  loop2g
+
+loop1g:
+	TESTQ CX, CX
+	JZ    doneg
+	VMOVUPS (SI), Y0
+	TESTQ BX, BX
+	JNZ   store1g
+	VADDPS (DI), Y0, Y0
+store1g:
+	VMOVUPS Y0, (DI)
+	ADDQ $32, DI
+	ADDQ $32, SI
+	SUBQ $8, CX
+	JMP  loop1g
+
+doneg:
+	VZEROUPPER
+	RET
+
+// func gemv8f32avx(p *float32, tiles, cols int, x *float32, dst *float32, bias *float32, mode int)
+//
+// Packed f32 single-vector product: p holds tiles of eight consecutive
+// output rows, column-major within the tile (see mathx.PackGEMV32), so
+// each ymm lane is one output row and the stores are contiguous. Per
+// tile: acc = 0; for the vector's columns in Dot32's group-of-four
+// association accumulate acc += x[k]*p[k]; then the mode epilogue
+// (0: dst=acc, 1: dst=dst+acc, 2: dst=(dst+acc)+bias, 3: dst=acc+bias —
+// additions in exactly that operand order) and a contiguous store. p
+// advances continuously across tiles; x rewinds per tile.
+TEXT ·gemv8f32avx(SB), NOSPLIT, $0-56
+	MOVQ p+0(FP), SI           // packed walker (continuous)
+	MOVQ tiles+8(FP), R8
+	MOVQ cols+16(FP), R9
+	MOVQ x+24(FP), DX
+	MOVQ dst+32(FP), DI        // advances one tile per iteration
+	MOVQ bias+40(FP), R14
+	MOVQ mode+48(FP), R11
+
+tileloop8fv:
+	TESTQ R8, R8
+	JZ    done8fv
+	VXORPS Y0, Y0, Y0
+	MOVQ   DX, CX              // x walker
+	MOVQ   R9, R12             // remaining columns
+
+groups8fv:
+	CMPQ R12, $4
+	JLT  tail8fv
+	// t = ((x0*p0 + x1*p1) + x2*p2) + x3*p3 per lane (output row).
+	VBROADCASTSS (CX), Y1
+	VMULPS       (SI), Y1, Y2
+	VBROADCASTSS 4(CX), Y1
+	VMULPS       32(SI), Y1, Y3
+	VADDPS       Y3, Y2, Y2
+	VBROADCASTSS 8(CX), Y1
+	VMULPS       64(SI), Y1, Y3
+	VADDPS       Y3, Y2, Y2
+	VBROADCASTSS 12(CX), Y1
+	VMULPS       96(SI), Y1, Y3
+	VADDPS       Y3, Y2, Y2
+	VADDPS Y2, Y0, Y0
+	ADDQ   $128, SI
+	ADDQ   $16, CX
+	SUBQ   $4, R12
+	JMP    groups8fv
+
+tail8fv:
+	TESTQ R12, R12
+	JZ    epi8fv
+	VBROADCASTSS (CX), Y1
+	VMULPS       (SI), Y1, Y2
+	VADDPS       Y2, Y0, Y0
+	ADDQ  $32, SI
+	ADDQ  $4, CX
+	DECQ  R12
+	JMP   tail8fv
+
+epi8fv:
+	CMPQ R11, $0
+	JE   store8fv
+	CMPQ R11, $3
+	JE   bias8fv
+	// modes 1,2: acc = dst + acc (dst is the first operand).
+	VMOVUPS (DI), Y1
+	VADDPS  Y0, Y1, Y0
+	CMPQ R11, $1
+	JE   store8fv
+bias8fv:
+	// modes 2,3: acc = acc + bias (acc is the first operand).
+	VMOVUPS (R14), Y1
+	VADDPS  Y1, Y0, Y0
+store8fv:
+	VMOVUPS Y0, (DI)
+	ADDQ $32, DI
+	ADDQ $32, R14
+	DECQ R8
+	JMP  tileloop8fv
+
+done8fv:
+	VZEROUPPER
+	RET
+
+// func gemv16f32avx512(p *float32, tiles, cols int, x *float32, dst *float32, bias *float32, mode int)
+//
+// The 512-bit twin of gemv8f32avx: tiles of sixteen output rows per zmm,
+// same association and epilogue contract.
+TEXT ·gemv16f32avx512(SB), NOSPLIT, $0-56
+	MOVQ p+0(FP), SI
+	MOVQ tiles+8(FP), R8
+	MOVQ cols+16(FP), R9
+	MOVQ x+24(FP), DX
+	MOVQ dst+32(FP), DI
+	MOVQ bias+40(FP), R14
+	MOVQ mode+48(FP), R11
+
+tileloop16fv:
+	TESTQ R8, R8
+	JZ    done16fv
+	VPXORQ Z0, Z0, Z0
+	MOVQ   DX, CX
+	MOVQ   R9, R12
+
+groups16fv:
+	CMPQ R12, $4
+	JLT  tail16fv
+	VBROADCASTSS (CX), Z1
+	VMULPS       (SI), Z1, Z2
+	VBROADCASTSS 4(CX), Z1
+	VMULPS       64(SI), Z1, Z3
+	VADDPS       Z3, Z2, Z2
+	VBROADCASTSS 8(CX), Z1
+	VMULPS       128(SI), Z1, Z3
+	VADDPS       Z3, Z2, Z2
+	VBROADCASTSS 12(CX), Z1
+	VMULPS       192(SI), Z1, Z3
+	VADDPS       Z3, Z2, Z2
+	VADDPS Z2, Z0, Z0
+	ADDQ   $256, SI
+	ADDQ   $16, CX
+	SUBQ   $4, R12
+	JMP    groups16fv
+
+tail16fv:
+	TESTQ R12, R12
+	JZ    epi16fv
+	VBROADCASTSS (CX), Z1
+	VMULPS       (SI), Z1, Z2
+	VADDPS       Z2, Z0, Z0
+	ADDQ  $64, SI
+	ADDQ  $4, CX
+	DECQ  R12
+	JMP   tail16fv
+
+epi16fv:
+	CMPQ R11, $0
+	JE   store16fv
+	CMPQ R11, $3
+	JE   bias16fv
+	VMOVUPS (DI), Z1
+	VADDPS  Z0, Z1, Z0
+	CMPQ R11, $1
+	JE   store16fv
+bias16fv:
+	VMOVUPS (R14), Z1
+	VADDPS  Z1, Z0, Z0
+store16fv:
+	VMOVUPS Z0, (DI)
+	ADDQ $64, DI
+	ADDQ $64, R14
+	DECQ R8
+	JMP  tileloop16fv
+
+done16fv:
+	VZEROUPPER
+	RET

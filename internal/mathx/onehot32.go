@@ -1,0 +1,137 @@
+package mathx
+
+// Float32 one-hot kernels: the same aligned-group association contract as
+// onehot.go, in the f32 tier. Dot32 (and the f32 GEMV/GEMM kernels, which
+// replicate it per output element) sums columns in aligned groups of four;
+// for a one-hot x the inactive terms drop out exactly, so the gather must
+// sum actives left-to-right within each aligned group and add the group
+// subtotals to the accumulator in ascending group order to stay
+// bitwise-identical to the dense f32 product.
+
+// OneHotDot32 returns Dot32(row, x) for the implicit one-hot vector x that
+// is 1 at the columns idx and 0 elsewhere, bitwise-identical to the dense
+// f32 product. idx must be strictly ascending and within [0, len(row)).
+func OneHotDot32(row []float32, idx []int) float32 {
+	n := len(row) &^ 3
+	var s float32
+	i := 0
+	for i < len(idx) {
+		j := idx[i]
+		if j >= n {
+			s += row[j]
+			i++
+			continue
+		}
+		g := j&^3 + 4
+		t := row[j]
+		i++
+		for i < len(idx) && idx[i] < g {
+			t += row[idx[i]]
+			i++
+		}
+		s += t
+	}
+	return s
+}
+
+// MulVecOneHot computes dst = m·x for the one-hot x described by idx,
+// bitwise-identical to m.MulVec against the dense f32 encoding. It is the
+// row-major reference for OneHotGather32.
+func (m *Matrix32) MulVecOneHot(dst []float32, idx []int) {
+	for i := 0; i < m.Rows; i++ {
+		dst[i] = OneHotDot32(m.Data[i*m.Cols:(i+1)*m.Cols], idx)
+	}
+}
+
+// OneHotGather32 computes dst = W·x for the one-hot x described by idx,
+// given wt = Wᵀ — the f32 mirror of OneHotGather with the identical
+// grouping contract. idx must be strictly ascending and within
+// [0, wt.Rows).
+func OneHotGather32(dst []float32, wt *Matrix32, idx []int) {
+	if len(dst) != wt.Cols {
+		panic("mathx: f32 one-hot gather shape mismatch")
+	}
+	n := wt.Rows &^ 3
+	first := true
+	i := 0
+	for i < len(idx) {
+		j := idx[i]
+		var cnt int
+		if j >= n {
+			cnt = 1 // tail actives join the accumulator one by one
+		} else {
+			g := j&^3 + 4
+			cnt = 1
+			for i+cnt < len(idx) && idx[i+cnt] < g {
+				cnt++
+			}
+		}
+		gatherGroup32(dst, wt, idx[i:i+cnt], first)
+		first = false
+		i += cnt
+	}
+	if first {
+		Fill32(dst, 0)
+	}
+}
+
+// gatherGroup32 adds one aligned group's subtotal — the active columns
+// summed left-to-right — into dst (or assigns it, for the first group,
+// matching the accumulator's zero start). The SIMD prefix computes the
+// same per-element expression — subtotal chained left-to-right, then
+// dst + subtotal — so it is bitwise-identical to the scalar tail by
+// construction (elementwise, nothing reassociates).
+func gatherGroup32(dst []float32, wt *Matrix32, idx []int, assign bool) {
+	r0 := wt.Row(idx[0])
+	r1, r2, r3 := r0, r0, r0
+	if len(idx) > 1 {
+		r1 = wt.Row(idx[1])
+	}
+	if len(idx) > 2 {
+		r2 = wt.Row(idx[2])
+	}
+	if len(idx) > 3 {
+		r3 = wt.Row(idx[3])
+	}
+	k := vgroupAdd32SIMD(dst, r0, r1, r2, r3, len(idx), assign)
+	switch len(idx) {
+	case 1:
+		if assign {
+			copy(dst[k:], r0[k:len(dst)])
+		} else {
+			for ; k < len(dst); k++ {
+				dst[k] += r0[k]
+			}
+		}
+	case 2:
+		if assign {
+			for ; k < len(dst); k++ {
+				dst[k] = r0[k] + r1[k]
+			}
+		} else {
+			for ; k < len(dst); k++ {
+				dst[k] += r0[k] + r1[k]
+			}
+		}
+	case 3:
+		if assign {
+			for ; k < len(dst); k++ {
+				dst[k] = r0[k] + r1[k] + r2[k]
+			}
+		} else {
+			for ; k < len(dst); k++ {
+				dst[k] += r0[k] + r1[k] + r2[k]
+			}
+		}
+	default:
+		if assign {
+			for ; k < len(dst); k++ {
+				dst[k] = r0[k] + r1[k] + r2[k] + r3[k]
+			}
+		} else {
+			for ; k < len(dst); k++ {
+				dst[k] += r0[k] + r1[k] + r2[k] + r3[k]
+			}
+		}
+	}
+}

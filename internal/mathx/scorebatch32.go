@@ -1,0 +1,129 @@
+package mathx
+
+import "fmt"
+
+// Float32 mirrors of the batched anomaly-score kernels (scorebatch.go).
+// Same contract as the rest of the f32 tier: every output element is
+// accumulated in exactly the scalar f32 sibling's association, so batched
+// and sequential f32 scoring are bitwise-identical.
+
+// ScaledSqDist32 returns Σ_d (x[d]−mu[d])²/va[d], accumulated sequentially
+// over d: the f32 squared Mahalanobis distance for a diagonal covariance.
+func ScaledSqDist32(x, mu, va []float32) float32 {
+	var q float32
+	for d := range x {
+		diff := x[d] - mu[d]
+		q += diff * diff / va[d]
+	}
+	return q
+}
+
+// ScaledSqDistBatch32 computes dst[i] = ScaledSqDist32(xs[i], mu, va) for
+// every row, bitwise-identically to the scalar call per row. Rows advance
+// in tiles of four so mu and va are loaded once per four distance chains.
+func ScaledSqDistBatch32(dst []float32, xs [][]float32, mu, va []float32) {
+	if len(dst) < len(xs) {
+		panic(fmt.Sprintf("mathx: f32 scaled sqdist batch into %d results for %d rows", len(dst), len(xs)))
+	}
+	D := len(mu)
+	i := 0
+	for ; i+4 <= len(xs); i += 4 {
+		x0, x1, x2, x3 := xs[i][:D], xs[i+1][:D], xs[i+2][:D], xs[i+3][:D]
+		var q0, q1, q2, q3 float32
+		for d := 0; d < D; d++ {
+			m, v := mu[d], va[d]
+			d0 := x0[d] - m
+			d1 := x1[d] - m
+			d2 := x2[d] - m
+			d3 := x3[d] - m
+			q0 += d0 * d0 / v
+			q1 += d1 * d1 / v
+			q2 += d2 * d2 / v
+			q3 += d3 * d3 / v
+		}
+		dst[i], dst[i+1], dst[i+2], dst[i+3] = q0, q1, q2, q3
+	}
+	for ; i < len(xs); i++ {
+		dst[i] = ScaledSqDist32(xs[i], mu, va)
+	}
+}
+
+// ReconResidual returns the f32 squared residual ‖x − PᵀPx‖² of projecting
+// x onto the orthonormal rows of p. proj (len ≥ p.Rows) and recon
+// (len ≥ p.Cols) are caller scratch. Association mirrors the f64 kernel:
+// one Dot32 per component row, reconstruction accumulated per component in
+// row order via Axpy32, then a sequential residual sum.
+func (p *Matrix32) ReconResidual(x, proj, recon []float32) float32 {
+	if len(x) != p.Cols || len(proj) < p.Rows || len(recon) < p.Cols {
+		panic(fmt.Sprintf("mathx: f32 recon residual shape mismatch (%dx%d by %d, scratch %d/%d)",
+			p.Rows, p.Cols, len(x), len(proj), len(recon)))
+	}
+	recon = recon[:p.Cols]
+	for j := 0; j < p.Rows; j++ {
+		proj[j] = Dot32(p.Row(j), x)
+	}
+	for d := range recon {
+		recon[d] = 0
+	}
+	for j := 0; j < p.Rows; j++ {
+		Axpy32(recon, proj[j], p.Row(j))
+	}
+	var err float32
+	for d := range recon {
+		diff := x[d] - recon[d]
+		err += diff * diff
+	}
+	return err
+}
+
+// ReconResidualBatch computes dst[i] = ReconResidual(xs[i], …) for every
+// centered row, bitwise-identically to the scalar call per row, with the
+// component loops component-major like the f64 kernel. proj needs
+// 4*p.Rows scratch and recon 4*p.Cols.
+func (p *Matrix32) ReconResidualBatch(dst []float32, xs [][]float32, proj, recon []float32) {
+	if len(dst) < len(xs) {
+		panic(fmt.Sprintf("mathx: f32 recon residual batch into %d results for %d rows", len(dst), len(xs)))
+	}
+	if len(proj) < 4*p.Rows || len(recon) < 4*p.Cols {
+		panic(fmt.Sprintf("mathx: f32 recon residual batch scratch %d/%d, need %d/%d",
+			len(proj), len(recon), 4*p.Rows, 4*p.Cols))
+	}
+	R, C := p.Rows, p.Cols
+	i := 0
+	for ; i+4 <= len(xs); i += 4 {
+		x := [4][]float32{xs[i][:C], xs[i+1][:C], xs[i+2][:C], xs[i+3][:C]}
+		pr := [4][]float32{proj[:R], proj[R : 2*R], proj[2*R : 3*R], proj[3*R : 4*R]}
+		rc := [4][]float32{recon[:C], recon[C : 2*C], recon[2*C : 3*C], recon[3*C : 4*C]}
+		for j := 0; j < R; j++ {
+			row := p.Row(j)
+			pr[0][j] = Dot32(row, x[0])
+			pr[1][j] = Dot32(row, x[1])
+			pr[2][j] = Dot32(row, x[2])
+			pr[3][j] = Dot32(row, x[3])
+		}
+		for r := 0; r < 4; r++ {
+			for d := range rc[r] {
+				rc[r][d] = 0
+			}
+		}
+		for j := 0; j < R; j++ {
+			row := p.Row(j)
+			Axpy32(rc[0], pr[0][j], row)
+			Axpy32(rc[1], pr[1][j], row)
+			Axpy32(rc[2], pr[2][j], row)
+			Axpy32(rc[3], pr[3][j], row)
+		}
+		for r := 0; r < 4; r++ {
+			var err float32
+			xr, rr := x[r], rc[r]
+			for d := 0; d < C; d++ {
+				diff := xr[d] - rr[d]
+				err += diff * diff
+			}
+			dst[i+r] = err
+		}
+	}
+	for ; i < len(xs); i++ {
+		dst[i] = p.ReconResidual(xs[i], proj[:R], recon[:C])
+	}
+}

@@ -72,6 +72,7 @@ func (c *Classifier) InvalidateInference() {
 		l.wt.Store(nil)
 	}
 	c.Out.pack.Store(nil)
+	c.m32.Store(nil)
 }
 
 // gatesCellUpdate is the fused gate epilogue: activation and cell/hidden

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sync/atomic"
 
 	"icsdetect/internal/mathx"
 )
@@ -23,6 +24,10 @@ type Param struct {
 type Classifier struct {
 	Layers []*LSTMLayer
 	Out    *Dense
+
+	// m32 caches the frozen float32 inference snapshot (built lazily by
+	// Infer32, dropped by InvalidateInference). Unexported, so gob skips it.
+	m32 atomic.Pointer[InferModel32]
 }
 
 // NewClassifier builds a classifier with the given input dimensionality,
