@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build fmt vet test race race-quick conformance bench bench-json bench-smoke bench-stack bench-train fuzz-smoke
+.PHONY: check build fmt vet test race race-quick conformance serve-smoke bench bench-json bench-smoke bench-stack bench-train fuzz-smoke
 
 check: fmt vet build test race-quick fuzz-smoke bench-smoke
 
@@ -38,7 +38,16 @@ race:
 race-quick:
 	$(GO) test -race -short ./...
 	$(GO) test -race ./internal/engine/
+	$(GO) test -race -short ./internal/serve/
 	$(GO) test -race -run 'TestTraceConformance' .
+
+# Boot the serving daemon on ephemeral ports and replay both committed
+# golden corpora into it over real TCP — concurrent connections, one
+# mid-replay hot-swap through the HTTP ops endpoint, SIGTERM drain — and
+# require every stream's verdict sequence to match the goldens byte for
+# byte. This is the CI smoke gate for cmd/icsserved.
+serve-smoke:
+	$(GO) run ./cmd/icsserved -selftest
 
 # The scenario-matrix golden conformance suite alone: both testbeds x
 # {sequential, engine} x {f64, f32} precision tiers x {avx512, avx2,

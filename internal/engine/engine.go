@@ -30,6 +30,7 @@ package engine
 import (
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -108,25 +109,28 @@ type Result struct {
 type Handler func(Result)
 
 // packet is one queued unit of work: a package of a stream (with the
-// framework that classifies it; nil means the engine default), or a barrier
+// framework that classifies it; nil means the engine default), a barrier
 // marker (barrier non-nil) that the worker acknowledges once everything
-// queued before it has been classified and flushed.
+// queued before it has been classified and flushed, or a release marker
+// (release non-nil) that drops the stream's shard state the same way.
 type packet struct {
 	stream  string
 	pkg     *dataset.Package
 	fw      *core.Framework
 	barrier *sync.WaitGroup
+	release *sync.WaitGroup
 }
 
 // Engine is a running multi-stream detection engine. Create one with New,
 // feed it with Submit, stop it with Stop. The framework must not be mutated
 // (SetK, Update, …) while the engine runs.
 //
-// Stream state (a Session with its per-level states) is retained for the
-// lifetime of the engine — recurrent detection has no natural point to
-// forget a stream. Key streams by a bounded-cardinality identity (device,
-// unit, link), not by connection or request; a churn of distinct stream IDs
-// grows memory without bound.
+// Stream state (a Session with its per-level states) is retained until the
+// stream is explicitly released — recurrent detection has no natural point
+// to forget a stream on its own. Deployments that key streams by
+// connection-scoped identities (the serving daemon maps one network
+// connection to one stream) must call Release when the identity dies, or
+// churn of distinct stream IDs grows memory without bound.
 type Engine struct {
 	fw      *core.Framework
 	cfg     Config
@@ -157,6 +161,29 @@ type Engine struct {
 	// support the engine's stack, so SubmitFor pays the stack resolution
 	// once per pair instead of once per package.
 	validated sync.Map
+	// firstPanic keeps the first handler/stage panic a shard worker
+	// recovered; Stop surfaces it once the workers have drained.
+	firstPanic atomic.Pointer[PanicError]
+}
+
+// PanicError is a panic a shard worker recovered from a Handler or stage
+// (see ShardStats.HandlerPanics). The worker keeps running — a panicking
+// handler must not wedge every stream pinned to its shard — and Stop
+// returns the first recovered panic so it cannot pass silently.
+type PanicError struct {
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the worker's stack at recovery time.
+	Stack string
+}
+
+func (p *PanicError) Error() string {
+	return fmt.Sprintf("engine: recovered handler panic: %v", p.Value)
+}
+
+// recordPanic keeps the first recovered panic for Stop.
+func (e *Engine) recordPanic(v any) {
+	e.firstPanic.CompareAndSwap(nil, &PanicError{Value: v, Stack: string(debug.Stack())})
 }
 
 // validationKey keys the validated cache: batching never mixes weights or
@@ -240,14 +267,8 @@ func (e *Engine) SubmitFor(fw *core.Framework, stream string, pkg *dataset.Packa
 	if e.stopped.Load() {
 		return fmt.Errorf("engine: submit after Stop")
 	}
-	if fw != nil && fw != e.fw {
-		key := validationKey{fw: fw, prec: e.precisionOf(stream)}
-		if _, ok := e.validated.Load(key); !ok {
-			if _, err := fw.NewStack(e.stackFor(key.prec)); err != nil {
-				return fmt.Errorf("engine: submit for framework: %w", err)
-			}
-			e.validated.Store(key, struct{}{})
-		}
+	if err := e.validateFor(fw, stream); err != nil {
+		return err
 	}
 	if err := e.bindStream(stream, fw); err != nil {
 		return err
@@ -255,6 +276,27 @@ func (e *Engine) SubmitFor(fw *core.Framework, stream string, pkg *dataset.Packa
 	e.shardFor(stream).in <- packet{stream: stream, pkg: pkg, fw: fw}
 	return nil
 }
+
+// validateFor proves once per (framework, precision) pair that a
+// non-default framework supports the engine's stack at the stream's tier.
+// The engine default was validated by New; nil means the default.
+func (e *Engine) validateFor(fw *core.Framework, stream string) error {
+	if fw == nil || fw == e.fw {
+		return nil
+	}
+	key := validationKey{fw: fw, prec: e.precisionOf(stream)}
+	if _, ok := e.validated.Load(key); !ok {
+		if _, err := fw.NewStack(e.stackFor(key.prec)); err != nil {
+			return fmt.Errorf("engine: submit for framework: %w", err)
+		}
+		e.validated.Store(key, struct{}{})
+	}
+	return nil
+}
+
+// StackSpec returns the engine's resolved stack spec (defaults applied):
+// what every stream's sessions run, at the configured default precision.
+func (e *Engine) StackSpec() core.StackSpec { return e.cfg.Stack }
 
 // stackFor returns the engine's stack spec at the given numeric tier.
 func (e *Engine) stackFor(p core.Precision) core.StackSpec {
@@ -334,26 +376,42 @@ func (e *Engine) bindStream(stream string, fw *core.Framework) error {
 // shard queue is full, letting in-path deployments shed load explicitly
 // instead of stalling the protocol path.
 func (e *Engine) TrySubmit(stream string, pkg *dataset.Package) (bool, error) {
+	return e.TrySubmitFor(nil, stream, pkg)
+}
+
+// TrySubmitFor is SubmitFor without blocking: the same validated-cache
+// stack check and stream→framework binding semantics, but a full shard
+// queue reports false instead of stalling the caller — the in-path shape of
+// the serving daemon's live ingest, where shedding a package beats stalling
+// the protocol path. Like SubmitFor, a nil fw means the engine default; a
+// shed (queue-full) probe never binds a stream that carried no traffic.
+func (e *Engine) TrySubmitFor(fw *core.Framework, stream string, pkg *dataset.Package) (bool, error) {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	if e.stopped.Load() {
 		return false, fmt.Errorf("engine: submit after Stop")
 	}
+	if err := e.validateFor(fw, stream); err != nil {
+		return false, err
+	}
+	target := fw
+	if target == nil {
+		target = e.fw
+	}
 	// Check the binding up front, but record it only once a package is
-	// actually enqueued: a shed (queue-full) probe must not bind a stream
-	// that never carried traffic.
+	// actually enqueued.
 	e.bindMu.RLock()
 	prev, bound := e.bindings[stream]
 	e.bindMu.RUnlock()
-	if bound && prev != e.fw {
+	if bound && prev != target {
 		return false, fmt.Errorf("engine: stream %q is already bound to a different framework", stream)
 	}
 	select {
-	case e.shardFor(stream).in <- packet{stream: stream, pkg: pkg}:
+	case e.shardFor(stream).in <- packet{stream: stream, pkg: pkg, fw: fw}:
 		if !bound {
 			e.bindMu.Lock()
 			if _, ok := e.bindings[stream]; !ok {
-				e.bindings[stream] = e.fw
+				e.bindings[stream] = target
 			}
 			e.bindMu.Unlock()
 		}
@@ -361,6 +419,38 @@ func (e *Engine) TrySubmit(stream string, pkg *dataset.Package) (bool, error) {
 	default:
 		return false, nil
 	}
+}
+
+// Release drops every trace of a stream — the shard's session state plus
+// the framework and precision bindings — so the stream ID can be reused
+// with fresh recurrent state (or a different model). It enqueues a release
+// marker behind everything already submitted for the stream and waits for
+// the shard to process it, so on return no in-flight package references the
+// state and a resubmission of the same ID starts a brand-new session.
+// Packages of the stream must not be submitted concurrently with Release
+// (the same single-writer rule Submit has). Release is how
+// connection-scoped deployments keep ID churn from growing memory without
+// bound: bind on accept, Release on close. Releasing an unknown stream is
+// a no-op. Like Submit it blocks while the shard queue is full, and errors
+// during or after Stop.
+func (e *Engine) Release(stream string) error {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.stopped.Load() {
+		return fmt.Errorf("engine: release after Stop")
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	e.shardFor(stream).in <- packet{stream: stream, release: &wg}
+	wg.Wait()
+	// The shard state is gone; drop the submit-path bindings. New
+	// submissions of this ID (the single-writer rule orders them after
+	// Release returns) bind afresh.
+	e.bindMu.Lock()
+	delete(e.bindings, stream)
+	delete(e.precisions, stream)
+	e.bindMu.Unlock()
+	return nil
 }
 
 // Barrier blocks until every package submitted before it has been fully
@@ -391,18 +481,24 @@ func (e *Engine) Barrier() error {
 // releases them. Submissions racing Stop either land before the shutdown
 // (their packages are drained) or return the stopped error; a submitter
 // blocked on a full queue completes normally, because the workers keep
-// draining until the channels close. Stop is idempotent.
-func (e *Engine) Stop() {
+// draining until the channels close. Stop is idempotent, and every call
+// waits for the drain. It returns the first panic a shard worker recovered
+// during the engine's lifetime (as a *PanicError), or nil if no handler or
+// stage ever panicked.
+func (e *Engine) Stop() error {
 	e.mu.Lock()
-	if e.stopped.Swap(true) {
-		e.mu.Unlock()
-		return
-	}
+	already := e.stopped.Swap(true)
 	e.mu.Unlock()
-	for _, s := range e.shards {
-		close(s.in)
+	if !already {
+		for _, s := range e.shards {
+			close(s.in)
+		}
 	}
 	e.wg.Wait()
+	if p := e.firstPanic.Load(); p != nil {
+		return p
+	}
+	return nil
 }
 
 // shard is one worker: a partition of streams, its bounded input queue, its
@@ -512,13 +608,63 @@ func (s *shard) run(wg *sync.WaitGroup) {
 				break drain
 			}
 		}
-		s.precompute(tick)
+		s.safe(func() { s.precompute(tick) })
 		for _, p := range tick {
-			s.handle(p)
+			s.process(p)
 		}
-		s.flush()
+		s.safe(s.flush)
 	}
-	s.flush()
+	s.safe(s.flush)
+}
+
+// process runs handle behind a panic guard: a panicking Handler (or stage)
+// must not kill the shard goroutine — every stream pinned to this shard
+// would wedge while Submit keeps blocking on the full queue. The panic is
+// counted in HandlerPanics, the first one is kept for Stop, and barrier and
+// release markers are still acknowledged so Barrier and Release cannot
+// deadlock on a panicked tick. The panicking package's own stream may be
+// left with a partially advanced session; every other stream keeps exact
+// sequential semantics.
+func (s *shard) process(pkt packet) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.recovered(r)
+			switch {
+			case pkt.barrier != nil:
+				pkt.barrier.Done()
+			case pkt.release != nil:
+				// The marker must still release: the panic came from the
+				// pre-release flush, not from the map drop.
+				s.dropStream(pkt.stream)
+				pkt.release.Done()
+			}
+		}
+	}()
+	s.handle(pkt)
+}
+
+// safe runs fn behind the same panic guard as process, for the shared
+// per-tick phases (precompute, flush) that are not tied to one packet.
+func (s *shard) safe(fn func()) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.recovered(r)
+		}
+	}()
+	fn()
+}
+
+func (s *shard) recovered(r any) {
+	s.stats.handlerPanics.Add(1)
+	s.e.recordPanic(r)
+}
+
+// dropStream forgets a stream's shard state (release marker processing).
+func (s *shard) dropStream(stream string) {
+	if _, ok := s.streams[stream]; ok {
+		delete(s.streams, stream)
+		s.stats.released.Add(1)
+	}
 }
 
 // precompute batches the Check-phase work of the tick: for the first
@@ -546,7 +692,8 @@ func (s *shard) precompute(tick []packet) {
 	s.tick++
 	queued := false
 	for _, pkt := range tick {
-		if pkt.barrier != nil {
+		if pkt.pkg == nil {
+			// Barrier and release markers carry no package to score.
 			continue
 		}
 		st := s.streams[pkt.stream]
@@ -582,6 +729,15 @@ func (s *shard) handle(pkt packet) {
 		// flush so their batched steps are complete before acknowledging.
 		s.flush()
 		pkt.barrier.Done()
+		return
+	}
+	if pkt.release != nil {
+		// Shard FIFO ordered the marker behind every in-flight package of
+		// the stream; flushing completes their batched steps before the
+		// state drops, so a released session is never advanced afterwards.
+		s.flush()
+		s.dropStream(pkt.stream)
+		pkt.release.Done()
 		return
 	}
 	fw := pkt.fw

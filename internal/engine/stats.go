@@ -28,6 +28,10 @@ func levelIndex(l core.Level) int {
 type shardCounters struct {
 	packages atomic.Uint64
 	streams  atomic.Uint64
+	// released counts streams dropped by Engine.Release; handlerPanics
+	// counts panics the worker recovered from a Handler or stage.
+	released      atomic.Uint64
+	handlerPanics atomic.Uint64
 	// batches/batched count batched Advance passes and the deferred steps
 	// they executed; checkBatches/checkBatched count batched Check-score
 	// passes (the window levels' precompute) and the scores they produced.
@@ -46,8 +50,15 @@ type ShardStats struct {
 	Shard int
 	// Packages is the number of packages classified.
 	Packages uint64
-	// Streams is the number of distinct streams seen.
-	Streams uint64
+	// Streams is the number of distinct streams seen; Released counts the
+	// ones since dropped by Engine.Release, so Streams-Released is the
+	// shard's live state footprint.
+	Streams  uint64
+	Released uint64
+	// HandlerPanics counts panics the shard worker recovered from a
+	// Handler or stage; the worker keeps serving, and Stop returns the
+	// first recovered panic value.
+	HandlerPanics uint64
 	// ByLevel splits Packages by verdict level, indexed by core.Level.
 	ByLevel [core.NumLevels]uint64
 	// OtherLevels counts verdicts whose level falls outside the core.Level
@@ -72,9 +83,10 @@ func (s ShardStats) Anomalies() uint64 { return s.Packages - s.Clean }
 
 // Stats is an engine-wide snapshot.
 type Stats struct {
-	// Packages, Streams, Batches, Batched, CheckBatches and CheckBatched
-	// aggregate the shard counters.
+	// Packages, Streams, Released, HandlerPanics, Batches, Batched,
+	// CheckBatches and CheckBatched aggregate the shard counters.
 	Packages, Streams          uint64
+	Released, HandlerPanics    uint64
 	Batches, Batched           uint64
 	CheckBatches, CheckBatched uint64
 	// ByLevel splits Packages by verdict level, indexed by core.Level.
@@ -94,12 +106,47 @@ type Stats struct {
 // Anomalies is the number of packages flagged by any level.
 func (s Stats) Anomalies() uint64 { return s.Packages - s.Clean }
 
-// PerSecond is the mean classification rate since the engine started.
+// ActiveStreams is the number of streams currently holding engine state
+// (seen and not yet released).
+func (s Stats) ActiveStreams() uint64 { return s.Streams - s.Released }
+
+// PerSecond is the mean classification rate over the snapshot's Elapsed
+// window. On an Engine.Stats snapshot that window is the whole engine
+// lifetime — a daemon idle overnight reports a rate diluted toward zero
+// forever — so long-running services should rate from interval deltas
+// instead: Since(prev).PerSecond() is the mean rate between two snapshots.
 func (s Stats) PerSecond() float64 {
 	if s.Elapsed <= 0 {
 		return 0
 	}
 	return float64(s.Packages) / s.Elapsed.Seconds()
+}
+
+// Since returns the interval delta between two snapshots of the same
+// engine: every cumulative counter minus its value in prev, with Elapsed
+// set to the wall time between the snapshots — so PerSecond, MeanBatch and
+// friends on the result are interval rates, not lifetime means. QueueDepth
+// is a gauge, not a counter, and keeps s's point-in-time value. prev must
+// be the earlier snapshot (the zero Stats works as "since start").
+func (s Stats) Since(prev Stats) Stats {
+	d := s
+	d.Packages -= prev.Packages
+	d.Streams -= prev.Streams
+	d.Released -= prev.Released
+	d.HandlerPanics -= prev.HandlerPanics
+	d.Batches -= prev.Batches
+	d.Batched -= prev.Batched
+	d.CheckBatches -= prev.CheckBatches
+	d.CheckBatched -= prev.CheckBatched
+	for i := range d.ByLevel {
+		d.ByLevel[i] -= prev.ByLevel[i]
+	}
+	d.OtherLevels -= prev.OtherLevels
+	d.Clean -= prev.Clean
+	d.PackageLevel -= prev.PackageLevel
+	d.SeriesLevel -= prev.SeriesLevel
+	d.Elapsed -= prev.Elapsed
+	return d
 }
 
 // MeanBatch is the mean micro-batch width of the batched Advance passes so
@@ -114,15 +161,17 @@ func (s Stats) MeanBatch() float64 {
 // snapshot reads the shard's counters.
 func (s *shard) snapshot() ShardStats {
 	st := ShardStats{
-		Shard:        s.id,
-		Packages:     s.stats.packages.Load(),
-		Streams:      s.stats.streams.Load(),
-		Batches:      s.stats.batches.Load(),
-		Batched:      s.stats.batched.Load(),
-		CheckBatches: s.stats.checkBatches.Load(),
-		CheckBatched: s.stats.checkBatched.Load(),
-		QueueDepth:   len(s.in),
-		QueueCap:     cap(s.in),
+		Shard:         s.id,
+		Packages:      s.stats.packages.Load(),
+		Streams:       s.stats.streams.Load(),
+		Released:      s.stats.released.Load(),
+		HandlerPanics: s.stats.handlerPanics.Load(),
+		Batches:       s.stats.batches.Load(),
+		Batched:       s.stats.batched.Load(),
+		CheckBatches:  s.stats.checkBatches.Load(),
+		CheckBatched:  s.stats.checkBatched.Load(),
+		QueueDepth:    len(s.in),
+		QueueCap:      cap(s.in),
 	}
 	for i := range st.ByLevel {
 		st.ByLevel[i] = s.stats.byLevel[i].Load()
@@ -153,6 +202,8 @@ func (e *Engine) Stats() Stats {
 		ss := s.snapshot()
 		st.Packages += ss.Packages
 		st.Streams += ss.Streams
+		st.Released += ss.Released
+		st.HandlerPanics += ss.HandlerPanics
 		st.Batches += ss.Batches
 		st.Batched += ss.Batched
 		st.CheckBatches += ss.CheckBatches

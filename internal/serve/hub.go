@@ -1,0 +1,153 @@
+package serve
+
+import (
+	"bufio"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// hub fans classified results out to verdict subscribers. Each subscriber
+// owns a bounded channel of pre-encoded events and a writer goroutine; a
+// subscriber that cannot keep up loses events (counted per subscriber and
+// hub-wide) instead of stalling the shard workers publishing into the hub —
+// the same shed-don't-stall discipline the live ingest path applies to the
+// engine queues.
+type hub struct {
+	buffer int
+
+	mu     sync.Mutex
+	subs   map[*subscriber]struct{}
+	closed bool
+	wg     sync.WaitGroup
+
+	// drops counts (subscriber, event) pairs lost to full buffers
+	// (slow-consumer accounting); delivered counts pairs enqueued. Their sum
+	// is publishes × subscribers.
+	drops     atomic.Uint64
+	delivered atomic.Uint64
+}
+
+// subscriber is one verdict stream consumer.
+type subscriber struct {
+	conn  net.Conn
+	ch    chan []byte
+	drops atomic.Uint64
+}
+
+func newHub(buffer int) *hub {
+	if buffer <= 0 {
+		buffer = 1024
+	}
+	return &hub{buffer: buffer, subs: make(map[*subscriber]struct{})}
+}
+
+// add registers a handshaken subscriber connection and starts its writer.
+// It reports false when the hub has already shut down.
+func (h *hub) add(conn net.Conn) bool {
+	sub := &subscriber{conn: conn, ch: make(chan []byte, h.buffer)}
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return false
+	}
+	h.subs[sub] = struct{}{}
+	h.wg.Add(1)
+	h.mu.Unlock()
+	go h.write(sub)
+	return true
+}
+
+// remove detaches a subscriber (writer error path). The writer goroutine
+// drains and exits on its own; no further events are enqueued.
+func (h *hub) remove(sub *subscriber) {
+	h.mu.Lock()
+	delete(h.subs, sub)
+	h.mu.Unlock()
+}
+
+// publish encodes one result and enqueues it to every subscriber,
+// dropping (and counting) for subscribers whose buffer is full. It is
+// called from shard worker goroutines: per-stream event order is
+// preserved because one stream publishes from one shard.
+func (h *hub) publish(b []byte) {
+	h.mu.Lock()
+	for sub := range h.subs {
+		select {
+		case sub.ch <- b:
+			h.delivered.Add(1)
+		default:
+			sub.drops.Add(1)
+			h.drops.Add(1)
+		}
+	}
+	h.mu.Unlock()
+}
+
+// write is the per-subscriber writer loop: it streams queued events
+// through a buffered writer, flushing whenever the queue runs dry, and
+// exits when the hub closes its channel (flushing first) or the peer
+// stops accepting writes.
+func (h *hub) write(sub *subscriber) {
+	defer h.wg.Done()
+	defer sub.conn.Close()
+	bw := bufio.NewWriter(sub.conn)
+	for b := range sub.ch {
+		if _, err := bw.Write(b); err != nil {
+			h.remove(sub)
+			return
+		}
+		if len(sub.ch) == 0 {
+			if err := bw.Flush(); err != nil {
+				h.remove(sub)
+				return
+			}
+		}
+	}
+	bw.Flush()
+}
+
+// count returns the number of attached subscribers.
+func (h *hub) count() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.subs)
+}
+
+// close flushes and detaches every subscriber and waits for their writers:
+// events published before close are on the wire (or counted as drops) when
+// it returns. The wait is bounded by grace — a wedged subscriber (a peer
+// that stopped reading) parks its writer in a blocking Write, so after
+// grace the remaining connections are force-closed to unblock them.
+// Publishing after close is a silent no-op.
+func (h *hub) close(grace time.Duration) {
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		h.wg.Wait()
+		return
+	}
+	h.closed = true
+	subs := make([]*subscriber, 0, len(h.subs))
+	for sub := range h.subs {
+		subs = append(subs, sub)
+		close(sub.ch)
+	}
+	h.subs = make(map[*subscriber]struct{})
+	h.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		h.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(grace):
+		for _, sub := range subs {
+			sub.conn.Close()
+		}
+		<-done
+	}
+}

@@ -1,0 +1,203 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"icsdetect/internal/core"
+	"icsdetect/internal/engine"
+)
+
+// testEvent encodes one synthetic result as a wire event.
+func testEvent(stream string, seq uint64) []byte {
+	return appendEvent(nil, engine.Result{
+		Stream:  stream,
+		Seq:     seq,
+		Verdict: core.Verdict{Anomaly: seq%2 == 0, Level: 1, Signature: "sig"},
+	})
+}
+
+// TestHubSlowConsumerDrops: a subscriber that never reads loses events
+// (counted) without ever blocking publish, while a healthy subscriber on
+// the same hub receives everything it can drain.
+func TestHubSlowConsumerDrops(t *testing.T) {
+	h := newHub(4)
+
+	slowSrv, slowCli := net.Pipe() // nobody reads slowCli: writes park forever
+	defer slowCli.Close()
+	if !h.add(slowSrv) {
+		t.Fatal("add slow subscriber")
+	}
+
+	fastSrv, fastCli := net.Pipe()
+	if !h.add(fastSrv) {
+		t.Fatal("add fast subscriber")
+	}
+	var gotMu sync.Mutex
+	var got []string
+	fastDone := make(chan struct{})
+	go func() {
+		defer close(fastDone)
+		br := bufio.NewReader(fastCli)
+		for {
+			ev, err := readEvent(br)
+			if err != nil {
+				return
+			}
+			gotMu.Lock()
+			got = append(got, ev.Stream)
+			gotMu.Unlock()
+		}
+	}()
+
+	// Publish far past the slow subscriber's buffer. Publish must never
+	// block: a wedged subscriber cannot be allowed to stall the engine's
+	// handler goroutines.
+	const events = 200
+	published := make(chan struct{})
+	go func() {
+		defer close(published)
+		for i := 0; i < events; i++ {
+			h.publish(testEvent(fmt.Sprintf("s-%03d", i), uint64(i)))
+		}
+	}()
+	select {
+	case <-published:
+	case <-time.After(10 * time.Second):
+		t.Fatal("publish blocked on a slow subscriber")
+	}
+
+	// The slow subscriber's writer is parked in a blocking Write; close must
+	// force it loose after the grace window instead of hanging Shutdown.
+	closed := make(chan struct{})
+	go func() {
+		h.close(100 * time.Millisecond)
+		close(closed)
+	}()
+	select {
+	case <-closed:
+	case <-time.After(10 * time.Second):
+		t.Fatal("hub close hung on a wedged subscriber")
+	}
+	<-fastDone
+	fastCli.Close()
+
+	gotMu.Lock()
+	defer gotMu.Unlock()
+	drops := h.drops.Load()
+	if drops == 0 {
+		t.Error("slow subscriber registered no drops")
+	}
+	if len(got) == 0 {
+		t.Fatal("fast subscriber received nothing")
+	}
+	// Conservation: every published event was either delivered into a
+	// subscriber queue or counted as dropped, across both subscribers.
+	delivered := h.delivered.Load()
+	if delivered+drops != 2*events {
+		t.Errorf("delivered %d + dropped %d != published %d × 2 subscribers", delivered, drops, 2*events)
+	}
+}
+
+// TestHubSubscriberErrorRemoves: a subscriber whose connection dies is
+// removed from the hub; publishing afterwards neither blocks nor panics,
+// and close() still returns.
+func TestHubSubscriberErrorRemoves(t *testing.T) {
+	h := newHub(4)
+	srv, cli := net.Pipe()
+	if !h.add(srv) {
+		t.Fatal("add")
+	}
+	cli.Close() // next write errors
+
+	ev := testEvent("x", 0)
+	deadline := time.Now().Add(5 * time.Second)
+	for h.count() != 0 {
+		h.publish(ev)
+		if time.Now().After(deadline) {
+			t.Fatal("dead subscriber never removed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	h.publish(ev) // no subscribers: must not panic
+	h.close(time.Second)
+	if h.count() != 0 {
+		t.Errorf("count = %d after close", h.count())
+	}
+}
+
+// TestHubAddAfterClose: add on a closed hub reports failure so the caller
+// closes the connection instead of leaking it.
+func TestHubAddAfterClose(t *testing.T) {
+	h := newHub(0)
+	h.close(time.Second)
+	srv, cli := net.Pipe()
+	defer srv.Close()
+	defer cli.Close()
+	if h.add(srv) {
+		t.Error("add succeeded on a closed hub")
+	}
+	h.close(time.Second) // idempotent
+}
+
+// TestEventRoundTrip pins the event wire encoding: encode → decode is
+// identity, including evidence, and the decoder rejects oversized frames.
+func TestEventRoundTrip(t *testing.T) {
+	want := engine.Result{
+		Stream: "plc-7",
+		Seq:    42,
+		Verdict: core.Verdict{
+			Anomaly:   true,
+			Level:     3,
+			Rank:      -1,
+			Signature: "sig",
+			Evidence: []core.LevelEvidence{
+				{Stage: "bloom", Level: 0, Scored: true, Flagged: false, Score: 0.25, Rank: 2},
+				{Stage: "lstm", Level: 3, Scored: true, Flagged: true, Score: 0.99, Rank: -1},
+			},
+		},
+	}
+	framed := appendEvent(nil, want)
+	ev, err := readEvent(bufio.NewReader(bytes.NewReader(framed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Stream != want.Stream || ev.Seq != want.Seq {
+		t.Errorf("round trip identity: got %q/%d", ev.Stream, ev.Seq)
+	}
+	v, wv := ev.Verdict, want.Verdict
+	if v.Anomaly != wv.Anomaly || v.Level != wv.Level || v.Rank != wv.Rank || v.Signature != wv.Signature {
+		t.Errorf("verdict mismatch: %+v", v)
+	}
+	if len(v.Evidence) != len(wv.Evidence) {
+		t.Fatalf("evidence count %d, want %d", len(v.Evidence), len(wv.Evidence))
+	}
+	for i, e := range v.Evidence {
+		if e != wv.Evidence[i] {
+			t.Errorf("evidence %d: %+v, want %+v", i, e, wv.Evidence[i])
+		}
+	}
+
+	huge := make([]byte, 0, 10)
+	huge = appendTestUvarint(huge, maxEventLen+1)
+	if _, err := readEvent(bufio.NewReader(bytes.NewReader(huge))); err == nil {
+		t.Error("oversized event frame accepted")
+	}
+	if _, err := readEvent(bufio.NewReader(bytes.NewReader(nil))); err != io.EOF {
+		t.Errorf("empty stream: err = %v, want io.EOF", err)
+	}
+}
+
+func appendTestUvarint(b []byte, x uint64) []byte {
+	for x >= 0x80 {
+		b = append(b, byte(x)|0x80)
+		x >>= 7
+	}
+	return append(b, byte(x))
+}

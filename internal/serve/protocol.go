@@ -1,0 +1,322 @@
+// Package serve is the wire-to-verdict serving plane: a long-running
+// daemon wrapping internal/engine that accepts network connections from
+// monitored devices, maps each connection onto one engine stream (bind on
+// accept, Release on close), and fans classified verdicts out to
+// subscribers.
+//
+// The daemon speaks three protocols on three listeners:
+//
+//   - Ingest (this file): a connection handshakes with an 8-byte magic,
+//     a version, a mode byte and three uvarint-prefixed strings (stream ID,
+//     model name, precision), then streams either a recorded ICSTRACE
+//     byte stream (replay mode, admitted with blocking SubmitFor — a
+//     saturated engine pushes back on the socket) or raw Modbus/TCP
+//     frames (live mode, admitted with TrySubmitFor — an in-path tap
+//     sheds rather than stalls the protocol path).
+//   - Verdicts: a subscriber handshakes with its own magic and then
+//     receives every engine.Result as a length-prefixed binary event,
+//     through a per-subscriber bounded buffer with slow-consumer drop
+//     accounting (see hub.go).
+//   - HTTP ops: health, interval-delta metrics over engine.ShardStats,
+//     and model hot-swap (see http.go).
+//
+// All multi-byte integers are big-endian; "uvarint"/"varint" are the
+// varints of encoding/binary. Strings are uvarint length + UTF-8 bytes.
+//
+// Ingest handshake:
+//
+//	hello  := magic "ICSSERVE" (8 bytes)
+//	          version u16        // this package speaks 1
+//	          mode    u8         // 1 = replay, 2 = live
+//	          stream    string   // engine stream ID; empty = server-assigned
+//	          model     string   // model name; empty = server default
+//	          precision string   // numeric tier; empty = engine default
+//	status := code u8            // 0 = ok, non-zero = rejected
+//	          message string     // empty on ok
+//
+// The server answers the hello with a status. In replay mode the payload
+// that follows is an ICSTRACE v1 stream (header + records, see package
+// trace); at EOF the server answers with a trailing status plus a uvarint
+// count of the packages it accepted. In live mode the payload is a
+// sequence of MBAP-framed Modbus/TCP frames and has no trailer; direction
+// is inferred per frame from the MBAP transaction ID (an unseen ID opens a
+// command, a matching outstanding ID closes it as the response).
+//
+// Verdict subscription:
+//
+//	subscribe := magic "ICSSUBSC" (8 bytes), version u16
+//	status    := as above
+//	event     := uvarint payloadLen, payload
+//	payload   := stream string, seq uvarint,
+//	             anomaly u8, level varint, rank varint, signature string,
+//	             evidence uvarint n, n × (stage string, level varint,
+//	               flags u8 (bit0 scored, bit1 flagged),
+//	               score u64 (IEEE-754 bits), rank varint)
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"icsdetect/internal/core"
+	"icsdetect/internal/engine"
+)
+
+// ProtocolVersion is the ingest and subscription protocol version this
+// package speaks.
+const ProtocolVersion = 1
+
+// Ingest modes.
+const (
+	// ModeReplay streams a recorded ICSTRACE capture; admission blocks on
+	// the engine's bounded queues (every package is classified).
+	ModeReplay = 1
+	// ModeLive streams raw Modbus/TCP frames from an in-path tap;
+	// admission sheds on a full shard queue instead of stalling the wire.
+	ModeLive = 2
+)
+
+var (
+	ingestMagic    = [8]byte{'I', 'C', 'S', 'S', 'E', 'R', 'V', 'E'}
+	subscribeMagic = [8]byte{'I', 'C', 'S', 'S', 'U', 'B', 'S', 'C'}
+)
+
+// Limits guarding the decoders against corrupt or hostile peers.
+const (
+	maxStringLen = 1024
+	maxEventLen  = 1 << 20
+	maxEvidence  = 4096
+)
+
+// hello is a parsed ingest handshake.
+type hello struct {
+	Mode      byte
+	Stream    string
+	Model     string
+	Precision string
+}
+
+// appendString serializes a uvarint-prefixed string.
+func appendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+// readProtoString reads a uvarint-prefixed string.
+func readProtoString(br *bufio.Reader) (string, error) {
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return "", err
+	}
+	if n > maxStringLen {
+		return "", fmt.Errorf("serve: string of %d bytes exceeds limit", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(br, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}
+
+// appendHello serializes an ingest handshake.
+func appendHello(b []byte, h hello) []byte {
+	b = append(b, ingestMagic[:]...)
+	b = binary.BigEndian.AppendUint16(b, ProtocolVersion)
+	b = append(b, h.Mode)
+	b = appendString(b, h.Stream)
+	b = appendString(b, h.Model)
+	b = appendString(b, h.Precision)
+	return b
+}
+
+// readHello parses an ingest handshake.
+func readHello(br *bufio.Reader) (hello, error) {
+	var h hello
+	var m [8]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return h, fmt.Errorf("serve: read handshake: %w", err)
+	}
+	if m != ingestMagic {
+		return h, fmt.Errorf("serve: not an ingest connection (bad magic)")
+	}
+	var fixed [3]byte
+	if _, err := io.ReadFull(br, fixed[:]); err != nil {
+		return h, fmt.Errorf("serve: truncated handshake: %w", err)
+	}
+	if v := binary.BigEndian.Uint16(fixed[0:2]); v != ProtocolVersion {
+		return h, fmt.Errorf("serve: protocol version %d (this server speaks %d)", v, ProtocolVersion)
+	}
+	h.Mode = fixed[2]
+	if h.Mode != ModeReplay && h.Mode != ModeLive {
+		return h, fmt.Errorf("serve: unknown ingest mode %d", h.Mode)
+	}
+	var err error
+	if h.Stream, err = readProtoString(br); err != nil {
+		return h, fmt.Errorf("serve: handshake stream: %w", err)
+	}
+	if h.Model, err = readProtoString(br); err != nil {
+		return h, fmt.Errorf("serve: handshake model: %w", err)
+	}
+	if h.Precision, err = readProtoString(br); err != nil {
+		return h, fmt.Errorf("serve: handshake precision: %w", err)
+	}
+	return h, nil
+}
+
+// writeStatus answers a handshake (or closes a replay) with a status code
+// and message. Write errors are returned for the caller to log or ignore —
+// the peer may already be gone.
+func writeStatus(w io.Writer, code byte, msg string) error {
+	if len(msg) > maxStringLen {
+		msg = msg[:maxStringLen]
+	}
+	b := append(make([]byte, 0, 2+len(msg)), code)
+	_, err := w.Write(appendString(b, msg))
+	return err
+}
+
+// readStatus parses a status answer; a non-zero code comes back as an
+// error carrying the server's message.
+func readStatus(br *bufio.Reader) error {
+	code, err := br.ReadByte()
+	if err != nil {
+		return fmt.Errorf("serve: read status: %w", err)
+	}
+	msg, err := readProtoString(br)
+	if err != nil {
+		return fmt.Errorf("serve: read status message: %w", err)
+	}
+	if code != 0 {
+		return fmt.Errorf("serve: rejected: %s", msg)
+	}
+	return nil
+}
+
+// Event is one classified package as delivered to a verdict subscriber.
+type Event struct {
+	// Stream is the engine stream ID (the ingest connection's stream).
+	Stream string
+	// Seq is the package's 0-based position within its stream.
+	Seq uint64
+	// Verdict is the engine's verdict, evidence included.
+	Verdict core.Verdict
+}
+
+// appendEvent serializes one result as a length-prefixed event.
+func appendEvent(b []byte, r engine.Result) []byte {
+	var p []byte
+	p = appendString(p, r.Stream)
+	p = binary.AppendUvarint(p, r.Seq)
+	v := r.Verdict
+	var flag byte
+	if v.Anomaly {
+		flag = 1
+	}
+	p = append(p, flag)
+	p = binary.AppendVarint(p, int64(v.Level))
+	p = binary.AppendVarint(p, int64(v.Rank))
+	p = appendString(p, v.Signature)
+	p = binary.AppendUvarint(p, uint64(len(v.Evidence)))
+	for _, e := range v.Evidence {
+		p = appendString(p, e.Stage)
+		p = binary.AppendVarint(p, int64(e.Level))
+		var eb byte
+		if e.Scored {
+			eb |= 1
+		}
+		if e.Flagged {
+			eb |= 2
+		}
+		p = append(p, eb)
+		p = binary.BigEndian.AppendUint64(p, math.Float64bits(e.Score))
+		p = binary.AppendVarint(p, int64(e.Rank))
+	}
+	b = binary.AppendUvarint(b, uint64(len(p)))
+	return append(b, p...)
+}
+
+// readEvent parses the next event off a subscription stream. It returns
+// io.EOF at a clean end of stream.
+func readEvent(br *bufio.Reader) (Event, error) {
+	var ev Event
+	plen, err := binary.ReadUvarint(br)
+	if err != nil {
+		if err == io.EOF {
+			return ev, io.EOF
+		}
+		return ev, fmt.Errorf("serve: event length: %w", err)
+	}
+	if plen > maxEventLen {
+		return ev, fmt.Errorf("serve: event of %d bytes exceeds limit", plen)
+	}
+	payload := make([]byte, plen)
+	if _, err := io.ReadFull(br, payload); err != nil {
+		return ev, fmt.Errorf("serve: truncated event: %w", err)
+	}
+	pr := bufio.NewReader(bytes.NewReader(payload))
+	if ev.Stream, err = readProtoString(pr); err != nil {
+		return ev, fmt.Errorf("serve: event stream: %w", err)
+	}
+	if ev.Seq, err = binary.ReadUvarint(pr); err != nil {
+		return ev, fmt.Errorf("serve: event seq: %w", err)
+	}
+	flag, err := pr.ReadByte()
+	if err != nil {
+		return ev, fmt.Errorf("serve: event flags: %w", err)
+	}
+	ev.Verdict.Anomaly = flag&1 != 0
+	level, err := binary.ReadVarint(pr)
+	if err != nil {
+		return ev, fmt.Errorf("serve: event level: %w", err)
+	}
+	ev.Verdict.Level = core.Level(level)
+	rank, err := binary.ReadVarint(pr)
+	if err != nil {
+		return ev, fmt.Errorf("serve: event rank: %w", err)
+	}
+	ev.Verdict.Rank = int(rank)
+	if ev.Verdict.Signature, err = readProtoString(pr); err != nil {
+		return ev, fmt.Errorf("serve: event signature: %w", err)
+	}
+	n, err := binary.ReadUvarint(pr)
+	if err != nil {
+		return ev, fmt.Errorf("serve: event evidence count: %w", err)
+	}
+	if n > maxEvidence {
+		return ev, fmt.Errorf("serve: event with %d evidence entries", n)
+	}
+	if n > 0 {
+		ev.Verdict.Evidence = make([]core.LevelEvidence, n)
+		for i := range ev.Verdict.Evidence {
+			e := &ev.Verdict.Evidence[i]
+			if e.Stage, err = readProtoString(pr); err != nil {
+				return ev, fmt.Errorf("serve: evidence stage: %w", err)
+			}
+			lv, err := binary.ReadVarint(pr)
+			if err != nil {
+				return ev, fmt.Errorf("serve: evidence level: %w", err)
+			}
+			e.Level = core.Level(lv)
+			eb, err := pr.ReadByte()
+			if err != nil {
+				return ev, fmt.Errorf("serve: evidence flags: %w", err)
+			}
+			e.Scored, e.Flagged = eb&1 != 0, eb&2 != 0
+			var bits [8]byte
+			if _, err := io.ReadFull(pr, bits[:]); err != nil {
+				return ev, fmt.Errorf("serve: evidence score: %w", err)
+			}
+			e.Score = math.Float64frombits(binary.BigEndian.Uint64(bits[:]))
+			rk, err := binary.ReadVarint(pr)
+			if err != nil {
+				return ev, fmt.Errorf("serve: evidence rank: %w", err)
+			}
+			e.Rank = int(rk)
+		}
+	}
+	return ev, nil
+}

@@ -1,0 +1,610 @@
+package serve_test
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"icsdetect/internal/core"
+	"icsdetect/internal/engine"
+	"icsdetect/internal/gaspipeline"
+	"icsdetect/internal/modbus"
+	"icsdetect/internal/serve"
+	"icsdetect/internal/trace"
+)
+
+// corpusEpisodes are the committed per-episode traces of each scenario
+// corpus (kept in sync with the root conformance test).
+var corpusEpisodes = []string{"normal", "nmri", "cmri", "msci", "mpci", "mfci", "dos", "recon"}
+
+// serveTrace is one committed trace as the daemon tests consume it: the
+// raw on-disk bytes (streamed verbatim over ingest connections), the
+// parsed header, the record count, and the committed golden verdicts.
+type serveTrace struct {
+	name    string
+	raw     []byte
+	header  trace.Header
+	records int
+	golden  []byte
+}
+
+// serveCorpus is one scenario's committed model plus traces.
+type serveCorpus struct {
+	scenario string
+	fw       *core.Framework
+	traces   []serveTrace
+}
+
+// loadServeCorpus loads a committed golden corpus directory.
+func loadServeCorpus(t *testing.T, scenarioName, dir string) *serveCorpus {
+	t.Helper()
+	f, err := os.Open(filepath.Join(dir, "model.fw"))
+	if err != nil {
+		t.Fatalf("open %s corpus model: %v", scenarioName, err)
+	}
+	fw, err := core.Load(f)
+	f.Close()
+	if err != nil {
+		t.Fatalf("load %s corpus model: %v", scenarioName, err)
+	}
+	c := &serveCorpus{scenario: scenarioName, fw: fw}
+	for _, name := range corpusEpisodes {
+		raw, err := os.ReadFile(filepath.Join(dir, name+".trace"))
+		if err != nil {
+			t.Fatalf("read %s trace %s: %v", scenarioName, name, err)
+		}
+		header, records, err := trace.ReadAll(bytes.NewReader(raw))
+		if err != nil {
+			t.Fatalf("parse %s trace %s: %v", scenarioName, name, err)
+		}
+		golden, err := os.ReadFile(filepath.Join(dir, name+".verdicts"))
+		if err != nil {
+			t.Fatalf("read %s goldens for %s: %v", scenarioName, name, err)
+		}
+		c.traces = append(c.traces, serveTrace{
+			name: name, raw: raw, header: header, records: len(records), golden: golden,
+		})
+	}
+	return c
+}
+
+// loadCorpora loads both scenario corpora (relative to this package).
+func loadCorpora(t *testing.T) []*serveCorpus {
+	t.Helper()
+	root := filepath.Join("..", "..", "testdata", "traces")
+	return []*serveCorpus{
+		loadServeCorpus(t, "gaspipeline", root),
+		loadServeCorpus(t, "watertank", filepath.Join(root, "watertank")),
+	}
+}
+
+// cloneFramework round-trips a framework through Save/Load: identical
+// weights (and fingerprint), distinct pointer — the shape of a hot-swap
+// reload from an icstrain checkpoint.
+func cloneFramework(t *testing.T, fw *core.Framework) *core.Framework {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := fw.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	fw2, err := core.Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fw2
+}
+
+// newTestServer boots a server over the given corpora with ingest and
+// verdict listeners on ephemeral ports.
+func newTestServer(t *testing.T, cfg serve.Config, corpora []*serveCorpus) (srv *serve.Server, ingest, verdicts string) {
+	t.Helper()
+	if cfg.Models == nil {
+		for _, c := range corpora {
+			cfg.Models = append(cfg.Models, serve.Model{Name: c.scenario, Framework: c.fw})
+		}
+	}
+	srv, err := serve.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Shutdown() })
+	if ingest, err = srv.ListenIngest("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	if verdicts, err = srv.ListenVerdicts("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	return srv, ingest, verdicts
+}
+
+// TestServeReplayEndToEnd is the acceptance-criteria drill: hundreds of
+// concurrent TCP connections replay both scenario corpora through one
+// daemon, a model hot-swap lands mid-replay, the daemon drains on
+// Shutdown, and every stream's verdicts — received over the subscription
+// socket — match the committed goldens byte for byte.
+func TestServeReplayEndToEnd(t *testing.T) {
+	corpora := loadCorpora(t)
+	copies := 16 // 16 traces × 16 copies = 256 concurrent connections
+	if testing.Short() {
+		copies = 3
+	}
+
+	srv, ingest, verdicts := newTestServer(t, serve.Config{
+		Engine:           engine.Config{MaxBatch: 16, QueueDepth: 64},
+		SubscriberBuffer: 1 << 15,
+		DrainGrace:       time.Minute,
+	}, corpora)
+
+	sub, err := serve.Subscribe(verdicts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var subMu sync.Mutex
+	received := make(map[string][]core.Verdict)
+	subDone := make(chan error, 1)
+	go func() {
+		for {
+			ev, err := sub.Next()
+			if err == io.EOF {
+				subDone <- nil
+				return
+			}
+			if err != nil {
+				subDone <- err
+				return
+			}
+			subMu.Lock()
+			if ev.Seq != uint64(len(received[ev.Stream])) {
+				subMu.Unlock()
+				subDone <- fmt.Errorf("stream %s: event seq %d out of order", ev.Stream, ev.Seq)
+				return
+			}
+			received[ev.Stream] = append(received[ev.Stream], ev.Verdict)
+			subMu.Unlock()
+		}
+	}()
+
+	// One designated connection triggers the hot-swap partway through its
+	// replay; the swap lands while most connections are mid-flight.
+	swapAt := make(chan struct{})
+	var swapOnce sync.Once
+
+	type job struct {
+		c      *serveCorpus
+		tr     serveTrace
+		stream string
+		first  bool
+	}
+	var jobs []job
+	for _, c := range corpora {
+		for _, tr := range c.traces {
+			for copy := 0; copy < copies; copy++ {
+				jobs = append(jobs, job{
+					c: c, tr: tr,
+					stream: fmt.Sprintf("%s-%s-%02d", c.scenario, tr.name, copy),
+					first:  c.scenario == "gaspipeline" && tr.name == "normal" && copy == 0,
+				})
+			}
+		}
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, len(jobs))
+	for _, j := range jobs {
+		wg.Add(1)
+		go func(j job) {
+			defer wg.Done()
+			opts := serve.ReplayOptions{Stream: j.stream, Model: j.c.scenario}
+			if j.first {
+				opts.OnRecord = func(i int) {
+					if i == j.tr.records/2 {
+						swapOnce.Do(func() { close(swapAt) })
+					}
+				}
+			}
+			n, err := serve.Replay(ingest, j.tr.raw, opts)
+			if err != nil {
+				errs <- fmt.Errorf("%s: %v", j.stream, err)
+				return
+			}
+			if n != uint64(j.tr.records) {
+				errs <- fmt.Errorf("%s: server accepted %d of %d packages", j.stream, n, j.tr.records)
+			}
+		}(j)
+	}
+
+	// Mid-replay hot-swap: reload the gas model from a snapshot round-trip
+	// (same weights, new framework value) and cut over behind a barrier.
+	<-swapAt
+	if err := srv.SwapModel("gaspipeline", cloneFramework(t, corpora[0].fw)); err != nil {
+		t.Errorf("mid-replay SwapModel: %v", err)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	// Graceful drain: every admitted package classified and flushed to the
+	// subscriber, which then sees a clean EOF.
+	if err := srv.Shutdown(); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if err := <-subDone; err != nil {
+		t.Fatal(err)
+	}
+	sub.Close()
+
+	if got := len(received); got != len(jobs) {
+		t.Fatalf("subscriber saw %d streams, want %d", got, len(jobs))
+	}
+	for _, j := range jobs {
+		vs := received[j.stream]
+		doc := trace.FormatVerdicts(j.tr.header.Scenario, j.tr.header.Fingerprint, vs)
+		if line := trace.DiffVerdicts(j.tr.golden, doc); line != 0 {
+			t.Errorf("%s: verdict stream differs from goldens at line %d", j.stream, line)
+		}
+	}
+
+	est := srv.Engine().Stats()
+	if est.HandlerPanics != 0 {
+		t.Errorf("HandlerPanics = %d", est.HandlerPanics)
+	}
+	if est.Released != uint64(len(jobs)) {
+		t.Errorf("Released = %d, want %d (one per connection)", est.Released, len(jobs))
+	}
+	if est.ActiveStreams() != 0 {
+		t.Errorf("ActiveStreams = %d after drain, want 0", est.ActiveStreams())
+	}
+	sst := srv.Stats()
+	if sst.Shed != 0 || sst.SubscriberDrops != 0 {
+		t.Errorf("drops during drain: shed=%d subscriberDrops=%d", sst.Shed, sst.SubscriberDrops)
+	}
+	if sst.ModelSwaps != 1 {
+		t.Errorf("ModelSwaps = %d, want 1", sst.ModelSwaps)
+	}
+	if sst.ActiveConns != 0 {
+		t.Errorf("ActiveConns = %d after drain", sst.ActiveConns)
+	}
+}
+
+// TestServeHandshakeErrors drills the rejection paths: bad magic, unknown
+// model, duplicate stream claim, bad precision, fingerprint mismatch.
+func TestServeHandshakeErrors(t *testing.T) {
+	corpora := loadCorpora(t)
+	_, ingest, _ := newTestServer(t, serve.Config{}, corpora)
+	gas := corpora[0]
+
+	t.Run("bad-magic", func(t *testing.T) {
+		conn, err := net.Dial("tcp", ingest)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer conn.Close()
+		conn.Write([]byte("HTTP/1.1 GET /\r\n"))
+		br := bufio.NewReader(conn)
+		if code, err := br.ReadByte(); err != nil || code == 0 {
+			t.Errorf("bad magic answered code=%d err=%v, want rejection", code, err)
+		}
+	})
+	t.Run("unknown-model", func(t *testing.T) {
+		if _, err := serve.Replay(ingest, gas.traces[0].raw, serve.ReplayOptions{Model: "no-such"}); err == nil {
+			t.Error("unknown model accepted")
+		}
+	})
+	t.Run("bad-precision", func(t *testing.T) {
+		if _, err := serve.Replay(ingest, gas.traces[0].raw, serve.ReplayOptions{Precision: "f8"}); err == nil {
+			t.Error("unknown precision accepted")
+		}
+	})
+	t.Run("duplicate-stream", func(t *testing.T) {
+		conn, err := serve.DialLive(ingest, serve.ReplayOptions{Stream: "dup"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer conn.Close()
+		if _, err := serve.DialLive(ingest, serve.ReplayOptions{Stream: "dup"}); err == nil {
+			t.Error("second connection claimed a live stream ID")
+		}
+	})
+	t.Run("fingerprint-mismatch", func(t *testing.T) {
+		// A gas trace against the watertank model: the trace pins its model
+		// by fingerprint, so the server must reject rather than mis-score.
+		if _, err := serve.Replay(ingest, gas.traces[0].raw, serve.ReplayOptions{Model: "watertank"}); err == nil {
+			t.Error("fingerprint mismatch accepted")
+		}
+	})
+}
+
+// TestServeLiveIngest drives the live Modbus path: MBAP frames in, verdict
+// events out, with command/response direction inferred from transaction
+// IDs, and load shed (not stalled) when the engine queue is full behind a
+// blocked handler.
+func TestServeLiveIngest(t *testing.T) {
+	corpora := loadCorpora(t)
+	gate := make(chan struct{})
+	var gateOnce sync.Once
+	blocked := make(chan struct{})
+	var dirMu sync.Mutex
+	var directions []float64
+	srv, ingest, _ := newTestServer(t, serve.Config{
+		Models: []serve.Model{{
+			Name: "gaspipeline", Framework: corpora[0].fw, Registers: gaspipeline.Registers(),
+		}},
+		Engine: engine.Config{Shards: 1, MaxBatch: 4, QueueDepth: 4},
+		OnResult: func(r engine.Result) {
+			dirMu.Lock()
+			directions = append(directions, r.Package.CmdResponse)
+			dirMu.Unlock()
+			gateOnce.Do(func() { close(blocked) })
+			<-gate
+		},
+	}, corpora[:1])
+
+	conn, err := serve.DialLive(ingest, serve.ReplayOptions{Stream: "plc-9"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	// One polling cycle: command (unseen TID) then response (same TID).
+	const frames = 20
+	for i := 0; i < frames/2; i++ {
+		tid := uint16(i + 1)
+		cmd := &modbus.TCPFrame{
+			Header: modbus.MBAPHeader{TransactionID: tid, UnitID: 4},
+			PDU:    modbus.ReadRequest(modbus.FuncReadHoldingRegisters, 0, 8),
+		}
+		resp := &modbus.TCPFrame{
+			Header: modbus.MBAPHeader{TransactionID: tid, UnitID: 4},
+			PDU:    modbus.ReadRegistersResponse(modbus.FuncReadHoldingRegisters, make([]uint16, 8)),
+		}
+		if err := modbus.WriteTCPFrame(conn, cmd); err != nil {
+			t.Fatal(err)
+		}
+		if err := modbus.WriteTCPFrame(conn, resp); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The handler is blocked on the first package: the shard queue fills
+	// and the live path must shed the overflow rather than stall.
+	<-blocked
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		st := srv.Stats()
+		if st.Live+st.Shed == frames {
+			if st.Shed == 0 {
+				t.Errorf("no packages shed behind a blocked handler (live=%d)", st.Live)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("live+shed = %d+%d, want %d admitted-or-shed", st.Live, st.Shed, frames)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	close(gate)
+	conn.Close()
+	if err := srv.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Direction heuristic: delivered packages alternate command/response
+	// (shedding only truncates the tail of what the single stream saw in
+	// order — it never reorders).
+	dirMu.Lock()
+	defer dirMu.Unlock()
+	if len(directions) == 0 {
+		t.Fatal("no live packages classified")
+	}
+	for i, d := range directions {
+		want := float64(0)
+		if i%2 == 0 {
+			want = 1 // commands first
+		}
+		if d != want {
+			t.Fatalf("package %d: CmdResponse = %v, want %v", i, d, want)
+		}
+	}
+}
+
+// TestServeHotSwapSemantics: connections accepted after a SwapModel bind
+// the new framework (a stale-fingerprint trace is rejected), while a
+// connection alive across the swap keeps its pinned framework and still
+// reproduces the goldens of the old model.
+func TestServeHotSwapSemantics(t *testing.T) {
+	corpora := loadCorpora(t)
+	gas, wt := corpora[0], corpora[1]
+
+	var mu sync.Mutex
+	verdicts := make(map[string][]core.Verdict)
+	srv, ingest, _ := newTestServer(t, serve.Config{
+		Models: []serve.Model{{Name: "gaspipeline", Framework: gas.fw}},
+		OnResult: func(r engine.Result) {
+			mu.Lock()
+			verdicts[r.Stream] = append(verdicts[r.Stream], r.Verdict)
+			mu.Unlock()
+		},
+	}, corpora[:1])
+
+	// Start a replay that pauses mid-trace, swap the model underneath it
+	// to a different framework entirely, then let it finish.
+	tr := gas.traces[0]
+	swapped := make(chan struct{})
+	resume := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		_, err := serve.Replay(ingest, tr.raw, serve.ReplayOptions{
+			Stream: "survivor",
+			OnRecord: func(i int) {
+				if i == tr.records/2 {
+					close(swapped)
+					<-resume
+				}
+			},
+		})
+		done <- err
+	}()
+	<-swapped
+	if err := srv.SwapModel("gaspipeline", wt.fw); err != nil {
+		t.Fatalf("SwapModel: %v", err)
+	}
+	// A connection accepted now binds the watertank framework: the gas
+	// trace's pinned fingerprint no longer matches.
+	if _, err := serve.Replay(ingest, tr.raw, serve.ReplayOptions{Stream: "stale"}); err == nil {
+		t.Error("post-swap connection still bound the old framework")
+	}
+	// ...while the watertank corpus replays cleanly against the swapped-in
+	// model.
+	if n, err := serve.Replay(ingest, wt.traces[0].raw, serve.ReplayOptions{Stream: "fresh"}); err != nil {
+		t.Errorf("post-swap replay under the new framework: %v", err)
+	} else if n != uint64(wt.traces[0].records) {
+		t.Errorf("post-swap replay accepted %d of %d", n, wt.traces[0].records)
+	}
+	close(resume)
+	if err := <-done; err != nil {
+		t.Fatalf("mid-swap replay: %v", err)
+	}
+	if err := srv.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	doc := trace.FormatVerdicts(tr.header.Scenario, tr.header.Fingerprint, verdicts["survivor"])
+	if line := trace.DiffVerdicts(tr.golden, doc); line != 0 {
+		t.Errorf("stream alive across the swap diverged from its model's goldens at line %d", line)
+	}
+	wtr := wt.traces[0]
+	wdoc := trace.FormatVerdicts(wtr.header.Scenario, wtr.header.Fingerprint, verdicts["fresh"])
+	if line := trace.DiffVerdicts(wtr.golden, wdoc); line != 0 {
+		t.Errorf("post-swap stream diverged from the new model's goldens at line %d", line)
+	}
+}
+
+// TestServeConcurrentLifecycle is the race canary for the serving plane:
+// concurrent accepts, replays, releases, hot-swaps, subscriber churn and
+// stats scrapes against one daemon, then a drain — run under -race by
+// make race-quick.
+func TestServeConcurrentLifecycle(t *testing.T) {
+	corpora := loadCorpora(t)
+	srv, ingest, verdicts := newTestServer(t, serve.Config{
+		Engine:           engine.Config{MaxBatch: 8, QueueDepth: 32},
+		SubscriberBuffer: 1 << 14,
+		DrainGrace:       time.Minute,
+	}, corpora)
+
+	stop := make(chan struct{})
+	var aux sync.WaitGroup
+
+	// Subscriber churn: attach, read a little, detach, repeat.
+	aux.Add(1)
+	go func() {
+		defer aux.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			sub, err := serve.Subscribe(verdicts)
+			if err != nil {
+				return
+			}
+			for i := 0; i < 50; i++ {
+				if _, err := sub.Next(); err != nil {
+					break
+				}
+			}
+			sub.Close()
+		}
+	}()
+	// Stats scrapes.
+	aux.Add(1)
+	go func() {
+		defer aux.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = srv.Stats()
+				_ = srv.Engine().Stats()
+				_ = srv.Engine().ShardStats()
+			}
+		}
+	}()
+	// Hot-swap churn on both models.
+	aux.Add(1)
+	go func() {
+		defer aux.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			c := corpora[i%len(corpora)]
+			if err := srv.SwapModel(c.scenario, c.fw); err != nil {
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	// Replay workers: several rounds of connection churn per trace so
+	// accept/claim/release cycles overlap with everything above. Stream IDs
+	// are reused round to round, exercising Release-then-rebind.
+	var wg sync.WaitGroup
+	var failed atomic.Bool
+	rounds := 3
+	if testing.Short() {
+		rounds = 2
+	}
+	for w, c := range map[int]*serveCorpus{0: corpora[0], 1: corpora[1]} {
+		for k := 0; k < 4; k++ {
+			wg.Add(1)
+			go func(w, k int, c *serveCorpus) {
+				defer wg.Done()
+				for r := 0; r < rounds; r++ {
+					tr := c.traces[(k+r)%len(c.traces)]
+					stream := fmt.Sprintf("W%d-%d", w, k)
+					if _, err := serve.Replay(ingest, tr.raw, serve.ReplayOptions{
+						Stream: stream, Model: c.scenario,
+					}); err != nil {
+						t.Errorf("replay %s round %d: %v", stream, r, err)
+						failed.Store(true)
+						return
+					}
+				}
+			}(w, k, c)
+		}
+	}
+	wg.Wait()
+	close(stop)
+	// Shutdown before joining the aux goroutines: the subscriber-churn
+	// goroutine can be parked in Next() on an idle stream, and the drain's
+	// hub close is what EOFs it loose.
+	if err := srv.Shutdown(); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	aux.Wait()
+	if failed.Load() {
+		t.FailNow()
+	}
+	if st := srv.Engine().Stats(); st.HandlerPanics != 0 {
+		t.Errorf("HandlerPanics = %d", st.HandlerPanics)
+	}
+}

@@ -1,0 +1,550 @@
+package serve
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"icsdetect/internal/core"
+	"icsdetect/internal/dataset"
+	"icsdetect/internal/engine"
+	"icsdetect/internal/modbus"
+	"icsdetect/internal/tap"
+	"icsdetect/internal/trace"
+)
+
+// Model is one named detection model the daemon serves: a trained
+// framework plus the register layout of the devices it monitors. Ingest
+// connections select a model by name in their handshake; the first model
+// of a Config is the default for connections that name none.
+type Model struct {
+	// Name is the handshake name ("gaspipeline", "watertank", …).
+	Name string
+	// Framework is the trained framework connections bind to. Hot-swap
+	// (SwapModel) replaces it for connections accepted afterwards.
+	Framework *core.Framework
+	// Registers decodes live Modbus frames into the Table I parameter
+	// columns (replay traces carry their own map in the trace header).
+	Registers tap.RegisterMap
+}
+
+// Config configures a Server.
+type Config struct {
+	// Engine tunes the embedded detection engine (shards, batch width,
+	// queue depth, stack).
+	Engine engine.Config
+	// Models are the served models; at least one. The first is the
+	// default.
+	Models []Model
+	// SubscriberBuffer bounds each verdict subscriber's event queue; a
+	// subscriber that falls further behind loses events (counted, never
+	// blocking the engine). Default: 1024.
+	SubscriberBuffer int
+	// DrainGrace bounds how long Shutdown waits for ingest connections to
+	// finish before force-closing them. Default: 5s.
+	DrainGrace time.Duration
+	// OnResult, when non-nil, observes every classified result before it
+	// is fanned out to subscribers — a test and embedding hook, called on
+	// shard goroutines under the engine Handler contract.
+	OnResult func(engine.Result)
+}
+
+// modelEntry is the server's mutable slot for one served model. The
+// framework pointer is read at connection accept (and pinned for the
+// connection's lifetime — a hot-swap never re-scores a live stream) and
+// written by SwapModel.
+type modelEntry struct {
+	name string
+	mu   sync.RWMutex
+	fw   *core.Framework
+	regs tap.RegisterMap
+
+	swaps atomic.Uint64
+}
+
+// current returns the entry's framework and register map.
+func (m *modelEntry) current() (*core.Framework, tap.RegisterMap) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.fw, m.regs
+}
+
+// Server is the wire-to-verdict daemon: engine, ingest listener, verdict
+// hub and ops endpoint. Create with New, attach listeners with
+// ListenIngest / ListenVerdicts / ListenHTTP, stop with Shutdown.
+type Server struct {
+	cfg    Config
+	eng    *engine.Engine
+	hub    *hub
+	models map[string]*modelEntry
+	def    *modelEntry
+
+	mu        sync.Mutex
+	closed    bool
+	listeners []net.Listener
+	active    map[string]net.Conn // live ingest streams, by stream ID
+	ingestWG  sync.WaitGroup
+	acceptWG  sync.WaitGroup
+
+	nextID atomic.Uint64
+	// Connection and admission counters (see ServerStats).
+	accepted atomic.Uint64
+	rejected atomic.Uint64
+	replayed atomic.Uint64
+	live     atomic.Uint64
+	shed     atomic.Uint64
+
+	statsMu   sync.Mutex
+	lastStats engine.Stats
+	lastTime  time.Time
+}
+
+// ServerStats is a point-in-time snapshot of the daemon's own counters,
+// alongside the engine's Stats.
+type ServerStats struct {
+	// ActiveConns is the number of ingest connections currently serving;
+	// AcceptedConns and RejectedConns count handshakes over the lifetime.
+	ActiveConns, AcceptedConns, RejectedConns uint64
+	// Replayed and Live count packages admitted per ingest mode; Shed
+	// counts live packages dropped on a full shard queue.
+	Replayed, Live, Shed uint64
+	// Subscribers is the number of attached verdict subscribers;
+	// SubscriberDrops counts events lost to slow subscribers.
+	Subscribers     uint64
+	SubscriberDrops uint64
+	// ModelSwaps counts SwapModel cutovers across all models.
+	ModelSwaps uint64
+}
+
+// New builds a server and starts its engine. The caller owns no goroutines
+// yet — attach listeners to accept traffic.
+func New(cfg Config) (*Server, error) {
+	if len(cfg.Models) == 0 {
+		return nil, fmt.Errorf("serve: no models configured")
+	}
+	if cfg.DrainGrace <= 0 {
+		cfg.DrainGrace = 5 * time.Second
+	}
+	s := &Server{
+		cfg:      cfg,
+		hub:      newHub(cfg.SubscriberBuffer),
+		models:   make(map[string]*modelEntry, len(cfg.Models)),
+		active:   make(map[string]net.Conn),
+		lastTime: time.Now(),
+	}
+	for _, m := range cfg.Models {
+		if m.Name == "" {
+			return nil, fmt.Errorf("serve: model with empty name")
+		}
+		if m.Framework == nil {
+			return nil, fmt.Errorf("serve: model %q has no framework", m.Name)
+		}
+		if _, dup := s.models[m.Name]; dup {
+			return nil, fmt.Errorf("serve: model %q configured twice", m.Name)
+		}
+		entry := &modelEntry{name: m.Name, fw: m.Framework, regs: m.Registers}
+		s.models[m.Name] = entry
+		if s.def == nil {
+			s.def = entry
+		}
+	}
+	eng, err := engine.New(cfg.Models[0].Framework, cfg.Engine, s.handleResult)
+	if err != nil {
+		return nil, err
+	}
+	s.eng = eng
+	// Non-default models must support the engine's stack too, fail-fast at
+	// startup rather than on their first connection.
+	for _, m := range cfg.Models[1:] {
+		if _, err := m.Framework.NewStack(eng.StackSpec()); err != nil {
+			eng.Stop()
+			return nil, fmt.Errorf("serve: model %q: %w", m.Name, err)
+		}
+	}
+	return s, nil
+}
+
+// Engine exposes the embedded engine (stats, barriers) to embedders and
+// tests.
+func (s *Server) Engine() *engine.Engine { return s.eng }
+
+// handleResult is the engine Handler: observe, encode once, fan out.
+func (s *Server) handleResult(r engine.Result) {
+	if s.cfg.OnResult != nil {
+		s.cfg.OnResult(r)
+	}
+	s.hub.publish(appendEvent(nil, r))
+}
+
+// ListenIngest binds the ingest listener and starts accepting device
+// connections. It returns the bound address (for ":0" ephemeral binds).
+func (s *Server) ListenIngest(addr string) (string, error) {
+	return s.listen(addr, s.serveIngest)
+}
+
+// ListenVerdicts binds the verdict subscription listener.
+func (s *Server) ListenVerdicts(addr string) (string, error) {
+	return s.listen(addr, s.serveSubscribe)
+}
+
+// listen binds one listener and runs an accept loop feeding handler.
+func (s *Server) listen(addr string, handler func(net.Conn)) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("serve: listen: %w", err)
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return "", fmt.Errorf("serve: server is shut down")
+	}
+	s.listeners = append(s.listeners, ln)
+	s.acceptWG.Add(1)
+	s.mu.Unlock()
+	go func() {
+		defer s.acceptWG.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go handler(conn)
+		}
+	}()
+	return ln.Addr().String(), nil
+}
+
+// model resolves a handshake model name.
+func (s *Server) model(name string) (*modelEntry, error) {
+	if name == "" {
+		return s.def, nil
+	}
+	if entry, ok := s.models[name]; ok {
+		return entry, nil
+	}
+	return nil, fmt.Errorf("unknown model %q", name)
+}
+
+// claimStream reserves a stream ID for one ingest connection. Stream IDs
+// name engine streams, so two live connections must never share one.
+func (s *Server) claimStream(stream string, conn net.Conn) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("server is shutting down")
+	}
+	if _, busy := s.active[stream]; busy {
+		return fmt.Errorf("stream %q is already connected", stream)
+	}
+	s.active[stream] = conn
+	s.ingestWG.Add(1)
+	return nil
+}
+
+// releaseStream unmaps a finished connection and releases its engine
+// stream, so connection churn cannot grow engine state without bound. A
+// release racing Stop (shutdown force-close) is quietly skipped — Stop
+// frees everything anyway.
+func (s *Server) releaseStream(stream string) {
+	s.mu.Lock()
+	delete(s.active, stream)
+	s.mu.Unlock()
+	_ = s.eng.Release(stream)
+	s.ingestWG.Done()
+}
+
+// serveIngest handles one device connection: handshake, claim the stream,
+// then pump frames into the engine until EOF.
+func (s *Server) serveIngest(conn net.Conn) {
+	defer conn.Close()
+	br := bufio.NewReader(conn)
+	h, err := readHello(br)
+	if err != nil {
+		s.rejected.Add(1)
+		writeStatus(conn, 1, err.Error())
+		return
+	}
+	entry, err := s.model(h.Model)
+	if err != nil {
+		s.rejected.Add(1)
+		writeStatus(conn, 1, err.Error())
+		return
+	}
+	// Pin the model now: a hot-swap during this connection's lifetime must
+	// not re-score a live recurrent stream with different weights.
+	fw, regs := entry.current()
+	stream := h.Stream
+	if stream == "" {
+		stream = fmt.Sprintf("conn-%d", s.nextID.Add(1))
+	}
+	if err := s.claimStream(stream, conn); err != nil {
+		s.rejected.Add(1)
+		writeStatus(conn, 1, err.Error())
+		return
+	}
+	defer s.releaseStream(stream)
+	if h.Precision != "" {
+		p, err := core.ParsePrecision(h.Precision)
+		if err == nil {
+			err = s.eng.BindPrecision(stream, p)
+		}
+		if err != nil {
+			s.rejected.Add(1)
+			writeStatus(conn, 1, err.Error())
+			return
+		}
+	}
+	if err := writeStatus(conn, 0, ""); err != nil {
+		return
+	}
+	s.accepted.Add(1)
+	switch h.Mode {
+	case ModeReplay:
+		s.serveReplay(conn, br, fw, stream)
+	case ModeLive:
+		s.serveLive(br, fw, regs, stream)
+	}
+}
+
+// serveReplay streams a recorded trace into the engine with blocking
+// admission: every record is decoded through the exact tap rules
+// (trace.Decoder) and submitted under the connection's model; a saturated
+// engine pushes back on the socket. At EOF the client gets a trailing
+// status plus the accepted-package count.
+func (s *Server) serveReplay(conn net.Conn, br *bufio.Reader, fw *core.Framework, stream string) {
+	tr, err := trace.NewReader(br)
+	if err != nil {
+		writeStatus(conn, 1, err.Error())
+		return
+	}
+	hdr := tr.Header()
+	if hdr.Fingerprint != "" {
+		if got := fw.Fingerprint(); hdr.Fingerprint != got {
+			writeStatus(conn, 1, fmt.Sprintf(
+				"trace is pinned to model %s, connection's model is %s", hdr.Fingerprint, got))
+			return
+		}
+	}
+	dec := trace.NewDecoder(hdr)
+	var count uint64
+	for {
+		rec, err := tr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			writeStatus(conn, 1, err.Error())
+			return
+		}
+		pkg, err := dec.Decode(rec)
+		if err != nil {
+			writeStatus(conn, 1, err.Error())
+			return
+		}
+		if err := s.eng.SubmitFor(fw, stream, pkg); err != nil {
+			writeStatus(conn, 1, err.Error())
+			return
+		}
+		count++
+	}
+	s.replayed.Add(count)
+	// Trailer: the peer half-closed its write side and reads this before
+	// closing. A vanished peer is its own acknowledgement.
+	if err := writeStatus(conn, 0, ""); err == nil {
+		var buf [10]byte
+		n := putUvarint(buf[:], count)
+		conn.Write(buf[:n])
+	}
+}
+
+// serveLive pumps raw Modbus/TCP frames into the engine with shedding
+// admission: frames are decoded exactly as the live tap decodes them, with
+// direction inferred from the MBAP transaction ID (an unseen ID opens a
+// command, a matching outstanding ID closes it as the response), and
+// submitted with TrySubmitFor — a full shard queue drops the package and
+// counts the shed instead of stalling the wire.
+func (s *Server) serveLive(br *bufio.Reader, fw *core.Framework, regs tap.RegisterMap, stream string) {
+	outstanding := make(map[uint16]struct{})
+	started := time.Now()
+	for {
+		f, err := modbus.ReadTCPFrame(br)
+		if err != nil {
+			return
+		}
+		raw, err := modbus.EncodeTCP(f)
+		if err != nil {
+			return
+		}
+		tid := f.Header.TransactionID
+		isCmd := true
+		if _, open := outstanding[tid]; open {
+			isCmd = false
+			delete(outstanding, tid)
+		} else {
+			outstanding[tid] = struct{}{}
+			if len(outstanding) > 4096 {
+				// A peer that never answers its own commands would grow the
+				// direction table without bound; resetting mis-directs only
+				// the responses of the dropped transactions.
+				outstanding = make(map[uint16]struct{})
+			}
+		}
+		pkg := &dataset.Package{
+			Address:  float64(f.Header.UnitID),
+			Function: float64(f.PDU.Function),
+			Length:   float64(len(raw)),
+			Time:     time.Since(started).Seconds(),
+		}
+		if isCmd {
+			pkg.CmdResponse = 1
+		}
+		regs.DecodePDU(pkg, f.PDU, isCmd)
+		ok, err := s.eng.TrySubmitFor(fw, stream, pkg)
+		if err != nil {
+			return
+		}
+		if ok {
+			s.live.Add(1)
+		} else {
+			s.shed.Add(1)
+		}
+	}
+}
+
+// serveSubscribe handshakes one verdict subscriber and hands the
+// connection to the hub.
+func (s *Server) serveSubscribe(conn net.Conn) {
+	br := bufio.NewReader(conn)
+	var m [8]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil || m != subscribeMagic {
+		writeStatus(conn, 1, "not a subscription connection (bad magic)")
+		conn.Close()
+		return
+	}
+	var ver [2]byte
+	if _, err := io.ReadFull(br, ver[:]); err != nil {
+		conn.Close()
+		return
+	}
+	if v := uint16(ver[0])<<8 | uint16(ver[1]); v != ProtocolVersion {
+		writeStatus(conn, 1, fmt.Sprintf("protocol version %d (this server speaks %d)", v, ProtocolVersion))
+		conn.Close()
+		return
+	}
+	if err := writeStatus(conn, 0, ""); err != nil {
+		conn.Close()
+		return
+	}
+	if !s.hub.add(conn) {
+		conn.Close()
+	}
+}
+
+// SwapModel replaces a served model's framework — the hot-swap path for
+// retrained icstrain checkpoints. The new framework must support the
+// engine's stack; an engine Barrier then provides the consistent cutover
+// point: every package submitted before the swap is classified under the
+// weights it was admitted with, connections accepted after SwapModel
+// returns bind the new framework, and connections alive across the swap
+// keep their pinned framework (recurrent state is model-specific, so
+// re-scoring them would corrupt their streams).
+func (s *Server) SwapModel(name string, fw *core.Framework) error {
+	entry, err := s.model(name)
+	if err != nil {
+		return fmt.Errorf("serve: swap: %w", err)
+	}
+	if fw == nil {
+		return fmt.Errorf("serve: swap: nil framework")
+	}
+	if _, err := fw.NewStack(s.eng.StackSpec()); err != nil {
+		return fmt.Errorf("serve: swap %q: %w", entry.name, err)
+	}
+	if err := s.eng.Barrier(); err != nil {
+		return fmt.Errorf("serve: swap %q: %w", entry.name, err)
+	}
+	entry.mu.Lock()
+	entry.fw = fw
+	entry.mu.Unlock()
+	entry.swaps.Add(1)
+	return nil
+}
+
+// Stats snapshots the daemon's own counters.
+func (s *Server) Stats() ServerStats {
+	s.mu.Lock()
+	activeConns := uint64(len(s.active))
+	s.mu.Unlock()
+	var swaps uint64
+	for _, entry := range s.models {
+		swaps += entry.swaps.Load()
+	}
+	return ServerStats{
+		ActiveConns:     activeConns,
+		AcceptedConns:   s.accepted.Load(),
+		RejectedConns:   s.rejected.Load(),
+		Replayed:        s.replayed.Load(),
+		Live:            s.live.Load(),
+		Shed:            s.shed.Load(),
+		Subscribers:     uint64(s.hub.count()),
+		SubscriberDrops: s.hub.drops.Load(),
+		ModelSwaps:      swaps,
+	}
+}
+
+// Shutdown is the graceful drain: stop accepting, wait for live ingest
+// connections to finish (bounded by DrainGrace, then force-close), drain
+// the engine queues via Stop — every admitted package is classified — and
+// flush the verdict subscribers before detaching them. It returns the
+// engine's Stop error (the first recovered handler panic, if any).
+// Shutdown is idempotent.
+func (s *Server) Shutdown() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return s.eng.Stop()
+	}
+	s.closed = true
+	for _, ln := range s.listeners {
+		ln.Close()
+	}
+	s.mu.Unlock()
+	s.acceptWG.Wait()
+
+	done := make(chan struct{})
+	go func() {
+		s.ingestWG.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(s.cfg.DrainGrace):
+		s.mu.Lock()
+		for _, conn := range s.active {
+			conn.Close()
+		}
+		s.mu.Unlock()
+		<-done
+	}
+
+	err := s.eng.Stop()
+	s.hub.close(s.cfg.DrainGrace)
+	return err
+}
+
+// putUvarint is binary.PutUvarint without the import-side dependency
+// spelled out at the call site.
+func putUvarint(buf []byte, x uint64) int {
+	i := 0
+	for x >= 0x80 {
+		buf[i] = byte(x) | 0x80
+		x >>= 7
+		i++
+	}
+	buf[i] = byte(x)
+	return i + 1
+}
