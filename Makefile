@@ -57,8 +57,9 @@ serve-smoke:
 # mixed-scenario engine and cross-scenario parity gates, and the stack
 # conformance suite, which locks sequential==engine bitwise equivalence
 # for composed level stacks (freshly trained bloom,pca,lstm under
-# majority-vote, dynamic-k, all fusion policies) beyond what the two-level
-# goldens cover.
+# majority-vote, dynamic-k, all fusion policies, and the reconstruction
+# stages ae/seq2seq/cnn with watertank MPCI/MFCI detection parity) beyond
+# what the two-level goldens cover.
 conformance:
 	$(GO) test -v -run 'TestTraceConformance|TestStackConformance' .
 
@@ -67,7 +68,7 @@ bench: bench-stack
 
 # Detection-stack benchmark: per-level time share and sequential vs engine
 # throughput across level stacks (bloom, bloom+lstm, bloom+pca+lstm,
-# all-levels). Results are recorded in BENCH.md.
+# all-levels, bloom+lstm+ae). Results are recorded in BENCH.md.
 bench-stack:
 	$(GO) run ./cmd/icsbench -stackbench -packages 8000
 

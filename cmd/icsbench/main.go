@@ -19,7 +19,8 @@
 // -stackbench measures the composable detection stacks: sequential
 // throughput with per-level time share, and engine throughput with the
 // per-stage micro-batch widths, across bloom / bloom,lstm /
-// bloom,pca,lstm / all-levels (plus an optional -levels custom stack);
+// bloom,pca,lstm / all-levels / bloom,lstm,ae (plus an optional -levels
+// custom stack);
 // -precision f32 benches the stacks on the float32 inference tier,
 // skipping stacks with levels that have no f32 path. Results are recorded
 // in BENCH.md. -kernelbench microbenchmarks the inference kernels
@@ -48,6 +49,7 @@ import (
 	"icsdetect/internal/signature"
 
 	_ "icsdetect/internal/baselines"
+	_ "icsdetect/internal/recon"
 )
 
 func main() {
@@ -236,9 +238,15 @@ func (t timedStage) Advance(st core.StageState, pc *core.PackageContext, v *core
 	*t.advance += time.Since(start)
 }
 
-// stackBenchAll is the widest stack -stackbench trains models for: every
+// stackBenchAll is the widest signature stack -stackbench measures: every
 // promoted level plus the built-in two.
 const stackBenchAll = "bloom,bf4,pca,gmm,iforest,bayesnet,svdd,lstm"
+
+// stackBenchRecon is the reconstruction-stage row: the paper stack plus
+// the LSTM autoencoder over the continuous register windows. It is f64
+// only — the reconstruction family has no f32 path, so at -precision f32
+// the row is skipped like any other f32-incapable built-in.
+const stackBenchRecon = "bloom,lstm,ae"
 
 // stackResult is one -stackbench row as emitted by -json.
 type stackResult struct {
@@ -318,7 +326,7 @@ func runStackBench(packages int, seed uint64, customLevels, customFusion, precNa
 	if err != nil {
 		return err
 	}
-	allSpec, err := core.ParseStackSpec(stackBenchAll, "majority")
+	allSpec, err := core.ParseStackSpec(stackBenchAll+",ae", "majority")
 	if err != nil {
 		return err
 	}
@@ -337,6 +345,7 @@ func runStackBench(packages int, seed uint64, customLevels, customFusion, precNa
 		{"bloom,lstm", "first-hit", false},
 		{"bloom,pca,lstm", "first-hit", false},
 		{stackBenchAll, "majority", false},
+		{stackBenchRecon, "first-hit", false},
 	}
 	if customLevels != "" {
 		stacks = append(stacks, struct {

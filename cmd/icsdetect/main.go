@@ -26,6 +26,7 @@ import (
 
 	// Register the promoted baseline detection levels.
 	_ "icsdetect/internal/baselines"
+	_ "icsdetect/internal/recon"
 )
 
 func main() {

@@ -10,7 +10,7 @@
 //	          [-ingest :1502] [-verdicts :1503] [-http :1504]
 //	          [-stack bloom,lstm] [-fusion first-hit] [-precision f64]
 //	          [-shards N] [-maxbatch 64] [-queue 256]
-//	          [-drain 5s] [-subbuffer 1024] [-statsevery 0]
+//	          [-drain 5s] [-idle 0] [-subbuffer 1024] [-statsevery 0]
 //
 // Each -model names a served model (name=path); the first is the default for
 // connections that name none. A model named after a registered scenario
@@ -56,6 +56,7 @@ import (
 
 	_ "icsdetect/internal/baselines"
 	_ "icsdetect/internal/gaspipeline"
+	_ "icsdetect/internal/recon"
 	_ "icsdetect/internal/watertank"
 )
 
@@ -100,6 +101,7 @@ func run() error {
 		maxBatch   = flag.Int("maxbatch", 0, "micro-batch width cap (default 64)")
 		queue      = flag.Int("queue", 0, "per-shard queue depth (default 4*maxbatch)")
 		drain      = flag.Duration("drain", 5*time.Second, "shutdown grace for live connections")
+		idle       = flag.Duration("idle", 0, "ingest idle read deadline; a silent peer is dropped and its stream released (0 disables)")
 		subBuffer  = flag.Int("subbuffer", 0, "per-subscriber event buffer (default 1024)")
 		statsEvery = flag.Duration("statsevery", 0, "log interval package rates this often (0 disables)")
 		selftest   = flag.Bool("selftest", false, "run the committed-corpus smoke drill and exit")
@@ -114,6 +116,7 @@ func run() error {
 			QueueDepth: *queue,
 		},
 		DrainGrace:       *drain,
+		IdleTimeout:      *idle,
 		SubscriberBuffer: *subBuffer,
 	}
 	if *stack != "" || *fusion != "" || *precision != "" {

@@ -38,6 +38,7 @@ import (
 
 	_ "icsdetect/internal/baselines"
 	_ "icsdetect/internal/gaspipeline"
+	_ "icsdetect/internal/recon"
 	_ "icsdetect/internal/watertank"
 )
 

@@ -40,6 +40,7 @@ import (
 	// Register the promoted baseline detection levels (pca, gmm, iforest,
 	// bayesnet, svdd, bf4) with the stage registry.
 	_ "icsdetect/internal/baselines"
+	_ "icsdetect/internal/recon"
 	// Register the built-in testbed scenarios.
 	_ "icsdetect/internal/gaspipeline"
 	_ "icsdetect/internal/watertank"
@@ -159,6 +160,9 @@ const (
 	LevelBayesNet   = core.LevelBayesNet
 	LevelSVDD       = core.LevelSVDD
 	LevelBF4        = core.LevelBF4
+	LevelAE         = core.LevelAE
+	LevelSeq2Seq    = core.LevelSeq2Seq
+	LevelCNN        = core.LevelCNN
 )
 
 // DefaultStack returns the paper's two-level framework stack (bloom,lstm

@@ -134,6 +134,14 @@ func trainWindowModel(fw *core.Framework, split *dataset.Split, wk windowKind, s
 	}, nil
 }
 
+// QuantileThreshold returns the q-quantile of scores; scores strictly
+// above it flag. It is the threshold rule shared by every promoted
+// window level, exported for stage families built outside this package
+// (internal/recon) so their thresholds follow the same θ discipline.
+func QuantileThreshold(scores []float64, q float64) float64 {
+	return quantileThreshold(scores, q)
+}
+
 // quantileThreshold returns the q-quantile of scores (sorted ascending);
 // scores strictly above it flag.
 func quantileThreshold(scores []float64, q float64) float64 {

@@ -36,6 +36,13 @@ const (
 	LevelSVDD
 	// LevelBF4 means the 4-package composite Bloom filter level flagged it.
 	LevelBF4
+	// LevelAE means the LSTM-autoencoder reconstruction-error level
+	// flagged it (see internal/recon).
+	LevelAE
+	// LevelSeq2Seq means the seq2seq prediction-error level flagged it.
+	LevelSeq2Seq
+	// LevelCNN means the 1D-CNN prediction-error level flagged it.
+	LevelCNN
 
 	// NumLevels bounds the Level space (for per-level counter arrays).
 	NumLevels
@@ -62,6 +69,12 @@ func (l Level) String() string {
 		return "svdd"
 	case LevelBF4:
 		return "bf4"
+	case LevelAE:
+		return "ae"
+	case LevelSeq2Seq:
+		return "seq2seq"
+	case LevelCNN:
+		return "cnn"
 	default:
 		return fmt.Sprintf("Level(%d)", int(l))
 	}

@@ -1,0 +1,91 @@
+package mathx
+
+// Conv1D computes a valid 1-D cross-correlation over a channels-last
+// sequence: for each output position p and filter f,
+//
+//	dst[p*F+f] = Dot(w.Row(f), x[p*chans : p*chans+w.Cols]) + bias[f]
+//
+// where F = w.Rows, w.Cols = kernelLen*chans, and the number of positions
+// is len(dst)/F (the caller chooses how many of the valid positions to
+// compute; a predictor typically stops kernelLen positions early so every
+// window has a next-step target). bias may be nil.
+//
+// The sliding windows are borrowed views into x (im2row without the
+// copy), so the whole conv is one MulRowsT call and inherits its
+// scalar/AVX2/AVX-512 tiers and its bitwise contract: each output row is
+// bit-identical to MulVec on that window, on every tier, for any number
+// of positions.
+func Conv1D(dst []float64, w *Matrix, bias, x []float64, chans int) {
+	f := w.Rows
+	positions := len(dst) / f
+	if positions == 0 {
+		return
+	}
+	if len(dst) != positions*f {
+		panic("mathx: Conv1D dst length not a multiple of w.Rows")
+	}
+	if need := (positions-1)*chans + w.Cols; len(x) < need {
+		panic("mathx: Conv1D input too short for requested positions")
+	}
+	var rbuf [16][]float64
+	rows := rbuf[:0]
+	if positions > len(rbuf) {
+		rows = make([][]float64, 0, positions)
+	}
+	for p := 0; p < positions; p++ {
+		rows = append(rows, x[p*chans:p*chans+w.Cols])
+	}
+	w.MulRowsT(dst, rows)
+	addBiasRows(dst, bias, positions)
+}
+
+// Conv1DBatch runs Conv1D over a batch of equally-shaped sequences,
+// stacking every position of every sequence into a single MulRowsT so the
+// batched inference path amortizes the weight traversal. dst is
+// sample-major then position-major: sample i, position p lands at
+// dst[(i*positions+p)*F : ...+F]. rows is caller scratch with capacity for
+// len(xs)*positions window views (grown if short). Per-row results are
+// bitwise identical to the sequential Conv1D on each sample — MulRowsT's
+// per-row contract is independent of how many rows share the call.
+func Conv1DBatch(dst []float64, w *Matrix, bias []float64, xs [][]float64, chans, positions int, rows [][]float64) {
+	f := w.Rows
+	n := len(xs)
+	if n == 0 || positions == 0 {
+		return
+	}
+	if len(dst) != n*positions*f {
+		panic("mathx: Conv1DBatch dst length mismatch")
+	}
+	need := (positions-1)*chans + w.Cols
+	if cap(rows) < n*positions {
+		rows = make([][]float64, 0, n*positions)
+	}
+	rows = rows[:0]
+	for _, x := range xs {
+		if len(x) < need {
+			panic("mathx: Conv1DBatch input too short for requested positions")
+		}
+		for p := 0; p < positions; p++ {
+			rows = append(rows, x[p*chans:p*chans+w.Cols])
+		}
+	}
+	w.MulRowsT(dst, rows)
+	addBiasRows(dst, bias, n*positions)
+}
+
+// addBiasRows adds bias to each length-len(bias) row of dst. The add is a
+// single s+bias[f] per element, matching PackedGEMV's GemvSetBias
+// association, so conv-then-bias stays bit-compatible with a fused
+// dot+bias epilogue.
+func addBiasRows(dst, bias []float64, rows int) {
+	if bias == nil {
+		return
+	}
+	f := len(bias)
+	for p := 0; p < rows; p++ {
+		row := dst[p*f : (p+1)*f]
+		for j := range row {
+			row[j] += bias[j]
+		}
+	}
+}

@@ -1,0 +1,840 @@
+package nn
+
+import (
+	"fmt"
+
+	"icsdetect/internal/mathx"
+)
+
+// Reconstruction-error networks for the continuous-telemetry detection
+// stages (internal/recon): an LSTM autoencoder, a seq2seq predictor
+// (after Kim et al., arXiv:1911.04831) and a 1D-CNN predictor (after
+// Kravchik & Shabtai, arXiv:1806.08110). Each consumes one standardized
+// window sample — T timesteps × D features, channels-last, exactly the
+// layout baselines.Windowizer produces — and scores it by mean squared
+// reconstruction/prediction error.
+//
+// Every network has two inference paths with one bitwise contract:
+// Score (the sequential per-window path, packed GEMV kernels) and
+// NewBatch().Score (the engine's micro-batched path, MulRowsT GEMM) must
+// produce identical bits for every window on every kernel tier. The
+// contract is inherited from the LSTM step kernels (stepInfer vs
+// combineGatesCellUpdate), the dense head (forwardInfer vs
+// MulRowsT+bias, both dot+bias), and Conv1D/Conv1DBatch — and pinned by
+// tests in recon_test.go. Error accumulation uses the same loop order on
+// both paths (timesteps ascending, features ascending, one divide at the
+// end).
+
+// ReconBatch scores a batch of window samples. The signature matches
+// baselines.ScoreBatch so a ReconNet slots straight into the batched
+// WindowStage dispatch. Implementations are not safe for concurrent use;
+// the engine allocates one per shard.
+type ReconBatch interface {
+	Score(dst []float64, xs [][]float64)
+}
+
+// ReconNet is a reconstruction-error network over fixed-shape window
+// samples. The Score path is safe for concurrent use (scratch is
+// caller-owned); training mutates the network and must not run
+// concurrently with scoring.
+type ReconNet interface {
+	// InputDims returns the expected window shape (timesteps, features);
+	// Score's x has length T*D, channels-last.
+	InputDims() (t, d int)
+	// ScratchLen is the length of the scratch Score needs.
+	ScratchLen() int
+	// Score returns the window's mean squared reconstruction error.
+	Score(x, scratch []float64) float64
+	// NewBatch allocates a batched scorer for up to maxBatch windows.
+	NewBatch(maxBatch int) ReconBatch
+	// Validate reports structural corruption after deserialization.
+	Validate() error
+
+	// Training internals (unexported: implementations live in this
+	// package so they can reuse the LSTM step/backward kernels).
+	params() []Param
+	newGrads() reconGrads
+	forwardBackward(x []float64, g reconGrads) float64
+	invalidate()
+}
+
+// reconGrads is a gradient accumulator matching one ReconNet's params().
+type reconGrads interface {
+	zero()
+	slices() [][]float64
+}
+
+// sqErr accumulates the squared error between a prediction and its
+// target in ascending feature order — the shared association both
+// inference paths use.
+func sqErr(pred, tgt []float64) float64 {
+	var s float64
+	for i := range pred {
+		d := pred[i] - tgt[i]
+		s += d * d
+	}
+	return s
+}
+
+// ---------------------------------------------------------------------------
+// LSTM autoencoder
+
+// AutoEncoder compresses a window through an LSTM encoder into the final
+// hidden state, then decodes it repeat-vector style: the decoder LSTM
+// reads the code at every step and a shared dense head reconstructs each
+// timestep. Score is the mean squared reconstruction error over the
+// whole window.
+type AutoEncoder struct {
+	T, D int
+	Enc  *LSTMLayer // D → H
+	Dec  *LSTMLayer // H → H
+	Out  *Dense     // H → D
+}
+
+// NewAutoEncoder allocates an autoencoder for T×D windows with hidden
+// width hidden, deterministically initialized from seed.
+func NewAutoEncoder(t, d, hidden int, seed uint64) *AutoEncoder {
+	rng := mathx.NewRNG(seed)
+	return &AutoEncoder{
+		T:   t,
+		D:   d,
+		Enc: NewLSTMLayer(d, hidden, rng),
+		Dec: NewLSTMLayer(hidden, hidden, rng),
+		Out: NewDense(hidden, d, rng),
+	}
+}
+
+// InputDims returns the window shape.
+func (m *AutoEncoder) InputDims() (int, int) { return m.T, m.D }
+
+// ScratchLen is the scratch Score needs: the shared 4H gate buffer, the
+// four H-wide state vectors and the D-wide reconstruction.
+func (m *AutoEncoder) ScratchLen() int { return (numGates+4)*m.Enc.HiddenSize + m.D }
+
+// Score returns the window's mean squared reconstruction error.
+func (m *AutoEncoder) Score(x, scratch []float64) float64 {
+	H := m.Enc.HiddenSize
+	z, rest := scratch[:numGates*H], scratch[numGates*H:]
+	h, rest := rest[:H], rest[H:]
+	c, rest := rest[:H], rest[H:]
+	hd, rest := rest[:H], rest[H:]
+	cd, rest := rest[:H], rest[H:]
+	pred := rest[:m.D]
+	mathx.Fill(h, 0)
+	mathx.Fill(c, 0)
+	mathx.Fill(hd, 0)
+	mathx.Fill(cd, 0)
+	for t := 0; t < m.T; t++ {
+		m.Enc.stepInfer(z, x[t*m.D:(t+1)*m.D], h, c)
+	}
+	var sum float64
+	for t := 0; t < m.T; t++ {
+		m.Dec.stepInfer(z, h, hd, cd)
+		m.Out.forwardInfer(pred, hd)
+		sum += sqErr(pred, x[t*m.D:(t+1)*m.D])
+	}
+	return sum / float64(m.T*m.D)
+}
+
+// aeBatch is the engine-side batched autoencoder scorer.
+type aeBatch struct {
+	m                *AutoEncoder
+	z, zu            []float64 // maxBatch×4H GEMM outputs
+	hs, cs, hds, cds [][]float64
+	preds            []float64 // maxBatch×D
+	ins              [][]float64
+	errs             []float64
+}
+
+// NewBatch allocates a batched scorer for up to maxBatch windows.
+func (m *AutoEncoder) NewBatch(maxBatch int) ReconBatch {
+	H := m.Enc.HiddenSize
+	b := &aeBatch{
+		m:     m,
+		z:     make([]float64, maxBatch*numGates*H),
+		zu:    make([]float64, maxBatch*numGates*H),
+		preds: make([]float64, maxBatch*m.D),
+		ins:   make([][]float64, maxBatch),
+		errs:  make([]float64, maxBatch),
+	}
+	b.hs = stateRows(maxBatch, H)
+	b.cs = stateRows(maxBatch, H)
+	b.hds = stateRows(maxBatch, H)
+	b.cds = stateRows(maxBatch, H)
+	return b
+}
+
+// stateRows allocates n H-wide rows over one backing array.
+func stateRows(n, h int) [][]float64 {
+	backing := make([]float64, n*h)
+	rows := make([][]float64, n)
+	for i := range rows {
+		rows[i] = backing[i*h : (i+1)*h]
+	}
+	return rows
+}
+
+// Score scores len(xs) windows into dst, bitwise-identical to the
+// sequential Score per window.
+func (b *aeBatch) Score(dst []float64, xs [][]float64) {
+	m := b.m
+	H := m.Enc.HiddenSize
+	n := len(xs)
+	z := b.z[:n*numGates*H]
+	zu := b.zu[:n*numGates*H]
+	for i := 0; i < n; i++ {
+		mathx.Fill(b.hs[i], 0)
+		mathx.Fill(b.cs[i], 0)
+		mathx.Fill(b.hds[i], 0)
+		mathx.Fill(b.cds[i], 0)
+		b.errs[i] = 0
+	}
+	for t := 0; t < m.T; t++ {
+		for i := 0; i < n; i++ {
+			b.ins[i] = xs[i][t*m.D : (t+1)*m.D]
+		}
+		m.Enc.W.MulRowsT(z, b.ins[:n])
+		for i := 0; i < n; i++ {
+			b.ins[i] = b.hs[i]
+		}
+		m.Enc.U.MulRowsT(zu, b.ins[:n])
+		for i := 0; i < n; i++ {
+			row := z[i*numGates*H : (i+1)*numGates*H]
+			urow := zu[i*numGates*H : (i+1)*numGates*H]
+			m.Enc.combineGatesCellUpdate(row, urow, b.hs[i], b.cs[i])
+		}
+	}
+	preds := b.preds[:n*m.D]
+	for t := 0; t < m.T; t++ {
+		for i := 0; i < n; i++ {
+			b.ins[i] = b.hs[i]
+		}
+		m.Dec.W.MulRowsT(z, b.ins[:n])
+		for i := 0; i < n; i++ {
+			b.ins[i] = b.hds[i]
+		}
+		m.Dec.U.MulRowsT(zu, b.ins[:n])
+		for i := 0; i < n; i++ {
+			row := z[i*numGates*H : (i+1)*numGates*H]
+			urow := zu[i*numGates*H : (i+1)*numGates*H]
+			m.Dec.combineGatesCellUpdate(row, urow, b.hds[i], b.cds[i])
+		}
+		for i := 0; i < n; i++ {
+			b.ins[i] = b.hds[i]
+		}
+		m.Out.W.MulRowsT(preds, b.ins[:n])
+		for i := 0; i < n; i++ {
+			row := preds[i*m.D : (i+1)*m.D]
+			for j := range row {
+				row[j] += m.Out.B[j]
+			}
+			b.errs[i] += sqErr(row, xs[i][t*m.D:(t+1)*m.D])
+		}
+	}
+	for i := 0; i < n; i++ {
+		dst[i] = b.errs[i] / float64(m.T*m.D)
+	}
+}
+
+// Validate reports structural corruption after deserialization.
+func (m *AutoEncoder) Validate() error {
+	if m.T <= 0 || m.D <= 0 || m.Enc == nil || m.Dec == nil || m.Out == nil {
+		return fmt.Errorf("nn: autoencoder missing components")
+	}
+	if err := m.Enc.validate(); err != nil {
+		return err
+	}
+	if err := m.Dec.validate(); err != nil {
+		return err
+	}
+	if err := m.Out.validate(); err != nil {
+		return err
+	}
+	H := m.Enc.HiddenSize
+	if m.Enc.InputSize != m.D || m.Dec.InputSize != H || m.Dec.HiddenSize != H ||
+		m.Out.InputSize != H || m.Out.OutputSize != m.D {
+		return fmt.Errorf("nn: autoencoder shape mismatch")
+	}
+	return nil
+}
+
+func (m *AutoEncoder) params() []Param {
+	return append(append(m.Enc.params(), m.Dec.params()...), m.Out.params()...)
+}
+
+// encDecGrads accumulates gradients for an encoder-decoder network; the
+// slice order matches the params() order of AutoEncoder and Seq2Seq.
+type encDecGrads struct {
+	enc, dec *lstmGrads
+	out      *denseGrads
+}
+
+func (g *encDecGrads) slices() [][]float64 {
+	return append(append(g.enc.slices(), g.dec.slices()...), g.out.slices()...)
+}
+
+func (g *encDecGrads) zero() {
+	for _, s := range g.slices() {
+		mathx.Fill(s, 0)
+	}
+}
+
+func (m *AutoEncoder) newGrads() reconGrads {
+	return &encDecGrads{enc: newLSTMGrads(m.Enc), dec: newLSTMGrads(m.Dec), out: newDenseGrads(m.Out)}
+}
+
+func (m *AutoEncoder) invalidate() {
+	m.Enc.packs.Store(nil)
+	m.Enc.wt.Store(nil)
+	m.Dec.packs.Store(nil)
+	m.Dec.wt.Store(nil)
+	m.Out.pack.Store(nil)
+}
+
+// forwardBackward runs one window through the autoencoder, accumulates
+// parameter gradients of the mean-squared-error loss into g, and returns
+// the window's loss.
+func (m *AutoEncoder) forwardBackward(x []float64, g reconGrads) float64 {
+	ag := g.(*encDecGrads)
+	H := m.Enc.HiddenSize
+	T, D := m.T, m.D
+
+	encCaches := make([]*lstmStepCache, T)
+	h := make([]float64, H)
+	c := make([]float64, H)
+	for t := 0; t < T; t++ {
+		cache := m.Enc.stepForward(x[t*D:(t+1)*D], h, c)
+		encCaches[t] = cache
+		h, c = cache.h, cache.c
+	}
+	code := h
+
+	decCaches := make([]*lstmStepCache, T)
+	preds := make([][]float64, T)
+	hd := make([]float64, H)
+	cd := make([]float64, H)
+	var loss float64
+	for t := 0; t < T; t++ {
+		cache := m.Dec.stepForward(code, hd, cd)
+		decCaches[t] = cache
+		hd, cd = cache.h, cache.c
+		pred := make([]float64, D)
+		m.Out.Forward(pred, cache.h)
+		preds[t] = pred
+		loss += sqErr(pred, x[t*D:(t+1)*D])
+	}
+	inv := 1 / float64(T*D)
+
+	dh := make([]float64, H)
+	dc := make([]float64, H)
+	dCode := make([]float64, H)
+	dLogits := make([]float64, D)
+	for t := T - 1; t >= 0; t-- {
+		for j := 0; j < D; j++ {
+			dLogits[j] = 2 * inv * (preds[t][j] - x[t*D+j])
+		}
+		dhOut := m.Out.Backward(dLogits, decCaches[t].h, ag.out)
+		mathx.Axpy(dh, 1, dhOut)
+		dx, dhPrev, dcPrev := m.Dec.stepBackward(decCaches[t], dh, dc, ag.dec)
+		mathx.Axpy(dCode, 1, dx)
+		dh, dc = dhPrev, dcPrev
+	}
+
+	dhE := dCode // every decoder step read the encoder's final hidden state
+	dcE := make([]float64, H)
+	for t := T - 1; t >= 0; t-- {
+		_, dhPrev, dcPrev := m.Enc.stepBackward(encCaches[t], dhE, dcE, ag.enc)
+		dhE, dcE = dhPrev, dcPrev
+	}
+	return loss * inv
+}
+
+// ---------------------------------------------------------------------------
+// Seq2seq predictor
+
+// Seq2Seq warms an encoder LSTM on the first Warm timesteps of a window,
+// hands its (h, c) state to a decoder LSTM, and free-runs the decoder
+// over the remaining steps: each decoder step reads the previous
+// observed-or-predicted frame and a dense head predicts the next one.
+// Training and inference both free-run (no teacher forcing), so the
+// scored error matches the trained objective. Score is the mean squared
+// prediction error over the T-Warm predicted steps.
+type Seq2Seq struct {
+	T, D, Warm int
+	Enc        *LSTMLayer // D → H
+	Dec        *LSTMLayer // D → H
+	Out        *Dense     // H → D
+}
+
+// NewSeq2Seq allocates a seq2seq predictor for T×D windows warming on
+// warm steps, deterministically initialized from seed.
+func NewSeq2Seq(t, d, warm, hidden int, seed uint64) *Seq2Seq {
+	rng := mathx.NewRNG(seed)
+	return &Seq2Seq{
+		T:    t,
+		D:    d,
+		Warm: warm,
+		Enc:  NewLSTMLayer(d, hidden, rng),
+		Dec:  NewLSTMLayer(d, hidden, rng),
+		Out:  NewDense(hidden, d, rng),
+	}
+}
+
+// InputDims returns the window shape.
+func (m *Seq2Seq) InputDims() (int, int) { return m.T, m.D }
+
+// ScratchLen is the scratch Score needs.
+func (m *Seq2Seq) ScratchLen() int { return (numGates+4)*m.Enc.HiddenSize + m.D }
+
+// Score returns the window's mean squared prediction error.
+func (m *Seq2Seq) Score(x, scratch []float64) float64 {
+	H := m.Enc.HiddenSize
+	z, rest := scratch[:numGates*H], scratch[numGates*H:]
+	h, rest := rest[:H], rest[H:]
+	c, rest := rest[:H], rest[H:]
+	hd, rest := rest[:H], rest[H:]
+	cd, rest := rest[:H], rest[H:]
+	pred := rest[:m.D]
+	mathx.Fill(h, 0)
+	mathx.Fill(c, 0)
+	for t := 0; t < m.Warm; t++ {
+		m.Enc.stepInfer(z, x[t*m.D:(t+1)*m.D], h, c)
+	}
+	copy(hd, h)
+	copy(cd, c)
+	u := x[(m.Warm-1)*m.D : m.Warm*m.D]
+	var sum float64
+	for t := m.Warm; t < m.T; t++ {
+		m.Dec.stepInfer(z, u, hd, cd)
+		m.Out.forwardInfer(pred, hd)
+		sum += sqErr(pred, x[t*m.D:(t+1)*m.D])
+		u = pred
+	}
+	return sum / float64((m.T-m.Warm)*m.D)
+}
+
+// s2sBatch is the engine-side batched seq2seq scorer.
+type s2sBatch struct {
+	m                *Seq2Seq
+	z, zu            []float64
+	hs, cs, hds, cds [][]float64
+	preds            []float64
+	ins              [][]float64
+	errs             []float64
+}
+
+// NewBatch allocates a batched scorer for up to maxBatch windows.
+func (m *Seq2Seq) NewBatch(maxBatch int) ReconBatch {
+	H := m.Enc.HiddenSize
+	b := &s2sBatch{
+		m:     m,
+		z:     make([]float64, maxBatch*numGates*H),
+		zu:    make([]float64, maxBatch*numGates*H),
+		preds: make([]float64, maxBatch*m.D),
+		ins:   make([][]float64, maxBatch),
+		errs:  make([]float64, maxBatch),
+	}
+	b.hs = stateRows(maxBatch, H)
+	b.cs = stateRows(maxBatch, H)
+	b.hds = stateRows(maxBatch, H)
+	b.cds = stateRows(maxBatch, H)
+	return b
+}
+
+// Score scores len(xs) windows into dst, bitwise-identical to the
+// sequential Score per window.
+func (b *s2sBatch) Score(dst []float64, xs [][]float64) {
+	m := b.m
+	H := m.Enc.HiddenSize
+	n := len(xs)
+	z := b.z[:n*numGates*H]
+	zu := b.zu[:n*numGates*H]
+	for i := 0; i < n; i++ {
+		mathx.Fill(b.hs[i], 0)
+		mathx.Fill(b.cs[i], 0)
+		b.errs[i] = 0
+	}
+	for t := 0; t < m.Warm; t++ {
+		for i := 0; i < n; i++ {
+			b.ins[i] = xs[i][t*m.D : (t+1)*m.D]
+		}
+		m.Enc.W.MulRowsT(z, b.ins[:n])
+		for i := 0; i < n; i++ {
+			b.ins[i] = b.hs[i]
+		}
+		m.Enc.U.MulRowsT(zu, b.ins[:n])
+		for i := 0; i < n; i++ {
+			row := z[i*numGates*H : (i+1)*numGates*H]
+			urow := zu[i*numGates*H : (i+1)*numGates*H]
+			m.Enc.combineGatesCellUpdate(row, urow, b.hs[i], b.cs[i])
+		}
+	}
+	preds := b.preds[:n*m.D]
+	for i := 0; i < n; i++ {
+		copy(b.hds[i], b.hs[i])
+		copy(b.cds[i], b.cs[i])
+	}
+	for t := m.Warm; t < m.T; t++ {
+		for i := 0; i < n; i++ {
+			if t == m.Warm {
+				b.ins[i] = xs[i][(m.Warm-1)*m.D : m.Warm*m.D]
+			} else {
+				b.ins[i] = preds[i*m.D : (i+1)*m.D]
+			}
+		}
+		m.Dec.W.MulRowsT(z, b.ins[:n])
+		for i := 0; i < n; i++ {
+			b.ins[i] = b.hds[i]
+		}
+		m.Dec.U.MulRowsT(zu, b.ins[:n])
+		for i := 0; i < n; i++ {
+			row := z[i*numGates*H : (i+1)*numGates*H]
+			urow := zu[i*numGates*H : (i+1)*numGates*H]
+			m.Dec.combineGatesCellUpdate(row, urow, b.hds[i], b.cds[i])
+		}
+		for i := 0; i < n; i++ {
+			b.ins[i] = b.hds[i]
+		}
+		m.Out.W.MulRowsT(preds, b.ins[:n])
+		for i := 0; i < n; i++ {
+			row := preds[i*m.D : (i+1)*m.D]
+			for j := range row {
+				row[j] += m.Out.B[j]
+			}
+			b.errs[i] += sqErr(row, xs[i][t*m.D:(t+1)*m.D])
+		}
+	}
+	for i := 0; i < n; i++ {
+		dst[i] = b.errs[i] / float64((m.T-m.Warm)*m.D)
+	}
+}
+
+// Validate reports structural corruption after deserialization.
+func (m *Seq2Seq) Validate() error {
+	if m.T <= 0 || m.D <= 0 || m.Warm <= 0 || m.Warm >= m.T ||
+		m.Enc == nil || m.Dec == nil || m.Out == nil {
+		return fmt.Errorf("nn: seq2seq missing components or bad warmup")
+	}
+	if err := m.Enc.validate(); err != nil {
+		return err
+	}
+	if err := m.Dec.validate(); err != nil {
+		return err
+	}
+	if err := m.Out.validate(); err != nil {
+		return err
+	}
+	H := m.Enc.HiddenSize
+	if m.Enc.InputSize != m.D || m.Dec.InputSize != m.D || m.Dec.HiddenSize != H ||
+		m.Out.InputSize != H || m.Out.OutputSize != m.D {
+		return fmt.Errorf("nn: seq2seq shape mismatch")
+	}
+	return nil
+}
+
+func (m *Seq2Seq) params() []Param {
+	return append(append(m.Enc.params(), m.Dec.params()...), m.Out.params()...)
+}
+
+func (m *Seq2Seq) newGrads() reconGrads {
+	return &encDecGrads{enc: newLSTMGrads(m.Enc), dec: newLSTMGrads(m.Dec), out: newDenseGrads(m.Out)}
+}
+
+func (m *Seq2Seq) invalidate() {
+	m.Enc.packs.Store(nil)
+	m.Enc.wt.Store(nil)
+	m.Dec.packs.Store(nil)
+	m.Dec.wt.Store(nil)
+	m.Out.pack.Store(nil)
+}
+
+// forwardBackward runs one window through the predictor, accumulates
+// gradients of the mean-squared prediction error into g (backpropagating
+// through the free-running feedback path), and returns the window's loss.
+func (m *Seq2Seq) forwardBackward(x []float64, g reconGrads) float64 {
+	sg := g.(*encDecGrads)
+	H := m.Enc.HiddenSize
+	T, D, W := m.T, m.D, m.Warm
+
+	encCaches := make([]*lstmStepCache, W)
+	h := make([]float64, H)
+	c := make([]float64, H)
+	for t := 0; t < W; t++ {
+		cache := m.Enc.stepForward(x[t*D:(t+1)*D], h, c)
+		encCaches[t] = cache
+		h, c = cache.h, cache.c
+	}
+
+	decCaches := make([]*lstmStepCache, T)
+	preds := make([][]float64, T)
+	hd, cd := h, c
+	u := x[(W-1)*D : W*D]
+	var loss float64
+	for t := W; t < T; t++ {
+		cache := m.Dec.stepForward(u, hd, cd)
+		decCaches[t] = cache
+		hd, cd = cache.h, cache.c
+		pred := make([]float64, D)
+		m.Out.Forward(pred, cache.h)
+		preds[t] = pred
+		loss += sqErr(pred, x[t*D:(t+1)*D])
+		u = pred
+	}
+	inv := 1 / float64((T-W)*D)
+
+	dh := make([]float64, H)
+	dc := make([]float64, H)
+	dLogits := make([]float64, D)
+	dPredNext := make([]float64, D) // ∂L/∂pred_t via the t+1 input path
+	for t := T - 1; t >= W; t-- {
+		for j := 0; j < D; j++ {
+			dLogits[j] = 2*inv*(preds[t][j]-x[t*D+j]) + dPredNext[j]
+		}
+		dhOut := m.Out.Backward(dLogits, decCaches[t].h, sg.out)
+		mathx.Axpy(dh, 1, dhOut)
+		dx, dhPrev, dcPrev := m.Dec.stepBackward(decCaches[t], dh, dc, sg.dec)
+		if t > W {
+			copy(dPredNext, dx) // this step's input was pred_{t-1}
+		}
+		dh, dc = dhPrev, dcPrev
+	}
+
+	// dh/dc are now ∂L/∂(encoder final state), handed across the bridge.
+	for t := W - 1; t >= 0; t-- {
+		_, dhPrev, dcPrev := m.Enc.stepBackward(encCaches[t], dh, dc, sg.enc)
+		dh, dc = dhPrev, dcPrev
+	}
+	return loss * inv
+}
+
+// ---------------------------------------------------------------------------
+// 1D-CNN predictor
+
+// ConvNet slides K-timestep convolution filters over the window
+// (channels-last, via mathx.Conv1D), applies ReLU, and predicts the
+// frame following each window position through a shared dense head.
+// Score is the mean squared prediction error over the T-K predicted
+// frames.
+type ConvNet struct {
+	T, D, K int
+	Filters *mathx.Matrix // F × K*D
+	Bias    []float64     // F
+	Out     *Dense        // F → D
+}
+
+// NewConvNet allocates a 1D-CNN predictor with filters filters of length
+// kernel timesteps for T×D windows, deterministically initialized from
+// seed.
+func NewConvNet(t, d, kernel, filters int, seed uint64) *ConvNet {
+	rng := mathx.NewRNG(seed)
+	m := &ConvNet{
+		T:       t,
+		D:       d,
+		K:       kernel,
+		Filters: mathx.NewMatrix(filters, kernel*d),
+		Bias:    make([]float64, filters),
+	}
+	xavierInit(m.Filters, kernel*d, filters, rng)
+	m.Out = NewDense(filters, d, rng)
+	return m
+}
+
+// positions is the number of predicted frames per window.
+func (m *ConvNet) positions() int { return m.T - m.K }
+
+// InputDims returns the window shape.
+func (m *ConvNet) InputDims() (int, int) { return m.T, m.D }
+
+// ScratchLen is the scratch Score needs: the post-conv activation plane
+// plus the predicted frames.
+func (m *ConvNet) ScratchLen() int {
+	p := m.positions()
+	return p*m.Filters.Rows + p*m.D
+}
+
+// Score returns the window's mean squared prediction error.
+func (m *ConvNet) Score(x, scratch []float64) float64 {
+	P := m.positions()
+	F := m.Filters.Rows
+	conv := scratch[:P*F]
+	preds := scratch[P*F : P*F+P*m.D]
+	mathx.Conv1D(conv, m.Filters, m.Bias, x, m.D)
+	relu(conv)
+	var rbuf [8][]float64
+	rows := rbuf[:0]
+	if P > len(rbuf) {
+		rows = make([][]float64, 0, P)
+	}
+	for p := 0; p < P; p++ {
+		rows = append(rows, conv[p*F:(p+1)*F])
+	}
+	m.Out.W.MulRowsT(preds, rows)
+	var sum float64
+	for p := 0; p < P; p++ {
+		row := preds[p*m.D : (p+1)*m.D]
+		for j := range row {
+			row[j] += m.Out.B[j]
+		}
+		sum += sqErr(row, x[(p+m.K)*m.D:(p+m.K+1)*m.D])
+	}
+	return sum / float64(P*m.D)
+}
+
+// relu clamps negatives to zero in place.
+func relu(v []float64) {
+	for i, x := range v {
+		if x < 0 {
+			v[i] = 0
+		}
+	}
+}
+
+// cnnBatch is the engine-side batched CNN scorer: every position of every
+// window stacks into one conv GEMM and one head GEMM.
+type cnnBatch struct {
+	m     *ConvNet
+	conv  []float64 // maxBatch×P×F
+	preds []float64 // maxBatch×P×D
+	rows  [][]float64
+}
+
+// NewBatch allocates a batched scorer for up to maxBatch windows.
+func (m *ConvNet) NewBatch(maxBatch int) ReconBatch {
+	P := m.positions()
+	return &cnnBatch{
+		m:     m,
+		conv:  make([]float64, maxBatch*P*m.Filters.Rows),
+		preds: make([]float64, maxBatch*P*m.D),
+		rows:  make([][]float64, 0, maxBatch*P),
+	}
+}
+
+// Score scores len(xs) windows into dst, bitwise-identical to the
+// sequential Score per window.
+func (b *cnnBatch) Score(dst []float64, xs [][]float64) {
+	m := b.m
+	P := m.positions()
+	F := m.Filters.Rows
+	n := len(xs)
+	conv := b.conv[:n*P*F]
+	preds := b.preds[:n*P*m.D]
+	mathx.Conv1DBatch(conv, m.Filters, m.Bias, xs, m.D, P, b.rows)
+	relu(conv)
+	rows := b.rows[:0]
+	for r := 0; r < n*P; r++ {
+		rows = append(rows, conv[r*F:(r+1)*F])
+	}
+	m.Out.W.MulRowsT(preds, rows)
+	for i := 0; i < n; i++ {
+		var sum float64
+		for p := 0; p < P; p++ {
+			row := preds[(i*P+p)*m.D : (i*P+p+1)*m.D]
+			for j := range row {
+				row[j] += m.Out.B[j]
+			}
+			sum += sqErr(row, xs[i][(p+m.K)*m.D:(p+m.K+1)*m.D])
+		}
+		dst[i] = sum / float64(P*m.D)
+	}
+}
+
+// Validate reports structural corruption after deserialization.
+func (m *ConvNet) Validate() error {
+	if m.T <= 0 || m.D <= 0 || m.K <= 0 || m.K >= m.T || m.Filters == nil || m.Out == nil {
+		return fmt.Errorf("nn: convnet missing components or bad kernel")
+	}
+	if m.Filters.Cols != m.K*m.D || m.Filters.Rows <= 0 || len(m.Bias) != m.Filters.Rows {
+		return fmt.Errorf("nn: convnet filter shape mismatch")
+	}
+	if err := m.Out.validate(); err != nil {
+		return err
+	}
+	if m.Out.InputSize != m.Filters.Rows || m.Out.OutputSize != m.D {
+		return fmt.Errorf("nn: convnet head shape mismatch")
+	}
+	return nil
+}
+
+func (m *ConvNet) params() []Param {
+	return append([]Param{
+		{Name: "Filters", Data: m.Filters.Data},
+		{Name: "Bias", Data: m.Bias},
+	}, m.Out.params()...)
+}
+
+// convGrads accumulates gradients matching ConvNet.params() order.
+type convGrads struct {
+	dW  *mathx.Matrix
+	dB  []float64
+	out *denseGrads
+}
+
+func (g *convGrads) slices() [][]float64 {
+	return append([][]float64{g.dW.Data, g.dB}, g.out.slices()...)
+}
+
+func (g *convGrads) zero() {
+	for _, s := range g.slices() {
+		mathx.Fill(s, 0)
+	}
+}
+
+func (m *ConvNet) newGrads() reconGrads {
+	return &convGrads{
+		dW:  mathx.NewMatrix(m.Filters.Rows, m.Filters.Cols),
+		dB:  make([]float64, len(m.Bias)),
+		out: newDenseGrads(m.Out),
+	}
+}
+
+func (m *ConvNet) invalidate() {
+	m.Out.pack.Store(nil)
+}
+
+// forwardBackward runs one window through the CNN, accumulates gradients
+// of the mean-squared prediction error into g, and returns the window's
+// loss.
+func (m *ConvNet) forwardBackward(x []float64, g reconGrads) float64 {
+	cg := g.(*convGrads)
+	P := m.positions()
+	F := m.Filters.Rows
+	D := m.D
+
+	acts := make([][]float64, P)
+	preds := make([][]float64, P)
+	var loss float64
+	for p := 0; p < P; p++ {
+		win := x[p*D : p*D+m.K*D]
+		a := make([]float64, F)
+		m.Filters.MulVec(a, win)
+		for f := 0; f < F; f++ {
+			a[f] += m.Bias[f]
+		}
+		relu(a)
+		acts[p] = a
+		pred := make([]float64, D)
+		m.Out.Forward(pred, a)
+		preds[p] = pred
+		loss += sqErr(pred, x[(p+m.K)*D:(p+m.K+1)*D])
+	}
+	inv := 1 / float64(P*D)
+
+	dLogits := make([]float64, D)
+	for p := 0; p < P; p++ {
+		tgt := x[(p+m.K)*D : (p+m.K+1)*D]
+		for j := 0; j < D; j++ {
+			dLogits[j] = 2 * inv * (preds[p][j] - tgt[j])
+		}
+		dA := m.Out.Backward(dLogits, acts[p], cg.out)
+		for f := 0; f < F; f++ {
+			if acts[p][f] <= 0 { // ReLU inactive: no gradient
+				dA[f] = 0
+			}
+		}
+		cg.dW.AddOuter(1, dA, x[p*D:p*D+m.K*D])
+		for f := 0; f < F; f++ {
+			cg.dB[f] += dA[f]
+		}
+	}
+	return loss * inv
+}

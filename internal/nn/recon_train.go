@@ -1,0 +1,108 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"icsdetect/internal/mathx"
+)
+
+// ReconTrainConfig controls TrainRecon. The zero value selects the
+// defaults below.
+type ReconTrainConfig struct {
+	// Epochs is the number of passes over the sample set (default 20).
+	Epochs int
+	// BatchSize is the minibatch width (default 32).
+	BatchSize int
+	// LR is the Adam learning rate (default 1e-3).
+	LR float64
+	// ClipNorm is the global gradient-norm clip (default 5; <0 disables).
+	ClipNorm float64
+	// Seed drives the shuffle order (deterministic training).
+	Seed uint64
+}
+
+func (c *ReconTrainConfig) defaults() {
+	if c.Epochs <= 0 {
+		c.Epochs = 20
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 32
+	}
+	if c.LR <= 0 {
+		c.LR = 1e-3
+	}
+	if c.ClipNorm == 0 {
+		c.ClipNorm = 5
+	}
+}
+
+// TrainRecon fits a reconstruction network to normal-traffic window
+// samples by minibatch Adam on the mean-squared reconstruction error,
+// mirroring the classifier trainer's discipline: deterministic shuffle
+// from the seed, per-batch gradient averaging with a global-norm clip,
+// and inference-cache invalidation after every optimizer step. It
+// returns the final epoch's mean loss.
+func TrainRecon(net ReconNet, samples [][]float64, cfg ReconTrainConfig) (float64, error) {
+	cfg.defaults()
+	if len(samples) == 0 {
+		return 0, fmt.Errorf("nn: no samples to train reconstruction network")
+	}
+	t, d := net.InputDims()
+	for i, s := range samples {
+		if len(s) != t*d {
+			return 0, fmt.Errorf("nn: sample %d has %d values, want %d×%d", i, len(s), t, d)
+		}
+	}
+	rng := mathx.NewRNG(cfg.Seed)
+	opt := NewAdam(cfg.LR)
+	params := net.params()
+	g := net.newGrads()
+	idx := make([]int, len(samples))
+	for i := range idx {
+		idx[i] = i
+	}
+	var epochLoss float64
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		var sum float64
+		for start := 0; start < len(idx); start += cfg.BatchSize {
+			end := start + cfg.BatchSize
+			if end > len(idx) {
+				end = len(idx)
+			}
+			g.zero()
+			for _, k := range idx[start:end] {
+				sum += net.forwardBackward(samples[k], g)
+			}
+			scaleAndClip(g.slices(), 1/float64(end-start), cfg.ClipNorm)
+			if err := opt.Step(params, g.slices()); err != nil {
+				return 0, err
+			}
+			net.invalidate()
+		}
+		epochLoss = sum / float64(len(idx))
+	}
+	return epochLoss, nil
+}
+
+// scaleAndClip averages the accumulated gradients by scale, then applies
+// a global-norm clip — the same discipline as GradBuffer.ClipAndScale.
+func scaleAndClip(grads [][]float64, scale, clipNorm float64) {
+	var norm float64
+	for _, s := range grads {
+		for i := range s {
+			s[i] *= scale
+			norm += s[i] * s[i]
+		}
+	}
+	norm = math.Sqrt(norm)
+	if clipNorm > 0 && norm > clipNorm {
+		k := clipNorm / norm
+		for _, s := range grads {
+			for i := range s {
+				s[i] *= k
+			}
+		}
+	}
+}

@@ -1,0 +1,161 @@
+// Package recon registers the reconstruction-error detection stages: an
+// LSTM autoencoder, a seq2seq predictor (after arXiv:1911.04831) and a
+// 1D-CNN predictor (after arXiv:1806.08110). Unlike every signature
+// stage, these score the standardized continuous register sample of each
+// command-response cycle (the same WindowStage cycle slicing the
+// promoted baselines use) by reconstruction/prediction error, thresholded
+// at the (1−StageTheta) validation-error quantile — widening the stack to
+// attacks that preserve the signature vocabulary but distort the physics.
+//
+// Importing this package (blank import) activates the "ae", "seq2seq"
+// and "cnn" stage kinds in the core registry, so `-levels bloom,lstm,ae`
+// composes them with every other level under any fusion policy.
+package recon
+
+import (
+	"fmt"
+
+	"icsdetect/internal/baselines"
+	"icsdetect/internal/core"
+	"icsdetect/internal/dataset"
+	"icsdetect/internal/nn"
+)
+
+// Default architecture hyperparameters, sized so training stays a small
+// fraction of the signature levels' cost at dataset scale while leaving
+// enough capacity for the 4×17 window samples.
+const (
+	defaultHidden  = 32 // LSTM hidden width (autoencoder, seq2seq)
+	defaultKernel  = 2  // CNN filter length in timesteps
+	defaultFilters = 32 // CNN filter count
+)
+
+// featureDim is the per-timestep feature width of a window sample.
+const featureDim = baselines.SampleDim / baselines.WindowSize
+
+// Model is the trained model of one reconstruction stage: the network,
+// the standardizer its samples were fitted with, and the decision
+// threshold (scores strictly above it flag the window).
+type Model struct {
+	Std       *baselines.Standardizer
+	Threshold float64
+	Net       nn.ReconNet
+}
+
+// reconKind describes one registered reconstruction stage.
+type reconKind struct {
+	kind  string
+	level core.Level
+	fresh func(seed uint64) nn.ReconNet
+}
+
+var reconKinds = []reconKind{
+	{core.LevelAE.String(), core.LevelAE, func(seed uint64) nn.ReconNet {
+		return nn.NewAutoEncoder(baselines.WindowSize, featureDim, defaultHidden, seed)
+	}},
+	{core.LevelSeq2Seq.String(), core.LevelSeq2Seq, func(seed uint64) nn.ReconNet {
+		return nn.NewSeq2Seq(baselines.WindowSize, featureDim, baselines.WindowSize/2, defaultHidden, seed)
+	}},
+	{core.LevelCNN.String(), core.LevelCNN, func(seed uint64) nn.ReconNet {
+		return nn.NewConvNet(baselines.WindowSize, featureDim, defaultKernel, defaultFilters, seed)
+	}},
+}
+
+// Kinds lists the registered reconstruction stage kinds in registration
+// order.
+func Kinds() []string {
+	kinds := make([]string, 0, len(reconKinds))
+	for _, rk := range reconKinds {
+		kinds = append(kinds, rk.kind)
+	}
+	return kinds
+}
+
+// scorer adapts a trained ReconNet to the baselines scorer interfaces so
+// WindowStage serves it on both the sequential per-stream path
+// (ScoreVector through per-stream scratch) and the engine's batched
+// Check precompute (NewScoreBatch).
+type scorer struct {
+	kind string
+	net  nn.ReconNet
+}
+
+var _ baselines.BatchVectorScorer = (*scorer)(nil)
+
+func (s *scorer) Name() string { return s.kind }
+
+func (s *scorer) Score(w *baselines.Window) float64 {
+	return s.net.Score(w.Sample, make([]float64, s.net.ScratchLen()))
+}
+
+func (s *scorer) ScratchLen() int { return s.net.ScratchLen() }
+
+func (s *scorer) ScoreVector(x, scratch []float64) float64 { return s.net.Score(x, scratch) }
+
+func (s *scorer) NewScoreBatch(maxBatch int) baselines.ScoreBatch { return s.net.NewBatch(maxBatch) }
+
+func init() {
+	for _, rk := range reconKinds {
+		rk := rk
+		core.RegisterStage(rk.kind, core.StageFactory{
+			Build: func(fw *core.Framework, _ core.StageSpec) (core.StageDetector, error) {
+				m, ok := fw.Extra[rk.kind].(*Model)
+				if !ok {
+					return nil, fmt.Errorf("no trained %s stage model in the framework "+
+						"(train it with TrainStages / icstrain -levels)", rk.kind)
+				}
+				wz := baselines.NewWindowizerWith(fw.Encoder, m.Std)
+				return baselines.NewWindowStage(rk.kind, rk.level, wz, &scorer{kind: rk.kind, net: m.Net}, m.Threshold), nil
+			},
+			Train: func(fw *core.Framework, split *dataset.Split, seed uint64) (core.StageModel, error) {
+				return trainModel(fw, split, rk, seed)
+			},
+			Encode: func(m core.StageModel) ([]byte, error) {
+				rm, ok := m.(*Model)
+				if !ok {
+					return nil, fmt.Errorf("recon: %s stage model has type %T", rk.kind, m)
+				}
+				return encodeModel(rm)
+			},
+			Decode: func(b []byte) (core.StageModel, error) {
+				return decodeModel(b)
+			},
+		})
+	}
+}
+
+// trainModel fits one reconstruction stage from the framework's training
+// split: windows are built with the framework's own discretizer-backed
+// windowizer (the same feature view as every promoted level), the
+// network trains on the normal-traffic window samples, and the threshold
+// is the (1−StageTheta) quantile of the validation window scores — the
+// shared held-out-θ rule.
+func trainModel(fw *core.Framework, split *dataset.Split, rk reconKind, seed uint64) (*Model, error) {
+	wz, err := baselines.NewWindowizer(fw.Encoder, split.Train)
+	if err != nil {
+		return nil, err
+	}
+	train := wz.FromFragments(split.Train)
+	if len(train) == 0 {
+		return nil, fmt.Errorf("recon: no training windows for %s stage", rk.kind)
+	}
+	net := rk.fresh(seed)
+	if _, err := nn.TrainRecon(net, baselines.Samples(train), nn.ReconTrainConfig{Seed: seed}); err != nil {
+		return nil, fmt.Errorf("recon: training %s stage: %w", rk.kind, err)
+	}
+	held := wz.FromFragments(split.Validation)
+	if len(held) == 0 {
+		held = train
+	}
+	sc := &scorer{kind: rk.kind, net: net}
+	scratch := make([]float64, net.ScratchLen())
+	scores := make([]float64, len(held))
+	for i, w := range held {
+		scores[i] = sc.ScoreVector(w.Sample, scratch)
+	}
+	return &Model{
+		Std:       wz.Std(),
+		Threshold: baselines.QuantileThreshold(scores, 1-baselines.StageTheta),
+		Net:       net,
+	}, nil
+}

@@ -67,6 +67,33 @@ func (h *hub) remove(sub *subscriber) {
 	h.mu.Unlock()
 }
 
+// abandon detaches a subscriber whose connection failed mid-write and
+// re-counts the events still queued behind the failure: they were counted
+// delivered when publish enqueued them, but they will never reach the
+// wire, so each one moves from delivered to drops — keeping both the
+// drops+delivered conservation invariant and the close contract ("on the
+// wire or counted as drops") honest. Once remove returns no publisher can
+// enqueue (publish holds the hub mutex the whole pass), so the
+// non-blocking drain below observes the final queue; a concurrent
+// hub.close may have closed the channel already, which the drain treats
+// as end of queue.
+func (h *hub) abandon(sub *subscriber) {
+	h.remove(sub)
+	for {
+		select {
+		case _, ok := <-sub.ch:
+			if !ok {
+				return
+			}
+			sub.drops.Add(1)
+			h.drops.Add(1)
+			h.delivered.Add(^uint64(0))
+		default:
+			return
+		}
+	}
+}
+
 // publish encodes one result and enqueues it to every subscriber,
 // dropping (and counting) for subscribers whose buffer is full. It is
 // called from shard worker goroutines: per-stream event order is
@@ -95,12 +122,12 @@ func (h *hub) write(sub *subscriber) {
 	bw := bufio.NewWriter(sub.conn)
 	for b := range sub.ch {
 		if _, err := bw.Write(b); err != nil {
-			h.remove(sub)
+			h.abandon(sub)
 			return
 		}
 		if len(sub.ch) == 0 {
 			if err := bw.Flush(); err != nil {
-				h.remove(sub)
+				h.abandon(sub)
 				return
 			}
 		}

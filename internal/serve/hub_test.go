@@ -132,6 +132,90 @@ func TestHubSubscriberErrorRemoves(t *testing.T) {
 	}
 }
 
+// wedgedConn is a net.Conn whose Write signals entry, parks until the
+// connection is released, and fails from then on — the shape of a peer
+// that stops acking and then resets mid-stream.
+type wedgedConn struct {
+	entered   chan struct{}
+	release   chan struct{}
+	enterOnce sync.Once
+	closeOnce sync.Once
+}
+
+func newWedgedConn() *wedgedConn {
+	return &wedgedConn{entered: make(chan struct{}), release: make(chan struct{})}
+}
+
+func (c *wedgedConn) Write(b []byte) (int, error) {
+	c.enterOnce.Do(func() { close(c.entered) })
+	<-c.release
+	return 0, fmt.Errorf("write to wedged peer")
+}
+
+func (c *wedgedConn) Read(b []byte) (int, error) { <-c.release; return 0, io.EOF }
+func (c *wedgedConn) Close() error {
+	c.closeOnce.Do(func() { close(c.release) })
+	return nil
+}
+func (c *wedgedConn) LocalAddr() net.Addr                { return nil }
+func (c *wedgedConn) RemoteAddr() net.Addr               { return nil }
+func (c *wedgedConn) SetDeadline(t time.Time) error      { return nil }
+func (c *wedgedConn) SetReadDeadline(t time.Time) error  { return nil }
+func (c *wedgedConn) SetWriteDeadline(t time.Time) error { return nil }
+
+// TestHubWriterErrorDrainsQueue: when a subscriber's connection fails
+// mid-write, the events still queued behind the failure were counted
+// delivered but will never reach the wire — the writer must re-count
+// them as drops on its way out, or the documented conservation invariant
+// (delivered + drops = publishes × subscribers) silently breaks. This is
+// the regression test for the writer-error path abandoning sub.ch
+// without draining it.
+func TestHubWriterErrorDrainsQueue(t *testing.T) {
+	h := newHub(8)
+	conn := newWedgedConn()
+	if !h.add(conn) {
+		t.Fatal("add")
+	}
+
+	// First event: the writer dequeues it, the queue runs dry, and the
+	// flush parks inside conn.Write.
+	h.publish(testEvent("s", 0))
+	select {
+	case <-conn.entered:
+	case <-time.After(5 * time.Second):
+		t.Fatal("writer never reached the connection write")
+	}
+
+	// Three more events queue up behind the parked writer, all counted
+	// delivered at publish time.
+	const queued = 3
+	for i := 1; i <= queued; i++ {
+		h.publish(testEvent("s", uint64(i)))
+	}
+	if d := h.delivered.Load(); d != 1+queued {
+		t.Fatalf("delivered = %d before failure, want %d", d, 1+queued)
+	}
+
+	// Release the connection: the parked flush fails and the writer exits.
+	conn.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for h.count() != 0 || h.drops.Load() != queued {
+		if time.Now().After(deadline) {
+			t.Fatalf("after writer error: drops = %d, delivered = %d, want %d queued events re-counted as drops",
+				h.drops.Load(), h.delivered.Load(), queued)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if d := h.delivered.Load(); d != 1 {
+		t.Errorf("delivered = %d after drain, want 1 (only the event that reached the writer)", d)
+	}
+	// Conservation: 4 publishes × 1 subscriber.
+	if got := h.delivered.Load() + h.drops.Load(); got != 1+queued {
+		t.Errorf("delivered+drops = %d, want %d", got, 1+queued)
+	}
+	h.close(time.Second)
+}
+
 // TestHubAddAfterClose: add on a closed hub reports failure so the caller
 // closes the connection instead of leaking it.
 func TestHubAddAfterClose(t *testing.T) {

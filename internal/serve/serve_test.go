@@ -608,3 +608,60 @@ func TestServeConcurrentLifecycle(t *testing.T) {
 		t.Errorf("HandlerPanics = %d", st.HandlerPanics)
 	}
 }
+
+// TestServeIdleTimeoutReleasesWedgedStream: a live-mode peer that
+// completes the handshake — claiming a stream ID, an engine stream and a
+// handler goroutine — and then goes silent must be dropped once
+// Config.IdleTimeout expires: the connection closes, the engine stream is
+// released, and the stream ID can be claimed again. This is the
+// regression test for the half-open-peer leak: without an idle read
+// deadline the wedged connection held all three forever.
+func TestServeIdleTimeoutReleasesWedgedStream(t *testing.T) {
+	corpora := loadCorpora(t)
+	srv, ingest, _ := newTestServer(t, serve.Config{
+		Models: []serve.Model{{
+			Name: "gaspipeline", Framework: corpora[0].fw, Registers: gaspipeline.Registers(),
+		}},
+		IdleTimeout: 150 * time.Millisecond,
+	}, corpora[:1])
+	base := srv.Engine().Stats().ActiveStreams()
+
+	conn, err := serve.DialLive(ingest, serve.ReplayOptions{Stream: "wedge"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	// One frame after the handshake: the deadline re-arms on every read,
+	// so an active peer is never cut off — only the silence that follows.
+	f := &modbus.TCPFrame{
+		Header: modbus.MBAPHeader{TransactionID: 1, UnitID: 4},
+		PDU:    modbus.ReadRequest(modbus.FuncReadHoldingRegisters, 0, 8),
+	}
+	if err := modbus.WriteTCPFrame(conn, f); err != nil {
+		t.Fatal(err)
+	}
+
+	// Go silent. The server must notice on its own — the client never
+	// closes — and release the connection slot and the engine stream.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st := srv.Stats()
+		if st.ActiveConns == 0 && srv.Engine().Stats().ActiveStreams() == base {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("wedged live peer still holds conns=%d extra-streams=%d after idle timeout",
+				st.ActiveConns, srv.Engine().Stats().ActiveStreams()-base)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// The stream ID is free again: a second claim, which the
+	// duplicate-stream guard rejects while the first holds it, succeeds.
+	conn2, err := serve.DialLive(ingest, serve.ReplayOptions{Stream: "wedge"})
+	if err != nil {
+		t.Fatalf("re-claim released stream: %v", err)
+	}
+	conn2.Close()
+}

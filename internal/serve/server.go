@@ -47,6 +47,14 @@ type Config struct {
 	// DrainGrace bounds how long Shutdown waits for ingest connections to
 	// finish before force-closing them. Default: 5s.
 	DrainGrace time.Duration
+	// IdleTimeout, when positive, bounds how long an ingest connection may
+	// go without delivering a byte before the server gives up on it. A
+	// half-open live-mode peer (silent TCP, no FIN) would otherwise hold
+	// its claimed stream ID, its engine stream state and its handler
+	// goroutine forever; on expiry the connection closes and the stream
+	// releases like any other disconnect. Zero disables the deadline
+	// (replay feeds from slow storage may legitimately stall).
+	IdleTimeout time.Duration
 	// OnResult, when non-nil, observes every classified result before it
 	// is fanned out to subscribers — a test and embedding hook, called on
 	// shard goroutines under the engine Handler contract.
@@ -262,6 +270,11 @@ func (s *Server) releaseStream(stream string) {
 // then pump frames into the engine until EOF.
 func (s *Server) serveIngest(conn net.Conn) {
 	defer conn.Close()
+	if s.cfg.IdleTimeout > 0 {
+		// Wrap before the buffered reader so every read on the connection —
+		// handshake, replay records, live frames — re-arms the deadline.
+		conn = &idleConn{Conn: conn, timeout: s.cfg.IdleTimeout}
+	}
 	br := bufio.NewReader(conn)
 	h, err := readHello(br)
 	if err != nil {
@@ -534,6 +547,22 @@ func (s *Server) Shutdown() error {
 	err := s.eng.Stop()
 	s.hub.close(s.cfg.DrainGrace)
 	return err
+}
+
+// idleConn arms a fresh read deadline before every Read, so the deadline
+// measures inactivity, not total connection lifetime. When the peer goes
+// silent past the timeout the read fails with a timeout error and the
+// handler unwinds through its usual release path.
+type idleConn struct {
+	net.Conn
+	timeout time.Duration
+}
+
+func (c *idleConn) Read(b []byte) (int, error) {
+	if err := c.Conn.SetReadDeadline(time.Now().Add(c.timeout)); err != nil {
+		return 0, err
+	}
+	return c.Conn.Read(b)
 }
 
 // putUvarint is binary.PutUvarint without the import-side dependency

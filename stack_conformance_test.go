@@ -52,8 +52,9 @@ func loadStackFixture(t testing.TB) *stackFixture {
 				return err
 			}
 			// Stage models for every level the composed stacks below use,
-			// trained from the same dataset path as the framework itself.
-			spec, err := icsdetect.ParseStack("bloom,pca,gmm,lstm", "majority")
+			// trained from the same dataset path as the framework itself —
+			// including the reconstruction-error family (ae, seq2seq, cnn).
+			spec, err := icsdetect.ParseStack("bloom,pca,gmm,lstm,ae,seq2seq,cnn", "majority")
 			if err != nil {
 				return err
 			}
@@ -156,6 +157,87 @@ func TestStackConformance(t *testing.T) {
 		}
 		if stats.ByLevel[icsdetect.LevelPCA] == 0 {
 			t.Log("note: PCA level never decided a verdict on this stream")
+		}
+	})
+}
+
+// TestStackConformanceRecon: a stack carrying all three reconstruction
+// stages (LSTM autoencoder, seq2seq predictor, 1D-CNN) under majority
+// fusion must produce bitwise-identical verdicts through the sequential
+// session and the batched engine on every kernel tier — interleaved
+// streams force the recon stages' batched window scoring (Conv1D /
+// LSTM-step GEMM kernels) to actually run at width > 1.
+func TestStackConformanceRecon(t *testing.T) {
+	fx := loadStackFixture(t)
+	spec, err := icsdetect.ParseStack("bloom,lstm,ae,seq2seq,cnn", "majority")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs := fx.split.Test
+	if len(pkgs) > 600 {
+		pkgs = pkgs[:600]
+	}
+
+	forEachKernelTier(t, func(t *testing.T) {
+		want := sequentialStackVerdicts(t, fx, spec, pkgs)
+
+		const streams = 6
+		var mu sync.Mutex
+		got := make(map[string][]icsdetect.Verdict, streams)
+		eng, err := icsdetect.NewEngine(fx.det, icsdetect.EngineConfig{
+			Shards: 3, MaxBatch: 8, QueueDepth: 32, Stack: spec,
+		}, func(r icsdetect.EngineResult) {
+			mu.Lock()
+			got[r.Stream] = append(got[r.Stream], r.Verdict)
+			mu.Unlock()
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range pkgs {
+			for s := 0; s < streams; s++ {
+				if err := eng.Submit(fmt.Sprintf("dev-%d", s), p); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if err := eng.Barrier(); err != nil {
+			t.Fatal(err)
+		}
+		stats := eng.Stats()
+		eng.Stop()
+
+		for s := 0; s < streams; s++ {
+			stream := fmt.Sprintf("dev-%d", s)
+			gv := got[stream]
+			if len(gv) != len(want) {
+				t.Fatalf("%s: %d verdicts for %d packages", stream, len(gv), len(want))
+			}
+			for i := range want {
+				if !gv[i].Equal(want[i]) {
+					t.Fatalf("%s package %d: engine %+v, sequential %+v", stream, i, gv[i], want[i])
+				}
+			}
+		}
+		if stats.CheckBatches == 0 {
+			t.Error("recon stack never ran a batched Check precompute pass")
+		}
+		// Every verdict under majority fusion consults all five levels:
+		// the evidence must include scored entries for each recon stage on
+		// window-closing packages.
+		var reconScored int
+		for _, v := range want {
+			for _, e := range v.Evidence {
+				switch e.Level {
+				case icsdetect.LevelAE, icsdetect.LevelSeq2Seq, icsdetect.LevelCNN:
+					if e.Scored {
+						reconScored++
+					}
+				}
+			}
+		}
+		if reconScored == 0 {
+			t.Error("no reconstruction stage ever scored a window")
 		}
 	})
 }
@@ -288,5 +370,90 @@ func TestStackConformanceFusionPolicies(t *testing.T) {
 				t.Errorf("%s fusion flagged nothing on attack-laden traffic", fusion)
 			}
 		})
+	}
+}
+
+// TestStackConformanceWatertankRecon is the detection-parity check for a
+// stack carrying a reconstruction stage on the second testbed: a freshly
+// trained water-tank model classifies its attack-laden test stream under
+// the paper stack (bloom,lstm) and under the same stack with the LSTM
+// autoencoder appended. The recon stack's MPCI/MFCI detected ratios are
+// reported and must not fall below the signature-only stack's — under
+// first-hit fusion an extra level can only add detections — nor regress
+// the corpus parity suite's floor (MPCI 0.65, MFCI 1.00).
+func TestStackConformanceWatertankRecon(t *testing.T) {
+	if testing.Short() {
+		t.Skip("watertank recon parity trains a fixture")
+	}
+	ds, err := icsdetect.GenerateDataset(icsdetect.DatasetOptions{
+		Scenario: "watertank", Packages: 6000, Seed: 41,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	split, err := icsdetect.Split(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := icsdetect.DefaultTrainOptions()
+	opts.Granularity = icsdetect.Granularity{
+		IntervalClusters: 2, CRCClusters: 2,
+		PressureBins: 5, SetpointBins: 3, PIDClusters: 4,
+	}
+	opts.Hidden = []int{16, 16}
+	opts.Fit.Epochs = 4
+	opts.Fit.BatchSize = 4
+	det, _, err := icsdetect.Train(split, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reconSpec, err := icsdetect.ParseStack("bloom,lstm,ae", "first-hit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := det.TrainStages(reconSpec, split, 41); err != nil {
+		t.Fatal(err)
+	}
+	baseSpec, err := icsdetect.ParseStack("bloom,lstm", "first-hit")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ratios := func(spec icsdetect.StackSpec) map[icsdetect.AttackType]float64 {
+		sess, err := det.NewStackSession(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		detected := make(map[icsdetect.AttackType]int)
+		total := make(map[icsdetect.AttackType]int)
+		for _, p := range split.Test {
+			v := sess.Classify(p)
+			total[p.Label]++
+			if v.Anomaly {
+				detected[p.Label]++
+			}
+		}
+		out := make(map[icsdetect.AttackType]float64)
+		for at, n := range total {
+			out[at] = float64(detected[at]) / float64(n)
+		}
+		return out
+	}
+	base, recon := ratios(baseSpec), ratios(reconSpec)
+
+	floors := map[icsdetect.AttackType]float64{icsdetect.MPCI: 0.65, icsdetect.MFCI: 1.00}
+	for _, at := range []icsdetect.AttackType{icsdetect.MPCI, icsdetect.MFCI} {
+		b, ok := base[at]
+		if !ok {
+			t.Fatalf("test stream has no %v packages", at)
+		}
+		r := recon[at]
+		t.Logf("%v: bloom,lstm %.2f, bloom,lstm,ae %.2f", at, b, r)
+		if r < b {
+			t.Errorf("%v: recon stack detected %.2f < signature-only %.2f (first-hit can only add)", at, r, b)
+		}
+		if r < floors[at] {
+			t.Errorf("%v: recon stack detected %.2f, below the corpus parity floor %.2f", at, r, floors[at])
+		}
 	}
 }
