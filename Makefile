@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build fmt vet test race race-quick conformance serve-smoke bench bench-json bench-smoke bench-stack bench-train fuzz-smoke
+.PHONY: check build fmt vet test race race-quick conformance serve-smoke bench bench-json bench-serve bench-smoke bench-stack bench-train fuzz-smoke
 
 check: fmt vet build test race-quick fuzz-smoke bench-smoke
 
@@ -80,6 +80,14 @@ bench-json:
 	$(GO) run ./cmd/icsbench -stackbench -packages 8000 -json > BENCH_STACK.json
 	$(GO) run ./cmd/icsbench -stackbench -packages 8000 -precision f32 -json > BENCH_STACK_F32.json
 	$(GO) run ./cmd/icsbench -kernelbench -json > BENCH_KERNELS.json
+	$(GO) run ./cmd/icsbench -servebench -json > BENCH_SERVE.json
+
+# Wire-to-verdict serving benchmark: a real serve.Server on loopback TCP
+# under 64 concurrent replay connections and 8 verdict subscribers, the
+# per-package admission path vs the burst path, with cross-mode verdict
+# parity enforced. Results are recorded in BENCH.md / BENCH_SERVE.json.
+bench-serve:
+	$(GO) run ./cmd/icsbench -servebench
 
 # Short coverage-guided runs of the Modbus codec fuzzers, seeded from the
 # golden corpus frames (decode→encode must stay stable, no panics on
@@ -96,6 +104,7 @@ bench-smoke:
 	$(GO) test -run=NONE -bench='BenchmarkEngineThroughput/engine/shards=8/streams=256' -benchtime=50x .
 	$(GO) run ./cmd/icsbench -stackbench -packages 4000
 	$(GO) run ./cmd/icsbench -kernelbench
+	$(GO) run ./cmd/icsbench -servebench -conns 16 -records 500
 
 # Training-throughput smoke: batched vs reference gradient engine at the
 # paper's 2x256 model scale (proves the bitwise equivalence untimed, then

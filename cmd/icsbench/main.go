@@ -10,6 +10,7 @@
 //	icsbench -stackbench [-packages N] [-levels pca,lstm -fusion weighted]
 //	icsbench -stackbench -precision f32 [-json]
 //	icsbench -kernelbench [-json]
+//	icsbench -servebench [-conns 64] [-records 2000] [-subs 8] [-json]
 //
 // -full runs at the original dataset's scale with the paper's 2×256 LSTM
 // (slow); the default runs a scaled configuration that preserves every
@@ -26,10 +27,17 @@
 // in BENCH.md. -kernelbench microbenchmarks the inference kernels
 // themselves — dense vs one-hot step, sequential vs batched, and the
 // vectorized activations, at both f64 and f32 — under each kernel tier
-// (scalar, AVX2, AVX-512). -json emits the -stackbench/-kernelbench
-// results as a machine-readable JSON document on stdout (progress moves
-// to stderr); `make bench-json` records them as BENCH_STACK.json and
-// BENCH_KERNELS.json.
+// (scalar, AVX2, AVX-512). -servebench measures the wire-to-verdict
+// serving path end to end: a real serve.Server on loopback TCP, -conns
+// concurrent replay connections of -records each fanning out to -subs
+// verdict subscribers, first over the per-package admission path and then
+// over the burst path, reporting pkg/s, verdict latency percentiles, and
+// the burst speedup (verdicts are cross-checked byte for byte between the
+// modes). -json emits the
+// -stackbench/-kernelbench/-servebench results as a machine-readable JSON
+// document on stdout (progress moves to stderr); `make bench-json`
+// records them as BENCH_STACK.json, BENCH_KERNELS.json and
+// BENCH_SERVE.json.
 package main
 
 import (
@@ -70,10 +78,15 @@ func run() error {
 		trainB   = flag.Bool("trainbench", false, "benchmark batched vs reference training at paper scale and exit")
 		stackB   = flag.Bool("stackbench", false, "benchmark detection stacks (per-level time share + throughput) and exit")
 		kernelB  = flag.Bool("kernelbench", false, "microbenchmark the inference kernels (dense vs one-hot × precisions × kernel tiers) and exit")
-		levels   = flag.String("levels", "", "with -stackbench: additionally bench this custom stack")
-		fusion   = flag.String("fusion", "", "with -stackbench: fusion policy of the -levels custom stack")
+		serveB   = flag.Bool("servebench", false, "benchmark the wire-to-verdict serving path (per-package vs burst admission over loopback TCP) and exit")
+		conns    = flag.Int("conns", 64, "with -servebench: concurrent replay connections")
+		records  = flag.Int("records", 2000, "with -servebench: records replayed per connection")
+		subs     = flag.Int("subs", 8, "with -servebench: verdict subscribers the hub fans out to")
+		testdata = flag.String("testdata", "testdata/traces", "with -servebench: committed corpus dir holding model.fw (trains a model when absent)")
+		levels   = flag.String("levels", "", "with -stackbench/-servebench: bench this custom stack")
+		fusion   = flag.String("fusion", "", "with -stackbench/-servebench: fusion policy of the -levels custom stack")
 		prec     = flag.String("precision", "", "with -stackbench: numeric tier to bench, f64 (default) or f32")
-		jsonOut  = flag.Bool("json", false, "with -stackbench/-kernelbench: emit results as JSON on stdout")
+		jsonOut  = flag.Bool("json", false, "with -stackbench/-kernelbench/-servebench: emit results as JSON on stdout")
 	)
 	flag.Parse()
 
@@ -86,8 +99,11 @@ func run() error {
 	if *kernelB {
 		return runKernelBench(*jsonOut)
 	}
+	if *serveB {
+		return runServeBench(*testdata, *conns, *records, *subs, *levels, *fusion, *jsonOut)
+	}
 	if *jsonOut {
-		return fmt.Errorf("-json applies to -stackbench and -kernelbench")
+		return fmt.Errorf("-json applies to -stackbench, -kernelbench and -servebench")
 	}
 	if *prec != "" {
 		return fmt.Errorf("-precision applies to -stackbench")
@@ -268,13 +284,14 @@ type kernelResult struct {
 	NsPerOp   float64 `json:"ns_per_op"`
 }
 
-// benchDoc is the -json document: exactly one of Stacks/Kernels is set,
-// named by Benchmark.
+// benchDoc is the -json document: exactly one of Stacks/Kernels/Serve is
+// set, named by Benchmark.
 type benchDoc struct {
-	Benchmark string         `json:"benchmark"`
-	Packages  int            `json:"packages,omitempty"`
-	Stacks    []stackResult  `json:"stacks,omitempty"`
-	Kernels   []kernelResult `json:"kernels,omitempty"`
+	Benchmark string            `json:"benchmark"`
+	Packages  int               `json:"packages,omitempty"`
+	Stacks    []stackResult     `json:"stacks,omitempty"`
+	Kernels   []kernelResult    `json:"kernels,omitempty"`
+	Serve     *serveBenchResult `json:"serve,omitempty"`
 }
 
 func writeJSON(doc benchDoc) error {

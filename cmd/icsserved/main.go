@@ -9,8 +9,9 @@
 //	icsserved -model gaspipeline=model.bin [-model watertank=wt.bin]
 //	          [-ingest :1502] [-verdicts :1503] [-http :1504]
 //	          [-stack bloom,lstm] [-fusion first-hit] [-precision f64]
-//	          [-shards N] [-maxbatch 64] [-queue 256]
-//	          [-drain 5s] [-idle 0] [-subbuffer 1024] [-statsevery 0]
+//	          [-shards N] [-maxbatch 64] [-queue 256] [-burst 256]
+//	          [-drain 5s] [-idle 0] [-subbuffer 1024] [-subwrite 0]
+//	          [-statsevery 0]
 //
 // Each -model names a served model (name=path); the first is the default for
 // connections that name none. A model named after a registered scenario
@@ -100,9 +101,11 @@ func run() error {
 		shards     = flag.Int("shards", 0, "engine worker shards (default GOMAXPROCS)")
 		maxBatch   = flag.Int("maxbatch", 0, "micro-batch width cap (default 64)")
 		queue      = flag.Int("queue", 0, "per-shard queue depth (default 4*maxbatch)")
+		burst      = flag.Int("burst", 0, "ingest burst width: packages admitted per engine submit (default 256; 1 selects the per-package path)")
 		drain      = flag.Duration("drain", 5*time.Second, "shutdown grace for live connections")
 		idle       = flag.Duration("idle", 0, "ingest idle read deadline; a silent peer is dropped and its stream released (0 disables)")
-		subBuffer  = flag.Int("subbuffer", 0, "per-subscriber event buffer (default 1024)")
+		subBuffer  = flag.Int("subbuffer", 0, "per-subscriber frame buffer (default 1024)")
+		subWrite   = flag.Duration("subwrite", 0, "subscriber write deadline; a wedged subscriber is dropped and its queue counted as drops (0 disables)")
 		statsEvery = flag.Duration("statsevery", 0, "log interval package rates this often (0 disables)")
 		selftest   = flag.Bool("selftest", false, "run the committed-corpus smoke drill and exit")
 		testdata   = flag.String("testdata", "testdata/traces", "golden corpus root for -selftest")
@@ -115,9 +118,11 @@ func run() error {
 			MaxBatch:   *maxBatch,
 			QueueDepth: *queue,
 		},
-		DrainGrace:       *drain,
-		IdleTimeout:      *idle,
-		SubscriberBuffer: *subBuffer,
+		DrainGrace:             *drain,
+		IdleTimeout:            *idle,
+		IngestBurst:            *burst,
+		SubscriberBuffer:       *subBuffer,
+		SubscriberWriteTimeout: *subWrite,
 	}
 	if *stack != "" || *fusion != "" || *precision != "" {
 		spec, err := core.ParseStackSpec(*stack, *fusion)

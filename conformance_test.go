@@ -140,6 +140,21 @@ func TestTraceConformance(t *testing.T) {
 						if line := trace.DiffVerdicts(tc.golden, got); line != 0 {
 							t.Fatalf("engine replay drifted from goldens at line %d", line)
 						}
+
+						// Burst admission (SubmitBatch) must be verdict-invariant
+						// too; the odd width keeps bursts straddling micro-batch
+						// boundaries.
+						burst, err := trace.Replay(c.fw, tc.header, tc.records, trace.ReplayConfig{
+							Engine: &engine.Config{Shards: 3, MaxBatch: 16, QueueDepth: 32},
+							Burst:  7,
+						})
+						if err != nil {
+							t.Fatal(err)
+						}
+						got = trace.FormatVerdicts(tc.name, tc.header.Fingerprint, burst.Verdicts)
+						if line := trace.DiffVerdicts(tc.golden, got); line != 0 {
+							t.Fatalf("burst engine replay drifted from goldens at line %d", line)
+						}
 					})
 				}
 			})

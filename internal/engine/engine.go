@@ -61,6 +61,14 @@ type Config struct {
 	//
 	// Deprecated: describe the levels with Stack instead.
 	Mode core.Mode
+	// TickEnd, when non-nil, is called on the shard worker goroutine after
+	// each drained tick has been fully classified and flushed (and once
+	// more when the worker exits), with the shard index. It is the
+	// coalescing point for embedders that batch downstream work per tick —
+	// the serving daemon publishes one multi-event verdict frame per shard
+	// tick through it. Like a Handler it runs concurrently across shards
+	// and a slow callback stalls its shard.
+	TickEnd func(shard int)
 }
 
 // withDefaults fills unset fields. An invalid legacy Mode is an error, as
@@ -95,6 +103,11 @@ type Result struct {
 	Stream string
 	// Seq is the package's 0-based position within its stream.
 	Seq uint64
+	// Shard is the index of the shard worker that classified the package
+	// (fixed per stream). Handlers that batch downstream work per shard —
+	// one accumulator per shard needs no locking, because a shard calls its
+	// Handler from one goroutine — key it by this.
+	Shard int
 	// Package is the classified package.
 	Package *dataset.Package
 	// Verdict is identical to what a sequential core.Session for this
@@ -109,13 +122,21 @@ type Result struct {
 type Handler func(Result)
 
 // packet is one queued unit of work: a package of a stream (with the
-// framework that classifies it; nil means the engine default), a barrier
-// marker (barrier non-nil) that the worker acknowledges once everything
-// queued before it has been classified and flushed, or a release marker
-// (release non-nil) that drops the stream's shard state the same way.
+// framework that classifies it; nil means the engine default), a burst of
+// packages of one stream (pkgs non-nil, enqueued by the batch submit
+// paths as a single channel operation), a barrier marker (barrier
+// non-nil) that the worker acknowledges once everything queued before it
+// has been classified and flushed, or a release marker (release non-nil)
+// that drops the stream's shard state the same way.
 type packet struct {
-	stream  string
-	pkg     *dataset.Package
+	stream string
+	pkg    *dataset.Package
+	// pkgs is a burst: the stream's packages in submission order. The
+	// engine owns the slice once the packet is enqueued.
+	pkgs []*dataset.Package
+	// pos is the worker-side wave cursor: how many packages of the packet
+	// have been classified this tick (1 marks a plain pkg done).
+	pos     int
 	fw      *core.Framework
 	barrier *sync.WaitGroup
 	release *sync.WaitGroup
@@ -277,6 +298,43 @@ func (e *Engine) SubmitFor(fw *core.Framework, stream string, pkg *dataset.Packa
 	return nil
 }
 
+// SubmitBatch enqueues a burst of packages of one stream, in order, as a
+// single operation; see SubmitBatchFor.
+func (e *Engine) SubmitBatch(stream string, pkgs []*dataset.Package) error {
+	return e.SubmitBatchFor(nil, stream, pkgs)
+}
+
+// SubmitBatchFor is SubmitFor amortized over a burst: the stopped check,
+// the stack validation, the stream→framework binding and the shard
+// channel send are each paid once for the whole burst instead of once per
+// package — the serving daemon's ingest loops use it to submit every
+// record already buffered on the wire in one call. The packages are
+// classified in slice order and interleave with other submissions exactly
+// as if each had been submitted individually at the moment of the call:
+// per-stream FIFO, barrier and release ordering, and per-stream verdicts
+// are identical to the equivalent SubmitFor sequence. The engine takes
+// ownership of pkgs — the caller must not reuse or mutate the slice after
+// a successful submit. An empty burst is a no-op that binds nothing.
+// Blocking, binding and error semantics are those of SubmitFor.
+func (e *Engine) SubmitBatchFor(fw *core.Framework, stream string, pkgs []*dataset.Package) error {
+	if len(pkgs) == 0 {
+		return nil
+	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.stopped.Load() {
+		return fmt.Errorf("engine: submit after Stop")
+	}
+	if err := e.validateFor(fw, stream); err != nil {
+		return err
+	}
+	if err := e.bindStream(stream, fw); err != nil {
+		return err
+	}
+	e.shardFor(stream).in <- packet{stream: stream, pkgs: pkgs, fw: fw}
+	return nil
+}
+
 // validateFor proves once per (framework, precision) pair that a
 // non-default framework supports the engine's stack at the stream's tier.
 // The engine default was validated by New; nil means the default.
@@ -297,6 +355,10 @@ func (e *Engine) validateFor(fw *core.Framework, stream string) error {
 // StackSpec returns the engine's resolved stack spec (defaults applied):
 // what every stream's sessions run, at the configured default precision.
 func (e *Engine) StackSpec() core.StackSpec { return e.cfg.Stack }
+
+// Shards returns the number of shard workers (defaults applied) — the
+// index space of Result.Shard and Config.TickEnd.
+func (e *Engine) Shards() int { return len(e.shards) }
 
 // stackFor returns the engine's stack spec at the given numeric tier.
 func (e *Engine) stackFor(p core.Precision) core.StackSpec {
@@ -421,6 +483,56 @@ func (e *Engine) TrySubmitFor(fw *core.Framework, stream string, pkg *dataset.Pa
 	}
 }
 
+// TrySubmitBatch is SubmitBatch without blocking; see TrySubmitBatchFor.
+func (e *Engine) TrySubmitBatch(stream string, pkgs []*dataset.Package) (bool, error) {
+	return e.TrySubmitBatchFor(nil, stream, pkgs)
+}
+
+// TrySubmitBatchFor is SubmitBatchFor with TrySubmitFor's shedding
+// admission: a burst occupies one slot of the stream's shard queue, and
+// when the queue is full the whole burst is shed (reported false) —
+// all-or-nothing, so a shed never splits a burst and per-stream verdict
+// sequences stay prefixes of the full sequence per admission decision.
+// Like TrySubmitFor, a shed probe never binds a stream that carried no
+// traffic; on a successful enqueue the engine owns pkgs. An empty burst
+// reports true without enqueueing or binding anything.
+func (e *Engine) TrySubmitBatchFor(fw *core.Framework, stream string, pkgs []*dataset.Package) (bool, error) {
+	if len(pkgs) == 0 {
+		return true, nil
+	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.stopped.Load() {
+		return false, fmt.Errorf("engine: submit after Stop")
+	}
+	if err := e.validateFor(fw, stream); err != nil {
+		return false, err
+	}
+	target := fw
+	if target == nil {
+		target = e.fw
+	}
+	e.bindMu.RLock()
+	prev, bound := e.bindings[stream]
+	e.bindMu.RUnlock()
+	if bound && prev != target {
+		return false, fmt.Errorf("engine: stream %q is already bound to a different framework", stream)
+	}
+	select {
+	case e.shardFor(stream).in <- packet{stream: stream, pkgs: pkgs, fw: fw}:
+		if !bound {
+			e.bindMu.Lock()
+			if _, ok := e.bindings[stream]; !ok {
+				e.bindings[stream] = target
+			}
+			e.bindMu.Unlock()
+		}
+		return true, nil
+	default:
+		return false, nil
+	}
+}
+
 // Release drops every trace of a stream — the shard's session state plus
 // the framework and precision bindings — so the stream ID can be reused
 // with fresh recurrent state (or a different model). It enqueues a release
@@ -519,7 +631,14 @@ type shard struct {
 	// tick stamps streams seen in the current tick (precompute only covers
 	// a stream's first packet of the tick — later packets depend on state
 	// the earlier ones will move).
-	tick  uint64
+	tick uint64
+	// wave stamps streams within one wave of burst processing: a tick that
+	// contains bursts interleaves one package per stream per wave, so the
+	// micro-batch width of a multi-stream tick survives burst submission
+	// (processing a burst to completion would force a flush per package —
+	// the second package of a stream depends on the first one's queued
+	// Advance step).
+	wave  uint64
 	stats shardCounters
 }
 
@@ -551,6 +670,9 @@ type stream struct {
 	pending bool
 	// tickStamp marks the tick that already precomputed for this stream.
 	tickStamp uint64
+	// waveStamp marks the wave that already classified a package of this
+	// stream (burst interleaving; see shard.wave).
+	waveStamp uint64
 }
 
 func newShard(id int, e *Engine) *shard {
@@ -591,11 +713,15 @@ func (s *shard) batchFor(fw *core.Framework, prec core.Precision) *fwBatch {
 // run is the shard worker loop: block for one packet, drain whatever else
 // is queued into the tick buffer (bounded by the queue depth), precompute
 // the tick's batchable Check scores, classify every packet, and flush the
-// batched Advance passes before blocking again.
+// batched Advance passes before blocking again. A tick without bursts
+// takes the plain per-packet pass; one with a burst goes through
+// processBurst so cross-stream micro-batching survives. Either way the
+// tick ends with a flush and, when configured, the TickEnd callback.
 func (s *shard) run(wg *sync.WaitGroup) {
 	defer wg.Done()
 	for pkt := range s.in {
 		tick := append(s.tickBuf[:0], pkt)
+		burst := pkt.pkgs != nil
 	drain:
 		for len(tick) < cap(tick) {
 			select {
@@ -604,17 +730,106 @@ func (s *shard) run(wg *sync.WaitGroup) {
 					break drain
 				}
 				tick = append(tick, more)
+				burst = burst || more.pkgs != nil
 			default:
 				break drain
 			}
 		}
 		s.safe(func() { s.precompute(tick) })
-		for _, p := range tick {
-			s.process(p)
+		if burst {
+			s.processBurst(tick)
+		} else {
+			for _, p := range tick {
+				s.process(p)
+			}
 		}
 		s.safe(s.flush)
+		if fn := s.e.cfg.TickEnd; fn != nil {
+			s.safe(func() { fn(s.id) })
+		}
 	}
 	s.safe(s.flush)
+	if fn := s.e.cfg.TickEnd; fn != nil {
+		s.safe(func() { fn(s.id) })
+	}
+}
+
+// processBurst classifies one tick that contains at least one burst
+// packet. The tick splits into runs of package-carrying packets separated
+// by barrier/release markers: each run is fully classified before its
+// following marker is processed, so marker ordering ("everything queued
+// before") holds exactly as in the per-packet pass.
+func (s *shard) processBurst(tick []packet) {
+	for i := 0; i < len(tick); {
+		if tick[i].barrier != nil || tick[i].release != nil {
+			s.process(tick[i])
+			i++
+			continue
+		}
+		j := i + 1
+		for j < len(tick) && tick[j].barrier == nil && tick[j].release == nil {
+			j++
+		}
+		s.processRun(tick[i:j])
+		i = j
+	}
+}
+
+// processRun classifies a marker-free run of packets in waves: each wave
+// walks the run in queue order and classifies at most one package per
+// stream, so the streams of the run keep advancing together through the
+// micro-batch (one flush per wave, not one per package) while per-stream
+// order is exact — a stream's earliest non-exhausted packet always wins
+// the wave, so packages classify in submission order.
+func (s *shard) processRun(run []packet) {
+	remaining := 0
+	for i := range run {
+		if run[i].pkgs != nil {
+			remaining += len(run[i].pkgs)
+		} else {
+			remaining++
+		}
+	}
+	for remaining > 0 {
+		s.wave++
+		for i := range run {
+			p := &run[i]
+			var pkg *dataset.Package
+			if p.pkgs != nil {
+				if p.pos >= len(p.pkgs) {
+					continue
+				}
+				pkg = p.pkgs[p.pos]
+			} else {
+				if p.pos > 0 {
+					continue
+				}
+				pkg = p.pkg
+			}
+			if st := s.streams[p.stream]; st != nil && st.waveStamp == s.wave {
+				continue
+			}
+			st := s.processOne(p.stream, pkg, p.fw)
+			p.pos++
+			remaining--
+			if st != nil {
+				st.waveStamp = s.wave
+			}
+		}
+	}
+}
+
+// processOne is handleOne behind the shard's panic guard (the burst-path
+// counterpart of process): it returns the stream's state so the wave loop
+// can stamp it even when the handler panicked mid-package.
+func (s *shard) processOne(id string, pkg *dataset.Package, fw *core.Framework) (st *stream) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.recovered(r)
+			st = s.streams[id]
+		}
+	}()
+	return s.handleOne(id, pkg, fw)
 }
 
 // process runs handle behind a panic guard: a panicking Handler (or stage)
@@ -692,9 +907,15 @@ func (s *shard) precompute(tick []packet) {
 	s.tick++
 	queued := false
 	for _, pkt := range tick {
-		if pkt.pkg == nil {
-			// Barrier and release markers carry no package to score.
-			continue
+		pkg := pkt.pkg
+		if pkg == nil {
+			if len(pkt.pkgs) == 0 {
+				// Barrier and release markers carry no package to score.
+				continue
+			}
+			// Only a burst's first package is precomputable — the later
+			// ones depend on state its Advance will move.
+			pkg = pkt.pkgs[0]
 		}
 		st := s.streams[pkt.stream]
 		if st == nil || st.tickStamp == s.tick {
@@ -704,7 +925,7 @@ func (s *shard) precompute(tick []packet) {
 			continue
 		}
 		st.tickStamp = s.tick
-		st.fb.batch.QueueCheck(st.sess, pkt.pkg)
+		st.fb.batch.QueueCheck(st.sess, pkg)
 		queued = true
 	}
 	if !queued {
@@ -740,21 +961,26 @@ func (s *shard) handle(pkt packet) {
 		pkt.release.Done()
 		return
 	}
-	fw := pkt.fw
+	s.handleOne(pkt.stream, pkt.pkg, pkt.fw)
+}
+
+// handleOne classifies one package of one stream: the shared per-package
+// core of the per-packet and burst-wave paths.
+func (s *shard) handleOne(id string, pkg *dataset.Package, fw *core.Framework) *stream {
 	if fw == nil {
 		fw = s.e.fw
 	}
-	st := s.streams[pkt.stream]
+	st := s.streams[id]
 	if st == nil {
-		fb := s.batchFor(fw, s.e.precisionOf(pkt.stream))
+		fb := s.batchFor(fw, s.e.precisionOf(id))
 		st = &stream{sess: fb.stack.NewSession(), fb: fb}
-		s.streams[pkt.stream] = st
+		s.streams[id] = st
 		s.stats.streams.Add(1)
 	}
 	if st.pending || st.fb.batch.AdvanceFull() {
 		s.flush()
 	}
-	v, pc := st.sess.ClassifyOnly(pkt.pkg)
+	v, pc := st.sess.ClassifyOnly(pkg)
 	if st.fb.batch.QueueAdvance(st.sess, pc, v) {
 		st.pending = true
 		st.fb.inBatch = append(st.fb.inBatch, st)
@@ -763,9 +989,10 @@ func (s *shard) handle(pkt packet) {
 	s.stats.packages.Add(1)
 	s.stats.byLevel[levelIndex(v.Level)].Add(1)
 	if s.e.handler != nil {
-		s.e.handler(Result{Stream: pkt.stream, Seq: st.seq, Package: pkt.pkg, Verdict: v})
+		s.e.handler(Result{Stream: id, Seq: st.seq, Shard: s.id, Package: pkg, Verdict: v})
 	}
 	st.seq++
+	return st
 }
 
 // flush advances every queued stream through one batched pass per stage

@@ -31,6 +31,13 @@ type ReplayOptions struct {
 	// (0-based index) — the hook mid-replay orchestration (hot-swap
 	// drills) keys on.
 	OnRecord func(i int)
+	// FlushEvery, with OnRecord set, flushes the connection every N
+	// records instead of after every one — per-record hooks without
+	// per-record syscalls, the load-generator shape (`icsbench
+	// -servebench` stamps send times per record but writes in chunks so
+	// the server's burst path sees realistic wire batches). 0 or 1 keeps
+	// the per-record flush.
+	FlushEvery int
 }
 
 // Replay streams a recorded trace to a daemon's ingest listener and
@@ -66,14 +73,23 @@ func Replay(addr string, raw []byte, opts ReplayOptions) (uint64, error) {
 		if err != nil {
 			return 0, err
 		}
+		every := opts.FlushEvery
+		if every < 1 {
+			every = 1
+		}
 		for i, rec := range recs {
 			opts.OnRecord(i)
 			if err := tw.Write(rec); err != nil {
 				return 0, fmt.Errorf("serve: send record %d: %w", i, err)
 			}
-			if err := tw.Flush(); err != nil {
-				return 0, fmt.Errorf("serve: send record %d: %w", i, err)
+			if (i+1)%every == 0 {
+				if err := tw.Flush(); err != nil {
+					return 0, fmt.Errorf("serve: send record %d: %w", i, err)
+				}
 			}
+		}
+		if err := tw.Flush(); err != nil {
+			return 0, fmt.Errorf("serve: flush trace: %w", err)
 		}
 	}
 	// Half-close: the server sees EOF, drains, and answers the trailer.

@@ -32,8 +32,19 @@ type statsResponse struct {
 	MeanBatch float64 `json:"interval_mean_batch"`
 	// Shards is the per-shard detail (queue depths are point-in-time).
 	Shards []engine.ShardStats `json:"shards"`
-	// Server is the daemon's connection/admission/subscriber counters.
-	Server ServerStats `json:"server"`
+	// Server is the daemon's connection/admission/subscriber counters;
+	// ServerInterval is its delta since the previous scrape
+	// (ServerStats.Since), in the same window as Interval.
+	Server         ServerStats `json:"server"`
+	ServerInterval ServerStats `json:"server_interval"`
+	// MeanIngestBurst and MeanPublishBatch are the interval's amortization
+	// widths: packages per engine admission call and events per published
+	// verdict frame.
+	MeanIngestBurst  float64 `json:"interval_mean_ingest_burst"`
+	MeanPublishBatch float64 `json:"interval_mean_publish_batch"`
+	// Subscribers is the per-subscriber detail: queue depth (frames
+	// pending), capacity and drops, point-in-time.
+	Subscribers []SubscriberStats `json:"subscribers"`
 }
 
 // Handler returns the ops endpoint: GET /healthz, GET /stats (JSON, see
@@ -79,23 +90,29 @@ func (s *Server) ListenHTTP(addr string) (string, error) {
 // call opened.
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	cur := s.eng.Stats()
+	curServer := s.Stats()
 	now := time.Now()
 	s.statsMu.Lock()
-	prev, prevTime := s.lastStats, s.lastTime
-	s.lastStats, s.lastTime = cur, now
+	prev, prevServer, prevTime := s.lastStats, s.lastServer, s.lastTime
+	s.lastStats, s.lastServer, s.lastTime = cur, curServer, now
 	s.statsMu.Unlock()
 
 	delta := cur.Since(prev)
+	serverDelta := curServer.Since(prevServer)
 	window := now.Sub(prevTime)
 	resp := statsResponse{
-		Lifetime:        cur,
-		LifetimeRate:    cur.PerSecond(),
-		Interval:        delta,
-		IntervalSeconds: window.Seconds(),
-		IntervalRate:    delta.PerSecond(),
-		MeanBatch:       delta.MeanBatch(),
-		Shards:          s.eng.ShardStats(),
-		Server:          s.Stats(),
+		Lifetime:         cur,
+		LifetimeRate:     cur.PerSecond(),
+		Interval:         delta,
+		IntervalSeconds:  window.Seconds(),
+		IntervalRate:     delta.PerSecond(),
+		MeanBatch:        delta.MeanBatch(),
+		Shards:           s.eng.ShardStats(),
+		Server:           curServer,
+		ServerInterval:   serverDelta,
+		MeanIngestBurst:  serverDelta.MeanIngestBurst(),
+		MeanPublishBatch: serverDelta.MeanPublishBatch(),
+		Subscribers:      s.SubscriberStats(),
 	}
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)

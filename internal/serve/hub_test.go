@@ -16,18 +16,29 @@ import (
 
 // testEvent encodes one synthetic result as a wire event.
 func testEvent(stream string, seq uint64) []byte {
-	return appendEvent(nil, engine.Result{
+	b, _ := appendEvent(nil, nil, engine.Result{
 		Stream:  stream,
 		Seq:     seq,
 		Verdict: core.Verdict{Anomaly: seq%2 == 0, Level: 1, Signature: "sig"},
 	})
+	return b
+}
+
+// publishOne publishes one pre-encoded event as a single-event frame —
+// the per-package fan-out shape, and the granularity the conservation
+// arithmetic of these tests is written in.
+func publishOne(h *hub, b []byte) {
+	f := h.newFrame()
+	f.buf = append(f.buf, b...)
+	f.events = 1
+	h.publishFrame(f)
 }
 
 // TestHubSlowConsumerDrops: a subscriber that never reads loses events
 // (counted) without ever blocking publish, while a healthy subscriber on
 // the same hub receives everything it can drain.
 func TestHubSlowConsumerDrops(t *testing.T) {
-	h := newHub(4)
+	h := newHub(4, 0)
 
 	slowSrv, slowCli := net.Pipe() // nobody reads slowCli: writes park forever
 	defer slowCli.Close()
@@ -64,7 +75,7 @@ func TestHubSlowConsumerDrops(t *testing.T) {
 	go func() {
 		defer close(published)
 		for i := 0; i < events; i++ {
-			h.publish(testEvent(fmt.Sprintf("s-%03d", i), uint64(i)))
+			publishOne(h, testEvent(fmt.Sprintf("s-%03d", i), uint64(i)))
 		}
 	}()
 	select {
@@ -109,7 +120,7 @@ func TestHubSlowConsumerDrops(t *testing.T) {
 // removed from the hub; publishing afterwards neither blocks nor panics,
 // and close() still returns.
 func TestHubSubscriberErrorRemoves(t *testing.T) {
-	h := newHub(4)
+	h := newHub(4, 0)
 	srv, cli := net.Pipe()
 	if !h.add(srv) {
 		t.Fatal("add")
@@ -119,13 +130,13 @@ func TestHubSubscriberErrorRemoves(t *testing.T) {
 	ev := testEvent("x", 0)
 	deadline := time.Now().Add(5 * time.Second)
 	for h.count() != 0 {
-		h.publish(ev)
+		publishOne(h, ev)
 		if time.Now().After(deadline) {
 			t.Fatal("dead subscriber never removed")
 		}
 		time.Sleep(time.Millisecond)
 	}
-	h.publish(ev) // no subscribers: must not panic
+	publishOne(h, ev) // no subscribers: must not panic
 	h.close(time.Second)
 	if h.count() != 0 {
 		t.Errorf("count = %d after close", h.count())
@@ -171,7 +182,7 @@ func (c *wedgedConn) SetWriteDeadline(t time.Time) error { return nil }
 // the regression test for the writer-error path abandoning sub.ch
 // without draining it.
 func TestHubWriterErrorDrainsQueue(t *testing.T) {
-	h := newHub(8)
+	h := newHub(8, 0)
 	conn := newWedgedConn()
 	if !h.add(conn) {
 		t.Fatal("add")
@@ -179,7 +190,7 @@ func TestHubWriterErrorDrainsQueue(t *testing.T) {
 
 	// First event: the writer dequeues it, the queue runs dry, and the
 	// flush parks inside conn.Write.
-	h.publish(testEvent("s", 0))
+	publishOne(h, testEvent("s", 0))
 	select {
 	case <-conn.entered:
 	case <-time.After(5 * time.Second):
@@ -190,7 +201,7 @@ func TestHubWriterErrorDrainsQueue(t *testing.T) {
 	// delivered at publish time.
 	const queued = 3
 	for i := 1; i <= queued; i++ {
-		h.publish(testEvent("s", uint64(i)))
+		publishOne(h, testEvent("s", uint64(i)))
 	}
 	if d := h.delivered.Load(); d != 1+queued {
 		t.Fatalf("delivered = %d before failure, want %d", d, 1+queued)
@@ -216,10 +227,103 @@ func TestHubWriterErrorDrainsQueue(t *testing.T) {
 	h.close(time.Second)
 }
 
+// TestHubCoalescedFrameDelivery: a multi-event frame reaches the
+// subscriber as its individual events, in order, while the hub counters
+// account at event granularity — one publish, N published events, N
+// delivered.
+func TestHubCoalescedFrameDelivery(t *testing.T) {
+	h := newHub(4, 0)
+	srv, cli := net.Pipe()
+	if !h.add(srv) {
+		t.Fatal("add")
+	}
+
+	const events = 5
+	f := h.newFrame()
+	for i := 0; i < events; i++ {
+		f.buf, _ = appendEvent(f.buf, nil, engine.Result{
+			Stream:  "s",
+			Seq:     uint64(i),
+			Verdict: core.Verdict{Anomaly: i%2 == 0, Level: 1, Signature: "sig"},
+		})
+		f.events++
+	}
+	h.publishFrame(f)
+
+	br := bufio.NewReader(cli)
+	for i := 0; i < events; i++ {
+		ev, err := readEvent(br)
+		if err != nil {
+			t.Fatalf("event %d: %v", i, err)
+		}
+		if ev.Stream != "s" || ev.Seq != uint64(i) {
+			t.Fatalf("event %d: got %q/%d", i, ev.Stream, ev.Seq)
+		}
+	}
+	if p, pe := h.publishes.Load(), h.publishedEvents.Load(); p != 1 || pe != events {
+		t.Errorf("publishes = %d, publishedEvents = %d, want 1 and %d", p, pe, events)
+	}
+	if d := h.delivered.Load(); d != events {
+		t.Errorf("delivered = %d, want %d", d, events)
+	}
+	cli.Close()
+	h.close(time.Second)
+}
+
+// TestHubSubscriberWriteTimeout is the regression test for the wedged
+// subscriber bugfix: before SubscriberWriteTimeout existed, a peer that
+// stopped reading parked its hub writer in a blocking Write until
+// shutdown's force-close — the subscriber was never abandoned at runtime
+// and every later event just queued or dropped against a dead peer. With
+// the per-write deadline the writer fails at the deadline and the
+// subscriber is abandoned through the same hub.abandon path a broken
+// connection takes, re-counting its queued events as drops. (Run against
+// a hub built with writeTimeout 0 this test times out in the poll below —
+// the pre-fix failure mode.)
+func TestHubSubscriberWriteTimeout(t *testing.T) {
+	h := newHub(8, 50*time.Millisecond)
+	srv, cli := net.Pipe() // nobody reads cli: writes park until their deadline
+	defer cli.Close()
+	if !h.add(srv) {
+		t.Fatal("add")
+	}
+
+	// Publish steadily: the writer's first flush against the unread pipe
+	// parks for the write deadline while events pile up behind it, then
+	// fails — and the subscriber must be abandoned at runtime, well before
+	// any close(grace) force-close.
+	deadline := time.Now().Add(5 * time.Second)
+	var i uint64
+	for h.count() != 0 {
+		publishOne(h, testEvent("s", i))
+		i++
+		if time.Now().After(deadline) {
+			t.Fatal("wedged subscriber never abandoned at runtime (write deadline did not fire)")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Conservation across the abandon re-count: every event published
+	// while the subscriber was attached is either delivered (reached the
+	// writer before the failure) or dropped — at enqueue on the full
+	// queue, or re-counted when abandon drained the rest.
+	if got, want := h.delivered.Load()+h.drops.Load(), h.publishedEvents.Load(); got != want {
+		t.Errorf("delivered+drops = %d, want %d (published events)", got, want)
+	}
+	if h.drops.Load() == 0 {
+		t.Error("abandoning a wedged subscriber re-counted no drops")
+	}
+	// With the subscriber long gone, close is immediate.
+	start := time.Now()
+	h.close(10 * time.Second)
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("close took %v despite the wedged subscriber being abandoned", elapsed)
+	}
+}
+
 // TestHubAddAfterClose: add on a closed hub reports failure so the caller
 // closes the connection instead of leaking it.
 func TestHubAddAfterClose(t *testing.T) {
-	h := newHub(0)
+	h := newHub(0, 0)
 	h.close(time.Second)
 	srv, cli := net.Pipe()
 	defer srv.Close()
@@ -247,7 +351,7 @@ func TestEventRoundTrip(t *testing.T) {
 			},
 		},
 	}
-	framed := appendEvent(nil, want)
+	framed, _ := appendEvent(nil, nil, want)
 	ev, err := readEvent(bufio.NewReader(bytes.NewReader(framed)))
 	if err != nil {
 		t.Fatal(err)

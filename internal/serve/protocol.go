@@ -56,7 +56,6 @@ package serve
 
 import (
 	"bufio"
-	"bytes"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -206,9 +205,13 @@ type Event struct {
 	Verdict core.Verdict
 }
 
-// appendEvent serializes one result as a length-prefixed event.
-func appendEvent(b []byte, r engine.Result) []byte {
-	var p []byte
+// appendEvent serializes one result as a length-prefixed event. The
+// payload is staged in scratch — grown as needed and returned for reuse —
+// because the shard goroutines encode every verdict through here and a
+// fresh staging buffer per event is pure GC pressure. Pass nil when the
+// call is not hot.
+func appendEvent(b, scratch []byte, r engine.Result) ([]byte, []byte) {
+	p := scratch[:0]
 	p = appendString(p, r.Stream)
 	p = binary.AppendUvarint(p, r.Seq)
 	v := r.Verdict
@@ -236,7 +239,92 @@ func appendEvent(b []byte, r engine.Result) []byte {
 		p = binary.AppendVarint(p, int64(e.Rank))
 	}
 	b = binary.AppendUvarint(b, uint64(len(p)))
-	return append(b, p...)
+	return append(b, p...), p
+}
+
+// eventCursor decodes an event payload in place. A subscriber pays this
+// per verdict, so the cursor allocates nothing beyond the strings it
+// returns (an interposed bufio layer here once dominated subscriber CPU);
+// the first malformed field latches err and turns the rest into no-ops.
+type eventCursor struct {
+	b   []byte
+	err error
+}
+
+func (c *eventCursor) fail(what string) {
+	if c.err == nil {
+		c.err = fmt.Errorf("serve: truncated event %s", what)
+	}
+}
+
+func (c *eventCursor) uvarint(what string) uint64 {
+	if c.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(c.b)
+	if n <= 0 {
+		c.fail(what)
+		return 0
+	}
+	c.b = c.b[n:]
+	return v
+}
+
+func (c *eventCursor) varint(what string) int64 {
+	if c.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(c.b)
+	if n <= 0 {
+		c.fail(what)
+		return 0
+	}
+	c.b = c.b[n:]
+	return v
+}
+
+func (c *eventCursor) u8(what string) byte {
+	if c.err != nil {
+		return 0
+	}
+	if len(c.b) == 0 {
+		c.fail(what)
+		return 0
+	}
+	v := c.b[0]
+	c.b = c.b[1:]
+	return v
+}
+
+func (c *eventCursor) str(what string) string {
+	n := c.uvarint(what)
+	if c.err != nil {
+		return ""
+	}
+	if n > maxStringLen {
+		c.err = fmt.Errorf("serve: string of %d bytes exceeds limit", n)
+		return ""
+	}
+	if uint64(len(c.b)) < n {
+		c.fail(what)
+		return ""
+	}
+	s := string(c.b[:n])
+	c.b = c.b[n:]
+	return s
+}
+
+func (c *eventCursor) f64(what string) float64 {
+	if c.err != nil {
+		return 0
+	}
+	if len(c.b) < 8 {
+		c.fail(what)
+		return 0
+	}
+	v := math.Float64frombits(binary.BigEndian.Uint64(c.b))
+	c.b = c.b[8:]
+	return v
 }
 
 // readEvent parses the next event off a subscription stream. It returns
@@ -257,66 +345,35 @@ func readEvent(br *bufio.Reader) (Event, error) {
 	if _, err := io.ReadFull(br, payload); err != nil {
 		return ev, fmt.Errorf("serve: truncated event: %w", err)
 	}
-	pr := bufio.NewReader(bytes.NewReader(payload))
-	if ev.Stream, err = readProtoString(pr); err != nil {
-		return ev, fmt.Errorf("serve: event stream: %w", err)
-	}
-	if ev.Seq, err = binary.ReadUvarint(pr); err != nil {
-		return ev, fmt.Errorf("serve: event seq: %w", err)
-	}
-	flag, err := pr.ReadByte()
-	if err != nil {
-		return ev, fmt.Errorf("serve: event flags: %w", err)
-	}
+	c := eventCursor{b: payload}
+	ev.Stream = c.str("stream")
+	ev.Seq = c.uvarint("seq")
+	flag := c.u8("flags")
 	ev.Verdict.Anomaly = flag&1 != 0
-	level, err := binary.ReadVarint(pr)
-	if err != nil {
-		return ev, fmt.Errorf("serve: event level: %w", err)
-	}
-	ev.Verdict.Level = core.Level(level)
-	rank, err := binary.ReadVarint(pr)
-	if err != nil {
-		return ev, fmt.Errorf("serve: event rank: %w", err)
-	}
-	ev.Verdict.Rank = int(rank)
-	if ev.Verdict.Signature, err = readProtoString(pr); err != nil {
-		return ev, fmt.Errorf("serve: event signature: %w", err)
-	}
-	n, err := binary.ReadUvarint(pr)
-	if err != nil {
-		return ev, fmt.Errorf("serve: event evidence count: %w", err)
-	}
-	if n > maxEvidence {
+	ev.Verdict.Level = core.Level(c.varint("level"))
+	ev.Verdict.Rank = int(c.varint("rank"))
+	ev.Verdict.Signature = c.str("signature")
+	n := c.uvarint("evidence count")
+	if c.err == nil && n > maxEvidence {
 		return ev, fmt.Errorf("serve: event with %d evidence entries", n)
 	}
-	if n > 0 {
+	if c.err == nil && n > 0 {
 		ev.Verdict.Evidence = make([]core.LevelEvidence, n)
 		for i := range ev.Verdict.Evidence {
 			e := &ev.Verdict.Evidence[i]
-			if e.Stage, err = readProtoString(pr); err != nil {
-				return ev, fmt.Errorf("serve: evidence stage: %w", err)
-			}
-			lv, err := binary.ReadVarint(pr)
-			if err != nil {
-				return ev, fmt.Errorf("serve: evidence level: %w", err)
-			}
-			e.Level = core.Level(lv)
-			eb, err := pr.ReadByte()
-			if err != nil {
-				return ev, fmt.Errorf("serve: evidence flags: %w", err)
-			}
+			e.Stage = c.str("evidence stage")
+			e.Level = core.Level(c.varint("evidence level"))
+			eb := c.u8("evidence flags")
 			e.Scored, e.Flagged = eb&1 != 0, eb&2 != 0
-			var bits [8]byte
-			if _, err := io.ReadFull(pr, bits[:]); err != nil {
-				return ev, fmt.Errorf("serve: evidence score: %w", err)
+			e.Score = c.f64("evidence score")
+			e.Rank = int(c.varint("evidence rank"))
+			if c.err != nil {
+				break
 			}
-			e.Score = math.Float64frombits(binary.BigEndian.Uint64(bits[:]))
-			rk, err := binary.ReadVarint(pr)
-			if err != nil {
-				return ev, fmt.Errorf("serve: evidence rank: %w", err)
-			}
-			e.Rank = int(rk)
 		}
+	}
+	if c.err != nil {
+		return ev, c.err
 	}
 	return ev, nil
 }

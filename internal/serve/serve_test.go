@@ -131,15 +131,34 @@ func newTestServer(t *testing.T, cfg serve.Config, corpora []*serveCorpus) (srv 
 // Shutdown, and every stream's verdicts — received over the subscription
 // socket — match the committed goldens byte for byte.
 func TestServeReplayEndToEnd(t *testing.T) {
+	// The drill runs twice: at full scale over the default burst ingest
+	// path (SubmitBatchFor admission, coalesced verdict frames), and at
+	// reduced scale over the per-package legacy path (IngestBurst: 1, one
+	// submit and one published event per package). Both must reproduce the
+	// committed goldens byte for byte.
+	t.Run("burst", func(t *testing.T) {
+		copies := 16 // 16 traces × 16 copies = 256 concurrent connections
+		if testing.Short() {
+			copies = 3
+		}
+		replayEndToEnd(t, 0, copies)
+	})
+	t.Run("per-package", func(t *testing.T) {
+		copies := 4
+		if testing.Short() {
+			copies = 2
+		}
+		replayEndToEnd(t, 1, copies)
+	})
+}
+
+func replayEndToEnd(t *testing.T, ingestBurst, copies int) {
 	corpora := loadCorpora(t)
-	copies := 16 // 16 traces × 16 copies = 256 concurrent connections
-	if testing.Short() {
-		copies = 3
-	}
 
 	srv, ingest, verdicts := newTestServer(t, serve.Config{
 		Engine:           engine.Config{MaxBatch: 16, QueueDepth: 64},
 		SubscriberBuffer: 1 << 15,
+		IngestBurst:      ingestBurst,
 		DrainGrace:       time.Minute,
 	}, corpora)
 
@@ -277,6 +296,24 @@ func TestServeReplayEndToEnd(t *testing.T) {
 	if sst.ActiveConns != 0 {
 		t.Errorf("ActiveConns = %d after drain", sst.ActiveConns)
 	}
+	var records uint64
+	for _, j := range jobs {
+		records += uint64(j.tr.records)
+	}
+	if sst.IngestRecords != records || sst.IngestBurstPkgs != records {
+		t.Errorf("ingest counters: records=%d burstPkgs=%d, want %d both",
+			sst.IngestRecords, sst.IngestBurstPkgs, records)
+	}
+	if sst.IngestBytes == 0 {
+		t.Error("IngestBytes = 0 after replaying every corpus")
+	}
+	if sst.HubPublishedEvents != records {
+		t.Errorf("HubPublishedEvents = %d, want %d", sst.HubPublishedEvents, records)
+	}
+	if ingestBurst == 1 && sst.HubPublishes != records {
+		t.Errorf("per-package path published %d frames for %d events, want one frame per event",
+			sst.HubPublishes, records)
+	}
 }
 
 // TestServeHandshakeErrors drills the rejection paths: bad magic, unknown
@@ -343,6 +380,11 @@ func TestServeLiveIngest(t *testing.T) {
 			Name: "gaspipeline", Framework: corpora[0].fw, Registers: gaspipeline.Registers(),
 		}},
 		Engine: engine.Config{Shards: 1, MaxBatch: 4, QueueDepth: 4},
+		// Pin the per-package admission path: this test's shed count and
+		// strict command/response alternation depend on packages being
+		// admitted (and dropped) one at a time. The burst path's whole-burst
+		// shed semantics get their own test below.
+		IngestBurst: 1,
 		OnResult: func(r engine.Result) {
 			dirMu.Lock()
 			directions = append(directions, r.Package.CmdResponse)
@@ -416,6 +458,116 @@ func TestServeLiveIngest(t *testing.T) {
 		}
 		if d != want {
 			t.Fatalf("package %d: CmdResponse = %v, want %v", i, d, want)
+		}
+	}
+}
+
+// TestServeLiveBurstSheds drives the live burst path: the handler wakes
+// once per buffered run of MBAP frames, admits the whole burst with one
+// TrySubmitBatchFor, and a full shard queue drops the whole burst —
+// every frame is accounted live or shed, bursting actually amortizes
+// (fewer admission calls than frames), and the classified packages stay
+// in wire order.
+func TestServeLiveBurstSheds(t *testing.T) {
+	corpora := loadCorpora(t)
+	gate := make(chan struct{})
+	var gateOnce sync.Once
+	blocked := make(chan struct{})
+	var resMu sync.Mutex
+	var times []float64
+	srv, ingest, _ := newTestServer(t, serve.Config{
+		Models: []serve.Model{{
+			Name: "gaspipeline", Framework: corpora[0].fw, Registers: gaspipeline.Registers(),
+		}},
+		Engine:      engine.Config{Shards: 1, MaxBatch: 4, QueueDepth: 1},
+		IngestBurst: 4,
+		OnResult: func(r engine.Result) {
+			resMu.Lock()
+			times = append(times, r.Package.Time)
+			resMu.Unlock()
+			gateOnce.Do(func() { close(blocked) })
+			<-gate
+		},
+	}, corpora[:1])
+
+	conn, err := serve.DialLive(ingest, serve.ReplayOptions{Stream: "plc-burst"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	// Write every frame in one syscall so the server's first blocking read
+	// finds the rest already buffered: the drain loop forms real bursts.
+	const frames = 200
+	var wire bytes.Buffer
+	for i := 0; i < frames/2; i++ {
+		tid := uint16(i + 1)
+		cmd := &modbus.TCPFrame{
+			Header: modbus.MBAPHeader{TransactionID: tid, UnitID: 4},
+			PDU:    modbus.ReadRequest(modbus.FuncReadHoldingRegisters, 0, 8),
+		}
+		resp := &modbus.TCPFrame{
+			Header: modbus.MBAPHeader{TransactionID: tid, UnitID: 4},
+			PDU:    modbus.ReadRegistersResponse(modbus.FuncReadHoldingRegisters, make([]uint16, 8)),
+		}
+		if err := modbus.WriteTCPFrame(&wire, cmd); err != nil {
+			t.Fatal(err)
+		}
+		if err := modbus.WriteTCPFrame(&wire, resp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := conn.Write(wire.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+
+	// The handler blocks on the first package; with QueueDepth 1 the later
+	// bursts must shed whole — every frame accounted, none stalling the
+	// wire.
+	<-blocked
+	deadline := time.Now().Add(30 * time.Second)
+	var st serve.ServerStats
+	for {
+		st = srv.Stats()
+		if st.Live+st.Shed == frames {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("live+shed = %d+%d, want %d admitted-or-shed", st.Live, st.Shed, frames)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if st.Shed == 0 {
+		t.Errorf("no bursts shed behind a blocked handler (live=%d)", st.Live)
+	}
+	if st.Live == 0 {
+		t.Error("no bursts admitted")
+	}
+	if st.IngestRecords != frames || st.IngestBurstPkgs != frames {
+		t.Errorf("ingest counters: records=%d burstPkgs=%d, want %d both",
+			st.IngestRecords, st.IngestBurstPkgs, frames)
+	}
+	if st.IngestBursts >= frames {
+		t.Errorf("IngestBursts = %d for %d frames: live path never formed a burst", st.IngestBursts, frames)
+	}
+	close(gate)
+	conn.Close()
+	if err := srv.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Whole-burst shedding only truncates contiguous runs: the classified
+	// packages must keep wire order, visible in their monotonic decode
+	// timestamps.
+	resMu.Lock()
+	defer resMu.Unlock()
+	if len(times) == 0 {
+		t.Fatal("no live packages classified")
+	}
+	for i := 1; i < len(times); i++ {
+		if times[i] < times[i-1] {
+			t.Fatalf("package %d decoded at %v after package %d at %v: wire order lost",
+				i, times[i], i-1, times[i-1])
 		}
 	}
 }

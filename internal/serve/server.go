@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bufio"
+	"encoding/binary"
 	"fmt"
 	"io"
 	"net"
@@ -40,10 +41,28 @@ type Config struct {
 	// Models are the served models; at least one. The first is the
 	// default.
 	Models []Model
-	// SubscriberBuffer bounds each verdict subscriber's event queue; a
-	// subscriber that falls further behind loses events (counted, never
+	// SubscriberBuffer bounds each verdict subscriber's frame queue (a
+	// frame carries the coalesced events of one shard tick); a subscriber
+	// that falls further behind loses frames (their events counted, never
 	// blocking the engine). Default: 1024.
 	SubscriberBuffer int
+	// SubscriberWriteTimeout, when positive, bounds every subscriber
+	// socket write. A wedged subscriber (a peer that stopped reading)
+	// otherwise parks its hub writer in a blocking Write until Shutdown's
+	// force-close while its queue sheds everything; with the deadline it is
+	// abandoned at runtime, with the queued events re-counted as drops —
+	// the subscriber-side mirror of the ingest IdleTimeout. Zero disables
+	// the deadline.
+	SubscriberWriteTimeout time.Duration
+	// IngestBurst caps how many packages an ingest connection admits into
+	// the engine per submit: the replay and live loops batch every record
+	// already buffered on the wire (up to the cap) into one
+	// SubmitBatchFor/TrySubmitBatchFor call, and verdict fan-out coalesces
+	// each shard tick's events into one published frame. 0 picks the
+	// default (256); 1 (or negative) selects the per-package legacy path —
+	// one submit and one published event per package — which is also the
+	// baseline leg of `icsbench -servebench`.
+	IngestBurst int
 	// DrainGrace bounds how long Shutdown waits for ingest connections to
 	// finish before force-closing them. Default: 5s.
 	DrainGrace time.Duration
@@ -70,15 +89,20 @@ type modelEntry struct {
 	mu   sync.RWMutex
 	fw   *core.Framework
 	regs tap.RegisterMap
+	// fp caches fw.Fingerprint(): the digest walks every model parameter,
+	// far too expensive to recompute on each replay connection's
+	// trace-pin check. Updated together with fw under mu.
+	fp string
 
 	swaps atomic.Uint64
 }
 
-// current returns the entry's framework and register map.
-func (m *modelEntry) current() (*core.Framework, tap.RegisterMap) {
+// current returns the entry's framework, register map and cached
+// fingerprint.
+func (m *modelEntry) current() (*core.Framework, tap.RegisterMap, string) {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
-	return m.fw, m.regs
+	return m.fw, m.regs, m.fp
 }
 
 // Server is the wire-to-verdict daemon: engine, ingest listener, verdict
@@ -98,6 +122,20 @@ type Server struct {
 	ingestWG  sync.WaitGroup
 	acceptWG  sync.WaitGroup
 
+	// burst is the resolved IngestBurst; coalesce reports whether verdict
+	// fan-out batches per shard tick (burst > 1).
+	burst    int
+	coalesce bool
+	// frames holds, per engine shard, the frame accumulating the current
+	// tick's encoded events. Each slot is touched only by its shard's
+	// worker goroutine (handleResult and the TickEnd callback run there),
+	// so the slice needs no locking.
+	frames []*frame
+	// scratch is the per-shard event-encoding staging buffer (see
+	// appendEvent); like frames, each slot is touched only by its shard's
+	// goroutine.
+	scratch [][]byte
+
 	nextID atomic.Uint64
 	// Connection and admission counters (see ServerStats).
 	accepted atomic.Uint64
@@ -105,10 +143,18 @@ type Server struct {
 	replayed atomic.Uint64
 	live     atomic.Uint64
 	shed     atomic.Uint64
+	// Ingest-plane counters: bytes and records read off ingest
+	// connections, and engine admissions (bursts plus the packages they
+	// carried — burstPkgs/bursts is the mean admitted burst width).
+	ingestBytes   atomic.Uint64
+	ingestRecords atomic.Uint64
+	bursts        atomic.Uint64
+	burstPkgs     atomic.Uint64
 
-	statsMu   sync.Mutex
-	lastStats engine.Stats
-	lastTime  time.Time
+	statsMu    sync.Mutex
+	lastStats  engine.Stats
+	lastServer ServerStats
+	lastTime   time.Time
 }
 
 // ServerStats is a point-in-time snapshot of the daemon's own counters,
@@ -120,12 +166,65 @@ type ServerStats struct {
 	// Replayed and Live count packages admitted per ingest mode; Shed
 	// counts live packages dropped on a full shard queue.
 	Replayed, Live, Shed uint64
+	// IngestBytes and IngestRecords count the payload the ingest
+	// connections read off the wire: every connection byte (handshakes
+	// included) and every decoded record/frame, admitted or shed.
+	IngestBytes, IngestRecords uint64
+	// IngestBursts counts engine admission calls; IngestBurstPkgs the
+	// packages they carried. A per-package submit counts as a burst of
+	// one, so MeanIngestBurst is comparable across IngestBurst settings.
+	IngestBursts, IngestBurstPkgs uint64
 	// Subscribers is the number of attached verdict subscribers;
-	// SubscriberDrops counts events lost to slow subscribers.
+	// SubscriberDrops counts events lost to slow (or abandoned)
+	// subscribers.
 	Subscribers     uint64
 	SubscriberDrops uint64
+	// HubPublishes counts published verdict frames; HubPublishedEvents the
+	// events they carried (see MeanPublishBatch).
+	HubPublishes, HubPublishedEvents uint64
 	// ModelSwaps counts SwapModel cutovers across all models.
 	ModelSwaps uint64
+}
+
+// MeanIngestBurst is the mean number of packages per engine admission
+// call — how much submit amortization the ingest bursting bought.
+func (s ServerStats) MeanIngestBurst() float64 {
+	if s.IngestBursts == 0 {
+		return 0
+	}
+	return float64(s.IngestBurstPkgs) / float64(s.IngestBursts)
+}
+
+// MeanPublishBatch is the mean number of events per published verdict
+// frame — how much fan-out amortization the tick coalescing bought.
+func (s ServerStats) MeanPublishBatch() float64 {
+	if s.HubPublishes == 0 {
+		return 0
+	}
+	return float64(s.HubPublishedEvents) / float64(s.HubPublishes)
+}
+
+// Since returns the interval delta between two snapshots of the same
+// server: cumulative counters minus their value in prev, following
+// engine.Stats.Since. Gauges (ActiveConns, Subscribers) keep s's
+// point-in-time value. prev must be the earlier snapshot (the zero
+// ServerStats works as "since start").
+func (s ServerStats) Since(prev ServerStats) ServerStats {
+	d := s
+	d.AcceptedConns -= prev.AcceptedConns
+	d.RejectedConns -= prev.RejectedConns
+	d.Replayed -= prev.Replayed
+	d.Live -= prev.Live
+	d.Shed -= prev.Shed
+	d.IngestBytes -= prev.IngestBytes
+	d.IngestRecords -= prev.IngestRecords
+	d.IngestBursts -= prev.IngestBursts
+	d.IngestBurstPkgs -= prev.IngestBurstPkgs
+	d.SubscriberDrops -= prev.SubscriberDrops
+	d.HubPublishes -= prev.HubPublishes
+	d.HubPublishedEvents -= prev.HubPublishedEvents
+	d.ModelSwaps -= prev.ModelSwaps
+	return d
 }
 
 // New builds a server and starts its engine. The caller owns no goroutines
@@ -137,12 +236,28 @@ func New(cfg Config) (*Server, error) {
 	if cfg.DrainGrace <= 0 {
 		cfg.DrainGrace = 5 * time.Second
 	}
+	burst := cfg.IngestBurst
+	if burst == 0 {
+		burst = 256
+	}
+	if burst < 1 {
+		burst = 1
+	}
 	s := &Server{
 		cfg:      cfg,
-		hub:      newHub(cfg.SubscriberBuffer),
+		hub:      newHub(cfg.SubscriberBuffer, cfg.SubscriberWriteTimeout),
 		models:   make(map[string]*modelEntry, len(cfg.Models)),
 		active:   make(map[string]net.Conn),
+		burst:    burst,
+		coalesce: burst > 1,
 		lastTime: time.Now(),
+	}
+	if s.coalesce {
+		// Coalesce verdict fan-out per shard tick: handleResult accumulates
+		// into per-shard frames, and the engine's TickEnd callback (on the
+		// same shard goroutine) publishes each shard's frame once per tick.
+		cfg.Engine.TickEnd = s.tickEnd
+		s.cfg.Engine = cfg.Engine
 	}
 	for _, m := range cfg.Models {
 		if m.Name == "" {
@@ -154,7 +269,10 @@ func New(cfg Config) (*Server, error) {
 		if _, dup := s.models[m.Name]; dup {
 			return nil, fmt.Errorf("serve: model %q configured twice", m.Name)
 		}
-		entry := &modelEntry{name: m.Name, fw: m.Framework, regs: m.Registers}
+		entry := &modelEntry{
+			name: m.Name, fw: m.Framework, regs: m.Registers,
+			fp: m.Framework.Fingerprint(),
+		}
 		s.models[m.Name] = entry
 		if s.def == nil {
 			s.def = entry
@@ -165,6 +283,10 @@ func New(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	s.eng = eng
+	// Safe to size after New: TickEnd cannot fire before the first
+	// submission, and no listener accepts traffic yet.
+	s.frames = make([]*frame, eng.Shards())
+	s.scratch = make([][]byte, eng.Shards())
 	// Non-default models must support the engine's stack too, fail-fast at
 	// startup rather than on their first connection.
 	for _, m := range cfg.Models[1:] {
@@ -181,11 +303,36 @@ func New(cfg Config) (*Server, error) {
 func (s *Server) Engine() *engine.Engine { return s.eng }
 
 // handleResult is the engine Handler: observe, encode once, fan out.
+// With tick coalescing the event is appended to the shard's pending frame
+// (published by tickEnd); on the per-package path it publishes alone.
 func (s *Server) handleResult(r engine.Result) {
 	if s.cfg.OnResult != nil {
 		s.cfg.OnResult(r)
 	}
-	s.hub.publish(appendEvent(nil, r))
+	if s.coalesce {
+		f := s.frames[r.Shard]
+		if f == nil {
+			f = s.hub.newFrame()
+			s.frames[r.Shard] = f
+		}
+		f.buf, s.scratch[r.Shard] = appendEvent(f.buf, s.scratch[r.Shard], r)
+		f.events++
+		return
+	}
+	f := s.hub.newFrame()
+	f.buf, s.scratch[r.Shard] = appendEvent(f.buf, s.scratch[r.Shard], r)
+	f.events = 1
+	s.hub.publishFrame(f)
+}
+
+// tickEnd is the engine's per-shard tick callback: publish the shard's
+// coalesced frame — one hub pass per tick instead of one per event. It
+// runs on the shard goroutine, after the tick's last handleResult.
+func (s *Server) tickEnd(shard int) {
+	if f := s.frames[shard]; f != nil && f.events > 0 {
+		s.frames[shard] = nil
+		s.hub.publishFrame(f)
+	}
 }
 
 // ListenIngest binds the ingest listener and starts accepting device
@@ -275,6 +422,8 @@ func (s *Server) serveIngest(conn net.Conn) {
 		// handshake, replay records, live frames — re-arms the deadline.
 		conn = &idleConn{Conn: conn, timeout: s.cfg.IdleTimeout}
 	}
+	// Count every ingest byte read off the wire (IngestBytes).
+	conn = &countingConn{Conn: conn, count: &s.ingestBytes}
 	br := bufio.NewReader(conn)
 	h, err := readHello(br)
 	if err != nil {
@@ -290,7 +439,7 @@ func (s *Server) serveIngest(conn net.Conn) {
 	}
 	// Pin the model now: a hot-swap during this connection's lifetime must
 	// not re-score a live recurrent stream with different weights.
-	fw, regs := entry.current()
+	fw, regs, fp := entry.current()
 	stream := h.Stream
 	if stream == "" {
 		stream = fmt.Sprintf("conn-%d", s.nextID.Add(1))
@@ -318,7 +467,7 @@ func (s *Server) serveIngest(conn net.Conn) {
 	s.accepted.Add(1)
 	switch h.Mode {
 	case ModeReplay:
-		s.serveReplay(conn, br, fw, stream)
+		s.serveReplay(conn, br, fw, fp, stream)
 	case ModeLive:
 		s.serveLive(br, fw, regs, stream)
 	}
@@ -327,26 +476,47 @@ func (s *Server) serveIngest(conn net.Conn) {
 // serveReplay streams a recorded trace into the engine with blocking
 // admission: every record is decoded through the exact tap rules
 // (trace.Decoder) and submitted under the connection's model; a saturated
-// engine pushes back on the socket. At EOF the client gets a trailing
-// status plus the accepted-package count.
-func (s *Server) serveReplay(conn net.Conn, br *bufio.Reader, fw *core.Framework, stream string) {
+// engine pushes back on the socket. Records are admitted in bursts —
+// decode until IngestBurst packages have accumulated or the reader's
+// buffered data runs dry, then one SubmitBatchFor — so the engine's
+// per-submit costs amortize over whatever the wire already delivered. At
+// EOF the client gets a trailing status plus the accepted-package count.
+func (s *Server) serveReplay(conn net.Conn, br *bufio.Reader, fw *core.Framework, fp, stream string) {
 	tr, err := trace.NewReader(br)
 	if err != nil {
 		writeStatus(conn, 1, err.Error())
 		return
 	}
 	hdr := tr.Header()
-	if hdr.Fingerprint != "" {
-		if got := fw.Fingerprint(); hdr.Fingerprint != got {
-			writeStatus(conn, 1, fmt.Sprintf(
-				"trace is pinned to model %s, connection's model is %s", hdr.Fingerprint, got))
-			return
-		}
+	if hdr.Fingerprint != "" && hdr.Fingerprint != fp {
+		writeStatus(conn, 1, fmt.Sprintf(
+			"trace is pinned to model %s, connection's model is %s", hdr.Fingerprint, fp))
+		return
 	}
 	dec := trace.NewDecoder(hdr)
 	var count uint64
+	var batch []*dataset.Package
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		// The engine owns the slice after submit; the next burst gets a
+		// fresh one (one allocation amortized over the whole burst).
+		if err := s.eng.SubmitBatchFor(fw, stream, batch); err != nil {
+			return err
+		}
+		count += uint64(len(batch))
+		s.bursts.Add(1)
+		s.burstPkgs.Add(uint64(len(batch)))
+		batch = nil
+		return nil
+	}
+	// Each record is decoded into its Package before the next read, so
+	// one reused Record and payload buffer carry the whole trace.
+	var rec trace.Record
+	var rbuf []byte
 	for {
-		rec, err := tr.Next()
+		rbuf, err = tr.NextInto(&rec, rbuf)
 		if err == io.EOF {
 			break
 		}
@@ -354,16 +524,39 @@ func (s *Server) serveReplay(conn net.Conn, br *bufio.Reader, fw *core.Framework
 			writeStatus(conn, 1, err.Error())
 			return
 		}
-		pkg, err := dec.Decode(rec)
+		pkg, err := dec.Decode(&rec)
 		if err != nil {
 			writeStatus(conn, 1, err.Error())
 			return
 		}
-		if err := s.eng.SubmitFor(fw, stream, pkg); err != nil {
-			writeStatus(conn, 1, err.Error())
-			return
+		s.ingestRecords.Add(1)
+		if s.burst <= 1 {
+			if err := s.eng.SubmitFor(fw, stream, pkg); err != nil {
+				writeStatus(conn, 1, err.Error())
+				return
+			}
+			count++
+			s.bursts.Add(1)
+			s.burstPkgs.Add(1)
+			continue
 		}
-		count++
+		if batch == nil {
+			batch = make([]*dataset.Package, 0, s.burst)
+		}
+		batch = append(batch, pkg)
+		// Flush when the burst is full or the wire has nothing more
+		// buffered — trace.NewReader(br) reuses br (bufio on bufio is the
+		// identity), so Buffered() sees exactly the decoder's unread data.
+		if len(batch) >= s.burst || br.Buffered() == 0 {
+			if err := flush(); err != nil {
+				writeStatus(conn, 1, err.Error())
+				return
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		writeStatus(conn, 1, err.Error())
+		return
 	}
 	s.replayed.Add(count)
 	// Trailer: the peer half-closed its write side and reads this before
@@ -378,55 +571,124 @@ func (s *Server) serveReplay(conn net.Conn, br *bufio.Reader, fw *core.Framework
 // serveLive pumps raw Modbus/TCP frames into the engine with shedding
 // admission: frames are decoded exactly as the live tap decodes them, with
 // direction inferred from the MBAP transaction ID (an unseen ID opens a
-// command, a matching outstanding ID closes it as the response), and
-// submitted with TrySubmitFor — a full shard queue drops the package and
-// counts the shed instead of stalling the wire.
+// command, a matching outstanding ID closes it as the response). Each
+// wakeup blocks for one frame, then drains every complete MBAP frame
+// already sitting in the read buffer (up to IngestBurst) and admits the
+// burst with one TrySubmitBatchFor — a full shard queue drops the whole
+// burst and counts the shed instead of stalling the wire.
 func (s *Server) serveLive(br *bufio.Reader, fw *core.Framework, regs tap.RegisterMap, stream string) {
-	outstanding := make(map[uint16]struct{})
-	started := time.Now()
+	dec := liveDecoder{regs: regs, outstanding: make(map[uint16]struct{}), started: time.Now()}
 	for {
 		f, err := modbus.ReadTCPFrame(br)
 		if err != nil {
 			return
 		}
-		raw, err := modbus.EncodeTCP(f)
+		pkg, err := dec.decode(f)
 		if err != nil {
 			return
 		}
-		tid := f.Header.TransactionID
-		isCmd := true
-		if _, open := outstanding[tid]; open {
-			isCmd = false
-			delete(outstanding, tid)
-		} else {
-			outstanding[tid] = struct{}{}
-			if len(outstanding) > 4096 {
-				// A peer that never answers its own commands would grow the
-				// direction table without bound; resetting mis-directs only
-				// the responses of the dropped transactions.
-				outstanding = make(map[uint16]struct{})
+		s.ingestRecords.Add(1)
+		if s.burst <= 1 {
+			ok, err := s.eng.TrySubmitFor(fw, stream, pkg)
+			if err != nil {
+				return
 			}
+			s.bursts.Add(1)
+			s.burstPkgs.Add(1)
+			if ok {
+				s.live.Add(1)
+			} else {
+				s.shed.Add(1)
+			}
+			continue
 		}
-		pkg := &dataset.Package{
-			Address:  float64(f.Header.UnitID),
-			Function: float64(f.PDU.Function),
-			Length:   float64(len(raw)),
-			Time:     time.Since(started).Seconds(),
+		batch := make([]*dataset.Package, 0, s.burst)
+		batch = append(batch, pkg)
+		for len(batch) < s.burst && bufferedFrame(br) {
+			f, err := modbus.ReadTCPFrame(br)
+			if err != nil {
+				return
+			}
+			pkg, err := dec.decode(f)
+			if err != nil {
+				return
+			}
+			s.ingestRecords.Add(1)
+			batch = append(batch, pkg)
 		}
-		if isCmd {
-			pkg.CmdResponse = 1
-		}
-		regs.DecodePDU(pkg, f.PDU, isCmd)
-		ok, err := s.eng.TrySubmitFor(fw, stream, pkg)
+		ok, err := s.eng.TrySubmitBatchFor(fw, stream, batch)
 		if err != nil {
 			return
 		}
+		s.bursts.Add(1)
+		s.burstPkgs.Add(uint64(len(batch)))
 		if ok {
-			s.live.Add(1)
+			s.live.Add(uint64(len(batch)))
 		} else {
-			s.shed.Add(1)
+			s.shed.Add(uint64(len(batch)))
 		}
 	}
+}
+
+// liveDecoder turns one live Modbus/TCP frame into the Table I package
+// schema, carrying the per-connection direction table and clock.
+type liveDecoder struct {
+	regs        tap.RegisterMap
+	outstanding map[uint16]struct{}
+	started     time.Time
+}
+
+func (d *liveDecoder) decode(f *modbus.TCPFrame) (*dataset.Package, error) {
+	raw, err := modbus.EncodeTCP(f)
+	if err != nil {
+		return nil, err
+	}
+	tid := f.Header.TransactionID
+	isCmd := true
+	if _, open := d.outstanding[tid]; open {
+		isCmd = false
+		delete(d.outstanding, tid)
+	} else {
+		d.outstanding[tid] = struct{}{}
+		if len(d.outstanding) > 4096 {
+			// A peer that never answers its own commands would grow the
+			// direction table without bound; resetting mis-directs only
+			// the responses of the dropped transactions.
+			d.outstanding = make(map[uint16]struct{})
+		}
+	}
+	pkg := &dataset.Package{
+		Address:  float64(f.Header.UnitID),
+		Function: float64(f.PDU.Function),
+		Length:   float64(len(raw)),
+		Time:     time.Since(d.started).Seconds(),
+	}
+	if isCmd {
+		pkg.CmdResponse = 1
+	}
+	d.regs.DecodePDU(pkg, f.PDU, isCmd)
+	return pkg, nil
+}
+
+// bufferedFrame reports whether a complete MBAP frame is already sitting
+// in br's buffer — the live burst loop's "drain without blocking" probe.
+// A buffered header whose length field is invalid reports true so the
+// next ReadTCPFrame surfaces the framing error.
+func bufferedFrame(br *bufio.Reader) bool {
+	const hdrLen = 7 // TID u16, protocol u16, length u16, unit u8
+	if br.Buffered() < hdrLen {
+		return false
+	}
+	hdr, err := br.Peek(hdrLen)
+	if err != nil {
+		return false
+	}
+	length := binary.BigEndian.Uint16(hdr[4:6])
+	if length < 1 {
+		return true
+	}
+	// A full frame is the 6 fixed header bytes plus length (unit + PDU).
+	return br.Buffered() >= 6+int(length)
 }
 
 // serveSubscribe handshakes one verdict subscriber and hands the
@@ -480,8 +742,10 @@ func (s *Server) SwapModel(name string, fw *core.Framework) error {
 	if err := s.eng.Barrier(); err != nil {
 		return fmt.Errorf("serve: swap %q: %w", entry.name, err)
 	}
+	fp := fw.Fingerprint()
 	entry.mu.Lock()
 	entry.fw = fw
+	entry.fp = fp
 	entry.mu.Unlock()
 	entry.swaps.Add(1)
 	return nil
@@ -497,16 +761,28 @@ func (s *Server) Stats() ServerStats {
 		swaps += entry.swaps.Load()
 	}
 	return ServerStats{
-		ActiveConns:     activeConns,
-		AcceptedConns:   s.accepted.Load(),
-		RejectedConns:   s.rejected.Load(),
-		Replayed:        s.replayed.Load(),
-		Live:            s.live.Load(),
-		Shed:            s.shed.Load(),
-		Subscribers:     uint64(s.hub.count()),
-		SubscriberDrops: s.hub.drops.Load(),
-		ModelSwaps:      swaps,
+		ActiveConns:        activeConns,
+		AcceptedConns:      s.accepted.Load(),
+		RejectedConns:      s.rejected.Load(),
+		Replayed:           s.replayed.Load(),
+		Live:               s.live.Load(),
+		Shed:               s.shed.Load(),
+		IngestBytes:        s.ingestBytes.Load(),
+		IngestRecords:      s.ingestRecords.Load(),
+		IngestBursts:       s.bursts.Load(),
+		IngestBurstPkgs:    s.burstPkgs.Load(),
+		Subscribers:        uint64(s.hub.count()),
+		SubscriberDrops:    s.hub.drops.Load(),
+		HubPublishes:       s.hub.publishes.Load(),
+		HubPublishedEvents: s.hub.publishedEvents.Load(),
+		ModelSwaps:         swaps,
 	}
+}
+
+// SubscriberStats snapshots every attached verdict subscriber: queue
+// depth (frames pending), capacity and per-subscriber drops.
+func (s *Server) SubscriberStats() []SubscriberStats {
+	return s.hub.subscriberStats()
 }
 
 // Shutdown is the graceful drain: stop accepting, wait for live ingest
@@ -563,6 +839,21 @@ func (c *idleConn) Read(b []byte) (int, error) {
 		return 0, err
 	}
 	return c.Conn.Read(b)
+}
+
+// countingConn counts the bytes read off an ingest connection into the
+// server's IngestBytes counter.
+type countingConn struct {
+	net.Conn
+	count *atomic.Uint64
+}
+
+func (c *countingConn) Read(b []byte) (int, error) {
+	n, err := c.Conn.Read(b)
+	if n > 0 {
+		c.count.Add(uint64(n))
+	}
+	return n, err
 }
 
 // putUvarint is binary.PutUvarint without the import-side dependency

@@ -36,6 +36,12 @@ type ReplayConfig struct {
 	// Engine, when non-nil, drives the batched multi-stream engine instead
 	// of a sequential session; the trace becomes one stream.
 	Engine *engine.Config
+	// Burst, when Engine is non-nil and Burst > 1, admits packages in
+	// bursts of up to Burst via Engine.SubmitBatch instead of one Submit
+	// per package — the serving daemon's amortized admission path. In
+	// timed mode the pacing clock is consulted once per burst (at its
+	// first package).
+	Burst int
 	// Stream is the engine stream key (default: the trace's scenario name).
 	Stream string
 }
@@ -222,11 +228,30 @@ func Replay(fw *core.Framework, h Header, recs []*Record, cfg ReplayConfig) (*Re
 		if err != nil {
 			return nil, err
 		}
-		for i, p := range pkgs {
-			pace(i)
-			if err := e.Submit(stream, p); err != nil {
-				e.Stop()
-				return nil, err
+		if cfg.Burst > 1 {
+			for i := 0; i < len(pkgs); {
+				j := i + cfg.Burst
+				if j > len(pkgs) {
+					j = len(pkgs)
+				}
+				pace(i)
+				// The engine owns the burst slice once admitted: hand it a
+				// fresh copy per burst.
+				batch := make([]*dataset.Package, j-i)
+				copy(batch, pkgs[i:j])
+				if err := e.SubmitBatch(stream, batch); err != nil {
+					e.Stop()
+					return nil, err
+				}
+				i = j
+			}
+		} else {
+			for i, p := range pkgs {
+				pace(i)
+				if err := e.Submit(stream, p); err != nil {
+					e.Stop()
+					return nil, err
+				}
 			}
 		}
 		if err := e.Barrier(); err != nil {

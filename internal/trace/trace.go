@@ -300,38 +300,55 @@ func (r *Reader) Header() Header { return r.header }
 // Next reads the next record. It returns io.EOF at a clean end of trace;
 // a trace truncated mid-record yields ErrCorrupt.
 func (r *Reader) Next() (*Record, error) {
+	var rec Record
+	if _, err := r.NextInto(&rec, nil); err != nil {
+		return nil, err
+	}
+	return &rec, nil
+}
+
+// NextInto reads the next record into rec, staging the payload in buf,
+// which is grown as needed and returned for reuse. rec.Frame aliases the
+// returned buffer and is valid only until the following NextInto call —
+// the shape of a consumer that transforms each record immediately (the
+// serving daemon's replay ingest decodes straight into a Package), which
+// then reads a whole trace with one long-lived buffer instead of two
+// allocations per record. A nil buf allocates per call, exactly like Next.
+func (r *Reader) NextInto(rec *Record, buf []byte) ([]byte, error) {
 	plen, err := binary.ReadUvarint(r.r)
 	if err != nil {
 		if err == io.EOF {
-			return nil, io.EOF
+			return buf, io.EOF
 		}
-		return nil, fmt.Errorf("%w: record length: %v", ErrCorrupt, err)
+		return buf, fmt.Errorf("%w: record length: %v", ErrCorrupt, err)
 	}
 	if plen < 3 || plen > maxRecordLen {
-		return nil, fmt.Errorf("%w: record of %d bytes", ErrCorrupt, plen)
+		return buf, fmt.Errorf("%w: record of %d bytes", ErrCorrupt, plen)
 	}
-	payload := make([]byte, plen)
+	if uint64(cap(buf)) < plen {
+		buf = make([]byte, plen)
+	}
+	payload := buf[:plen]
 	if _, err := io.ReadFull(r.r, payload); err != nil {
-		return nil, fmt.Errorf("%w: truncated record: %v", ErrCorrupt, err)
+		return buf, fmt.Errorf("%w: truncated record: %v", ErrCorrupt, err)
 	}
 	delta, n := binary.Uvarint(payload)
 	if n <= 0 || len(payload)-n < 2 {
-		return nil, fmt.Errorf("%w: record payload", ErrCorrupt)
+		return buf, fmt.Errorf("%w: record payload", ErrCorrupt)
 	}
 	if delta > maxRecordDelta {
-		return nil, fmt.Errorf("%w: record delta %d ns", ErrCorrupt, delta)
+		return buf, fmt.Errorf("%w: record delta %d ns", ErrCorrupt, delta)
 	}
 	label := payload[n]
 	flags := payload[n+1]
 	if flags&^byte(1) != 0 {
-		return nil, fmt.Errorf("%w: unknown record flags 0x%02x", ErrCorrupt, flags)
+		return buf, fmt.Errorf("%w: unknown record flags 0x%02x", ErrCorrupt, flags)
 	}
-	return &Record{
-		Delta: delta,
-		Label: dataset.AttackType(label),
-		IsCmd: flags&1 != 0,
-		Frame: payload[n+2:],
-	}, nil
+	rec.Delta = delta
+	rec.Label = dataset.AttackType(label)
+	rec.IsCmd = flags&1 != 0
+	rec.Frame = payload[n+2:]
+	return buf, nil
 }
 
 // ReadAll reads a whole trace: header plus every record.

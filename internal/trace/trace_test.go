@@ -363,6 +363,9 @@ func TestReplayPathsAgree(t *testing.T) {
 	check("repeat", ReplayConfig{})
 	check("engine", ReplayConfig{Engine: &engine.Config{Shards: 2, MaxBatch: 8}})
 	check("engine-wide", ReplayConfig{Engine: &engine.Config{Shards: 4, MaxBatch: 32, QueueDepth: 16}})
+	// Odd burst width: bursts straddle micro-batch boundaries.
+	check("engine-burst", ReplayConfig{Engine: &engine.Config{Shards: 2, MaxBatch: 8}, Burst: 7})
+	check("engine-burst-wide", ReplayConfig{Engine: &engine.Config{Shards: 4, MaxBatch: 32, QueueDepth: 16}, Burst: 96})
 	check("timed", ReplayConfig{Timed: true, Speed: 1e6})
 
 	prev := mathx.SetSIMDEnabled(false)
